@@ -1,0 +1,50 @@
+// Reproduces the paper's false-positive experiment (Section IV): run each
+// instrumented program many times fault-free and confirm the monitor never
+// reports anything. Paper: 100 error-free runs per program, zero reports.
+//
+//   usage: bw_false_positives [runs_per_program] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchmarks/registry.h"
+#include "pipeline/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace bw;
+  int runs = argc > 1 ? std::atoi(argv[1]) : 100;
+  unsigned threads = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4;
+
+  std::printf("False-positive check: %d clean instrumented runs per "
+              "program, %u threads\n\n", runs, threads);
+  int total_violations = 0;
+  for (const benchmarks::Benchmark& bench : benchmarks::all_benchmarks()) {
+    pipeline::CompiledProgram program =
+        pipeline::protect_program(bench.source);
+    int violations = 0;
+    std::uint64_t reports = 0;
+    std::uint64_t checks = 0;
+    for (int r = 0; r < runs; ++r) {
+      pipeline::ExecutionConfig config;
+      config.num_threads = threads;
+      pipeline::ExecutionResult result = pipeline::execute(program, config);
+      violations += static_cast<int>(result.violations.size());
+      reports += result.monitor_stats.reports_processed;
+      checks += result.monitor_stats.instances_checked;
+      if (!result.run.ok) {
+        std::printf("  !! %s run %d did not complete cleanly\n",
+                    bench.name.c_str(), r);
+        ++violations;  // count as a failure of the experiment
+        break;
+      }
+    }
+    std::printf("%-22s %4d runs, %12llu reports, %12llu checks, "
+                "%d violations\n",
+                bench.paper_name.c_str(), runs,
+                static_cast<unsigned long long>(reports),
+                static_cast<unsigned long long>(checks), violations);
+    total_violations += violations;
+  }
+  std::printf("\ntotal violations: %d (paper: 0 — BLOCKWATCH has no false "
+              "positives by construction)\n", total_violations);
+  return total_violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Reproduces paper Figure 7: geometric mean of BLOCKWATCH's overhead
+// across all seven programs as the thread count varies 1..32.
+// Paper reference: overhead rises from 1 to 2 threads (NUMA effect on
+// their 4-socket machine), then falls monotonically to 1.16x at 32.
+//
+//   usage: bw_fig7_scalability [reps]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "benchmarks/registry.h"
+#include "pipeline/pipeline.h"
+
+namespace {
+
+using namespace bw;
+
+double median_parallel_seconds(const pipeline::CompiledProgram& program,
+                               unsigned threads, pipeline::MonitorMode mode,
+                               int reps) {
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    pipeline::ExecutionConfig config;
+    config.num_threads = threads;
+    config.monitor = mode;
+    config.stop_on_detection = false;
+    pipeline::ExecutionResult result = pipeline::execute(program, config);
+    times.push_back(static_cast<double>(result.run.parallel_ns) * 1e-9);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+  const unsigned thread_counts[] = {1, 2, 4, 8, 16, 32};
+
+  std::printf("Figure 7: geomean BLOCKWATCH overhead vs thread count\n\n");
+  std::printf("%8s %10s\n", "threads", "overhead");
+  for (unsigned threads : thread_counts) {
+    double log_sum = 0.0;
+    int count = 0;
+    for (const benchmarks::Benchmark& bench :
+         benchmarks::all_benchmarks()) {
+      pipeline::CompiledProgram baseline =
+          pipeline::compile_program(bench.source);
+      pipeline::CompiledProgram protected_program =
+          pipeline::protect_program(bench.source);
+      double base = median_parallel_seconds(
+          baseline, threads, pipeline::MonitorMode::Off, reps);
+      double inst = median_parallel_seconds(protected_program, threads,
+                                            pipeline::MonitorMode::DrainOnly,
+                                            reps);
+      if (base > 0.0) {
+        log_sum += std::log(inst / base);
+        ++count;
+      }
+    }
+    std::printf("%8u %9.2fx\n", threads, std::exp(log_sum / count));
+  }
+  std::printf(
+      "\nPaper anchors: 2.15x @4 threads, 1.16x @32 threads; shape: the\n"
+      "overhead rises from 1 to 2 threads (a NUMA artifact of their\n"
+      "4-socket testbed, not reproducible on a 1-core container), then\n"
+      "falls monotonically toward 32 threads. See EXPERIMENTS.md.\n");
+  return 0;
+}

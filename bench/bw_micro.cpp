@@ -1,0 +1,181 @@
+// Micro-benchmarks (google-benchmark) for the BLOCKWATCH runtime and
+// compiler components:
+//  * Lamport SPSC queue push/pop
+//  * context-tracker key maintenance
+//  * per-category instance checks
+//  * monitor end-to-end report throughput
+//  * front-end compile, similarity analysis (paper: < 1 s per program),
+//    and instrumentation pass latency per benchmark kernel
+//  * VM throughput, baseline vs instrumented
+#include <benchmark/benchmark.h>
+
+#include "analysis/similarity.h"
+#include "benchmarks/registry.h"
+#include "frontend/compiler.h"
+#include "instrument/instrument.h"
+#include "pipeline/pipeline.h"
+#include "runtime/checker.h"
+#include "runtime/context_tracker.h"
+#include "runtime/hierarchical_monitor.h"
+#include "runtime/monitor.h"
+#include "runtime/spsc_queue.h"
+
+namespace {
+
+using namespace bw;
+
+void BM_SpscQueuePushPop(benchmark::State& state) {
+  runtime::SpscQueue<runtime::BranchReport> queue(4096);
+  runtime::BranchReport report;
+  report.static_id = 7;
+  runtime::BranchReport out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.try_push(report));
+    benchmark::DoNotOptimize(queue.try_pop(out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscQueuePushPop);
+
+void BM_ContextTrackerLoopKey(benchmark::State& state) {
+  runtime::ContextTracker tracker;
+  tracker.push_call(3);
+  tracker.loop_enter();
+  tracker.loop_enter();
+  for (auto _ : state) {
+    tracker.loop_iter();
+    benchmark::DoNotOptimize(tracker.iter_hash());
+    benchmark::DoNotOptimize(tracker.ctx_hash());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContextTrackerLoopKey);
+
+void BM_CheckInstance(benchmark::State& state) {
+  const auto check = static_cast<runtime::CheckCode>(state.range(0));
+  std::vector<runtime::ThreadObservation> obs(32);
+  for (unsigned t = 0; t < 32; ++t) {
+    obs[t].thread = t;
+    obs[t].has_outcome = true;
+    obs[t].outcome = check == runtime::CheckCode::ThreadIdMonotone ? t < 20
+                                                                   : true;
+    obs[t].has_value = true;
+    obs[t].value = check == runtime::CheckCode::PartialValue ? t % 4 : 42;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::check_instance(check, obs));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckInstance)->DenseRange(0, 3);
+
+void BM_MonitorThroughput(benchmark::State& state) {
+  const unsigned kThreads = 4;
+  for (auto _ : state) {
+    runtime::Monitor monitor(kThreads);
+    monitor.start();
+    runtime::BranchReport report;
+    report.check = runtime::CheckCode::SharedOutcome;
+    report.kind = runtime::ReportKind::Outcome;
+    report.outcome = true;
+    for (std::uint32_t instance = 0; instance < 1024; ++instance) {
+      report.iter_hash = instance;
+      report.static_id = 1 + instance % 8;
+      for (unsigned t = 0; t < kThreads; ++t) {
+        report.thread = t;
+        monitor.send(report);
+      }
+    }
+    monitor.stop();
+    benchmark::DoNotOptimize(monitor.stats().reports_processed);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024 * kThreads);
+}
+BENCHMARK(BM_MonitorThroughput);
+
+void BM_HierarchicalMonitorThroughput(benchmark::State& state) {
+  const unsigned kThreads = 16;
+  const unsigned groups = static_cast<unsigned>(state.range(0));
+  state.SetLabel(std::to_string(groups) + " groups");
+  for (auto _ : state) {
+    runtime::HierarchicalMonitorOptions options;
+    options.num_groups = groups;
+    runtime::HierarchicalMonitor monitor(kThreads, options);
+    monitor.start();
+    runtime::BranchReport report;
+    report.check = runtime::CheckCode::SharedOutcome;
+    report.kind = runtime::ReportKind::Outcome;
+    report.outcome = true;
+    for (std::uint32_t instance = 0; instance < 1024; ++instance) {
+      report.iter_hash = instance;
+      report.static_id = 1 + instance % 8;
+      for (unsigned t = 0; t < kThreads; ++t) {
+        report.thread = t;
+        monitor.send(report);
+      }
+    }
+    monitor.stop();
+    benchmark::DoNotOptimize(monitor.stats().instances_checked);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024 * kThreads);
+}
+BENCHMARK(BM_HierarchicalMonitorThroughput)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Compile(benchmark::State& state) {
+  const benchmarks::Benchmark& bench =
+      benchmarks::all_benchmarks()[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(bench.name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frontend::compile(bench.source));
+  }
+}
+BENCHMARK(BM_Compile)->DenseRange(0, 6);
+
+void BM_SimilarityAnalysis(benchmark::State& state) {
+  const benchmarks::Benchmark& bench =
+      benchmarks::all_benchmarks()[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(bench.name);
+  auto module = frontend::compile(bench.source);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_similarity(*module));
+  }
+}
+BENCHMARK(BM_SimilarityAnalysis)->DenseRange(0, 6);
+
+void BM_InstrumentPass(benchmark::State& state) {
+  const benchmarks::Benchmark& bench = *benchmarks::find_benchmark("fft");
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto module = frontend::compile(bench.source);
+    auto analysis_result = analysis::analyze_similarity(*module);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        instrument::instrument_module(*module, analysis_result));
+  }
+}
+BENCHMARK(BM_InstrumentPass);
+
+void BM_VmExecute(benchmark::State& state) {
+  const benchmarks::Benchmark& bench = *benchmarks::find_benchmark("fft");
+  bool instrumented = state.range(0) != 0;
+  state.SetLabel(instrumented ? "instrumented+drain" : "baseline");
+  pipeline::CompiledProgram program =
+      instrumented ? pipeline::protect_program(bench.source)
+                   : pipeline::compile_program(bench.source);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    pipeline::ExecutionConfig config;
+    config.num_threads = 2;
+    config.monitor = instrumented ? pipeline::MonitorMode::DrainOnly
+                                  : pipeline::MonitorMode::Off;
+    pipeline::ExecutionResult result = pipeline::execute(program, config);
+    instructions += result.run.total_instructions;
+    benchmark::DoNotOptimize(result.run.ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_VmExecute)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Reproduces the paper's Section VI comparison against software
+// duplication: coverage (duplication detects any output divergence) and
+// performance (two replicas vs one on a fully subscribed machine).
+// Paper reference: duplication gives near-100% SDC coverage but costs
+// 2-3x for sequential programs, and cannot scale for nondeterministic
+// parallel programs; BLOCKWATCH is 1.16x at 32 threads.
+//
+//   usage: bw_sec6_duplication [injections] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchmarks/registry.h"
+#include "fault/duplication.h"
+
+int main(int argc, char** argv) {
+  using namespace bw;
+  int injections = argc > 1 ? std::atoi(argv[1]) : 100;
+  unsigned threads = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4;
+
+  std::printf("Section VI: BLOCKWATCH vs software duplication "
+              "(%d branch-flip injections, %u threads)\n\n",
+              injections, threads);
+  std::printf("%-22s | %10s %10s | %10s %10s\n", "Program", "dup cov",
+              "dup ovh", "bw cov", "bw ovh*");
+
+  double dup_cov_sum = 0.0;
+  double dup_ovh_sum = 0.0;
+  double bw_cov_sum = 0.0;
+  int count = 0;
+  for (const benchmarks::Benchmark& bench : benchmarks::all_benchmarks()) {
+    fault::CampaignOptions options;
+    options.num_threads = threads;
+    options.injections = injections;
+    options.type = fault::FaultType::BranchFlip;
+    options.seed = 0x5ec6;
+
+    fault::DuplicationResult dup =
+        fault::run_duplication(bench.source, options);
+    options.protect = true;
+    fault::CampaignResult bw_run =
+        fault::run_campaign(bench.source, options);
+
+    std::printf("%-22s | %9.1f%% %9.2fx | %9.1f%% %10s\n",
+                bench.paper_name.c_str(),
+                100.0 * dup.campaign.coverage(), dup.overhead,
+                100.0 * bw_run.coverage(), "(fig 6/7)");
+    dup_cov_sum += dup.campaign.coverage();
+    dup_ovh_sum += dup.overhead;
+    bw_cov_sum += bw_run.coverage();
+    ++count;
+  }
+  std::printf("%-22s | %9.1f%% %9.2fx | %9.1f%%\n", "average",
+              100.0 * dup_cov_sum / count, dup_ovh_sum / count,
+              100.0 * bw_cov_sum / count);
+  std::printf(
+      "\n* BLOCKWATCH overhead is measured by bw_fig6_overhead /\n"
+      "  bw_fig7_scalability. Paper: duplication ~100%% coverage at\n"
+      "  200-300%% overhead; BLOCKWATCH ~97%% at 16%% (32 threads).\n"
+      "  Duplication additionally requires determinism, which BLOCKWATCH\n"
+      "  does not (Section VI).\n");
+  return 0;
+}

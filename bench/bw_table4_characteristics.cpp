@@ -1,0 +1,67 @@
+// Reproduces paper Table IV: characteristics of the benchmark programs —
+// total LOC, LOC in the parallel section, total branches, and branches in
+// the parallel section — for our BW-C kernels, with the paper's numbers
+// for the original SPLASH-2 codes alongside.
+#include <cstdio>
+
+#include "benchmarks/registry.h"
+#include "pipeline/pipeline.h"
+#include "support/string_utils.h"
+
+namespace {
+
+// LOC of the functions reachable from slave() — counted over source lines
+// of those function bodies (approximated by subtracting init()'s share).
+int parallel_loc(const std::string& source) {
+  // BW-C kernels put only init() outside the parallel section; count lines
+  // outside the init function body.
+  int total = 0;
+  int init_lines = 0;
+  bool in_init = false;
+  int depth = 0;
+  for (std::string_view line : bw::support::split(source, '\n')) {
+    std::string_view t = bw::support::trim(line);
+    if (t.empty() || bw::support::starts_with(t, "//")) continue;
+    ++total;
+    if (bw::support::starts_with(t, "func init")) in_init = true;
+    if (in_init) {
+      ++init_lines;
+      for (char c : t) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      if (depth == 0 && t.find('}') != std::string_view::npos) {
+        in_init = false;
+      }
+    }
+  }
+  return total - init_lines;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bw;
+  std::printf("Table IV: Characteristics of Benchmark Programs "
+              "(ours | paper's SPLASH-2 originals)\n\n");
+  std::printf("%-22s %16s %18s %18s %22s\n", "Benchmark", "LOC",
+              "parallel LOC", "branches", "parallel branches");
+  for (const benchmarks::Benchmark& bench : benchmarks::all_benchmarks()) {
+    pipeline::CompiledProgram program =
+        pipeline::compile_program(bench.source);
+    int loc = support::count_code_lines(bench.source);
+    int ploc = parallel_loc(bench.source);
+    std::printf("%-22s %7d | %6d %8d | %7d %8d | %7d %11d | %8d\n",
+                bench.paper_name.c_str(), loc, bench.paper.total_loc, ploc,
+                bench.paper.parallel_loc,
+                program.analysis.total_branches(),
+                bench.paper.total_branches,
+                program.analysis.parallel_branches(),
+                bench.paper.parallel_branches);
+  }
+  std::printf(
+      "\nOur kernels are structurally faithful but compact "
+      "reimplementations;\nabsolute LOC/branch counts are smaller by "
+      "design (see DESIGN.md §6).\n");
+  return 0;
+}

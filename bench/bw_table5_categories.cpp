@@ -1,0 +1,35 @@
+// Reproduces paper Table V: similarity-category statistics of the branches
+// in the seven benchmark programs' parallel sections, printed side by side
+// with the paper's reference percentages.
+#include <cstdio>
+
+#include "benchmarks/registry.h"
+#include "pipeline/pipeline.h"
+
+int main() {
+  using namespace bw;
+  std::printf(
+      "Table V: Similarity Category Statistics of the Branches "
+      "(ours vs paper %%)\n\n");
+  std::printf("%-22s %6s | %16s %18s %18s %16s | %8s\n", "Program", "total",
+              "shared", "threadID", "partial", "none", "similar");
+  for (const benchmarks::Benchmark& bench : benchmarks::all_benchmarks()) {
+    pipeline::CompiledProgram program =
+        pipeline::compile_program(bench.source);
+    analysis::CategoryCounts c = program.analysis.parallel_counts();
+    double total = c.total() > 0 ? static_cast<double>(c.total()) : 1.0;
+    auto pct = [&](int n) { return 100.0 * n / total; };
+    std::printf(
+        "%-22s %6d | %4d (%3.0f%%|%3.0f%%) %5d (%3.0f%%|%3.0f%%) "
+        "%5d (%3.0f%%|%3.0f%%) %4d (%3.0f%%|%3.0f%%) | %6.0f%%\n",
+        bench.paper_name.c_str(), c.total(), c.shared, pct(c.shared),
+        bench.paper.shared_pct, c.thread_id, pct(c.thread_id),
+        bench.paper.threadid_pct, c.partial, pct(c.partial),
+        bench.paper.partial_pct, c.none, pct(c.none), bench.paper.none_pct,
+        pct(c.similar()));
+  }
+  std::printf(
+      "\nPaper claim: 49%%-98%% of parallel-section branches are similar\n"
+      "(shared+threadID+partial); FMM and raytrace are none-heavy.\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// bwc: a command-line driver for the whole toolchain, the way a downstream
+// user would interact with BLOCKWATCH on their own programs.
+//
+//   bwc run <file.bwc> [threads]          execute (uninstrumented)
+//   bwc protect <file.bwc> [threads]      execute under BLOCKWATCH
+//   bwc analyze <file.bwc>                per-branch similarity report
+//   bwc emit-ir <file.bwc>                dump SSA IR
+//   bwc emit-instrumented <file.bwc>      dump instrumented IR
+//   bwc inject <file.bwc> <thread> <k> [flip|cond] [threads]
+//                                         inject one fault and classify
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/campaign.h"
+#include "pipeline/pipeline.h"
+
+namespace {
+
+using namespace bw;
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bwc: cannot open '%s'\n", path);
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bwc <run|protect|analyze|emit-ir|emit-instrumented|inject> "
+      "<file.bwc> [args]\n");
+  return 2;
+}
+
+int cmd_run(const std::string& source, unsigned threads, bool protect) {
+  pipeline::CompiledProgram program =
+      protect ? pipeline::protect_program(source)
+              : pipeline::compile_program(source);
+  pipeline::ExecutionConfig config;
+  config.num_threads = threads;
+  config.monitor =
+      protect ? pipeline::MonitorMode::Full : pipeline::MonitorMode::Off;
+  pipeline::ExecutionResult result = pipeline::execute(program, config);
+  std::fputs(result.run.output.c_str(), stdout);
+  if (!result.run.ok) {
+    for (const auto& t : result.run.threads) {
+      if (t.trap != vm::TrapKind::None) {
+        std::fprintf(stderr, "bwc: thread trapped: %s (%s)\n",
+                     vm::to_string(t.trap), t.detail.c_str());
+      }
+    }
+    return 1;
+  }
+  if (protect) {
+    std::fprintf(stderr, "bwc: monitor processed %llu reports, %zu "
+                 "violations\n",
+                 static_cast<unsigned long long>(
+                     result.monitor_stats.reports_processed),
+                 result.violations.size());
+    if (result.detected) return 3;
+  }
+  return 0;
+}
+
+int cmd_analyze(const std::string& source) {
+  pipeline::CompiledProgram program = pipeline::compile_program(source);
+  std::printf("%-4s %-16s %-22s %-10s %-18s %5s %s\n", "id", "function",
+              "block", "category", "check", "depth", "flags");
+  for (const analysis::BranchInfo& info : program.analysis.branches) {
+    std::string flags;
+    if (info.promoted) flags += " promoted";
+    if (info.elided_critical_section) flags += " lock-elided";
+    if (!info.in_parallel_section) flags += " serial";
+    std::printf("%-4u %-16s %-22s %-10s %-18s %5u%s\n", info.static_id,
+                info.function->name().c_str(),
+                info.branch->parent()->name().c_str(),
+                analysis::to_string(info.category),
+                analysis::to_string(info.check), info.loop_depth,
+                flags.c_str());
+  }
+  analysis::CategoryCounts c = program.analysis.parallel_counts();
+  std::printf("\n%d parallel branches: %d shared, %d threadID, %d partial, "
+              "%d none (%.0f%% similar)\n",
+              c.total(), c.shared, c.thread_id, c.partial, c.none,
+              c.total() ? 100.0 * c.similar() / c.total() : 0.0);
+  return 0;
+}
+
+int cmd_inject(const std::string& source, unsigned thread, std::uint64_t k,
+               bool cond_fault, unsigned threads) {
+  pipeline::CompiledProgram program = pipeline::protect_program(source);
+  fault::GoldenRun golden = fault::golden_run(program, threads);
+  pipeline::ExecutionConfig config;
+  config.num_threads = threads;
+  config.instruction_budget = golden.max_thread_instructions * 10 + 1000000;
+  config.fault.active = true;
+  config.fault.thread = thread;
+  config.fault.target_branch = k;
+  config.fault.mode = cond_fault ? vm::FaultPlan::Mode::CondBit
+                                 : vm::FaultPlan::Mode::BranchFlip;
+  pipeline::ExecutionResult result = pipeline::execute(program, config);
+
+  const char* verdict;
+  if (!result.run.fault_applied) {
+    verdict = "not-activated";
+  } else if (result.detected) {
+    verdict = "DETECTED";
+  } else if (result.run.crash) {
+    verdict = "crash";
+  } else if (result.run.hang) {
+    verdict = "hang";
+  } else if (result.run.output == golden.output) {
+    verdict = "benign";
+  } else {
+    verdict = "SDC";
+  }
+  std::printf("fault thread=%u branch=%llu type=%s -> %s\n", thread,
+              static_cast<unsigned long long>(k),
+              cond_fault ? "condition" : "flip", verdict);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string cmd = argv[1];
+  std::string source = read_file(argv[2]);
+  try {
+    if (cmd == "run" || cmd == "protect") {
+      unsigned threads =
+          argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 4;
+      return cmd_run(source, threads, cmd == "protect");
+    }
+    if (cmd == "analyze") return cmd_analyze(source);
+    if (cmd == "emit-ir") {
+      std::fputs(pipeline::compile_program(source).module->to_string().c_str(),
+                 stdout);
+      return 0;
+    }
+    if (cmd == "emit-instrumented") {
+      std::fputs(pipeline::protect_program(source).module->to_string().c_str(),
+                 stdout);
+      return 0;
+    }
+    if (cmd == "inject" && argc >= 5) {
+      bool cond_fault = argc > 5 && std::strcmp(argv[5], "cond") == 0;
+      unsigned threads =
+          argc > 6 ? static_cast<unsigned>(std::atoi(argv[6])) : 4;
+      return cmd_inject(source, static_cast<unsigned>(std::atoi(argv[3])),
+                        static_cast<std::uint64_t>(std::atoll(argv[4])),
+                        cond_fault, threads);
+    }
+  } catch (const bw::support::CompileError& e) {
+    std::fprintf(stderr, "bwc: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,53 @@
+// fault_injection_demo: run a miniature coverage campaign on one benchmark
+// and print the outcome taxonomy with and without BLOCKWATCH — a compact
+// version of the paper's Figures 8/9 for a single program.
+//
+//   $ ./fault_injection_demo [benchmark] [injections] [flip|cond]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "benchmarks/registry.h"
+#include "fault/campaign.h"
+
+int main(int argc, char** argv) {
+  using namespace bw;
+  const char* name = argc > 1 ? argv[1] : "radix";
+  int injections = argc > 2 ? std::atoi(argv[2]) : 100;
+  fault::FaultType type =
+      (argc > 3 && std::strcmp(argv[3], "cond") == 0)
+          ? fault::FaultType::BranchCondition
+          : fault::FaultType::BranchFlip;
+
+  const benchmarks::Benchmark* bench = benchmarks::find_benchmark(name);
+  if (bench == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name);
+    return 1;
+  }
+
+  std::printf("%d %s faults into %s (4 threads)\n\n", injections,
+              fault::to_string(type), bench->paper_name.c_str());
+
+  for (bool protect : {false, true}) {
+    fault::CampaignOptions options;
+    options.num_threads = 4;
+    options.injections = injections;
+    options.type = type;
+    options.protect = protect;
+    fault::CampaignResult r = fault::run_campaign(bench->source, options);
+    std::printf("%s:\n", protect ? "with BLOCKWATCH" : "original program");
+    std::printf("  activated %d/%d (%.0f%%)\n", r.activated, r.injected,
+                100.0 * r.activation_rate());
+    std::printf("  benign   %4d  (masked by the application)\n", r.benign);
+    if (protect) {
+      std::printf("  detected %4d  (monitor violations)\n", r.detected);
+    }
+    std::printf("  crashed  %4d  (traps: OOB / divide-by-zero)\n",
+                r.crashed);
+    std::printf("  hung     %4d  (deadlock / runaway)\n", r.hung);
+    std::printf("  SDC      %4d  (silent data corruption)\n", r.sdc);
+    std::printf("  coverage %.1f%%  (1 - SDC/activated)\n\n",
+                100.0 * r.coverage());
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// protect_custom_kernel: the "bring your own program" workflow. Shows the
+// whole public API on a user-written SPMD kernel (parallel histogram):
+// compile, inspect the analysis, instrument with custom options, execute,
+// and react to a detection the way a production harness would (the paper:
+// "upon detecting a violation, it raises an exception and reports the
+// error").
+#include <cstdio>
+
+#include "analysis/similarity.h"
+#include "pipeline/pipeline.h"
+
+namespace {
+
+constexpr const char* kHistogramKernel = R"BWC(
+// Parallel histogram with per-thread bins merged by thread 0.
+global int N = 2048;
+global int BINS = 16;
+global int data[2048];
+global int bins[1024];      // bins[t * BINS + b]
+global int final_bins[16];
+
+func init() {
+  for (int i = 0; i < N; i = i + 1) {
+    data[i] = hashrand(i * 31) % 256;
+  }
+}
+
+func slave() {
+  int p = nthreads();
+  int id = tid();
+  for (int b = 0; b < BINS; b = b + 1) {
+    bins[id * BINS + b] = 0;
+  }
+  int chunk = N / p;
+  for (int i = id * chunk; i < id * chunk + chunk; i = i + 1) {
+    int b = data[i] * BINS / 256;
+    bins[id * BINS + b] = bins[id * BINS + b] + 1;
+  }
+  barrier();
+  if (id == 0) {
+    for (int b = 0; b < BINS; b = b + 1) {
+      int total = 0;
+      for (int t = 0; t < p; t = t + 1) {
+        total = total + bins[t * BINS + b];
+      }
+      final_bins[b] = total;
+      print_i(total);
+    }
+  }
+}
+)BWC";
+
+}  // namespace
+
+int main() {
+  using namespace bw;
+
+  // Tighten the pipeline: no promotion (only statically similar branches),
+  // deeper nesting allowed, custom parallel entry name left at "slave".
+  pipeline::PipelineOptions options;
+  options.similarity.promote_none_to_partial = false;
+  options.instrumentation.max_nesting_depth = 8;
+
+  pipeline::CompiledProgram program =
+      pipeline::protect_program(kHistogramKernel, options);
+
+  std::printf("branch classification:\n");
+  for (const analysis::BranchInfo& info : program.analysis.branches) {
+    if (!info.in_parallel_section) continue;
+    std::printf("  #%u in block %-18s %-9s -> %s\n", info.static_id,
+                info.branch->parent()->name().c_str(),
+                analysis::to_string(info.category),
+                analysis::to_string(info.check));
+  }
+
+  pipeline::ExecutionConfig config;
+  config.num_threads = 8;
+  pipeline::ExecutionResult result = pipeline::execute(program, config);
+  if (!result.run.ok) {
+    std::printf("execution failed\n");
+    return 1;
+  }
+  std::printf("\nhistogram (16 bins):\n%s", result.run.output.c_str());
+
+  if (result.detected) {
+    // Production reaction per the paper: stop, report, let the
+    // checkpoint/restart layer take over.
+    for (const runtime::Violation& v : result.violations) {
+      std::printf("VIOLATION at static branch %u (suspect thread %u)\n",
+                  v.static_id, v.suspect_thread);
+    }
+    return 2;
+  }
+  std::printf("\nmonitor: %llu reports, %llu instances checked, "
+              "0 violations\n",
+              static_cast<unsigned long long>(
+                  result.monitor_stats.reports_processed),
+              static_cast<unsigned long long>(
+                  result.monitor_stats.instances_checked));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// similarity_report: dump the per-branch similarity classification of a
+// benchmark (or of BW-C source read from stdin with "-"), the way the
+// BLOCKWATCH compiler pass sees it.
+//
+//   $ ./similarity_report fft          # one of the built-in benchmarks
+//   $ ./similarity_report - < my.bwc   # your own BW-C program
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "benchmarks/registry.h"
+#include "pipeline/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace bw;
+  std::string source;
+  std::string name = argc > 1 ? argv[1] : "fft";
+  if (name == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    const benchmarks::Benchmark* bench = benchmarks::find_benchmark(name);
+    if (bench == nullptr) {
+      std::fprintf(stderr, "unknown benchmark '%s'; options:", name.c_str());
+      for (const auto& b : benchmarks::all_benchmarks()) {
+        std::fprintf(stderr, " %s", b.name.c_str());
+      }
+      std::fprintf(stderr, " -\n");
+      return 1;
+    }
+    source = bench->source;
+  }
+
+  pipeline::CompiledProgram program = pipeline::compile_program(source);
+  std::printf("fixpoint iterations: %d\n",
+              program.analysis.fixpoint_iterations);
+  std::printf("%-4s %-18s %-22s %-10s %-18s %5s %s\n", "id", "function",
+              "block", "category", "check", "depth", "flags");
+  for (const analysis::BranchInfo& info : program.analysis.branches) {
+    std::string flags;
+    if (info.promoted) flags += " promoted";
+    if (info.elided_critical_section) flags += " lock-elided";
+    if (!info.in_parallel_section) flags += " serial";
+    std::printf("%-4u %-18s %-22s %-10s %-18s %5u%s\n", info.static_id,
+                info.function->name().c_str(),
+                info.branch->parent()->name().c_str(),
+                analysis::to_string(info.category),
+                analysis::to_string(info.check), info.loop_depth,
+                flags.c_str());
+  }
+  analysis::CategoryCounts c = program.analysis.parallel_counts();
+  std::printf(
+      "\nparallel section: %d branches | %d shared, %d threadID, %d "
+      "partial, %d none | %.0f%% similar\n",
+      c.total(), c.shared, c.thread_id, c.partial, c.none,
+      c.total() ? 100.0 * c.similar() / c.total() : 0.0);
+  return 0;
+}

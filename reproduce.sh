@@ -1,0 +1,17 @@
+#!/bin/sh
+# One-shot reproduction: build, test, and regenerate every paper artifact.
+# Outputs land in test_output.txt and bench_output.txt.
+set -e
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bw_*; do
+    echo "===== $b ====="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,45 @@
+#include "analysis/category.h"
+
+namespace bw::analysis {
+
+const char* to_string(Category category) {
+  switch (category) {
+    case Category::NA: return "NA";
+    case Category::Shared: return "shared";
+    case Category::ThreadID: return "threadID";
+    case Category::Partial: return "partial";
+    case Category::None: return "none";
+  }
+  return "<bad-category>";
+}
+
+Category join(Category current, Category operand) {
+  using C = Category;
+  // Rows: current instruction category. Columns: operand category.
+  // Verbatim from paper Table II. Any NA operand resets the result to NA
+  // ("the instruction will be revisited later").
+  static constexpr C kTable[5][5] = {
+      //                 op=NA  op=shared  op=threadID  op=partial  op=none
+      /* curr=NA      */ {C::NA, C::Shared,  C::ThreadID, C::Partial, C::None},
+      /* curr=shared  */ {C::NA, C::Shared,  C::ThreadID, C::Partial, C::None},
+      /* curr=threadID*/ {C::NA, C::ThreadID, C::ThreadID, C::None,   C::None},
+      /* curr=partial */ {C::NA, C::Partial, C::None,     C::Partial, C::None},
+      /* curr=none    */ {C::NA, C::None,    C::None,     C::None,    C::None},
+  };
+  return kTable[static_cast<int>(current)][static_cast<int>(operand)];
+}
+
+bool monotone_le(Category a, Category b) {
+  // Precision order: NA is below everything; None is above everything;
+  // Shared below ThreadID and Partial; ThreadID/Partial incomparable.
+  if (a == b) return true;
+  if (a == Category::NA) return true;
+  if (b == Category::None) return true;
+  if (a == Category::Shared &&
+      (b == Category::ThreadID || b == Category::Partial)) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace bw::analysis

@@ -1,0 +1,34 @@
+// The similarity-category lattice of BLOCKWATCH (paper Table I/II).
+//
+// Categories order check strength: `shared` (all threads agree on the value)
+// is strongest; `threadID` (value is a thread-id function) and `partial`
+// (value is one of a small set, group threads by value) are incomparable;
+// `none` means no statically known similarity. `NA` is the optimistic
+// "not assigned yet" state of the fixpoint.
+#pragma once
+
+#include <string>
+
+namespace bw::analysis {
+
+enum class Category {
+  NA,        // not yet assigned (optimistic unknown)
+  Shared,    // all operands shared among threads (globals, constants)
+  ThreadID,  // depends on the thread id plus shared values
+  Partial,   // local, but drawn from a small set of shared values
+  None,      // no statically inferable similarity
+};
+
+const char* to_string(Category category);
+
+/// The propagation rule of the paper's Table II: given the instruction's
+/// current category (`current`) and the next operand's category (`operand`),
+/// return the instruction's updated category. Implemented verbatim as the
+/// 5x5 table; all 25 entries are unit-tested against the paper.
+Category join(Category current, Category operand);
+
+/// True if `a` can transition to `b` under repeated joins (monotonicity of
+/// the fixpoint; used by property tests).
+bool monotone_le(Category a, Category b);
+
+}  // namespace bw::analysis

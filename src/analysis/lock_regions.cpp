@@ -1,0 +1,62 @@
+#include "analysis/lock_regions.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ir/dominators.h"
+
+namespace bw::analysis {
+
+using namespace bw::ir;
+
+LockRegions::LockRegions(const Function& func) {
+  // Block-level in-depths via a worklist over a must (minimum) meet.
+  // Unreachable blocks keep depth 0 (never executed anyway).
+  constexpr int kTop = std::numeric_limits<int>::max();
+  std::unordered_map<const BasicBlock*, int> in_depth;
+  for (const auto& bb : func.blocks()) in_depth[bb.get()] = kTop;
+  if (func.empty()) return;
+  in_depth[func.entry()] = 0;
+
+  auto transfer = [](const BasicBlock& bb, int depth) {
+    for (const auto& inst : bb.instructions()) {
+      if (inst->opcode() == Opcode::LockAcquire) ++depth;
+      if (inst->opcode() == Opcode::LockRelease) depth = std::max(0, depth - 1);
+    }
+    return depth;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& bb : func.blocks()) {
+      if (in_depth[bb.get()] == kTop) continue;
+      int out = transfer(*bb, in_depth[bb.get()]);
+      for (BasicBlock* succ : bb->successors()) {
+        int merged = std::min(in_depth[succ], out);
+        if (merged != in_depth[succ]) {
+          in_depth[succ] = merged;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Per-instruction depths within each block.
+  for (const auto& bb : func.blocks()) {
+    int depth = in_depth[bb.get()];
+    if (depth == kTop) depth = 0;
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::LockAcquire) ++depth;
+      depth_[inst.get()] = depth;  // acquire itself counts as locked
+      if (inst->opcode() == Opcode::LockRelease) depth = std::max(0, depth - 1);
+    }
+  }
+}
+
+int LockRegions::min_depth_at(const Instruction* inst) const {
+  auto it = depth_.find(inst);
+  return it == depth_.end() ? 0 : it->second;
+}
+
+}  // namespace bw::analysis

@@ -1,0 +1,33 @@
+// Critical-section detection (paper Section III-A, optimization 2):
+// branches that can only execute while a lock is held are executed by at
+// most one thread at a time, so cross-thread checking is useless — the
+// instrumentation pass elides their checks.
+#pragma once
+
+#include <unordered_map>
+
+#include "ir/function.h"
+
+namespace bw::analysis {
+
+/// Forward must-dataflow of lock depth. For each instruction, computes the
+/// minimum number of locks guaranteed to be held when it executes
+/// (0 = may run unlocked). Assumes structured lock/unlock usage and a
+/// race-free program, as the paper does.
+class LockRegions {
+ public:
+  explicit LockRegions(const ir::Function& func);
+
+  /// Minimum locks held at `inst` over all paths; > 0 means the
+  /// instruction is inside a critical section on every path.
+  int min_depth_at(const ir::Instruction* inst) const;
+
+  bool in_critical_section(const ir::Instruction* inst) const {
+    return min_depth_at(inst) > 0;
+  }
+
+ private:
+  std::unordered_map<const ir::Instruction*, int> depth_;
+};
+
+}  // namespace bw::analysis

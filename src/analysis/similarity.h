@@ -1,0 +1,116 @@
+// The BLOCKWATCH static similarity analysis (paper Section III-A).
+//
+// Classifies every SSA value and every branch of the module into the
+// categories of Table I by running the optimistic fixpoint of Figure 3 with
+// the join rules of Table II, the phi-node special case, and two
+// refinements the paper's prose implies but leaves informal:
+//
+//  * Divergence-aware phi/select demotion: a merge controlled by a
+//    non-`shared` branch produces a `partial` value even if all incoming
+//    values are `shared` (the paper's `private = phi(1,-1)` case), and a
+//    loop-header phi is demoted if the loop has a non-`shared` exit branch
+//    (different threads may leave at different trip counts).
+//  * An "affine in tid" bit on `threadID` values. The paper's threadID
+//    runtime checks (one-deviator for ==, prefix/suffix for </<=...) are
+//    only sound when the condition data is an injective, monotone function
+//    of the thread id; we track affine integer combinations tid*a+b and
+//    fall back to the (always sound) value-grouped `partial` check
+//    otherwise. This preserves the paper's zero-false-positive guarantee.
+//
+// Both optimizations of the paper are implemented and can be toggled:
+// promotion of `none` branches to value-grouped partial checks, and
+// elision of checks inside critical sections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/category.h"
+#include "ir/module.h"
+
+namespace bw::analysis {
+
+/// The runtime check selected for a branch (consumed by the
+/// instrumentation pass and the monitor's checker).
+enum class CheckKind {
+  Unchecked,         // none category (without promotion), or elided
+  SharedOutcome,     // all threads must take the same decision
+  ThreadIdEq,        // at most one thread deviates from the majority
+  ThreadIdMonotone,  // taken-set is a prefix or suffix of thread-id order
+  PartialValue,      // threads with equal condition data agree on outcome
+};
+
+const char* to_string(CheckKind kind);
+
+struct BranchInfo {
+  const ir::Instruction* branch = nullptr;  // the CondBr
+  const ir::Function* function = nullptr;
+  Category category = Category::None;  // category of the condition data
+  CheckKind check = CheckKind::Unchecked;
+  bool promoted = false;                 // none -> partial promotion applied
+  bool elided_critical_section = false;  // optimization 2 suppressed checks
+  bool in_parallel_section = false;
+  unsigned loop_depth = 0;
+  /// Data operands reported by sendBranchCondition for PartialValue checks
+  /// (the compared values; hashed together at runtime).
+  std::vector<const ir::Value*> cond_data;
+  /// 1-based static branch identifier, unique per module.
+  std::uint32_t static_id = 0;
+};
+
+struct SimilarityOptions {
+  /// Function executed by all threads; everything reachable from it is the
+  /// "parallel section". If absent from the module, all functions are
+  /// considered parallel (convenient for unit tests).
+  std::string parallel_entry = "slave";
+  bool promote_none_to_partial = true;   // paper optimization 1
+  bool elide_critical_sections = true;   // paper optimization 2
+  bool divergence_aware_phis = true;     // see header comment
+  /// Record per-iteration categories of named values (Table III harness).
+  bool record_trace = false;
+  /// Safety valve for the fixpoint (paper: worst case O(N) iterations;
+  /// in practice < 10).
+  int max_iterations = 10000;
+};
+
+struct CategoryCounts {
+  int shared = 0;
+  int thread_id = 0;
+  int partial = 0;
+  int none = 0;
+  int total() const { return shared + thread_id + partial + none; }
+  /// Branches eligible for runtime checking before promotion.
+  int similar() const { return shared + thread_id + partial; }
+};
+
+struct SimilarityResult {
+  /// Final category of every category-bearing instruction (values absent
+  /// from the map stayed NA and are reported as such by category_of).
+  std::unordered_map<const ir::Instruction*, Category> categories;
+  std::unordered_map<const ir::Argument*, Category> argument_categories;
+  std::vector<BranchInfo> branches;
+  /// Functions reachable from the parallel entry (the "parallel section").
+  std::unordered_set<const ir::Function*> parallel_functions;
+  int fixpoint_iterations = 0;
+
+  /// Per-iteration snapshot of named values: trace[i][name] = category
+  /// after outer iteration i (only when record_trace was set).
+  std::vector<std::unordered_map<std::string, Category>> trace;
+
+  Category category_of(const ir::Instruction* inst) const;
+  const BranchInfo* info_for(const ir::Instruction* branch) const;
+
+  /// Table V: category distribution over parallel-section branches.
+  CategoryCounts parallel_counts() const;
+  /// Branch counts for the whole module (Table IV "total branches").
+  int total_branches() const { return static_cast<int>(branches.size()); }
+  int parallel_branches() const;
+};
+
+SimilarityResult analyze_similarity(const ir::Module& module,
+                                    const SimilarityOptions& options = {});
+
+}  // namespace bw::analysis

@@ -1,0 +1,101 @@
+// FFT kernel, modeled on SPLASH-2 FFT: radix-2 complex FFT with a parallel
+// bit-reversal permutation and barrier-separated butterfly stages, blocks
+// of butterfly groups distributed round-robin over threads.
+#include "benchmarks/registry.h"
+
+namespace bw::benchmarks {
+
+const char* fft_source() {
+  return R"BWC(
+// 1-D complex FFT over N = 512 points (LOGN = 9 stages).
+global int N = 512;
+global int LOGN = 9;
+global float re[512];
+global float im[512];
+global float tre[512];
+global float tim[512];
+global float partial_r[64];
+global float partial_i[64];
+
+func init() {
+  for (int i = 0; i < N; i = i + 1) {
+    re[i] = float(hashrand(i) % 2000) / 1000.0 - 1.0;
+    im[i] = float(hashrand(i + 7919) % 2000) / 1000.0 - 1.0;
+  }
+}
+
+func reverse_bits(int x, int bits) -> int {
+  int r = 0;
+  for (int b = 0; b < bits; b = b + 1) {
+    r = (r << 1) | (x & 1);
+    x = x >> 1;
+  }
+  return r;
+}
+
+func slave() {
+  int p = nthreads();
+  int id = tid();
+
+  // Phase 1: bit-reversal permutation (scatter into scratch, copy back).
+  for (int i = id; i < N; i = i + p) {
+    int j = reverse_bits(i, LOGN);
+    tre[j] = re[i];
+    tim[j] = im[i];
+  }
+  barrier();
+  for (int i = id; i < N; i = i + p) {
+    re[i] = tre[i];
+    im[i] = tim[i];
+  }
+  barrier();
+
+  // Phase 2: LOGN butterfly stages; one barrier per stage.
+  for (int s = 1; s <= LOGN; s = s + 1) {
+    int m = 1 << s;
+    int half = m >> 1;
+    int groups = N / m;
+    for (int g = id; g < groups; g = g + p) {
+      int base = g * m;
+      for (int k = 0; k < half; k = k + 1) {
+        float ang = 0.0 - 6.283185307179586 * float(k) / float(m);
+        float wr = cos(ang);
+        float wi = sin(ang);
+        int a = base + k;
+        int b = a + half;
+        float xr = re[b] * wr - im[b] * wi;
+        float xi = re[b] * wi + im[b] * wr;
+        re[b] = re[a] - xr;
+        im[b] = im[a] - xi;
+        re[a] = re[a] + xr;
+        im[a] = im[a] + xi;
+      }
+    }
+    barrier();
+  }
+
+  // Phase 3: deterministic checksum (per-thread partials, tid-order sum).
+  float sr = 0.0;
+  float si = 0.0;
+  for (int i = id; i < N; i = i + p) {
+    sr = sr + re[i];
+    si = si + im[i];
+  }
+  partial_r[id] = sr;
+  partial_i[id] = si;
+  barrier();
+  if (id == 0) {
+    float cr = 0.0;
+    float ci = 0.0;
+    for (int t = 0; t < p; t = t + 1) {
+      cr = cr + partial_r[t];
+      ci = ci + partial_i[t];
+    }
+    print_f(cr);
+    print_f(ci);
+  }
+}
+)BWC";
+}
+
+}  // namespace bw::benchmarks

@@ -1,0 +1,229 @@
+// FMM kernel, modeled on SPLASH-2 FMM: hierarchical N-body force
+// evaluation. A uniform 4x4 cell grid plus a 2x2 coarse level stand in for
+// the adaptive tree; per-particle near/far decisions against both levels
+// produce the data-dependent (none-category) branching that dominates the
+// paper's FMM profile.
+#include "benchmarks/registry.h"
+
+namespace bw::benchmarks {
+
+const char* fmm_source() {
+  return R"BWC(
+// 256 particles, 4x4 fine cells + 2x2 coarse cells, 2 timesteps.
+global int NPART = 256;
+global int NCELL = 16;       // 4x4
+global int STEPS = 2;
+global float WORLD = 16.0;
+global float x[256];
+global float y[256];
+global float m[256];
+global float fx[256];
+global float fy[256];
+global float vx[256];
+global float vy[256];
+global int cnt[1024];        // cnt[t * NCELL + c], up to 64 threads
+global int cell_start[16];
+global int cell_fill[1024];  // running fill per (t, c)
+global int cell_items[256];
+global float cmx[16];
+global float cmy[16];
+global float cmass[16];
+global float qmx[4];         // coarse quadrants
+global float qmy[4];
+global float qmass[4];
+global float partial_sum[64];
+global float THETA_NEAR = 6.0;    // fine far-field threshold (distance^2)
+global float THETA_FAR = 60.0;    // coarse far-field threshold
+global float DT = 0.01;
+
+func init() {
+  for (int i = 0; i < NPART; i = i + 1) {
+    x[i] = float(hashrand(i * 5 + 1) % 16000) / 1000.0;
+    y[i] = float(hashrand(i * 5 + 2) % 16000) / 1000.0;
+    m[i] = 0.5 + float(hashrand(i * 5 + 3) % 1000) / 1000.0;
+    vx[i] = 0.0;
+    vy[i] = 0.0;
+  }
+}
+
+func cell_of(int i) -> int {
+  int cx = int(x[i] / 4.0);
+  int cy = int(y[i] / 4.0);
+  if (cx > 3) { cx = 3; }
+  if (cy > 3) { cy = 3; }
+  if (cx < 0) { cx = 0; }
+  if (cy < 0) { cy = 0; }
+  return cy * 4 + cx;
+}
+
+func quad_of_cell(int c) -> int {
+  int cx = c % 4;
+  int cy = c / 4;
+  return (cy / 2) * 2 + cx / 2;
+}
+
+func slave() {
+  int p = nthreads();
+  int id = tid();
+  int chunk = NPART / p;
+  int lo = id * chunk;
+  int hi = lo + chunk;
+
+  for (int step = 0; step < STEPS; step = step + 1) {
+    // Phase 1: bin particles (deterministic radix-style placement).
+    for (int c = 0; c < NCELL; c = c + 1) {
+      cnt[id * NCELL + c] = 0;
+    }
+    for (int i = lo; i < hi; i = i + 1) {
+      int c = cell_of(i);
+      cnt[id * NCELL + c] = cnt[id * NCELL + c] + 1;
+    }
+    barrier();
+    if (id == 0) {
+      int total = 0;
+      for (int c = 0; c < NCELL; c = c + 1) {
+        cell_start[c] = total;
+        for (int t = 0; t < p; t = t + 1) {
+          cell_fill[t * NCELL + c] = total;
+          total = total + cnt[t * NCELL + c];
+        }
+      }
+    }
+    barrier();
+    for (int i = lo; i < hi; i = i + 1) {
+      int c = cell_of(i);
+      int pos = cell_fill[id * NCELL + c];
+      cell_fill[id * NCELL + c] = pos + 1;
+      cell_items[pos] = i;
+    }
+    barrier();
+
+    // Phase 2: multipole moments (centers of mass), cells strided.
+    for (int c = id; c < NCELL; c = c + p) {
+      float sx = 0.0;
+      float sy = 0.0;
+      float sm = 0.0;
+      int begin = cell_start[c];
+      int end = NPART;
+      if (c < NCELL - 1) { end = cell_start[c + 1]; }
+      for (int k = begin; k < end; k = k + 1) {
+        int i = cell_items[k];
+        sx = sx + x[i] * m[i];
+        sy = sy + y[i] * m[i];
+        sm = sm + m[i];
+      }
+      cmx[c] = sx;
+      cmy[c] = sy;
+      cmass[c] = sm;
+    }
+    barrier();
+    if (id == 0) {      // coarse level from fine level
+      for (int q = 0; q < 4; q = q + 1) {
+        qmx[q] = 0.0;
+        qmy[q] = 0.0;
+        qmass[q] = 0.0;
+      }
+      for (int c = 0; c < NCELL; c = c + 1) {
+        int q = quad_of_cell(c);
+        qmx[q] = qmx[q] + cmx[c];
+        qmy[q] = qmy[q] + cmy[c];
+        qmass[q] = qmass[q] + cmass[c];
+      }
+    }
+    barrier();
+
+    // Phase 3: force evaluation with two-level near/far decisions.
+    for (int i = lo; i < hi; i = i + 1) {
+      float fxi = 0.0;
+      float fyi = 0.0;
+      int myq = quad_of_cell(cell_of(i));
+      for (int c = 0; c < NCELL; c = c + 1) {
+        if (cmass[c] > 0.0) {
+          float ccx = cmx[c] / cmass[c];
+          float ccy = cmy[c] / cmass[c];
+          float dx = ccx - x[i];
+          float dy = ccy - y[i];
+          float d2 = dx * dx + dy * dy;
+          int q = quad_of_cell(c);
+          if (d2 > THETA_FAR) {
+            if (q != myq && qmass[q] > 0.0) {
+              // Very far: approximate by the coarse quadrant (counted
+              // once per quadrant via its first cell).
+              int qc = (q / 2) * 8 + (q % 2) * 2;
+              if (c == qc) {
+                float qx = qmx[q] / qmass[q];
+                float qy = qmy[q] / qmass[q];
+                float qdx = qx - x[i];
+                float qdy = qy - y[i];
+                float qd2 = qdx * qdx + qdy * qdy;
+                if (qd2 < 0.01) { qd2 = 0.01; }
+                float g = qmass[q] / (qd2 * sqrt(qd2));
+                fxi = fxi + g * qdx;
+                fyi = fyi + g * qdy;
+              }
+            }
+          } else {
+            if (d2 > THETA_NEAR) {
+              // Far: fine-cell multipole approximation.
+              if (d2 < 0.01) { d2 = 0.01; }
+              float g = cmass[c] / (d2 * sqrt(d2));
+              fxi = fxi + g * dx;
+              fyi = fyi + g * dy;
+            } else {
+              // Near: direct interaction with the cell's particles.
+              int begin = cell_start[c];
+              int end = NPART;
+              if (c < NCELL - 1) { end = cell_start[c + 1]; }
+              for (int k = begin; k < end; k = k + 1) {
+                int j = cell_items[k];
+                if (j != i) {
+                  float ddx = x[j] - x[i];
+                  float ddy = y[j] - y[i];
+                  float dd2 = ddx * ddx + ddy * ddy;
+                  if (dd2 < 0.01) { dd2 = 0.01; }
+                  float g = m[j] / (dd2 * sqrt(dd2));
+                  fxi = fxi + g * ddx;
+                  fyi = fyi + g * ddy;
+                }
+              }
+            }
+          }
+        }
+      }
+      fx[i] = fxi;
+      fy[i] = fyi;
+    }
+    barrier();
+
+    // Phase 4: integrate own block, clamp to the world box.
+    for (int i = lo; i < hi; i = i + 1) {
+      vx[i] = vx[i] + fx[i] * DT;
+      vy[i] = vy[i] + fy[i] * DT;
+      x[i] = x[i] + vx[i] * DT;
+      y[i] = y[i] + vy[i] * DT;
+      if (x[i] < 0.0) { x[i] = 0.0; vx[i] = 0.0 - vx[i]; }
+      if (x[i] > WORLD) { x[i] = WORLD; vx[i] = 0.0 - vx[i]; }
+      if (y[i] < 0.0) { y[i] = 0.0; vy[i] = 0.0 - vy[i]; }
+      if (y[i] > WORLD) { y[i] = WORLD; vy[i] = 0.0 - vy[i]; }
+    }
+    barrier();
+  }
+
+  float s = 0.0;
+  for (int i = lo; i < hi; i = i + 1) {
+    s = s + x[i] + 2.0 * y[i];
+  }
+  partial_sum[id] = s;
+  barrier();
+  if (id == 0) {
+    float total = 0.0;
+    for (int t = 0; t < p; t = t + 1) {
+      total = total + partial_sum[t];
+    }
+    print_f(total);
+  }
+}
+)BWC";
+}
+
+}  // namespace bw::benchmarks

@@ -1,0 +1,132 @@
+// OCEAN (contiguous partitions), modeled on SPLASH-2: red-black
+// Gauss-Seidel relaxation over a 2-D grid with contiguous row blocks per
+// thread, boundary handling through partial-category flag variables, and a
+// shared convergence test fed by a barrier-synchronized reduction.
+#include "benchmarks/registry.h"
+
+namespace bw::benchmarks {
+
+const char* ocean_contig_source() {
+  return R"BWC(
+// 34x34 grid (32x32 interior), contiguous row blocks.
+global int IMAX = 34;
+global int JMAX = 34;
+global float grid[1156];
+global float err_partial[64];
+global float gerr = 0.0;
+global int iters_done = 0;
+global float TOL = 0.002;
+global int MAXITER = 24;
+
+func at(int i, int j) -> int {
+  return i * JMAX + j;
+}
+
+func init() {
+  for (int i = 0; i < IMAX; i = i + 1) {
+    for (int j = 0; j < JMAX; j = j + 1) {
+      float v = float(hashrand(i * 131 + j) % 100) / 1000.0;
+      if (i == 0) { v = 1.0; }
+      if (i == IMAX - 1) { v = 0.0 - 1.0; }
+      grid[at(i, j)] = v;
+    }
+  }
+}
+
+// Relax one color of one row; returns the max update delta of the row.
+func relax_row(int i, int color) -> float {
+  float e = 0.0;
+  for (int j = 1; j < JMAX - 1; j = j + 1) {
+    if ((i + j) % 2 == color) {
+      float old = grid[at(i, j)];
+      float nu = 0.25 * (grid[at(i - 1, j)] + grid[at(i + 1, j)]
+                       + grid[at(i, j - 1)] + grid[at(i, j + 1)]);
+      grid[at(i, j)] = nu;
+      float d = nu - old;
+      if (d < 0.0) { d = 0.0 - d; }
+      if (d > e) { e = d; }
+    }
+  }
+  return e;
+}
+
+func slave() {
+  int p = nthreads();
+  int id = tid();
+  int rows = (IMAX - 2) / p;
+  int first = 1 + id * rows;
+  int last = first + rows;
+
+  // Boundary-ownership flags: classic partial-category variables (a small
+  // set of shared values selected by a thread-id branch).
+  int firstproc = 0;
+  int lastproc = 0;
+  if (id == 0) { firstproc = 1; }
+  if (id == p - 1) { lastproc = 1; }
+
+  int iter = 0;
+  int done = 0;
+  while (done == 0) {
+    // Boundary refresh by the owning threads (reads their own halo only).
+    if (firstproc == 1) {
+      for (int j = 1; j < JMAX - 1; j = j + 1) {
+        grid[at(0, j)] = 0.9 + 0.1 * grid[at(1, j)];
+      }
+    }
+    if (lastproc == 1) {
+      for (int j = 1; j < JMAX - 1; j = j + 1) {
+        grid[at(IMAX - 1, j)] = 0.0 - 0.9 - 0.1 * grid[at(IMAX - 2, j)];
+      }
+    }
+    barrier();
+
+    float maxe = 0.0;
+    for (int i = first; i < last; i = i + 1) {      // red sweep
+      float e = relax_row(i, 0);
+      if (e > maxe) { maxe = e; }
+    }
+    barrier();
+    for (int i = first; i < last; i = i + 1) {      // black sweep
+      float e = relax_row(i, 1);
+      if (e > maxe) { maxe = e; }
+    }
+    err_partial[id] = maxe;
+    barrier();
+
+    if (id == 0) {                                  // reduction
+      float m = 0.0;
+      for (int t = 0; t < p; t = t + 1) {
+        if (err_partial[t] > m) { m = err_partial[t]; }
+      }
+      gerr = m;
+      iters_done = iter + 1;
+    }
+    barrier();
+
+    iter = iter + 1;
+    if (gerr < TOL) { done = 1; }
+    if (iter >= MAXITER) { done = 1; }
+  }
+
+  // Parallel checksum over strided rows; serial combine is O(p).
+  float s = 0.0;
+  for (int i = id; i < IMAX; i = i + p) {
+    for (int j = 0; j < JMAX; j = j + 1) {
+      s = s + grid[at(i, j)] * float(i + 3);
+    }
+  }
+  err_partial[id] = s;
+  barrier();
+  if (id == 0) {
+    float total = 0.0;
+    for (int t = 0; t < p; t = t + 1) {
+      total = total + err_partial[t];
+    }
+    print_f(total);
+    print_i(iters_done);
+  }
+}
+)BWC";
+}
+
+}  // namespace bw::benchmarks

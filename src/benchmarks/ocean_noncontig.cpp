@@ -1,0 +1,134 @@
+// OCEAN (non-contiguous partitions), modeled on SPLASH-2: the same
+// red-black solver as ocean_contig but with round-robin (strided) row
+// ownership — the access pattern that distinguishes the two SPLASH-2 ocean
+// variants — plus a multigrid-flavoured coarse correction pass.
+#include "benchmarks/registry.h"
+
+namespace bw::benchmarks {
+
+const char* ocean_noncontig_source() {
+  return R"BWC(
+// 34x34 grid, strided row ownership (row i belongs to thread i % p).
+global int IMAX = 34;
+global int JMAX = 34;
+global float grid[1156];
+global float coarse[289];    // 17x17 coarse grid for the correction pass
+global float err_partial[64];
+global float gerr = 0.0;
+global int iters_done = 0;
+global float TOL = 0.002;
+global int MAXITER = 16;
+
+func at(int i, int j) -> int {
+  return i * JMAX + j;
+}
+
+func cat(int i, int j) -> int {
+  return i * 17 + j;
+}
+
+func init() {
+  for (int i = 0; i < IMAX; i = i + 1) {
+    for (int j = 0; j < JMAX; j = j + 1) {
+      float v = float(hashrand(i * 977 + j) % 100) / 1000.0;
+      if (j == 0) { v = 1.0; }
+      if (j == JMAX - 1) { v = 0.0 - 1.0; }
+      grid[at(i, j)] = v;
+    }
+  }
+  for (int i = 0; i < 289; i = i + 1) {
+    coarse[i] = 0.0;
+  }
+}
+
+func relax_point(int i, int j) -> float {
+  float old = grid[at(i, j)];
+  float nu = 0.25 * (grid[at(i - 1, j)] + grid[at(i + 1, j)]
+                   + grid[at(i, j - 1)] + grid[at(i, j + 1)]);
+  grid[at(i, j)] = nu;
+  float d = nu - old;
+  if (d < 0.0) { d = 0.0 - d; }
+  return d;
+}
+
+func slave() {
+  int p = nthreads();
+  int id = tid();
+
+  int iter = 0;
+  int done = 0;
+  while (done == 0) {
+    float maxe = 0.0;
+    // Red sweep over strided rows.
+    for (int i = 1 + id; i < IMAX - 1; i = i + p) {
+      for (int j = 1; j < JMAX - 1; j = j + 1) {
+        if ((i + j) % 2 == 0) {
+          float e = relax_point(i, j);
+          if (e > maxe) { maxe = e; }
+        }
+      }
+    }
+    barrier();
+    // Black sweep.
+    for (int i = 1 + id; i < IMAX - 1; i = i + p) {
+      for (int j = 1; j < JMAX - 1; j = j + 1) {
+        if ((i + j) % 2 == 1) {
+          float e = relax_point(i, j);
+          if (e > maxe) { maxe = e; }
+        }
+      }
+    }
+    barrier();
+
+    // Coarse correction (restriction): every other point, strided rows.
+    for (int ci = id; ci < 17; ci = ci + p) {
+      for (int cj = 0; cj < 17; cj = cj + 1) {
+        int fi = ci * 2;
+        int fj = cj * 2;
+        coarse[cat(ci, cj)] = 0.5 * grid[at(fi, fj)]
+                            + 0.5 * coarse[cat(ci, cj)];
+      }
+    }
+    err_partial[id] = maxe;
+    barrier();
+
+    if (id == 0) {
+      float m = 0.0;
+      for (int t = 0; t < p; t = t + 1) {
+        if (err_partial[t] > m) { m = err_partial[t]; }
+      }
+      gerr = m;
+      iters_done = iter + 1;
+    }
+    barrier();
+
+    iter = iter + 1;
+    if (gerr < TOL) { done = 1; }
+    if (iter >= MAXITER) { done = 1; }
+  }
+
+  // Parallel checksum over strided rows; serial combine is O(p).
+  float s = 0.0;
+  for (int i = id; i < IMAX; i = i + p) {
+    for (int j = 0; j < JMAX; j = j + 1) {
+      s = s + grid[at(i, j)] * float(j + 2);
+    }
+  }
+  for (int c = id; c < 289; c = c + p) {
+    s = s + coarse[c];
+  }
+  err_partial[id] = s;
+  barrier();
+  if (id == 0) {
+    float total = 0.0;
+    for (int t = 0; t < p; t = t + 1) {
+      total = total + err_partial[t];
+    }
+    print_f(total);
+    print_i(iters_done);
+  }
+}
+)BWC";
+}
+
+}  // namespace bw::benchmarks

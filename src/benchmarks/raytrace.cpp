@@ -1,0 +1,176 @@
+// RAYTRACE kernel, modeled on SPLASH-2 RAYTRACE: per-pixel rays traced
+// through a small object scene with data-dependent object dispatch (the
+// BW-C stand-in for the original's per-object function pointers), bounce
+// loops, and a deliberately deep loop nest — frames > rows > columns >
+// 2x2 subsamples > bounces > objects > Newton refinement — so that, as in
+// the paper, many branches sit beyond BLOCKWATCH's six-level nesting
+// cutoff and stay unchecked (the reason raytrace's coverage lags).
+#include "benchmarks/registry.h"
+
+namespace bw::benchmarks {
+
+const char* raytrace_source() {
+  return R"BWC(
+// 16x16 image, 2 frames, 2x2 subsampling, 8 objects, up to 3 bounces.
+global int W = 16;
+global int H = 16;
+global int FRAMES = 2;
+global int NOBJ = 8;
+global float ox[8];
+global float oy[8];
+global float oz[8];
+global float orad[8];
+global float oshade[8];
+global int otype[8];        // 0 = sphere, 1 = slab (dispatch divergence)
+global float image[256];
+global float partial_sum[64];
+global float frame_shift = 0.0;
+
+func init() {
+  for (int o = 0; o < NOBJ; o = o + 1) {
+    ox[o] = float(hashrand(o * 7 + 1) % 1600) / 100.0 - 8.0;
+    oy[o] = float(hashrand(o * 7 + 2) % 1600) / 100.0 - 8.0;
+    oz[o] = 6.0 + float(hashrand(o * 7 + 3) % 1200) / 100.0;
+    orad[o] = 1.0 + float(hashrand(o * 7 + 4) % 200) / 100.0;
+    oshade[o] = 0.2 + float(hashrand(o * 7 + 5) % 80) / 100.0;
+    otype[o] = hashrand(o * 7 + 6) % 2;
+  }
+  for (int i = 0; i < 256; i = i + 1) {
+    image[i] = 0.0;
+  }
+}
+
+// Three Newton iterations; the loop is nest level 7+ at its call sites.
+func newton_sqrt(float v) -> float {
+  if (v <= 0.0) { return 0.0; }
+  float g = v;
+  if (g > 1.0) { g = v * 0.5; }
+  for (int it = 0; it < 3; it = it + 1) {
+    if (g > 0.0001) {
+      g = 0.5 * (g + v / g);
+    }
+  }
+  return g;
+}
+
+// Nearest-hit distance of a ray from (0,0,0) toward (dx,dy,dz) against
+// object o, or -1.0 on a miss.
+func intersect(int o, float dx, float dy, float dz) -> float {
+  if (otype[o] == 0) {
+    // Sphere: solve |t*d - c|^2 = r^2.
+    float b = dx * ox[o] + dy * oy[o] + dz * oz[o];
+    float c = ox[o] * ox[o] + oy[o] * oy[o] + oz[o] * oz[o]
+            - orad[o] * orad[o];
+    float disc = b * b - c;
+    if (disc < 0.0) { return 0.0 - 1.0; }
+    float sd = newton_sqrt(disc);
+    float t = b - sd;
+    if (t < 0.05) { t = b + sd; }
+    if (t < 0.05) { return 0.0 - 1.0; }
+    return t;
+  }
+  // Slab at depth oz[o] facing the camera, bounded square.
+  if (dz < 0.0001) { return 0.0 - 1.0; }
+  float t = oz[o] / dz;
+  float hx = t * dx - ox[o];
+  float hy = t * dy - oy[o];
+  if (hx < 0.0) { hx = 0.0 - hx; }
+  if (hy < 0.0) { hy = 0.0 - hy; }
+  if (hx > orad[o]) { return 0.0 - 1.0; }
+  if (hy > orad[o]) { return 0.0 - 1.0; }
+  return t;
+}
+
+func slave() {
+  int p = nthreads();
+  int id = tid();
+
+  for (int frame = 0; frame < FRAMES; frame = frame + 1) {
+    // Rows are distributed round-robin over threads.
+    for (int row = id; row < H; row = row + p) {
+      for (int col = 0; col < W; col = col + 1) {
+        float acc = 0.0;
+        for (int sx = 0; sx < 2; sx = sx + 1) {
+          for (int sy = 0; sy < 2; sy = sy + 1) {
+            float dx = (float(col) + 0.5 * float(sx) - float(W) * 0.5)
+                     / float(W);
+            float dy = (float(row) + 0.5 * float(sy) - float(H) * 0.5)
+                     / float(H);
+            float dz = 1.0;
+            dx = dx + frame_shift;
+            float energy = 1.0;
+            int bounce = 0;
+            int alive = 1;
+            while (alive == 1) {
+              // Nearest intersection over all objects.
+              float best = 100000.0;
+              int besto = 0 - 1;
+              for (int o = 0; o < NOBJ; o = o + 1) {
+                float t = intersect(o, dx, dy, dz);
+                if (t > 0.0) {
+                  if (t < best) {
+                    best = t;
+                    besto = o;
+                  }
+                }
+              }
+              if (besto < 0) {
+                // Sky gradient.
+                float up = dy;
+                if (up < 0.0) { up = 0.0 - up; }
+                acc = acc + energy * (0.1 + 0.2 * up);
+                alive = 0;
+              } else {
+                acc = acc + energy * oshade[besto];
+                energy = energy * 0.5;
+                bounce = bounce + 1;
+                if (bounce >= 3) {
+                  alive = 0;
+                } else {
+                  // Crude bounce: perturb direction away from the object
+                  // centre and renormalize-ish with Newton sqrt.
+                  float bx = dx * best - ox[besto];
+                  float by = dy * best - oy[besto];
+                  float bz = dz * best - oz[besto];
+                  float n2 = bx * bx + by * by + bz * bz + 0.001;
+                  float n = newton_sqrt(n2);
+                  dx = bx / n;
+                  dy = by / n;
+                  dz = bz / n;
+                  if (dz < 0.1) { dz = 0.1; }
+                }
+              }
+            }
+          }
+        }
+        image[row * W + col] = image[row * W + col] + acc * 0.25;
+      }
+    }
+    barrier();
+    if (id == 0) {
+      frame_shift = frame_shift + 0.01;
+    }
+    barrier();
+  }
+
+  // Deterministic checksum over own rows.
+  float s = 0.0;
+  for (int row = id; row < H; row = row + p) {
+    for (int col = 0; col < W; col = col + 1) {
+      s = s + image[row * W + col] * float(col + 1);
+    }
+  }
+  partial_sum[id] = s;
+  barrier();
+  if (id == 0) {
+    float total = 0.0;
+    for (int t = 0; t < p; t = t + 1) {
+      total = total + partial_sum[t];
+    }
+    print_f(total);
+  }
+}
+)BWC";
+}
+
+}  // namespace bw::benchmarks

@@ -1,0 +1,127 @@
+// WATER-NSQUARED kernel, modeled on SPLASH-2: O(n^2) molecular dynamics —
+// per-timestep force computation over all pairs with a cutoff radius,
+// leapfrog-style integration, and a lock-protected global accumulation
+// (the critical section exercises BLOCKWATCH's check-elision optimization).
+#include "benchmarks/registry.h"
+
+namespace bw::benchmarks {
+
+const char* water_nsq_source() {
+  return R"BWC(
+// 64 molecules, 4 timesteps, cutoff interactions.
+global int NMOL = 64;
+global int STEPS = 4;
+global float px[64];
+global float py[64];
+global float pz[64];
+global float vx[64];
+global float vy[64];
+global float vz[64];
+global float fx[64];
+global float fy[64];
+global float fz[64];
+global float partial_sum[64];
+global int interaction_count = 0;   // lock-protected global tally
+global float CUTOFF2 = 9.0;
+global float DT = 0.02;
+global float BOX = 8.0;
+
+func init() {
+  for (int i = 0; i < NMOL; i = i + 1) {
+    px[i] = float(hashrand(i * 3 + 0) % 8000) / 1000.0;
+    py[i] = float(hashrand(i * 3 + 1) % 8000) / 1000.0;
+    pz[i] = float(hashrand(i * 3 + 2) % 8000) / 1000.0;
+    vx[i] = 0.0;
+    vy[i] = 0.0;
+    vz[i] = 0.0;
+  }
+}
+
+// Minimum-image displacement along one axis.
+func wrap(float d) -> float {
+  if (d > BOX * 0.5) { d = d - BOX; }
+  if (d < 0.0 - BOX * 0.5) { d = d + BOX; }
+  return d;
+}
+
+func slave() {
+  int p = nthreads();
+  int id = tid();
+  int chunk = NMOL / p;
+  int lo = id * chunk;
+  int hi = lo + chunk;
+
+  for (int step = 0; step < STEPS; step = step + 1) {
+    // Phase 1: each thread zeroes and computes forces for its own block.
+    int my_pairs = 0;
+    for (int i = lo; i < hi; i = i + 1) {
+      fx[i] = 0.0;
+      fy[i] = 0.0;
+      fz[i] = 0.0;
+      for (int j = 0; j < NMOL; j = j + 1) {
+        if (j != i) {
+          float dx = wrap(px[i] - px[j]);
+          float dy = wrap(py[i] - py[j]);
+          float dz = wrap(pz[i] - pz[j]);
+          float r2 = dx * dx + dy * dy + dz * dz;
+          if (r2 < CUTOFF2) {
+            if (r2 < 0.01) { r2 = 0.01; }       // softening
+            float inv = 1.0 / r2;
+            float f = inv * inv - 0.05 * inv;   // crude LJ-like profile
+            fx[i] = fx[i] + f * dx;
+            fy[i] = fy[i] + f * dy;
+            fz[i] = fz[i] + f * dz;
+            my_pairs = my_pairs + 1;
+          }
+        }
+      }
+    }
+
+    // Integer tally under a lock: associative, so the acquisition order
+    // does not affect the result (keeps output deterministic).
+    lock(0);
+    if (my_pairs > 0) {
+      interaction_count = interaction_count + my_pairs;
+    }
+    unlock(0);
+    barrier();
+
+    // Phase 2: integrate own block.
+    for (int i = lo; i < hi; i = i + 1) {
+      vx[i] = vx[i] + fx[i] * DT;
+      vy[i] = vy[i] + fy[i] * DT;
+      vz[i] = vz[i] + fz[i] * DT;
+      px[i] = px[i] + vx[i] * DT;
+      py[i] = py[i] + vy[i] * DT;
+      pz[i] = pz[i] + vz[i] * DT;
+      // Periodic box.
+      if (px[i] > BOX) { px[i] = px[i] - BOX; }
+      if (px[i] < 0.0) { px[i] = px[i] + BOX; }
+      if (py[i] > BOX) { py[i] = py[i] - BOX; }
+      if (py[i] < 0.0) { py[i] = py[i] + BOX; }
+      if (pz[i] > BOX) { pz[i] = pz[i] - BOX; }
+      if (pz[i] < 0.0) { pz[i] = pz[i] + BOX; }
+    }
+    barrier();
+  }
+
+  // Deterministic checksum.
+  float s = 0.0;
+  for (int i = lo; i < hi; i = i + 1) {
+    s = s + px[i] + 2.0 * py[i] + 3.0 * pz[i];
+  }
+  partial_sum[id] = s;
+  barrier();
+  if (id == 0) {
+    float total = 0.0;
+    for (int t = 0; t < p; t = t + 1) {
+      total = total + partial_sum[t];
+    }
+    print_f(total);
+    print_i(interaction_count);
+  }
+}
+)BWC";
+}
+
+}  // namespace bw::benchmarks

@@ -1,0 +1,103 @@
+#include "fault/campaign.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+#include "support/prng.h"
+
+namespace bw::fault {
+
+const char* to_string(FaultType type) {
+  switch (type) {
+    case FaultType::BranchFlip: return "branch-flip";
+    case FaultType::BranchCondition: return "branch-condition";
+  }
+  return "<bad-fault-type>";
+}
+
+GoldenRun golden_run(const pipeline::CompiledProgram& program,
+                     unsigned num_threads) {
+  pipeline::ExecutionConfig config;
+  config.num_threads = num_threads;
+  // Golden profiling runs uninstrumented semantics: drain-only keeps the
+  // branch counts identical to the protected run without paying checks.
+  config.monitor = program.instrumented ? pipeline::MonitorMode::DrainOnly
+                                        : pipeline::MonitorMode::Off;
+  pipeline::ExecutionResult result = pipeline::execute(program, config);
+  BW_INTERNAL_CHECK(result.run.ok, "golden run failed");
+
+  GoldenRun golden;
+  golden.output = result.run.output;
+  for (const vm::ThreadOutcome& t : result.run.threads) {
+    golden.branches_per_thread.push_back(t.branches);
+    golden.max_thread_instructions =
+        std::max(golden.max_thread_instructions, t.instructions);
+  }
+  return golden;
+}
+
+CampaignResult run_campaign(std::string_view source,
+                            const CampaignOptions& options) {
+  // Compile once; the module is read-only during execution so every
+  // injection run reuses it.
+  pipeline::CompiledProgram program =
+      options.protect ? pipeline::protect_program(source, options.pipeline)
+                      : pipeline::compile_program(source, options.pipeline);
+
+  GoldenRun golden = golden_run(program, options.num_threads);
+
+  // Generous watchdog: a fault-free thread never exceeds its golden
+  // instruction count by 10x.
+  std::uint64_t budget = golden.max_thread_instructions * 10 + 1'000'000;
+
+  support::SplitMixRng rng(options.seed);
+  CampaignResult result;
+
+  for (int i = 0; i < options.injections; ++i) {
+    // Paper: pick thread j uniformly, then the k-th dynamic branch of j.
+    unsigned thread =
+        static_cast<unsigned>(rng.next_below(options.num_threads));
+    std::uint64_t branches = golden.branches_per_thread[thread];
+    if (branches == 0) {
+      ++result.injected;  // fault lands in a thread that runs no branches
+      continue;           // never activated
+    }
+    std::uint64_t target = 1 + rng.next_below(branches);
+
+    pipeline::ExecutionConfig config;
+    config.num_threads = options.num_threads;
+    config.monitor = options.protect ? pipeline::MonitorMode::Full
+                                     : pipeline::MonitorMode::Off;
+    config.instruction_budget = budget;
+    config.fault.active = true;
+    config.fault.thread = thread;
+    config.fault.target_branch = target;
+    config.fault.mode = options.type == FaultType::BranchFlip
+                            ? vm::FaultPlan::Mode::BranchFlip
+                            : vm::FaultPlan::Mode::CondBit;
+    config.fault.bit = static_cast<unsigned>(rng.next_below(64));
+
+    pipeline::ExecutionResult run = pipeline::execute(program, config);
+    ++result.injected;
+    if (!run.run.fault_applied) continue;
+    ++result.activated;
+
+    // Classification precedence mirrors the paper's procedure: detection
+    // first, then crash/hang (caught by other means), then the output
+    // comparison against the golden result.
+    if (options.protect && run.detected) {
+      ++result.detected;
+    } else if (run.run.crash) {
+      ++result.crashed;
+    } else if (run.run.hang) {
+      ++result.hung;
+    } else if (run.run.output == golden.output) {
+      ++result.benign;
+    } else {
+      ++result.sdc;
+    }
+  }
+  return result;
+}
+
+}  // namespace bw::fault

@@ -1,0 +1,71 @@
+// The fault-injection campaign (paper Section IV, "Coverage Evaluation"):
+// profile a golden run, sample (thread, dynamic-branch, fault-type)
+// targets, execute one fault per run, and classify outcomes into the
+// paper's taxonomy. Coverage = 1 - SDC_f over activated faults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pipeline/pipeline.h"
+
+namespace bw::fault {
+
+enum class FaultType {
+  BranchFlip,       // flip the branch outcome ("flag register" fault)
+  BranchCondition,  // flip one bit of the condition data, persisting
+};
+
+const char* to_string(FaultType type);
+
+struct CampaignOptions {
+  unsigned num_threads = 4;
+  int injections = 200;
+  FaultType type = FaultType::BranchFlip;
+  std::uint64_t seed = 0x5eedf00d;
+  /// true: run the BLOCKWATCH-protected binary (instrumented + full
+  /// monitor). false: the original program (the paper's coverage_original
+  /// baseline — crashes/hangs/masking still provide "natural" coverage).
+  bool protect = true;
+  pipeline::PipelineOptions pipeline;
+};
+
+struct CampaignResult {
+  int injected = 0;
+  int activated = 0;
+  // Outcome counts over activated faults:
+  int benign = 0;    // output matched the golden run (masked)
+  int detected = 0;  // BLOCKWATCH monitor flagged the run
+  int crashed = 0;   // memory/arithmetic trap
+  int hung = 0;      // deadlock or runaway (watchdog)
+  int sdc = 0;       // completed with wrong output
+
+  /// The paper's coverage metric: fraction of activated faults that do
+  /// not produce an SDC (includes masked/crash/hang/detected).
+  double coverage() const {
+    return activated == 0 ? 1.0
+                          : 1.0 - static_cast<double>(sdc) / activated;
+  }
+  double activation_rate() const {
+    return injected == 0 ? 0.0
+                         : static_cast<double>(activated) / injected;
+  }
+};
+
+/// Run a whole campaign against one BW-C program.
+CampaignResult run_campaign(std::string_view source,
+                            const CampaignOptions& options);
+
+/// One golden (fault-free) execution; exposed for the false-positive bench
+/// (paper: 100 clean instrumented runs must report nothing).
+struct GoldenRun {
+  std::string output;
+  std::vector<std::uint64_t> branches_per_thread;
+  std::uint64_t max_thread_instructions = 0;
+};
+
+GoldenRun golden_run(const pipeline::CompiledProgram& program,
+                     unsigned num_threads);
+
+}  // namespace bw::fault

@@ -1,0 +1,22 @@
+#include "frontend/ast.h"
+
+namespace bw::frontend {
+
+const char* to_string(BwType type) {
+  switch (type) {
+    case BwType::Void: return "void";
+    case BwType::Bool: return "bool";
+    case BwType::Int: return "int";
+    case BwType::Float: return "float";
+  }
+  return "<bad-type>";
+}
+
+const FuncDecl* Program::find_function(const std::string& name) const {
+  for (const auto& f : functions) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+}  // namespace bw::frontend

@@ -1,0 +1,146 @@
+// Abstract syntax tree for BW-C. Nodes are annotated in place by sema
+// (expression types, symbol resolution) before IR generation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace bw::frontend {
+
+/// Source-level types. `Bool` arises only from comparisons and logical
+/// operators; variables are `Int` or `Float`.
+enum class BwType { Void, Bool, Int, Float };
+
+const char* to_string(BwType type);
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  IntLit, FloatLit, BoolLit,
+  VarRef,       // local variable, parameter, or global scalar
+  Index,        // global_array[expr]
+  Unary,        // -e, !e
+  Binary,       // arithmetic / comparison / logical / bitwise
+  Call,         // user function or builtin
+  Cast,         // int(e), float(e)
+};
+
+enum class UnaryOp { Neg, Not };
+
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Rem,
+  BitAnd, BitOr, BitXor, Shl, Shr,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  LogicalAnd, LogicalOr,
+};
+
+/// Which kind of entity a VarRef resolved to (filled in by sema).
+enum class RefKind { Unresolved, Local, Param, GlobalScalar };
+
+struct Expr {
+  ExprKind kind;
+  support::SourceLoc loc;
+  BwType type = BwType::Void;  // set by sema
+
+  // Literals.
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  bool bool_value = false;
+
+  // VarRef / Index / Call: the referenced name.
+  std::string name;
+  RefKind ref_kind = RefKind::Unresolved;
+  int local_slot = -1;  // sema: index into function's locals/params
+
+  UnaryOp unary_op = UnaryOp::Neg;
+  BinaryOp binary_op = BinaryOp::Add;
+
+  // Index: children[0] = subscript. Unary: children[0]. Binary:
+  // children[0], children[1]. Call: arguments. Cast: children[0].
+  std::vector<std::unique_ptr<Expr>> children;
+
+  // Cast target.
+  BwType cast_to = BwType::Int;
+
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  Block, Decl, Assign, IndexAssign, If, While, For, Break, Continue,
+  Return, ExprStmt,
+};
+
+struct Stmt {
+  StmtKind kind;
+  support::SourceLoc loc;
+
+  // Decl: name/declared_type/init(expr0). Assign: name + expr0.
+  // IndexAssign: name + index(expr0) + value(expr1).
+  std::string name;
+  BwType declared_type = BwType::Int;
+  int local_slot = -1;  // sema: slot index for Decl and Local/Param Assign
+  RefKind assign_kind = RefKind::Unresolved;  // sema: Assign target kind
+
+  // If: expr0 = condition, body0 = then, body1 = else (may be null).
+  // While: expr0 = condition, body0.
+  // For: init_stmt, expr0 = condition, step_stmt, body0.
+  // Return: expr0 (may be null). ExprStmt: expr0. Block: stmts.
+  std::unique_ptr<Expr> expr0;
+  std::unique_ptr<Expr> expr1;
+  std::unique_ptr<Stmt> body0;
+  std::unique_ptr<Stmt> body1;
+  std::unique_ptr<Stmt> init_stmt;
+  std::unique_ptr<Stmt> step_stmt;
+  std::vector<std::unique_ptr<Stmt>> stmts;
+
+  explicit Stmt(StmtKind k) : kind(k) {}
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct GlobalDecl {
+  support::SourceLoc loc;
+  std::string name;
+  BwType element_type = BwType::Int;
+  std::uint64_t array_size = 0;  // 0 = scalar
+  std::vector<double> float_init;
+  std::vector<std::int64_t> int_init;
+  bool has_init = false;
+};
+
+struct Param {
+  std::string name;
+  BwType type;
+};
+
+struct FuncDecl {
+  support::SourceLoc loc;
+  std::string name;
+  BwType return_type = BwType::Void;
+  std::vector<Param> params;
+  std::unique_ptr<Stmt> body;  // Block
+
+  // sema: flat list of (name, type) for all locals, slot-indexed.
+  std::vector<std::pair<std::string, BwType>> local_slots;
+};
+
+struct Program {
+  std::vector<GlobalDecl> globals;
+  std::vector<std::unique_ptr<FuncDecl>> functions;
+
+  const FuncDecl* find_function(const std::string& name) const;
+};
+
+}  // namespace bw::frontend

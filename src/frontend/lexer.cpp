@@ -1,0 +1,239 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace bw::frontend {
+
+using support::CompileError;
+using support::SourceLoc;
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+    {"global", TokenKind::KwGlobal}, {"func", TokenKind::KwFunc},
+    {"int", TokenKind::KwInt},       {"float", TokenKind::KwFloat},
+    {"void", TokenKind::KwVoid},     {"if", TokenKind::KwIf},
+    {"else", TokenKind::KwElse},     {"while", TokenKind::KwWhile},
+    {"for", TokenKind::KwFor},       {"break", TokenKind::KwBreak},
+    {"continue", TokenKind::KwContinue}, {"return", TokenKind::KwReturn},
+    {"true", TokenKind::KwTrue},     {"false", TokenKind::KwFalse},
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_trivia();
+      Token tok = next();
+      tokens.push_back(tok);
+      if (tok.kind == TokenKind::End) return tokens;
+    }
+  }
+
+ private:
+  SourceLoc here() const { return SourceLoc{line_, column_}; }
+
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_trivia() {
+    while (pos_ < src_.size()) {
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (pos_ < src_.size() && peek() != '\n') advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token next() {
+    Token tok;
+    tok.loc = here();
+    if (pos_ >= src_.size()) return tok;  // End
+
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::string word;
+      while (std::isalnum(static_cast<unsigned char>(peek())) != 0 ||
+             peek() == '_') {
+        word += advance();
+      }
+      auto it = kKeywords.find(word);
+      if (it != kKeywords.end()) {
+        tok.kind = it->second;
+      } else {
+        tok.kind = TokenKind::Identifier;
+        tok.text = std::move(word);
+      }
+      return tok;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::string number;
+      bool is_float = false;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        number += advance();
+      }
+      if (peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(peek(1))) != 0) {
+        is_float = true;
+        number += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+          number += advance();
+        }
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_float = true;
+        number += advance();
+        if (peek() == '-' || peek() == '+') number += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+          number += advance();
+        }
+      }
+      if (is_float) {
+        tok.kind = TokenKind::FloatLiteral;
+        tok.float_value = std::strtod(number.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::IntLiteral;
+        tok.int_value = std::strtoll(number.c_str(), nullptr, 10);
+      }
+      return tok;
+    }
+
+    advance();
+    switch (c) {
+      case '(': tok.kind = TokenKind::LParen; return tok;
+      case ')': tok.kind = TokenKind::RParen; return tok;
+      case '{': tok.kind = TokenKind::LBrace; return tok;
+      case '}': tok.kind = TokenKind::RBrace; return tok;
+      case '[': tok.kind = TokenKind::LBracket; return tok;
+      case ']': tok.kind = TokenKind::RBracket; return tok;
+      case ',': tok.kind = TokenKind::Comma; return tok;
+      case ';': tok.kind = TokenKind::Semicolon; return tok;
+      case '+': tok.kind = TokenKind::Plus; return tok;
+      case '*': tok.kind = TokenKind::Star; return tok;
+      case '/': tok.kind = TokenKind::Slash; return tok;
+      case '%': tok.kind = TokenKind::Percent; return tok;
+      case '^': tok.kind = TokenKind::Caret; return tok;
+      case '-':
+        if (peek() == '>') { advance(); tok.kind = TokenKind::Arrow; }
+        else tok.kind = TokenKind::Minus;
+        return tok;
+      case '&':
+        if (peek() == '&') { advance(); tok.kind = TokenKind::AmpAmp; }
+        else tok.kind = TokenKind::Amp;
+        return tok;
+      case '|':
+        if (peek() == '|') { advance(); tok.kind = TokenKind::PipePipe; }
+        else tok.kind = TokenKind::Pipe;
+        return tok;
+      case '=':
+        if (peek() == '=') { advance(); tok.kind = TokenKind::Eq; }
+        else tok.kind = TokenKind::Assign;
+        return tok;
+      case '!':
+        if (peek() == '=') { advance(); tok.kind = TokenKind::Ne; }
+        else tok.kind = TokenKind::Bang;
+        return tok;
+      case '<':
+        if (peek() == '=') { advance(); tok.kind = TokenKind::Le; }
+        else if (peek() == '<') { advance(); tok.kind = TokenKind::Shl; }
+        else tok.kind = TokenKind::Lt;
+        return tok;
+      case '>':
+        if (peek() == '=') { advance(); tok.kind = TokenKind::Ge; }
+        else if (peek() == '>') { advance(); tok.kind = TokenKind::Shr; }
+        else tok.kind = TokenKind::Gt;
+        return tok;
+      default:
+        throw CompileError(tok.loc,
+                           std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  return Lexer(source).run();
+}
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::End: return "<eof>";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::FloatLiteral: return "float literal";
+    case TokenKind::KwGlobal: return "'global'";
+    case TokenKind::KwFunc: return "'func'";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwFloat: return "'float'";
+    case TokenKind::KwVoid: return "'void'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwBreak: return "'break'";
+    case TokenKind::KwContinue: return "'continue'";
+    case TokenKind::KwReturn: return "'return'";
+    case TokenKind::KwTrue: return "'true'";
+    case TokenKind::KwFalse: return "'false'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Arrow: return "'->'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::Caret: return "'^'";
+    case TokenKind::Shl: return "'<<'";
+    case TokenKind::Shr: return "'>>'";
+    case TokenKind::AmpAmp: return "'&&'";
+    case TokenKind::PipePipe: return "'||'";
+    case TokenKind::Bang: return "'!'";
+    case TokenKind::Eq: return "'=='";
+    case TokenKind::Ne: return "'!='";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Ge: return "'>='";
+  }
+  return "<bad-token>";
+}
+
+}  // namespace bw::frontend

@@ -1,0 +1,45 @@
+// Lexer for BW-C, the small C-like SPMD language the benchmarks are written
+// in. See docs in README.md §BW-C for the full grammar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace bw::frontend {
+
+enum class TokenKind {
+  End,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwGlobal, KwFunc, KwInt, KwFloat, KwVoid, KwIf, KwElse, KwWhile, KwFor,
+  KwBreak, KwContinue, KwReturn, KwTrue, KwFalse,
+  // Punctuation / operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon, Arrow,
+  Assign,          // =
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Shl, Shr,
+  AmpAmp, PipePipe, Bang,
+  Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;          // identifier spelling
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  support::SourceLoc loc;
+};
+
+/// Tokenize the whole source buffer. Throws CompileError on bad input.
+std::vector<Token> tokenize(std::string_view source);
+
+const char* to_string(TokenKind kind);
+
+}  // namespace bw::frontend

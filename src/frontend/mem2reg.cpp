@@ -1,0 +1,260 @@
+#include "frontend/mem2reg.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/dominators.h"
+#include "support/diagnostics.h"
+
+namespace bw::frontend {
+
+namespace {
+
+using namespace bw::ir;
+
+struct Use {
+  Instruction* inst;
+  std::size_t operand_index;
+};
+
+class Mem2Reg {
+ public:
+  explicit Mem2Reg(Function& func, Module& module)
+      : func_(func), module_(module) {}
+
+  void run() {
+    func_.remove_unreachable_blocks();
+    hoist_allocas_to_entry();
+    collect_promotable();
+    if (allocas_.empty()) return;
+    build_use_map();
+    domtree_ = std::make_unique<DominatorTree>(func_);
+    insert_phis();
+    std::unordered_map<const Instruction*, Value*> curval;
+    for (Instruction* a : allocas_) curval[a] = zero_for(a->alloca_type());
+    rename(func_.entry(), curval);
+    erase_dead();
+    remove_dead_phis();
+  }
+
+ private:
+  Value* zero_for(Type type) {
+    switch (type) {
+      case Type::F64: return module_.get_f64(0.0);
+      case Type::I1: return module_.get_i1(false);
+      default: return module_.get_i64(0);
+    }
+  }
+
+  /// Slots have whole-function lifetime; placing them all in the entry
+  /// block gives every alloca a definition point that dominates all uses.
+  void hoist_allocas_to_entry() {
+    BasicBlock* entry = func_.entry();
+    for (const auto& bb : func_.blocks()) {
+      if (bb.get() == entry) continue;
+      auto& insts = bb->mutable_instructions();
+      for (std::size_t i = 0; i < insts.size();) {
+        if (insts[i]->opcode() == Opcode::Alloca) {
+          std::unique_ptr<Instruction> taken = std::move(insts[i]);
+          insts.erase(insts.begin() + static_cast<std::ptrdiff_t>(i));
+          taken->set_parent(entry);
+          entry->insert(0, std::move(taken));
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+
+  void collect_promotable() {
+    // All BW-C allocas are scalar slots used only by load/store, hence
+    // promotable; assert rather than silently skip.
+    for (Instruction* inst : func_.all_instructions()) {
+      if (inst->opcode() == Opcode::Alloca) allocas_.push_back(inst);
+    }
+    std::unordered_set<const Instruction*> alloca_set(allocas_.begin(),
+                                                      allocas_.end());
+    for (Instruction* inst : func_.all_instructions()) {
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        const auto* def = dyn_cast<Instruction>(inst->operand(i));
+        if (def == nullptr || alloca_set.count(def) == 0) continue;
+        bool ok = (inst->opcode() == Opcode::Load && i == 0) ||
+                  (inst->opcode() == Opcode::Store && i == 1);
+        BW_INTERNAL_CHECK(ok, "alloca escapes: not promotable");
+      }
+    }
+  }
+
+  void build_use_map() {
+    for (Instruction* inst : func_.all_instructions()) {
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        uses_[inst->operand(i)].push_back(Use{inst, i});
+      }
+    }
+  }
+
+  Instruction* alloca_of_store(const Instruction* store) const {
+    return dyn_cast<Instruction>(
+        const_cast<Value*>(store->operand(1)));
+  }
+
+  void insert_phis() {
+    for (Instruction* alloca : allocas_) {
+      // Def blocks: every block storing to this slot.
+      std::vector<BasicBlock*> worklist;
+      std::unordered_set<BasicBlock*> def_blocks;
+      for (const Use& use : uses_[alloca]) {
+        if (use.inst->opcode() == Opcode::Store && use.operand_index == 1) {
+          if (def_blocks.insert(use.inst->parent()).second) {
+            worklist.push_back(use.inst->parent());
+          }
+        }
+      }
+      // Iterated dominance frontier.
+      std::unordered_set<BasicBlock*> has_phi;
+      while (!worklist.empty()) {
+        BasicBlock* bb = worklist.back();
+        worklist.pop_back();
+        if (!domtree_->is_reachable(bb)) continue;
+        for (BasicBlock* frontier : domtree_->frontier(bb)) {
+          if (!has_phi.insert(frontier).second) continue;
+          auto phi =
+              std::make_unique<Instruction>(Opcode::Phi, alloca->alloca_type());
+          phi->set_name(alloca->name());
+          Instruction* placed = frontier->insert(0, std::move(phi));
+          phi_alloca_[placed] = alloca;
+          if (def_blocks.insert(frontier).second) {
+            worklist.push_back(frontier);
+          }
+        }
+      }
+    }
+  }
+
+  void rename(BasicBlock* bb,
+              std::unordered_map<const Instruction*, Value*> curval) {
+    for (const auto& owned : bb->instructions()) {
+      Instruction* inst = owned.get();
+      if (dead_.count(inst) != 0) continue;
+      auto phi_it = phi_alloca_.find(inst);
+      if (phi_it != phi_alloca_.end()) {
+        curval[phi_it->second] = inst;
+        continue;
+      }
+      if (inst->opcode() == Opcode::Load) {
+        auto* slot = dyn_cast<Instruction>(inst->operand(0));
+        if (slot != nullptr && slot->opcode() == Opcode::Alloca) {
+          replace_uses(inst, curval.at(slot));
+          dead_.insert(inst);
+        }
+      } else if (inst->opcode() == Opcode::Store) {
+        auto* slot = dyn_cast<Instruction>(inst->operand(1));
+        if (slot != nullptr && slot->opcode() == Opcode::Alloca) {
+          curval[slot] = inst->operand(0);
+          dead_.insert(inst);
+        }
+      } else if (inst->opcode() == Opcode::Alloca) {
+        dead_.insert(inst);
+      }
+    }
+
+    // Fill phi entries of CFG successors with this block's outgoing values.
+    for (BasicBlock* succ : bb->successors()) {
+      for (const auto& owned : succ->instructions()) {
+        if (!owned->is_phi()) break;
+        auto phi_it = phi_alloca_.find(owned.get());
+        if (phi_it == phi_alloca_.end()) continue;
+        owned->add_incoming(curval.at(phi_it->second), bb);
+      }
+    }
+
+    for (BasicBlock* child : domtree_->children(bb)) {
+      rename(child, curval);
+    }
+  }
+
+  void replace_uses(Instruction* from, Value* to) {
+    auto it = uses_.find(from);
+    if (it == uses_.end()) return;
+    for (const Use& use : it->second) {
+      use.inst->set_operand(use.operand_index, to);
+      // The rewritten operand is a new use of `to`; record it in case `to`
+      // is itself a load that is replaced later (cannot happen — loads are
+      // replaced at visit time and visits precede dominated uses — but the
+      // bookkeeping keeps the map exact for phi-incoming additions).
+      uses_[to].push_back(use);
+    }
+    uses_.erase(from);
+  }
+
+  /// Prune phis that no non-phi instruction (transitively) uses. The IDF
+  /// placement above is non-pruned, and dead phis are not just clutter:
+  /// they manufacture spurious cross-loop uses that would make the
+  /// similarity analysis's loop-escape demotion fire for values that never
+  /// actually leave their loop.
+  void remove_dead_phis() {
+    std::unordered_set<const Instruction*> live;
+    std::vector<const Instruction*> worklist;
+    for (Instruction* inst : func_.all_instructions()) {
+      if (inst->is_phi()) continue;
+      for (const Value* op : inst->operands()) {
+        const auto* def = dyn_cast<Instruction>(op);
+        if (def != nullptr && def->is_phi() && live.insert(def).second) {
+          worklist.push_back(def);
+        }
+      }
+    }
+    while (!worklist.empty()) {
+      const Instruction* phi = worklist.back();
+      worklist.pop_back();
+      for (const Value* op : phi->operands()) {
+        const auto* def = dyn_cast<Instruction>(op);
+        if (def != nullptr && def->is_phi() && live.insert(def).second) {
+          worklist.push_back(def);
+        }
+      }
+    }
+    for (const auto& bb : func_.blocks()) {
+      auto& insts = bb->mutable_instructions();
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < insts.size(); ++i) {
+        if (insts[i]->is_phi() && live.count(insts[i].get()) == 0) continue;
+        if (kept != i) insts[kept] = std::move(insts[i]);
+        ++kept;
+      }
+      insts.resize(kept);
+    }
+  }
+
+  void erase_dead() {
+    for (const auto& bb : func_.blocks()) {
+      auto& insts = bb->mutable_instructions();
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < insts.size(); ++i) {
+        if (dead_.count(insts[i].get()) == 0) {
+          if (kept != i) insts[kept] = std::move(insts[i]);
+          ++kept;
+        }
+      }
+      insts.resize(kept);
+    }
+  }
+
+  Function& func_;
+  Module& module_;
+  std::unique_ptr<DominatorTree> domtree_;
+  std::vector<Instruction*> allocas_;
+  std::unordered_map<const Value*, std::vector<Use>> uses_;
+  std::unordered_map<const Instruction*, Instruction*> phi_alloca_;
+  std::unordered_set<const Instruction*> dead_;
+};
+
+}  // namespace
+
+void promote_allocas_to_ssa(ir::Module& module) {
+  for (const auto& func : module.functions()) {
+    if (!func->empty()) Mem2Reg(*func, module).run();
+  }
+}
+
+}  // namespace bw::frontend

@@ -1,0 +1,17 @@
+// mem2reg: promotes alloca slots to SSA registers with pruned phi placement
+// over the iterated dominance frontier, then a dominator-tree renaming walk.
+// After this pass the IR contains no allocas and no loads/stores of locals —
+// exactly the SSA form the BLOCKWATCH similarity analysis assumes
+// (paper Section III-A).
+#pragma once
+
+#include "ir/module.h"
+
+namespace bw::frontend {
+
+/// Promote every promotable alloca in every function of `module`.
+/// An alloca is promotable when all its uses are scalar loads and stores
+/// (always true for front-end output). Also removes unreachable blocks.
+void promote_allocas_to_ssa(ir::Module& module);
+
+}  // namespace bw::frontend

@@ -1,0 +1,510 @@
+#include "frontend/parser.h"
+
+#include "frontend/lexer.h"
+
+namespace bw::frontend {
+
+using support::CompileError;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+  std::unique_ptr<Program> run() {
+    auto program = std::make_unique<Program>();
+    while (!at(TokenKind::End)) {
+      if (at(TokenKind::KwGlobal)) {
+        program->globals.push_back(parse_global());
+      } else if (at(TokenKind::KwFunc)) {
+        program->functions.push_back(parse_function());
+      } else {
+        fail("expected 'global' or 'func' at top level");
+      }
+    }
+    return program;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+
+  Token advance() { return tokens_[pos_++]; }
+
+  Token expect(TokenKind kind) {
+    if (!at(kind)) {
+      fail(std::string("expected ") + to_string(kind) + ", got " +
+           to_string(peek().kind));
+    }
+    return advance();
+  }
+
+  bool try_consume(TokenKind kind) {
+    if (at(kind)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw CompileError(peek().loc, message);
+  }
+
+  BwType parse_type() {
+    if (try_consume(TokenKind::KwInt)) return BwType::Int;
+    if (try_consume(TokenKind::KwFloat)) return BwType::Float;
+    if (try_consume(TokenKind::KwVoid)) return BwType::Void;
+    fail("expected type");
+  }
+
+  // global int name; | global float A[256]; | global int n = 4;
+  // global int A[3] = {1, 2, 3};
+  GlobalDecl parse_global() {
+    GlobalDecl decl;
+    decl.loc = peek().loc;
+    expect(TokenKind::KwGlobal);
+    decl.element_type = parse_type();
+    if (decl.element_type == BwType::Void) fail("global cannot be void");
+    decl.name = expect(TokenKind::Identifier).text;
+    if (try_consume(TokenKind::LBracket)) {
+      Token size = expect(TokenKind::IntLiteral);
+      if (size.int_value <= 0) fail("array size must be positive");
+      decl.array_size = static_cast<std::uint64_t>(size.int_value);
+      expect(TokenKind::RBracket);
+    }
+    if (try_consume(TokenKind::Assign)) {
+      decl.has_init = true;
+      auto read_scalar = [&]() {
+        bool negative = try_consume(TokenKind::Minus);
+        if (at(TokenKind::IntLiteral)) {
+          std::int64_t v = advance().int_value;
+          if (negative) v = -v;
+          decl.int_init.push_back(v);
+          decl.float_init.push_back(static_cast<double>(v));
+        } else if (at(TokenKind::FloatLiteral)) {
+          double v = advance().float_value;
+          if (negative) v = -v;
+          decl.float_init.push_back(v);
+          decl.int_init.push_back(static_cast<std::int64_t>(v));
+        } else {
+          fail("global initializer must be a literal");
+        }
+      };
+      if (try_consume(TokenKind::LBrace)) {
+        while (!at(TokenKind::RBrace)) {
+          read_scalar();
+          if (!try_consume(TokenKind::Comma)) break;
+        }
+        expect(TokenKind::RBrace);
+      } else {
+        read_scalar();
+      }
+    }
+    expect(TokenKind::Semicolon);
+    return decl;
+  }
+
+  std::unique_ptr<FuncDecl> parse_function() {
+    auto func = std::make_unique<FuncDecl>();
+    func->loc = peek().loc;
+    expect(TokenKind::KwFunc);
+    func->name = expect(TokenKind::Identifier).text;
+    expect(TokenKind::LParen);
+    while (!at(TokenKind::RParen)) {
+      Param param;
+      param.type = parse_type();
+      if (param.type == BwType::Void) fail("parameter cannot be void");
+      param.name = expect(TokenKind::Identifier).text;
+      func->params.push_back(std::move(param));
+      if (!try_consume(TokenKind::Comma)) break;
+    }
+    expect(TokenKind::RParen);
+    func->return_type =
+        try_consume(TokenKind::Arrow) ? parse_type() : BwType::Void;
+    func->body = parse_block();
+    return func;
+  }
+
+  std::unique_ptr<Stmt> parse_block() {
+    auto block = std::make_unique<Stmt>(StmtKind::Block);
+    block->loc = peek().loc;
+    expect(TokenKind::LBrace);
+    while (!at(TokenKind::RBrace)) {
+      block->stmts.push_back(parse_statement());
+    }
+    expect(TokenKind::RBrace);
+    return block;
+  }
+
+  std::unique_ptr<Stmt> parse_statement() {
+    switch (peek().kind) {
+      case TokenKind::LBrace: return parse_block();
+      case TokenKind::KwInt:
+      case TokenKind::KwFloat: {
+        auto stmt = parse_decl_no_semi();
+        expect(TokenKind::Semicolon);
+        return stmt;
+      }
+      case TokenKind::KwIf: return parse_if();
+      case TokenKind::KwWhile: return parse_while();
+      case TokenKind::KwFor: return parse_for();
+      case TokenKind::KwBreak: {
+        auto stmt = std::make_unique<Stmt>(StmtKind::Break);
+        stmt->loc = advance().loc;
+        expect(TokenKind::Semicolon);
+        return stmt;
+      }
+      case TokenKind::KwContinue: {
+        auto stmt = std::make_unique<Stmt>(StmtKind::Continue);
+        stmt->loc = advance().loc;
+        expect(TokenKind::Semicolon);
+        return stmt;
+      }
+      case TokenKind::KwReturn: {
+        auto stmt = std::make_unique<Stmt>(StmtKind::Return);
+        stmt->loc = advance().loc;
+        if (!at(TokenKind::Semicolon)) stmt->expr0 = parse_expr();
+        expect(TokenKind::Semicolon);
+        return stmt;
+      }
+      default: {
+        auto stmt = parse_assign_or_expr_no_semi();
+        expect(TokenKind::Semicolon);
+        return stmt;
+      }
+    }
+  }
+
+  // `int x = e` / `float y` (no trailing semicolon; shared with for-init).
+  std::unique_ptr<Stmt> parse_decl_no_semi() {
+    auto stmt = std::make_unique<Stmt>(StmtKind::Decl);
+    stmt->loc = peek().loc;
+    stmt->declared_type = parse_type();
+    stmt->name = expect(TokenKind::Identifier).text;
+    if (try_consume(TokenKind::Assign)) stmt->expr0 = parse_expr();
+    return stmt;
+  }
+
+  // `x = e` / `A[i] = e` / bare expression (call) — no trailing semicolon.
+  std::unique_ptr<Stmt> parse_assign_or_expr_no_semi() {
+    // Lookahead: IDENT '=' or IDENT '[' ... ']' '='.
+    if (at(TokenKind::Identifier)) {
+      if (peek(1).kind == TokenKind::Assign) {
+        auto stmt = std::make_unique<Stmt>(StmtKind::Assign);
+        stmt->loc = peek().loc;
+        stmt->name = advance().text;
+        expect(TokenKind::Assign);
+        stmt->expr0 = parse_expr();
+        return stmt;
+      }
+      if (peek(1).kind == TokenKind::LBracket) {
+        // Could be `A[i] = e` (IndexAssign) or an expression starting with
+        // an index read. Scan to the matching ']' and check for '='.
+        std::size_t depth = 0;
+        std::size_t i = pos_ + 1;
+        do {
+          if (tokens_[i].kind == TokenKind::LBracket) ++depth;
+          if (tokens_[i].kind == TokenKind::RBracket) --depth;
+          ++i;
+        } while (depth != 0 && i < tokens_.size());
+        if (i < tokens_.size() && tokens_[i].kind == TokenKind::Assign) {
+          auto stmt = std::make_unique<Stmt>(StmtKind::IndexAssign);
+          stmt->loc = peek().loc;
+          stmt->name = advance().text;
+          expect(TokenKind::LBracket);
+          stmt->expr0 = parse_expr();
+          expect(TokenKind::RBracket);
+          expect(TokenKind::Assign);
+          stmt->expr1 = parse_expr();
+          return stmt;
+        }
+      }
+    }
+    auto stmt = std::make_unique<Stmt>(StmtKind::ExprStmt);
+    stmt->loc = peek().loc;
+    stmt->expr0 = parse_expr();
+    return stmt;
+  }
+
+  std::unique_ptr<Stmt> parse_if() {
+    auto stmt = std::make_unique<Stmt>(StmtKind::If);
+    stmt->loc = expect(TokenKind::KwIf).loc;
+    expect(TokenKind::LParen);
+    stmt->expr0 = parse_expr();
+    expect(TokenKind::RParen);
+    stmt->body0 = parse_statement();
+    if (try_consume(TokenKind::KwElse)) stmt->body1 = parse_statement();
+    return stmt;
+  }
+
+  std::unique_ptr<Stmt> parse_while() {
+    auto stmt = std::make_unique<Stmt>(StmtKind::While);
+    stmt->loc = expect(TokenKind::KwWhile).loc;
+    expect(TokenKind::LParen);
+    stmt->expr0 = parse_expr();
+    expect(TokenKind::RParen);
+    stmt->body0 = parse_statement();
+    return stmt;
+  }
+
+  std::unique_ptr<Stmt> parse_for() {
+    auto stmt = std::make_unique<Stmt>(StmtKind::For);
+    stmt->loc = expect(TokenKind::KwFor).loc;
+    expect(TokenKind::LParen);
+    if (!at(TokenKind::Semicolon)) {
+      if (at(TokenKind::KwInt) || at(TokenKind::KwFloat)) {
+        stmt->init_stmt = parse_decl_no_semi();
+      } else {
+        stmt->init_stmt = parse_assign_or_expr_no_semi();
+      }
+    }
+    expect(TokenKind::Semicolon);
+    if (!at(TokenKind::Semicolon)) stmt->expr0 = parse_expr();
+    expect(TokenKind::Semicolon);
+    if (!at(TokenKind::RParen)) {
+      stmt->step_stmt = parse_assign_or_expr_no_semi();
+    }
+    expect(TokenKind::RParen);
+    stmt->body0 = parse_statement();
+    return stmt;
+  }
+
+  // Expression precedence climbing, C-like:
+  //   || < && < | < ^ < & < ==/!= < relational < shifts < +- < */% < unary
+  std::unique_ptr<Expr> parse_expr() { return parse_logical_or(); }
+
+  std::unique_ptr<Expr> make_binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                    std::unique_ptr<Expr> rhs) {
+    auto expr = std::make_unique<Expr>(ExprKind::Binary);
+    expr->loc = lhs->loc;
+    expr->binary_op = op;
+    expr->children.push_back(std::move(lhs));
+    expr->children.push_back(std::move(rhs));
+    return expr;
+  }
+
+  std::unique_ptr<Expr> parse_logical_or() {
+    auto lhs = parse_logical_and();
+    while (try_consume(TokenKind::PipePipe)) {
+      lhs = make_binary(BinaryOp::LogicalOr, std::move(lhs),
+                        parse_logical_and());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_logical_and() {
+    auto lhs = parse_bit_or();
+    while (try_consume(TokenKind::AmpAmp)) {
+      lhs = make_binary(BinaryOp::LogicalAnd, std::move(lhs), parse_bit_or());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_bit_or() {
+    auto lhs = parse_bit_xor();
+    while (try_consume(TokenKind::Pipe)) {
+      lhs = make_binary(BinaryOp::BitOr, std::move(lhs), parse_bit_xor());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_bit_xor() {
+    auto lhs = parse_bit_and();
+    while (try_consume(TokenKind::Caret)) {
+      lhs = make_binary(BinaryOp::BitXor, std::move(lhs), parse_bit_and());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_bit_and() {
+    auto lhs = parse_equality();
+    while (try_consume(TokenKind::Amp)) {
+      lhs = make_binary(BinaryOp::BitAnd, std::move(lhs), parse_equality());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_equality() {
+    auto lhs = parse_relational();
+    while (true) {
+      if (try_consume(TokenKind::Eq)) {
+        lhs = make_binary(BinaryOp::Eq, std::move(lhs), parse_relational());
+      } else if (try_consume(TokenKind::Ne)) {
+        lhs = make_binary(BinaryOp::Ne, std::move(lhs), parse_relational());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  std::unique_ptr<Expr> parse_relational() {
+    auto lhs = parse_shift();
+    while (true) {
+      if (try_consume(TokenKind::Lt)) {
+        lhs = make_binary(BinaryOp::Lt, std::move(lhs), parse_shift());
+      } else if (try_consume(TokenKind::Le)) {
+        lhs = make_binary(BinaryOp::Le, std::move(lhs), parse_shift());
+      } else if (try_consume(TokenKind::Gt)) {
+        lhs = make_binary(BinaryOp::Gt, std::move(lhs), parse_shift());
+      } else if (try_consume(TokenKind::Ge)) {
+        lhs = make_binary(BinaryOp::Ge, std::move(lhs), parse_shift());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  std::unique_ptr<Expr> parse_shift() {
+    auto lhs = parse_additive();
+    while (true) {
+      if (try_consume(TokenKind::Shl)) {
+        lhs = make_binary(BinaryOp::Shl, std::move(lhs), parse_additive());
+      } else if (try_consume(TokenKind::Shr)) {
+        lhs = make_binary(BinaryOp::Shr, std::move(lhs), parse_additive());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  std::unique_ptr<Expr> parse_additive() {
+    auto lhs = parse_multiplicative();
+    while (true) {
+      if (try_consume(TokenKind::Plus)) {
+        lhs = make_binary(BinaryOp::Add, std::move(lhs),
+                          parse_multiplicative());
+      } else if (try_consume(TokenKind::Minus)) {
+        lhs = make_binary(BinaryOp::Sub, std::move(lhs),
+                          parse_multiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  std::unique_ptr<Expr> parse_multiplicative() {
+    auto lhs = parse_unary();
+    while (true) {
+      if (try_consume(TokenKind::Star)) {
+        lhs = make_binary(BinaryOp::Mul, std::move(lhs), parse_unary());
+      } else if (try_consume(TokenKind::Slash)) {
+        lhs = make_binary(BinaryOp::Div, std::move(lhs), parse_unary());
+      } else if (try_consume(TokenKind::Percent)) {
+        lhs = make_binary(BinaryOp::Rem, std::move(lhs), parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  std::unique_ptr<Expr> parse_unary() {
+    if (at(TokenKind::Minus)) {
+      auto expr = std::make_unique<Expr>(ExprKind::Unary);
+      expr->loc = advance().loc;
+      expr->unary_op = UnaryOp::Neg;
+      expr->children.push_back(parse_unary());
+      return expr;
+    }
+    if (at(TokenKind::Bang)) {
+      auto expr = std::make_unique<Expr>(ExprKind::Unary);
+      expr->loc = advance().loc;
+      expr->unary_op = UnaryOp::Not;
+      expr->children.push_back(parse_unary());
+      return expr;
+    }
+    return parse_postfix();
+  }
+
+  std::unique_ptr<Expr> parse_postfix() {
+    auto expr = parse_primary();
+    if (expr->kind == ExprKind::VarRef && try_consume(TokenKind::LBracket)) {
+      auto index = std::make_unique<Expr>(ExprKind::Index);
+      index->loc = expr->loc;
+      index->name = expr->name;
+      index->children.push_back(parse_expr());
+      expect(TokenKind::RBracket);
+      return index;
+    }
+    return expr;
+  }
+
+  std::unique_ptr<Expr> parse_primary() {
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case TokenKind::IntLiteral: {
+        auto expr = std::make_unique<Expr>(ExprKind::IntLit);
+        expr->loc = tok.loc;
+        expr->int_value = advance().int_value;
+        return expr;
+      }
+      case TokenKind::FloatLiteral: {
+        auto expr = std::make_unique<Expr>(ExprKind::FloatLit);
+        expr->loc = tok.loc;
+        expr->float_value = advance().float_value;
+        return expr;
+      }
+      case TokenKind::KwTrue:
+      case TokenKind::KwFalse: {
+        auto expr = std::make_unique<Expr>(ExprKind::BoolLit);
+        expr->loc = tok.loc;
+        expr->bool_value = advance().kind == TokenKind::KwTrue;
+        return expr;
+      }
+      case TokenKind::LParen: {
+        advance();
+        auto expr = parse_expr();
+        expect(TokenKind::RParen);
+        return expr;
+      }
+      case TokenKind::KwInt:
+      case TokenKind::KwFloat: {
+        // Cast syntax: int(e), float(e).
+        auto expr = std::make_unique<Expr>(ExprKind::Cast);
+        expr->loc = tok.loc;
+        expr->cast_to =
+            advance().kind == TokenKind::KwInt ? BwType::Int : BwType::Float;
+        expect(TokenKind::LParen);
+        expr->children.push_back(parse_expr());
+        expect(TokenKind::RParen);
+        return expr;
+      }
+      case TokenKind::Identifier: {
+        if (peek(1).kind == TokenKind::LParen) {
+          auto expr = std::make_unique<Expr>(ExprKind::Call);
+          expr->loc = tok.loc;
+          expr->name = advance().text;
+          expect(TokenKind::LParen);
+          while (!at(TokenKind::RParen)) {
+            expr->children.push_back(parse_expr());
+            if (!try_consume(TokenKind::Comma)) break;
+          }
+          expect(TokenKind::RParen);
+          return expr;
+        }
+        auto expr = std::make_unique<Expr>(ExprKind::VarRef);
+        expr->loc = tok.loc;
+        expr->name = advance().text;
+        return expr;
+      }
+      default:
+        fail(std::string("unexpected token ") + to_string(tok.kind) +
+             " in expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Program> parse_program(std::string_view source) {
+  return Parser(source).run();
+}
+
+}  // namespace bw::frontend

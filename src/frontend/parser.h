@@ -1,0 +1,15 @@
+// Recursive-descent parser for BW-C producing the AST in ast.h.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "frontend/ast.h"
+
+namespace bw::frontend {
+
+/// Parse a whole BW-C translation unit. Throws CompileError on syntax
+/// errors.
+std::unique_ptr<Program> parse_program(std::string_view source);
+
+}  // namespace bw::frontend

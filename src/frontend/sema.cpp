@@ -1,0 +1,383 @@
+#include "frontend/sema.h"
+
+#include <unordered_map>
+
+namespace bw::frontend {
+
+using support::CompileError;
+
+Builtin builtin_from_name(const std::string& name) {
+  static const std::unordered_map<std::string, Builtin> table = {
+      {"tid", Builtin::Tid},           {"nthreads", Builtin::NThreads},
+      {"barrier", Builtin::Barrier},   {"lock", Builtin::Lock},
+      {"unlock", Builtin::Unlock},     {"print_i", Builtin::PrintI},
+      {"print_f", Builtin::PrintF},    {"hashrand", Builtin::HashRand},
+      {"atomic_add", Builtin::AtomicAdd}, {"sqrt", Builtin::Sqrt},
+      {"sin", Builtin::Sin},           {"cos", Builtin::Cos},
+      {"fabs", Builtin::FAbs},         {"ffloor", Builtin::FFloor},
+  };
+  auto it = table.find(name);
+  return it == table.end() ? Builtin::NotABuiltin : it->second;
+}
+
+namespace {
+
+class Sema {
+ public:
+  explicit Sema(Program& program) : program_(program) {}
+
+  void run() {
+    for (const GlobalDecl& g : program_.globals) {
+      if (globals_.count(g.name) != 0) {
+        throw CompileError(g.loc, "duplicate global '" + g.name + "'");
+      }
+      globals_[g.name] = &g;
+    }
+    for (const auto& f : program_.functions) {
+      if (builtin_from_name(f->name) != Builtin::NotABuiltin) {
+        throw CompileError(f->loc,
+                           "function '" + f->name + "' shadows a builtin");
+      }
+      if (functions_.count(f->name) != 0) {
+        throw CompileError(f->loc, "duplicate function '" + f->name + "'");
+      }
+      functions_[f->name] = f.get();
+    }
+    for (const auto& f : program_.functions) analyze_function(*f);
+  }
+
+ private:
+  struct LocalVar {
+    BwType type;
+    int slot;
+  };
+
+  void analyze_function(FuncDecl& func) {
+    current_ = &func;
+    scopes_.clear();
+    scopes_.emplace_back();
+    for (std::size_t i = 0; i < func.params.size(); ++i) {
+      const Param& p = func.params[i];
+      if (scopes_.back().count(p.name) != 0) {
+        throw CompileError(func.loc, "duplicate parameter '" + p.name + "'");
+      }
+      // Parameters live in the same namespace as locals but are marked with
+      // negative slot encoding: resolved via ref_kind.
+      scopes_.back()[p.name] = LocalVar{p.type, -static_cast<int>(i) - 1};
+    }
+    analyze_stmt(*func.body);
+    scopes_.pop_back();
+    current_ = nullptr;
+  }
+
+  const LocalVar* lookup_local(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  void analyze_stmt(Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::Block: {
+        scopes_.emplace_back();
+        for (auto& child : stmt.stmts) analyze_stmt(*child);
+        scopes_.pop_back();
+        break;
+      }
+      case StmtKind::Decl: {
+        if (stmt.expr0 != nullptr) {
+          BwType init = analyze_expr(*stmt.expr0);
+          require(stmt.loc, init == stmt.declared_type,
+                  "initializer type mismatch for '" + stmt.name +
+                      "' (use int()/float() casts)");
+        }
+        if (scopes_.back().count(stmt.name) != 0) {
+          throw CompileError(stmt.loc,
+                             "redeclaration of '" + stmt.name + "'");
+        }
+        int slot = static_cast<int>(current_->local_slots.size());
+        current_->local_slots.emplace_back(stmt.name, stmt.declared_type);
+        stmt.local_slot = slot;
+        scopes_.back()[stmt.name] = LocalVar{stmt.declared_type, slot};
+        break;
+      }
+      case StmtKind::Assign: {
+        BwType value = analyze_expr(*stmt.expr0);
+        const LocalVar* local = lookup_local(stmt.name);
+        if (local != nullptr) {
+          require(stmt.loc, local->type == value,
+                  "assignment type mismatch for '" + stmt.name + "'");
+          if (local->slot < 0) {
+            stmt.assign_kind = RefKind::Param;
+            stmt.local_slot = -local->slot - 1;
+          } else {
+            stmt.assign_kind = RefKind::Local;
+            stmt.local_slot = local->slot;
+          }
+          break;
+        }
+        auto git = globals_.find(stmt.name);
+        if (git != globals_.end()) {
+          const GlobalDecl* g = git->second;
+          require(stmt.loc, g->array_size == 0,
+                  "cannot assign whole array '" + stmt.name + "'");
+          require(stmt.loc, g->element_type == value,
+                  "assignment type mismatch for global '" + stmt.name + "'");
+          stmt.assign_kind = RefKind::GlobalScalar;
+          break;
+        }
+        throw CompileError(stmt.loc, "undeclared variable '" + stmt.name +
+                                         "'");
+      }
+      case StmtKind::IndexAssign: {
+        const GlobalDecl* g = require_global_array(stmt.loc, stmt.name);
+        BwType index = analyze_expr(*stmt.expr0);
+        require(stmt.loc, index == BwType::Int, "array index must be int");
+        BwType value = analyze_expr(*stmt.expr1);
+        require(stmt.loc, value == g->element_type,
+                "element type mismatch storing to '" + stmt.name + "'");
+        break;
+      }
+      case StmtKind::If:
+      case StmtKind::While: {
+        BwType cond = analyze_expr(*stmt.expr0);
+        require(stmt.loc, cond == BwType::Bool,
+                "condition must be bool (comparisons yield bool)");
+        analyze_stmt(*stmt.body0);
+        if (stmt.body1 != nullptr) analyze_stmt(*stmt.body1);
+        break;
+      }
+      case StmtKind::For: {
+        scopes_.emplace_back();  // for-init scope
+        if (stmt.init_stmt != nullptr) analyze_stmt(*stmt.init_stmt);
+        if (stmt.expr0 != nullptr) {
+          BwType cond = analyze_expr(*stmt.expr0);
+          require(stmt.loc, cond == BwType::Bool,
+                  "for condition must be bool");
+        }
+        if (stmt.step_stmt != nullptr) analyze_stmt(*stmt.step_stmt);
+        analyze_stmt(*stmt.body0);
+        scopes_.pop_back();
+        break;
+      }
+      case StmtKind::Break:
+      case StmtKind::Continue:
+        // Loop-nesting validation happens in irgen, which tracks the actual
+        // loop stack (while-bodies also pass through here).
+        break;
+      case StmtKind::Return: {
+        BwType value = BwType::Void;
+        if (stmt.expr0 != nullptr) value = analyze_expr(*stmt.expr0);
+        require(stmt.loc, value == current_->return_type,
+                "return type mismatch in '" + current_->name + "'");
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        analyze_expr(*stmt.expr0);
+        break;
+      }
+    }
+  }
+
+  void require(support::SourceLoc loc, bool cond,
+               const std::string& message) const {
+    if (!cond) throw CompileError(loc, message);
+  }
+
+  const GlobalDecl* require_global_array(support::SourceLoc loc,
+                                         const std::string& name) const {
+    auto it = globals_.find(name);
+    if (it == globals_.end() || it->second->array_size == 0) {
+      throw CompileError(loc, "'" + name + "' is not a global array");
+    }
+    return it->second;
+  }
+
+  BwType analyze_expr(Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::IntLit: return expr.type = BwType::Int;
+      case ExprKind::FloatLit: return expr.type = BwType::Float;
+      case ExprKind::BoolLit: return expr.type = BwType::Bool;
+      case ExprKind::VarRef: {
+        const LocalVar* local = lookup_local(expr.name);
+        if (local != nullptr) {
+          if (local->slot < 0) {
+            expr.ref_kind = RefKind::Param;
+            expr.local_slot = -local->slot - 1;
+          } else {
+            expr.ref_kind = RefKind::Local;
+            expr.local_slot = local->slot;
+          }
+          return expr.type = local->type;
+        }
+        auto git = globals_.find(expr.name);
+        if (git != globals_.end()) {
+          require(expr.loc, git->second->array_size == 0,
+                  "array '" + expr.name + "' must be subscripted");
+          expr.ref_kind = RefKind::GlobalScalar;
+          return expr.type = git->second->element_type;
+        }
+        throw CompileError(expr.loc,
+                           "undeclared variable '" + expr.name + "'");
+      }
+      case ExprKind::Index: {
+        const GlobalDecl* g = require_global_array(expr.loc, expr.name);
+        BwType index = analyze_expr(*expr.children[0]);
+        require(expr.loc, index == BwType::Int, "array index must be int");
+        return expr.type = g->element_type;
+      }
+      case ExprKind::Unary: {
+        BwType operand = analyze_expr(*expr.children[0]);
+        if (expr.unary_op == UnaryOp::Neg) {
+          require(expr.loc, operand == BwType::Int || operand == BwType::Float,
+                  "unary '-' needs int or float");
+          return expr.type = operand;
+        }
+        require(expr.loc, operand == BwType::Bool, "'!' needs bool");
+        return expr.type = BwType::Bool;
+      }
+      case ExprKind::Binary: return analyze_binary(expr);
+      case ExprKind::Call: return analyze_call(expr);
+      case ExprKind::Cast: {
+        BwType operand = analyze_expr(*expr.children[0]);
+        require(expr.loc, operand == BwType::Int || operand == BwType::Float,
+                "cast needs int or float operand");
+        return expr.type = expr.cast_to;
+      }
+    }
+    throw CompileError(expr.loc, "unhandled expression kind");
+  }
+
+  BwType analyze_binary(Expr& expr) {
+    BwType lhs = analyze_expr(*expr.children[0]);
+    BwType rhs = analyze_expr(*expr.children[1]);
+    switch (expr.binary_op) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+      case BinaryOp::Mul:
+      case BinaryOp::Div:
+        require(expr.loc, lhs == rhs && (lhs == BwType::Int ||
+                                         lhs == BwType::Float),
+                "arithmetic needs matching int or float operands");
+        return expr.type = lhs;
+      case BinaryOp::Rem:
+      case BinaryOp::BitAnd:
+      case BinaryOp::BitOr:
+      case BinaryOp::BitXor:
+      case BinaryOp::Shl:
+      case BinaryOp::Shr:
+        require(expr.loc, lhs == BwType::Int && rhs == BwType::Int,
+                "integer operator needs int operands");
+        return expr.type = BwType::Int;
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        require(expr.loc, lhs == rhs && (lhs == BwType::Int ||
+                                         lhs == BwType::Float),
+                "comparison needs matching int or float operands");
+        return expr.type = BwType::Bool;
+      case BinaryOp::LogicalAnd:
+      case BinaryOp::LogicalOr:
+        require(expr.loc, lhs == BwType::Bool && rhs == BwType::Bool,
+                "logical operator needs bool operands");
+        return expr.type = BwType::Bool;
+    }
+    throw CompileError(expr.loc, "unhandled binary operator");
+  }
+
+  BwType analyze_call(Expr& expr) {
+    Builtin builtin = builtin_from_name(expr.name);
+    auto arg = [&](std::size_t i) -> Expr& { return *expr.children[i]; };
+    auto expect_args = [&](std::size_t n) {
+      require(expr.loc, expr.children.size() == n,
+              "'" + expr.name + "' expects " + std::to_string(n) +
+                  " argument(s)");
+    };
+    switch (builtin) {
+      case Builtin::Tid:
+      case Builtin::NThreads:
+        expect_args(0);
+        return expr.type = BwType::Int;
+      case Builtin::Barrier:
+        expect_args(0);
+        return expr.type = BwType::Void;
+      case Builtin::Lock:
+      case Builtin::Unlock:
+      case Builtin::PrintI:
+        expect_args(1);
+        require(expr.loc, analyze_expr(arg(0)) == BwType::Int,
+                "'" + expr.name + "' expects an int argument");
+        return expr.type = BwType::Void;
+      case Builtin::PrintF:
+        expect_args(1);
+        require(expr.loc, analyze_expr(arg(0)) == BwType::Float,
+                "print_f expects a float argument");
+        return expr.type = BwType::Void;
+      case Builtin::HashRand:
+        expect_args(1);
+        require(expr.loc, analyze_expr(arg(0)) == BwType::Int,
+                "hashrand expects an int argument");
+        return expr.type = BwType::Int;
+      case Builtin::AtomicAdd: {
+        expect_args(2);
+        Expr& target = arg(0);
+        require(expr.loc,
+                target.kind == ExprKind::VarRef ||
+                    target.kind == ExprKind::Index,
+                "atomic_add target must be a global scalar or element");
+        BwType t = analyze_expr(target);
+        require(expr.loc,
+                t == BwType::Int &&
+                    (target.kind == ExprKind::Index ||
+                     target.ref_kind == RefKind::GlobalScalar),
+                "atomic_add target must be an int global");
+        require(expr.loc, analyze_expr(arg(1)) == BwType::Int,
+                "atomic_add delta must be int");
+        return expr.type = BwType::Int;
+      }
+      case Builtin::Sqrt:
+      case Builtin::Sin:
+      case Builtin::Cos:
+      case Builtin::FAbs:
+      case Builtin::FFloor:
+        expect_args(1);
+        require(expr.loc, analyze_expr(arg(0)) == BwType::Float,
+                "'" + expr.name + "' expects a float argument");
+        return expr.type = BwType::Float;
+      case Builtin::NotABuiltin:
+        break;
+    }
+
+    auto fit = functions_.find(expr.name);
+    if (fit == functions_.end()) {
+      throw CompileError(expr.loc, "call to undefined function '" +
+                                       expr.name + "'");
+    }
+    const FuncDecl* callee = fit->second;
+    expect_args(callee->params.size());
+    for (std::size_t i = 0; i < callee->params.size(); ++i) {
+      BwType t = analyze_expr(arg(i));
+      require(expr.loc, t == callee->params[i].type,
+              "argument " + std::to_string(i + 1) + " type mismatch calling '" +
+                  expr.name + "'");
+    }
+    return expr.type = callee->return_type;
+  }
+
+  Program& program_;
+  std::unordered_map<std::string, const GlobalDecl*> globals_;
+  std::unordered_map<std::string, const FuncDecl*> functions_;
+  std::vector<std::unordered_map<std::string, LocalVar>> scopes_;
+  FuncDecl* current_ = nullptr;
+};
+
+}  // namespace
+
+void analyze(Program& program) { Sema(program).run(); }
+
+}  // namespace bw::frontend

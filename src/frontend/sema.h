@@ -1,0 +1,33 @@
+// Semantic analysis for BW-C: symbol resolution (locals/params/globals),
+// type checking and annotation, builtin signature validation. Mutates the
+// AST in place (expr types, slot indices).
+#pragma once
+
+#include "frontend/ast.h"
+
+namespace bw::frontend {
+
+/// BW-C builtins, callable like functions. `lock`/`unlock` take a lock id;
+/// `atomic_add`'s first argument must name a global scalar or global array
+/// element.
+enum class Builtin {
+  NotABuiltin,
+  Tid,        // tid() -> int
+  NThreads,   // nthreads() -> int
+  Barrier,    // barrier() -> void
+  Lock,       // lock(int) -> void
+  Unlock,     // unlock(int) -> void
+  PrintI,     // print_i(int) -> void
+  PrintF,     // print_f(float) -> void
+  HashRand,   // hashrand(int) -> int, pure deterministic mix
+  AtomicAdd,  // atomic_add(global-lvalue, int) -> int (old value)
+  Sqrt, Sin, Cos, FAbs, FFloor,  // float -> float
+};
+
+Builtin builtin_from_name(const std::string& name);
+
+/// Run semantic analysis over the whole program. Throws CompileError on the
+/// first error.
+void analyze(Program& program);
+
+}  // namespace bw::frontend

@@ -1,0 +1,66 @@
+#include "ir/basic_block.h"
+
+#include <algorithm>
+
+#include "ir/function.h"
+#include "support/diagnostics.h"
+
+namespace bw::ir {
+
+Instruction* BasicBlock::append(std::unique_ptr<Instruction> inst) {
+  inst->set_parent(this);
+  instructions_.push_back(std::move(inst));
+  return instructions_.back().get();
+}
+
+Instruction* BasicBlock::insert(std::size_t index,
+                                std::unique_ptr<Instruction> inst) {
+  BW_INTERNAL_CHECK(index <= instructions_.size(), "insert index out of range");
+  inst->set_parent(this);
+  auto it = instructions_.insert(
+      instructions_.begin() + static_cast<std::ptrdiff_t>(index),
+      std::move(inst));
+  return it->get();
+}
+
+Instruction* BasicBlock::insert_before_terminator(
+    std::unique_ptr<Instruction> inst) {
+  BW_INTERNAL_CHECK(terminator() != nullptr,
+                    "insert_before_terminator on unterminated block");
+  return insert(instructions_.size() - 1, std::move(inst));
+}
+
+void BasicBlock::erase(std::size_t index) {
+  BW_INTERNAL_CHECK(index < instructions_.size(), "erase index out of range");
+  instructions_.erase(instructions_.begin() +
+                      static_cast<std::ptrdiff_t>(index));
+}
+
+std::size_t BasicBlock::index_of(const Instruction* inst) const {
+  for (std::size_t i = 0; i < instructions_.size(); ++i) {
+    if (instructions_[i].get() == inst) return i;
+  }
+  BW_INTERNAL_CHECK(false, "instruction not in block");
+}
+
+std::vector<BasicBlock*> BasicBlock::successors() const {
+  const Instruction* term = terminator();
+  if (term == nullptr) return {};
+  return term->successors();
+}
+
+std::vector<BasicBlock*> BasicBlock::predecessors() const {
+  std::vector<BasicBlock*> preds;
+  BW_INTERNAL_CHECK(parent_ != nullptr, "block has no parent function");
+  for (const auto& bb : parent_->blocks()) {
+    const Instruction* term = bb->terminator();
+    if (term == nullptr) continue;
+    const auto& succs = term->successors();
+    if (std::find(succs.begin(), succs.end(), this) != succs.end()) {
+      preds.push_back(bb.get());
+    }
+  }
+  return preds;
+}
+
+}  // namespace bw::ir

@@ -1,0 +1,66 @@
+// Basic blocks: owned lists of instructions ending in a terminator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace bw::ir {
+
+class Function;
+
+class BasicBlock {
+ public:
+  explicit BasicBlock(std::string name) : name_(std::move(name)) {}
+
+  BasicBlock(const BasicBlock&) = delete;
+  BasicBlock& operator=(const BasicBlock&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  Function* parent() const noexcept { return parent_; }
+  void set_parent(Function* f) noexcept { parent_ = f; }
+
+  const std::vector<std::unique_ptr<Instruction>>& instructions() const {
+    return instructions_;
+  }
+  /// Mutable access for passes that bulk-rewrite a block (mem2reg erasure,
+  /// edge splitting). Prefer append/insert/erase for single instructions.
+  std::vector<std::unique_ptr<Instruction>>& mutable_instructions() {
+    return instructions_;
+  }
+  bool empty() const noexcept { return instructions_.empty(); }
+  std::size_t size() const noexcept { return instructions_.size(); }
+  Instruction* front() const { return instructions_.front().get(); }
+
+  /// The block terminator, or nullptr while the block is under construction.
+  Instruction* terminator() const {
+    if (instructions_.empty()) return nullptr;
+    Instruction* last = instructions_.back().get();
+    return last->is_terminator() ? last : nullptr;
+  }
+
+  Instruction* append(std::unique_ptr<Instruction> inst);
+  /// Insert before position `index` (0 = block front).
+  Instruction* insert(std::size_t index, std::unique_ptr<Instruction> inst);
+  /// Insert immediately before the terminator (block must be terminated).
+  Instruction* insert_before_terminator(std::unique_ptr<Instruction> inst);
+  /// Remove and destroy the instruction at `index`.
+  void erase(std::size_t index);
+  /// Index of `inst` within this block (internal check fails if absent).
+  std::size_t index_of(const Instruction* inst) const;
+
+  /// Predecessor blocks, recomputed on demand from successor edges.
+  std::vector<BasicBlock*> predecessors() const;
+  std::vector<BasicBlock*> successors() const;
+
+ private:
+  std::string name_;
+  Function* parent_ = nullptr;
+  std::vector<std::unique_ptr<Instruction>> instructions_;
+};
+
+}  // namespace bw::ir

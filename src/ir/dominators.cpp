@@ -1,0 +1,136 @@
+#include "ir/dominators.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace bw::ir {
+
+namespace {
+
+constexpr std::size_t kUndef = static_cast<std::size_t>(-1);
+
+void post_order_walk(BasicBlock* bb,
+                     std::unordered_map<const BasicBlock*, bool>& visited,
+                     std::vector<BasicBlock*>& out) {
+  visited[bb] = true;
+  for (BasicBlock* succ : bb->successors()) {
+    if (!visited[succ]) post_order_walk(succ, visited, out);
+  }
+  out.push_back(bb);
+}
+
+}  // namespace
+
+DominatorTree::DominatorTree(const Function& func) {
+  BW_INTERNAL_CHECK(!func.empty(), "dominator tree of empty function");
+
+  // Reverse post-order from the entry block.
+  std::unordered_map<const BasicBlock*, bool> visited;
+  for (const auto& bb : func.blocks()) visited[bb.get()] = false;
+  std::vector<BasicBlock*> post;
+  post_order_walk(func.entry(), visited, post);
+  rpo_.assign(post.rbegin(), post.rend());
+  for (std::size_t i = 0; i < rpo_.size(); ++i) index_[rpo_[i]] = i;
+
+  // Cooper–Harvey–Kennedy iterative idom computation.
+  idom_.assign(rpo_.size(), kUndef);
+  idom_[0] = 0;  // entry's idom is itself (sentinel)
+  auto intersect = [&](std::size_t a, std::size_t b) {
+    while (a != b) {
+      while (a > b) a = idom_[a];
+      while (b > a) b = idom_[b];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 1; i < rpo_.size(); ++i) {
+      std::size_t new_idom = kUndef;
+      for (BasicBlock* pred : rpo_[i]->predecessors()) {
+        auto it = index_.find(pred);
+        if (it == index_.end()) continue;  // unreachable predecessor
+        std::size_t p = it->second;
+        if (idom_[p] == kUndef) continue;  // not processed yet
+        new_idom = (new_idom == kUndef) ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kUndef && idom_[i] != new_idom) {
+        idom_[i] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  // Dominator-tree children.
+  children_.assign(rpo_.size(), {});
+  for (std::size_t i = 1; i < rpo_.size(); ++i) {
+    if (idom_[i] != kUndef) children_[idom_[i]].push_back(rpo_[i]);
+  }
+
+  // Dominance frontiers (CHK §4).
+  frontier_.assign(rpo_.size(), {});
+  for (std::size_t i = 0; i < rpo_.size(); ++i) {
+    std::vector<BasicBlock*> preds;
+    for (BasicBlock* pred : rpo_[i]->predecessors()) {
+      if (index_.count(pred) != 0) preds.push_back(pred);
+    }
+    if (preds.size() < 2) continue;
+    for (BasicBlock* pred : preds) {
+      std::size_t runner = index_.at(pred);
+      while (runner != idom_[i]) {
+        auto& fr = frontier_[runner];
+        if (std::find(fr.begin(), fr.end(), rpo_[i]) == fr.end()) {
+          fr.push_back(rpo_[i]);
+        }
+        runner = idom_[runner];
+      }
+    }
+  }
+}
+
+std::size_t DominatorTree::index_of(const BasicBlock* bb) const {
+  auto it = index_.find(bb);
+  BW_INTERNAL_CHECK(it != index_.end(), "block unreachable or foreign");
+  return it->second;
+}
+
+BasicBlock* DominatorTree::idom(const BasicBlock* bb) const {
+  std::size_t i = index_of(bb);
+  if (i == 0) return nullptr;
+  return rpo_[idom_[i]];
+}
+
+bool DominatorTree::dominates(const BasicBlock* a, const BasicBlock* b) const {
+  std::size_t ia = index_of(a);
+  std::size_t ib = index_of(b);
+  while (ib > ia) ib = idom_[ib];
+  return ib == ia;
+}
+
+BasicBlock* DominatorTree::nearest_common_dominator(
+    const BasicBlock* a, const BasicBlock* b) const {
+  std::size_t ia = index_of(a);
+  std::size_t ib = index_of(b);
+  while (ia != ib) {
+    while (ia > ib) ia = idom_[ia];
+    while (ib > ia) ib = idom_[ib];
+  }
+  return rpo_[ia];
+}
+
+const std::vector<BasicBlock*>& DominatorTree::frontier(
+    const BasicBlock* bb) const {
+  auto it = index_.find(bb);
+  if (it == index_.end()) return empty_;
+  return frontier_[it->second];
+}
+
+const std::vector<BasicBlock*>& DominatorTree::children(
+    const BasicBlock* bb) const {
+  auto it = index_.find(bb);
+  if (it == index_.end()) return empty_;
+  return children_[it->second];
+}
+
+}  // namespace bw::ir

@@ -1,0 +1,54 @@
+// Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy algorithm).
+// Used by mem2reg (phi placement + renaming), the verifier (SSA dominance
+// checks), and the similarity analysis (divergence-controlled phi rule).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace bw::ir {
+
+class DominatorTree {
+ public:
+  explicit DominatorTree(const Function& func);
+
+  /// Immediate dominator; nullptr for the entry block and unreachable blocks.
+  BasicBlock* idom(const BasicBlock* bb) const;
+
+  /// True if `a` dominates `b` (reflexive).
+  bool dominates(const BasicBlock* a, const BasicBlock* b) const;
+
+  /// Nearest common dominator of two reachable blocks.
+  BasicBlock* nearest_common_dominator(const BasicBlock* a,
+                                       const BasicBlock* b) const;
+
+  /// Dominance frontier of `bb`.
+  const std::vector<BasicBlock*>& frontier(const BasicBlock* bb) const;
+
+  /// Children in the dominator tree.
+  const std::vector<BasicBlock*>& children(const BasicBlock* bb) const;
+
+  /// Blocks in reverse post-order (entry first); unreachable blocks omitted.
+  const std::vector<BasicBlock*>& reverse_post_order() const {
+    return rpo_;
+  }
+
+  bool is_reachable(const BasicBlock* bb) const {
+    return index_.count(bb) != 0;
+  }
+
+ private:
+  std::size_t index_of(const BasicBlock* bb) const;
+
+  std::vector<BasicBlock*> rpo_;
+  std::unordered_map<const BasicBlock*, std::size_t> index_;  // into rpo_
+  std::vector<std::size_t> idom_;                  // by rpo index
+  std::vector<std::vector<BasicBlock*>> frontier_;  // by rpo index
+  std::vector<std::vector<BasicBlock*>> children_;  // by rpo index
+  std::vector<BasicBlock*> empty_;
+};
+
+}  // namespace bw::ir

@@ -1,0 +1,99 @@
+#include "ir/function.h"
+
+#include "support/diagnostics.h"
+
+namespace bw::ir {
+
+Function::Function(std::string name, Type return_type,
+                   std::vector<Type> param_types)
+    : name_(std::move(name)), return_type_(return_type) {
+  args_.reserve(param_types.size());
+  for (std::size_t i = 0; i < param_types.size(); ++i) {
+    args_.push_back(std::make_unique<Argument>(
+        param_types[i], static_cast<unsigned>(i), this));
+  }
+}
+
+BasicBlock* Function::create_block(std::string name) {
+  // Uniquify: the textual IR identifies blocks by name, so duplicates
+  // (e.g. two loops both emitting "for.cond") get a numeric suffix.
+  std::string unique = name;
+  int suffix = 1;
+  auto taken = [&](const std::string& candidate) {
+    for (const auto& bb : blocks_) {
+      if (bb->name() == candidate) return true;
+    }
+    return false;
+  };
+  while (taken(unique)) {
+    unique = name + "." + std::to_string(suffix++);
+  }
+  blocks_.push_back(std::make_unique<BasicBlock>(std::move(unique)));
+  blocks_.back()->set_parent(this);
+  return blocks_.back().get();
+}
+
+std::size_t Function::block_index(const BasicBlock* bb) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].get() == bb) return i;
+  }
+  BW_INTERNAL_CHECK(false, "block not in function");
+}
+
+void Function::remove_unreachable_blocks() {
+  if (blocks_.empty()) return;
+  std::vector<const BasicBlock*> worklist{entry()};
+  std::vector<bool> reachable(blocks_.size(), false);
+  reachable[0] = true;
+  while (!worklist.empty()) {
+    const BasicBlock* bb = worklist.back();
+    worklist.pop_back();
+    for (BasicBlock* succ : bb->successors()) {
+      std::size_t i = block_index(succ);
+      if (!reachable[i]) {
+        reachable[i] = true;
+        worklist.push_back(succ);
+      }
+    }
+  }
+
+  bool all_reachable = true;
+  for (bool r : reachable) all_reachable = all_reachable && r;
+  if (all_reachable) return;
+
+  std::vector<std::unique_ptr<BasicBlock>> kept;
+  std::vector<BasicBlock*> removed;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (reachable[i]) {
+      kept.push_back(std::move(blocks_[i]));
+    } else {
+      removed.push_back(blocks_[i].get());
+    }
+  }
+  blocks_ = std::move(kept);
+
+  // Prune phi entries whose incoming edge vanished.
+  for (const auto& bb : blocks_) {
+    for (const auto& inst : bb->instructions()) {
+      if (!inst->is_phi()) break;
+      for (std::size_t i = inst->incoming_blocks().size(); i-- > 0;) {
+        BasicBlock* in = inst->incoming_blocks()[i];
+        bool gone = false;
+        for (const BasicBlock* r : removed) gone = gone || r == in;
+        if (gone) inst->remove_incoming(i);
+      }
+    }
+  }
+}
+
+std::vector<Instruction*> Function::all_instructions() const {
+  std::vector<Instruction*> result;
+  for (const auto& bb : blocks_) {
+    for (const auto& inst : bb->instructions()) {
+      result.push_back(inst.get());
+    }
+  }
+  return result;
+}
+
+}  // namespace bw::ir

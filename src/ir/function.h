@@ -1,0 +1,55 @@
+// Functions: argument list, owned basic blocks, entry = first block.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/value.h"
+
+namespace bw::ir {
+
+class Module;
+
+class Function {
+ public:
+  Function(std::string name, Type return_type, std::vector<Type> param_types);
+
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  Type return_type() const noexcept { return return_type_; }
+  Module* parent() const noexcept { return parent_; }
+  void set_parent(Module* m) noexcept { parent_ = m; }
+
+  const std::vector<std::unique_ptr<Argument>>& args() const { return args_; }
+  Argument* arg(std::size_t i) const { return args_[i].get(); }
+  std::size_t num_args() const noexcept { return args_.size(); }
+
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const {
+    return blocks_;
+  }
+  bool empty() const noexcept { return blocks_.empty(); }
+  BasicBlock* entry() const { return blocks_.front().get(); }
+
+  BasicBlock* create_block(std::string name);
+  std::size_t block_index(const BasicBlock* bb) const;
+
+  /// Drop blocks not reachable from the entry, pruning phi entries whose
+  /// incoming block was removed. Run before any dominance-based pass.
+  void remove_unreachable_blocks();
+
+  /// All instructions in block order (convenience for whole-function passes).
+  std::vector<Instruction*> all_instructions() const;
+
+ private:
+  std::string name_;
+  Type return_type_;
+  Module* parent_ = nullptr;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+}  // namespace bw::ir

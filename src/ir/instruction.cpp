@@ -1,0 +1,70 @@
+#include "ir/instruction.h"
+
+namespace bw::ir {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::SDiv: return "sdiv";
+    case Opcode::SRem: return "srem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::AShr: return "ashr";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::ICmp: return "icmp";
+    case Opcode::FCmp: return "fcmp";
+    case Opcode::SIToFP: return "sitofp";
+    case Opcode::FPToSI: return "fptosi";
+    case Opcode::Select: return "select";
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::Gep: return "gep";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "cond_br";
+    case Opcode::Ret: return "ret";
+    case Opcode::Phi: return "phi";
+    case Opcode::Call: return "call";
+    case Opcode::Tid: return "tid";
+    case Opcode::NumThreads: return "num_threads";
+    case Opcode::Barrier: return "barrier";
+    case Opcode::LockAcquire: return "lock_acquire";
+    case Opcode::LockRelease: return "lock_release";
+    case Opcode::AtomicAdd: return "atomic_add";
+    case Opcode::PrintI64: return "print_i64";
+    case Opcode::PrintF64: return "print_f64";
+    case Opcode::HashRand: return "hash_rand";
+    case Opcode::Sqrt: return "sqrt";
+    case Opcode::Sin: return "sin";
+    case Opcode::Cos: return "cos";
+    case Opcode::FAbs: return "fabs";
+    case Opcode::Floor: return "floor";
+    case Opcode::BwSendCond: return "bw.send_cond";
+    case Opcode::BwSendOutcome: return "bw.send_outcome";
+    case Opcode::BwLoopEnter: return "bw.loop_enter";
+    case Opcode::BwLoopIter: return "bw.loop_iter";
+    case Opcode::BwLoopExit: return "bw.loop_exit";
+  }
+  return "<bad-opcode>";
+}
+
+const char* to_string(CmpPred pred) {
+  switch (pred) {
+    case CmpPred::EQ: return "eq";
+    case CmpPred::NE: return "ne";
+    case CmpPred::LT: return "lt";
+    case CmpPred::LE: return "le";
+    case CmpPred::GT: return "gt";
+    case CmpPred::GE: return "ge";
+  }
+  return "<bad-pred>";
+}
+
+}  // namespace bw::ir

@@ -1,0 +1,178 @@
+#include "ir/irbuilder.h"
+
+#include "support/diagnostics.h"
+
+namespace bw::ir {
+
+Instruction* IRBuilder::emit(std::unique_ptr<Instruction> inst) {
+  BW_INTERNAL_CHECK(block_ != nullptr, "IRBuilder has no insertion point");
+  return block_->append(std::move(inst));
+}
+
+Instruction* IRBuilder::binary(Opcode op, Value* lhs, Value* rhs) {
+  Type type = Type::I64;
+  auto probe = Instruction(op, Type::Void);
+  if (probe.is_float_binary()) type = Type::F64;
+  auto inst = std::make_unique<Instruction>(op, type);
+  inst->add_operand(lhs);
+  inst->add_operand(rhs);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::icmp(CmpPred pred, Value* lhs, Value* rhs) {
+  auto inst = std::make_unique<Instruction>(Opcode::ICmp, Type::I1);
+  inst->set_cmp_pred(pred);
+  inst->add_operand(lhs);
+  inst->add_operand(rhs);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::fcmp(CmpPred pred, Value* lhs, Value* rhs) {
+  auto inst = std::make_unique<Instruction>(Opcode::FCmp, Type::I1);
+  inst->set_cmp_pred(pred);
+  inst->add_operand(lhs);
+  inst->add_operand(rhs);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::sitofp(Value* v) {
+  auto inst = std::make_unique<Instruction>(Opcode::SIToFP, Type::F64);
+  inst->add_operand(v);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::fptosi(Value* v) {
+  auto inst = std::make_unique<Instruction>(Opcode::FPToSI, Type::I64);
+  inst->add_operand(v);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::select(Value* cond, Value* a, Value* b) {
+  auto inst = std::make_unique<Instruction>(Opcode::Select, a->type());
+  inst->add_operand(cond);
+  inst->add_operand(a);
+  inst->add_operand(b);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::alloca_slot(Type type, std::string name) {
+  auto inst = std::make_unique<Instruction>(Opcode::Alloca, Type::Ptr);
+  inst->set_alloca_type(type);
+  if (!name.empty()) inst->set_name(std::move(name));
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::load(Type type, Value* ptr) {
+  auto inst = std::make_unique<Instruction>(Opcode::Load, type);
+  inst->add_operand(ptr);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::store(Value* value, Value* ptr) {
+  auto inst = std::make_unique<Instruction>(Opcode::Store, Type::Void);
+  inst->add_operand(value);
+  inst->add_operand(ptr);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::gep(Value* base, Value* index) {
+  auto inst = std::make_unique<Instruction>(Opcode::Gep, Type::Ptr);
+  inst->add_operand(base);
+  inst->add_operand(index);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::br(BasicBlock* target) {
+  auto inst = std::make_unique<Instruction>(Opcode::Br, Type::Void);
+  inst->add_successor(target);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::cond_br(Value* cond, BasicBlock* taken,
+                                BasicBlock* not_taken) {
+  auto inst = std::make_unique<Instruction>(Opcode::CondBr, Type::Void);
+  inst->add_operand(cond);
+  inst->add_successor(taken);
+  inst->add_successor(not_taken);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::ret(Value* value) {
+  auto inst = std::make_unique<Instruction>(Opcode::Ret, Type::Void);
+  if (value != nullptr) inst->add_operand(value);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::phi(Type type) {
+  auto inst = std::make_unique<Instruction>(Opcode::Phi, type);
+  // Phis must precede all non-phi instructions in the block.
+  std::size_t pos = 0;
+  while (pos < block_->size() && block_->instructions()[pos]->is_phi()) ++pos;
+  return block_->insert(pos, std::move(inst));
+}
+
+Instruction* IRBuilder::call(Function* callee,
+                             const std::vector<Value*>& args) {
+  auto inst =
+      std::make_unique<Instruction>(Opcode::Call, callee->return_type());
+  inst->set_callee(callee);
+  for (Value* a : args) inst->add_operand(a);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::tid() {
+  return emit(std::make_unique<Instruction>(Opcode::Tid, Type::I64));
+}
+
+Instruction* IRBuilder::num_threads() {
+  return emit(std::make_unique<Instruction>(Opcode::NumThreads, Type::I64));
+}
+
+Instruction* IRBuilder::barrier() {
+  return emit(std::make_unique<Instruction>(Opcode::Barrier, Type::Void));
+}
+
+Instruction* IRBuilder::lock_acquire(Value* lock_id) {
+  auto inst = std::make_unique<Instruction>(Opcode::LockAcquire, Type::Void);
+  inst->add_operand(lock_id);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::lock_release(Value* lock_id) {
+  auto inst = std::make_unique<Instruction>(Opcode::LockRelease, Type::Void);
+  inst->add_operand(lock_id);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::atomic_add(Value* ptr, Value* delta) {
+  auto inst = std::make_unique<Instruction>(Opcode::AtomicAdd, Type::I64);
+  inst->add_operand(ptr);
+  inst->add_operand(delta);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::print_i64(Value* v) {
+  auto inst = std::make_unique<Instruction>(Opcode::PrintI64, Type::Void);
+  inst->add_operand(v);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::print_f64(Value* v) {
+  auto inst = std::make_unique<Instruction>(Opcode::PrintF64, Type::Void);
+  inst->add_operand(v);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::hash_rand(Value* v) {
+  auto inst = std::make_unique<Instruction>(Opcode::HashRand, Type::I64);
+  inst->add_operand(v);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::math_unary(Opcode op, Value* v) {
+  auto inst = std::make_unique<Instruction>(op, Type::F64);
+  inst->add_operand(v);
+  return emit(std::move(inst));
+}
+
+}  // namespace bw::ir

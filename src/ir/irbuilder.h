@@ -1,0 +1,65 @@
+// Convenience factory for building well-formed instructions at an insertion
+// point, used by the front-end IR generator, the instrumentation pass, and
+// tests that construct IR by hand.
+#pragma once
+
+#include "ir/module.h"
+
+namespace bw::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module* module) : module_(module) {}
+
+  Module* module() const noexcept { return module_; }
+
+  /// Subsequent instructions are appended to `bb`.
+  void set_insert_point(BasicBlock* bb) noexcept { block_ = bb; }
+  BasicBlock* insert_block() const noexcept { return block_; }
+
+  // --- Constants -------------------------------------------------------------
+  ConstantInt* i64(std::int64_t v) { return module_->get_i64(v); }
+  ConstantInt* i1(bool v) { return module_->get_i1(v); }
+  ConstantFloat* f64(double v) { return module_->get_f64(v); }
+
+  // --- Arithmetic / logic ------------------------------------------------------
+  Instruction* binary(Opcode op, Value* lhs, Value* rhs);
+  Instruction* icmp(CmpPred pred, Value* lhs, Value* rhs);
+  Instruction* fcmp(CmpPred pred, Value* lhs, Value* rhs);
+  Instruction* sitofp(Value* v);
+  Instruction* fptosi(Value* v);
+  Instruction* select(Value* cond, Value* a, Value* b);
+
+  // --- Memory ------------------------------------------------------------------
+  Instruction* alloca_slot(Type type, std::string name = {});
+  Instruction* load(Type type, Value* ptr);
+  Instruction* store(Value* value, Value* ptr);
+  Instruction* gep(Value* base, Value* index);
+
+  // --- Control flow --------------------------------------------------------------
+  Instruction* br(BasicBlock* target);
+  Instruction* cond_br(Value* cond, BasicBlock* taken, BasicBlock* not_taken);
+  Instruction* ret(Value* value = nullptr);
+  Instruction* phi(Type type);
+  Instruction* call(Function* callee, const std::vector<Value*>& args);
+
+  // --- Intrinsics ------------------------------------------------------------------
+  Instruction* tid();
+  Instruction* num_threads();
+  Instruction* barrier();
+  Instruction* lock_acquire(Value* lock_id);
+  Instruction* lock_release(Value* lock_id);
+  Instruction* atomic_add(Value* ptr, Value* delta);
+  Instruction* print_i64(Value* v);
+  Instruction* print_f64(Value* v);
+  Instruction* hash_rand(Value* v);
+  Instruction* math_unary(Opcode op, Value* v);
+
+ private:
+  Instruction* emit(std::unique_ptr<Instruction> inst);
+
+  Module* module_;
+  BasicBlock* block_ = nullptr;
+};
+
+}  // namespace bw::ir

@@ -1,0 +1,84 @@
+#include "ir/loop_info.h"
+
+#include <algorithm>
+
+namespace bw::ir {
+
+LoopInfo::LoopInfo(const Function& func, const DominatorTree& domtree) {
+  (void)func;  // the CFG is walked via the dominator tree's RPO
+  // 1. Find natural loops: a back edge is (tail -> head) where head
+  //    dominates tail. Back edges sharing a header are merged into one loop.
+  std::unordered_map<BasicBlock*, Loop*> by_header;
+  for (BasicBlock* bb : domtree.reverse_post_order()) {
+    for (BasicBlock* succ : bb->successors()) {
+      if (!domtree.is_reachable(succ) || !domtree.dominates(succ, bb)) {
+        continue;
+      }
+      Loop* loop = nullptr;
+      auto it = by_header.find(succ);
+      if (it != by_header.end()) {
+        loop = it->second;
+      } else {
+        loops_.push_back(std::make_unique<Loop>());
+        loop = loops_.back().get();
+        loop->id = static_cast<std::uint32_t>(loops_.size());
+        loop->header = succ;
+        loop->blocks.insert(succ);
+        by_header[succ] = loop;
+      }
+      loop->latches.push_back(bb);
+      // Loop body: backward walk from the latch until the header.
+      std::vector<BasicBlock*> worklist{bb};
+      while (!worklist.empty()) {
+        BasicBlock* cur = worklist.back();
+        worklist.pop_back();
+        if (loop->blocks.insert(cur).second) {
+          for (BasicBlock* pred : cur->predecessors()) {
+            if (domtree.is_reachable(pred)) worklist.push_back(pred);
+          }
+        }
+      }
+    }
+  }
+
+  // 2. Nesting: loop A is inside loop B iff B contains A's header and
+  //    A != B. Parent = smallest such B.
+  for (auto& inner : loops_) {
+    Loop* best = nullptr;
+    for (auto& outer : loops_) {
+      if (outer.get() == inner.get()) continue;
+      if (!outer->contains(inner->header)) continue;
+      if (best == nullptr || best->blocks.size() > outer->blocks.size()) {
+        best = outer.get();
+      }
+    }
+    inner->parent = best;
+  }
+  for (auto& loop : loops_) {
+    unsigned depth = 1;
+    for (Loop* p = loop->parent; p != nullptr; p = p->parent) ++depth;
+    loop->depth = depth;
+  }
+
+  // 3. Innermost loop per block.
+  for (auto& loop : loops_) {
+    for (BasicBlock* bb : loop->blocks) {
+      auto it = innermost_.find(bb);
+      if (it == innermost_.end() || it->second->depth < loop->depth) {
+        innermost_[bb] = loop.get();
+      }
+    }
+  }
+}
+
+Loop* LoopInfo::loop_for(const BasicBlock* bb) const {
+  auto it = innermost_.find(bb);
+  return it == innermost_.end() ? nullptr : it->second;
+}
+
+unsigned LoopInfo::depth_of(const BasicBlock* bb) const {
+  Loop* loop = loop_for(bb);
+  return loop == nullptr ? 0 : loop->depth;
+}
+
+}  // namespace bw::ir

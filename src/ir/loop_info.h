@@ -1,0 +1,52 @@
+// Natural-loop detection on the CFG. The instrumentation pass uses this to
+// (a) assign loop ids and place iteration-tracking instructions, and
+// (b) compute each branch's loop-nesting depth for the paper's
+// six-level checking cutoff (Section V-C1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/dominators.h"
+#include "ir/function.h"
+
+namespace bw::ir {
+
+struct Loop {
+  std::uint32_t id = 0;
+  BasicBlock* header = nullptr;
+  /// Blocks whose edge to the header is a back edge.
+  std::vector<BasicBlock*> latches;
+  /// All blocks in the loop, header included.
+  std::unordered_set<BasicBlock*> blocks;
+  /// Enclosing loop, or nullptr for top-level loops.
+  Loop* parent = nullptr;
+  /// Nesting depth: 1 for top-level loops.
+  unsigned depth = 1;
+
+  bool contains(const BasicBlock* bb) const {
+    return blocks.count(const_cast<BasicBlock*>(bb)) != 0;
+  }
+};
+
+class LoopInfo {
+ public:
+  LoopInfo(const Function& func, const DominatorTree& domtree);
+
+  const std::vector<std::unique_ptr<Loop>>& loops() const { return loops_; }
+
+  /// Innermost loop containing `bb`, or nullptr.
+  Loop* loop_for(const BasicBlock* bb) const;
+
+  /// Loop-nesting depth of `bb` (0 = not in any loop).
+  unsigned depth_of(const BasicBlock* bb) const;
+
+ private:
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::unordered_map<const BasicBlock*, Loop*> innermost_;
+};
+
+}  // namespace bw::ir

@@ -1,0 +1,68 @@
+#include "ir/module.h"
+
+namespace bw::ir {
+
+GlobalVariable* Module::create_global(std::string name, Type element_type,
+                                      std::uint64_t size) {
+  globals_.push_back(
+      std::make_unique<GlobalVariable>(std::move(name), element_type, size));
+  return globals_.back().get();
+}
+
+GlobalVariable* Module::find_global(const std::string& name) const {
+  for (const auto& g : globals_) {
+    if (g->name() == name) return g.get();
+  }
+  return nullptr;
+}
+
+Function* Module::create_function(std::string name, Type return_type,
+                                  std::vector<Type> param_types) {
+  functions_.push_back(std::make_unique<Function>(
+      std::move(name), return_type, std::move(param_types)));
+  functions_.back()->set_parent(this);
+  return functions_.back().get();
+}
+
+Function* Module::find_function(const std::string& name) const {
+  for (const auto& f : functions_) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+ConstantInt* Module::get_i64(std::int64_t value) {
+  for (const auto& c : constants_) {
+    if (auto* ci = dyn_cast<ConstantInt>(c.get());
+        ci != nullptr && ci->type() == Type::I64 && ci->value() == value) {
+      return ci;
+    }
+  }
+  constants_.push_back(std::make_unique<ConstantInt>(value, Type::I64));
+  return static_cast<ConstantInt*>(constants_.back().get());
+}
+
+ConstantInt* Module::get_i1(bool value) {
+  for (const auto& c : constants_) {
+    if (auto* ci = dyn_cast<ConstantInt>(c.get());
+        ci != nullptr && ci->type() == Type::I1 &&
+        ci->value() == (value ? 1 : 0)) {
+      return ci;
+    }
+  }
+  constants_.push_back(std::make_unique<ConstantInt>(value ? 1 : 0, Type::I1));
+  return static_cast<ConstantInt*>(constants_.back().get());
+}
+
+ConstantFloat* Module::get_f64(double value) {
+  for (const auto& c : constants_) {
+    if (auto* cf = dyn_cast<ConstantFloat>(c.get());
+        cf != nullptr && cf->value() == value) {
+      return cf;
+    }
+  }
+  constants_.push_back(std::make_unique<ConstantFloat>(value));
+  return static_cast<ConstantFloat*>(constants_.back().get());
+}
+
+}  // namespace bw::ir

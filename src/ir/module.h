@@ -1,0 +1,56 @@
+// Module: the compilation unit. Owns globals, functions, and all constants
+// (constants are uniqued per module so pointer equality means value
+// equality, which the similarity analysis relies on).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "ir/value.h"
+
+namespace bw::ir {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  // --- Globals --------------------------------------------------------------
+  GlobalVariable* create_global(std::string name, Type element_type,
+                                std::uint64_t size);
+  GlobalVariable* find_global(const std::string& name) const;
+  const std::vector<std::unique_ptr<GlobalVariable>>& globals() const {
+    return globals_;
+  }
+
+  // --- Functions ------------------------------------------------------------
+  Function* create_function(std::string name, Type return_type,
+                            std::vector<Type> param_types);
+  Function* find_function(const std::string& name) const;
+  const std::vector<std::unique_ptr<Function>>& functions() const {
+    return functions_;
+  }
+
+  // --- Uniqued constants ------------------------------------------------------
+  ConstantInt* get_i64(std::int64_t value);
+  ConstantInt* get_i1(bool value);
+  ConstantFloat* get_f64(double value);
+
+  /// Textual form of the whole module (implemented in printer.cpp).
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<GlobalVariable>> globals_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<std::unique_ptr<Value>> constants_;
+};
+
+}  // namespace bw::ir

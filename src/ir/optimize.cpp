@@ -1,0 +1,317 @@
+#include "ir/optimize.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/prng.h"
+
+namespace bw::ir {
+
+namespace {
+
+// Folding must agree bit-for-bit with the VM's evaluation (vm/machine.cpp),
+// or optimized and unoptimized binaries would print different outputs.
+
+std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+
+std::int64_t saturating_fptosi(double v) {
+  if (std::isnan(v)) return 0;
+  if (v >= 9.2233720368547758e18) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  if (v <= -9.2233720368547758e18) {
+    return std::numeric_limits<std::int64_t>::min();
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+bool eval_pred(CmpPred pred, auto a, auto b) {
+  switch (pred) {
+    case CmpPred::EQ: return a == b;
+    case CmpPred::NE: return a != b;
+    case CmpPred::LT: return a < b;
+    case CmpPred::LE: return a <= b;
+    case CmpPred::GT: return a > b;
+    case CmpPred::GE: return a >= b;
+  }
+  return false;
+}
+
+class Optimizer {
+ public:
+  explicit Optimizer(Module& module) : module_(module) {}
+
+  OptimizeStats run() {
+    bool changed = true;
+    while (changed) {
+      ++stats_.iterations;
+      changed = fold_round();
+      changed = eliminate_dead() || changed;
+    }
+    return stats_;
+  }
+
+ private:
+  using UseMap =
+      std::unordered_map<const Value*,
+                         std::vector<std::pair<Instruction*, std::size_t>>>;
+
+  UseMap build_uses(const Function& func) const {
+    UseMap uses;
+    for (Instruction* inst : func.all_instructions()) {
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        uses[inst->operand(i)].emplace_back(inst, i);
+      }
+    }
+    return uses;
+  }
+
+  /// Returns the constant this instruction folds to, or nullptr.
+  Value* try_fold(const Instruction& inst) {
+    auto int_op = [&](std::size_t i) -> const ConstantInt* {
+      return dyn_cast<ConstantInt>(inst.operand(i));
+    };
+    auto float_op = [&](std::size_t i) -> const ConstantFloat* {
+      return dyn_cast<ConstantFloat>(inst.operand(i));
+    };
+
+    if (inst.is_int_binary()) {
+      const ConstantInt* a = int_op(0);
+      const ConstantInt* b = int_op(1);
+      if (a == nullptr || b == nullptr) return nullptr;
+      std::int64_t x = a->value();
+      std::int64_t y = b->value();
+      switch (inst.opcode()) {
+        case Opcode::Add: return module_.get_i64(wrap_add(x, y));
+        case Opcode::Sub: return module_.get_i64(wrap_sub(x, y));
+        case Opcode::Mul: return module_.get_i64(wrap_mul(x, y));
+        case Opcode::SDiv:
+          if (y == 0) return nullptr;  // keep the runtime trap
+          if (x == std::numeric_limits<std::int64_t>::min() && y == -1) {
+            return module_.get_i64(x);
+          }
+          return module_.get_i64(x / y);
+        case Opcode::SRem:
+          if (y == 0) return nullptr;
+          if (x == std::numeric_limits<std::int64_t>::min() && y == -1) {
+            return module_.get_i64(0);
+          }
+          return module_.get_i64(x % y);
+        case Opcode::And: return module_.get_i64(x & y);
+        case Opcode::Or: return module_.get_i64(x | y);
+        case Opcode::Xor: return module_.get_i64(x ^ y);
+        case Opcode::Shl:
+          return module_.get_i64(static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(x) << (y & 63)));
+        case Opcode::AShr: return module_.get_i64(x >> (y & 63));
+        default: return nullptr;
+      }
+    }
+    if (inst.is_float_binary()) {
+      const ConstantFloat* a = float_op(0);
+      const ConstantFloat* b = float_op(1);
+      if (a == nullptr || b == nullptr) return nullptr;
+      double x = a->value();
+      double y = b->value();
+      switch (inst.opcode()) {
+        case Opcode::FAdd: return module_.get_f64(x + y);
+        case Opcode::FSub: return module_.get_f64(x - y);
+        case Opcode::FMul: return module_.get_f64(x * y);
+        case Opcode::FDiv: return module_.get_f64(x / y);
+        default: return nullptr;
+      }
+    }
+
+    switch (inst.opcode()) {
+      case Opcode::ICmp: {
+        const ConstantInt* a = int_op(0);
+        const ConstantInt* b = int_op(1);
+        if (a == nullptr || b == nullptr) return nullptr;
+        return module_.get_i1(eval_pred(inst.cmp_pred(), a->value(),
+                                        b->value()));
+      }
+      case Opcode::FCmp: {
+        const ConstantFloat* a = float_op(0);
+        const ConstantFloat* b = float_op(1);
+        if (a == nullptr || b == nullptr) return nullptr;
+        return module_.get_i1(eval_pred(inst.cmp_pred(), a->value(),
+                                        b->value()));
+      }
+      case Opcode::SIToFP: {
+        const ConstantInt* a = int_op(0);
+        if (a == nullptr) return nullptr;
+        return module_.get_f64(static_cast<double>(a->value()));
+      }
+      case Opcode::FPToSI: {
+        const ConstantFloat* a = float_op(0);
+        if (a == nullptr) return nullptr;
+        return module_.get_i64(saturating_fptosi(a->value()));
+      }
+      case Opcode::Select: {
+        const ConstantInt* cond = int_op(0);
+        if (cond == nullptr) return nullptr;
+        // Non-constant arms fold too: select is pure.
+        return inst.operand(cond->value() != 0 ? 1 : 2);
+      }
+      case Opcode::HashRand: {
+        const ConstantInt* a = int_op(0);
+        if (a == nullptr) return nullptr;
+        return module_.get_i64(static_cast<std::int64_t>(support::splitmix64(
+            static_cast<std::uint64_t>(a->value()))));
+      }
+      case Opcode::Sqrt:
+      case Opcode::Sin:
+      case Opcode::Cos:
+      case Opcode::FAbs:
+      case Opcode::Floor: {
+        const ConstantFloat* a = float_op(0);
+        if (a == nullptr) return nullptr;
+        double v = a->value();
+        switch (inst.opcode()) {
+          case Opcode::Sqrt: v = std::sqrt(v); break;
+          case Opcode::Sin: v = std::sin(v); break;
+          case Opcode::Cos: v = std::cos(v); break;
+          case Opcode::FAbs: v = std::fabs(v); break;
+          default: v = std::floor(v); break;
+        }
+        return module_.get_f64(v);
+      }
+      case Opcode::Phi: {
+        // All incoming entries are the same non-instruction value
+        // (constant/argument/global): the phi is that value. Restricting
+        // to non-instructions keeps replacement chains acyclic (a phi
+        // can transitively feed itself through another phi).
+        if (inst.num_operands() == 0) return nullptr;
+        Value* first = inst.operand(0);
+        if (isa<Instruction>(first)) return nullptr;
+        for (const Value* op : inst.operands()) {
+          if (op != first) return nullptr;
+        }
+        return first;
+      }
+      default:
+        return nullptr;
+    }
+  }
+
+  bool fold_round() {
+    bool changed = false;
+    for (const auto& func : module_.functions()) {
+      // Three phases so no use-list entry ever points at freed memory:
+      // record all folds, rewrite all users, then erase the folded
+      // instructions. Chains (a folds, enabling b) resolve over rounds.
+      std::unordered_map<const Instruction*, Value*> replacements;
+      for (Instruction* inst : func->all_instructions()) {
+        Value* replacement = try_fold(*inst);
+        if (replacement != nullptr) replacements[inst] = replacement;
+      }
+      if (replacements.empty()) continue;
+
+      // Resolve replacement-of-replacement (e.g. phi folding to another
+      // folded value) so users point at survivors.
+      auto resolve = [&](Value* v) {
+        const auto* def = dyn_cast<Instruction>(v);
+        int hops = 0;
+        while (def != nullptr && hops++ < 64) {
+          auto it = replacements.find(def);
+          if (it == replacements.end()) break;
+          v = it->second;
+          def = dyn_cast<Instruction>(v);
+        }
+        return v;
+      };
+
+      for (Instruction* inst : func->all_instructions()) {
+        for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+          const auto* def = dyn_cast<Instruction>(inst->operand(i));
+          if (def != nullptr && replacements.count(def) != 0) {
+            inst->set_operand(i, resolve(inst->operand(i)));
+          }
+        }
+      }
+      for (const auto& bb : func->blocks()) {
+        auto& insts = bb->mutable_instructions();
+        for (std::size_t i = 0; i < insts.size();) {
+          if (replacements.count(insts[i].get()) != 0) {
+            insts.erase(insts.begin() + static_cast<std::ptrdiff_t>(i));
+            ++stats_.folded;
+          } else {
+            ++i;
+          }
+        }
+      }
+      changed = true;
+    }
+    return changed;
+  }
+
+  /// Remove never-used instructions that cannot trap or touch memory.
+  static bool removable_when_dead(const Instruction& inst) {
+    if (inst.is_pure_computation() || inst.is_phi()) {
+      // GEP is pure; loads/stores are not in is_pure_computation().
+      return true;
+    }
+    switch (inst.opcode()) {
+      case Opcode::Select:
+      case Opcode::Tid:
+      case Opcode::NumThreads:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  bool eliminate_dead() {
+    bool changed = false;
+    for (const auto& func : module_.functions()) {
+      bool local_changed = true;
+      while (local_changed) {
+        local_changed = false;
+        std::unordered_set<const Value*> used;
+        for (Instruction* inst : func->all_instructions()) {
+          for (const Value* op : inst->operands()) used.insert(op);
+        }
+        for (const auto& bb : func->blocks()) {
+          auto& insts = bb->mutable_instructions();
+          for (std::size_t i = 0; i < insts.size();) {
+            Instruction* inst = insts[i].get();
+            if (inst->type() != Type::Void && used.count(inst) == 0 &&
+                removable_when_dead(*inst)) {
+              insts.erase(insts.begin() + static_cast<std::ptrdiff_t>(i));
+              ++stats_.eliminated;
+              local_changed = true;
+              changed = true;
+            } else {
+              ++i;
+            }
+          }
+        }
+      }
+    }
+    return changed;
+  }
+
+  Module& module_;
+  OptimizeStats stats_;
+};
+
+}  // namespace
+
+OptimizeStats optimize_module(Module& module) {
+  return Optimizer(module).run();
+}
+
+}  // namespace bw::ir

@@ -1,0 +1,24 @@
+// Scalar optimizations over the SSA IR: constant folding and dead-code
+// elimination. The paper runs its analysis "as part of an optimizing
+// compiler"; these passes keep the IR the analysis sees comparable to
+// what a -O1 front-end would emit, and are exercised as an option of the
+// BW-C pipeline (CompileOptions::optimize).
+#pragma once
+
+#include "ir/module.h"
+
+namespace bw::ir {
+
+struct OptimizeStats {
+  int folded = 0;        // instructions replaced by constants
+  int eliminated = 0;    // dead pure instructions removed
+  int iterations = 0;    // fold+DCE rounds until fixpoint
+};
+
+/// Fold constant-operand computations and remove unused pure
+/// instructions, to a fixpoint. Control flow is left untouched (branches
+/// on constants are legal and stay). Safe on any verified module;
+/// preserves program semantics including traps that remain reachable.
+OptimizeStats optimize_module(Module& module);
+
+}  // namespace bw::ir

@@ -1,0 +1,573 @@
+#include "ir/parser.h"
+
+#include <cstdlib>
+#include <optional>
+#include <unordered_map>
+
+#include "support/diagnostics.h"
+#include "support/string_utils.h"
+
+namespace bw::ir {
+
+namespace {
+
+using support::CompileError;
+using support::SourceLoc;
+
+/// Hand-rolled line-oriented parser. Each instruction occupies one line;
+/// tokens are split on a small set of punctuation characters.
+class IRParser {
+ public:
+  explicit IRParser(std::string_view text) : text_(text) {}
+
+  std::unique_ptr<Module> run() {
+    lines_ = support::split(text_, '\n');
+    expect_module_header();
+    while (line_index_ < lines_.size()) {
+      std::string_view line = current_line();
+      if (line.empty() || support::starts_with(line, "//")) {
+        ++line_index_;
+        continue;
+      }
+      if (support::starts_with(line, "global ")) {
+        parse_global(line);
+        ++line_index_;
+      } else if (support::starts_with(line, "func ")) {
+        parse_function();
+      } else {
+        error("expected 'global' or 'func', got: " + std::string(line));
+      }
+    }
+    resolve_pending_calls();
+    return std::move(module_);
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& message) const {
+    throw CompileError(
+        SourceLoc{static_cast<std::uint32_t>(line_index_ + 1), 1}, message);
+  }
+
+  std::string_view current_line() const {
+    return support::trim(lines_[line_index_]);
+  }
+
+  void expect_module_header() {
+    while (line_index_ < lines_.size() && current_line().empty()) {
+      ++line_index_;
+    }
+    std::string_view line = current_line();
+    if (!support::starts_with(line, "module ")) {
+      error("expected module header");
+    }
+    std::string_view rest = support::trim(line.substr(7));
+    std::string name;
+    if (rest.size() >= 2 && rest.front() == '"' && rest.back() == '"') {
+      name = std::string(rest.substr(1, rest.size() - 2));
+    } else {
+      error("expected quoted module name");
+    }
+    module_ = std::make_unique<Module>(name);
+    ++line_index_;
+  }
+
+  // global @name : i64[16] = [1, 2, 3]
+  void parse_global(std::string_view line) {
+    Cursor cur{line.substr(7)};
+    std::string name = cur.expect_global_name();
+    cur.expect(':');
+    Type elem = cur.expect_type();
+    std::uint64_t size = 1;
+    if (cur.peek() == '[') {
+      cur.expect('[');
+      size = static_cast<std::uint64_t>(cur.expect_integer());
+      cur.expect(']');
+    }
+    GlobalVariable* g = module_->create_global(name, elem, size);
+    if (cur.peek() == '=') {
+      cur.expect('=');
+      std::vector<std::int64_t> words;
+      if (cur.peek() == '[') {
+        cur.expect('[');
+        while (cur.peek() != ']') {
+          words.push_back(cur.expect_integer());
+          if (cur.peek() == ',') cur.expect(',');
+        }
+        cur.expect(']');
+      } else {
+        words.push_back(cur.expect_integer());
+      }
+      g->set_init_words(std::move(words));
+    }
+  }
+
+  void parse_function() {
+    // Header: func @name(%a: i64, ...) -> type {
+    Cursor cur{current_line().substr(5)};
+    std::string name = cur.expect_global_name();
+    cur.expect('(');
+    std::vector<Type> param_types;
+    std::vector<std::string> param_names;
+    while (cur.peek() != ')') {
+      param_names.push_back(cur.expect_local_name());
+      cur.expect(':');
+      param_types.push_back(cur.expect_type());
+      if (cur.peek() == ',') cur.expect(',');
+    }
+    cur.expect(')');
+    cur.expect('-');
+    cur.expect('>');
+    Type ret = cur.expect_type();
+    cur.expect('{');
+    Function* func = module_->create_function(name, ret, param_types);
+    ++line_index_;
+
+    values_.clear();
+    forward_value_fixups_.clear();
+    for (std::size_t i = 0; i < param_names.size(); ++i) {
+      func->arg(i)->set_name(param_names[i]);
+      values_[param_names[i]] = func->arg(i);
+    }
+
+    // First pass: scan for block labels so branches can refer forward.
+    blocks_.clear();
+    std::size_t body_start = line_index_;
+    for (std::size_t i = line_index_; i < lines_.size(); ++i) {
+      std::string_view line = support::trim(lines_[i]);
+      if (line == "}") break;
+      if (!line.empty() && line.back() == ':' &&
+          line.find(' ') == std::string_view::npos) {
+        std::string label(line.substr(0, line.size() - 1));
+        blocks_[label] = func->create_block(label);
+      }
+    }
+
+    // Second pass: parse instructions into the current block.
+    BasicBlock* block = nullptr;
+    line_index_ = body_start;
+    while (line_index_ < lines_.size()) {
+      std::string_view line = current_line();
+      if (line == "}") {
+        ++line_index_;
+        break;
+      }
+      if (line.empty() || support::starts_with(line, "//")) {
+        ++line_index_;
+        continue;
+      }
+      if (line.back() == ':' && line.find(' ') == std::string_view::npos) {
+        block = blocks_.at(std::string(line.substr(0, line.size() - 1)));
+        ++line_index_;
+        continue;
+      }
+      if (block == nullptr) error("instruction outside any block");
+      parse_instruction(line, block, func);
+      ++line_index_;
+    }
+    resolve_forward_values();
+  }
+
+  struct Cursor {
+    std::string_view text;
+    std::size_t pos = 0;
+
+    void skip_ws() {
+      while (pos < text.size() &&
+             (text[pos] == ' ' || text[pos] == '\t')) {
+        ++pos;
+      }
+    }
+    char peek() {
+      skip_ws();
+      return pos < text.size() ? text[pos] : '\0';
+    }
+    bool at_end() { return peek() == '\0'; }
+    void expect(char c) {
+      if (peek() != c) {
+        throw CompileError("expected '" + std::string(1, c) + "' in: " +
+                           std::string(text));
+      }
+      ++pos;
+    }
+    bool try_consume(char c) {
+      if (peek() == c) {
+        ++pos;
+        return true;
+      }
+      return false;
+    }
+    static bool is_word_char(char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+             c == '.';
+    }
+    std::string expect_word() {
+      skip_ws();
+      std::size_t start = pos;
+      while (pos < text.size() && is_word_char(text[pos])) ++pos;
+      if (pos == start) {
+        throw CompileError("expected identifier in: " + std::string(text));
+      }
+      return std::string(text.substr(start, pos - start));
+    }
+    std::string expect_global_name() {
+      expect('@');
+      return expect_word();
+    }
+    std::string expect_local_name() {
+      expect('%');
+      return expect_word();
+    }
+    std::int64_t expect_integer() {
+      skip_ws();
+      std::size_t start = pos;
+      if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+        ++pos;
+      }
+      if (pos == start) {
+        throw CompileError("expected integer in: " + std::string(text));
+      }
+      return std::strtoll(std::string(text.substr(start, pos - start)).c_str(),
+                          nullptr, 10);
+    }
+    Type expect_type() {
+      std::string word = expect_word();
+      if (word == "void") return Type::Void;
+      if (word == "i1") return Type::I1;
+      if (word == "i64") return Type::I64;
+      if (word == "f64") return Type::F64;
+      if (word == "ptr") return Type::Ptr;
+      throw CompileError("unknown type: " + word);
+    }
+  };
+
+  /// An operand token: either resolvable now, or a forward reference that
+  /// is patched once the whole function has been parsed.
+  Value* parse_operand(Cursor& cur, Instruction* inst_for_fixup,
+                       std::size_t operand_index) {
+    char c = cur.peek();
+    if (c == '%') {
+      std::string name = cur.expect_local_name();
+      auto it = values_.find(name);
+      if (it != values_.end()) return it->second;
+      forward_value_fixups_.push_back({inst_for_fixup, operand_index, name});
+      return module_->get_i64(0);  // placeholder, patched later
+    }
+    if (c == '@') {
+      std::string name = cur.expect_global_name();
+      GlobalVariable* g = module_->find_global(name);
+      if (g == nullptr) throw CompileError("unknown global: @" + name);
+      return g;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0) {
+      std::string word = cur.expect_word();
+      if (word == "true") return module_->get_i1(true);
+      if (word == "false") return module_->get_i1(false);
+      throw CompileError("unknown operand token: " + word);
+    }
+    // Numeric constant: float iff it contains '.' or exponent.
+    cur.skip_ws();
+    std::size_t start = cur.pos;
+    if (cur.pos < cur.text.size() &&
+        (cur.text[cur.pos] == '-' || cur.text[cur.pos] == '+')) {
+      ++cur.pos;
+    }
+    bool is_float = false;
+    while (cur.pos < cur.text.size()) {
+      char d = cur.text[cur.pos];
+      if (std::isdigit(static_cast<unsigned char>(d)) != 0) {
+        ++cur.pos;
+      } else if (d == '.' || d == 'e' || d == 'E' ||
+                 ((d == '-' || d == '+') && cur.pos > start &&
+                  (cur.text[cur.pos - 1] == 'e' ||
+                   cur.text[cur.pos - 1] == 'E'))) {
+        is_float = true;
+        ++cur.pos;
+      } else {
+        break;
+      }
+    }
+    std::string token(cur.text.substr(start, cur.pos - start));
+    if (token.empty()) throw CompileError("expected operand");
+    if (is_float) return module_->get_f64(std::strtod(token.c_str(), nullptr));
+    return module_->get_i64(std::strtoll(token.c_str(), nullptr, 10));
+  }
+
+  static std::optional<Opcode> opcode_from_word(const std::string& word) {
+    static const std::unordered_map<std::string, Opcode> table = {
+        {"add", Opcode::Add}, {"sub", Opcode::Sub}, {"mul", Opcode::Mul},
+        {"sdiv", Opcode::SDiv}, {"srem", Opcode::SRem}, {"and", Opcode::And},
+        {"or", Opcode::Or}, {"xor", Opcode::Xor}, {"shl", Opcode::Shl},
+        {"ashr", Opcode::AShr}, {"fadd", Opcode::FAdd},
+        {"fsub", Opcode::FSub}, {"fmul", Opcode::FMul},
+        {"fdiv", Opcode::FDiv}, {"icmp", Opcode::ICmp},
+        {"fcmp", Opcode::FCmp}, {"sitofp", Opcode::SIToFP},
+        {"fptosi", Opcode::FPToSI}, {"select", Opcode::Select},
+        {"alloca", Opcode::Alloca}, {"load", Opcode::Load},
+        {"store", Opcode::Store}, {"gep", Opcode::Gep}, {"br", Opcode::Br},
+        {"cond_br", Opcode::CondBr}, {"ret", Opcode::Ret},
+        {"phi", Opcode::Phi}, {"call", Opcode::Call}, {"tid", Opcode::Tid},
+        {"num_threads", Opcode::NumThreads}, {"barrier", Opcode::Barrier},
+        {"lock_acquire", Opcode::LockAcquire},
+        {"lock_release", Opcode::LockRelease},
+        {"atomic_add", Opcode::AtomicAdd}, {"print_i64", Opcode::PrintI64},
+        {"print_f64", Opcode::PrintF64}, {"hash_rand", Opcode::HashRand},
+        {"sqrt", Opcode::Sqrt}, {"sin", Opcode::Sin}, {"cos", Opcode::Cos},
+        {"fabs", Opcode::FAbs}, {"floor", Opcode::Floor},
+        {"bw.send_cond", Opcode::BwSendCond},
+        {"bw.send_outcome", Opcode::BwSendOutcome},
+        {"bw.loop_enter", Opcode::BwLoopEnter},
+        {"bw.loop_iter", Opcode::BwLoopIter},
+        {"bw.loop_exit", Opcode::BwLoopExit},
+    };
+    auto it = table.find(word);
+    if (it == table.end()) return std::nullopt;
+    return it->second;
+  }
+
+  static CmpPred pred_from_word(const std::string& word) {
+    if (word == "eq") return CmpPred::EQ;
+    if (word == "ne") return CmpPred::NE;
+    if (word == "lt") return CmpPred::LT;
+    if (word == "le") return CmpPred::LE;
+    if (word == "gt") return CmpPred::GT;
+    if (word == "ge") return CmpPred::GE;
+    throw CompileError("unknown compare predicate: " + word);
+  }
+
+  BasicBlock* lookup_block(const std::string& name) {
+    auto it = blocks_.find(name);
+    if (it == blocks_.end()) throw CompileError("unknown block: " + name);
+    return it->second;
+  }
+
+  void parse_instruction(std::string_view line, BasicBlock* block,
+                         Function* func) {
+    Cursor cur{line};
+    std::string result_name;
+    if (cur.peek() == '%') {
+      result_name = cur.expect_local_name();
+      cur.expect('=');
+    }
+    std::string word = cur.expect_word();
+    std::optional<Opcode> op = opcode_from_word(word);
+    if (!op.has_value()) error("unknown opcode: " + word);
+
+    auto make = [&](Type type) {
+      auto inst = std::make_unique<Instruction>(*op, type);
+      return inst;
+    };
+    std::unique_ptr<Instruction> inst;
+
+    switch (*op) {
+      case Opcode::ICmp:
+      case Opcode::FCmp: {
+        inst = make(Type::I1);
+        inst->set_cmp_pred(pred_from_word(cur.expect_word()));
+        inst->add_operand(parse_operand(cur, inst.get(), 0));
+        cur.expect(',');
+        inst->add_operand(parse_operand(cur, inst.get(), 1));
+        break;
+      }
+      case Opcode::Alloca: {
+        inst = make(Type::Ptr);
+        inst->set_alloca_type(cur.expect_type());
+        break;
+      }
+      case Opcode::Load: {
+        Type t = cur.expect_type();
+        cur.expect(',');
+        inst = make(t);
+        inst->add_operand(parse_operand(cur, inst.get(), 0));
+        break;
+      }
+      case Opcode::Br: {
+        inst = make(Type::Void);
+        inst->add_successor(lookup_block(cur.expect_word()));
+        break;
+      }
+      case Opcode::CondBr: {
+        inst = make(Type::Void);
+        inst->add_operand(parse_operand(cur, inst.get(), 0));
+        cur.expect(',');
+        inst->add_successor(lookup_block(cur.expect_word()));
+        cur.expect(',');
+        inst->add_successor(lookup_block(cur.expect_word()));
+        break;
+      }
+      case Opcode::Ret: {
+        inst = make(Type::Void);
+        if (!cur.at_end()) {
+          inst->add_operand(parse_operand(cur, inst.get(), 0));
+        }
+        break;
+      }
+      case Opcode::Phi: {
+        Type t = cur.expect_type();
+        inst = make(t);
+        std::size_t index = 0;
+        while (cur.peek() == '[' || cur.peek() == ',') {
+          cur.try_consume(',');
+          cur.expect('[');
+          Value* v = parse_operand(cur, inst.get(), index++);
+          cur.expect(',');
+          BasicBlock* from = lookup_block(cur.expect_word());
+          cur.expect(']');
+          inst->add_incoming(v, from);
+        }
+        break;
+      }
+      case Opcode::Call: {
+        std::string callee_name;
+        cur.expect('@');
+        callee_name = cur.expect_word();
+        Function* callee = module_->find_function(callee_name);
+        Type ret = callee != nullptr ? callee->return_type() : Type::Void;
+        inst = make(result_name.empty() ? Type::Void : ret);
+        cur.expect('(');
+        std::size_t index = 0;
+        while (cur.peek() != ')') {
+          inst->add_operand(parse_operand(cur, inst.get(), index++));
+          if (cur.peek() == ',') cur.expect(',');
+        }
+        cur.expect(')');
+        if (cur.try_consume('!')) {
+          std::string meta = cur.expect_word();
+          if (meta != "callsite") error("unknown call metadata: " + meta);
+          inst->set_imm(static_cast<std::uint32_t>(cur.expect_integer()));
+        }
+        if (callee == nullptr) {
+          pending_calls_.push_back(
+              {inst.get(), callee_name, !result_name.empty()});
+        } else {
+          inst->set_callee(callee);
+        }
+        break;
+      }
+      case Opcode::BwSendCond: {
+        inst = make(Type::Void);
+        inst->set_imm(static_cast<std::uint32_t>(cur.expect_integer()));
+        std::size_t index = 0;
+        while (cur.try_consume(',')) {
+          inst->add_operand(parse_operand(cur, inst.get(), index++));
+        }
+        break;
+      }
+      case Opcode::BwSendOutcome: {
+        inst = make(Type::Void);
+        inst->set_imm(static_cast<std::uint32_t>(cur.expect_integer()));
+        cur.expect(',');
+        std::string which = cur.expect_word();
+        if (which == "taken") {
+          inst->set_flag(true);
+        } else if (which == "not_taken") {
+          inst->set_flag(false);
+        } else {
+          error("expected taken/not_taken, got: " + which);
+        }
+        break;
+      }
+      case Opcode::BwLoopEnter:
+      case Opcode::BwLoopIter:
+      case Opcode::BwLoopExit: {
+        inst = make(Type::Void);
+        inst->set_imm(static_cast<std::uint32_t>(cur.expect_integer()));
+        break;
+      }
+      default: {
+        Type type = result_type_of(*op);
+        inst = make(type);
+        std::size_t index = 0;
+        while (!cur.at_end()) {
+          inst->add_operand(parse_operand(cur, inst.get(), index++));
+          if (!cur.try_consume(',')) break;
+        }
+        if (*op == Opcode::Select && inst->num_operands() >= 2) {
+          inst->set_type(inst->operand(1)->type());
+        }
+        break;
+      }
+    }
+
+    Instruction* placed = block->append(std::move(inst));
+    if (!result_name.empty()) {
+      placed->set_name(result_name);
+      values_[result_name] = placed;
+    }
+    (void)func;
+  }
+
+  static Type result_type_of(Opcode op) {
+    Instruction probe(op, Type::Void);
+    if (probe.is_int_binary()) return Type::I64;
+    if (probe.is_float_binary()) return Type::F64;
+    switch (op) {
+      case Opcode::SIToFP: return Type::F64;
+      case Opcode::FPToSI: return Type::I64;
+      case Opcode::Gep: return Type::Ptr;
+      case Opcode::Tid:
+      case Opcode::NumThreads:
+      case Opcode::AtomicAdd:
+      case Opcode::HashRand: return Type::I64;
+      case Opcode::Sqrt:
+      case Opcode::Sin:
+      case Opcode::Cos:
+      case Opcode::FAbs:
+      case Opcode::Floor: return Type::F64;
+      case Opcode::Select: return Type::I64;  // refined after operand parse
+      default: return Type::Void;
+    }
+  }
+
+  void resolve_forward_values() {
+    for (const auto& fix : forward_value_fixups_) {
+      auto it = values_.find(fix.name);
+      if (it == values_.end()) {
+        throw CompileError("undefined value: %" + fix.name);
+      }
+      fix.inst->set_operand(fix.operand_index, it->second);
+    }
+    forward_value_fixups_.clear();
+  }
+
+  void resolve_pending_calls() {
+    for (const auto& pc : pending_calls_) {
+      Function* callee = module_->find_function(pc.callee_name);
+      if (callee == nullptr) {
+        throw CompileError("undefined function: @" + pc.callee_name);
+      }
+      pc.inst->set_callee(callee);
+      if (pc.has_result) pc.inst->set_type(callee->return_type());
+    }
+    pending_calls_.clear();
+  }
+
+  struct ForwardFixup {
+    Instruction* inst;
+    std::size_t operand_index;
+    std::string name;
+  };
+  struct PendingCall {
+    Instruction* inst;
+    std::string callee_name;
+    bool has_result;
+  };
+
+  std::string_view text_;
+  std::vector<std::string_view> lines_;
+  std::size_t line_index_ = 0;
+  std::unique_ptr<Module> module_;
+  std::unordered_map<std::string, Value*> values_;
+  std::unordered_map<std::string, BasicBlock*> blocks_;
+  std::vector<ForwardFixup> forward_value_fixups_;
+  std::vector<PendingCall> pending_calls_;
+};
+
+}  // namespace
+
+std::unique_ptr<Module> parse_module(std::string_view text) {
+  return IRParser(text).run();
+}
+
+}  // namespace bw::ir

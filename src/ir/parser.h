@@ -1,0 +1,18 @@
+// Parser for the textual IR emitted by Module::to_string(). Primarily used
+// by the test suite to build precise IR fragments, and to round-trip-check
+// the printer.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ir/module.h"
+#include "support/diagnostics.h"  // parse_module() throws CompileError
+
+namespace bw::ir {
+
+/// Parse a textual module. Throws bw::support::CompileError on malformed
+/// input.
+std::unique_ptr<Module> parse_module(std::string_view text);
+
+}  // namespace bw::ir

@@ -1,0 +1,200 @@
+// Textual form of the IR. The format is accepted back by ir/parser.cpp, so
+// print -> parse -> print is a fixpoint (tested in tests/ir_roundtrip_test).
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+namespace bw::ir {
+
+namespace {
+
+class Printer {
+ public:
+  explicit Printer(const Module& module) : module_(module) {}
+
+  std::string run() {
+    out_ << "module \"" << module_.name() << "\"\n";
+    for (const auto& g : module_.globals()) print_global(*g);
+    for (const auto& f : module_.functions()) {
+      out_ << "\n";
+      print_function(*f);
+    }
+    return out_.str();
+  }
+
+ private:
+  void print_global(const GlobalVariable& g) {
+    out_ << "global @" << g.name() << " : " << to_string(g.element_type());
+    if (!g.is_scalar_global()) out_ << "[" << g.size() << "]";
+    const auto& init = g.init_words();
+    if (!init.empty()) {
+      if (g.is_scalar_global()) {
+        out_ << " = " << init[0];
+      } else {
+        out_ << " = [";
+        for (std::size_t i = 0; i < init.size(); ++i) {
+          if (i != 0) out_ << ", ";
+          out_ << init[i];
+        }
+        out_ << "]";
+      }
+    }
+    out_ << "\n";
+  }
+
+  void print_function(const Function& f) {
+    names_.clear();
+    taken_.clear();
+    next_id_ = 0;
+    // Pre-assign names: arguments first, then value-producing instructions.
+    for (const auto& arg : f.args()) assign_name(arg.get());
+    for (const auto& bb : f.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->type() != Type::Void) assign_name(inst.get());
+      }
+    }
+
+    out_ << "func @" << f.name() << "(";
+    for (std::size_t i = 0; i < f.num_args(); ++i) {
+      if (i != 0) out_ << ", ";
+      out_ << names_[f.arg(i)] << ": " << to_string(f.arg(i)->type());
+    }
+    out_ << ") -> " << to_string(f.return_type()) << " {\n";
+    for (const auto& bb : f.blocks()) {
+      out_ << bb->name() << ":\n";
+      for (const auto& inst : bb->instructions()) print_instruction(*inst);
+    }
+    out_ << "}\n";
+  }
+
+  void assign_name(const Value* v) {
+    std::string base =
+        v->name().empty() ? "v" + std::to_string(next_id_++) : v->name();
+    // Disambiguate duplicate source names.
+    std::string candidate = base;
+    int suffix = 1;
+    while (taken_.count(candidate) != 0) {
+      candidate = base + "." + std::to_string(suffix++);
+    }
+    taken_.insert(candidate);
+    names_[v] = "%" + candidate;
+  }
+
+  std::string operand_ref(const Value* v) const {
+    switch (v->kind()) {
+      case ValueKind::ConstantInt: {
+        const auto* ci = static_cast<const ConstantInt*>(v);
+        if (ci->type() == Type::I1) return ci->value() != 0 ? "true" : "false";
+        return std::to_string(ci->value());
+      }
+      case ValueKind::ConstantFloat: {
+        std::ostringstream ss;
+        double d = static_cast<const ConstantFloat*>(v)->value();
+        ss.precision(17);
+        ss << d;
+        std::string s = ss.str();
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos &&
+            s.find("inf") == std::string::npos &&
+            s.find("nan") == std::string::npos) {
+          s += ".0";
+        }
+        return s;
+      }
+      case ValueKind::GlobalVariable:
+        return "@" + v->name();
+      case ValueKind::Argument:
+      case ValueKind::Instruction: {
+        auto it = names_.find(v);
+        BW_INTERNAL_CHECK(it != names_.end(), "operand has no name");
+        return it->second;
+      }
+    }
+    return "<bad-value>";
+  }
+
+  void print_instruction(const Instruction& inst) {
+    out_ << "  ";
+    if (inst.type() != Type::Void) out_ << names_[&inst] << " = ";
+    switch (inst.opcode()) {
+      case Opcode::ICmp:
+      case Opcode::FCmp:
+        out_ << to_string(inst.opcode()) << " " << to_string(inst.cmp_pred())
+             << " " << operand_ref(inst.operand(0)) << ", "
+             << operand_ref(inst.operand(1));
+        break;
+      case Opcode::Alloca:
+        out_ << "alloca " << to_string(inst.alloca_type());
+        break;
+      case Opcode::Load:
+        out_ << "load " << to_string(inst.type()) << ", "
+             << operand_ref(inst.operand(0));
+        break;
+      case Opcode::Br:
+        out_ << "br " << inst.successors()[0]->name();
+        break;
+      case Opcode::CondBr:
+        out_ << "cond_br " << operand_ref(inst.operand(0)) << ", "
+             << inst.successors()[0]->name() << ", "
+             << inst.successors()[1]->name();
+        break;
+      case Opcode::Phi: {
+        out_ << "phi " << to_string(inst.type());
+        for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+          out_ << (i == 0 ? " " : ", ") << "[ "
+               << operand_ref(inst.operand(i)) << ", "
+               << inst.incoming_blocks()[i]->name() << " ]";
+        }
+        break;
+      }
+      case Opcode::Call: {
+        out_ << "call @" << inst.callee()->name() << "(";
+        for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+          if (i != 0) out_ << ", ";
+          out_ << operand_ref(inst.operand(i));
+        }
+        out_ << ")";
+        if (inst.imm() != 0) out_ << " !callsite " << inst.imm();
+        break;
+      }
+      case Opcode::BwSendCond:
+        out_ << "bw.send_cond " << inst.imm();
+        for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+          out_ << ", " << operand_ref(inst.operand(i));
+        }
+        break;
+      case Opcode::BwSendOutcome:
+        out_ << "bw.send_outcome " << inst.imm() << ", "
+             << (inst.flag() ? "taken" : "not_taken");
+        break;
+      case Opcode::BwLoopEnter:
+      case Opcode::BwLoopIter:
+      case Opcode::BwLoopExit:
+        out_ << to_string(inst.opcode()) << " " << inst.imm();
+        break;
+      default: {
+        out_ << to_string(inst.opcode());
+        for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+          out_ << (i == 0 ? " " : ", ") << operand_ref(inst.operand(i));
+        }
+        break;
+      }
+    }
+    out_ << "\n";
+  }
+
+  const Module& module_;
+  std::ostringstream out_;
+  std::unordered_map<const Value*, std::string> names_;
+  std::unordered_set<std::string> taken_;
+  unsigned next_id_ = 0;
+};
+
+}  // namespace
+
+std::string Module::to_string() const { return Printer(*this).run(); }
+
+}  // namespace bw::ir

@@ -1,0 +1,16 @@
+#include "ir/type.h"
+
+namespace bw::ir {
+
+std::string to_string(Type type) {
+  switch (type) {
+    case Type::Void: return "void";
+    case Type::I1: return "i1";
+    case Type::I64: return "i64";
+    case Type::F64: return "f64";
+    case Type::Ptr: return "ptr";
+  }
+  return "<bad-type>";
+}
+
+}  // namespace bw::ir

@@ -1,0 +1,33 @@
+// The BLOCKWATCH IR type system. Deliberately small: the IR exists to carry
+// SPMD kernels through SSA construction, the similarity analysis, the
+// instrumentation pass, and the interpreter.
+#pragma once
+
+#include <string>
+
+namespace bw::ir {
+
+/// Scalar and pointer types of the IR.
+///
+/// * I1  - boolean, produced by comparisons, consumed by cond_br/select.
+/// * I64 - the only integer type (BW-C `int`).
+/// * F64 - the only float type (BW-C `float`).
+/// * Ptr - an address into VM memory (a global's base, a GEP result, or an
+///         alloca slot). Untyped, like LLVM's opaque pointers; loads and
+///         stores carry the accessed scalar type themselves.
+enum class Type {
+  Void,
+  I1,
+  I64,
+  F64,
+  Ptr,
+};
+
+/// Printable spelling used by the textual IR printer and parser.
+std::string to_string(Type type);
+
+inline bool is_scalar(Type type) {
+  return type == Type::I1 || type == Type::I64 || type == Type::F64;
+}
+
+}  // namespace bw::ir

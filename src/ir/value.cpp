@@ -1,0 +1,5 @@
+#include "ir/value.h"
+
+// Value and its subclasses are header-only today; this TU anchors the
+// vtable of Value so it is emitted exactly once.
+namespace bw::ir {}  // namespace bw::ir

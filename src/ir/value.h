@@ -1,0 +1,166 @@
+// Value hierarchy of the BLOCKWATCH IR: constants, function arguments,
+// globals, and instructions (see instruction.h). Values are identified by
+// pointer; the printer assigns stable per-function numbers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace bw::ir {
+
+class Function;
+
+/// Discriminator for the Value hierarchy (LLVM-RTTI style, no dynamic_cast).
+enum class ValueKind {
+  ConstantInt,
+  ConstantFloat,
+  Argument,
+  GlobalVariable,
+  Instruction,
+};
+
+/// Base of everything that can appear as an instruction operand.
+class Value {
+ public:
+  virtual ~Value() = default;
+
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  ValueKind kind() const noexcept { return kind_; }
+  Type type() const noexcept { return type_; }
+
+  /// Late type refinement, used only by the IR parser when a result type
+  /// depends on a forward reference (calls to not-yet-parsed functions,
+  /// select over forward operands).
+  void set_type(Type type) noexcept { type_ = type; }
+
+  /// Optional source-level name (set by the front-end; purely cosmetic).
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  bool is_constant() const noexcept {
+    return kind_ == ValueKind::ConstantInt || kind_ == ValueKind::ConstantFloat;
+  }
+
+ protected:
+  Value(ValueKind kind, Type type) : kind_(kind), type_(type) {}
+
+ private:
+  ValueKind kind_;
+  Type type_;
+  std::string name_;
+};
+
+/// Integer (I64) or boolean (I1) constant.
+class ConstantInt : public Value {
+ public:
+  ConstantInt(std::int64_t value, Type type)
+      : Value(ValueKind::ConstantInt, type), value_(value) {}
+
+  std::int64_t value() const noexcept { return value_; }
+
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::ConstantInt;
+  }
+
+ private:
+  std::int64_t value_;
+};
+
+/// Floating-point (F64) constant.
+class ConstantFloat : public Value {
+ public:
+  explicit ConstantFloat(double value)
+      : Value(ValueKind::ConstantFloat, Type::F64), value_(value) {}
+
+  double value() const noexcept { return value_; }
+
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::ConstantFloat;
+  }
+
+ private:
+  double value_;
+};
+
+/// Formal parameter of a Function.
+class Argument : public Value {
+ public:
+  Argument(Type type, unsigned index, Function* parent)
+      : Value(ValueKind::Argument, type), index_(index), parent_(parent) {}
+
+  unsigned index() const noexcept { return index_; }
+  Function* parent() const noexcept { return parent_; }
+
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::Argument;
+  }
+
+ private:
+  unsigned index_;
+  Function* parent_;
+};
+
+/// A module-level shared variable: a scalar (size == 1) or a fixed-size
+/// 1-D array of I64 or F64 words. Its Value type is Ptr (the base address).
+/// In the SPMD model every global is shared among all threads — this is
+/// what seeds the `shared` similarity category.
+class GlobalVariable : public Value {
+ public:
+  GlobalVariable(std::string name, Type element_type, std::uint64_t size)
+      : Value(ValueKind::GlobalVariable, Type::Ptr),
+        element_type_(element_type),
+        size_(size) {
+    set_name(std::move(name));
+  }
+
+  Type element_type() const noexcept { return element_type_; }
+  std::uint64_t size() const noexcept { return size_; }
+  bool is_scalar_global() const noexcept { return size_ == 1; }
+
+  /// Optional initial values (word-for-word); zero-filled when absent.
+  const std::vector<std::int64_t>& init_words() const noexcept {
+    return init_words_;
+  }
+  void set_init_words(std::vector<std::int64_t> words) {
+    init_words_ = std::move(words);
+  }
+
+  static bool classof(const Value* v) {
+    return v->kind() == ValueKind::GlobalVariable;
+  }
+
+ private:
+  Type element_type_;
+  std::uint64_t size_;
+  std::vector<std::int64_t> init_words_;
+};
+
+/// LLVM-style isa/cast helpers keyed on ValueKind.
+template <typename T>
+bool isa(const Value* v) {
+  return v != nullptr && T::classof(v);
+}
+
+template <typename T>
+T* dyn_cast(Value* v) {
+  return isa<T>(v) ? static_cast<T*>(v) : nullptr;
+}
+
+template <typename T>
+const T* dyn_cast(const Value* v) {
+  return isa<T>(v) ? static_cast<const T*>(v) : nullptr;
+}
+
+template <typename T>
+T* cast(Value* v) {
+  T* result = dyn_cast<T>(v);
+  return result;
+}
+
+}  // namespace bw::ir

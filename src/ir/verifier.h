@@ -1,0 +1,21 @@
+// Structural and SSA well-formedness checks, run after the front-end,
+// after mem2reg, and after instrumentation. Catches compiler bugs early
+// instead of letting them surface as interpreter misbehaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace bw::ir {
+
+/// Returns a list of human-readable violations; empty means the module is
+/// well formed.
+std::vector<std::string> verify_module(const Module& module);
+
+/// Convenience wrapper that throws bw::support::CompileError listing all
+/// violations.
+void verify_module_or_throw(const Module& module);
+
+}  // namespace bw::ir

@@ -1,0 +1,79 @@
+#include "pipeline/pipeline.h"
+
+#include "ir/verifier.h"
+
+namespace bw::pipeline {
+
+CompiledProgram compile_program(std::string_view source,
+                                const PipelineOptions& options) {
+  CompiledProgram program;
+  program.module = frontend::compile(source, options.compile);
+  program.analysis =
+      analysis::analyze_similarity(*program.module, options.similarity);
+  return program;
+}
+
+CompiledProgram protect_program(std::string_view source,
+                                const PipelineOptions& options) {
+  CompiledProgram program = compile_program(source, options);
+  program.instrument_stats = instrument::instrument_module(
+      *program.module, program.analysis, options.instrumentation);
+  program.instrumented = true;
+  if (options.compile.verify) ir::verify_module_or_throw(*program.module);
+  return program;
+}
+
+ExecutionResult execute(const CompiledProgram& program,
+                        const ExecutionConfig& config) {
+  ExecutionResult result;
+
+  std::unique_ptr<runtime::Monitor> monitor;
+  std::unique_ptr<runtime::HierarchicalMonitor> tree;
+  runtime::BranchSink* sink = nullptr;
+  if (config.monitor == MonitorMode::Hierarchical) {
+    runtime::HierarchicalMonitorOptions hopts;
+    hopts.num_groups = config.monitor_groups;
+    hopts.queue_capacity = config.monitor_options.queue_capacity;
+    tree = std::make_unique<runtime::HierarchicalMonitor>(
+        config.num_threads, hopts);
+    tree->start();
+    sink = tree.get();
+  } else if (config.monitor != MonitorMode::Off) {
+    runtime::MonitorOptions mopts = config.monitor_options;
+    mopts.perform_checks = config.monitor == MonitorMode::Full;
+    monitor = std::make_unique<runtime::Monitor>(config.num_threads, mopts);
+    monitor->start();
+    sink = monitor.get();
+  }
+
+  vm::RunOptions ropts;
+  ropts.num_threads = config.num_threads;
+  ropts.parallel_entry = config.parallel_entry;
+  ropts.init_function =
+      program.module->find_function(config.init_function) != nullptr
+          ? config.init_function
+          : std::string();
+  ropts.monitor = sink;
+  ropts.fault = config.fault;
+  ropts.instruction_budget = config.instruction_budget;
+  ropts.stop_on_detection = config.stop_on_detection;
+  result.run = vm::run_program(*program.module, ropts);
+
+  if (monitor != nullptr) {
+    monitor->stop();
+    result.violations = monitor->violations();
+    result.monitor_stats = monitor->stats();
+    result.detected = result.run.detected || !result.violations.empty();
+  } else if (tree != nullptr) {
+    tree->stop();
+    result.violations = tree->violations();
+    runtime::HierarchicalStats hstats = tree->stats();
+    result.monitor_stats.reports_processed = hstats.reports_processed;
+    result.monitor_stats.instances_checked = hstats.instances_checked;
+    result.monitor_stats.violations = hstats.violations;
+    result.detected = result.run.detected || !result.violations.empty();
+  }
+  return result;
+}
+
+}  // namespace bw::pipeline

@@ -1,0 +1,80 @@
+// One-call drivers for the full BLOCKWATCH flow:
+//   BW-C source -> SSA IR -> similarity analysis -> instrumentation
+//     -> VM execution with the runtime monitor.
+// This is the library's primary public API; the examples, benches and the
+// fault-injection campaign are all written against it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/similarity.h"
+#include "frontend/compiler.h"
+#include "instrument/instrument.h"
+#include "runtime/hierarchical_monitor.h"
+#include "runtime/monitor.h"
+#include "vm/machine.h"
+
+namespace bw::pipeline {
+
+struct PipelineOptions {
+  frontend::CompileOptions compile;
+  analysis::SimilarityOptions similarity;
+  instrument::InstrumentOptions instrumentation;
+};
+
+/// A compiled (and possibly instrumented) program plus its analysis.
+struct CompiledProgram {
+  std::unique_ptr<ir::Module> module;
+  analysis::SimilarityResult analysis;
+  instrument::InstrumentStats instrument_stats;
+  bool instrumented = false;
+};
+
+/// Compile and analyze only — the module carries no instrumentation
+/// (baseline runs, Table IV/V statistics).
+CompiledProgram compile_program(std::string_view source,
+                                const PipelineOptions& options = {});
+
+/// Compile, analyze, and instrument: the full BLOCKWATCH build.
+CompiledProgram protect_program(std::string_view source,
+                                const PipelineOptions& options = {});
+
+enum class MonitorMode {
+  Off,           // no monitor thread; bw.* instructions are ignored
+  DrainOnly,     // monitor drains queues but checks nothing (the paper's
+                 // 32-thread performance configuration)
+  Full,          // drain + check (normal operation)
+  Hierarchical,  // multi-level monitor tree (paper §VI future work):
+                 // leaf monitors per thread subgroup + a root merger
+};
+
+struct ExecutionConfig {
+  unsigned num_threads = 4;
+  MonitorMode monitor = MonitorMode::Full;
+  vm::FaultPlan fault;
+  std::uint64_t instruction_budget = 0;
+  bool stop_on_detection = true;
+  runtime::MonitorOptions monitor_options;
+  /// Subgroups for MonitorMode::Hierarchical.
+  unsigned monitor_groups = 2;
+  /// Entry points (must match the names used at analysis time).
+  std::string parallel_entry = "slave";
+  std::string init_function = "init";
+};
+
+struct ExecutionResult {
+  vm::RunResult run;
+  std::vector<runtime::Violation> violations;
+  runtime::MonitorStats monitor_stats;
+  /// Violation raised either during the run (stop-on-detection) or found
+  /// when the monitor finalized at end of run.
+  bool detected = false;
+};
+
+ExecutionResult execute(const CompiledProgram& program,
+                        const ExecutionConfig& config);
+
+}  // namespace bw::pipeline

@@ -1,0 +1,147 @@
+#include "runtime/checker.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bw::runtime {
+
+namespace {
+
+constexpr std::uint32_t kNoSuspect = 0xffffffffu;
+
+/// All reporting threads must agree on the outcome. Suspect: the minority
+/// thread if the minority is a single thread. When condition data was also
+/// sent (the send_cond_for_shared extension), the values themselves must
+/// agree too — catching corruptions that do not flip this branch.
+std::optional<std::uint32_t> check_shared(
+    const std::vector<ThreadObservation>& obs) {
+  bool have_reference = false;
+  std::uint64_t reference = 0;
+  std::uint32_t reference_thread = 0;
+  for (const ThreadObservation& o : obs) {
+    if (!o.has_value) continue;
+    if (!have_reference) {
+      have_reference = true;
+      reference = o.value;
+      reference_thread = o.thread;
+    } else if (o.value != reference) {
+      // Two threads disagree on a value that is statically identical;
+      // blame the later reporter (arbitrary but stable).
+      return o.thread != reference_thread ? o.thread : kNoSuspect;
+    }
+  }
+
+  int taken = 0;
+  int not_taken = 0;
+  for (const ThreadObservation& o : obs) {
+    if (!o.has_outcome) continue;
+    (o.outcome ? taken : not_taken)++;
+  }
+  if (taken == 0 || not_taken == 0) return std::nullopt;
+  bool minority_outcome = taken < not_taken;
+  int minority = std::min(taken, not_taken);
+  if (minority == 1) {
+    for (const ThreadObservation& o : obs) {
+      if (o.has_outcome && o.outcome == minority_outcome) return o.thread;
+    }
+  }
+  return kNoSuspect;
+}
+
+/// threadID with an equality comparison: at most one thread may deviate
+/// from the majority outcome (paper: "one thread follows one path and the
+/// remaining threads follow the other"). All-agree is also legal (the
+/// singled-out thread may simply not be participating).
+std::optional<std::uint32_t> check_threadid_eq(
+    const std::vector<ThreadObservation>& obs) {
+  int taken = 0;
+  int not_taken = 0;
+  for (const ThreadObservation& o : obs) {
+    if (!o.has_outcome) continue;
+    (o.outcome ? taken : not_taken)++;
+  }
+  if (std::min(taken, not_taken) <= 1) return std::nullopt;
+  return kNoSuspect;
+}
+
+/// threadID with an ordered comparison over an affine function of tid:
+/// ordered by thread id, the outcome sequence must change at most once
+/// (prefix/suffix pattern). Suspect: a thread flanked by two transitions.
+std::optional<std::uint32_t> check_threadid_monotone(
+    const std::vector<ThreadObservation>& obs) {
+  std::vector<const ThreadObservation*> sorted;
+  for (const ThreadObservation& o : obs) {
+    if (o.has_outcome) sorted.push_back(&o);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ThreadObservation* a, const ThreadObservation* b) {
+              return a->thread < b->thread;
+            });
+  int transitions = 0;
+  std::size_t first_transition = 0;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i]->outcome != sorted[i - 1]->outcome) {
+      if (transitions == 0) first_transition = i;
+      ++transitions;
+    }
+  }
+  if (transitions <= 1) return std::nullopt;
+  // A lone island like 0001000 indicts the island thread.
+  if (transitions == 2 && first_transition + 1 < sorted.size() &&
+      sorted[first_transition + 1]->outcome !=
+          sorted[first_transition]->outcome) {
+    return sorted[first_transition]->thread;
+  }
+  return kNoSuspect;
+}
+
+/// partial: threads reporting equal condition data must agree on the
+/// outcome (paper: "threads which are assigned to the same shared variable
+/// take the same decision").
+std::optional<std::uint32_t> check_partial(
+    const std::vector<ThreadObservation>& obs) {
+  struct Group {
+    int taken = 0;
+    int not_taken = 0;
+    std::uint32_t last_taken = kNoSuspect;
+    std::uint32_t last_not_taken = kNoSuspect;
+  };
+  std::unordered_map<std::uint64_t, Group> groups;
+  for (const ThreadObservation& o : obs) {
+    if (!o.has_outcome || !o.has_value) continue;
+    Group& g = groups[o.value];
+    if (o.outcome) {
+      ++g.taken;
+      g.last_taken = o.thread;
+    } else {
+      ++g.not_taken;
+      g.last_not_taken = o.thread;
+    }
+  }
+  for (const auto& [value, g] : groups) {
+    (void)value;
+    if (g.taken == 0 || g.not_taken == 0) continue;
+    // A lone minority inside a group is the suspect; a tie (e.g. 1 vs 1)
+    // identifies a violation but no particular thread.
+    if (g.taken == 1 && g.not_taken > 1) return g.last_taken;
+    if (g.not_taken == 1 && g.taken > 1) return g.last_not_taken;
+    return kNoSuspect;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> check_instance(
+    CheckCode check, const std::vector<ThreadObservation>& observations) {
+  switch (check) {
+    case CheckCode::SharedOutcome: return check_shared(observations);
+    case CheckCode::ThreadIdEq: return check_threadid_eq(observations);
+    case CheckCode::ThreadIdMonotone:
+      return check_threadid_monotone(observations);
+    case CheckCode::PartialValue: return check_partial(observations);
+  }
+  return std::nullopt;
+}
+
+}  // namespace bw::runtime

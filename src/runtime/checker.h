@@ -1,0 +1,32 @@
+// The category checkers: given all reports for one branch instance, decide
+// whether the threads' behaviours are consistent with the statically
+// inferred similarity (paper Table I, right column). Pure functions,
+// separated from the monitor for direct unit/property testing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/report.h"
+
+namespace bw::runtime {
+
+/// One thread's contribution to a branch instance.
+struct ThreadObservation {
+  std::uint32_t thread = 0;
+  bool has_outcome = false;
+  bool outcome = false;
+  bool has_value = false;
+  std::uint64_t value = 0;  // condition data (PartialValue checks)
+};
+
+/// Check one completed (or finalized) instance. Observations may cover only
+/// a subset of threads — every check is sound on subsets (see DESIGN.md).
+/// Returns the offending thread when a violation is found (or
+/// a violation with suspect UINT32_MAX when no single thread stands out),
+/// std::nullopt when the instance is consistent.
+std::optional<std::uint32_t> check_instance(
+    CheckCode check, const std::vector<ThreadObservation>& observations);
+
+}  // namespace bw::runtime

@@ -1,0 +1,49 @@
+#include "runtime/context_tracker.h"
+
+#include "support/diagnostics.h"
+#include "support/prng.h"
+
+namespace bw::runtime {
+
+ContextTracker::ContextTracker() {
+  ctx_stack_.push_back(0x9E3779B97F4A7C15ULL);  // root context
+  frame_loop_depth_.push_back(0);
+}
+
+void ContextTracker::push_call(std::uint32_t callsite_id) {
+  ctx_stack_.push_back(
+      support::hash_combine(ctx_stack_.back(), callsite_id));
+  frame_loop_depth_.push_back(loop_counters_.size());
+}
+
+void ContextTracker::pop_call() {
+  BW_INTERNAL_CHECK(ctx_stack_.size() > 1, "pop_call on root context");
+  ctx_stack_.pop_back();
+  // A return from inside loops abandons their counters.
+  loop_counters_.resize(frame_loop_depth_.back());
+  frame_loop_depth_.pop_back();
+}
+
+void ContextTracker::loop_enter() { loop_counters_.push_back(0); }
+
+void ContextTracker::loop_iter() {
+  BW_INTERNAL_CHECK(!loop_counters_.empty(), "loop_iter outside a loop");
+  ++loop_counters_.back();
+}
+
+void ContextTracker::loop_exit() {
+  BW_INTERNAL_CHECK(!loop_counters_.empty(), "loop_exit outside a loop");
+  loop_counters_.pop_back();
+}
+
+std::uint64_t ContextTracker::iter_hash() const {
+  std::uint64_t h = 0x2545F4914F6CDD1DULL;
+  // The whole active loop nest participates (outer frames' loops included):
+  // keys must agree across threads at the same logical point.
+  for (std::uint64_t counter : loop_counters_) {
+    h = support::hash_combine(h, counter);
+  }
+  return h;
+}
+
+}  // namespace bw::runtime

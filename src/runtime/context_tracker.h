@@ -1,0 +1,47 @@
+// Per-thread runtime context: the call-site stack and the iteration
+// counters of the active loop nest. Together they form the dynamic half of
+// the monitor's two-level hash key (paper Section III-B, "Hash table Key"):
+// level 1 = (call-site context, static branch id), level 2 = outer-loop
+// iteration numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bw::runtime {
+
+class ContextTracker {
+ public:
+  ContextTracker();
+
+  /// Entering an instrumented call site (the compiler assigns each Call a
+  /// unique non-zero id).
+  void push_call(std::uint32_t callsite_id);
+  /// Leaving the function entered by the matching push_call. Also unwinds
+  /// loop counters of loops the return abandoned.
+  void pop_call();
+
+  /// Loop-entry edge: begin a fresh iteration counter.
+  void loop_enter();
+  /// Loop header executed: advance the innermost counter.
+  void loop_iter();
+  /// Loop-exit edge: retire the innermost counter.
+  void loop_exit();
+
+  /// Call-site context hash (level-1 key component).
+  std::uint64_t ctx_hash() const { return ctx_stack_.back(); }
+  /// Iteration-vector hash over the outermost `max_depth` active loops
+  /// (level-2 key component). Depth limiting implements the paper's
+  /// nesting cutoff consistently across threads.
+  std::uint64_t iter_hash() const;
+
+  std::size_t call_depth() const { return ctx_stack_.size() - 1; }
+  std::size_t loop_depth() const { return loop_counters_.size(); }
+
+ private:
+  std::vector<std::uint64_t> ctx_stack_;      // incremental hashes
+  std::vector<std::uint64_t> loop_counters_;  // active loop iterations
+  std::vector<std::size_t> frame_loop_depth_;  // saved at each push_call
+};
+
+}  // namespace bw::runtime

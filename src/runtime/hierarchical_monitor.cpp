@@ -1,0 +1,275 @@
+#include "runtime/hierarchical_monitor.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+#include "support/prng.h"
+
+namespace bw::runtime {
+
+namespace {
+std::uint64_t level1_key(std::uint64_t ctx_hash, std::uint32_t static_id) {
+  return support::hash_combine(ctx_hash, static_id);
+}
+}  // namespace
+
+HierarchicalMonitor::HierarchicalMonitor(unsigned num_threads,
+                                         HierarchicalMonitorOptions options)
+    : num_threads_(num_threads), options_(options) {
+  unsigned groups = std::max(1u, options_.num_groups);
+  if (groups > num_threads) groups = num_threads;
+  // Contiguous split, sizes differing by at most one.
+  unsigned base = num_threads / groups;
+  unsigned extra = num_threads % groups;
+  unsigned largest_group = base + (extra > 0 ? 1 : 0);
+  BW_INTERNAL_CHECK(largest_group <= kMaxGroupSize,
+                    "subgroup exceeds kMaxGroupSize; use more groups");
+
+  unsigned next = 0;
+  group_of_thread_.resize(num_threads);
+  for (unsigned g = 0; g < groups; ++g) {
+    auto leaf = std::make_unique<Leaf>();
+    leaf->first_thread = next;
+    leaf->num_threads = base + (g < extra ? 1 : 0);
+    for (unsigned t = 0; t < leaf->num_threads; ++t) {
+      group_of_thread_[next + t] = g;
+      leaf->queues.push_back(std::make_unique<SpscQueue<BranchReport>>(
+          options_.queue_capacity));
+    }
+    leaf->to_root = std::make_unique<SpscQueue<InstanceSummary>>(
+        options_.summary_queue_capacity);
+    next += leaf->num_threads;
+    leaves_.push_back(std::move(leaf));
+  }
+}
+
+HierarchicalMonitor::~HierarchicalMonitor() { stop(); }
+
+void HierarchicalMonitor::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  for (auto& leaf : leaves_) {
+    Leaf* l = leaf.get();
+    l->worker = std::thread([this, l] { leaf_run(*l); });
+  }
+  root_thread_ = std::thread([this] { root_run(); });
+}
+
+void HierarchicalMonitor::stop() {
+  if (!started_.load()) return;
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    for (auto& leaf : leaves_) {
+      if (leaf->worker.joinable()) leaf->worker.join();
+    }
+    if (root_thread_.joinable()) root_thread_.join();
+    return;
+  }
+  for (auto& leaf : leaves_) {
+    if (leaf->worker.joinable()) leaf->worker.join();
+  }
+  leaves_done_.store(true, std::memory_order_release);
+  if (root_thread_.joinable()) root_thread_.join();
+}
+
+void HierarchicalMonitor::send(const BranchReport& report) {
+  BW_INTERNAL_CHECK(report.thread < num_threads_,
+                    "report from out-of-range thread");
+  Leaf& leaf = *leaves_[group_of_thread_[report.thread]];
+  SpscQueue<BranchReport>& queue =
+      *leaf.queues[report.thread - leaf.first_thread];
+  while (!queue.try_push(report)) {
+    std::this_thread::yield();
+  }
+}
+
+// --- Leaf side ---------------------------------------------------------------
+
+void HierarchicalMonitor::leaf_run(Leaf& leaf) {
+  BranchReport report;
+  while (true) {
+    bool drained_any = false;
+    for (auto& queue : leaf.queues) {
+      int burst = 256;
+      while (burst-- > 0 && queue->try_pop(report)) {
+        drained_any = true;
+        ++leaf.reports_processed;
+        leaf_process(leaf, report);
+      }
+    }
+    if (!drained_any) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        bool residue = false;
+        for (auto& queue : leaf.queues) {
+          while (queue->try_pop(report)) {
+            residue = true;
+            ++leaf.reports_processed;
+            leaf_process(leaf, report);
+          }
+        }
+        if (!residue) break;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  leaf_finalize(leaf);
+}
+
+void HierarchicalMonitor::leaf_process(Leaf& leaf,
+                                       const BranchReport& report) {
+  std::uint64_t key1 = level1_key(report.ctx_hash, report.static_id);
+  leaf.key_debug.emplace(key1,
+                         std::make_pair(report.static_id, report.ctx_hash));
+  auto [it, inserted] = leaf.table[key1].try_emplace(report.iter_hash);
+  LeafInstance& inst = it->second;
+  if (inserted) {
+    inst.observations.resize(leaf.num_threads);
+    for (unsigned t = 0; t < leaf.num_threads; ++t) {
+      inst.observations[t].thread = leaf.first_thread + t;
+    }
+    inst.check = report.check;
+  }
+  ThreadObservation& obs =
+      inst.observations[report.thread - leaf.first_thread];
+  if (report.kind == ReportKind::Condition) {
+    obs.has_value = true;
+    obs.value = report.value;
+  } else {
+    if (!obs.has_outcome) ++inst.outcomes_reported;
+    obs.has_outcome = true;
+    obs.outcome = report.outcome;
+    if (inst.outcomes_reported == leaf.num_threads) {
+      leaf_forward(leaf, key1, report.iter_hash, inst);
+      leaf.table[key1].erase(report.iter_hash);
+    }
+  }
+}
+
+void HierarchicalMonitor::leaf_forward(Leaf& leaf, std::uint64_t key1,
+                                       std::uint64_t iter,
+                                       LeafInstance& instance) {
+  InstanceSummary summary;
+  const auto& debug = leaf.key_debug.at(key1);
+  summary.static_id = debug.first;
+  summary.ctx_hash = debug.second;
+  summary.iter_hash = iter;
+  summary.check = instance.check;
+  for (const ThreadObservation& obs : instance.observations) {
+    if (!obs.has_outcome && !obs.has_value) continue;
+    BW_INTERNAL_CHECK(summary.count < kMaxGroupSize, "summary overflow");
+    summary.observations[summary.count++] = obs;
+  }
+  if (summary.count == 0) return;
+  ++leaf.summaries_forwarded;
+  while (!leaf.to_root->try_push(summary)) {
+    std::this_thread::yield();
+  }
+}
+
+void HierarchicalMonitor::leaf_finalize(Leaf& leaf) {
+  for (auto& [key1, instances] : leaf.table) {
+    for (auto& [iter, inst] : instances) {
+      if (inst.outcomes_reported > 0) {
+        leaf_forward(leaf, key1, iter, inst);
+      }
+    }
+  }
+  leaf.table.clear();
+}
+
+// --- Root side ---------------------------------------------------------------
+
+void HierarchicalMonitor::root_run() {
+  InstanceSummary summary;
+  while (true) {
+    bool drained_any = false;
+    for (auto& leaf : leaves_) {
+      int burst = 64;
+      while (burst-- > 0 && leaf->to_root->try_pop(summary)) {
+        drained_any = true;
+        root_process(summary);
+      }
+    }
+    if (!drained_any) {
+      if (leaves_done_.load(std::memory_order_acquire)) {
+        bool residue = false;
+        for (auto& leaf : leaves_) {
+          while (leaf->to_root->try_pop(summary)) {
+            residue = true;
+            root_process(summary);
+          }
+        }
+        if (!residue) break;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  root_finalize();
+}
+
+void HierarchicalMonitor::root_process(const InstanceSummary& summary) {
+  std::uint64_t key1 = level1_key(summary.ctx_hash, summary.static_id);
+  root_key_debug_.emplace(
+      key1, std::make_pair(summary.static_id, summary.ctx_hash));
+  auto [it, inserted] = root_table_[key1].try_emplace(summary.iter_hash);
+  RootInstance& inst = it->second;
+  if (inserted) {
+    inst.check = summary.check;
+    inst.iter_hash = summary.iter_hash;
+  }
+  for (std::uint8_t i = 0; i < summary.count; ++i) {
+    inst.observations.push_back(summary.observations[i]);
+  }
+  ++inst.groups_reported;
+  if (inst.groups_reported == leaves_.size()) {
+    root_check(summary.static_id, summary.ctx_hash, inst);
+    root_table_[key1].erase(summary.iter_hash);
+  }
+}
+
+void HierarchicalMonitor::root_check(std::uint32_t static_id,
+                                     std::uint64_t ctx_hash,
+                                     const RootInstance& instance) {
+  ++root_checked_;
+  std::optional<std::uint32_t> suspect =
+      check_instance(instance.check, instance.observations);
+  if (!suspect.has_value()) return;
+  Violation v;
+  v.static_id = static_id;
+  v.ctx_hash = ctx_hash;
+  v.iter_hash = instance.iter_hash;
+  v.check = instance.check;
+  v.suspect_thread = *suspect;
+  violations_.push_back(v);
+  violation_count_.fetch_add(1, std::memory_order_release);
+}
+
+void HierarchicalMonitor::root_finalize() {
+  for (auto& [key1, instances] : root_table_) {
+    const auto& debug = root_key_debug_.at(key1);
+    for (auto& [iter, inst] : instances) {
+      (void)iter;
+      unsigned outcomes = 0;
+      for (const ThreadObservation& obs : inst.observations) {
+        if (obs.has_outcome) ++outcomes;
+      }
+      if (outcomes >= 2) root_check(debug.first, debug.second, inst);
+    }
+  }
+  root_table_.clear();
+}
+
+HierarchicalStats HierarchicalMonitor::stats() const {
+  HierarchicalStats stats;
+  for (const auto& leaf : leaves_) {
+    stats.reports_processed += leaf->reports_processed;
+    stats.summaries_forwarded += leaf->summaries_forwarded;
+  }
+  stats.instances_checked = root_checked_;
+  stats.violations = violation_count_.load(std::memory_order_acquire);
+  return stats;
+}
+
+}  // namespace bw::runtime

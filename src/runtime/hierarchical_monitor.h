@@ -1,0 +1,147 @@
+// Hierarchical monitor (paper Section VI, future work): "we can have
+// multiple monitor threads structured in a hierarchical fashion, each of
+// which is assigned to a sub-group of threads".
+//
+// Architecture: G leaf monitors, each draining the front-end queues of a
+// contiguous subgroup of program threads and accumulating per-instance
+// observations for its subgroup only. Once a leaf's subgroup has fully
+// reported an instance (or at finalize), the leaf forwards a compact
+// summary over its own SPSC queue to the root, which merges the groups'
+// summaries and runs the global cross-thread check. Every queue keeps a
+// single producer and a single consumer, so the whole tree stays
+// lock-free; the root touches G queues instead of N.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/checker.h"
+#include "runtime/monitor_interface.h"
+#include "runtime/spsc_queue.h"
+
+namespace bw::runtime {
+
+struct HierarchicalMonitorOptions {
+  unsigned num_groups = 2;
+  std::size_t queue_capacity = 1 << 14;
+  std::size_t summary_queue_capacity = 1 << 12;
+};
+
+struct HierarchicalStats {
+  std::uint64_t reports_processed = 0;   // across all leaves
+  std::uint64_t summaries_forwarded = 0;
+  std::uint64_t instances_checked = 0;   // at the root
+  std::uint64_t violations = 0;
+};
+
+class HierarchicalMonitor : public BranchSink {
+ public:
+  /// Threads are split into `options.num_groups` contiguous subgroups
+  /// (sizes differing by at most one). Each subgroup may contain at most
+  /// kMaxGroupSize threads.
+  static constexpr unsigned kMaxGroupSize = 16;
+
+  HierarchicalMonitor(unsigned num_threads,
+                      HierarchicalMonitorOptions options = {});
+  ~HierarchicalMonitor() override;
+
+  HierarchicalMonitor(const HierarchicalMonitor&) = delete;
+  HierarchicalMonitor& operator=(const HierarchicalMonitor&) = delete;
+
+  void start();
+  void stop();
+
+  void send(const BranchReport& report) override;
+  bool violation_detected() const override {
+    return violation_count_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Valid after stop().
+  const std::vector<Violation>& violations() const { return violations_; }
+  HierarchicalStats stats() const;
+  unsigned num_groups() const {
+    return static_cast<unsigned>(leaves_.size());
+  }
+
+ private:
+  /// What a leaf tells the root about one branch instance: the raw
+  /// observations of its subgroup (bounded by kMaxGroupSize). Raw
+  /// observations — rather than pre-digested counts — keep every check
+  /// kind exact at the root (monotone needs tid order, partial needs the
+  /// value groups).
+  struct InstanceSummary {
+    std::uint32_t static_id = 0;
+    std::uint64_t ctx_hash = 0;
+    std::uint64_t iter_hash = 0;
+    CheckCode check = CheckCode::SharedOutcome;
+    std::uint8_t count = 0;
+    std::array<ThreadObservation, kMaxGroupSize> observations;
+  };
+
+  struct LeafInstance {
+    std::vector<ThreadObservation> observations;  // subgroup-local index
+    unsigned outcomes_reported = 0;
+    CheckCode check = CheckCode::SharedOutcome;
+  };
+
+  struct Leaf {
+    unsigned first_thread = 0;
+    unsigned num_threads = 0;
+    std::vector<std::unique_ptr<SpscQueue<BranchReport>>> queues;
+    std::unique_ptr<SpscQueue<InstanceSummary>> to_root;
+    // (level-1 key, iter) -> pending instance; leaf-thread private.
+    std::unordered_map<std::uint64_t,
+                       std::unordered_map<std::uint64_t, LeafInstance>>
+        table;
+    std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>>
+        key_debug;
+    std::thread worker;
+    std::uint64_t reports_processed = 0;
+    std::uint64_t summaries_forwarded = 0;
+  };
+
+  struct RootInstance {
+    std::vector<ThreadObservation> observations;  // global thread index
+    unsigned groups_reported = 0;
+    CheckCode check = CheckCode::SharedOutcome;
+    std::uint64_t iter_hash = 0;
+  };
+
+  void leaf_run(Leaf& leaf);
+  void leaf_process(Leaf& leaf, const BranchReport& report);
+  void leaf_forward(Leaf& leaf, std::uint64_t key1, std::uint64_t iter,
+                    LeafInstance& instance);
+  void leaf_finalize(Leaf& leaf);
+
+  void root_run();
+  void root_process(const InstanceSummary& summary);
+  void root_check(std::uint32_t static_id, std::uint64_t ctx_hash,
+                  const RootInstance& instance);
+  void root_finalize();
+
+  unsigned num_threads_;
+  HierarchicalMonitorOptions options_;
+  std::vector<std::unique_ptr<Leaf>> leaves_;
+  std::vector<unsigned> group_of_thread_;
+
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, RootInstance>>
+      root_table_;
+  std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>>
+      root_key_debug_;
+  std::thread root_thread_;
+  std::uint64_t root_checked_ = 0;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> leaves_done_{false};
+  std::atomic<std::uint64_t> violation_count_{0};
+  std::vector<Violation> violations_;
+};
+
+}  // namespace bw::runtime

@@ -1,0 +1,174 @@
+#include "runtime/monitor.h"
+
+#include "support/diagnostics.h"
+#include "support/prng.h"
+
+namespace bw::runtime {
+
+namespace {
+std::uint64_t level1_key(std::uint64_t ctx_hash, std::uint32_t static_id) {
+  return support::hash_combine(ctx_hash, static_id);
+}
+}  // namespace
+
+Monitor::Monitor(unsigned num_threads, MonitorOptions options)
+    : num_threads_(num_threads), options_(options) {
+  queues_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    queues_.push_back(
+        std::make_unique<SpscQueue<BranchReport>>(options_.queue_capacity));
+  }
+}
+
+Monitor::~Monitor() { stop(); }
+
+void Monitor::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Monitor::stop() {
+  if (!started_.load()) return;
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void Monitor::send(const BranchReport& report) {
+  BW_INTERNAL_CHECK(report.thread < num_threads_,
+                    "report from out-of-range thread");
+  SpscQueue<BranchReport>& queue = *queues_[report.thread];
+  // The monitor always drains, so a full ring is momentary backpressure.
+  while (!queue.try_push(report)) {
+    std::this_thread::yield();
+  }
+}
+
+void Monitor::run() {
+  BranchReport report;
+  while (true) {
+    bool drained_any = false;
+    // Round-robin over the per-thread front-end queues (paper Fig. 4).
+    for (auto& queue : queues_) {
+      int burst = 256;  // bounded burst keeps round-robin fair
+      while (burst-- > 0 && queue->try_pop(report)) {
+        drained_any = true;
+        ++stats_.reports_processed;
+        process(report);
+      }
+    }
+    if (!drained_any) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        // One final sweep: producers have stopped by contract.
+        bool residue = false;
+        for (auto& queue : queues_) {
+          while (queue->try_pop(report)) {
+            residue = true;
+            ++stats_.reports_processed;
+            process(report);
+          }
+        }
+        if (!residue) break;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  finalize_all();
+}
+
+Monitor::Instance& Monitor::instance_for(const BranchReport& report) {
+  std::uint64_t key1 = level1_key(report.ctx_hash, report.static_id);
+  Branch& branch = table_[key1];
+  key_debug_.emplace(key1,
+                     std::make_pair(report.static_id, report.ctx_hash));
+  auto [it, inserted] = branch.instances.try_emplace(report.iter_hash);
+  Instance& inst = it->second;
+  if (inserted) {
+    inst.observations.resize(num_threads_);
+    for (unsigned t = 0; t < num_threads_; ++t) {
+      inst.observations[t].thread = t;
+    }
+    inst.check = report.check;
+    inst.iter_hash = report.iter_hash;
+    inst.sequence = next_sequence_++;
+    maybe_evict(key1, report.static_id, report.ctx_hash);
+  }
+  return inst;
+}
+
+void Monitor::process(const BranchReport& report) {
+  if (!options_.perform_checks) return;  // drain-only mode
+  Instance& inst = instance_for(report);
+  ThreadObservation& obs = inst.observations[report.thread];
+  if (report.kind == ReportKind::Condition) {
+    obs.has_value = true;
+    obs.value = report.value;
+  } else {
+    if (!obs.has_outcome) ++inst.outcomes_reported;
+    obs.has_outcome = true;
+    obs.outcome = report.outcome;
+    if (inst.outcomes_reported == num_threads_) {
+      // Eager path: everyone reported; check and evict.
+      check_instance_now(report.static_id, report.ctx_hash, inst);
+      std::uint64_t key1 = level1_key(report.ctx_hash, report.static_id);
+      table_[key1].instances.erase(report.iter_hash);
+    }
+  }
+}
+
+void Monitor::check_instance_now(std::uint32_t static_id,
+                                 std::uint64_t ctx_hash,
+                                 const Instance& instance) {
+  ++stats_.instances_checked;
+  std::optional<std::uint32_t> suspect =
+      check_instance(instance.check, instance.observations);
+  if (!suspect.has_value()) return;
+  Violation v;
+  v.static_id = static_id;
+  v.ctx_hash = ctx_hash;
+  v.iter_hash = instance.iter_hash;
+  v.check = instance.check;
+  v.suspect_thread = *suspect;
+  violations_.push_back(v);
+  ++stats_.violations;
+  violation_count_.fetch_add(1, std::memory_order_release);
+}
+
+void Monitor::maybe_evict(std::uint64_t key1, std::uint32_t static_id,
+                          std::uint64_t ctx_hash) {
+  Branch& branch = table_[key1];
+  if (branch.instances.size() <= options_.max_pending_per_branch) return;
+  // Evict the oldest pending instance after checking the subset of threads
+  // that did report (sound: every check holds on subsets).
+  auto oldest = branch.instances.begin();
+  for (auto it = branch.instances.begin(); it != branch.instances.end();
+       ++it) {
+    if (it->second.sequence < oldest->second.sequence) oldest = it;
+  }
+  if (oldest->second.outcomes_reported >= 2) {
+    check_instance_now(static_id, ctx_hash, oldest->second);
+  }
+  ++stats_.instances_evicted;
+  branch.instances.erase(oldest);
+}
+
+void Monitor::finalize_all() {
+  for (auto& [key1, branch] : table_) {
+    auto debug = key_debug_[key1];
+    for (auto& [iter_hash, inst] : branch.instances) {
+      (void)iter_hash;
+      if (inst.outcomes_reported >= 2) {
+        check_instance_now(debug.first, debug.second, inst);
+      }
+    }
+    branch.instances.clear();
+  }
+  table_.clear();
+}
+
+}  // namespace bw::runtime

@@ -1,0 +1,118 @@
+// The BLOCKWATCH runtime monitor (paper Section III-B): a dedicated thread
+// that drains per-program-thread lock-free queues, files reports into a
+// two-level hash table keyed by (call-site context + static branch id,
+// outer-loop iteration vector), checks every branch instance once all
+// threads reported (eager path) or at end of the parallel section
+// (finalize path), and records violations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/checker.h"
+#include "runtime/monitor_interface.h"
+#include "runtime/report.h"
+#include "runtime/spsc_queue.h"
+
+namespace bw::runtime {
+
+struct MonitorOptions {
+  std::size_t queue_capacity = 1 << 14;
+  /// Soft cap on pending (incomplete) instances per level-1 bucket; beyond
+  /// it the oldest instances are checked against whatever subset reported
+  /// and evicted (subset checks are sound; see DESIGN.md).
+  std::size_t max_pending_per_branch = 1 << 15;
+  /// When false the monitor drains the queues but performs no checks —
+  /// the paper's 32-thread measurement configuration.
+  bool perform_checks = true;
+};
+
+struct MonitorStats {
+  std::uint64_t reports_processed = 0;
+  std::uint64_t instances_checked = 0;
+  std::uint64_t instances_evicted = 0;
+  std::uint64_t violations = 0;
+};
+
+class Monitor : public BranchSink {
+ public:
+  Monitor(unsigned num_threads, MonitorOptions options = {});
+  ~Monitor() override;
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Launch the monitor thread. Must be called before any report is sent.
+  void start();
+
+  /// Signal end of the parallel section, drain everything, finalize
+  /// residual instances, and join the monitor thread. Idempotent.
+  void stop();
+
+  /// Producer API (called from program thread `thread`): enqueue a report,
+  /// spinning briefly if the ring is momentarily full (the monitor is
+  /// guaranteed to be draining).
+  void send(const BranchReport& report) override;
+
+  /// True once any check has failed. Safe to poll from any thread; the
+  /// program treats this as the paper's "raise an exception" signal.
+  bool violation_detected() const override {
+    return violation_count_.load(std::memory_order_acquire) != 0;
+  }
+  std::uint64_t violation_count() const {
+    return violation_count_.load(std::memory_order_acquire);
+  }
+
+  /// Only valid after stop().
+  const std::vector<Violation>& violations() const { return violations_; }
+  const MonitorStats& stats() const { return stats_; }
+
+  unsigned num_threads() const { return num_threads_; }
+
+ private:
+  struct Instance {
+    std::vector<ThreadObservation> observations;  // indexed by thread id
+    unsigned outcomes_reported = 0;
+    CheckCode check = CheckCode::SharedOutcome;
+    std::uint64_t iter_hash = 0;
+    std::uint64_t sequence = 0;  // insertion order, for eviction
+  };
+  struct Branch {  // level-1 bucket: one (ctx, static_id) pair
+    std::unordered_map<std::uint64_t, Instance> instances;  // by iter hash
+  };
+
+  void run();
+  void process(const BranchReport& report);
+  Instance& instance_for(const BranchReport& report);
+  void check_and_erase(std::uint64_t level1_key, std::uint64_t iter_hash,
+                       std::uint32_t static_id, std::uint64_t ctx_hash);
+  void check_instance_now(std::uint32_t static_id, std::uint64_t ctx_hash,
+                          const Instance& instance);
+  void finalize_all();
+  void maybe_evict(std::uint64_t level1_key, std::uint32_t static_id,
+                   std::uint64_t ctx_hash);
+
+  unsigned num_threads_;
+  MonitorOptions options_;
+  std::vector<std::unique_ptr<SpscQueue<BranchReport>>> queues_;
+  // Level-1 table: hash of (ctx_hash, static_id) -> Branch. The monitor
+  // thread is the only mutator; no locking needed.
+  std::unordered_map<std::uint64_t, Branch> table_;
+  std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>>
+      key_debug_;  // level1 key -> (static_id, ctx) for violation reports
+  std::uint64_t next_sequence_ = 0;
+
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> violation_count_{0};
+  std::vector<Violation> violations_;
+  MonitorStats stats_;
+};
+
+}  // namespace bw::runtime

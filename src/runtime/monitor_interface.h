@@ -1,0 +1,23 @@
+// Abstract interface between instrumented program threads and whichever
+// monitor implementation is attached (the flat Monitor of the paper's
+// implementation, or the HierarchicalMonitor of its Section VI future
+// work). The VM talks only to this.
+#pragma once
+
+#include "runtime/report.h"
+
+namespace bw::runtime {
+
+class BranchSink {
+ public:
+  virtual ~BranchSink() = default;
+
+  /// Called by program thread `report.thread`; must be safe to call
+  /// concurrently from distinct threads (one producer per thread id).
+  virtual void send(const BranchReport& report) = 0;
+
+  /// Cheap cross-thread poll: has any check failed so far?
+  virtual bool violation_detected() const = 0;
+};
+
+}  // namespace bw::runtime

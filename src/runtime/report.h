@@ -1,0 +1,48 @@
+// The wire format between instrumented program threads and the monitor:
+// the C++ equivalent of the paper's sendBranchCondition / sendBranchAddr
+// payloads (static branch id, thread id, call-site context, outer-loop
+// iteration numbers, and either condition data or the branch outcome).
+#pragma once
+
+#include <cstdint>
+
+namespace bw::runtime {
+
+/// Which runtime check a branch instance needs. Mirrors
+/// bw::analysis::CheckKind; duplicated as a plain uint8-backed enum so the
+/// runtime library has no dependency on the analysis headers.
+enum class CheckCode : std::uint8_t {
+  SharedOutcome = 0,
+  ThreadIdEq = 1,
+  ThreadIdMonotone = 2,
+  PartialValue = 3,
+};
+
+enum class ReportKind : std::uint8_t {
+  Condition = 0,  // sendBranchCondition: `value` holds the condition data
+  Outcome = 1,    // sendBranchAddr: `outcome` holds TAKEN/NOTTAKEN
+};
+
+struct BranchReport {
+  std::uint32_t static_id = 0;
+  std::uint32_t thread = 0;
+  std::uint64_t ctx_hash = 0;   // call-site context (paper: call stack ids)
+  std::uint64_t iter_hash = 0;  // outer-loop iteration vector
+  std::uint64_t value = 0;      // condition data (Condition reports)
+  ReportKind kind = ReportKind::Outcome;
+  CheckCode check = CheckCode::SharedOutcome;
+  bool outcome = false;  // taken? (Outcome reports)
+};
+
+/// A check violation detected by the monitor: the paper's "deviation from
+/// the statically inferred behaviour".
+struct Violation {
+  std::uint32_t static_id = 0;
+  std::uint64_t ctx_hash = 0;
+  std::uint64_t iter_hash = 0;
+  CheckCode check = CheckCode::SharedOutcome;
+  /// Thread the checker singled out, when identifiable (else UINT32_MAX).
+  std::uint32_t suspect_thread = 0xffffffffu;
+};
+
+}  // namespace bw::runtime

@@ -1,0 +1,63 @@
+// Lock-free single-producer/single-consumer ring buffer, adapted from
+// Lamport's queue (paper Section III-B: one front-end queue per program
+// thread, drained by the monitor thread). Producer and consumer each touch
+// only their own index with release/acquire pairing; no locks, no dynamic
+// allocation after construction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace bw::runtime {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two; one slot is sacrificed to
+  /// distinguish full from empty.
+  explicit SpscQueue(std::size_t capacity_hint = 4096) {
+    std::size_t cap = 2;
+    while (cap < capacity_hint + 1) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when the ring is full (caller decides
+  /// whether to spin or drop).
+  bool try_push(const T& item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buffer_[head] = item;
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;
+    out = buffer_[tail];
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return mask_; }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer-owned
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer-owned
+};
+
+}  // namespace bw::runtime

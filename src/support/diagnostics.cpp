@@ -1,0 +1,36 @@
+#include "support/diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bw::support {
+
+std::string SourceLoc::to_string() const {
+  if (!valid()) return "<unknown>";
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+namespace {
+std::string format_message(SourceLoc loc, const std::string& message) {
+  if (!loc.valid()) return message;
+  return loc.to_string() + ": " + message;
+}
+}  // namespace
+
+CompileError::CompileError(SourceLoc loc, const std::string& message)
+    : std::runtime_error(format_message(loc, message)), loc_(loc) {}
+
+CompileError::CompileError(const std::string& message)
+    : std::runtime_error(message) {}
+
+void DiagnosticSink::warn(SourceLoc loc, std::string message) {
+  warnings_.push_back(format_message(loc, std::move(message)));
+}
+
+void fatal_internal(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "BLOCKWATCH internal error at %s:%d: %s\n", file, line,
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace bw::support

@@ -1,0 +1,62 @@
+// Source locations and error reporting shared by the BW-C front-end, the IR
+// parser, and the IR verifier.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bw::support {
+
+/// A position in a BW-C source file or textual-IR buffer (1-based).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  bool valid() const noexcept { return line != 0; }
+  std::string to_string() const;
+};
+
+/// Thrown for unrecoverable user-facing errors: lexical/syntax/semantic
+/// errors in BW-C source, malformed textual IR, and verifier failures.
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(SourceLoc loc, const std::string& message);
+  explicit CompileError(const std::string& message);
+
+  SourceLoc loc() const noexcept { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Collects non-fatal warnings (e.g. "branch exceeds nesting cutoff,
+/// unchecked") during compilation and instrumentation.
+class DiagnosticSink {
+ public:
+  void warn(SourceLoc loc, std::string message);
+  void warn(std::string message) { warn(SourceLoc{}, std::move(message)); }
+
+  const std::vector<std::string>& warnings() const noexcept {
+    return warnings_;
+  }
+  bool empty() const noexcept { return warnings_.empty(); }
+
+ private:
+  std::vector<std::string> warnings_;
+};
+
+/// Internal-invariant check; failure indicates a bug in BLOCKWATCH itself,
+/// never in user input.
+[[noreturn]] void fatal_internal(const char* file, int line,
+                                 const std::string& message);
+
+#define BW_INTERNAL_CHECK(cond, msg)                             \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::bw::support::fatal_internal(__FILE__, __LINE__, (msg));  \
+    }                                                            \
+  } while (false)
+
+}  // namespace bw::support

@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation used throughout BLOCKWATCH:
+// by the fault-injection campaign (sampling threads / dynamic branches / bit
+// positions) and, as a pure hash, by the BW-C `hashrand` builtin so that
+// benchmark inputs are reproducible across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+
+namespace bw::support {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+/// Pure (stateless), so BW-C programs can generate reproducible
+/// pseudo-random data without any cross-thread RNG state.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit hashes (boost::hash_combine style, 64-bit variant).
+/// Used for the monitor's two-level hash-table keys: call-site context
+/// hashes and outer-loop iteration-vector hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t v) noexcept {
+  return seed ^ (splitmix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// Small deterministic PRNG with explicit state (xoshiro-like via splitmix).
+/// Each fault-injection experiment owns one, seeded from the campaign seed,
+/// so campaigns are exactly repeatable.
+class SplitMixRng {
+ public:
+  explicit SplitMixRng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Modulo bias is negligible for the bounds used here (<< 2^64) and
+    // determinism matters more than perfect uniformity for fault sampling.
+    return next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace bw::support

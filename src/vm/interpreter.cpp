@@ -1,0 +1,142 @@
+#include "vm/interpreter.h"
+
+#include <unordered_map>
+
+#include "support/diagnostics.h"
+
+namespace bw::vm {
+
+namespace {
+
+class Decoder {
+ public:
+  Decoder(const ir::Module& module, const GlobalLayout& layout,
+          DecodedProgram& out)
+      : module_(module), layout_(layout), out_(out) {}
+
+  void run() {
+    for (const auto& func : module_.functions()) {
+      func_index_[func.get()] = static_cast<std::uint32_t>(out_.functions.size());
+      out_.functions.emplace_back();
+    }
+    for (std::size_t i = 0; i < module_.functions().size(); ++i) {
+      decode_function(*module_.functions()[i], out_.functions[i]);
+    }
+  }
+
+ private:
+  void decode_function(const ir::Function& func, DFunction& out) {
+    out.name = func.name();
+    out.num_args = static_cast<std::uint32_t>(func.num_args());
+    out.returns_value = func.return_type() != ir::Type::Void;
+
+    reg_of_.clear();
+    block_of_.clear();
+    std::uint32_t next_reg = out.num_args;
+    for (std::size_t b = 0; b < func.blocks().size(); ++b) {
+      block_of_[func.blocks()[b].get()] = static_cast<std::uint32_t>(b);
+    }
+    for (const auto& bb : func.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->type() != ir::Type::Void) {
+          reg_of_[inst.get()] = next_reg++;
+        }
+      }
+    }
+    out.num_regs = next_reg;
+
+    for (const auto& bb : func.blocks()) {
+      out.block_first.push_back(static_cast<std::uint32_t>(out.code.size()));
+      for (const auto& inst : bb->instructions()) {
+        out.code.push_back(decode_inst(*inst));
+      }
+    }
+    out.block_first.push_back(static_cast<std::uint32_t>(out.code.size()));
+  }
+
+  DOperand operand(const ir::Value* v) const {
+    DOperand op;
+    switch (v->kind()) {
+      case ir::ValueKind::ConstantInt:
+        op.kind = DOperand::Kind::ImmI;
+        op.i = static_cast<const ir::ConstantInt*>(v)->value();
+        break;
+      case ir::ValueKind::ConstantFloat:
+        op.kind = DOperand::Kind::ImmF;
+        op.f = static_cast<const ir::ConstantFloat*>(v)->value();
+        break;
+      case ir::ValueKind::GlobalVariable:
+        op.kind = DOperand::Kind::ImmI;
+        op.i = static_cast<std::int64_t>(
+            layout_.base_of(static_cast<const ir::GlobalVariable*>(v)));
+        break;
+      case ir::ValueKind::Argument:
+        op.kind = DOperand::Kind::Reg;
+        op.reg = static_cast<const ir::Argument*>(v)->index();
+        break;
+      case ir::ValueKind::Instruction: {
+        auto it = reg_of_.find(static_cast<const ir::Instruction*>(v));
+        BW_INTERNAL_CHECK(it != reg_of_.end(),
+                          "operand instruction has no register");
+        op.kind = DOperand::Kind::Reg;
+        op.reg = it->second;
+        break;
+      }
+    }
+    return op;
+  }
+
+  DInst decode_inst(const ir::Instruction& inst) {
+    DInst d;
+    d.op = inst.opcode();
+    d.pred = inst.cmp_pred();
+    d.flag = inst.flag();
+    d.imm = inst.imm();
+    if (inst.type() != ir::Type::Void) d.dest = reg_of_.at(&inst);
+
+    if (inst.is_phi()) {
+      for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+        DPhiEntry entry;
+        entry.pred_block = block_of_.at(inst.incoming_blocks()[i]);
+        entry.value = operand(inst.operand(i));
+        d.phis.push_back(entry);
+      }
+      return d;
+    }
+    for (const ir::Value* op : inst.operands()) {
+      d.ops.push_back(operand(op));
+    }
+    if (!inst.successors().empty()) {
+      d.succ0 = block_of_.at(inst.successors()[0]);
+      if (inst.successors().size() > 1) {
+        d.succ1 = block_of_.at(inst.successors()[1]);
+      }
+    }
+    if (inst.opcode() == ir::Opcode::Call) {
+      d.callee = func_index_.at(inst.callee());
+    }
+    return d;
+  }
+
+  const ir::Module& module_;
+  const GlobalLayout& layout_;
+  DecodedProgram& out_;
+  std::unordered_map<const ir::Instruction*, std::uint32_t> reg_of_;
+  std::unordered_map<const ir::BasicBlock*, std::uint32_t> block_of_;
+  std::unordered_map<const ir::Function*, std::uint32_t> func_index_;
+};
+
+}  // namespace
+
+DecodedProgram::DecodedProgram(const ir::Module& module) : layout(module) {
+  Decoder(module, layout, *this).run();
+}
+
+std::uint32_t DecodedProgram::function_index(const std::string& name) const {
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return static_cast<std::uint32_t>(i);
+  }
+  return kNoFunc;
+}
+
+}  // namespace bw::vm

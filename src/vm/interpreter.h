@@ -1,0 +1,65 @@
+// Pre-decoded form of a module for fast interpretation. Decoding resolves
+// every operand to a dense register index / immediate once, so the hot
+// loop never touches hash maps, and lays blocks out flat per function.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "vm/memory.h"
+
+namespace bw::vm {
+
+constexpr std::uint32_t kNoReg = 0xffffffffu;
+constexpr std::uint32_t kNoFunc = 0xffffffffu;
+
+/// A resolved operand: either a register of the current frame, or an
+/// immediate (constant / global base address baked in at decode time).
+struct DOperand {
+  enum class Kind : std::uint8_t { Reg, ImmI, ImmF } kind = Kind::ImmI;
+  std::uint32_t reg = kNoReg;
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+
+struct DPhiEntry {
+  std::uint32_t pred_block = 0;
+  DOperand value;
+};
+
+struct DInst {
+  ir::Opcode op = ir::Opcode::Ret;
+  ir::CmpPred pred = ir::CmpPred::EQ;
+  bool flag = false;
+  std::uint32_t dest = kNoReg;
+  std::uint32_t imm = 0;
+  std::uint32_t succ0 = 0;  // block index (Br/CondBr)
+  std::uint32_t succ1 = 0;
+  std::uint32_t callee = kNoFunc;
+  std::vector<DOperand> ops;
+  std::vector<DPhiEntry> phis;  // Phi only
+};
+
+struct DFunction {
+  std::string name;
+  std::uint32_t num_args = 0;
+  std::uint32_t num_regs = 0;  // args occupy regs [0, num_args)
+  /// code laid out block-by-block; block_first[b] is the index of block
+  /// b's first instruction, block_first.back() == code.size().
+  std::vector<DInst> code;
+  std::vector<std::uint32_t> block_first;
+  bool returns_value = false;
+};
+
+struct DecodedProgram {
+  explicit DecodedProgram(const ir::Module& module);
+
+  std::vector<DFunction> functions;
+  GlobalLayout layout;
+
+  std::uint32_t function_index(const std::string& name) const;  // kNoFunc if absent
+};
+
+}  // namespace bw::vm

@@ -1,0 +1,96 @@
+// The SPMD virtual machine: runs a module's `init()` single-threaded, then
+// its parallel entry (`slave()`) on N concurrent OS threads against one
+// shared heap, with barriers, locks, deterministic traps, cooperative hang
+// detection, the BLOCKWATCH monitor client, and fault-injection hooks.
+//
+// This substitutes for the paper's native pthread execution + PIN injector:
+// the monitor, queues and checks are the real runtime; only the ISA is
+// interpreted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "runtime/monitor_interface.h"
+
+namespace bw::vm {
+
+/// A single transient fault to inject (paper Section IV):
+///  * BranchFlip — flip the outcome of the k-th dynamic branch of one
+///    thread (the "flag register" fault; guaranteed activation).
+///  * CondBit — flip one bit of a data operand feeding that branch's
+///    comparison, re-evaluate the comparison, and leave the corrupted
+///    value in the register so it persists past the branch (the
+///    "condition variable" fault).
+struct FaultPlan {
+  bool active = false;
+  unsigned thread = 0;
+  std::uint64_t target_branch = 1;  // 1-based dynamic CondBr index
+  enum class Mode { BranchFlip, CondBit } mode = Mode::BranchFlip;
+  unsigned bit = 0;  // bit position for CondBit (mod 64)
+};
+
+enum class TrapKind {
+  None,
+  OutOfBounds,     // load/store outside the shared heap
+  DivideByZero,    // sdiv/srem by zero
+  BadPointer,      // dereferencing a non-pointer bit pattern
+  InstructionBudget,  // runaway loop (watchdog)
+  Deadlock,        // coordinator found no runnable thread
+  Detected,        // monitor raised a violation; program stopped
+  Aborted,         // another thread trapped; this one was shut down
+};
+
+const char* to_string(TrapKind kind);
+
+struct ThreadOutcome {
+  TrapKind trap = TrapKind::None;
+  std::string detail;
+  std::uint64_t instructions = 0;
+  std::uint64_t branches = 0;  // dynamic CondBr count (fault targeting)
+  bool fault_applied = false;  // this thread reached its planned fault
+  std::string output;          // this thread's print log
+};
+
+struct RunResult {
+  /// True iff every thread ran to completion without traps or hangs.
+  bool ok = false;
+  bool hang = false;      // any deadlock/budget trap
+  bool detected = false;  // monitor flagged a violation
+  bool crash = false;     // any memory/arithmetic trap
+  bool fault_applied = false;  // the planned fault was activated
+  std::vector<ThreadOutcome> threads;
+  /// Deterministic program output: per-thread logs concatenated in thread
+  /// id order (race-free SPMD programs print deterministically per thread).
+  std::string output;
+  std::uint64_t total_instructions = 0;
+  std::uint64_t total_branches = 0;
+  /// Wall-clock of the parallel section, nanoseconds.
+  std::uint64_t parallel_ns = 0;
+};
+
+struct RunOptions {
+  unsigned num_threads = 4;
+  std::string parallel_entry = "slave";
+  /// Optional sequential setup function executed by a single thread before
+  /// the parallel section (mirrors SPLASH-2 main()).
+  std::string init_function = "init";
+  /// Per-thread retired-instruction watchdog; 0 = unlimited.
+  std::uint64_t instruction_budget = 0;
+  /// Attach a monitor to receive instrumentation reports (nullptr = run
+  /// uninstrumented / ignore bw.* instructions).
+  runtime::BranchSink* monitor = nullptr;
+  /// Poll the monitor and abort as Detected as soon as it flags (true for
+  /// fault-injection runs; false when measuring performance).
+  bool stop_on_detection = true;
+  FaultPlan fault;
+};
+
+/// Execute the module. Thread-safe with respect to other Machines; the
+/// module itself is read-only during execution.
+RunResult run_program(const ir::Module& module, const RunOptions& options);
+
+}  // namespace bw::vm

@@ -1,0 +1,32 @@
+#include "vm/memory.h"
+
+#include "support/diagnostics.h"
+
+namespace bw::vm {
+
+GlobalLayout::GlobalLayout(const ir::Module& module) : module_(module) {
+  for (const auto& g : module.globals()) {
+    bases_[g.get()] = heap_words_;
+    heap_words_ += g->size();
+  }
+}
+
+std::uint64_t GlobalLayout::base_of(const ir::GlobalVariable* global) const {
+  auto it = bases_.find(global);
+  BW_INTERNAL_CHECK(it != bases_.end(), "global not in layout");
+  return it->second;
+}
+
+std::vector<std::int64_t> GlobalLayout::make_initial_heap() const {
+  std::vector<std::int64_t> heap(heap_words_, 0);
+  for (const auto& g : module_.globals()) {
+    std::uint64_t base = bases_.at(g.get());
+    const auto& init = g->init_words();
+    for (std::size_t i = 0; i < init.size() && i < g->size(); ++i) {
+      heap[base + i] = init[i];
+    }
+  }
+  return heap;
+}
+
+}  // namespace bw::vm

@@ -1,0 +1,34 @@
+// Shared-memory layout for the VM: every global lives in one flat heap of
+// 64-bit words (the SPMD shared address space). Pointers are word offsets;
+// offsets with the kLocalTag bit address per-thread alloca slots (rare —
+// mem2reg removes allocas from front-end output, but hand-written IR in
+// tests may keep them).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace bw::vm {
+
+constexpr std::uint64_t kLocalTag = 1ull << 62;
+
+class GlobalLayout {
+ public:
+  explicit GlobalLayout(const ir::Module& module);
+
+  std::uint64_t base_of(const ir::GlobalVariable* global) const;
+  std::uint64_t heap_words() const noexcept { return heap_words_; }
+
+  /// Fresh heap image with initializers applied (zero elsewhere).
+  std::vector<std::int64_t> make_initial_heap() const;
+
+ private:
+  std::unordered_map<const ir::GlobalVariable*, std::uint64_t> bases_;
+  std::uint64_t heap_words_ = 0;
+  const ir::Module& module_;
+};
+
+}  // namespace bw::vm

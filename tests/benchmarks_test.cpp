@@ -1,0 +1,150 @@
+// Benchmark-kernel tests: every kernel must run cleanly at several thread
+// counts, produce stable output, and show the category profile its
+// SPLASH-2 counterpart motivates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "benchmarks/registry.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace bw;
+using bw::test::run_output;
+
+class BenchmarkSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>> {};
+
+TEST_P(BenchmarkSweep, RunsCleanAtThreadCount) {
+  const auto& [name, threads] = GetParam();
+  const benchmarks::Benchmark* bench = benchmarks::find_benchmark(name);
+  ASSERT_NE(bench, nullptr);
+
+  pipeline::CompiledProgram program = pipeline::protect_program(bench->source);
+  pipeline::ExecutionConfig config;
+  config.num_threads = threads;
+  pipeline::ExecutionResult result = pipeline::execute(program, config);
+  EXPECT_TRUE(result.run.ok);
+  EXPECT_FALSE(result.detected) << result.violations.size()
+                                << " false positives";
+  EXPECT_FALSE(result.run.output.empty());
+}
+
+std::vector<std::tuple<std::string, unsigned>> sweep_params() {
+  std::vector<std::tuple<std::string, unsigned>> params;
+  for (const benchmarks::Benchmark& bench : benchmarks::all_benchmarks()) {
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      params.emplace_back(bench.name, threads);
+    }
+  }
+  return params;
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<std::string, unsigned>>& info) {
+  return std::get<0>(info.param) + "_t" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, BenchmarkSweep,
+                         ::testing::ValuesIn(sweep_params()), sweep_name);
+
+TEST(Benchmarks, RegistryIsComplete) {
+  EXPECT_EQ(benchmarks::all_benchmarks().size(), 7u);
+  EXPECT_NE(benchmarks::find_benchmark("fft"), nullptr);
+  EXPECT_EQ(benchmarks::find_benchmark("nope"), nullptr);
+  for (const benchmarks::Benchmark& bench : benchmarks::all_benchmarks()) {
+    EXPECT_FALSE(bench.paper_name.empty());
+    EXPECT_GT(bench.paper.total_loc, 0);
+    EXPECT_NEAR(bench.paper.shared_pct + bench.paper.threadid_pct +
+                    bench.paper.partial_pct + bench.paper.none_pct,
+                100.0, 2.0);
+  }
+}
+
+TEST(Benchmarks, RadixSortsCorrectlyAtEveryThreadCount) {
+  const benchmarks::Benchmark* radix = benchmarks::find_benchmark("radix");
+  std::string expected;
+  for (unsigned threads : {1u, 2u, 4u, 8u, 16u}) {
+    std::string out = run_output(radix->source, threads);
+    // First line: sortedness verdict must be 1.
+    EXPECT_EQ(out.substr(0, 2), "1\n") << "threads=" << threads;
+    // The weighted key checksum is thread-count invariant (integer sum of
+    // a fixed multiset in fixed positions).
+    if (expected.empty()) {
+      expected = out;
+    } else {
+      EXPECT_EQ(out, expected) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Benchmarks, WaterInteractionCountIsThreadCountInvariant) {
+  const benchmarks::Benchmark* water =
+      benchmarks::find_benchmark("water_nsq");
+  auto last_line = [](const std::string& out) {
+    std::size_t end = out.find_last_not_of('\n');
+    std::size_t start = out.rfind('\n', end);
+    return out.substr(start + 1, end - start);
+  };
+  std::string count1 = last_line(run_output(water->source, 1));
+  std::string count4 = last_line(run_output(water->source, 4));
+  EXPECT_EQ(count1, count4);  // integer tally: order-independent
+}
+
+TEST(Benchmarks, OceanConverges) {
+  const benchmarks::Benchmark* ocean =
+      benchmarks::find_benchmark("ocean_contig");
+  std::string out = run_output(ocean->source, 4);
+  // Output: checksum then iterations; iterations must be >= 1.
+  std::size_t nl = out.find('\n');
+  int iters = std::stoi(out.substr(nl + 1));
+  EXPECT_GE(iters, 1);
+  EXPECT_LE(iters, 24);  // MAXITER
+}
+
+TEST(Benchmarks, SimilarityShapeMatchesPaperQualitatively) {
+  // Paper Section V-A: 49%-98% of parallel branches are similar; FMM and
+  // raytrace are the none-heavy outliers.
+  double min_similar = 1.0;
+  double fmm_none = 0.0;
+  double raytrace_none = 0.0;
+  double fft_none = 0.0;
+  for (const benchmarks::Benchmark& bench : benchmarks::all_benchmarks()) {
+    pipeline::CompiledProgram program =
+        pipeline::compile_program(bench.source);
+    analysis::CategoryCounts c = program.analysis.parallel_counts();
+    ASSERT_GT(c.total(), 0) << bench.name;
+    double similar = static_cast<double>(c.similar()) / c.total();
+    double none = static_cast<double>(c.none) / c.total();
+    min_similar = std::min(min_similar, similar);
+    if (bench.name == "fmm") fmm_none = none;
+    if (bench.name == "raytrace") raytrace_none = none;
+    if (bench.name == "fft") fft_none = none;
+  }
+  EXPECT_GE(min_similar, 0.40);    // paper: >= 49%
+  EXPECT_GE(fmm_none, 0.30);       // paper: 51%
+  EXPECT_GE(raytrace_none, 0.30);  // paper: 51%
+  EXPECT_LE(fft_none, 0.15);       // paper: 2%
+}
+
+TEST(Benchmarks, RaytraceHasBranchesBeyondTheCutoff) {
+  // The deep nest is the point of the kernel (paper's raytrace story).
+  const benchmarks::Benchmark* rt = benchmarks::find_benchmark("raytrace");
+  pipeline::CompiledProgram program = pipeline::protect_program(rt->source);
+  EXPECT_GT(program.instrument_stats.skipped_depth, 0);
+}
+
+TEST(Benchmarks, DefaultThreadCountOutputsAreStable) {
+  // Golden smoke values: catch accidental kernel regressions. (These are
+  // our kernels' outputs, not the paper's; update when a kernel changes.)
+  const benchmarks::Benchmark* fft = benchmarks::find_benchmark("fft");
+  std::string out4 = run_output(fft->source, 4);
+  EXPECT_EQ(out4, run_output(fft->source, 4));
+  EXPECT_EQ(std::count(out4.begin(), out4.end(), '\n'), 2);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Tests for the similarity-category lattice: all 25 entries of the paper's
+// Table II, plus algebraic properties the fixpoint relies on.
+#include <gtest/gtest.h>
+
+#include "analysis/category.h"
+
+namespace {
+
+using bw::analysis::Category;
+using bw::analysis::join;
+using bw::analysis::monotone_le;
+
+constexpr Category kAll[] = {Category::NA, Category::Shared,
+                             Category::ThreadID, Category::Partial,
+                             Category::None};
+
+TEST(CategoryTable, MatchesPaperTable2Verbatim) {
+  using C = Category;
+  // Row NA.
+  EXPECT_EQ(join(C::NA, C::NA), C::NA);
+  EXPECT_EQ(join(C::NA, C::Shared), C::Shared);
+  EXPECT_EQ(join(C::NA, C::ThreadID), C::ThreadID);
+  EXPECT_EQ(join(C::NA, C::Partial), C::Partial);
+  EXPECT_EQ(join(C::NA, C::None), C::None);
+  // Row shared.
+  EXPECT_EQ(join(C::Shared, C::NA), C::NA);
+  EXPECT_EQ(join(C::Shared, C::Shared), C::Shared);
+  EXPECT_EQ(join(C::Shared, C::ThreadID), C::ThreadID);
+  EXPECT_EQ(join(C::Shared, C::Partial), C::Partial);
+  EXPECT_EQ(join(C::Shared, C::None), C::None);
+  // Row threadID.
+  EXPECT_EQ(join(C::ThreadID, C::NA), C::NA);
+  EXPECT_EQ(join(C::ThreadID, C::Shared), C::ThreadID);
+  EXPECT_EQ(join(C::ThreadID, C::ThreadID), C::ThreadID);
+  EXPECT_EQ(join(C::ThreadID, C::Partial), C::None);
+  EXPECT_EQ(join(C::ThreadID, C::None), C::None);
+  // Row partial.
+  EXPECT_EQ(join(C::Partial, C::NA), C::NA);
+  EXPECT_EQ(join(C::Partial, C::Shared), C::Partial);
+  EXPECT_EQ(join(C::Partial, C::ThreadID), C::None);
+  EXPECT_EQ(join(C::Partial, C::Partial), C::Partial);
+  EXPECT_EQ(join(C::Partial, C::None), C::None);
+  // Row none.
+  EXPECT_EQ(join(C::None, C::NA), C::NA);
+  EXPECT_EQ(join(C::None, C::Shared), C::None);
+  EXPECT_EQ(join(C::None, C::ThreadID), C::None);
+  EXPECT_EQ(join(C::None, C::Partial), C::None);
+  EXPECT_EQ(join(C::None, C::None), C::None);
+}
+
+TEST(CategoryTable, CommutativeOnNonNaOperands) {
+  // The paper processes operands one at a time; the result must not depend
+  // on the order (checked for all non-NA pairs — NA aborts the visit).
+  for (Category a : kAll) {
+    for (Category b : kAll) {
+      if (a == Category::NA || b == Category::NA) continue;
+      EXPECT_EQ(join(a, b), join(b, a))
+          << to_string(a) << " vs " << to_string(b);
+    }
+  }
+}
+
+TEST(CategoryTable, AssociativeOnNonNaOperands) {
+  for (Category a : kAll) {
+    for (Category b : kAll) {
+      for (Category c : kAll) {
+        if (a == Category::NA || b == Category::NA || c == Category::NA) {
+          continue;
+        }
+        EXPECT_EQ(join(join(a, b), c), join(a, join(b, c)))
+            << to_string(a) << " " << to_string(b) << " " << to_string(c);
+      }
+    }
+  }
+}
+
+TEST(CategoryTable, SharedIsIdentityNoneIsAbsorbing) {
+  for (Category a : kAll) {
+    if (a == Category::NA) continue;
+    EXPECT_EQ(join(a, Category::Shared), a);
+    EXPECT_EQ(join(a, Category::None), Category::None);
+  }
+}
+
+TEST(CategoryTable, JoinIsMonotone) {
+  // Flowing "in one direction only" (paper's termination argument): the
+  // result of a join is never more precise than the current category.
+  for (Category a : kAll) {
+    for (Category b : kAll) {
+      if (b == Category::NA) continue;  // NA operand = revisit, no update
+      EXPECT_TRUE(monotone_le(a, join(a, b)))
+          << to_string(a) << " -> " << to_string(join(a, b));
+    }
+  }
+}
+
+TEST(CategoryOrder, MonotoneLeIsAPartialOrder) {
+  for (Category a : kAll) EXPECT_TRUE(monotone_le(a, a));
+  // Antisymmetry.
+  for (Category a : kAll) {
+    for (Category b : kAll) {
+      if (a != b) {
+        EXPECT_FALSE(monotone_le(a, b) && monotone_le(b, a))
+            << to_string(a) << " / " << to_string(b);
+      }
+    }
+  }
+  // ThreadID and Partial are incomparable.
+  EXPECT_FALSE(monotone_le(Category::ThreadID, Category::Partial));
+  EXPECT_FALSE(monotone_le(Category::Partial, Category::ThreadID));
+  EXPECT_TRUE(monotone_le(Category::Shared, Category::ThreadID));
+  EXPECT_TRUE(monotone_le(Category::Shared, Category::Partial));
+  EXPECT_TRUE(monotone_le(Category::ThreadID, Category::None));
+}
+
+TEST(CategoryNames, RoundTripStrings) {
+  EXPECT_STREQ(to_string(Category::NA), "NA");
+  EXPECT_STREQ(to_string(Category::Shared), "shared");
+  EXPECT_STREQ(to_string(Category::ThreadID), "threadID");
+  EXPECT_STREQ(to_string(Category::Partial), "partial");
+  EXPECT_STREQ(to_string(Category::None), "none");
+}
+
+}  // namespace

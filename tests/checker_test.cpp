@@ -1,0 +1,235 @@
+// Checker tests: each category's consistency predicate, on full thread
+// sets and on subsets, including parameterized sweeps over thread counts.
+#include <gtest/gtest.h>
+
+#include "runtime/checker.h"
+
+namespace {
+
+using bw::runtime::check_instance;
+using bw::runtime::CheckCode;
+using bw::runtime::ThreadObservation;
+
+constexpr std::uint32_t kNoSuspect = 0xffffffffu;
+
+std::vector<ThreadObservation> outcomes(const std::vector<int>& pattern) {
+  std::vector<ThreadObservation> obs(pattern.size());
+  for (std::size_t t = 0; t < pattern.size(); ++t) {
+    obs[t].thread = static_cast<std::uint32_t>(t);
+    if (pattern[t] < 0) continue;  // did not report
+    obs[t].has_outcome = true;
+    obs[t].outcome = pattern[t] != 0;
+  }
+  return obs;
+}
+
+// --- SharedOutcome ------------------------------------------------------------
+
+TEST(CheckerShared, AllAgreePasses) {
+  EXPECT_FALSE(check_instance(CheckCode::SharedOutcome,
+                              outcomes({1, 1, 1, 1})));
+  EXPECT_FALSE(check_instance(CheckCode::SharedOutcome,
+                              outcomes({0, 0, 0, 0})));
+}
+
+TEST(CheckerShared, SingleDeviatorIsSuspect) {
+  auto suspect =
+      check_instance(CheckCode::SharedOutcome, outcomes({1, 1, 0, 1}));
+  ASSERT_TRUE(suspect.has_value());
+  EXPECT_EQ(*suspect, 2u);
+}
+
+TEST(CheckerShared, SubsetsAreChecked) {
+  // Two reporters disagreeing is already a violation; missing threads are
+  // ignored (divergent enclosing control).
+  EXPECT_TRUE(check_instance(CheckCode::SharedOutcome,
+                             outcomes({1, -1, 0, -1})));
+  EXPECT_FALSE(check_instance(CheckCode::SharedOutcome,
+                              outcomes({1, -1, 1, -1})));
+  EXPECT_FALSE(check_instance(CheckCode::SharedOutcome,
+                              outcomes({-1, -1, 1, -1})));  // one reporter
+}
+
+TEST(CheckerShared, ValueMismatchDetected) {
+  auto obs = outcomes({1, 1, 1});
+  for (auto& o : obs) {
+    o.has_value = true;
+    o.value = 42;
+  }
+  EXPECT_FALSE(check_instance(CheckCode::SharedOutcome, obs));
+  obs[1].value = 43;  // corrupted condition data, same outcome
+  auto suspect = check_instance(CheckCode::SharedOutcome, obs);
+  ASSERT_TRUE(suspect.has_value());
+  EXPECT_EQ(*suspect, 1u);
+}
+
+// --- ThreadIdEq -----------------------------------------------------------------
+
+TEST(CheckerThreadIdEq, OneTakerOrNonePasses) {
+  EXPECT_FALSE(check_instance(CheckCode::ThreadIdEq,
+                              outcomes({1, 0, 0, 0})));
+  EXPECT_FALSE(check_instance(CheckCode::ThreadIdEq,
+                              outcomes({0, 0, 0, 0})));
+  EXPECT_FALSE(check_instance(CheckCode::ThreadIdEq,
+                              outcomes({0, 0, 0, 1})));
+  // != comparisons invert the pattern: all-but-one taken is legal.
+  EXPECT_FALSE(check_instance(CheckCode::ThreadIdEq,
+                              outcomes({1, 1, 0, 1})));
+}
+
+TEST(CheckerThreadIdEq, TwoDeviatorsFail) {
+  EXPECT_TRUE(check_instance(CheckCode::ThreadIdEq,
+                             outcomes({1, 1, 0, 0})));
+  EXPECT_TRUE(check_instance(CheckCode::ThreadIdEq,
+                             outcomes({1, 0, 1, 0, 1, 1})));
+}
+
+// --- ThreadIdMonotone -------------------------------------------------------------
+
+TEST(CheckerMonotone, PrefixAndSuffixPatternsPass) {
+  EXPECT_FALSE(check_instance(CheckCode::ThreadIdMonotone,
+                              outcomes({1, 1, 0, 0})));
+  EXPECT_FALSE(check_instance(CheckCode::ThreadIdMonotone,
+                              outcomes({0, 0, 1, 1})));
+  EXPECT_FALSE(check_instance(CheckCode::ThreadIdMonotone,
+                              outcomes({1, 1, 1, 1})));
+  EXPECT_FALSE(check_instance(CheckCode::ThreadIdMonotone,
+                              outcomes({0, 0, 0, 0})));
+}
+
+TEST(CheckerMonotone, IslandFailsAndIsSuspect) {
+  auto suspect = check_instance(CheckCode::ThreadIdMonotone,
+                                outcomes({1, 1, 0, 1, 1}));
+  ASSERT_TRUE(suspect.has_value());
+  EXPECT_EQ(*suspect, 2u);
+}
+
+TEST(CheckerMonotone, TwoTransitionsWithoutIslandStillFail) {
+  auto suspect = check_instance(CheckCode::ThreadIdMonotone,
+                                outcomes({1, 0, 0, 1, 1}));
+  EXPECT_TRUE(suspect.has_value());
+}
+
+TEST(CheckerMonotone, UnsortedArrivalOrderIsHandled) {
+  // Observations arrive indexed by thread but the checker must sort.
+  std::vector<ThreadObservation> obs = outcomes({1, 1, 0, 0});
+  std::swap(obs[0], obs[3]);
+  EXPECT_FALSE(check_instance(CheckCode::ThreadIdMonotone, obs));
+}
+
+// --- PartialValue ---------------------------------------------------------------
+
+TEST(CheckerPartial, SameValueMustAgree) {
+  auto obs = outcomes({1, 1, 0, 0});
+  obs[0].has_value = obs[1].has_value = true;
+  obs[2].has_value = obs[3].has_value = true;
+  obs[0].value = obs[1].value = 7;   // group A: both taken
+  obs[2].value = obs[3].value = 99;  // group B: both not taken
+  EXPECT_FALSE(check_instance(CheckCode::PartialValue, obs));
+
+  obs[1].outcome = false;  // group A now disagrees (1 vs 1: no suspect)
+  auto suspect = check_instance(CheckCode::PartialValue, obs);
+  ASSERT_TRUE(suspect.has_value());
+  EXPECT_EQ(*suspect, kNoSuspect);
+}
+
+TEST(CheckerPartial, LoneMinorityInGroupIsSuspect) {
+  auto obs = outcomes({1, 1, 0, 1});
+  for (auto& o : obs) {
+    o.has_value = true;
+    o.value = 7;  // one group of four
+  }
+  auto suspect = check_instance(CheckCode::PartialValue, obs);
+  ASSERT_TRUE(suspect.has_value());
+  EXPECT_EQ(*suspect, 2u);
+}
+
+TEST(CheckerPartial, DistinctValuesAreVacuouslyConsistent) {
+  auto obs = outcomes({1, 0, 1, 0});
+  for (std::size_t t = 0; t < obs.size(); ++t) {
+    obs[t].has_value = true;
+    obs[t].value = 1000 + t;
+  }
+  EXPECT_FALSE(check_instance(CheckCode::PartialValue, obs));
+}
+
+TEST(CheckerPartial, MissingValuesAreSkipped) {
+  auto obs = outcomes({1, 0, 1});
+  obs[0].has_value = true;
+  obs[0].value = 5;
+  // threads 1, 2 reported outcomes but no condition data: not comparable.
+  EXPECT_FALSE(check_instance(CheckCode::PartialValue, obs));
+}
+
+// --- Parameterized: a lone flipped thread is caught at every scale -------------
+
+class FlipSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlipSweep, SharedCatchesOneFlipAtAnyThreadCount) {
+  int n = GetParam();
+  for (int victim = 0; victim < n; ++victim) {
+    std::vector<int> pattern(static_cast<std::size_t>(n), 1);
+    pattern[static_cast<std::size_t>(victim)] = 0;
+    auto suspect =
+        check_instance(CheckCode::SharedOutcome, outcomes(pattern));
+    ASSERT_TRUE(suspect.has_value()) << "n=" << n << " victim=" << victim;
+    if (n > 2) {
+      EXPECT_EQ(*suspect, static_cast<std::uint32_t>(victim));
+    }
+  }
+}
+
+TEST_P(FlipSweep, MonotoneCatchesInteriorFlips) {
+  int n = GetParam();
+  if (n < 4) return;
+  // Legal pattern: first half taken. Flip each interior thread.
+  for (int victim = 1; victim + 1 < n; ++victim) {
+    std::vector<int> pattern(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) pattern[static_cast<std::size_t>(t)] = t < n / 2;
+    if (victim == n / 2 - 1 || victim == n / 2) continue;  // moves boundary
+    pattern[static_cast<std::size_t>(victim)] =
+        pattern[static_cast<std::size_t>(victim)] ? 0 : 1;
+    EXPECT_TRUE(check_instance(CheckCode::ThreadIdMonotone,
+                               outcomes(pattern)))
+        << "n=" << n << " victim=" << victim;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, FlipSweep,
+                         ::testing::Values(2, 3, 4, 8, 16, 32, 64));
+
+// --- Property: consistent data never trips any checker ------------------------
+
+class ConsistencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencySweep, LegalPatternsNeverFlagged) {
+  int n = GetParam();
+  // Shared: constant outcome. ThreadIdEq: <=1 deviator. Monotone: all
+  // boundary positions. Partial: grouped by value, consistent per group.
+  for (int boundary = 0; boundary <= n; ++boundary) {
+    std::vector<int> prefix(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      prefix[static_cast<std::size_t>(t)] = t < boundary;
+    }
+    EXPECT_FALSE(check_instance(CheckCode::ThreadIdMonotone,
+                                outcomes(prefix)));
+  }
+  for (int taker = 0; taker < n; ++taker) {
+    std::vector<int> one(static_cast<std::size_t>(n), 0);
+    one[static_cast<std::size_t>(taker)] = 1;
+    EXPECT_FALSE(check_instance(CheckCode::ThreadIdEq, outcomes(one)));
+  }
+  auto grouped = outcomes(std::vector<int>(static_cast<std::size_t>(n), 0));
+  for (int t = 0; t < n; ++t) {
+    auto& o = grouped[static_cast<std::size_t>(t)];
+    o.has_value = true;
+    o.value = static_cast<std::uint64_t>(t % 3);
+    o.outcome = (t % 3) == 1;  // outcome is a function of the value
+  }
+  EXPECT_FALSE(check_instance(CheckCode::PartialValue, grouped));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ConsistencySweep,
+                         ::testing::Values(2, 4, 8, 32));
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Context-tracker tests: the dynamic halves of the monitor's two-level
+// hash key (call-site stack and loop iteration vector).
+#include <gtest/gtest.h>
+
+#include "runtime/context_tracker.h"
+
+namespace {
+
+using bw::runtime::ContextTracker;
+
+TEST(ContextTracker, CallSitesChangeCtxHash) {
+  ContextTracker a;
+  ContextTracker b;
+  EXPECT_EQ(a.ctx_hash(), b.ctx_hash());  // identical roots
+
+  a.push_call(1);
+  b.push_call(2);
+  EXPECT_NE(a.ctx_hash(), b.ctx_hash());  // different call sites
+
+  a.pop_call();
+  b.pop_call();
+  EXPECT_EQ(a.ctx_hash(), b.ctx_hash());  // restored
+}
+
+TEST(ContextTracker, SameCallPathSameHash) {
+  ContextTracker a;
+  ContextTracker b;
+  for (std::uint32_t site : {3u, 7u, 9u}) {
+    a.push_call(site);
+    b.push_call(site);
+  }
+  EXPECT_EQ(a.ctx_hash(), b.ctx_hash());
+  EXPECT_EQ(a.call_depth(), 3u);
+}
+
+TEST(ContextTracker, RecursionDepthMatters) {
+  ContextTracker a;
+  a.push_call(5);
+  std::uint64_t depth1 = a.ctx_hash();
+  a.push_call(5);
+  std::uint64_t depth2 = a.ctx_hash();
+  EXPECT_NE(depth1, depth2);  // f() vs f()->f()
+}
+
+TEST(ContextTracker, LoopIterationsChangeIterHash) {
+  ContextTracker t;
+  t.loop_enter();
+  t.loop_iter();
+  std::uint64_t iter1 = t.iter_hash();
+  t.loop_iter();
+  std::uint64_t iter2 = t.iter_hash();
+  EXPECT_NE(iter1, iter2);
+  t.loop_exit();
+  EXPECT_EQ(t.loop_depth(), 0u);
+}
+
+TEST(ContextTracker, NestedLoopsProduceDistinctKeys) {
+  // (outer=1, inner=2) and (outer=2, inner=1) must differ.
+  ContextTracker a;
+  a.loop_enter();
+  a.loop_iter();
+  a.loop_enter();
+  a.loop_iter();
+  a.loop_iter();
+  std::uint64_t key_a = a.iter_hash();
+
+  ContextTracker b;
+  b.loop_enter();
+  b.loop_iter();
+  b.loop_iter();
+  b.loop_enter();
+  b.loop_iter();
+  std::uint64_t key_b = b.iter_hash();
+  EXPECT_NE(key_a, key_b);
+}
+
+TEST(ContextTracker, TwoThreadsAtSamePointAgree) {
+  // The whole point of the key: two threads at the same logical point
+  // compute identical (ctx, iter) pairs.
+  auto simulate = [] {
+    ContextTracker t;
+    t.push_call(4);
+    t.loop_enter();
+    for (int i = 0; i < 3; ++i) t.loop_iter();
+    t.loop_enter();
+    t.loop_iter();
+    return std::make_pair(t.ctx_hash(), t.iter_hash());
+  };
+  EXPECT_EQ(simulate(), simulate());
+}
+
+TEST(ContextTracker, ReturnFromInsideLoopUnwindsCounters) {
+  ContextTracker t;
+  t.loop_enter();
+  t.loop_iter();
+  t.push_call(8);
+  t.loop_enter();  // loop inside the callee
+  t.loop_iter();
+  EXPECT_EQ(t.loop_depth(), 2u);
+  t.pop_call();  // returning abandons the callee's loop
+  EXPECT_EQ(t.loop_depth(), 1u);
+  std::uint64_t after = t.iter_hash();
+
+  ContextTracker clean;
+  clean.loop_enter();
+  clean.loop_iter();
+  EXPECT_EQ(after, clean.iter_hash());
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Dominator-tree and dominance-frontier tests on canonical CFG shapes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ir/dominators.h"
+#include "ir/parser.h"
+
+namespace {
+
+using namespace bw::ir;
+
+std::unique_ptr<Module> parse(const char* body) {
+  return parse_module(std::string("module \"m\"\n") + body);
+}
+
+const BasicBlock* block(const Function& f, const std::string& name) {
+  for (const auto& bb : f.blocks()) {
+    if (bb->name() == name) return bb.get();
+  }
+  ADD_FAILURE() << "no block named " << name;
+  return nullptr;
+}
+
+TEST(Dominators, Diamond) {
+  auto module = parse(R"(
+func @f(%c: i1) -> void {
+entry:
+  cond_br %c, left, right
+left:
+  br merge
+right:
+  br merge
+merge:
+  ret
+}
+)");
+  const Function& f = *module->find_function("f");
+  DominatorTree dom(f);
+  const BasicBlock* entry = block(f, "entry");
+  const BasicBlock* left = block(f, "left");
+  const BasicBlock* right = block(f, "right");
+  const BasicBlock* merge = block(f, "merge");
+
+  EXPECT_EQ(dom.idom(entry), nullptr);
+  EXPECT_EQ(dom.idom(left), entry);
+  EXPECT_EQ(dom.idom(right), entry);
+  EXPECT_EQ(dom.idom(merge), entry);
+
+  EXPECT_TRUE(dom.dominates(entry, merge));
+  EXPECT_TRUE(dom.dominates(merge, merge));
+  EXPECT_FALSE(dom.dominates(left, merge));
+  EXPECT_FALSE(dom.dominates(left, right));
+
+  EXPECT_EQ(dom.nearest_common_dominator(left, right), entry);
+  EXPECT_EQ(dom.nearest_common_dominator(left, merge), entry);
+  EXPECT_EQ(dom.nearest_common_dominator(merge, merge), merge);
+
+  // Frontier: left/right flow together at merge.
+  const auto& fl = dom.frontier(left);
+  EXPECT_NE(std::find(fl.begin(), fl.end(), merge), fl.end());
+  EXPECT_TRUE(dom.frontier(merge).empty());
+}
+
+TEST(Dominators, LoopFrontierContainsHeader) {
+  auto module = parse(R"(
+func @f() -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [ 0, entry ], [ %n, body ]
+  %c = icmp lt %i, 10
+  cond_br %c, body, exit
+body:
+  %n = add %i, 1
+  br header
+exit:
+  ret
+}
+)");
+  const Function& f = *module->find_function("f");
+  DominatorTree dom(f);
+  const BasicBlock* header = block(f, "header");
+  const BasicBlock* body = block(f, "body");
+
+  EXPECT_TRUE(dom.dominates(header, body));
+  // The body's frontier contains the header (back edge).
+  const auto& fr = dom.frontier(body);
+  EXPECT_NE(std::find(fr.begin(), fr.end(), header), fr.end());
+  // The header is in its own frontier (it is a loop header).
+  const auto& fh = dom.frontier(header);
+  EXPECT_NE(std::find(fh.begin(), fh.end(), header), fh.end());
+}
+
+TEST(Dominators, NestedStructure) {
+  auto module = parse(R"(
+func @f(%a: i1, %b: i1) -> void {
+entry:
+  cond_br %a, outer_then, outer_end
+outer_then:
+  cond_br %b, inner_then, inner_end
+inner_then:
+  br inner_end
+inner_end:
+  br outer_end
+outer_end:
+  ret
+}
+)");
+  const Function& f = *module->find_function("f");
+  DominatorTree dom(f);
+  EXPECT_EQ(dom.idom(block(f, "inner_then")), block(f, "outer_then"));
+  EXPECT_EQ(dom.idom(block(f, "inner_end")), block(f, "outer_then"));
+  EXPECT_EQ(dom.idom(block(f, "outer_end")), block(f, "entry"));
+  EXPECT_EQ(dom.nearest_common_dominator(block(f, "inner_then"),
+                                         block(f, "outer_end")),
+            block(f, "entry"));
+}
+
+TEST(Dominators, EntryDominatesEverythingProperty) {
+  auto module = parse(R"(
+func @f(%a: i1, %b: i1) -> void {
+entry:
+  cond_br %a, x, y
+x:
+  cond_br %b, y, z
+y:
+  br w
+z:
+  br w
+w:
+  %c = icmp eq 1, 1
+  cond_br %c, x2, exit
+x2:
+  br w
+exit:
+  ret
+}
+)");
+  const Function& f = *module->find_function("f");
+  DominatorTree dom(f);
+  for (BasicBlock* bb : dom.reverse_post_order()) {
+    EXPECT_TRUE(dom.dominates(f.entry(), bb)) << bb->name();
+    // idom chain terminates at entry.
+    const BasicBlock* cur = bb;
+    int steps = 0;
+    while (dom.idom(cur) != nullptr && steps++ < 100) cur = dom.idom(cur);
+    EXPECT_EQ(cur, f.entry());
+  }
+}
+
+TEST(Dominators, RposOrderStartsAtEntry) {
+  auto module = parse(R"(
+func @f() -> void {
+entry:
+  br b
+b:
+  ret
+}
+)");
+  const Function& f = *module->find_function("f");
+  DominatorTree dom(f);
+  ASSERT_FALSE(dom.reverse_post_order().empty());
+  EXPECT_EQ(dom.reverse_post_order().front(), f.entry());
+}
+
+}  // namespace

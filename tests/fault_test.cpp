@@ -1,0 +1,151 @@
+// Fault-campaign tests: golden-run profiling, outcome classification,
+// reproducibility, and the duplication baseline.
+#include <gtest/gtest.h>
+
+#include "fault/campaign.h"
+#include "fault/duplication.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace bw;
+
+constexpr const char* kKernel = R"BWC(
+global int n = 64;
+global int data[64];
+global int sums[8];
+func init() {
+  for (int i = 0; i < n; i = i + 1) { data[i] = hashrand(i) % 100; }
+}
+func slave() {
+  int p = nthreads();
+  int id = tid();
+  int s = 0;
+  for (int i = id; i < n; i = i + p) { s = s + data[i]; }
+  sums[id] = s;
+  barrier();
+  if (id == 0) {
+    int total = 0;
+    for (int t = 0; t < p; t = t + 1) { total = total + sums[t]; }
+    print_i(total);
+  }
+}
+)BWC";
+
+TEST(FaultCampaign, GoldenRunProfilesBranches) {
+  pipeline::CompiledProgram program = pipeline::compile_program(kKernel);
+  fault::GoldenRun golden = fault::golden_run(program, 4);
+  EXPECT_FALSE(golden.output.empty());
+  ASSERT_EQ(golden.branches_per_thread.size(), 4u);
+  for (std::uint64_t b : golden.branches_per_thread) EXPECT_GT(b, 0u);
+  EXPECT_GT(golden.max_thread_instructions, 0u);
+}
+
+TEST(FaultCampaign, OutcomesPartitionActivatedFaults) {
+  fault::CampaignOptions options;
+  options.num_threads = 4;
+  options.injections = 50;
+  options.protect = true;
+  fault::CampaignResult r = fault::run_campaign(kKernel, options);
+  EXPECT_EQ(r.injected, 50);
+  EXPECT_LE(r.activated, r.injected);
+  EXPECT_EQ(r.benign + r.detected + r.crashed + r.hung + r.sdc,
+            r.activated);
+  EXPECT_GE(r.coverage(), 0.0);
+  EXPECT_LE(r.coverage(), 1.0);
+}
+
+TEST(FaultCampaign, SameSeedSameResult) {
+  fault::CampaignOptions options;
+  options.num_threads = 4;
+  options.injections = 30;
+  options.seed = 999;
+  options.protect = true;
+  fault::CampaignResult a = fault::run_campaign(kKernel, options);
+  fault::CampaignResult b = fault::run_campaign(kKernel, options);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.hung, b.hung);
+}
+
+TEST(FaultCampaign, ProtectionImprovesCoverage) {
+  fault::CampaignOptions options;
+  options.num_threads = 4;
+  options.injections = 60;
+  options.protect = false;
+  fault::CampaignResult original = fault::run_campaign(kKernel, options);
+  options.protect = true;
+  fault::CampaignResult protected_run = fault::run_campaign(kKernel, options);
+  EXPECT_EQ(original.detected, 0);  // no monitor in the original program
+  EXPECT_GT(protected_run.detected, 0);
+  EXPECT_GE(protected_run.coverage(), original.coverage());
+}
+
+TEST(FaultCampaign, ConditionFaultsAreSupported) {
+  fault::CampaignOptions options;
+  options.num_threads = 4;
+  options.injections = 40;
+  options.type = fault::FaultType::BranchCondition;
+  options.protect = true;
+  fault::CampaignResult r = fault::run_campaign(kKernel, options);
+  EXPECT_GT(r.activated, 0);
+  // Condition faults may or may not flip the branch; some are benign.
+  EXPECT_EQ(r.benign + r.detected + r.crashed + r.hung + r.sdc, r.activated);
+}
+
+TEST(FaultCampaign, HangsAreClassified) {
+  // Flipping the barrier-guarding branch makes a thread skip the barrier.
+  const char* hangy = R"BWC(
+global int out[8];
+func slave() {
+  if (tid() < nthreads()) {   // always true; a flip skips the barrier
+    barrier();
+  }
+  out[tid()] = 1;
+}
+)BWC";
+  fault::CampaignOptions options;
+  options.num_threads = 4;
+  options.injections = 30;
+  options.protect = false;
+  fault::CampaignResult r = fault::run_campaign(hangy, options);
+  EXPECT_GT(r.hung, 0);
+}
+
+TEST(FaultCampaign, CrashesAreClassified) {
+  // A flipped guard dereferences out of bounds.
+  const char* crashy = R"BWC(
+global int a[4];
+global int big = 100000;
+func slave() {
+  int idx = 1;
+  if (tid() == 0) { idx = big; }
+  if (idx < 4) { a[idx] = 1; } else { a[0] = 1; }
+  barrier();
+}
+)BWC";
+  fault::CampaignOptions options;
+  options.num_threads = 2;
+  options.injections = 40;
+  options.protect = false;
+  fault::CampaignResult r = fault::run_campaign(crashy, options);
+  EXPECT_GT(r.crashed, 0);
+}
+
+TEST(Duplication, DetectsOutputDivergenceNeverSdc) {
+  fault::CampaignOptions options;
+  options.num_threads = 2;
+  options.injections = 40;
+  fault::DuplicationResult dup = fault::run_duplication(kKernel, options);
+  EXPECT_EQ(dup.campaign.sdc, 0);  // divergence is always caught
+  EXPECT_GT(dup.campaign.detected + dup.campaign.benign +
+                dup.campaign.crashed + dup.campaign.hung,
+            0);
+  // Two replicas cost more wall-clock than one on an idle machine; allow
+  // generous slack because the suite may share the core with other work.
+  EXPECT_GT(dup.overhead, 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,308 @@
+// Front-end tests: lexer, parser, sema diagnostics, and end-to-end
+// language semantics (compile a program, run it single-threaded in the VM,
+// check the printed output).
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace bw;
+using bw::support::CompileError;
+using bw::test::run_output;
+
+// --- Lexer ------------------------------------------------------------------
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  auto tokens = frontend::tokenize("x == 12 3.5 <= >> && != 1e3 // cmt\n+");
+  std::vector<frontend::TokenKind> kinds;
+  for (const auto& t : tokens) kinds.push_back(t.kind);
+  using K = frontend::TokenKind;
+  EXPECT_EQ(kinds, (std::vector<K>{K::Identifier, K::Eq, K::IntLiteral,
+                                   K::FloatLiteral, K::Le, K::Shr,
+                                   K::AmpAmp, K::Ne, K::FloatLiteral,
+                                   K::Plus, K::End}));
+  EXPECT_EQ(tokens[2].int_value, 12);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[8].float_value, 1000.0);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto tokens = frontend::tokenize("a\nbb\n  c");
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[2].loc.line, 3u);
+  EXPECT_EQ(tokens[2].loc.column, 3u);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW(frontend::tokenize("a $ b"), CompileError);
+}
+
+// --- Parser / sema diagnostics ----------------------------------------------
+
+void expect_compile_error(const char* source, const char* fragment) {
+  try {
+    frontend::compile(source);
+    FAIL() << "expected CompileError containing '" << fragment << "'";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+TEST(Sema, DiagnosesTypeAndScopeErrors) {
+  expect_compile_error("func slave() { x = 1; }", "undeclared variable");
+  expect_compile_error("func slave() { int x = 1.5; }",
+                       "initializer type mismatch");
+  expect_compile_error("func slave() { int x = 1; float y = 0.0; y = x; }",
+                       "assignment type mismatch");
+  expect_compile_error("func slave() { if (1) { } }", "condition must be bool");
+  expect_compile_error("func slave() { int x = 1 + 0.5; }",
+                       "arithmetic needs matching");
+  expect_compile_error("global int a[4]; func slave() { a = 3; }",
+                       "cannot assign whole array");
+  expect_compile_error("func slave() { int x = 0; int x = 1; }",
+                       "redeclaration");
+  expect_compile_error("func slave() { foo(); }", "undefined function");
+  expect_compile_error("func f(int x) {} func slave() { f(); }",
+                       "expects 1 argument");
+  expect_compile_error("func f() -> int { return 0; } func slave() { }"
+                       "func f() {}",
+                       "duplicate function");
+  expect_compile_error("func tid() {}", "shadows a builtin");
+  expect_compile_error("func slave() { break; }", "outside a loop");
+  expect_compile_error("func slave() -> int { return; }",
+                       "return type mismatch");
+  expect_compile_error("func slave() { sqrt(2); }", "float argument");
+}
+
+TEST(Sema, ShadowingInNestedScopesWorks) {
+  EXPECT_EQ(run_output(R"BWC(
+func slave() {
+  int x = 1;
+  if (x == 1) {
+    int inner = 10;
+    print_i(inner);
+  }
+  for (int inner = 0; inner < 2; inner = inner + 1) {
+    print_i(inner + x);
+  }
+  print_i(x);
+}
+)BWC"),
+            "10\n1\n2\n1\n");
+}
+
+// --- Language semantics (compile + execute) -----------------------------------
+
+TEST(Language, ArithmeticAndPrecedence) {
+  EXPECT_EQ(run_output(R"BWC(
+func slave() {
+  print_i(2 + 3 * 4);
+  print_i((2 + 3) * 4);
+  print_i(10 / 3);
+  print_i(10 % 3);
+  print_i(-7 / 2);
+  print_i(1 << 10);
+  print_i(-16 >> 2);
+  print_i(6 & 3);
+  print_i(6 | 3);
+  print_i(6 ^ 3);
+}
+)BWC"),
+            "14\n20\n3\n1\n-3\n1024\n-4\n2\n7\n5\n");
+}
+
+TEST(Language, BoolsComparisonsAndEqualityChains) {
+  EXPECT_EQ(run_output(R"BWC(
+func slave() {
+  if (1 < 2) { print_i(1); }
+  if (2 <= 2) { print_i(2); }
+  if (3 > 2) { print_i(3); }
+  if (2 >= 3) { print_i(4); } else { print_i(5); }
+  if (2 == 2 && 3 != 4) { print_i(6); }
+  if (false || !(1 == 2)) { print_i(7); }
+}
+)BWC"),
+            "1\n2\n3\n5\n6\n7\n");
+}
+
+TEST(Language, ShortCircuitSkipsSideEffects) {
+  // The right-hand side would trap (division by zero) if evaluated.
+  EXPECT_EQ(run_output(R"BWC(
+global int zero = 0;
+func boom() -> int {
+  print_i(999);
+  return 1 / zero;
+}
+func slave() {
+  if (false && boom() == 0) { print_i(1); } else { print_i(2); }
+  if (true || boom() == 0) { print_i(3); }
+}
+)BWC"),
+            "2\n3\n");
+}
+
+TEST(Language, FloatsAndCasts) {
+  EXPECT_EQ(run_output(R"BWC(
+func slave() {
+  float x = 7.5;
+  print_i(int(x));
+  print_i(int(-7.5));
+  print_f(float(3) / 2.0);
+  print_f(sqrt(16.0));
+  print_f(fabs(-2.25));
+  print_f(ffloor(2.75));
+}
+)BWC"),
+            "7\n-7\n1.5\n4\n2.25\n2\n");
+}
+
+TEST(Language, WhileForBreakContinue) {
+  EXPECT_EQ(run_output(R"BWC(
+func slave() {
+  int i = 0;
+  while (i < 10) {
+    i = i + 1;
+    if (i % 2 == 0) { continue; }
+    if (i > 6) { break; }
+    print_i(i);
+  }
+  print_i(i);
+  for (int j = 3; j > 0; j = j - 1) { print_i(j); }
+}
+)BWC"),
+            "1\n3\n5\n7\n3\n2\n1\n");
+}
+
+TEST(Language, FunctionsAndRecursion) {
+  EXPECT_EQ(run_output(R"BWC(
+func fib(int n) -> int {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+func fact(int n) -> int {
+  int acc = 1;
+  for (int i = 2; i <= n; i = i + 1) { acc = acc * i; }
+  return acc;
+}
+func slave() {
+  print_i(fib(10));
+  print_i(fact(6));
+}
+)BWC"),
+            "55\n720\n");
+}
+
+TEST(Language, GlobalsArraysAndInit) {
+  EXPECT_EQ(run_output(R"BWC(
+global int n = 3;
+global int a[4] = {10, 20, 30};
+global float f[2] = {1.5, -2.5};
+func init() {
+  a[3] = a[0] + a[1];
+}
+func slave() {
+  print_i(a[3]);
+  print_i(a[n - 1]);
+  print_f(f[0] + f[1]);
+}
+)BWC"),
+            "30\n30\n-1\n");
+}
+
+TEST(Language, ParamsAreAssignable) {
+  EXPECT_EQ(run_output(R"BWC(
+func clamp(int v) -> int {
+  if (v > 100) { v = 100; }
+  if (v < 0) { v = 0; }
+  return v;
+}
+func slave() {
+  print_i(clamp(250));
+  print_i(clamp(-3));
+  print_i(clamp(42));
+}
+)BWC"),
+            "100\n0\n42\n");
+}
+
+TEST(Language, HashRandIsDeterministicAndSpread) {
+  std::string out = run_output(R"BWC(
+func slave() {
+  print_i(hashrand(1) % 1000);
+  print_i(hashrand(1) % 1000);
+  print_i(hashrand(2) % 1000);
+}
+)BWC");
+  // Same seed -> same value; different seed -> (almost surely) different.
+  auto first_newline = out.find('\n');
+  std::string a = out.substr(0, first_newline);
+  std::string rest = out.substr(first_newline + 1);
+  auto second_newline = rest.find('\n');
+  std::string b = rest.substr(0, second_newline);
+  std::string c = rest.substr(second_newline + 1, rest.size());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a + "\n", c);
+}
+
+TEST(Language, SpmdBuiltinsAcrossThreads) {
+  // Each thread publishes tid()*10; thread 0 prints all after a barrier.
+  EXPECT_EQ(run_output(R"BWC(
+global int slots[8];
+func slave() {
+  slots[tid()] = tid() * 10 + nthreads();
+  barrier();
+  if (tid() == 0) {
+    for (int t = 0; t < nthreads(); t = t + 1) { print_i(slots[t]); }
+  }
+}
+)BWC",
+                       4),
+            "4\n14\n24\n34\n");
+}
+
+TEST(Language, AtomicAddHandsOutUniqueTickets) {
+  EXPECT_EQ(run_output(R"BWC(
+global int counter = 0;
+global int got[8];
+func slave() {
+  int ticket = atomic_add(counter, 1);
+  got[ticket] = 1;
+  barrier();
+  if (tid() == 0) {
+    int all = 1;
+    for (int t = 0; t < nthreads(); t = t + 1) {
+      if (got[t] == 0) { all = 0; }
+    }
+    print_i(all);
+    print_i(counter);
+  }
+}
+)BWC",
+                       8),
+            "1\n8\n");
+}
+
+TEST(Language, LocksProtectReadModifyWrite) {
+  EXPECT_EQ(run_output(R"BWC(
+global int total = 0;
+func slave() {
+  for (int i = 0; i < 100; i = i + 1) {
+    lock(1);
+    total = total + 1;
+    unlock(1);
+  }
+  barrier();
+  if (tid() == 0) { print_i(total); }
+}
+)BWC",
+                       4),
+            "400\n");
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Tests for the hierarchical monitor (paper §VI future work): detection
+// parity with the flat monitor, cross-group checks, and end-to-end runs.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "benchmarks/registry.h"
+#include "runtime/hierarchical_monitor.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace bw::runtime;
+using namespace bw;
+
+BranchReport report(std::uint32_t thread, std::uint32_t static_id,
+                    CheckCode check, bool outcome,
+                    std::uint64_t iter_hash = 0) {
+  BranchReport r;
+  r.thread = thread;
+  r.static_id = static_id;
+  r.check = check;
+  r.kind = ReportKind::Outcome;
+  r.outcome = outcome;
+  r.iter_hash = iter_hash;
+  return r;
+}
+
+TEST(HierarchicalMonitor, CleanInstanceAcrossGroups) {
+  HierarchicalMonitorOptions options;
+  options.num_groups = 2;
+  HierarchicalMonitor monitor(4, options);
+  EXPECT_EQ(monitor.num_groups(), 2u);
+  monitor.start();
+  for (unsigned t = 0; t < 4; ++t) {
+    monitor.send(report(t, 1, CheckCode::SharedOutcome, true));
+  }
+  monitor.stop();
+  EXPECT_TRUE(monitor.violations().empty());
+  EXPECT_EQ(monitor.stats().reports_processed, 4u);
+  EXPECT_EQ(monitor.stats().summaries_forwarded, 2u);  // one per group
+  EXPECT_EQ(monitor.stats().instances_checked, 1u);
+}
+
+TEST(HierarchicalMonitor, CrossGroupDeviationIsDetected) {
+  // The deviating thread sits in group 1 while the majority is spread
+  // over both groups: only the ROOT can see the inconsistency — exactly
+  // the property the hierarchy must preserve.
+  HierarchicalMonitorOptions options;
+  options.num_groups = 2;
+  HierarchicalMonitor monitor(4, options);
+  monitor.start();
+  monitor.send(report(0, 7, CheckCode::SharedOutcome, true));
+  monitor.send(report(1, 7, CheckCode::SharedOutcome, true));
+  monitor.send(report(2, 7, CheckCode::SharedOutcome, true));
+  monitor.send(report(3, 7, CheckCode::SharedOutcome, false));
+  monitor.stop();
+  ASSERT_EQ(monitor.violations().size(), 1u);
+  EXPECT_EQ(monitor.violations()[0].suspect_thread, 3u);
+  EXPECT_TRUE(monitor.violation_detected());
+}
+
+TEST(HierarchicalMonitor, WithinGroupConsistentButGloballyWrong) {
+  // Each subgroup is internally consistent (all-taken / all-not-taken);
+  // only the merge reveals the violation. A naive per-group checker would
+  // miss this.
+  HierarchicalMonitorOptions options;
+  options.num_groups = 2;
+  HierarchicalMonitor monitor(4, options);
+  monitor.start();
+  monitor.send(report(0, 5, CheckCode::SharedOutcome, true));
+  monitor.send(report(1, 5, CheckCode::SharedOutcome, true));
+  monitor.send(report(2, 5, CheckCode::SharedOutcome, false));
+  monitor.send(report(3, 5, CheckCode::SharedOutcome, false));
+  monitor.stop();
+  EXPECT_EQ(monitor.violations().size(), 1u);
+}
+
+TEST(HierarchicalMonitor, MonotoneCheckSurvivesGroupSplit) {
+  // Prefix pattern split across groups is legal; an island is not.
+  {
+    HierarchicalMonitorOptions options;
+    options.num_groups = 4;
+    HierarchicalMonitor monitor(8, options);
+    monitor.start();
+    for (unsigned t = 0; t < 8; ++t) {
+      monitor.send(report(t, 2, CheckCode::ThreadIdMonotone, t < 5));
+    }
+    monitor.stop();
+    EXPECT_TRUE(monitor.violations().empty());
+  }
+  {
+    HierarchicalMonitorOptions options;
+    options.num_groups = 4;
+    HierarchicalMonitor monitor(8, options);
+    monitor.start();
+    for (unsigned t = 0; t < 8; ++t) {
+      monitor.send(report(t, 2, CheckCode::ThreadIdMonotone,
+                          t != 2));  // lone island at t=2
+    }
+    monitor.stop();
+    ASSERT_EQ(monitor.violations().size(), 1u);
+    EXPECT_EQ(monitor.violations()[0].suspect_thread, 2u);
+  }
+}
+
+TEST(HierarchicalMonitor, PartialConditionDataFlowsThrough) {
+  HierarchicalMonitorOptions options;
+  options.num_groups = 2;
+  HierarchicalMonitor monitor(4, options);
+  monitor.start();
+  for (unsigned t = 0; t < 4; ++t) {
+    BranchReport cond = report(t, 9, CheckCode::PartialValue, false);
+    cond.kind = ReportKind::Condition;
+    cond.value = 42;  // one value group spanning both subgroups
+    monitor.send(cond);
+    monitor.send(report(t, 9, CheckCode::PartialValue, t != 1));
+  }
+  monitor.stop();
+  ASSERT_EQ(monitor.violations().size(), 1u);
+  EXPECT_EQ(monitor.violations()[0].suspect_thread, 1u);
+}
+
+TEST(HierarchicalMonitor, IncompleteInstancesFinalizeThroughTheTree) {
+  // Only threads 0 and 3 (different groups) reach the branch.
+  HierarchicalMonitorOptions options;
+  options.num_groups = 2;
+  HierarchicalMonitor monitor(4, options);
+  monitor.start();
+  monitor.send(report(0, 11, CheckCode::SharedOutcome, true));
+  monitor.send(report(3, 11, CheckCode::SharedOutcome, false));
+  monitor.stop();
+  EXPECT_EQ(monitor.violations().size(), 1u);
+}
+
+TEST(HierarchicalMonitor, ParityWithFlatMonitorOnCleanBenchmarks) {
+  for (const char* name : {"fft", "radix"}) {
+    SCOPED_TRACE(name);
+    const benchmarks::Benchmark* bench = benchmarks::find_benchmark(name);
+    pipeline::CompiledProgram program =
+        pipeline::protect_program(bench->source);
+
+    pipeline::ExecutionConfig config;
+    config.num_threads = 8;
+    config.monitor = pipeline::MonitorMode::Hierarchical;
+    config.monitor_groups = 4;
+    pipeline::ExecutionResult result = pipeline::execute(program, config);
+    EXPECT_TRUE(result.run.ok);
+    EXPECT_FALSE(result.detected) << result.violations.size()
+                                  << " false positives";
+    EXPECT_GT(result.monitor_stats.reports_processed, 0u);
+  }
+}
+
+TEST(HierarchicalMonitor, DetectsInjectedFaultEndToEnd) {
+  const benchmarks::Benchmark* bench = benchmarks::find_benchmark("fft");
+  pipeline::CompiledProgram program =
+      pipeline::protect_program(bench->source);
+  pipeline::ExecutionConfig config;
+  config.num_threads = 8;
+  config.monitor = pipeline::MonitorMode::Hierarchical;
+  config.monitor_groups = 4;
+  config.fault.active = true;
+  config.fault.thread = 5;
+  config.fault.target_branch = 40;
+  config.fault.mode = vm::FaultPlan::Mode::BranchFlip;
+  pipeline::ExecutionResult result = pipeline::execute(program, config);
+  EXPECT_TRUE(result.run.fault_applied);
+  EXPECT_TRUE(result.detected);
+}
+
+TEST(HierarchicalMonitor, ManyGroupsManyInstancesStress) {
+  HierarchicalMonitorOptions options;
+  options.num_groups = 8;
+  HierarchicalMonitor monitor(16, options);
+  monitor.start();
+  std::vector<std::thread> producers;
+  for (unsigned t = 0; t < 16; ++t) {
+    producers.emplace_back([&monitor, t] {
+      for (std::uint64_t iter = 0; iter < 2'000; ++iter) {
+        monitor.send(report(t, 1 + iter % 5, CheckCode::SharedOutcome,
+                            iter % 3 == 0, iter));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  monitor.stop();
+  EXPECT_TRUE(monitor.violations().empty());
+  EXPECT_EQ(monitor.stats().reports_processed, 32'000u);
+}
+
+}  // namespace

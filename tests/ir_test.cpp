@@ -1,0 +1,267 @@
+// Unit tests for the IR core: values, constants, instructions, blocks,
+// functions, modules, and the IRBuilder.
+#include <gtest/gtest.h>
+
+#include "ir/irbuilder.h"
+#include "ir/module.h"
+#include "ir/verifier.h"
+
+namespace {
+
+using namespace bw::ir;
+
+TEST(IrModule, ConstantsAreUniqued) {
+  Module module("m");
+  EXPECT_EQ(module.get_i64(42), module.get_i64(42));
+  EXPECT_NE(module.get_i64(42), module.get_i64(43));
+  EXPECT_EQ(module.get_i1(true), module.get_i1(true));
+  EXPECT_NE(module.get_i1(true), module.get_i1(false));
+  EXPECT_EQ(module.get_f64(2.5), module.get_f64(2.5));
+  EXPECT_NE(module.get_f64(2.5), module.get_f64(-2.5));
+  // i64 and i1 constants of the same numeric value stay distinct.
+  EXPECT_NE(static_cast<Value*>(module.get_i64(1)),
+            static_cast<Value*>(module.get_i1(true)));
+}
+
+TEST(IrModule, GlobalsHaveBasePointersAndInit) {
+  Module module("m");
+  GlobalVariable* scalar = module.create_global("n", Type::I64, 1);
+  GlobalVariable* array = module.create_global("a", Type::F64, 16);
+  EXPECT_TRUE(scalar->is_scalar_global());
+  EXPECT_FALSE(array->is_scalar_global());
+  EXPECT_EQ(scalar->type(), Type::Ptr);
+  EXPECT_EQ(array->element_type(), Type::F64);
+  EXPECT_EQ(module.find_global("a"), array);
+  EXPECT_EQ(module.find_global("zzz"), nullptr);
+  array->set_init_words({1, 2, 3});
+  EXPECT_EQ(array->init_words().size(), 3u);
+}
+
+TEST(IrModule, FunctionLookupAndArgs) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::I64,
+                                       {Type::I64, Type::F64});
+  EXPECT_EQ(module.find_function("f"), f);
+  EXPECT_EQ(module.find_function("g"), nullptr);
+  ASSERT_EQ(f->num_args(), 2u);
+  EXPECT_EQ(f->arg(0)->type(), Type::I64);
+  EXPECT_EQ(f->arg(1)->type(), Type::F64);
+  EXPECT_EQ(f->arg(1)->index(), 1u);
+  EXPECT_EQ(f->arg(0)->parent(), f);
+}
+
+TEST(IrRtti, IsaAndDynCast) {
+  Module module("m");
+  Value* c = module.get_i64(7);
+  Value* g = module.create_global("g", Type::I64, 1);
+  EXPECT_TRUE(isa<ConstantInt>(c));
+  EXPECT_FALSE(isa<ConstantFloat>(c));
+  EXPECT_TRUE(isa<GlobalVariable>(g));
+  EXPECT_EQ(dyn_cast<ConstantInt>(c)->value(), 7);
+  EXPECT_EQ(dyn_cast<Instruction>(c), nullptr);
+}
+
+TEST(IrBuilder, BuildsTypedInstructions) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::Void, {});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(&module);
+  b.set_insert_point(bb);
+
+  Instruction* add = b.binary(Opcode::Add, b.i64(1), b.i64(2));
+  EXPECT_EQ(add->type(), Type::I64);
+  Instruction* fadd = b.binary(Opcode::FAdd, b.f64(1.0), b.f64(2.0));
+  EXPECT_EQ(fadd->type(), Type::F64);
+  Instruction* cmp = b.icmp(CmpPred::LT, add, b.i64(5));
+  EXPECT_EQ(cmp->type(), Type::I1);
+  EXPECT_EQ(cmp->cmp_pred(), CmpPred::LT);
+  Instruction* sel = b.select(cmp, add, b.i64(0));
+  EXPECT_EQ(sel->type(), Type::I64);
+  Instruction* conv = b.sitofp(add);
+  EXPECT_EQ(conv->type(), Type::F64);
+  b.ret();
+  EXPECT_EQ(bb->size(), 6u);
+  EXPECT_TRUE(bb->terminator()->is_terminator());
+}
+
+TEST(IrBuilder, PhiInsertsBeforeNonPhis) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::Void, {});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(&module);
+  b.set_insert_point(bb);
+  b.tid();
+  Instruction* phi = b.phi(Type::I64);
+  EXPECT_TRUE(bb->front()->is_phi());
+  EXPECT_EQ(bb->front(), phi);
+}
+
+TEST(IrBasicBlock, PredecessorsAndSuccessors) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::Void, {});
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* then_bb = f->create_block("then");
+  BasicBlock* else_bb = f->create_block("else");
+  BasicBlock* merge = f->create_block("merge");
+  IRBuilder b(&module);
+  b.set_insert_point(entry);
+  b.cond_br(b.i1(true), then_bb, else_bb);
+  b.set_insert_point(then_bb);
+  b.br(merge);
+  b.set_insert_point(else_bb);
+  b.br(merge);
+  b.set_insert_point(merge);
+  b.ret();
+
+  EXPECT_EQ(entry->successors().size(), 2u);
+  EXPECT_EQ(merge->predecessors().size(), 2u);
+  EXPECT_TRUE(entry->predecessors().empty());
+}
+
+TEST(IrFunction, CreateBlockUniquifiesNames) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::Void, {});
+  BasicBlock* a = f->create_block("loop");
+  BasicBlock* b = f->create_block("loop");
+  BasicBlock* c = f->create_block("loop");
+  EXPECT_EQ(a->name(), "loop");
+  EXPECT_NE(b->name(), a->name());
+  EXPECT_NE(c->name(), b->name());
+}
+
+TEST(IrFunction, RemoveUnreachableBlocksPrunesPhis) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::Void, {});
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* live = f->create_block("live");
+  BasicBlock* dead = f->create_block("dead");
+  IRBuilder b(&module);
+  b.set_insert_point(entry);
+  b.br(live);
+  b.set_insert_point(dead);
+  b.br(live);
+  b.set_insert_point(live);
+  Instruction* phi = b.phi(Type::I64);
+  phi->add_incoming(module.get_i64(1), entry);
+  phi->add_incoming(module.get_i64(2), dead);
+  b.ret();
+
+  f->remove_unreachable_blocks();
+  EXPECT_EQ(f->blocks().size(), 2u);
+  EXPECT_EQ(phi->num_operands(), 1u);
+  EXPECT_EQ(phi->incoming_blocks()[0], entry);
+}
+
+TEST(IrFunction, RemoveUnreachableKeepsFullyReachable) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::Void, {});
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* next = f->create_block("next");
+  IRBuilder b(&module);
+  b.set_insert_point(entry);
+  b.br(next);
+  b.set_insert_point(next);
+  b.ret();
+  f->remove_unreachable_blocks();
+  ASSERT_EQ(f->blocks().size(), 2u);
+  EXPECT_EQ(f->entry(), entry);  // blocks intact, not moved-from
+  EXPECT_EQ(f->entry()->name(), "entry");
+}
+
+TEST(IrVerifier, AcceptsWellFormed) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::I64, {Type::I64});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(&module);
+  b.set_insert_point(bb);
+  Instruction* v = b.binary(Opcode::Add, f->arg(0), b.i64(1));
+  b.ret(v);
+  EXPECT_TRUE(verify_module(module).empty());
+}
+
+TEST(IrVerifier, RejectsMissingTerminator) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::Void, {});
+  f->create_block("entry");
+  EXPECT_FALSE(verify_module(module).empty());
+}
+
+TEST(IrVerifier, RejectsTypeMismatch) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::Void, {});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(&module);
+  b.set_insert_point(bb);
+  // fadd of two i64s: ill-typed.
+  auto bad = std::make_unique<Instruction>(Opcode::FAdd, Type::F64);
+  bad->add_operand(module.get_i64(1));
+  bad->add_operand(module.get_i64(2));
+  bb->append(std::move(bad));
+  b.ret();
+  EXPECT_FALSE(verify_module(module).empty());
+}
+
+TEST(IrVerifier, RejectsUseBeforeDef) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::Void, {});
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(&module);
+  b.set_insert_point(bb);
+  Instruction* first = b.binary(Opcode::Add, b.i64(1), b.i64(2));
+  Instruction* second = b.binary(Opcode::Add, b.i64(3), b.i64(4));
+  // Rewire: first uses second (defined later in the same block).
+  first->set_operand(0, second);
+  b.ret();
+  EXPECT_FALSE(verify_module(module).empty());
+}
+
+TEST(IrVerifier, RejectsPhiPredMismatch) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::Void, {});
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* next = f->create_block("next");
+  IRBuilder b(&module);
+  b.set_insert_point(entry);
+  b.br(next);
+  b.set_insert_point(next);
+  Instruction* phi = b.phi(Type::I64);
+  phi->add_incoming(module.get_i64(1), entry);
+  phi->add_incoming(module.get_i64(2), next);  // not a predecessor twice
+  b.ret();
+  EXPECT_FALSE(verify_module(module).empty());
+}
+
+TEST(IrVerifier, RejectsCallArityMismatch) {
+  Module module("m");
+  Function* callee = module.create_function("callee", Type::Void,
+                                            {Type::I64});
+  BasicBlock* cb = callee->create_block("entry");
+  IRBuilder b(&module);
+  b.set_insert_point(cb);
+  b.ret();
+
+  Function* caller = module.create_function("caller", Type::Void, {});
+  BasicBlock* bb = caller->create_block("entry");
+  b.set_insert_point(bb);
+  b.call(callee, {});  // missing argument
+  b.ret();
+  EXPECT_FALSE(verify_module(module).empty());
+}
+
+TEST(IrPrinter, StableValueNames) {
+  Module module("m");
+  Function* f = module.create_function("f", Type::I64, {Type::I64});
+  f->arg(0)->set_name("x");
+  BasicBlock* bb = f->create_block("entry");
+  IRBuilder b(&module);
+  b.set_insert_point(bb);
+  Instruction* v = b.binary(Opcode::Mul, f->arg(0), f->arg(0));
+  v->set_name("sq");
+  b.ret(v);
+  std::string text = module.to_string();
+  EXPECT_NE(text.find("%x: i64"), std::string::npos);
+  EXPECT_NE(text.find("%sq = mul %x, %x"), std::string::npos);
+  EXPECT_NE(text.find("ret %sq"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Edge-case batch for the BW-C front-end and VM: numeric corner cases,
+// deep nesting, else-if chains, float comparison semantics (incl. NaN),
+// and grammar corner cases the main frontend tests don't reach.
+#include <gtest/gtest.h>
+
+#include "frontend/compiler.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace bw;
+using bw::test::run_output;
+
+TEST(LanguageEdge, ElseIfChains) {
+  EXPECT_EQ(run_output(R"BWC(
+func classify(int x) -> int {
+  if (x < 0) { return -1; }
+  else if (x == 0) { return 0; }
+  else if (x < 10) { return 1; }
+  else { return 2; }
+}
+func slave() {
+  print_i(classify(-5));
+  print_i(classify(0));
+  print_i(classify(7));
+  print_i(classify(99));
+}
+)BWC"),
+            "-1\n0\n1\n2\n");
+}
+
+TEST(LanguageEdge, NegativeModuloAndDivision) {
+  EXPECT_EQ(run_output(R"BWC(
+func slave() {
+  print_i(-7 % 3);
+  print_i(7 % -3);
+  print_i(-7 / 3);
+  print_i(7 / -3);
+}
+)BWC"),
+            "-1\n1\n-2\n-2\n");
+}
+
+TEST(LanguageEdge, FloatComparisonWithNan) {
+  // NaN compares false under every ordered predicate and != yields true —
+  // IEEE semantics, same as the interpreter's host arithmetic.
+  EXPECT_EQ(run_output(R"BWC(
+global float zero = 0.0;
+func slave() {
+  float nan = zero / zero;
+  if (nan == nan) { print_i(1); } else { print_i(0); }
+  if (nan != nan) { print_i(1); } else { print_i(0); }
+  if (nan < 1.0) { print_i(1); } else { print_i(0); }
+  if (nan >= 1.0) { print_i(1); } else { print_i(0); }
+}
+)BWC"),
+            "0\n1\n0\n0\n");
+}
+
+TEST(LanguageEdge, DeeplyNestedExpressions) {
+  EXPECT_EQ(run_output(R"BWC(
+func slave() {
+  int v = ((((1 + 2) * (3 + 4)) - ((5 - 6) * (7 + 8))) << 1) / 3;
+  print_i(v);
+}
+)BWC"),
+            "24\n");  // ((3*7) - (-1*15)) = 36; 36<<1 = 72; 72/3 = 24
+}
+
+TEST(LanguageEdge, ForLoopWithoutInitOrStep) {
+  EXPECT_EQ(run_output(R"BWC(
+func slave() {
+  int i = 0;
+  for (; i < 3;) {
+    print_i(i);
+    i = i + 1;
+  }
+}
+)BWC"),
+            "0\n1\n2\n");
+}
+
+TEST(LanguageEdge, WhileFalseBodyNeverRuns) {
+  EXPECT_EQ(run_output(R"BWC(
+func slave() {
+  while (false) { print_i(1); }
+  for (int i = 0; i < 0; i = i + 1) { print_i(2); }
+  print_i(3);
+}
+)BWC"),
+            "3\n");
+}
+
+TEST(LanguageEdge, ZeroTripAndSingleTripLoopPhisAreCorrect) {
+  EXPECT_EQ(run_output(R"BWC(
+global int zero = 0;
+global int one = 1;
+func slave() {
+  int s = 100;
+  for (int i = 0; i < zero; i = i + 1) { s = s + 1; }
+  print_i(s);
+  for (int i = 0; i < one; i = i + 1) { s = s + 1; }
+  print_i(s);
+}
+)BWC"),
+            "100\n101\n");
+}
+
+TEST(LanguageEdge, RecursionDepthLimitTrapsCleanly) {
+  pipeline::CompiledProgram program = pipeline::compile_program(R"BWC(
+func inf(int x) -> int {
+  return inf(x + 1);
+}
+func slave() {
+  print_i(inf(0));
+}
+)BWC");
+  pipeline::ExecutionConfig config;
+  config.num_threads = 1;
+  config.monitor = pipeline::MonitorMode::Off;
+  pipeline::ExecutionResult result = pipeline::execute(program, config);
+  EXPECT_FALSE(result.run.ok);  // stack-overflow trap, not a crash
+}
+
+TEST(LanguageEdge, GlobalScalarAndArrayNamespacesInteract) {
+  EXPECT_EQ(run_output(R"BWC(
+global int size = 3;
+global int data[8] = {5, 6, 7};
+func slave() {
+  int s = 0;
+  for (int i = 0; i < size; i = i + 1) { s = s + data[i]; }
+  size = s;           // writing a shared scalar from the (1-thread) section
+  print_i(size);
+}
+)BWC"),
+            "18\n");
+}
+
+TEST(LanguageEdge, CommentsAndWhitespaceEverywhere) {
+  EXPECT_EQ(run_output("// leading\nfunc slave() { // trailing\n"
+                       "  print_i( 1 + // mid-expression\n 2 );\n}\n"),
+            "3\n");
+}
+
+TEST(LanguageEdge, ShadowingAcrossForScopes) {
+  EXPECT_EQ(run_output(R"BWC(
+func slave() {
+  int i = 99;
+  for (int i = 0; i < 2; i = i + 1) {
+    for (int i = 10; i < 12; i = i + 1) { print_i(i); }
+  }
+  print_i(i);
+}
+)BWC"),
+            "10\n11\n10\n11\n99\n");
+}
+
+TEST(LanguageEdge, LargeIntLiteralsRoundTrip) {
+  EXPECT_EQ(run_output(R"BWC(
+func slave() {
+  print_i(4611686018427387904);        // 2^62
+  print_i(4611686018427387904 * 2);    // wraps to INT64_MIN
+}
+)BWC"),
+            "4611686018427387904\n-9223372036854775808\n");
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Critical-section dataflow tests (paper optimization 2 support).
+#include <gtest/gtest.h>
+
+#include "analysis/lock_regions.h"
+#include "ir/parser.h"
+
+namespace {
+
+using namespace bw;
+using analysis::LockRegions;
+
+const ir::Instruction* terminator_of(const ir::Function& f,
+                                     const std::string& block) {
+  for (const auto& bb : f.blocks()) {
+    if (bb->name() == block) return bb->terminator();
+  }
+  return nullptr;
+}
+
+TEST(LockRegions, StraightLineRegion) {
+  auto module = ir::parse_module(R"(module "m"
+global @g : i64
+
+func @f() -> void {
+entry:
+  %pre = load i64, @g
+  lock_acquire 0
+  %in = load i64, @g
+  lock_release 0
+  %post = load i64, @g
+  ret
+}
+)");
+  const ir::Function& f = *module->find_function("f");
+  LockRegions regions(f);
+  const auto& insts = f.entry()->instructions();
+  EXPECT_EQ(regions.min_depth_at(insts[0].get()), 0);  // pre
+  EXPECT_EQ(regions.min_depth_at(insts[2].get()), 1);  // in
+  EXPECT_EQ(regions.min_depth_at(insts[4].get()), 0);  // post
+  EXPECT_FALSE(regions.in_critical_section(insts[0].get()));
+  EXPECT_TRUE(regions.in_critical_section(insts[2].get()));
+}
+
+TEST(LockRegions, BranchInsideCriticalSection) {
+  auto module = ir::parse_module(R"(module "m"
+global @g : i64
+
+func @f(%c: i1) -> void {
+entry:
+  lock_acquire 0
+  cond_br %c, a, b
+a:
+  lock_release 0
+  ret
+b:
+  lock_release 0
+  ret
+}
+)");
+  const ir::Function& f = *module->find_function("f");
+  LockRegions regions(f);
+  EXPECT_TRUE(regions.in_critical_section(terminator_of(f, "entry")));
+}
+
+TEST(LockRegions, MustAnalysisTakesMinimumOverPaths) {
+  // Lock held on only one incoming path: the merge is NOT a guaranteed
+  // critical section.
+  auto module = ir::parse_module(R"(module "m"
+global @g : i64
+
+func @f(%c: i1) -> void {
+entry:
+  cond_br %c, locked, unlocked
+locked:
+  lock_acquire 0
+  br merge
+unlocked:
+  br merge
+merge:
+  %v = load i64, @g
+  cond_br %c, out, done
+out:
+  lock_release 0
+  br done
+done:
+  ret
+}
+)");
+  const ir::Function& f = *module->find_function("f");
+  LockRegions regions(f);
+  EXPECT_FALSE(regions.in_critical_section(terminator_of(f, "merge")));
+}
+
+TEST(LockRegions, NestedLocksCountDepth) {
+  auto module = ir::parse_module(R"(module "m"
+global @g : i64
+
+func @f() -> void {
+entry:
+  lock_acquire 0
+  lock_acquire 1
+  %v = load i64, @g
+  lock_release 1
+  %w = load i64, @g
+  lock_release 0
+  ret
+}
+)");
+  const ir::Function& f = *module->find_function("f");
+  LockRegions regions(f);
+  const auto& insts = f.entry()->instructions();
+  EXPECT_EQ(regions.min_depth_at(insts[2].get()), 2);
+  EXPECT_EQ(regions.min_depth_at(insts[4].get()), 1);
+}
+
+TEST(LockRegions, LockInsideLoopBody) {
+  auto module = ir::parse_module(R"(module "m"
+global @g : i64
+
+func @f() -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [ 0, entry ], [ %n, latch ]
+  %c = icmp lt %i, 4
+  cond_br %c, body, exit
+body:
+  lock_acquire 0
+  %v = load i64, @g
+  %cc = icmp gt %v, 0
+  cond_br %cc, inbody, inbody
+inbody:
+  lock_release 0
+  br latch
+latch:
+  %n = add %i, 1
+  br header
+exit:
+  ret
+}
+)");
+  const ir::Function& f = *module->find_function("f");
+  LockRegions regions(f);
+  // The loop header branch runs unlocked; the branch inside the lock pair
+  // is critical.
+  EXPECT_FALSE(regions.in_critical_section(terminator_of(f, "header")));
+  EXPECT_TRUE(regions.in_critical_section(terminator_of(f, "body")));
+}
+
+}  // namespace

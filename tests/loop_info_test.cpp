@@ -1,0 +1,163 @@
+// Natural-loop detection tests: simple, nested, and multi-exit loops.
+#include <gtest/gtest.h>
+
+#include "frontend/compiler.h"
+#include "ir/loop_info.h"
+#include "ir/parser.h"
+
+namespace {
+
+using namespace bw::ir;
+
+std::unique_ptr<Module> parse(const char* body) {
+  return parse_module(std::string("module \"m\"\n") + body);
+}
+
+const BasicBlock* block(const Function& f, const std::string& name) {
+  for (const auto& bb : f.blocks()) {
+    if (bb->name() == name) return bb.get();
+  }
+  return nullptr;
+}
+
+TEST(LoopInfo, SingleLoop) {
+  auto module = parse(R"(
+func @f() -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [ 0, entry ], [ %n, body ]
+  %c = icmp lt %i, 10
+  cond_br %c, body, exit
+body:
+  %n = add %i, 1
+  br header
+exit:
+  ret
+}
+)");
+  const Function& f = *module->find_function("f");
+  DominatorTree dom(f);
+  LoopInfo loops(f, dom);
+
+  ASSERT_EQ(loops.loops().size(), 1u);
+  const Loop& loop = *loops.loops()[0];
+  EXPECT_EQ(loop.header, block(f, "header"));
+  ASSERT_EQ(loop.latches.size(), 1u);
+  EXPECT_EQ(loop.latches[0], block(f, "body"));
+  EXPECT_TRUE(loop.contains(block(f, "header")));
+  EXPECT_TRUE(loop.contains(block(f, "body")));
+  EXPECT_FALSE(loop.contains(block(f, "exit")));
+  EXPECT_EQ(loop.depth, 1u);
+  EXPECT_EQ(loops.depth_of(block(f, "body")), 1u);
+  EXPECT_EQ(loops.depth_of(block(f, "exit")), 0u);
+}
+
+TEST(LoopInfo, NestedLoopsDepths) {
+  auto module = parse(R"(
+func @f() -> void {
+entry:
+  br outer
+outer:
+  %i = phi i64 [ 0, entry ], [ %i2, outer_latch ]
+  %c1 = icmp lt %i, 4
+  cond_br %c1, inner, exit
+inner:
+  %j = phi i64 [ 0, outer ], [ %j2, inner ]
+  %j2 = add %j, 1
+  %c2 = icmp lt %j2, 4
+  cond_br %c2, inner, outer_latch
+outer_latch:
+  %i2 = add %i, 1
+  br outer
+exit:
+  ret
+}
+)");
+  const Function& f = *module->find_function("f");
+  DominatorTree dom(f);
+  LoopInfo loops(f, dom);
+
+  ASSERT_EQ(loops.loops().size(), 2u);
+  EXPECT_EQ(loops.depth_of(block(f, "outer")), 1u);
+  EXPECT_EQ(loops.depth_of(block(f, "inner")), 2u);
+  EXPECT_EQ(loops.depth_of(block(f, "outer_latch")), 1u);
+
+  const Loop* inner = loops.loop_for(block(f, "inner"));
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->depth, 2u);
+  ASSERT_NE(inner->parent, nullptr);
+  EXPECT_EQ(inner->parent->header, block(f, "outer"));
+}
+
+TEST(LoopInfo, LoopWithBreakHasTwoExits) {
+  auto module = parse(R"(
+func @f(%b: i1) -> void {
+entry:
+  br header
+header:
+  %i = phi i64 [ 0, entry ], [ %n, latch ]
+  %c = icmp lt %i, 10
+  cond_br %c, body, exit
+body:
+  cond_br %b, exit, latch
+latch:
+  %n = add %i, 1
+  br header
+exit:
+  ret
+}
+)");
+  const Function& f = *module->find_function("f");
+  DominatorTree dom(f);
+  LoopInfo loops(f, dom);
+  ASSERT_EQ(loops.loops().size(), 1u);
+  const Loop& loop = *loops.loops()[0];
+  EXPECT_TRUE(loop.contains(block(f, "body")));
+  EXPECT_TRUE(loop.contains(block(f, "latch")));
+  EXPECT_FALSE(loop.contains(block(f, "exit")));
+
+  // Count exit edges: header->exit and body->exit.
+  int exit_edges = 0;
+  for (const BasicBlock* bb : loop.blocks) {
+    for (const BasicBlock* succ : bb->successors()) {
+      if (!loop.contains(succ)) ++exit_edges;
+    }
+  }
+  EXPECT_EQ(exit_edges, 2);
+}
+
+TEST(LoopInfo, DeepNestFromFrontend) {
+  // Six nested BW-C loops must produce depths 1..6.
+  const char* src = R"BWC(
+global int s = 0;
+func slave() {
+  for (int a = 0; a < 2; a = a + 1) {
+    for (int b = 0; b < 2; b = b + 1) {
+      for (int c = 0; c < 2; c = c + 1) {
+        for (int d = 0; d < 2; d = d + 1) {
+          for (int e = 0; e < 2; e = e + 1) {
+            for (int f = 0; f < 2; f = f + 1) {
+              s = s + 1;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+)BWC";
+  // Use the front-end to build the nest, then inspect.
+  auto module = bw::frontend::compile(src);
+  const Function& f = *module->find_function("slave");
+  DominatorTree dom(f);
+  LoopInfo loops(f, dom);
+  EXPECT_EQ(loops.loops().size(), 6u);
+  unsigned max_depth = 0;
+  for (const auto& loop : loops.loops()) {
+    max_depth = std::max(max_depth, loop->depth);
+  }
+  EXPECT_EQ(max_depth, 6u);
+}
+
+}  // namespace

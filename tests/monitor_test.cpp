@@ -1,0 +1,180 @@
+// Monitor tests: queue draining, the two-level instance table, eager and
+// finalize-time checking, drain-only mode, and eviction under pressure.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/monitor.h"
+
+namespace {
+
+using namespace bw::runtime;
+
+BranchReport report(std::uint32_t thread, std::uint32_t static_id,
+                    CheckCode check, bool outcome,
+                    std::uint64_t iter_hash = 0,
+                    std::uint64_t ctx_hash = 0) {
+  BranchReport r;
+  r.thread = thread;
+  r.static_id = static_id;
+  r.check = check;
+  r.kind = ReportKind::Outcome;
+  r.outcome = outcome;
+  r.iter_hash = iter_hash;
+  r.ctx_hash = ctx_hash;
+  return r;
+}
+
+TEST(Monitor, CleanInstanceProducesNoViolation) {
+  Monitor monitor(4);
+  monitor.start();
+  for (unsigned t = 0; t < 4; ++t) {
+    monitor.send(report(t, 1, CheckCode::SharedOutcome, true));
+  }
+  monitor.stop();
+  EXPECT_TRUE(monitor.violations().empty());
+  EXPECT_EQ(monitor.stats().reports_processed, 4u);
+  EXPECT_EQ(monitor.stats().instances_checked, 1u);
+}
+
+TEST(Monitor, EagerCheckFiresOnceAllThreadsReport) {
+  Monitor monitor(4);
+  monitor.start();
+  for (unsigned t = 0; t < 4; ++t) {
+    monitor.send(report(t, 1, CheckCode::SharedOutcome, t != 2));
+  }
+  monitor.stop();
+  ASSERT_EQ(monitor.violations().size(), 1u);
+  const Violation& v = monitor.violations()[0];
+  EXPECT_EQ(v.static_id, 1u);
+  EXPECT_EQ(v.suspect_thread, 2u);
+  EXPECT_TRUE(monitor.violation_detected());
+  EXPECT_EQ(monitor.violation_count(), 1u);
+}
+
+TEST(Monitor, FinalizeChecksIncompleteInstances) {
+  // Only 2 of 4 threads reach the branch (divergent control); the subset
+  // is still checked at end of run.
+  Monitor monitor(4);
+  monitor.start();
+  monitor.send(report(0, 9, CheckCode::SharedOutcome, true));
+  monitor.send(report(3, 9, CheckCode::SharedOutcome, false));
+  monitor.stop();
+  ASSERT_EQ(monitor.violations().size(), 1u);
+  EXPECT_EQ(monitor.violations()[0].static_id, 9u);
+}
+
+TEST(Monitor, SingleReporterIsNeverFlagged) {
+  Monitor monitor(4);
+  monitor.start();
+  monitor.send(report(1, 5, CheckCode::SharedOutcome, true));
+  monitor.stop();
+  EXPECT_TRUE(monitor.violations().empty());
+}
+
+TEST(Monitor, InstancesAreKeyedByIterationAndContext) {
+  Monitor monitor(2);
+  monitor.start();
+  // Same static branch, different loop iterations: distinct instances;
+  // outcomes differ ACROSS iterations but agree within each -> clean.
+  for (std::uint64_t iter = 0; iter < 10; ++iter) {
+    monitor.send(report(0, 3, CheckCode::SharedOutcome, iter % 2 == 0, iter));
+    monitor.send(report(1, 3, CheckCode::SharedOutcome, iter % 2 == 0, iter));
+  }
+  // Different call-site contexts keep instances apart too.
+  monitor.send(report(0, 4, CheckCode::SharedOutcome, true, 0, 111));
+  monitor.send(report(1, 4, CheckCode::SharedOutcome, true, 0, 111));
+  monitor.send(report(0, 4, CheckCode::SharedOutcome, false, 0, 222));
+  monitor.send(report(1, 4, CheckCode::SharedOutcome, false, 0, 222));
+  monitor.stop();
+  EXPECT_TRUE(monitor.violations().empty());
+  EXPECT_EQ(monitor.stats().instances_checked, 12u);
+}
+
+TEST(Monitor, MixingIterationsWouldBeViolation) {
+  // Sanity inverse of the previous test: same key, different outcomes.
+  Monitor monitor(2);
+  monitor.start();
+  monitor.send(report(0, 3, CheckCode::SharedOutcome, true, 7));
+  monitor.send(report(1, 3, CheckCode::SharedOutcome, false, 7));
+  monitor.stop();
+  EXPECT_EQ(monitor.violations().size(), 1u);
+}
+
+TEST(Monitor, PartialChecksUseConditionReports) {
+  Monitor monitor(2);
+  monitor.start();
+  auto cond = [&](unsigned t, std::uint64_t value) {
+    BranchReport r = report(t, 6, CheckCode::PartialValue, false);
+    r.kind = ReportKind::Condition;
+    r.value = value;
+    monitor.send(r);
+  };
+  // Same condition value, different outcomes: violation.
+  cond(0, 42);
+  cond(1, 42);
+  monitor.send(report(0, 6, CheckCode::PartialValue, true));
+  monitor.send(report(1, 6, CheckCode::PartialValue, false));
+  monitor.stop();
+  EXPECT_EQ(monitor.violations().size(), 1u);
+}
+
+TEST(Monitor, DrainOnlyModeChecksNothing) {
+  MonitorOptions options;
+  options.perform_checks = false;
+  Monitor monitor(4, options);
+  monitor.start();
+  for (unsigned t = 0; t < 4; ++t) {
+    monitor.send(report(t, 1, CheckCode::SharedOutcome, t == 0));
+  }
+  monitor.stop();
+  EXPECT_TRUE(monitor.violations().empty());
+  EXPECT_EQ(monitor.stats().instances_checked, 0u);
+  EXPECT_EQ(monitor.stats().reports_processed, 4u);
+}
+
+TEST(Monitor, EvictionKeepsMemoryBoundedAndStaysSound) {
+  MonitorOptions options;
+  options.max_pending_per_branch = 64;
+  Monitor monitor(4, options);
+  monitor.start();
+  // Thread 0 reports 10k instances no one else reaches.
+  for (std::uint64_t iter = 0; iter < 10'000; ++iter) {
+    monitor.send(report(0, 2, CheckCode::SharedOutcome, true, iter));
+  }
+  monitor.stop();
+  EXPECT_TRUE(monitor.violations().empty());
+  EXPECT_GT(monitor.stats().instances_evicted, 0u);
+}
+
+TEST(Monitor, ManyCleanInstancesUnderConcurrency) {
+  // 4 producer threads hammer the monitor with consistent reports.
+  Monitor monitor(4);
+  monitor.start();
+  std::vector<std::thread> producers;
+  for (unsigned t = 0; t < 4; ++t) {
+    producers.emplace_back([&monitor, t] {
+      for (std::uint64_t iter = 0; iter < 5'000; ++iter) {
+        BranchReport r = report(t, 1 + iter % 3, CheckCode::SharedOutcome,
+                                iter % 2 == 0, iter);
+        monitor.send(r);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  monitor.stop();
+  EXPECT_TRUE(monitor.violations().empty());
+  EXPECT_EQ(monitor.stats().reports_processed, 20'000u);
+}
+
+TEST(Monitor, StopIsIdempotent) {
+  Monitor monitor(2);
+  monitor.start();
+  monitor.send(report(0, 1, CheckCode::SharedOutcome, true));
+  monitor.stop();
+  monitor.stop();
+  EXPECT_EQ(monitor.stats().reports_processed, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Constant-folding / DCE tests: folded IR must be smaller yet compute the
+// same outputs, bit-for-bit, as the unoptimized interpretation.
+#include <gtest/gtest.h>
+
+#include "benchmarks/registry.h"
+#include "frontend/compiler.h"
+#include "ir/optimize.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace bw;
+
+int instruction_count(const ir::Module& module) {
+  int count = 0;
+  for (const auto& func : module.functions()) {
+    count += static_cast<int>(func->all_instructions().size());
+  }
+  return count;
+}
+
+TEST(Optimize, FoldsConstantChains) {
+  auto module = ir::parse_module(R"(module "m"
+func @slave() -> void {
+entry:
+  %a = add 2, 3
+  %b = mul %a, 4
+  %c = sub %b, 20
+  print_i64 %c
+  ret
+}
+)");
+  ir::OptimizeStats stats = ir::optimize_module(*module);
+  EXPECT_EQ(stats.folded, 3);
+  EXPECT_TRUE(ir::verify_module(*module).empty());
+  std::string text = module->to_string();
+  EXPECT_NE(text.find("print_i64 0"), std::string::npos);
+}
+
+TEST(Optimize, PreservesDivisionByZeroTrap) {
+  auto module = ir::parse_module(R"(module "m"
+func @slave() -> void {
+entry:
+  %v = sdiv 10, 0
+  print_i64 %v
+  ret
+}
+)");
+  ir::OptimizeStats stats = ir::optimize_module(*module);
+  EXPECT_EQ(stats.folded, 0);  // the trap must stay
+  std::string text = module->to_string();
+  EXPECT_NE(text.find("sdiv"), std::string::npos);
+}
+
+TEST(Optimize, RemovesDeadPureCode) {
+  auto module = ir::parse_module(R"(module "m"
+global @g : i64
+
+func @slave() -> void {
+entry:
+  %dead1 = add 1, 2
+  %live = load i64, @g
+  %dead2 = mul %live, 3
+  %dead3 = tid
+  print_i64 %live
+  ret
+}
+)");
+  ir::OptimizeStats stats = ir::optimize_module(*module);
+  EXPECT_GE(stats.eliminated, 2);  // dead2, dead3 (dead1 folds first)
+  // The load stays: it can trap and is used anyway.
+  std::string text = module->to_string();
+  EXPECT_NE(text.find("load"), std::string::npos);
+  EXPECT_EQ(text.find("mul"), std::string::npos);
+}
+
+TEST(Optimize, KeepsUnusedLoadsAndCalls) {
+  auto module = ir::parse_module(R"(module "m"
+global @g : i64[2]
+
+func @effect() -> i64 {
+entry:
+  %p = gep @g, 1
+  store 7, %p
+  ret 0
+}
+
+func @slave() -> void {
+entry:
+  %unused_load = load i64, @g
+  %unused_call = call @effect()
+  ret
+}
+)");
+  ir::optimize_module(*module);
+  std::string text = module->to_string();
+  EXPECT_NE(text.find("load"), std::string::npos);
+  EXPECT_NE(text.find("call"), std::string::npos);
+}
+
+TEST(Optimize, SelectWithConstantCondFolds) {
+  auto module = ir::parse_module(R"(module "m"
+global @g : i64
+
+func @slave() -> void {
+entry:
+  %v = load i64, @g
+  %w = add %v, 1
+  %s = select true, %w, %v
+  print_i64 %s
+  ret
+}
+)");
+  ir::optimize_module(*module);
+  std::string text = module->to_string();
+  EXPECT_EQ(text.find("select"), std::string::npos);
+  EXPECT_NE(text.find("print_i64 %w"), std::string::npos);
+}
+
+TEST(Optimize, OutputsIdenticalOnAllBenchmarks) {
+  // The acid test: optimized and unoptimized kernels print identical
+  // bytes under the same thread counts.
+  for (const auto& bench : benchmarks::all_benchmarks()) {
+    SCOPED_TRACE(bench.name);
+    pipeline::PipelineOptions plain;
+    pipeline::PipelineOptions optimized;
+    optimized.compile.optimize = true;
+
+    pipeline::CompiledProgram a =
+        pipeline::compile_program(bench.source, plain);
+    pipeline::CompiledProgram b =
+        pipeline::compile_program(bench.source, optimized);
+    EXPECT_LE(instruction_count(*b.module), instruction_count(*a.module));
+
+    pipeline::ExecutionConfig config;
+    config.num_threads = 4;
+    config.monitor = pipeline::MonitorMode::Off;
+    EXPECT_EQ(pipeline::execute(a, config).run.output,
+              pipeline::execute(b, config).run.output);
+  }
+}
+
+TEST(Optimize, ProtectedOptimizedKernelsStayViolationFree) {
+  pipeline::PipelineOptions options;
+  options.compile.optimize = true;
+  for (const char* name : {"fft", "radix", "ocean_contig"}) {
+    SCOPED_TRACE(name);
+    const benchmarks::Benchmark* bench = benchmarks::find_benchmark(name);
+    pipeline::CompiledProgram program =
+        pipeline::protect_program(bench->source, options);
+    pipeline::ExecutionConfig config;
+    config.num_threads = 4;
+    pipeline::ExecutionResult result = pipeline::execute(program, config);
+    EXPECT_TRUE(result.run.ok);
+    EXPECT_FALSE(result.detected);
+  }
+}
+
+TEST(Optimize, FoldingMatchesVmSemantics) {
+  // Wrap-around, shift masking, saturating fptosi: the folded constants
+  // must equal what the interpreter computes at runtime.
+  const char* body = R"(module "m"
+func @slave() -> void {
+entry:
+  %a = shl 1, 62
+  %b = mul %a, 4
+  print_i64 %b
+  %c = shl 1, 65
+  print_i64 %c
+  %inf = fdiv 1.0, 0.0
+  %d = fptosi %inf
+  print_i64 %d
+  %e = hash_rand 12345
+  print_i64 %e
+  ret
+}
+)";
+  auto unopt = ir::parse_module(body);
+  auto opt = ir::parse_module(body);
+  ir::optimize_module(*opt);
+
+  vm::RunOptions options;
+  options.num_threads = 1;
+  options.init_function.clear();
+  EXPECT_EQ(vm::run_program(*unopt, options).output,
+            vm::run_program(*opt, options).output);
+}
+
+}  // namespace

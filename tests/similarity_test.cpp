@@ -1,0 +1,478 @@
+// Tests for the similarity analysis — category inference on the paper's
+// own examples plus the refinements (divergence-aware demotion, loop
+// escape, affine/eq-sound threadID properties, symbolic scale matching).
+#include <gtest/gtest.h>
+
+#include "analysis/similarity.h"
+#include "benchmarks/registry.h"
+#include "frontend/compiler.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace bw;
+using analysis::Category;
+using analysis::CheckKind;
+
+struct Analyzed {
+  std::unique_ptr<ir::Module> module;
+  analysis::SimilarityResult result;
+};
+
+Analyzed analyze(const char* source, analysis::SimilarityOptions options = {}) {
+  Analyzed a;
+  a.module = frontend::compile(source);
+  a.result = analysis::analyze_similarity(*a.module, options);
+  return a;
+}
+
+/// Category of the condition of the branch terminating `block` in `func`.
+const analysis::BranchInfo& branch(const Analyzed& a,
+                                   const std::string& func,
+                                   const std::string& block) {
+  for (const analysis::BranchInfo& info : a.result.branches) {
+    if (info.function->name() == func &&
+        info.branch->parent()->name() == block) {
+      return info;
+    }
+  }
+  static analysis::BranchInfo missing;
+  ADD_FAILURE() << "no branch in " << func << "/" << block;
+  return missing;
+}
+
+// --- The four categories of paper Figure 1 -----------------------------------
+
+TEST(Similarity, PaperFigure1FourCategories) {
+  Analyzed a = analyze(R"BWC(
+global int im = 16;
+global int gp[64];
+global int out[64];
+func slave() {
+  int procid = tid();
+  int private = 0;
+  if (procid == 0) { out[63] = 7; }                 // Branch 1: threadID
+  for (int i = 0; i <= im - 1; i = i + 1) {         // Branch 2: shared
+    out[procid] = out[procid] + 1;
+  }
+  if (gp[procid] > im - 1) {                        // Branch 3: none
+    private = 1;
+  } else {
+    private = 0 - 1;
+  }
+  if (private > 0) { out[procid] = out[procid] + 100; }  // Branch 4: partial
+}
+)BWC");
+  EXPECT_EQ(branch(a, "slave", "entry").category, Category::ThreadID);
+  EXPECT_EQ(branch(a, "slave", "for.cond").category, Category::Shared);
+  EXPECT_EQ(branch(a, "slave", "for.end").category, Category::None);
+  EXPECT_EQ(branch(a, "slave", "if.end.1").category, Category::Partial);
+
+  // Check kinds follow the categories.
+  EXPECT_EQ(branch(a, "slave", "entry").check, CheckKind::ThreadIdEq);
+  EXPECT_EQ(branch(a, "slave", "for.cond").check, CheckKind::SharedOutcome);
+  EXPECT_EQ(branch(a, "slave", "for.end").check, CheckKind::PartialValue);
+  EXPECT_TRUE(branch(a, "slave", "for.end").promoted);
+  EXPECT_EQ(branch(a, "slave", "if.end.1").check, CheckKind::PartialValue);
+  EXPECT_FALSE(branch(a, "slave", "if.end.1").promoted);
+}
+
+TEST(Similarity, AtomicAddTicketIsThreadIdSeed) {
+  Analyzed a = analyze(R"BWC(
+global int id = 0;
+global int out[64];
+func slave() {
+  int procid = atomic_add(id, 1);
+  if (procid == 3) { out[0] = 1; }
+}
+)BWC");
+  const analysis::BranchInfo& info = branch(a, "slave", "entry");
+  EXPECT_EQ(info.category, Category::ThreadID);
+  // atomic_add is injective but not monotone in tid: eq-checkable.
+  EXPECT_EQ(info.check, CheckKind::ThreadIdEq);
+}
+
+TEST(Similarity, OrderedThreadIdComparisonUsesMonotoneCheck) {
+  Analyzed a = analyze(R"BWC(
+global int out[64];
+func slave() {
+  int half = nthreads() / 2;
+  if (tid() < half) { out[tid()] = 1; }
+}
+)BWC");
+  const analysis::BranchInfo& info = branch(a, "slave", "entry");
+  EXPECT_EQ(info.category, Category::ThreadID);
+  EXPECT_EQ(info.check, CheckKind::ThreadIdMonotone);
+}
+
+TEST(Similarity, NonAffineThreadIdFallsBackToPartial) {
+  // (tid*tid) is not monotone in tid; the dedicated checks would be
+  // unsound, so the classifier must fall back to the value-grouped check.
+  Analyzed a = analyze(R"BWC(
+global int out[64];
+func slave() {
+  int sq = tid() * tid();
+  if (sq < 9) { out[tid()] = 1; }
+}
+)BWC");
+  const analysis::BranchInfo& info = branch(a, "slave", "entry");
+  EXPECT_EQ(info.category, Category::ThreadID);
+  EXPECT_EQ(info.check, CheckKind::PartialValue);
+}
+
+TEST(Similarity, ModuloOfTidIsNotEqSound) {
+  // tid() % 2 collides across threads: a one-deviator eq check would fire
+  // on correct runs; must fall back.
+  Analyzed a = analyze(R"BWC(
+global int out[64];
+func slave() {
+  int parity = tid() % 2;
+  if (parity == 0) { out[tid()] = 1; }
+}
+)BWC");
+  EXPECT_EQ(branch(a, "slave", "entry").check, CheckKind::PartialValue);
+}
+
+TEST(Similarity, BlockPartitionBoundsGetSharedOutcomeCheck) {
+  // i and hi carry the same tid coefficient (chunk): the comparison is
+  // thread-invariant, so the strongest check applies even though the
+  // category is threadID.
+  Analyzed a = analyze(R"BWC(
+global int n = 64;
+global int out[64];
+func slave() {
+  int chunk = n / nthreads();
+  int lo = tid() * chunk;
+  int hi = lo + chunk;
+  for (int i = lo; i < hi; i = i + 1) { out[tid()] = out[tid()] + i; }
+}
+)BWC");
+  const analysis::BranchInfo& info = branch(a, "slave", "for.cond");
+  EXPECT_EQ(info.category, Category::ThreadID);
+  EXPECT_EQ(info.check, CheckKind::SharedOutcome);
+}
+
+TEST(Similarity, StridedLoopKeepsMonotoneCheck) {
+  // i = tid + k*p vs shared n: scales differ (1 vs none) -> monotone check.
+  Analyzed a = analyze(R"BWC(
+global int n = 64;
+global int out[64];
+func slave() {
+  int p = nthreads();
+  for (int i = tid(); i < n; i = i + p) { out[tid()] = out[tid()] + i; }
+}
+)BWC");
+  const analysis::BranchInfo& info = branch(a, "slave", "for.cond");
+  EXPECT_EQ(info.category, Category::ThreadID);
+  EXPECT_EQ(info.check, CheckKind::ThreadIdMonotone);
+}
+
+// --- Symbolic scale matching: edge cases ---------------------------------------
+
+TEST(SimilarityScales, DifferentMultipliersDoNotMatch) {
+  // i carries coefficient `chunk`, the bound carries `chunk2`: the tid
+  // terms do not cancel, so the strong check must NOT be selected.
+  Analyzed a = analyze(R"BWC(
+global int n = 64;
+global int out[64];
+func slave() {
+  int chunk = n / nthreads();
+  int chunk2 = chunk + 1;
+  int lo = tid() * chunk;
+  int hi = tid() * chunk2;
+  if (lo < hi) { out[tid()] = 1; }
+}
+)BWC");
+  const analysis::BranchInfo& info = branch(a, "slave", "entry");
+  EXPECT_EQ(info.category, Category::ThreadID);
+  EXPECT_NE(info.check, CheckKind::SharedOutcome);
+}
+
+TEST(SimilarityScales, NegatedCoefficientDoesNotMatchPositive) {
+  // x = c - tid*m vs y = tid*m + c: difference is 2*tid*m, thread-variant.
+  Analyzed a = analyze(R"BWC(
+global int n = 64;
+global int out[64];
+func slave() {
+  int m = n / nthreads();
+  int x = n - tid() * m;
+  int y = tid() * m + 1;
+  if (x < y) { out[tid()] = 1; }
+}
+)BWC");
+  EXPECT_NE(branch(a, "slave", "entry").check, CheckKind::SharedOutcome);
+}
+
+TEST(SimilarityScales, BothNegatedMatch) {
+  // n - tid*m - 1 vs n - tid*m + 1: tid terms cancel; thread-invariant.
+  Analyzed a = analyze(R"BWC(
+global int n = 64;
+global int out[64];
+func slave() {
+  int m = n / nthreads();
+  int x = n - tid() * m - 1;
+  int y = n - tid() * m + 1;
+  if (x < y) { out[tid()] = 1; }
+}
+)BWC");
+  EXPECT_EQ(branch(a, "slave", "entry").check, CheckKind::SharedOutcome);
+}
+
+TEST(SimilarityScales, PhiMixingSharedAndAffineIsNotScaleMatched) {
+  // v is tid*chunk on one path and a shared constant on the other: its
+  // tid coefficient differs per instance, so matching it against
+  // w = tid*chunk would be unsound (and the divergence rule demotes the
+  // phi anyway when control is non-shared; here control IS shared, which
+  // is exactly why the scale logic itself must refuse).
+  Analyzed a = analyze(R"BWC(
+global int n = 64;
+global int mode = 0;
+global int out[64];
+func slave() {
+  int chunk = n / nthreads();
+  int v = 0;
+  if (mode == 1) { v = tid() * chunk; } else { v = 5; }
+  int w = tid() * chunk;
+  if (v < w) { out[tid()] = 1; }
+}
+)BWC");
+  EXPECT_NE(branch(a, "slave", "if.end").check, CheckKind::SharedOutcome);
+}
+
+TEST(SimilarityScales, DoubleMultiplicationLosesTheScale) {
+  // (tid*a)*b has coefficient a*b, which the single-multiplier tracker
+  // does not identify: must fall back, never claim SharedOutcome against
+  // tid*a.
+  Analyzed a = analyze(R"BWC(
+global int n = 64;
+global int out[64];
+func slave() {
+  int m = n / nthreads();
+  int x = tid() * m * 2;
+  int y = tid() * m;
+  if (x < y) { out[tid()] = 1; }
+}
+)BWC");
+  EXPECT_NE(branch(a, "slave", "entry").check, CheckKind::SharedOutcome);
+}
+
+// --- Divergence-aware refinements ---------------------------------------------
+
+TEST(Similarity, PhiUnderSharedControlStaysShared) {
+  Analyzed a = analyze(R"BWC(
+global int mode = 1;
+global int out[64];
+func slave() {
+  int v = 0;
+  if (mode == 1) { v = 10; } else { v = 20; }
+  if (v > 5) { out[tid()] = v; }   // all threads agree: shared
+}
+)BWC");
+  EXPECT_EQ(branch(a, "slave", "if.end").category, Category::Shared);
+}
+
+TEST(Similarity, PhiUnderDivergentControlDemotesToPartial) {
+  // The paper's `private = phi(1, -1)` case: values are shared constants
+  // but the selecting branch is thread-dependent.
+  Analyzed a = analyze(R"BWC(
+global int out[64];
+func slave() {
+  int v = 0;
+  if (tid() == 0) { v = 10; } else { v = 20; }
+  if (v > 5) { out[tid()] = v; }
+}
+)BWC");
+  EXPECT_EQ(branch(a, "slave", "if.end").category, Category::Partial);
+}
+
+TEST(Similarity, DivergenceRefinementCanBeDisabled) {
+  analysis::SimilarityOptions options;
+  options.divergence_aware_phis = false;
+  Analyzed a = analyze(R"BWC(
+global int out[64];
+func slave() {
+  int v = 0;
+  if (tid() == 0) { v = 10; } else { v = 20; }
+  if (v > 5) { out[tid()] = v; }
+}
+)BWC",
+                       options);
+  // The paper's raw Table II rules would call this shared (join of two
+  // shared constants) — the ablation knob restores that behaviour.
+  EXPECT_EQ(branch(a, "slave", "if.end").category, Category::Shared);
+}
+
+TEST(Similarity, LoopEscapeDemotesDivergentTripValues) {
+  // The loop runs a thread-dependent number of iterations; the escaping
+  // accumulator's final value differs per thread even though its operands
+  // are shared-join: must not be classified shared after the loop.
+  Analyzed a = analyze(R"BWC(
+global int gp[64];
+global int out[64];
+func slave() {
+  int s = 0;
+  int i = 0;
+  while (i < gp[tid()]) {      // none-category trip count
+    s = s + 1;
+    i = i + 1;
+  }
+  if (s > 3) { out[tid()] = s; }   // uses s after the loop
+}
+)BWC");
+  const analysis::BranchInfo& info = branch(a, "slave", "while.end");
+  EXPECT_NE(info.category, Category::Shared);
+  EXPECT_NE(info.category, Category::ThreadID);
+}
+
+TEST(Similarity, SharedTripLoopValuesStaySharedAfterLoop) {
+  Analyzed a = analyze(R"BWC(
+global int n = 8;
+global int out[64];
+func slave() {
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) { s = s + i; }
+  if (s > 3) { out[tid()] = s; }   // same trip count everywhere: shared
+}
+)BWC");
+  EXPECT_EQ(branch(a, "slave", "for.end").category, Category::Shared);
+}
+
+// --- Loads, calls, interprocedural ------------------------------------------
+
+TEST(Similarity, LoadClassificationFollowsAddress) {
+  Analyzed a = analyze(R"BWC(
+global int n = 8;
+global int table[64];
+global int out[64];
+func slave() {
+  if (table[3] > 0) { out[0] = 1; }        // shared address -> shared
+  if (table[tid()] > 0) { out[1] = 1; }    // tid address -> none
+}
+)BWC");
+  EXPECT_EQ(branch(a, "slave", "entry").category, Category::Shared);
+  EXPECT_EQ(branch(a, "slave", "if.end").category, Category::None);
+}
+
+TEST(Similarity, ArgumentsJoinOverCallSites) {
+  // Two shared-constant call sites keep the formal shared (paper Table
+  // III); a tid call site makes it threadID.
+  Analyzed shared_only = analyze(R"BWC(
+global int out[64];
+func foo(int arg) {
+  if (arg > 0) { out[0] = 1; }
+}
+func slave() {
+  foo(1);
+  foo(2);
+}
+)BWC");
+  EXPECT_EQ(branch(shared_only, "foo", "entry").category, Category::Shared);
+
+  Analyzed mixed = analyze(R"BWC(
+global int out[64];
+func foo(int arg) {
+  if (arg > 0) { out[0] = 1; }
+}
+func slave() {
+  foo(1);
+  foo(tid());
+}
+)BWC");
+  EXPECT_EQ(branch(mixed, "foo", "entry").category, Category::ThreadID);
+}
+
+TEST(Similarity, ReturnValueCategoryPropagatesToCallers) {
+  Analyzed a = analyze(R"BWC(
+global int n = 4;
+global int out[64];
+func get_shared() -> int { return n * 2; }
+func get_tid() -> int { return tid() + 1; }
+func slave() {
+  if (get_shared() > 0) { out[0] = 1; }
+  if (get_tid() > 2) { out[1] = 1; }
+}
+)BWC");
+  EXPECT_EQ(branch(a, "slave", "entry").category, Category::Shared);
+  EXPECT_EQ(branch(a, "slave", "if.end").category, Category::ThreadID);
+}
+
+TEST(Similarity, FixpointConvergesQuickly) {
+  // Paper: fewer than ten iterations on all its programs.
+  for (const auto& bench : benchmarks::all_benchmarks()) {
+    SCOPED_TRACE(bench.name);
+    auto module = frontend::compile(bench.source);
+    analysis::SimilarityResult result = analysis::analyze_similarity(*module);
+    EXPECT_LT(result.fixpoint_iterations, 10);
+  }
+}
+
+// --- Optimizations ------------------------------------------------------------
+
+TEST(Similarity, PromotionFlagControlsNoneBranches) {
+  const char* source = R"BWC(
+global int gp[64];
+global int out[64];
+func slave() {
+  if (gp[tid()] > 0) { out[tid()] = 1; }
+}
+)BWC";
+  Analyzed promoted = analyze(source);
+  EXPECT_EQ(branch(promoted, "slave", "entry").check,
+            CheckKind::PartialValue);
+  EXPECT_TRUE(branch(promoted, "slave", "entry").promoted);
+
+  analysis::SimilarityOptions off;
+  off.promote_none_to_partial = false;
+  Analyzed plain = analyze(source, off);
+  EXPECT_EQ(branch(plain, "slave", "entry").check, CheckKind::Unchecked);
+}
+
+TEST(Similarity, CriticalSectionBranchesAreElided) {
+  Analyzed a = analyze(R"BWC(
+global int total = 0;
+global int n = 4;
+func slave() {
+  lock(0);
+  if (total < n) { total = total + 1; }   // at most one thread at a time
+  unlock(0);
+  if (total > 0) { total = total + 0; }   // outside: checked
+}
+)BWC");
+  EXPECT_TRUE(branch(a, "slave", "entry").elided_critical_section);
+  EXPECT_EQ(branch(a, "slave", "entry").check, CheckKind::Unchecked);
+  EXPECT_FALSE(branch(a, "slave", "if.end").elided_critical_section);
+  EXPECT_NE(branch(a, "slave", "if.end").check, CheckKind::Unchecked);
+}
+
+TEST(Similarity, SerialFunctionsAreOutsideParallelSection) {
+  Analyzed a = analyze(R"BWC(
+global int n = 4;
+global int out[64];
+func init() {
+  for (int i = 0; i < 64; i = i + 1) { out[i] = 0; }
+}
+func helper() {
+  if (n > 0) { out[0] = 1; }
+}
+func slave() {
+  helper();
+}
+)BWC");
+  EXPECT_FALSE(branch(a, "init", "for.cond").in_parallel_section);
+  EXPECT_TRUE(branch(a, "helper", "entry").in_parallel_section);
+  EXPECT_EQ(branch(a, "init", "for.cond").check, CheckKind::Unchecked);
+  EXPECT_EQ(a.result.parallel_counts().total(), 1);
+}
+
+TEST(Similarity, CategoriesNeverRegressToNa) {
+  // Every classified branch ends in a definite category.
+  for (const auto& bench : benchmarks::all_benchmarks()) {
+    auto module = frontend::compile(bench.source);
+    analysis::SimilarityResult result = analysis::analyze_similarity(*module);
+    for (const analysis::BranchInfo& info : result.branches) {
+      EXPECT_NE(info.category, Category::NA);
+    }
+  }
+}
+
+}  // namespace

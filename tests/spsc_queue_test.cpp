@@ -1,0 +1,83 @@
+// Lock-free SPSC queue tests, including a real producer/consumer stress
+// run that validates the acquire/release protocol end to end.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/spsc_queue.h"
+
+namespace {
+
+using bw::runtime::SpscQueue;
+
+TEST(SpscQueue, FifoOrder) {
+  SpscQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.try_push(i));
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(SpscQueue, FullAndEmptyBoundaries) {
+  SpscQueue<int> queue(4);  // rounded up; capacity() usable slots
+  std::size_t pushed = 0;
+  while (queue.try_push(static_cast<int>(pushed))) ++pushed;
+  EXPECT_EQ(pushed, queue.capacity());
+  int out;
+  EXPECT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(queue.try_push(999));  // slot freed
+  while (queue.try_pop(out)) {
+  }
+  EXPECT_EQ(out, 999);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(SpscQueue, WrapsAroundManyTimes) {
+  SpscQueue<std::uint64_t> queue(8);
+  std::uint64_t next_pop = 0;
+  std::uint64_t next_push = 0;
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(queue.try_push(next_push));
+      ++next_push;
+    }
+    std::uint64_t out;
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(queue.try_pop(out));
+      ASSERT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+}
+
+TEST(SpscQueue, ConcurrentProducerConsumerStress) {
+  constexpr std::uint64_t kItems = 200'000;
+  SpscQueue<std::uint64_t> queue(1024);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      while (!queue.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t sum = 0;
+  while (expected < kItems) {
+    std::uint64_t out;
+    if (queue.try_pop(out)) {
+      ASSERT_EQ(out, expected);  // order and no loss/duplication
+      sum += out;
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace

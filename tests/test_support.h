@@ -1,0 +1,44 @@
+// Shared helpers for the BLOCKWATCH test suite.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "pipeline/pipeline.h"
+
+namespace bw::test {
+
+/// Compile + run a BW-C program uninstrumented and return its printed
+/// output (empty ExecutionConfig = monitor off, `threads` workers).
+inline std::string run_output(std::string_view source, unsigned threads = 1) {
+  pipeline::CompiledProgram program = pipeline::compile_program(source);
+  pipeline::ExecutionConfig config;
+  config.num_threads = threads;
+  config.monitor = pipeline::MonitorMode::Off;
+  return pipeline::execute(program, config).run.output;
+}
+
+/// Full protected execution (instrument + monitor) of a BW-C program.
+inline pipeline::ExecutionResult run_protected(std::string_view source,
+                                               unsigned threads = 4) {
+  pipeline::CompiledProgram program = pipeline::protect_program(source);
+  pipeline::ExecutionConfig config;
+  config.num_threads = threads;
+  return pipeline::execute(program, config);
+}
+
+/// Find the BranchInfo of the first conditional branch inside `function`
+/// whose block name matches `block` (nullptr if absent).
+inline const analysis::BranchInfo* branch_in(
+    const pipeline::CompiledProgram& program, const std::string& function,
+    const std::string& block) {
+  for (const analysis::BranchInfo& info : program.analysis.branches) {
+    if (info.function->name() == function &&
+        info.branch->parent()->name() == block) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace bw::test
