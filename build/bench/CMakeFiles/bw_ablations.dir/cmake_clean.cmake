@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_ablations.dir/bw_ablations.cpp.o"
+  "CMakeFiles/bw_ablations.dir/bw_ablations.cpp.o.d"
+  "bw_ablations"
+  "bw_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

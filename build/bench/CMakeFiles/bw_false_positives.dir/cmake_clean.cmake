@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_false_positives.dir/bw_false_positives.cpp.o"
+  "CMakeFiles/bw_false_positives.dir/bw_false_positives.cpp.o.d"
+  "bw_false_positives"
+  "bw_false_positives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_false_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_fig6_overhead.dir/bw_fig6_overhead.cpp.o"
+  "CMakeFiles/bw_fig6_overhead.dir/bw_fig6_overhead.cpp.o.d"
+  "bw_fig6_overhead"
+  "bw_fig6_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_fig6_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_fig7_scalability.dir/bw_fig7_scalability.cpp.o"
+  "CMakeFiles/bw_fig7_scalability.dir/bw_fig7_scalability.cpp.o.d"
+  "bw_fig7_scalability"
+  "bw_fig7_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_fig7_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_fig8_coverage_flip.dir/bw_fig8_coverage_flip.cpp.o"
+  "CMakeFiles/bw_fig8_coverage_flip.dir/bw_fig8_coverage_flip.cpp.o.d"
+  "bw_fig8_coverage_flip"
+  "bw_fig8_coverage_flip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_fig8_coverage_flip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bw_fig8_coverage_flip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_fig9_coverage_cond.dir/bw_fig9_coverage_cond.cpp.o"
+  "CMakeFiles/bw_fig9_coverage_cond.dir/bw_fig9_coverage_cond.cpp.o.d"
+  "bw_fig9_coverage_cond"
+  "bw_fig9_coverage_cond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_fig9_coverage_cond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

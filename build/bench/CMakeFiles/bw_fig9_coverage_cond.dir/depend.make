@@ -1,0 +1,2 @@
+# Empty dependencies file for bw_fig9_coverage_cond.
+# This may be replaced when dependencies are built.

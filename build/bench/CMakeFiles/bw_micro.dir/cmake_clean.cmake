@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_micro.dir/bw_micro.cpp.o"
+  "CMakeFiles/bw_micro.dir/bw_micro.cpp.o.d"
+  "bw_micro"
+  "bw_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

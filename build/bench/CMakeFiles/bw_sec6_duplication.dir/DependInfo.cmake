@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bw_sec6_duplication.cpp" "bench/CMakeFiles/bw_sec6_duplication.dir/bw_sec6_duplication.cpp.o" "gcc" "bench/CMakeFiles/bw_sec6_duplication.dir/bw_sec6_duplication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_sec6_duplication.dir/bw_sec6_duplication.cpp.o"
+  "CMakeFiles/bw_sec6_duplication.dir/bw_sec6_duplication.cpp.o.d"
+  "bw_sec6_duplication"
+  "bw_sec6_duplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_sec6_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bw_sec6_duplication.
+# This may be replaced when dependencies are built.

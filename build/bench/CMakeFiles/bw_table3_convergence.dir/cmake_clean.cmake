@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_table3_convergence.dir/bw_table3_convergence.cpp.o"
+  "CMakeFiles/bw_table3_convergence.dir/bw_table3_convergence.cpp.o.d"
+  "bw_table3_convergence"
+  "bw_table3_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_table3_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

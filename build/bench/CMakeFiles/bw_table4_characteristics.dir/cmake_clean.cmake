@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_table4_characteristics.dir/bw_table4_characteristics.cpp.o"
+  "CMakeFiles/bw_table4_characteristics.dir/bw_table4_characteristics.cpp.o.d"
+  "bw_table4_characteristics"
+  "bw_table4_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_table4_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

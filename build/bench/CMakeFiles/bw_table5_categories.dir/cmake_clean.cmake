@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_table5_categories.dir/bw_table5_categories.cpp.o"
+  "CMakeFiles/bw_table5_categories.dir/bw_table5_categories.cpp.o.d"
+  "bw_table5_categories"
+  "bw_table5_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_table5_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_cli.dir/bwc_cli.cpp.o"
+  "CMakeFiles/bwc_cli.dir/bwc_cli.cpp.o.d"
+  "bwc_cli"
+  "bwc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

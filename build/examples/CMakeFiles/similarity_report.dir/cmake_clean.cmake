@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_report.dir/similarity_report.cpp.o"
+  "CMakeFiles/similarity_report.dir/similarity_report.cpp.o.d"
+  "similarity_report"
+  "similarity_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/category.cpp" "src/CMakeFiles/bw_analysis.dir/analysis/category.cpp.o" "gcc" "src/CMakeFiles/bw_analysis.dir/analysis/category.cpp.o.d"
+  "/root/repo/src/analysis/lock_regions.cpp" "src/CMakeFiles/bw_analysis.dir/analysis/lock_regions.cpp.o" "gcc" "src/CMakeFiles/bw_analysis.dir/analysis/lock_regions.cpp.o.d"
+  "/root/repo/src/analysis/similarity.cpp" "src/CMakeFiles/bw_analysis.dir/analysis/similarity.cpp.o" "gcc" "src/CMakeFiles/bw_analysis.dir/analysis/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_analysis.dir/analysis/category.cpp.o"
+  "CMakeFiles/bw_analysis.dir/analysis/category.cpp.o.d"
+  "CMakeFiles/bw_analysis.dir/analysis/lock_regions.cpp.o"
+  "CMakeFiles/bw_analysis.dir/analysis/lock_regions.cpp.o.d"
+  "CMakeFiles/bw_analysis.dir/analysis/similarity.cpp.o"
+  "CMakeFiles/bw_analysis.dir/analysis/similarity.cpp.o.d"
+  "libbw_analysis.a"
+  "libbw_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

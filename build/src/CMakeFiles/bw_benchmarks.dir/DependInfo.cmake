@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarks/fft.cpp" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/fft.cpp.o" "gcc" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/fft.cpp.o.d"
+  "/root/repo/src/benchmarks/fmm.cpp" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/fmm.cpp.o" "gcc" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/fmm.cpp.o.d"
+  "/root/repo/src/benchmarks/ocean_contig.cpp" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/ocean_contig.cpp.o" "gcc" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/ocean_contig.cpp.o.d"
+  "/root/repo/src/benchmarks/ocean_noncontig.cpp" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/ocean_noncontig.cpp.o" "gcc" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/ocean_noncontig.cpp.o.d"
+  "/root/repo/src/benchmarks/radix.cpp" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/radix.cpp.o" "gcc" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/radix.cpp.o.d"
+  "/root/repo/src/benchmarks/raytrace.cpp" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/raytrace.cpp.o" "gcc" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/raytrace.cpp.o.d"
+  "/root/repo/src/benchmarks/registry.cpp" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/registry.cpp.o" "gcc" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/registry.cpp.o.d"
+  "/root/repo/src/benchmarks/water_nsq.cpp" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/water_nsq.cpp.o" "gcc" "src/CMakeFiles/bw_benchmarks.dir/benchmarks/water_nsq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/fft.cpp.o"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/fft.cpp.o.d"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/fmm.cpp.o"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/fmm.cpp.o.d"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/ocean_contig.cpp.o"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/ocean_contig.cpp.o.d"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/ocean_noncontig.cpp.o"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/ocean_noncontig.cpp.o.d"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/radix.cpp.o"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/radix.cpp.o.d"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/raytrace.cpp.o"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/raytrace.cpp.o.d"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/registry.cpp.o"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/registry.cpp.o.d"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/water_nsq.cpp.o"
+  "CMakeFiles/bw_benchmarks.dir/benchmarks/water_nsq.cpp.o.d"
+  "libbw_benchmarks.a"
+  "libbw_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

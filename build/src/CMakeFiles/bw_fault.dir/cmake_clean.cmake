@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_fault.dir/fault/campaign.cpp.o"
+  "CMakeFiles/bw_fault.dir/fault/campaign.cpp.o.d"
+  "CMakeFiles/bw_fault.dir/fault/duplication.cpp.o"
+  "CMakeFiles/bw_fault.dir/fault/duplication.cpp.o.d"
+  "libbw_fault.a"
+  "libbw_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/ast.cpp" "src/CMakeFiles/bw_frontend.dir/frontend/ast.cpp.o" "gcc" "src/CMakeFiles/bw_frontend.dir/frontend/ast.cpp.o.d"
+  "/root/repo/src/frontend/compiler.cpp" "src/CMakeFiles/bw_frontend.dir/frontend/compiler.cpp.o" "gcc" "src/CMakeFiles/bw_frontend.dir/frontend/compiler.cpp.o.d"
+  "/root/repo/src/frontend/irgen.cpp" "src/CMakeFiles/bw_frontend.dir/frontend/irgen.cpp.o" "gcc" "src/CMakeFiles/bw_frontend.dir/frontend/irgen.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/bw_frontend.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/bw_frontend.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/mem2reg.cpp" "src/CMakeFiles/bw_frontend.dir/frontend/mem2reg.cpp.o" "gcc" "src/CMakeFiles/bw_frontend.dir/frontend/mem2reg.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/bw_frontend.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/bw_frontend.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/frontend/sema.cpp" "src/CMakeFiles/bw_frontend.dir/frontend/sema.cpp.o" "gcc" "src/CMakeFiles/bw_frontend.dir/frontend/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

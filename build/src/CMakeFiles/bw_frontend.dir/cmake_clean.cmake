@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_frontend.dir/frontend/ast.cpp.o"
+  "CMakeFiles/bw_frontend.dir/frontend/ast.cpp.o.d"
+  "CMakeFiles/bw_frontend.dir/frontend/compiler.cpp.o"
+  "CMakeFiles/bw_frontend.dir/frontend/compiler.cpp.o.d"
+  "CMakeFiles/bw_frontend.dir/frontend/irgen.cpp.o"
+  "CMakeFiles/bw_frontend.dir/frontend/irgen.cpp.o.d"
+  "CMakeFiles/bw_frontend.dir/frontend/lexer.cpp.o"
+  "CMakeFiles/bw_frontend.dir/frontend/lexer.cpp.o.d"
+  "CMakeFiles/bw_frontend.dir/frontend/mem2reg.cpp.o"
+  "CMakeFiles/bw_frontend.dir/frontend/mem2reg.cpp.o.d"
+  "CMakeFiles/bw_frontend.dir/frontend/parser.cpp.o"
+  "CMakeFiles/bw_frontend.dir/frontend/parser.cpp.o.d"
+  "CMakeFiles/bw_frontend.dir/frontend/sema.cpp.o"
+  "CMakeFiles/bw_frontend.dir/frontend/sema.cpp.o.d"
+  "libbw_frontend.a"
+  "libbw_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

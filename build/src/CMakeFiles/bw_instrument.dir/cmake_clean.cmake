@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_instrument.dir/instrument/instrument.cpp.o"
+  "CMakeFiles/bw_instrument.dir/instrument/instrument.cpp.o.d"
+  "libbw_instrument.a"
+  "libbw_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_ir.dir/ir/basic_block.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/basic_block.cpp.o.d"
+  "CMakeFiles/bw_ir.dir/ir/dominators.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/dominators.cpp.o.d"
+  "CMakeFiles/bw_ir.dir/ir/function.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/function.cpp.o.d"
+  "CMakeFiles/bw_ir.dir/ir/instruction.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/instruction.cpp.o.d"
+  "CMakeFiles/bw_ir.dir/ir/irbuilder.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/irbuilder.cpp.o.d"
+  "CMakeFiles/bw_ir.dir/ir/loop_info.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/loop_info.cpp.o.d"
+  "CMakeFiles/bw_ir.dir/ir/module.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/module.cpp.o.d"
+  "CMakeFiles/bw_ir.dir/ir/optimize.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/optimize.cpp.o.d"
+  "CMakeFiles/bw_ir.dir/ir/parser.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/parser.cpp.o.d"
+  "CMakeFiles/bw_ir.dir/ir/printer.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/printer.cpp.o.d"
+  "CMakeFiles/bw_ir.dir/ir/type.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/type.cpp.o.d"
+  "CMakeFiles/bw_ir.dir/ir/value.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/value.cpp.o.d"
+  "CMakeFiles/bw_ir.dir/ir/verifier.cpp.o"
+  "CMakeFiles/bw_ir.dir/ir/verifier.cpp.o.d"
+  "libbw_ir.a"
+  "libbw_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_pipeline.dir/pipeline/pipeline.cpp.o"
+  "CMakeFiles/bw_pipeline.dir/pipeline/pipeline.cpp.o.d"
+  "libbw_pipeline.a"
+  "libbw_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

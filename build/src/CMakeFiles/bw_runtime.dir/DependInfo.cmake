@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/checker.cpp" "src/CMakeFiles/bw_runtime.dir/runtime/checker.cpp.o" "gcc" "src/CMakeFiles/bw_runtime.dir/runtime/checker.cpp.o.d"
+  "/root/repo/src/runtime/context_tracker.cpp" "src/CMakeFiles/bw_runtime.dir/runtime/context_tracker.cpp.o" "gcc" "src/CMakeFiles/bw_runtime.dir/runtime/context_tracker.cpp.o.d"
+  "/root/repo/src/runtime/hierarchical_monitor.cpp" "src/CMakeFiles/bw_runtime.dir/runtime/hierarchical_monitor.cpp.o" "gcc" "src/CMakeFiles/bw_runtime.dir/runtime/hierarchical_monitor.cpp.o.d"
+  "/root/repo/src/runtime/monitor.cpp" "src/CMakeFiles/bw_runtime.dir/runtime/monitor.cpp.o" "gcc" "src/CMakeFiles/bw_runtime.dir/runtime/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

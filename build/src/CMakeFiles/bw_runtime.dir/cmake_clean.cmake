@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_runtime.dir/runtime/checker.cpp.o"
+  "CMakeFiles/bw_runtime.dir/runtime/checker.cpp.o.d"
+  "CMakeFiles/bw_runtime.dir/runtime/context_tracker.cpp.o"
+  "CMakeFiles/bw_runtime.dir/runtime/context_tracker.cpp.o.d"
+  "CMakeFiles/bw_runtime.dir/runtime/hierarchical_monitor.cpp.o"
+  "CMakeFiles/bw_runtime.dir/runtime/hierarchical_monitor.cpp.o.d"
+  "CMakeFiles/bw_runtime.dir/runtime/monitor.cpp.o"
+  "CMakeFiles/bw_runtime.dir/runtime/monitor.cpp.o.d"
+  "libbw_runtime.a"
+  "libbw_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_support.dir/support/diagnostics.cpp.o"
+  "CMakeFiles/bw_support.dir/support/diagnostics.cpp.o.d"
+  "CMakeFiles/bw_support.dir/support/string_utils.cpp.o"
+  "CMakeFiles/bw_support.dir/support/string_utils.cpp.o.d"
+  "libbw_support.a"
+  "libbw_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_vm.dir/vm/interpreter.cpp.o"
+  "CMakeFiles/bw_vm.dir/vm/interpreter.cpp.o.d"
+  "CMakeFiles/bw_vm.dir/vm/machine.cpp.o"
+  "CMakeFiles/bw_vm.dir/vm/machine.cpp.o.d"
+  "CMakeFiles/bw_vm.dir/vm/memory.cpp.o"
+  "CMakeFiles/bw_vm.dir/vm/memory.cpp.o.d"
+  "libbw_vm.a"
+  "libbw_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

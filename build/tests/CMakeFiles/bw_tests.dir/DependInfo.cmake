@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/benchmarks_test.cpp" "tests/CMakeFiles/bw_tests.dir/benchmarks_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/benchmarks_test.cpp.o.d"
+  "/root/repo/tests/category_test.cpp" "tests/CMakeFiles/bw_tests.dir/category_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/category_test.cpp.o.d"
+  "/root/repo/tests/checker_test.cpp" "tests/CMakeFiles/bw_tests.dir/checker_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/checker_test.cpp.o.d"
+  "/root/repo/tests/context_tracker_test.cpp" "tests/CMakeFiles/bw_tests.dir/context_tracker_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/context_tracker_test.cpp.o.d"
+  "/root/repo/tests/dominators_test.cpp" "tests/CMakeFiles/bw_tests.dir/dominators_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/dominators_test.cpp.o.d"
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/bw_tests.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/fault_test.cpp.o.d"
+  "/root/repo/tests/frontend_test.cpp" "tests/CMakeFiles/bw_tests.dir/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/frontend_test.cpp.o.d"
+  "/root/repo/tests/fuzz_no_false_positives_test.cpp" "tests/CMakeFiles/bw_tests.dir/fuzz_no_false_positives_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/fuzz_no_false_positives_test.cpp.o.d"
+  "/root/repo/tests/hierarchical_monitor_test.cpp" "tests/CMakeFiles/bw_tests.dir/hierarchical_monitor_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/hierarchical_monitor_test.cpp.o.d"
+  "/root/repo/tests/instrument_test.cpp" "tests/CMakeFiles/bw_tests.dir/instrument_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/instrument_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/bw_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/ir_roundtrip_test.cpp" "tests/CMakeFiles/bw_tests.dir/ir_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/ir_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/bw_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/language_edge_cases_test.cpp" "tests/CMakeFiles/bw_tests.dir/language_edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/language_edge_cases_test.cpp.o.d"
+  "/root/repo/tests/lock_regions_test.cpp" "tests/CMakeFiles/bw_tests.dir/lock_regions_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/lock_regions_test.cpp.o.d"
+  "/root/repo/tests/loop_info_test.cpp" "tests/CMakeFiles/bw_tests.dir/loop_info_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/loop_info_test.cpp.o.d"
+  "/root/repo/tests/mem2reg_test.cpp" "tests/CMakeFiles/bw_tests.dir/mem2reg_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/mem2reg_test.cpp.o.d"
+  "/root/repo/tests/monitor_test.cpp" "tests/CMakeFiles/bw_tests.dir/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/monitor_test.cpp.o.d"
+  "/root/repo/tests/optimize_test.cpp" "tests/CMakeFiles/bw_tests.dir/optimize_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/optimize_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/bw_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/similarity_test.cpp" "tests/CMakeFiles/bw_tests.dir/similarity_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/similarity_test.cpp.o.d"
+  "/root/repo/tests/spsc_queue_test.cpp" "tests/CMakeFiles/bw_tests.dir/spsc_queue_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/spsc_queue_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/bw_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/vm_test.cpp" "tests/CMakeFiles/bw_tests.dir/vm_test.cpp.o" "gcc" "tests/CMakeFiles/bw_tests.dir/vm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
