@@ -1,7 +1,20 @@
 #!/bin/sh
 # One-shot reproduction: build, test, and regenerate every paper artifact.
 # Outputs land in test_output.txt and bench_output.txt.
+#
+#   ./reproduce.sh          full build + tests + benches
+#   ./reproduce.sh --tsan   additionally rebuild under ThreadSanitizer and
+#                           run the concurrent runtime tests (queue,
+#                           monitors, resilience) in build-tsan/
 set -e
+
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
@@ -15,3 +28,12 @@ ctest --test-dir build 2>&1 | tee test_output.txt
     echo
   done
 } 2>&1 | tee bench_output.txt
+
+if [ "$run_tsan" = 1 ]; then
+  echo "===== ThreadSanitizer pass (concurrent runtime tests) ====="
+  cmake -B build-tsan -G Ninja -DBW_SANITIZE=thread
+  cmake --build build-tsan
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'SpscQueue|Monitor|Hierarchical|Resilience|Checker|ContextTracker' \
+    2>&1 | tee tsan_output.txt
+fi

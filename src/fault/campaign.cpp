@@ -11,8 +11,25 @@ const char* to_string(FaultType type) {
   switch (type) {
     case FaultType::BranchFlip: return "branch-flip";
     case FaultType::BranchCondition: return "branch-condition";
+    case FaultType::MonitorStall: return "monitor-stall";
+    case FaultType::QueueCorrupt: return "queue-corrupt";
+    case FaultType::ReportDrop: return "report-drop";
   }
   return "<bad-fault-type>";
+}
+
+bool is_monitor_fault(FaultType type) {
+  return type == FaultType::MonitorStall || type == FaultType::QueueCorrupt ||
+         type == FaultType::ReportDrop;
+}
+
+runtime::MonitorOptions fast_degrade_monitor_options() {
+  runtime::MonitorOptions options;
+  options.queue_capacity = 1 << 8;  // small ring: stalls backpressure fast
+  options.backoff.spins = 32;
+  options.backoff.yields = 128;
+  options.watchdog.stall_timeout_ns = 2'000'000;  // 2 ms
+  return options;
 }
 
 GoldenRun golden_run(const pipeline::CompiledProgram& program,
@@ -33,11 +50,139 @@ GoldenRun golden_run(const pipeline::CompiledProgram& program,
     golden.max_thread_instructions =
         std::max(golden.max_thread_instructions, t.instructions);
   }
+  golden.monitor_reports = result.monitor_stats.reports_processed;
   return golden;
 }
 
+namespace {
+
+/// One injection run against the application (the paper's BranchFlip /
+/// BranchCondition models), classified into the paper's taxonomy.
+void run_application_fault(const pipeline::CompiledProgram& program,
+                           const CampaignOptions& options,
+                           const GoldenRun& golden, std::uint64_t budget,
+                           support::SplitMixRng& rng,
+                           CampaignResult& result) {
+  // Paper: pick thread j uniformly, then the k-th dynamic branch of j.
+  unsigned thread =
+      static_cast<unsigned>(rng.next_below(options.num_threads));
+  std::uint64_t branches = golden.branches_per_thread[thread];
+  if (branches == 0) {
+    ++result.injected;  // fault lands in a thread that runs no branches
+    return;             // never activated
+  }
+  std::uint64_t target = 1 + rng.next_below(branches);
+
+  pipeline::ExecutionConfig config;
+  config.num_threads = options.num_threads;
+  config.monitor = options.protect ? pipeline::MonitorMode::Full
+                                   : pipeline::MonitorMode::Off;
+  config.instruction_budget = budget;
+  config.fault.active = true;
+  config.fault.thread = thread;
+  config.fault.target_branch = target;
+  config.fault.mode = options.type == FaultType::BranchFlip
+                          ? vm::FaultPlan::Mode::BranchFlip
+                          : vm::FaultPlan::Mode::CondBit;
+  config.fault.bit = static_cast<unsigned>(rng.next_below(64));
+
+  pipeline::ExecutionResult run = pipeline::execute(program, config);
+  ++result.injected;
+  if (!run.run.fault_applied) return;
+  ++result.activated;
+
+  // Classification precedence mirrors the paper's procedure: detection
+  // first, then crash/hang (caught by other means), then the output
+  // comparison against the golden result.
+  if (options.protect && run.detected) {
+    ++result.detected;
+  } else if (run.run.crash) {
+    ++result.crashed;
+  } else if (run.run.hang) {
+    ++result.hung;
+  } else if (run.run.output == golden.output) {
+    ++result.benign;
+  } else {
+    ++result.sdc;
+  }
+}
+
+/// One injection run against the monitor runtime: the program itself is
+/// clean, the fault lands in the detection path. Proves liveness (no
+/// hangs), output integrity (no SDC) and no false alarms from lost data.
+void run_monitor_fault(const pipeline::CompiledProgram& program,
+                       const CampaignOptions& options,
+                       const GoldenRun& golden, std::uint64_t budget,
+                       support::SplitMixRng& rng, CampaignResult& result) {
+  std::uint64_t reports = std::max<std::uint64_t>(1, golden.monitor_reports);
+  std::uint64_t target = 1 + rng.next_below(reports);
+
+  pipeline::ExecutionConfig config;
+  config.num_threads = options.num_threads;
+  config.monitor = pipeline::MonitorMode::Full;
+  config.instruction_budget = budget;
+  config.monitor_options = options.monitor;
+  switch (options.type) {
+    case FaultType::MonitorStall:
+      config.monitor_options.fault_hooks.stall_after_reports = target;
+      break;
+    case FaultType::QueueCorrupt:
+      config.monitor_options.fault_hooks.corrupt_report_index = target;
+      config.monitor_options.fault_hooks.corrupt_bit =
+          static_cast<unsigned>(rng.next_below(
+              8 * sizeof(runtime::BranchReport)));
+      // The defence under test: producers seal a checksum, the consumer
+      // verifies and discards corrupted slots.
+      config.monitor_options.validate_reports = true;
+      break;
+    case FaultType::ReportDrop:
+      config.monitor_options.fault_hooks.drop_report_index = target;
+      break;
+    default:
+      BW_INTERNAL_CHECK(false, "not a monitor fault type");
+  }
+
+  pipeline::ExecutionResult run = pipeline::execute(program, config);
+  ++result.injected;
+  if (run.monitor_stats.hooks_fired == 0) return;  // never activated
+  ++result.activated;
+
+  if (run.monitor_health == runtime::MonitorHealth::Degraded) {
+    ++result.degraded_runs;
+  } else if (run.monitor_health == runtime::MonitorHealth::Failed) {
+    ++result.failed_runs;
+  }
+  if (run.monitor_stats.reports_rejected > 0) ++result.discarded;
+
+  if (run.run.hang) {
+    ++result.hung;  // liveness failure: the policy did not protect us
+  } else if (run.run.crash) {
+    ++result.crashed;
+  } else if (run.detected) {
+    // A violation on a clean program. For QueueCorrupt without rejection
+    // this would be legitimate detection of the corruption; with the
+    // degradation logic in place any flag here is a false alarm.
+    if (options.type == FaultType::QueueCorrupt &&
+        run.monitor_stats.reports_rejected == 0) {
+      ++result.detected;
+    } else {
+      ++result.false_alarms;
+    }
+  } else if (run.run.output == golden.output) {
+    ++result.benign;
+  } else {
+    ++result.sdc;  // monitor faults must never corrupt program output
+  }
+}
+
+}  // namespace
+
 CampaignResult run_campaign(std::string_view source,
                             const CampaignOptions& options) {
+  const bool monitor_fault = is_monitor_fault(options.type);
+  BW_INTERNAL_CHECK(!monitor_fault || options.protect,
+                    "monitor-path faults require the protected build");
+
   // Compile once; the module is read-only during execution so every
   // injection run reuses it.
   pipeline::CompiledProgram program =
@@ -54,47 +199,10 @@ CampaignResult run_campaign(std::string_view source,
   CampaignResult result;
 
   for (int i = 0; i < options.injections; ++i) {
-    // Paper: pick thread j uniformly, then the k-th dynamic branch of j.
-    unsigned thread =
-        static_cast<unsigned>(rng.next_below(options.num_threads));
-    std::uint64_t branches = golden.branches_per_thread[thread];
-    if (branches == 0) {
-      ++result.injected;  // fault lands in a thread that runs no branches
-      continue;           // never activated
-    }
-    std::uint64_t target = 1 + rng.next_below(branches);
-
-    pipeline::ExecutionConfig config;
-    config.num_threads = options.num_threads;
-    config.monitor = options.protect ? pipeline::MonitorMode::Full
-                                     : pipeline::MonitorMode::Off;
-    config.instruction_budget = budget;
-    config.fault.active = true;
-    config.fault.thread = thread;
-    config.fault.target_branch = target;
-    config.fault.mode = options.type == FaultType::BranchFlip
-                            ? vm::FaultPlan::Mode::BranchFlip
-                            : vm::FaultPlan::Mode::CondBit;
-    config.fault.bit = static_cast<unsigned>(rng.next_below(64));
-
-    pipeline::ExecutionResult run = pipeline::execute(program, config);
-    ++result.injected;
-    if (!run.run.fault_applied) continue;
-    ++result.activated;
-
-    // Classification precedence mirrors the paper's procedure: detection
-    // first, then crash/hang (caught by other means), then the output
-    // comparison against the golden result.
-    if (options.protect && run.detected) {
-      ++result.detected;
-    } else if (run.run.crash) {
-      ++result.crashed;
-    } else if (run.run.hang) {
-      ++result.hung;
-    } else if (run.run.output == golden.output) {
-      ++result.benign;
+    if (monitor_fault) {
+      run_monitor_fault(program, options, golden, budget, rng, result);
     } else {
-      ++result.sdc;
+      run_application_fault(program, options, golden, budget, rng, result);
     }
   }
   return result;

@@ -2,6 +2,13 @@
 // profile a golden run, sample (thread, dynamic-branch, fault-type)
 // targets, execute one fault per run, and classify outcomes into the
 // paper's taxonomy. Coverage = 1 - SDC_f over activated faults.
+//
+// Beyond the paper's application faults, the campaign also injects faults
+// into the DETECTION PATH itself (monitor stalls, corrupted queue slots,
+// lost reports) — validating the monitor runtime the same way the
+// application is validated: the protected program must never deadlock,
+// never be misclassified as an SDC, and never raise a false alarm because
+// the monitor lost data.
 #pragma once
 
 #include <cstdint>
@@ -15,9 +22,23 @@ namespace bw::fault {
 enum class FaultType {
   BranchFlip,       // flip the branch outcome ("flag register" fault)
   BranchCondition,  // flip one bit of the condition data, persisting
+  // Monitor-path fault models (injected into the detection runtime, not
+  // the application; require protect=true):
+  MonitorStall,     // suspend the monitor thread mid-run, forever
+  QueueCorrupt,     // flip one bit of an enqueued BranchReport
+  ReportDrop,       // silently lose one report at the consumer
 };
 
 const char* to_string(FaultType type);
+
+/// True for the fault models that target the monitor runtime itself.
+bool is_monitor_fault(FaultType type);
+
+/// Monitor runtime settings for monitor-path campaigns: a small ring plus
+/// tight backoff/watchdog budgets so a stalled-monitor run degrades and
+/// completes in milliseconds instead of serializing the campaign on the
+/// production 250 ms deadline.
+bw::runtime::MonitorOptions fast_degrade_monitor_options();
 
 struct CampaignOptions {
   unsigned num_threads = 4;
@@ -29,17 +50,30 @@ struct CampaignOptions {
   /// baseline — crashes/hangs/masking still provide "natural" coverage).
   bool protect = true;
   pipeline::PipelineOptions pipeline;
+  /// Monitor runtime configuration used for monitor-path fault types.
+  bw::runtime::MonitorOptions monitor = fast_degrade_monitor_options();
 };
 
 struct CampaignResult {
   int injected = 0;
   int activated = 0;
-  // Outcome counts over activated faults:
+  // Outcome counts over activated faults (a partition: benign + detected
+  // + crashed + hung + sdc + false_alarms == activated):
   int benign = 0;    // output matched the golden run (masked)
   int detected = 0;  // BLOCKWATCH monitor flagged the run
   int crashed = 0;   // memory/arithmetic trap
   int hung = 0;      // deadlock or runaway (watchdog)
   int sdc = 0;       // completed with wrong output
+  /// Monitor-path campaigns only: the monitor flagged a violation on a
+  /// clean program because its own fault lost data — the failure mode the
+  /// degraded-health logic exists to prevent. Must be zero.
+  int false_alarms = 0;
+
+  // Side tallies for monitor-path campaigns (not part of the partition):
+  int degraded_runs = 0;  // runs ending with MonitorHealth::Degraded
+  int failed_runs = 0;    // runs ending with MonitorHealth::Failed
+  int discarded = 0;      // runs where checksum validation rejected the
+                          // corrupted report (QueueCorrupt defence)
 
   /// The paper's coverage metric: fraction of activated faults that do
   /// not produce an SDC (includes masked/crash/hang/detected).
@@ -63,6 +97,9 @@ struct GoldenRun {
   std::string output;
   std::vector<std::uint64_t> branches_per_thread;
   std::uint64_t max_thread_instructions = 0;
+  /// Reports the monitor drained in the golden run (monitor-path fault
+  /// targeting: the k-th report stands in for the k-th dynamic branch).
+  std::uint64_t monitor_reports = 0;
 };
 
 GoldenRun golden_run(const pipeline::CompiledProgram& program,

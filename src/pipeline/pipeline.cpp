@@ -34,6 +34,9 @@ ExecutionResult execute(const CompiledProgram& program,
     runtime::HierarchicalMonitorOptions hopts;
     hopts.num_groups = config.monitor_groups;
     hopts.queue_capacity = config.monitor_options.queue_capacity;
+    hopts.backoff = config.monitor_options.backoff;
+    hopts.watchdog = config.monitor_options.watchdog;
+    hopts.fault_hooks = config.monitor_options.fault_hooks;
     tree = std::make_unique<runtime::HierarchicalMonitor>(
         config.num_threads, hopts);
     tree->start();
@@ -64,14 +67,20 @@ ExecutionResult execute(const CompiledProgram& program,
     result.violations = monitor->violations();
     result.monitor_stats = monitor->stats();
     result.detected = result.run.detected || !result.violations.empty();
+    result.monitor_health = monitor->health();
   } else if (tree != nullptr) {
     tree->stop();
     result.violations = tree->violations();
     runtime::HierarchicalStats hstats = tree->stats();
     result.monitor_stats.reports_processed = hstats.reports_processed;
     result.monitor_stats.instances_checked = hstats.instances_checked;
+    result.monitor_stats.instances_skipped = hstats.instances_skipped;
     result.monitor_stats.violations = hstats.violations;
+    result.monitor_stats.dropped_reports =
+        hstats.dropped_reports + hstats.summaries_dropped;
+    result.monitor_stats.hooks_fired = hstats.hooks_fired;
     result.detected = result.run.detected || !result.violations.empty();
+    result.monitor_health = tree->health();
   }
   return result;
 }

@@ -72,6 +72,11 @@ struct ExecutionResult {
   /// Violation raised either during the run (stop-on-detection) or found
   /// when the monitor finalized at end of run.
   bool detected = false;
+  /// Final health of the attached monitor (Healthy when none attached).
+  /// Degraded: reports were dropped/rejected, detection ran on partial
+  /// data; Failed: the watchdog declared the monitor dead and the program
+  /// finished unprotected. See DESIGN.md "Failure modes & degradation".
+  runtime::MonitorHealth monitor_health = runtime::MonitorHealth::Healthy;
 };
 
 ExecutionResult execute(const CompiledProgram& program,

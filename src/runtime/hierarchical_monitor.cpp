@@ -15,7 +15,9 @@ std::uint64_t level1_key(std::uint64_t ctx_hash, std::uint32_t static_id) {
 
 HierarchicalMonitor::HierarchicalMonitor(unsigned num_threads,
                                          HierarchicalMonitorOptions options)
-    : num_threads_(num_threads), options_(options) {
+    : num_threads_(num_threads),
+      options_(options),
+      producers_(num_threads) {
   unsigned groups = std::max(1u, options_.num_groups);
   if (groups > num_threads) groups = num_threads;
   // Contiguous split, sizes differing by at most one.
@@ -75,11 +77,50 @@ void HierarchicalMonitor::stop() {
 void HierarchicalMonitor::send(const BranchReport& report) {
   BW_INTERNAL_CHECK(report.thread < num_threads_,
                     "report from out-of-range thread");
+  ProducerSlot& slot = producers_[report.thread];
+  if (health_.get() == MonitorHealth::Failed) {
+    slot.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   Leaf& leaf = *leaves_[group_of_thread_[report.thread]];
   SpscQueue<BranchReport>& queue =
       *leaf.queues[report.thread - leaf.first_thread];
-  while (!queue.try_push(report)) {
+  if (queue.try_push(report)) return;
+
+  const BackoffPolicy& policy = options_.backoff;
+  for (std::uint32_t i = 0; i < policy.spins; ++i) {
+    if (queue.try_push(report)) return;
+  }
+  std::uint32_t yielded = 0;
+  while (!policy.bounded || yielded < policy.yields) {
     std::this_thread::yield();
+    if (queue.try_push(report)) return;
+    ++yielded;
+    if (policy.bounded && (yielded & 63) == 0 &&
+        health_.get() == MonitorHealth::Failed) {
+      break;
+    }
+  }
+  // Give up: drop, degrade, and run the watchdog against this producer's
+  // leaf heartbeat (a stalled leaf fails the whole tree — the root cannot
+  // produce trustworthy global checks without it).
+  slot.dropped.fetch_add(1, std::memory_order_relaxed);
+  health_.raise(MonitorHealth::Degraded);
+  if (!options_.watchdog.enabled) return;
+  const std::uint64_t beat = leaf.heartbeat.load(std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  if (beat != slot.last_heartbeat) {
+    slot.last_heartbeat = beat;
+    slot.stall_since = now;
+    return;
+  }
+  const auto stalled = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           now - slot.stall_since)
+                           .count();
+  if (stalled >= 0 &&
+      static_cast<std::uint64_t>(stalled) >=
+          options_.watchdog.stall_timeout_ns) {
+    health_.raise(MonitorHealth::Failed);
   }
 }
 
@@ -88,13 +129,15 @@ void HierarchicalMonitor::send(const BranchReport& report) {
 void HierarchicalMonitor::leaf_run(Leaf& leaf) {
   BranchReport report;
   while (true) {
+    leaf.heartbeat.fetch_add(1, std::memory_order_relaxed);
     bool drained_any = false;
     for (auto& queue : leaf.queues) {
       int burst = 256;
       while (burst-- > 0 && queue->try_pop(report)) {
         drained_any = true;
-        ++leaf.reports_processed;
+        leaf.reports_processed.fetch_add(1, std::memory_order_relaxed);
         leaf_process(leaf, report);
+        leaf_apply_hooks(leaf);
       }
     }
     if (!drained_any) {
@@ -103,8 +146,9 @@ void HierarchicalMonitor::leaf_run(Leaf& leaf) {
         for (auto& queue : leaf.queues) {
           while (queue->try_pop(report)) {
             residue = true;
-            ++leaf.reports_processed;
+            leaf.reports_processed.fetch_add(1, std::memory_order_relaxed);
             leaf_process(leaf, report);
+            leaf_apply_hooks(leaf);
           }
         }
         if (!residue) break;
@@ -114,6 +158,23 @@ void HierarchicalMonitor::leaf_run(Leaf& leaf) {
     }
   }
   leaf_finalize(leaf);
+}
+
+/// Leaf-level fault hooks (stall / slow-consumer only; see options docs).
+void HierarchicalMonitor::leaf_apply_hooks(Leaf& leaf) {
+  const MonitorFaultHooks& hooks = options_.fault_hooks;
+  ++leaf.reports_popped;
+  if (hooks.delay_ns_per_report != 0) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(hooks.delay_ns_per_report));
+  }
+  if (hooks.stall_after_reports != 0 &&
+      leaf.reports_popped == hooks.stall_after_reports) {
+    leaf.hooks_fired.fetch_add(1, std::memory_order_relaxed);
+    while (!stopping_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
 }
 
 void HierarchicalMonitor::leaf_process(Leaf& leaf,
@@ -161,9 +222,50 @@ void HierarchicalMonitor::leaf_forward(Leaf& leaf, std::uint64_t key1,
     summary.observations[summary.count++] = obs;
   }
   if (summary.count == 0) return;
-  ++leaf.summaries_forwarded;
-  while (!leaf.to_root->try_push(summary)) {
+
+  if (leaf.to_root->try_push(summary)) {
+    leaf.summaries_forwarded.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Same bounded backoff as the front-end queues, watching the root's
+  // heartbeat: a leaf must never wedge on a stalled root.
+  const BackoffPolicy& policy = options_.backoff;
+  for (std::uint32_t i = 0; i < policy.spins; ++i) {
+    if (leaf.to_root->try_push(summary)) {
+      leaf.summaries_forwarded.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::uint32_t yielded = 0;
+  while (!policy.bounded || yielded < policy.yields) {
     std::this_thread::yield();
+    if (leaf.to_root->try_push(summary)) {
+      leaf.summaries_forwarded.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++yielded;
+    if (policy.bounded && (yielded & 63) == 0 &&
+        health_.get() == MonitorHealth::Failed) {
+      break;
+    }
+  }
+  leaf.summaries_dropped.fetch_add(1, std::memory_order_relaxed);
+  health_.raise(MonitorHealth::Degraded);
+  if (!options_.watchdog.enabled) return;
+  const std::uint64_t beat = root_heartbeat_.load(std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  if (beat != leaf.last_root_heartbeat) {
+    leaf.last_root_heartbeat = beat;
+    leaf.root_stall_since = now;
+    return;
+  }
+  const auto stalled = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           now - leaf.root_stall_since)
+                           .count();
+  if (stalled >= 0 &&
+      static_cast<std::uint64_t>(stalled) >=
+          options_.watchdog.stall_timeout_ns) {
+    health_.raise(MonitorHealth::Failed);
   }
 }
 
@@ -183,6 +285,7 @@ void HierarchicalMonitor::leaf_finalize(Leaf& leaf) {
 void HierarchicalMonitor::root_run() {
   InstanceSummary summary;
   while (true) {
+    root_heartbeat_.fetch_add(1, std::memory_order_relaxed);
     bool drained_any = false;
     for (auto& leaf : leaves_) {
       int burst = 64;
@@ -232,7 +335,19 @@ void HierarchicalMonitor::root_process(const InstanceSummary& summary) {
 void HierarchicalMonitor::root_check(std::uint32_t static_id,
                                      std::uint64_t ctx_hash,
                                      const RootInstance& instance) {
-  ++root_checked_;
+  if (degraded()) {
+    // A missing observation may be a dropped report or summary; only
+    // instances with the full thread complement stay verifiable.
+    unsigned outcomes = 0;
+    for (const ThreadObservation& obs : instance.observations) {
+      if (obs.has_outcome) ++outcomes;
+    }
+    if (outcomes < num_threads_) {
+      root_skipped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  root_checked_.fetch_add(1, std::memory_order_relaxed);
   std::optional<std::uint32_t> suspect =
       check_instance(instance.check, instance.observations);
   if (!suspect.has_value()) return;
@@ -264,10 +379,19 @@ void HierarchicalMonitor::root_finalize() {
 HierarchicalStats HierarchicalMonitor::stats() const {
   HierarchicalStats stats;
   for (const auto& leaf : leaves_) {
-    stats.reports_processed += leaf->reports_processed;
-    stats.summaries_forwarded += leaf->summaries_forwarded;
+    stats.reports_processed +=
+        leaf->reports_processed.load(std::memory_order_relaxed);
+    stats.summaries_forwarded +=
+        leaf->summaries_forwarded.load(std::memory_order_relaxed);
+    stats.summaries_dropped +=
+        leaf->summaries_dropped.load(std::memory_order_relaxed);
+    stats.hooks_fired += leaf->hooks_fired.load(std::memory_order_relaxed);
   }
-  stats.instances_checked = root_checked_;
+  for (const ProducerSlot& slot : producers_) {
+    stats.dropped_reports += slot.dropped.load(std::memory_order_relaxed);
+  }
+  stats.instances_checked = root_checked_.load(std::memory_order_relaxed);
+  stats.instances_skipped = root_skipped_.load(std::memory_order_relaxed);
   stats.violations = violation_count_.load(std::memory_order_acquire);
   return stats;
 }

@@ -10,10 +10,20 @@
 // summaries and runs the global cross-thread check. Every queue keeps a
 // single producer and a single consumer, so the whole tree stays
 // lock-free; the root touches G queues instead of N.
+//
+// Resilience: both queue levels (program thread -> leaf, leaf -> root)
+// run the bounded BackoffPolicy — a full ring is retried briefly, then
+// the report/summary is dropped, counted, and the shared health cell
+// degrades. Leaves and the root each publish a heartbeat; the watchdog in
+// the producer slow path trips the sticky Failed state when the owning
+// consumer stalls past its deadline, after which send() stops queueing.
+// In Degraded/Failed health the root treats instances with missing
+// observations as unverifiable (skipped, counted), never as violations.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -22,6 +32,7 @@
 
 #include "runtime/checker.h"
 #include "runtime/monitor_interface.h"
+#include "runtime/resilience.h"
 #include "runtime/spsc_queue.h"
 
 namespace bw::runtime {
@@ -30,13 +41,28 @@ struct HierarchicalMonitorOptions {
   unsigned num_groups = 2;
   std::size_t queue_capacity = 1 << 14;
   std::size_t summary_queue_capacity = 1 << 12;
+  /// Producer policy for full rings, applied at both tree levels.
+  BackoffPolicy backoff;
+  WatchdogOptions watchdog;
+  /// Consumer-side fault injection, applied per leaf (only
+  /// `stall_after_reports` and `delay_ns_per_report` are honoured here;
+  /// corruption/drop hooks live on the flat Monitor).
+  MonitorFaultHooks fault_hooks;
 };
 
 struct HierarchicalStats {
   std::uint64_t reports_processed = 0;   // across all leaves
   std::uint64_t summaries_forwarded = 0;
   std::uint64_t instances_checked = 0;   // at the root
+  /// Root instances left unchecked while degraded (missing observations).
+  std::uint64_t instances_skipped = 0;
   std::uint64_t violations = 0;
+  /// Producer give-up drops on the program-thread -> leaf queues.
+  std::uint64_t dropped_reports = 0;
+  /// Leaf give-up drops on the leaf -> root summary queues.
+  std::uint64_t summaries_dropped = 0;
+  /// Leaf fault hooks that fired.
+  std::uint64_t hooks_fired = 0;
 };
 
 class HierarchicalMonitor : public BranchSink {
@@ -60,8 +86,10 @@ class HierarchicalMonitor : public BranchSink {
   bool violation_detected() const override {
     return violation_count_.load(std::memory_order_acquire) != 0;
   }
+  MonitorHealth health() const override { return health_.get(); }
 
-  /// Valid after stop().
+  /// Valid after stop(). (Counter members are atomics, so calling this
+  /// while workers run is safe and yields an approximate snapshot.)
   const std::vector<Violation>& violations() const { return violations_; }
   HierarchicalStats stats() const;
   unsigned num_groups() const {
@@ -89,6 +117,12 @@ class HierarchicalMonitor : public BranchSink {
     CheckCode check = CheckCode::SharedOutcome;
   };
 
+  struct alignas(64) ProducerSlot {
+    std::atomic<std::uint64_t> dropped{0};
+    std::uint64_t last_heartbeat = ~std::uint64_t{0};
+    std::chrono::steady_clock::time_point stall_since{};
+  };
+
   struct Leaf {
     unsigned first_thread = 0;
     unsigned num_threads = 0;
@@ -101,8 +135,17 @@ class HierarchicalMonitor : public BranchSink {
     std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>>
         key_debug;
     std::thread worker;
-    std::uint64_t reports_processed = 0;
-    std::uint64_t summaries_forwarded = 0;
+    // Atomic so stats() may race with running workers (relaxed counters).
+    std::atomic<std::uint64_t> reports_processed{0};
+    std::atomic<std::uint64_t> summaries_forwarded{0};
+    std::atomic<std::uint64_t> summaries_dropped{0};
+    std::atomic<std::uint64_t> hooks_fired{0};
+    /// Bumped once per drain cycle; watched by this leaf's producers.
+    std::atomic<std::uint64_t> heartbeat{0};
+    // Leaf-thread-private watchdog state for its pushes to the root.
+    std::uint64_t reports_popped = 0;
+    std::uint64_t last_root_heartbeat = ~std::uint64_t{0};
+    std::chrono::steady_clock::time_point root_stall_since{};
   };
 
   struct RootInstance {
@@ -113,6 +156,7 @@ class HierarchicalMonitor : public BranchSink {
   };
 
   void leaf_run(Leaf& leaf);
+  void leaf_apply_hooks(Leaf& leaf);
   void leaf_process(Leaf& leaf, const BranchReport& report);
   void leaf_forward(Leaf& leaf, std::uint64_t key1, std::uint64_t iter,
                     LeafInstance& instance);
@@ -123,11 +167,13 @@ class HierarchicalMonitor : public BranchSink {
   void root_check(std::uint32_t static_id, std::uint64_t ctx_hash,
                   const RootInstance& instance);
   void root_finalize();
+  bool degraded() const { return health_.get() != MonitorHealth::Healthy; }
 
   unsigned num_threads_;
   HierarchicalMonitorOptions options_;
   std::vector<std::unique_ptr<Leaf>> leaves_;
   std::vector<unsigned> group_of_thread_;
+  std::vector<ProducerSlot> producers_;
 
   std::unordered_map<std::uint64_t,
                      std::unordered_map<std::uint64_t, RootInstance>>
@@ -135,11 +181,14 @@ class HierarchicalMonitor : public BranchSink {
   std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>>
       root_key_debug_;
   std::thread root_thread_;
-  std::uint64_t root_checked_ = 0;
+  std::atomic<std::uint64_t> root_checked_{0};
+  std::atomic<std::uint64_t> root_skipped_{0};
+  std::atomic<std::uint64_t> root_heartbeat_{0};
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> leaves_done_{false};
+  HealthCell health_;
   std::atomic<std::uint64_t> violation_count_{0};
   std::vector<Violation> violations_;
 };

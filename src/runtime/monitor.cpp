@@ -1,5 +1,7 @@
 #include "runtime/monitor.h"
 
+#include <cstring>
+
 #include "support/diagnostics.h"
 #include "support/prng.h"
 
@@ -12,7 +14,9 @@ std::uint64_t level1_key(std::uint64_t ctx_hash, std::uint32_t static_id) {
 }  // namespace
 
 Monitor::Monitor(unsigned num_threads, MonitorOptions options)
-    : num_threads_(num_threads), options_(options) {
+    : num_threads_(num_threads),
+      options_(options),
+      producers_(num_threads) {
   queues_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
     queues_.push_back(
@@ -38,25 +42,81 @@ void Monitor::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+/// Bounded-backoff give-up: account the drop and degrade, then consult the
+/// watchdog — if the heartbeat has made no progress for the whole deadline
+/// the monitor thread is presumed dead and health trips Failed, after
+/// which send() stops queueing entirely.
+void Monitor::give_up(std::uint32_t thread) {
+  ProducerSlot& slot = producers_[thread];
+  slot.dropped.fetch_add(1, std::memory_order_relaxed);
+  health_.raise(MonitorHealth::Degraded);
+  if (!options_.watchdog.enabled) return;
+  const std::uint64_t beat = heartbeat_.load(std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  if (beat != slot.last_heartbeat) {
+    slot.last_heartbeat = beat;
+    slot.stall_since = now;
+    return;
+  }
+  const auto stalled = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           now - slot.stall_since)
+                           .count();
+  if (stalled >= 0 &&
+      static_cast<std::uint64_t>(stalled) >=
+          options_.watchdog.stall_timeout_ns) {
+    health_.raise(MonitorHealth::Failed);
+  }
+}
+
 void Monitor::send(const BranchReport& report) {
   BW_INTERNAL_CHECK(report.thread < num_threads_,
                     "report from out-of-range thread");
-  SpscQueue<BranchReport>& queue = *queues_[report.thread];
-  // The monitor always drains, so a full ring is momentary backpressure.
-  while (!queue.try_push(report)) {
-    std::this_thread::yield();
+  if (health_.get() == MonitorHealth::Failed) {
+    // Monitoring abandoned: count the loss, let the program run on.
+    producers_[report.thread].dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
+  SpscQueue<BranchReport>& queue = *queues_[report.thread];
+  BranchReport sealed;
+  const BranchReport* payload = &report;
+  if (options_.validate_reports) {
+    sealed = report;
+    seal_report(sealed);
+    payload = &sealed;
+  }
+  if (queue.try_push(*payload)) return;
+
+  // Slow path: bounded backoff (spin -> yield -> give up and drop).
+  const BackoffPolicy& policy = options_.backoff;
+  for (std::uint32_t i = 0; i < policy.spins; ++i) {
+    if (queue.try_push(*payload)) return;
+  }
+  std::uint32_t yielded = 0;
+  while (!policy.bounded || yielded < policy.yields) {
+    std::this_thread::yield();
+    if (queue.try_push(*payload)) return;
+    ++yielded;
+    // Another producer's watchdog may have declared the monitor dead while
+    // we were waiting; don't keep paying backoff for a corpse.
+    if (policy.bounded && (yielded & 63) == 0 &&
+        health_.get() == MonitorHealth::Failed) {
+      break;
+    }
+  }
+  give_up(report.thread);
 }
 
 void Monitor::run() {
   BranchReport report;
   while (true) {
+    heartbeat_.fetch_add(1, std::memory_order_relaxed);
     bool drained_any = false;
     // Round-robin over the per-thread front-end queues (paper Fig. 4).
     for (auto& queue : queues_) {
       int burst = 256;  // bounded burst keeps round-robin fair
       while (burst-- > 0 && queue->try_pop(report)) {
         drained_any = true;
+        if (!apply_pop_hooks(report)) continue;
         ++stats_.reports_processed;
         process(report);
       }
@@ -68,6 +128,7 @@ void Monitor::run() {
         for (auto& queue : queues_) {
           while (queue->try_pop(report)) {
             residue = true;
+            if (!apply_pop_hooks(report)) continue;
             ++stats_.reports_processed;
             process(report);
           }
@@ -79,6 +140,62 @@ void Monitor::run() {
     }
   }
   finalize_all();
+}
+
+/// Runs validation and the consumer-side fault hooks against a freshly
+/// popped report. Returns false when the report must be discarded.
+bool Monitor::apply_pop_hooks(BranchReport& report) {
+  ++reports_popped_;
+  const MonitorFaultHooks& hooks = options_.fault_hooks;
+
+  if (hooks.drop_report_index != 0 &&
+      reports_popped_ == hooks.drop_report_index) {
+    ++stats_.hooks_fired;
+    ++stats_.dropped_reports;
+    health_.raise(MonitorHealth::Degraded);
+    return false;
+  }
+  if (hooks.corrupt_report_index != 0 &&
+      reports_popped_ == hooks.corrupt_report_index) {
+    ++stats_.hooks_fired;
+    unsigned bit = hooks.corrupt_bit % (8 * sizeof(BranchReport));
+    unsigned char bytes[sizeof(BranchReport)];
+    std::memcpy(bytes, &report, sizeof(BranchReport));
+    bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    std::memcpy(&report, bytes, sizeof(BranchReport));
+  }
+  if (options_.validate_reports && !report_intact(report)) {
+    // Corrupted while queued: discard rather than check garbage against
+    // clean threads, and degrade so the missing observation is treated as
+    // unverifiable instead of a subset to be checked.
+    ++stats_.reports_rejected;
+    ++stats_.dropped_reports;
+    health_.raise(MonitorHealth::Degraded);
+    return false;
+  }
+  if (hooks.delay_ns_per_report != 0) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(hooks.delay_ns_per_report));
+  }
+  if (hooks.stall_after_reports != 0 &&
+      reports_popped_ == hooks.stall_after_reports) {
+    ++stats_.hooks_fired;
+    // Suspend mid-run (after processing this report's predecessors): no
+    // heartbeat bumps, no draining, until stop() is requested. Producers
+    // must survive on the backoff/watchdog policy alone.
+    while (!stopping_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // A thread id corrupted out of range would index out of bounds below;
+  // reject it even without checksums (costs one compare).
+  if (report.thread >= num_threads_) {
+    ++stats_.reports_rejected;
+    ++stats_.dropped_reports;
+    health_.raise(MonitorHealth::Degraded);
+    return false;
+  }
+  return true;
 }
 
 Monitor::Instance& Monitor::instance_for(const BranchReport& report) {
@@ -113,7 +230,8 @@ void Monitor::process(const BranchReport& report) {
     obs.has_outcome = true;
     obs.outcome = report.outcome;
     if (inst.outcomes_reported == num_threads_) {
-      // Eager path: everyone reported; check and evict.
+      // Eager path: everyone reported; check and evict. Complete
+      // instances are fully trustworthy even when degraded.
       check_instance_now(report.static_id, report.ctx_hash, inst);
       std::uint64_t key1 = level1_key(report.ctx_hash, report.static_id);
       table_[key1].instances.erase(report.iter_hash);
@@ -144,31 +262,55 @@ void Monitor::maybe_evict(std::uint64_t key1, std::uint32_t static_id,
   Branch& branch = table_[key1];
   if (branch.instances.size() <= options_.max_pending_per_branch) return;
   // Evict the oldest pending instance after checking the subset of threads
-  // that did report (sound: every check holds on subsets).
+  // that did report (sound: every check holds on subsets) — unless the
+  // monitor is degraded, in which case the missing observations may be
+  // dropped reports and the instance is unverifiable.
   auto oldest = branch.instances.begin();
   for (auto it = branch.instances.begin(); it != branch.instances.end();
        ++it) {
     if (it->second.sequence < oldest->second.sequence) oldest = it;
   }
   if (oldest->second.outcomes_reported >= 2) {
-    check_instance_now(static_id, ctx_hash, oldest->second);
+    if (degraded()) {
+      ++stats_.instances_skipped;
+    } else {
+      check_instance_now(static_id, ctx_hash, oldest->second);
+    }
   }
   ++stats_.instances_evicted;
   branch.instances.erase(oldest);
 }
 
 void Monitor::finalize_all() {
+  const bool unverifiable = degraded();
   for (auto& [key1, branch] : table_) {
     auto debug = key_debug_[key1];
     for (auto& [iter_hash, inst] : branch.instances) {
       (void)iter_hash;
-      if (inst.outcomes_reported >= 2) {
-        check_instance_now(debug.first, debug.second, inst);
+      if (inst.outcomes_reported < 2) continue;
+      if (unverifiable && inst.outcomes_reported < num_threads_) {
+        // Degraded: a missing observation may be a dropped report, so a
+        // subset "violation" could be an artifact of the loss. Skip.
+        ++stats_.instances_skipped;
+        continue;
       }
+      check_instance_now(debug.first, debug.second, inst);
     }
     branch.instances.clear();
   }
   table_.clear();
+}
+
+MonitorStats Monitor::stats() const {
+  MonitorStats merged = stats_;
+  merged.dropped_per_thread.assign(num_threads_, 0);
+  for (unsigned t = 0; t < num_threads_; ++t) {
+    std::uint64_t dropped =
+        producers_[t].dropped.load(std::memory_order_relaxed);
+    merged.dropped_per_thread[t] = dropped;
+    merged.dropped_reports += dropped;
+  }
+  return merged;
 }
 
 }  // namespace bw::runtime

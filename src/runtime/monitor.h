@@ -4,9 +4,19 @@
 // outer-loop iteration vector), checks every branch instance once all
 // threads reported (eager path) or at end of the parallel section
 // (finalize path), and records violations.
+//
+// Resilience (see resilience.h): producers never block indefinitely on a
+// full queue — a bounded backoff gives up, drops the report (counted
+// per-thread) and degrades the monitor's health; a watchdog heartbeat
+// trips the sticky Failed state when the monitor thread stalls, after
+// which producers stop queueing and the program continues unprotected.
+// In Degraded/Failed health the checker treats instances with missing
+// observations as unverifiable (skipped, counted) instead of risking a
+// false violation built on partial data.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -17,6 +27,7 @@
 #include "runtime/checker.h"
 #include "runtime/monitor_interface.h"
 #include "runtime/report.h"
+#include "runtime/resilience.h"
 #include "runtime/spsc_queue.h"
 
 namespace bw::runtime {
@@ -30,13 +41,34 @@ struct MonitorOptions {
   /// When false the monitor drains the queues but performs no checks —
   /// the paper's 32-thread measurement configuration.
   bool perform_checks = true;
+  /// Producer policy for a full front-end queue.
+  BackoffPolicy backoff;
+  /// Heartbeat deadline after which producers declare the monitor dead.
+  WatchdogOptions watchdog;
+  /// Seal a checksum into every report at send() and discard any popped
+  /// report that fails verification (QueueCorrupt defence). Off by
+  /// default: it costs a few ns per report on the hot path.
+  bool validate_reports = false;
+  /// Consumer-side fault injection (campaign/tests/bench only).
+  MonitorFaultHooks fault_hooks;
 };
 
 struct MonitorStats {
   std::uint64_t reports_processed = 0;
   std::uint64_t instances_checked = 0;
   std::uint64_t instances_evicted = 0;
+  /// Instances left unchecked because observations were missing while the
+  /// monitor was degraded (unverifiable, not violations).
+  std::uint64_t instances_skipped = 0;
   std::uint64_t violations = 0;
+  /// Reports lost end to end: producer give-ups plus consumer-side drops.
+  std::uint64_t dropped_reports = 0;
+  /// Popped reports discarded by checksum validation.
+  std::uint64_t reports_rejected = 0;
+  /// Fault hooks that actually fired (campaign activation signal).
+  std::uint64_t hooks_fired = 0;
+  /// Producer give-up drops, indexed by program thread id.
+  std::vector<std::uint64_t> dropped_per_thread;
 };
 
 class Monitor : public BranchSink {
@@ -55,8 +87,8 @@ class Monitor : public BranchSink {
   void stop();
 
   /// Producer API (called from program thread `thread`): enqueue a report,
-  /// spinning briefly if the ring is momentarily full (the monitor is
-  /// guaranteed to be draining).
+  /// backing off briefly if the ring is full and dropping the report once
+  /// the backoff budget is exhausted (never blocks indefinitely).
   void send(const BranchReport& report) override;
 
   /// True once any check has failed. Safe to poll from any thread; the
@@ -68,9 +100,14 @@ class Monitor : public BranchSink {
     return violation_count_.load(std::memory_order_acquire);
   }
 
-  /// Only valid after stop().
+  MonitorHealth health() const override { return health_.get(); }
+
+  /// Only valid after stop(): the aggregate counters are consumer-owned
+  /// and written without synchronization (the per-thread drop counters
+  /// are atomics, but the snapshot as a whole is not). Use health() for
+  /// a mid-run signal.
   const std::vector<Violation>& violations() const { return violations_; }
-  const MonitorStats& stats() const { return stats_; }
+  MonitorStats stats() const;
 
   unsigned num_threads() const { return num_threads_; }
 
@@ -85,31 +122,45 @@ class Monitor : public BranchSink {
   struct Branch {  // level-1 bucket: one (ctx, static_id) pair
     std::unordered_map<std::uint64_t, Instance> instances;  // by iter hash
   };
+  /// Per-producer slow-path state. Cacheline-sized so one producer's drop
+  /// accounting never bounces another producer's line.
+  struct alignas(64) ProducerSlot {
+    std::atomic<std::uint64_t> dropped{0};  // written by owner, read by stats
+    std::uint64_t last_heartbeat = ~std::uint64_t{0};
+    std::chrono::steady_clock::time_point stall_since{};
+  };
 
   void run();
+  bool apply_pop_hooks(BranchReport& report);  // false: discard the report
+  void give_up(std::uint32_t thread);
   void process(const BranchReport& report);
   Instance& instance_for(const BranchReport& report);
-  void check_and_erase(std::uint64_t level1_key, std::uint64_t iter_hash,
-                       std::uint32_t static_id, std::uint64_t ctx_hash);
   void check_instance_now(std::uint32_t static_id, std::uint64_t ctx_hash,
                           const Instance& instance);
   void finalize_all();
   void maybe_evict(std::uint64_t level1_key, std::uint32_t static_id,
                    std::uint64_t ctx_hash);
+  bool degraded() const { return health_.get() != MonitorHealth::Healthy; }
 
   unsigned num_threads_;
   MonitorOptions options_;
   std::vector<std::unique_ptr<SpscQueue<BranchReport>>> queues_;
+  std::vector<ProducerSlot> producers_;
   // Level-1 table: hash of (ctx_hash, static_id) -> Branch. The monitor
   // thread is the only mutator; no locking needed.
   std::unordered_map<std::uint64_t, Branch> table_;
   std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>>
       key_debug_;  // level1 key -> (static_id, ctx) for violation reports
   std::uint64_t next_sequence_ = 0;
+  std::uint64_t reports_popped_ = 0;  // hook index base (includes drops)
 
   std::thread thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
+  /// Bumped by the monitor thread once per drain cycle; the producers'
+  /// watchdog reads it to distinguish "slow" from "dead".
+  std::atomic<std::uint64_t> heartbeat_{0};
+  HealthCell health_;
   std::atomic<std::uint64_t> violation_count_{0};
   std::vector<Violation> violations_;
   MonitorStats stats_;

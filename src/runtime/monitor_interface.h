@@ -5,6 +5,7 @@
 #pragma once
 
 #include "runtime/report.h"
+#include "runtime/resilience.h"
 
 namespace bw::runtime {
 
@@ -14,10 +15,17 @@ class BranchSink {
 
   /// Called by program thread `report.thread`; must be safe to call
   /// concurrently from distinct threads (one producer per thread id).
+  /// Never blocks indefinitely: under a bounded BackoffPolicy a full queue
+  /// eventually drops the report (counted, health degrades) rather than
+  /// wedging the program thread.
   virtual void send(const BranchReport& report) = 0;
 
   /// Cheap cross-thread poll: has any check failed so far?
   virtual bool violation_detected() const = 0;
+
+  /// Sticky Healthy -> Degraded -> Failed state of the monitor backing
+  /// this sink (see resilience.h). Safe to poll from any thread.
+  virtual MonitorHealth health() const { return MonitorHealth::Healthy; }
 };
 
 }  // namespace bw::runtime

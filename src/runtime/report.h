@@ -32,7 +32,38 @@ struct BranchReport {
   ReportKind kind = ReportKind::Outcome;
   CheckCode check = CheckCode::SharedOutcome;
   bool outcome = false;  // taken? (Outcome reports)
+  /// Integrity word sealed by the producer when the monitor runs with
+  /// `validate_reports`; lets the consumer discard reports corrupted while
+  /// queued (the campaign's QueueCorrupt fault model) instead of checking
+  /// garbage against clean threads.
+  std::uint32_t checksum = 0;
 };
+
+/// Mixes every semantic field of a report into one word (the checksum
+/// field itself excluded). Cheap: a handful of xor/multiply steps, paid
+/// only when report validation is enabled.
+inline std::uint32_t report_checksum(const BranchReport& r) {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  h = mix(h, r.static_id);
+  h = mix(h, r.thread);
+  h = mix(h, r.ctx_hash);
+  h = mix(h, r.iter_hash);
+  h = mix(h, r.value);
+  h = mix(h, static_cast<std::uint64_t>(r.kind));
+  h = mix(h, static_cast<std::uint64_t>(r.check));
+  h = mix(h, r.outcome ? 1 : 0);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+inline void seal_report(BranchReport& r) { r.checksum = report_checksum(r); }
+
+inline bool report_intact(const BranchReport& r) {
+  return r.checksum == report_checksum(r);
+}
 
 /// A check violation detected by the monitor: the paper's "deviation from
 /// the statically inferred behaviour".

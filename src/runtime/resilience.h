@@ -1,0 +1,114 @@
+// Resilience primitives for the runtime monitor: the monitor is trusted
+// infrastructure, so every queue interaction and monitor thread carries an
+// explicit failure policy instead of the original "spin forever on a full
+// ring" behaviour (which turned a stalled monitor into a program-wide
+// deadlock).
+//
+//   * BackoffPolicy  — producer-side policy for a full front-end queue:
+//     spin, then yield, then give up and DROP the report (counted
+//     per-thread). Dropping is safe: every checker is sound on subsets,
+//     and once degraded the monitor additionally skips instances with
+//     missing observations.
+//   * MonitorHealth  — sticky Healthy -> Degraded -> Failed state machine.
+//     Degraded: at least one report was dropped/rejected; detection
+//     continues but incomplete instances are treated as unverifiable.
+//     Failed: the watchdog found the monitor heartbeat stalled past its
+//     deadline; producers stop queueing entirely and the program runs on
+//     unprotected (availability over coverage).
+//   * WatchdogOptions — heartbeat deadline. Monitor/leaf/root threads bump
+//     a heartbeat counter each drain cycle; the producer slow path trips
+//     Failed when the heartbeat makes no progress for the whole deadline.
+//   * MonitorFaultHooks — consumer-side fault injection for the campaign's
+//     monitor-path fault models (FaultType::MonitorStall / QueueCorrupt /
+//     ReportDrop) and for the slow-consumer benchmark.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace bw::runtime {
+
+enum class MonitorHealth : std::uint8_t {
+  Healthy = 0,   // no report lost; full detection guarantees hold
+  Degraded = 1,  // >=1 report dropped/rejected; subset guarantees only
+  Failed = 2,    // heartbeat stalled past deadline; monitoring abandoned
+};
+
+inline const char* to_string(MonitorHealth health) {
+  switch (health) {
+    case MonitorHealth::Healthy: return "healthy";
+    case MonitorHealth::Degraded: return "degraded";
+    case MonitorHealth::Failed: return "failed";
+  }
+  return "<bad-health>";
+}
+
+/// Sticky, monotone health cell: transitions only move toward Failed, so
+/// any thread may raise() concurrently without locks and nobody can mask a
+/// previous degradation.
+class HealthCell {
+ public:
+  MonitorHealth get() const {
+    return health_.load(std::memory_order_acquire);
+  }
+
+  void raise(MonitorHealth to) {
+    MonitorHealth cur = health_.load(std::memory_order_relaxed);
+    while (static_cast<std::uint8_t>(cur) < static_cast<std::uint8_t>(to)) {
+      if (health_.compare_exchange_weak(cur, to, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+ private:
+  std::atomic<MonitorHealth> health_{MonitorHealth::Healthy};
+};
+
+/// What a producer does when its front-end ring is full.
+struct BackoffPolicy {
+  /// Busy retry iterations before the first yield (cheap; covers the
+  /// common "monitor is one burst behind" case).
+  std::uint32_t spins = 64;
+  /// Yield-and-retry iterations after the spins. With ~1us per yield the
+  /// default budget is a few milliseconds of patience.
+  std::uint32_t yields = 4096;
+  /// When false, reproduce the original unbounded spin (never give up,
+  /// never drop). Deadlock-prone under a stalled monitor; kept only as the
+  /// baseline for bench/bw_monitor_resilience.
+  bool bounded = true;
+};
+
+struct WatchdogOptions {
+  bool enabled = true;
+  /// Heartbeat silence (observed from a producer's give-up slow path)
+  /// after which the monitor is declared dead and health trips Failed.
+  std::uint64_t stall_timeout_ns = 250'000'000;  // 250 ms
+};
+
+/// Consumer-side fault injection, applied by the monitor thread at the
+/// pop site (index counts are 1-based over popped reports; 0 disables).
+/// These model faults in the detection path itself, mirroring how the
+/// campaign models faults in application branches.
+struct MonitorFaultHooks {
+  /// After processing the Nth report, suspend the monitor thread until
+  /// stop() is requested (FaultType::MonitorStall).
+  std::uint64_t stall_after_reports = 0;
+  /// Flip `corrupt_bit` (mod 8*sizeof(BranchReport)) in the Nth popped
+  /// report before processing it (FaultType::QueueCorrupt).
+  std::uint64_t corrupt_report_index = 0;
+  unsigned corrupt_bit = 0;
+  /// Silently discard the Nth popped report (FaultType::ReportDrop).
+  std::uint64_t drop_report_index = 0;
+  /// Sleep this long after each processed report: a deterministic
+  /// slow-consumer load for the resilience benchmark.
+  std::uint64_t delay_ns_per_report = 0;
+
+  bool any() const {
+    return stall_after_reports != 0 || corrupt_report_index != 0 ||
+           drop_report_index != 0 || delay_ns_per_report != 0;
+  }
+};
+
+}  // namespace bw::runtime

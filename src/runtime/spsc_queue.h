@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace bw::runtime {
@@ -27,12 +28,22 @@ class SpscQueue {
   SpscQueue& operator=(const SpscQueue&) = delete;
 
   /// Producer side. Returns false when the ring is full (caller decides
-  /// whether to spin or drop).
+  /// whether to spin, back off, or drop).
   bool try_push(const T& item) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t next = (head + 1) & mask_;
     if (next == tail_.load(std::memory_order_acquire)) return false;
     buffer_[head] = item;
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Move-in overload for payloads with an expensive copy.
+  bool try_push(T&& item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buffer_[head] = std::move(item);
     head_.store(next, std::memory_order_release);
     return true;
   }
@@ -51,13 +62,29 @@ class SpscQueue {
            head_.load(std::memory_order_acquire);
   }
 
+  /// Approximate occupancy: racy snapshot of both indices, good enough for
+  /// stats and watchdog decisions, never for correctness.
+  std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
   std::size_t capacity() const { return mask_; }
 
  private:
-  std::vector<T> buffer_;
+  // Layout: the cold, read-only-after-construction members (buffer_,
+  // mask_) live on their own cache line, and each index owns a full line,
+  // so the producer's head_ stores never invalidate the line holding the
+  // consumer's tail_ (or the buffer metadata both sides read constantly).
+  alignas(64) std::vector<T> buffer_;
   std::size_t mask_ = 0;
+  static_assert(sizeof(std::vector<T>) + sizeof(std::size_t) <= 64,
+                "cold members must fit one cache line");
   alignas(64) std::atomic<std::size_t> head_{0};  // producer-owned
   alignas(64) std::atomic<std::size_t> tail_{0};  // consumer-owned
+  char pad_[64 - sizeof(std::atomic<std::size_t>)];  // keep tail_'s line
+                                                     // clear of neighbours
 };
 
 }  // namespace bw::runtime

@@ -148,4 +148,105 @@ TEST(Duplication, DetectsOutputDivergenceNeverSdc) {
   EXPECT_GT(dup.overhead, 0.5);
 }
 
+// Enough dynamic branches per thread to overflow the monitor-path
+// campaign's small ring once the consumer stalls, so stall injections
+// actually exercise backpressure and the drop policy.
+constexpr const char* kLoopyKernel = R"BWC(
+global int n = 4096;
+global int data[4096];
+global int sums[8];
+func init() {
+  for (int i = 0; i < n; i = i + 1) { data[i] = hashrand(i) % 100; }
+}
+func slave() {
+  int p = nthreads();
+  int id = tid();
+  int s = 0;
+  for (int i = id; i < n; i = i + p) {
+    if (data[i] > 50) { s = s + data[i]; }
+  }
+  sums[id] = s;
+  barrier();
+  if (id == 0) {
+    int total = 0;
+    for (int t = 0; t < p; t = t + 1) { total = total + sums[t]; }
+    print_i(total);
+  }
+}
+)BWC";
+
+TEST(MonitorFaultCampaign, FaultTypeNamesAndPredicates) {
+  EXPECT_STREQ(fault::to_string(fault::FaultType::MonitorStall),
+               "monitor-stall");
+  EXPECT_STREQ(fault::to_string(fault::FaultType::QueueCorrupt),
+               "queue-corrupt");
+  EXPECT_STREQ(fault::to_string(fault::FaultType::ReportDrop),
+               "report-drop");
+  EXPECT_TRUE(fault::is_monitor_fault(fault::FaultType::MonitorStall));
+  EXPECT_TRUE(fault::is_monitor_fault(fault::FaultType::QueueCorrupt));
+  EXPECT_TRUE(fault::is_monitor_fault(fault::FaultType::ReportDrop));
+  EXPECT_FALSE(fault::is_monitor_fault(fault::FaultType::BranchFlip));
+  EXPECT_FALSE(fault::is_monitor_fault(fault::FaultType::BranchCondition));
+}
+
+TEST(MonitorFaultCampaign, StallNeverDeadlocksOrCorruptsOutput) {
+  fault::CampaignOptions options;
+  options.num_threads = 4;
+  options.injections = 12;
+  options.type = fault::FaultType::MonitorStall;
+  fault::CampaignResult r = fault::run_campaign(kLoopyKernel, options);
+  EXPECT_EQ(r.injected, 12);
+  EXPECT_GT(r.activated, 0);
+  // The whole point of the resilience work: a dead monitor must cost
+  // protection, never liveness or output integrity, and must not raise
+  // violations it cannot substantiate.
+  EXPECT_EQ(r.hung, 0);
+  EXPECT_EQ(r.sdc, 0);
+  EXPECT_EQ(r.crashed, 0);
+  EXPECT_EQ(r.false_alarms, 0);
+  EXPECT_EQ(r.benign + r.detected + r.crashed + r.hung + r.sdc +
+                r.false_alarms,
+            r.activated);
+  // Stalls early enough to backpressure the ring leave the run Degraded
+  // or watchdog-Failed; the health must be surfaced.
+  EXPECT_GT(r.degraded_runs + r.failed_runs, 0);
+}
+
+TEST(MonitorFaultCampaign, QueueCorruptionIsRejectedNotBelieved) {
+  fault::CampaignOptions options;
+  options.num_threads = 4;
+  options.injections = 25;
+  options.type = fault::FaultType::QueueCorrupt;
+  fault::CampaignResult r = fault::run_campaign(kKernel, options);
+  EXPECT_GT(r.activated, 0);
+  EXPECT_EQ(r.hung, 0);
+  EXPECT_EQ(r.sdc, 0);
+  // A corrupted report must never be mistaken for an application
+  // divergence: either the checksum rejects it (discarded) or the flip
+  // landed in padding and the report is semantically intact (benign).
+  EXPECT_EQ(r.false_alarms, 0);
+  EXPECT_GT(r.discarded, 0);
+  EXPECT_EQ(r.benign + r.detected + r.crashed + r.hung + r.sdc +
+                r.false_alarms,
+            r.activated);
+}
+
+TEST(MonitorFaultCampaign, LostReportsNeverRaiseFalseAlarms) {
+  fault::CampaignOptions options;
+  options.num_threads = 4;
+  options.injections = 25;
+  options.type = fault::FaultType::ReportDrop;
+  fault::CampaignResult r = fault::run_campaign(kKernel, options);
+  EXPECT_GT(r.activated, 0);
+  EXPECT_EQ(r.hung, 0);
+  EXPECT_EQ(r.sdc, 0);
+  EXPECT_EQ(r.false_alarms, 0);
+  // Every activated drop degrades the monitor, and degraded checking on a
+  // clean program flags nothing.
+  EXPECT_EQ(r.degraded_runs + r.failed_runs, r.activated);
+  EXPECT_EQ(r.benign + r.detected + r.crashed + r.hung + r.sdc +
+                r.false_alarms,
+            r.activated);
+}
+
 }  // namespace

