@@ -9,11 +9,18 @@
 // measured is the instrumentation's client-side cost. Wall-clock is the
 // parallel section only. Median of `reps` runs.
 //
-//   usage: bw_fig6_overhead [reps]
+// The sharded/batched monitor adds an axis: with --shards=K the drain
+// side is K checker shards, and with --batch=B producers push one ring
+// entry per B reports instead of per report (B=1 reproduces the legacy
+// wire protocol over the sharded fabric). See EXPERIMENTS.md for the
+// recorded batch=1 vs batch=64 comparison.
+//
+//   usage: bw_fig6_overhead [reps] [--shards=K] [--batch=B]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "benchmarks/registry.h"
@@ -22,6 +29,9 @@
 namespace {
 
 using namespace bw;
+
+unsigned g_shards = 0;   // 0 = legacy single-consumer monitor
+std::size_t g_batch = 16;
 
 double median_parallel_seconds(const pipeline::CompiledProgram& program,
                                unsigned threads, pipeline::MonitorMode mode,
@@ -32,6 +42,10 @@ double median_parallel_seconds(const pipeline::CompiledProgram& program,
     config.num_threads = threads;
     config.monitor = mode;
     config.stop_on_detection = false;
+    if (mode != pipeline::MonitorMode::Off) {
+      config.monitor_shards = g_shards;
+      config.monitor_batch = g_batch;
+    }
     pipeline::ExecutionResult result = pipeline::execute(program, config);
     times.push_back(static_cast<double>(result.run.parallel_ns) * 1e-9);
   }
@@ -42,9 +56,24 @@ double median_parallel_seconds(const pipeline::CompiledProgram& program,
 }  // namespace
 
 int main(int argc, char** argv) {
-  int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      g_shards = static_cast<unsigned>(std::atoi(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      g_batch = static_cast<std::size_t>(std::atol(argv[i] + 8));
+    } else {
+      reps = std::atoi(argv[i]);
+    }
+  }
   std::printf("Figure 6: normalized execution time with BLOCKWATCH "
-              "(lower is better; baseline = 1.0)\n\n");
+              "(lower is better; baseline = 1.0)\n");
+  if (g_shards > 0) {
+    std::printf("monitor: sharded, %u shard(s), batch=%zu\n\n", g_shards,
+                g_batch);
+  } else {
+    std::printf("monitor: legacy single consumer\n\n");
+  }
   std::printf("%-22s %12s %12s\n", "Program", "4 threads", "32 threads");
 
   double log_sum4 = 0.0;

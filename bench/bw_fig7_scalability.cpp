@@ -3,11 +3,12 @@
 // Paper reference: overhead rises from 1 to 2 threads (NUMA effect on
 // their 4-socket machine), then falls monotonically to 1.16x at 32.
 //
-//   usage: bw_fig7_scalability [reps]
+//   usage: bw_fig7_scalability [reps] [--shards=K] [--batch=B]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "benchmarks/registry.h"
@@ -16,6 +17,9 @@
 namespace {
 
 using namespace bw;
+
+unsigned g_shards = 0;   // 0 = legacy single-consumer monitor
+std::size_t g_batch = 16;
 
 double median_parallel_seconds(const pipeline::CompiledProgram& program,
                                unsigned threads, pipeline::MonitorMode mode,
@@ -26,6 +30,10 @@ double median_parallel_seconds(const pipeline::CompiledProgram& program,
     config.num_threads = threads;
     config.monitor = mode;
     config.stop_on_detection = false;
+    if (mode != pipeline::MonitorMode::Off) {
+      config.monitor_shards = g_shards;
+      config.monitor_batch = g_batch;
+    }
     pipeline::ExecutionResult result = pipeline::execute(program, config);
     times.push_back(static_cast<double>(result.run.parallel_ns) * 1e-9);
   }
@@ -36,10 +44,25 @@ double median_parallel_seconds(const pipeline::CompiledProgram& program,
 }  // namespace
 
 int main(int argc, char** argv) {
-  int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      g_shards = static_cast<unsigned>(std::atoi(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      g_batch = static_cast<std::size_t>(std::atol(argv[i] + 8));
+    } else {
+      reps = std::atoi(argv[i]);
+    }
+  }
   const unsigned thread_counts[] = {1, 2, 4, 8, 16, 32};
 
-  std::printf("Figure 7: geomean BLOCKWATCH overhead vs thread count\n\n");
+  std::printf("Figure 7: geomean BLOCKWATCH overhead vs thread count\n");
+  if (g_shards > 0) {
+    std::printf("monitor: sharded, %u shard(s), batch=%zu\n\n", g_shards,
+                g_batch);
+  } else {
+    std::printf("monitor: legacy single consumer\n\n");
+  }
   std::printf("%8s %10s\n", "threads", "overhead");
   for (unsigned threads : thread_counts) {
     double log_sum = 0.0;

@@ -33,7 +33,10 @@ if [ "$run_tsan" = 1 ]; then
   echo "===== ThreadSanitizer pass (concurrent runtime tests) ====="
   cmake -B build-tsan -G Ninja -DBW_SANITIZE=thread
   cmake --build build-tsan
-  ctest --test-dir build-tsan --output-on-failure \
-    -R 'SpscQueue|Monitor|Hierarchical|Resilience|Checker|ContextTracker' \
-    2>&1 | tee tsan_output.txt
+  {
+    ctest --test-dir build-tsan --output-on-failure \
+      -R 'SpscQueue|Monitor|Hierarchical|Resilience|Checker|ContextTracker'
+    echo "===== TSan stress lane (N producers x K shards, fault hooks) ====="
+    ctest --test-dir build-tsan --output-on-failure -L stress
+  } 2>&1 | tee tsan_output.txt
 fi

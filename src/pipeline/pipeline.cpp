@@ -1,5 +1,7 @@
 #include "pipeline/pipeline.h"
 
+#include <algorithm>
+
 #include "ir/verifier.h"
 
 namespace bw::pipeline {
@@ -28,6 +30,7 @@ ExecutionResult execute(const CompiledProgram& program,
   ExecutionResult result;
 
   std::unique_ptr<runtime::Monitor> monitor;
+  std::unique_ptr<runtime::ShardedMonitor> sharded;
   std::unique_ptr<runtime::HierarchicalMonitor> tree;
   runtime::BranchSink* sink = nullptr;
   if (config.monitor == MonitorMode::Hierarchical) {
@@ -41,6 +44,28 @@ ExecutionResult execute(const CompiledProgram& program,
         config.num_threads, hopts);
     tree->start();
     sink = tree.get();
+  } else if (config.monitor != MonitorMode::Off &&
+             config.monitor_shards >= 1) {
+    runtime::ShardedMonitorOptions sopts;
+    sopts.num_shards = config.monitor_shards;
+    sopts.batch_size = config.monitor_batch;
+    // Preserve the legacy option's buffering budget: queue_capacity is in
+    // reports, the sharded rings are in batches. Bounded so a 32-thread
+    // x K-shard fabric of 3 KiB slots stays within a sane footprint.
+    std::size_t batch = std::max<std::size_t>(config.monitor_batch, 1);
+    sopts.batch_queue_capacity = std::clamp<std::size_t>(
+        config.monitor_options.queue_capacity / batch, 16, 256);
+    sopts.max_pending_per_branch =
+        config.monitor_options.max_pending_per_branch;
+    sopts.perform_checks = config.monitor == MonitorMode::Full;
+    sopts.backoff = config.monitor_options.backoff;
+    sopts.watchdog = config.monitor_options.watchdog;
+    sopts.validate_reports = config.monitor_options.validate_reports;
+    sopts.fault_hooks = config.monitor_options.fault_hooks;
+    sharded = std::make_unique<runtime::ShardedMonitor>(config.num_threads,
+                                                        sopts);
+    sharded->start();
+    sink = sharded.get();
   } else if (config.monitor != MonitorMode::Off) {
     runtime::MonitorOptions mopts = config.monitor_options;
     mopts.perform_checks = config.monitor == MonitorMode::Full;
@@ -68,6 +93,12 @@ ExecutionResult execute(const CompiledProgram& program,
     result.monitor_stats = monitor->stats();
     result.detected = result.run.detected || !result.violations.empty();
     result.monitor_health = monitor->health();
+  } else if (sharded != nullptr) {
+    sharded->stop();
+    result.violations = sharded->violations();
+    result.monitor_stats = sharded->stats();
+    result.detected = result.run.detected || !result.violations.empty();
+    result.monitor_health = sharded->health();
   } else if (tree != nullptr) {
     tree->stop();
     result.violations = tree->violations();

@@ -15,6 +15,7 @@
 #include "instrument/instrument.h"
 #include "runtime/hierarchical_monitor.h"
 #include "runtime/monitor.h"
+#include "runtime/sharded_monitor.h"
 #include "vm/machine.h"
 
 namespace bw::pipeline {
@@ -60,6 +61,18 @@ struct ExecutionConfig {
   runtime::MonitorOptions monitor_options;
   /// Subgroups for MonitorMode::Hierarchical.
   unsigned monitor_groups = 2;
+  /// Checker shards for MonitorMode::Full / DrainOnly. 0 (default) keeps
+  /// the legacy single-consumer Monitor; >= 1 attaches a ShardedMonitor
+  /// with that many shards (1 = legacy topology over the batched wire).
+  /// monitor_options carries over: perform_checks follows the mode,
+  /// queue_capacity (reports) is translated into an equivalent number of
+  /// batches, and backoff/watchdog/validation/fault hooks apply as-is
+  /// (fault hooks fire per shard).
+  unsigned monitor_shards = 0;
+  /// Reports per producer-side batch when monitor_shards >= 1 (clamped to
+  /// [1, runtime::ReportBatch::kMax]). 1 = one ring push per report, the
+  /// legacy protocol.
+  std::size_t monitor_batch = 16;
   /// Entry points (must match the names used at analysis time).
   std::string parallel_entry = "slave";
   std::string init_function = "init";

@@ -20,6 +20,13 @@ class BranchSink {
   /// wedging the program thread.
   virtual void send(const BranchReport& report) = 0;
 
+  /// Flush any client-side buffering for program thread `thread`. Called
+  /// by the VM when the thread exits the parallel section (normally or
+  /// via a trap), so batching sinks (ShardedMonitor) never strand the
+  /// tail of a thread's reports in a half-full batch. Unbuffered sinks
+  /// (Monitor, HierarchicalMonitor) keep the default no-op.
+  virtual void flush(std::uint32_t thread) { (void)thread; }
+
   /// Cheap cross-thread poll: has any check failed so far?
   virtual bool violation_detected() const = 0;
 

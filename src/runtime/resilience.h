@@ -104,6 +104,13 @@ struct MonitorFaultHooks {
   /// Sleep this long after each processed report: a deterministic
   /// slow-consumer load for the resilience benchmark.
   std::uint64_t delay_ns_per_report = 0;
+  /// ShardedMonitor only: restrict the hooks above to the 0-based checker
+  /// shard with this index (kAllShards applies them to every shard, each
+  /// counting its own pops). Lets tests wedge ONE shard and prove its
+  /// siblings keep checking while health degrades. The flat Monitor and
+  /// the HierarchicalMonitor ignore this field.
+  static constexpr std::uint32_t kAllShards = 0xffffffffu;
+  std::uint32_t shard_filter = kAllShards;
 
   bool any() const {
     return stall_after_reports != 0 || corrupt_report_index != 0 ||

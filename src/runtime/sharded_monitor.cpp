@@ -1,0 +1,400 @@
+#include "runtime/sharded_monitor.h"
+
+#include <cstring>
+
+#include "support/diagnostics.h"
+#include "support/prng.h"
+
+namespace bw::runtime {
+
+namespace {
+std::uint64_t level1_key(std::uint64_t ctx_hash, std::uint32_t static_id) {
+  return support::hash_combine(ctx_hash, static_id);
+}
+}  // namespace
+
+ShardedMonitor::ShardedMonitor(unsigned num_threads,
+                               ShardedMonitorOptions options)
+    : num_threads_(num_threads), options_(options), producers_(num_threads) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.batch_size == 0) options_.batch_size = 1;
+  if (options_.batch_size > ReportBatch::kMax) {
+    options_.batch_size = ReportBatch::kMax;
+  }
+  shards_.reserve(options_.num_shards);
+  for (unsigned s = 0; s < options_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    shard->queues.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+      shard->queues.push_back(std::make_unique<SpscQueue<ReportBatch>>(
+          options_.batch_queue_capacity));
+    }
+    shards_.push_back(std::move(shard));
+  }
+  for (ProducerSlot& slot : producers_) {
+    slot.open.resize(options_.num_shards);
+    slot.last_heartbeat.assign(options_.num_shards, ~std::uint64_t{0});
+    slot.stall_since.assign(options_.num_shards, {});
+  }
+}
+
+ShardedMonitor::~ShardedMonitor() { stop(); }
+
+void ShardedMonitor::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([this, s] { shard_run(*s); });
+  }
+}
+
+void ShardedMonitor::stop() {
+  if (!started_.load()) return;
+  bool expected = false;
+  if (!stop_requested_.compare_exchange_strong(expected, true)) {
+    for (auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+    return;
+  }
+  // Producers have quiesced by contract; push any batches the VM (or a
+  // test driving send() directly) left open so no report is silently
+  // stranded on the producer side. This must happen BEFORE the stop
+  // signal: a shard only exits once stopping_ is set AND its rings are
+  // empty, so batches flushed here are still drained.
+  for (unsigned t = 0; t < num_threads_; ++t) flush(t);
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  violations_.clear();
+  for (auto& shard : shards_) {
+    violations_.insert(violations_.end(), shard->violations.begin(),
+                       shard->violations.end());
+  }
+}
+
+unsigned ShardedMonitor::shard_of(const BranchReport& report) const {
+  return static_cast<unsigned>(level1_key(report.ctx_hash, report.static_id) %
+                               shards_.size());
+}
+
+void ShardedMonitor::send(const BranchReport& report) {
+  BW_INTERNAL_CHECK(report.thread < num_threads_,
+                    "report from out-of-range thread");
+  const MonitorHealth now_health = health_.get();
+  if (now_health == MonitorHealth::Failed) {
+    producers_[report.thread].dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ProducerSlot& slot = producers_[report.thread];
+  if (slot.last_health != now_health) {
+    // Health transition: push everything accumulated so far, so reports
+    // sent while Healthy do not sit in half-full batches once the monitor
+    // is degraded (they would widen the unverifiable window).
+    slot.last_health = now_health;
+    flush(report.thread);
+  }
+  const unsigned shard = shard_of(report);
+  ReportBatch& batch = slot.open[shard];
+  BranchReport& dest = batch.reports[batch.count++];
+  dest = report;
+  if (options_.validate_reports) seal_report(dest);
+  if (batch.count >= options_.batch_size) flush_batch(report.thread, shard);
+}
+
+void ShardedMonitor::flush(std::uint32_t thread) {
+  BW_INTERNAL_CHECK(thread < num_threads_, "flush from out-of-range thread");
+  for (unsigned s = 0; s < shards_.size(); ++s) {
+    if (producers_[thread].open[s].count != 0) flush_batch(thread, s);
+  }
+}
+
+/// Push one producer's open batch for `shard`, under the same bounded
+/// backoff as Monitor::send — except the unit at stake is a whole batch,
+/// so a give-up drops (and counts) every report it carried.
+void ShardedMonitor::flush_batch(std::uint32_t thread, unsigned shard) {
+  ProducerSlot& slot = producers_[thread];
+  ReportBatch& batch = slot.open[shard];
+  const std::uint32_t count = batch.count;
+  if (count == 0) return;
+  if (health_.get() == MonitorHealth::Failed) {
+    slot.dropped.fetch_add(count, std::memory_order_relaxed);
+    batch.count = 0;
+    return;
+  }
+  SpscQueue<ReportBatch>& queue = *shards_[shard]->queues[thread];
+  if (queue.try_push(batch)) {
+    batch.count = 0;
+    return;
+  }
+  const BackoffPolicy& policy = options_.backoff;
+  for (std::uint32_t i = 0; i < policy.spins; ++i) {
+    if (queue.try_push(batch)) {
+      batch.count = 0;
+      return;
+    }
+  }
+  std::uint32_t yielded = 0;
+  while (!policy.bounded || yielded < policy.yields) {
+    std::this_thread::yield();
+    if (queue.try_push(batch)) {
+      batch.count = 0;
+      return;
+    }
+    ++yielded;
+    if (policy.bounded && (yielded & 63) == 0 &&
+        health_.get() == MonitorHealth::Failed) {
+      break;
+    }
+  }
+  give_up(thread, shard, count);
+  batch.count = 0;
+}
+
+/// Batch-granular give-up: account every report the batch carried, then
+/// run the watchdog against the heartbeat of the shard that refused it —
+/// one wedged shard must trip Failed exactly like the old single
+/// consumer, even while its siblings drain happily.
+void ShardedMonitor::give_up(std::uint32_t thread, unsigned shard,
+                             std::uint32_t lost) {
+  ProducerSlot& slot = producers_[thread];
+  slot.dropped.fetch_add(lost, std::memory_order_relaxed);
+  health_.raise(MonitorHealth::Degraded);
+  if (!options_.watchdog.enabled) return;
+  const std::uint64_t beat =
+      shards_[shard]->heartbeat.load(std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  if (beat != slot.last_heartbeat[shard]) {
+    slot.last_heartbeat[shard] = beat;
+    slot.stall_since[shard] = now;
+    return;
+  }
+  const auto stalled = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           now - slot.stall_since[shard])
+                           .count();
+  if (stalled >= 0 &&
+      static_cast<std::uint64_t>(stalled) >=
+          options_.watchdog.stall_timeout_ns) {
+    health_.raise(MonitorHealth::Failed);
+  }
+}
+
+void ShardedMonitor::shard_run(Shard& shard) {
+  ReportBatch batch;
+  while (true) {
+    shard.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    bool drained_any = false;
+    // Round-robin over this shard's per-producer rings; the burst is in
+    // batches, so it bounds work per ring at burst * batch_size reports.
+    for (auto& queue : shard.queues) {
+      int burst = 32;
+      while (burst-- > 0 && queue->try_pop(batch)) {
+        drained_any = true;
+        drain_batch(shard, batch);
+      }
+    }
+    if (!drained_any) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        bool residue = false;
+        for (auto& queue : shard.queues) {
+          while (queue->try_pop(batch)) {
+            residue = true;
+            drain_batch(shard, batch);
+          }
+        }
+        if (!residue) break;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  finalize_shard(shard);
+}
+
+void ShardedMonitor::drain_batch(Shard& shard, ReportBatch& batch) {
+  for (std::uint32_t i = 0; i < batch.count; ++i) {
+    BranchReport& report = batch.reports[i];
+    if (!apply_pop_hooks(shard, report)) continue;
+    ++shard.reports_processed;
+    process(shard, report);
+  }
+}
+
+/// Per-shard twin of Monitor::apply_pop_hooks: validation plus the
+/// consumer-side fault hooks, with indices counted over THIS shard's
+/// popped reports (each shard is an independent consumer, mirroring the
+/// hierarchical monitor's per-leaf hook semantics).
+bool ShardedMonitor::apply_pop_hooks(Shard& shard, BranchReport& report) {
+  ++shard.reports_popped;
+  const MonitorFaultHooks& hooks = options_.fault_hooks;
+  const bool hooks_apply =
+      hooks.shard_filter == MonitorFaultHooks::kAllShards ||
+      hooks.shard_filter == shard.index;
+
+  if (hooks_apply && hooks.drop_report_index != 0 &&
+      shard.reports_popped == hooks.drop_report_index) {
+    ++shard.hooks_fired;
+    ++shard.dropped_reports;
+    health_.raise(MonitorHealth::Degraded);
+    return false;
+  }
+  if (hooks_apply && hooks.corrupt_report_index != 0 &&
+      shard.reports_popped == hooks.corrupt_report_index) {
+    ++shard.hooks_fired;
+    unsigned bit = hooks.corrupt_bit % (8 * sizeof(BranchReport));
+    unsigned char bytes[sizeof(BranchReport)];
+    std::memcpy(bytes, &report, sizeof(BranchReport));
+    bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    std::memcpy(&report, bytes, sizeof(BranchReport));
+  }
+  if (options_.validate_reports && !report_intact(report)) {
+    ++shard.reports_rejected;
+    ++shard.dropped_reports;
+    health_.raise(MonitorHealth::Degraded);
+    return false;
+  }
+  if (hooks_apply && hooks.delay_ns_per_report != 0) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(hooks.delay_ns_per_report));
+  }
+  if (hooks_apply && hooks.stall_after_reports != 0 &&
+      shard.reports_popped == hooks.stall_after_reports) {
+    ++shard.hooks_fired;
+    // Wedge THIS shard only: no heartbeat, no draining, until stop().
+    // Producers routed here survive on backoff + watchdog; sibling
+    // shards keep checking their own key ranges.
+    while (!stopping_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  if (report.thread >= num_threads_) {
+    ++shard.reports_rejected;
+    ++shard.dropped_reports;
+    health_.raise(MonitorHealth::Degraded);
+    return false;
+  }
+  return true;
+}
+
+ShardedMonitor::Instance& ShardedMonitor::instance_for(
+    Shard& shard, const BranchReport& report) {
+  std::uint64_t key1 = level1_key(report.ctx_hash, report.static_id);
+  Branch& branch = shard.table[key1];
+  shard.key_debug.emplace(key1,
+                          std::make_pair(report.static_id, report.ctx_hash));
+  auto [it, inserted] = branch.instances.try_emplace(report.iter_hash);
+  Instance& inst = it->second;
+  if (inserted) {
+    inst.observations.resize(num_threads_);
+    for (unsigned t = 0; t < num_threads_; ++t) {
+      inst.observations[t].thread = t;
+    }
+    inst.check = report.check;
+    inst.iter_hash = report.iter_hash;
+    inst.sequence = shard.next_sequence++;
+    maybe_evict(shard, key1, report.static_id, report.ctx_hash);
+  }
+  return inst;
+}
+
+void ShardedMonitor::process(Shard& shard, const BranchReport& report) {
+  if (!options_.perform_checks) return;  // drain-only mode
+  Instance& inst = instance_for(shard, report);
+  ThreadObservation& obs = inst.observations[report.thread];
+  if (report.kind == ReportKind::Condition) {
+    obs.has_value = true;
+    obs.value = report.value;
+  } else {
+    if (!obs.has_outcome) ++inst.outcomes_reported;
+    obs.has_outcome = true;
+    obs.outcome = report.outcome;
+    if (inst.outcomes_reported == num_threads_) {
+      check_instance_now(shard, report.static_id, report.ctx_hash, inst);
+      std::uint64_t key1 = level1_key(report.ctx_hash, report.static_id);
+      shard.table[key1].instances.erase(report.iter_hash);
+    }
+  }
+}
+
+void ShardedMonitor::check_instance_now(Shard& shard, std::uint32_t static_id,
+                                        std::uint64_t ctx_hash,
+                                        const Instance& instance) {
+  ++shard.instances_checked;
+  std::optional<std::uint32_t> suspect =
+      check_instance(instance.check, instance.observations);
+  if (!suspect.has_value()) return;
+  Violation v;
+  v.static_id = static_id;
+  v.ctx_hash = ctx_hash;
+  v.iter_hash = instance.iter_hash;
+  v.check = instance.check;
+  v.suspect_thread = *suspect;
+  shard.violations.push_back(v);
+  violation_count_.fetch_add(1, std::memory_order_release);
+}
+
+void ShardedMonitor::maybe_evict(Shard& shard, std::uint64_t key1,
+                                 std::uint32_t static_id,
+                                 std::uint64_t ctx_hash) {
+  Branch& branch = shard.table[key1];
+  if (branch.instances.size() <= options_.max_pending_per_branch) return;
+  auto oldest = branch.instances.begin();
+  for (auto it = branch.instances.begin(); it != branch.instances.end();
+       ++it) {
+    if (it->second.sequence < oldest->second.sequence) oldest = it;
+  }
+  if (oldest->second.outcomes_reported >= 2) {
+    if (degraded()) {
+      ++shard.instances_skipped;
+    } else {
+      check_instance_now(shard, static_id, ctx_hash, oldest->second);
+    }
+  }
+  ++shard.instances_evicted;
+  branch.instances.erase(oldest);
+}
+
+void ShardedMonitor::finalize_shard(Shard& shard) {
+  const bool unverifiable = degraded();
+  for (auto& [key1, branch] : shard.table) {
+    auto debug = shard.key_debug[key1];
+    for (auto& [iter_hash, inst] : branch.instances) {
+      (void)iter_hash;
+      if (inst.outcomes_reported < 2) continue;
+      if (unverifiable && inst.outcomes_reported < num_threads_) {
+        ++shard.instances_skipped;
+        continue;
+      }
+      check_instance_now(shard, debug.first, debug.second, inst);
+    }
+    branch.instances.clear();
+  }
+  shard.table.clear();
+}
+
+MonitorStats ShardedMonitor::stats() const {
+  MonitorStats merged;
+  for (const auto& shard : shards_) {
+    merged.reports_processed += shard->reports_processed;
+    merged.instances_checked += shard->instances_checked;
+    merged.instances_evicted += shard->instances_evicted;
+    merged.instances_skipped += shard->instances_skipped;
+    merged.violations += shard->violations.size();
+    merged.dropped_reports += shard->dropped_reports;
+    merged.reports_rejected += shard->reports_rejected;
+    merged.hooks_fired += shard->hooks_fired;
+  }
+  merged.dropped_per_thread.assign(num_threads_, 0);
+  for (unsigned t = 0; t < num_threads_; ++t) {
+    std::uint64_t dropped =
+        producers_[t].dropped.load(std::memory_order_relaxed);
+    merged.dropped_per_thread[t] = dropped;
+    merged.dropped_reports += dropped;
+  }
+  return merged;
+}
+
+}  // namespace bw::runtime

@@ -1,0 +1,224 @@
+// Sharded, batched BLOCKWATCH monitor: the scalability successor to the
+// single-consumer Monitor (paper Section III-B), which Figures 6-7 show
+// flat-lining as producers multiply — one thread drains every queue and
+// files every report into one two-level table.
+//
+// Two structural changes, both invisible to verdicts:
+//
+//   * Batching. Producers accumulate reports into small per-thread,
+//     per-shard batches and push ONE ring-buffer entry per batch instead
+//     of per report. Batches flush on size, on parallel-section exit
+//     (BranchSink::flush, called by the VM when a program thread leaves
+//     the parallel section), and on health transitions (so reports never
+//     linger in half-full batches while the monitor is degraded).
+//   * Sharding. The consumer side is K checker shards, each a thread
+//     owning the branch keys that hash to it: shard = hash(ctx_hash,
+//     static_id) % K. Every shard runs its own two-level table, eager
+//     check loop, eviction, finalize pass, and stats. Routing happens on
+//     the producer (a report's shard is fixed by its key), so every ring
+//     keeps exactly one producer and one consumer and the whole fabric
+//     stays lock-free.
+//
+// Verdict invariance: a branch (ctx_hash, static_id) maps wholly to one
+// shard, so the per-branch instance lifecycle — accumulation, the
+// all-threads-reported eager check, per-branch eviction order, and the
+// finalize subset check — is byte-for-byte the legacy algorithm run on a
+// partition of the key space. Batching only changes *when* reports cross
+// the ring, never their per-producer order or content. See DESIGN.md
+// "Sharded monitor" and tests/monitor_differential_test.cpp, which proves
+// verdict equivalence against the legacy Monitor over randomized kernels.
+//
+// Resilience composes with PR 1's machinery: all shards share one sticky
+// HealthCell; each shard publishes a heartbeat and each producer's
+// give-up slow path runs the watchdog against the shard it failed to
+// reach, so a single stalled shard degrades (and eventually fails) the
+// monitor exactly like the old single consumer. Drops, evictions, skips
+// and rejections aggregate across shards into one MonitorStats.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/checker.h"
+#include "runtime/monitor.h"  // MonitorStats (shared with the legacy path)
+#include "runtime/monitor_interface.h"
+#include "runtime/report.h"
+#include "runtime/resilience.h"
+#include "runtime/spsc_queue.h"
+
+namespace bw::runtime {
+
+/// The unit that crosses a producer->shard ring: up to kMax reports, in
+/// the producer's send order. Fixed-size so ring slots need no heap.
+struct ReportBatch {
+  static constexpr std::size_t kMax = 64;
+  std::uint32_t count = 0;
+  std::array<BranchReport, kMax> reports;
+};
+
+struct ShardedMonitorOptions {
+  /// Checker shards (consumer threads). 1 reproduces the legacy topology
+  /// with the batched wire format; clamped to >= 1.
+  unsigned num_shards = 2;
+  /// Reports accumulated per producer per shard before a push; clamped to
+  /// [1, ReportBatch::kMax]. 1 degenerates to the legacy one-push-per-
+  /// report protocol.
+  std::size_t batch_size = 16;
+  /// Ring capacity of each producer->shard queue, in BATCHES (the legacy
+  /// Monitor's queue_capacity counts reports).
+  std::size_t batch_queue_capacity = 256;
+  /// As Monitor: soft cap on pending instances per level-1 bucket. The cap
+  /// is per branch and a branch lives wholly in one shard, so semantics
+  /// are unchanged by sharding.
+  std::size_t max_pending_per_branch = 1 << 15;
+  /// When false the shards drain but check nothing (the paper's
+  /// measurement configuration).
+  bool perform_checks = true;
+  /// Producer policy for a full ring, applied per batch push.
+  BackoffPolicy backoff;
+  /// Heartbeat deadline, enforced per shard by the producer slow path.
+  WatchdogOptions watchdog;
+  /// Seal/verify per-report checksums (QueueCorrupt defence), as Monitor.
+  bool validate_reports = false;
+  /// Consumer-side fault injection, applied independently by EVERY shard
+  /// (each counts its own popped reports and fires stall/corrupt/drop at
+  /// its own Nth pop, mirroring HierarchicalMonitor's per-leaf hooks) —
+  /// or by a single shard when fault_hooks.shard_filter selects one.
+  MonitorFaultHooks fault_hooks;
+};
+
+class ShardedMonitor : public BranchSink {
+ public:
+  ShardedMonitor(unsigned num_threads, ShardedMonitorOptions options = {});
+  ~ShardedMonitor() override;
+
+  ShardedMonitor(const ShardedMonitor&) = delete;
+  ShardedMonitor& operator=(const ShardedMonitor&) = delete;
+
+  /// Launch the K shard threads. Must precede any send().
+  void start();
+
+  /// Flush residual batches, drain everything, finalize each shard, and
+  /// join. Producers must have quiesced (same contract as Monitor::stop).
+  /// Idempotent.
+  void stop();
+
+  /// Producer API (thread `report.thread`): append to that producer's
+  /// open batch for the report's shard, pushing the batch when full.
+  /// Bounded like Monitor::send — a full ring is retried under the
+  /// backoff policy, then the whole batch is dropped (counted) and
+  /// health degrades.
+  void send(const BranchReport& report) override;
+
+  /// Push thread `thread`'s open batches regardless of fill. The VM calls
+  /// this when the thread exits the parallel section; tests call it to
+  /// bound report latency under randomized flush timing.
+  void flush(std::uint32_t thread) override;
+
+  bool violation_detected() const override {
+    return violation_count_.load(std::memory_order_acquire) != 0;
+  }
+  std::uint64_t violation_count() const {
+    return violation_count_.load(std::memory_order_acquire);
+  }
+
+  MonitorHealth health() const override { return health_.get(); }
+
+  /// Only valid after stop(): shard-local vectors merged in shard order.
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// Aggregate across shards + producer drop counters. Only valid after
+  /// stop() (shard counters are consumer-owned, unsynchronized).
+  MonitorStats stats() const;
+
+  unsigned num_threads() const { return num_threads_; }
+  unsigned num_shards() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+ private:
+  // The per-branch state machine is intentionally identical to
+  // Monitor::Instance/Branch — the differential harness depends on it.
+  struct Instance {
+    std::vector<ThreadObservation> observations;  // indexed by thread id
+    unsigned outcomes_reported = 0;
+    CheckCode check = CheckCode::SharedOutcome;
+    std::uint64_t iter_hash = 0;
+    std::uint64_t sequence = 0;  // per-shard insertion order, for eviction
+  };
+  struct Branch {
+    std::unordered_map<std::uint64_t, Instance> instances;  // by iter hash
+  };
+
+  /// One checker shard: N incoming batch rings (one per producer), its
+  /// own two-level table, and consumer-owned counters folded into the
+  /// aggregate MonitorStats after stop().
+  struct Shard {
+    unsigned index = 0;
+    std::vector<std::unique_ptr<SpscQueue<ReportBatch>>> queues;
+    std::unordered_map<std::uint64_t, Branch> table;
+    std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>>
+        key_debug;  // level1 key -> (static_id, ctx) for violation reports
+    std::uint64_t next_sequence = 0;
+    std::uint64_t reports_popped = 0;  // this shard's fault-hook index base
+    std::thread worker;
+    /// Bumped once per drain cycle; read by producers' watchdog.
+    std::atomic<std::uint64_t> heartbeat{0};
+    // Consumer-owned stats (read by stats() only after stop()).
+    std::uint64_t reports_processed = 0;
+    std::uint64_t instances_checked = 0;
+    std::uint64_t instances_evicted = 0;
+    std::uint64_t instances_skipped = 0;
+    std::uint64_t dropped_reports = 0;
+    std::uint64_t reports_rejected = 0;
+    std::uint64_t hooks_fired = 0;
+    std::vector<Violation> violations;
+  };
+
+  /// Producer-thread-private batching and watchdog state. The drop
+  /// counter is atomic (stats() reads it); everything else is owned by
+  /// the producer thread. Cacheline-aligned so producers never share.
+  struct alignas(64) ProducerSlot {
+    std::atomic<std::uint64_t> dropped{0};
+    std::vector<ReportBatch> open;  // one open batch per shard
+    MonitorHealth last_health = MonitorHealth::Healthy;
+    // Per-shard watchdog state for this producer's give-up path.
+    std::vector<std::uint64_t> last_heartbeat;
+    std::vector<std::chrono::steady_clock::time_point> stall_since;
+  };
+
+  unsigned shard_of(const BranchReport& report) const;
+  void flush_batch(std::uint32_t thread, unsigned shard);
+  void give_up(std::uint32_t thread, unsigned shard, std::uint32_t lost);
+
+  void shard_run(Shard& shard);
+  void drain_batch(Shard& shard, ReportBatch& batch);
+  bool apply_pop_hooks(Shard& shard, BranchReport& report);
+  void process(Shard& shard, const BranchReport& report);
+  Instance& instance_for(Shard& shard, const BranchReport& report);
+  void check_instance_now(Shard& shard, std::uint32_t static_id,
+                          std::uint64_t ctx_hash, const Instance& instance);
+  void maybe_evict(Shard& shard, std::uint64_t key1, std::uint32_t static_id,
+                   std::uint64_t ctx_hash);
+  void finalize_shard(Shard& shard);
+  bool degraded() const { return health_.get() != MonitorHealth::Healthy; }
+
+  unsigned num_threads_;
+  ShardedMonitorOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ProducerSlot> producers_;
+
+  std::atomic<bool> stop_requested_{false};  // stop() entry latch
+  std::atomic<bool> stopping_{false};  // shard exit signal (post-flush)
+  std::atomic<bool> started_{false};
+  HealthCell health_;
+  std::atomic<std::uint64_t> violation_count_{0};
+  std::vector<Violation> violations_;  // merged at stop()
+};
+
+}  // namespace bw::runtime

@@ -240,10 +240,14 @@ class ThreadRunner {
   ThreadOutcome run(std::uint32_t entry_index) {
     try {
       call(entry_index, {}, /*callsite_id=*/0);
+      // Parallel-section exit is a batch flush point: a batching monitor
+      // (ShardedMonitor) must not strand this thread's tail reports.
+      if (monitor_ != nullptr) monitor_->flush(tid_);
       if (parallel_) m_.coordinator_.thread_finished(tid_);
     } catch (const Trap& trap) {
       outcome_.trap = trap.kind;
       outcome_.detail = trap.detail;
+      if (monitor_ != nullptr) monitor_->flush(tid_);
       if (parallel_) {
         m_.coordinator_.thread_trapped(tid_);
         // Shut the rest of the program down: any trap ends the run.

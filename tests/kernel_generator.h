@@ -1,0 +1,169 @@
+// Randomized-but-race-free BW-C kernel generator, shared by the fuzz
+// false-positive suite and the legacy-vs-sharded differential harness.
+// A deterministic seed assembles an SPMD kernel from building blocks the
+// paper's benchmarks exercise: shared loops, strided/block-partitioned
+// loops, thread-id branches, divergent data-dependent branches, barrier
+// phases, reductions, and helper calls. Every write lands in the emitting
+// thread's own partition, so any interleaving is race-free and a correct
+// monitor must never flag a clean run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/prng.h"
+
+namespace bw::test {
+
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  std::string generate() {
+    body_.clear();
+    depth_ = 1;
+
+    emit("global int N = 64;");
+    emit("global int A[256];");
+    emit("global int B[256];");
+    emit("global int P[64];");
+    emit("global float F[256];");
+    emit("global int red[64];");
+    emit("");
+    emit("func helper(int x) -> int {");
+    emit("  if (x > 16) { return x - 16; }");
+    emit("  return x + 1;");
+    emit("}");
+    emit("");
+    emit("func init() {");
+    emit("  for (int i = 0; i < 256; i = i + 1) {");
+    emit("    A[i] = hashrand(i) % 97;");
+    emit("    B[i] = hashrand(i + 1000) % 89;");
+    emit("    F[i] = float(hashrand(i + 2000) % 100) / 10.0;");
+    emit("  }");
+    emit("  for (int i = 0; i < 64; i = i + 1) {");
+    emit("    P[i] = hashrand(i + 3000) % 13;");
+    emit("  }");
+    emit("}");
+    emit("");
+    emit("func slave() {");
+    emit("  int p = nthreads();");
+    emit("  int id = tid();");
+    emit("  int chunk = 256 / p;");
+    emit("  int lo = id * chunk;");
+    emit("  int hi = lo + chunk;");
+    emit("  int acc = 0;");
+
+    int phases = 2 + static_cast<int>(rng_.next_below(3));
+    for (int phase = 0; phase < phases; ++phase) {
+      emit_phase();
+      emit("  barrier();");
+    }
+
+    // Deterministic reduction epilogue.
+    emit("  red[id] = acc;");
+    emit("  barrier();");
+    emit("  if (id == 0) {");
+    emit("    int total = 0;");
+    emit("    for (int t = 0; t < p; t = t + 1) { total = total + red[t]; }");
+    emit("    print_i(total);");
+    emit("  }");
+    emit("}");
+    return body_;
+  }
+
+ private:
+  void emit(const std::string& line) { body_ += line + "\n"; }
+
+  std::string indent() const { return std::string(depth_ * 2, ' '); }
+
+  /// A race-free expression over shared data and thread-private values.
+  std::string expr(const std::string& index_var) {
+    switch (rng_.next_below(6)) {
+      case 0: return "A[" + index_var + "]";
+      case 1: return "B[" + index_var + "] * 3";
+      case 2: return "P[id] + " + index_var;
+      case 3: return "helper(A[" + index_var + "] % 32)";
+      case 4: return "int(F[" + index_var + "]) + 1";
+      default: return index_var + " + id";
+    }
+  }
+
+  /// A data-dependent or thread-id condition (each exercises a different
+  /// similarity category).
+  std::string condition(const std::string& index_var) {
+    switch (rng_.next_below(5)) {
+      case 0: return "A[" + index_var + "] % 2 == 0";       // none/promoted
+      case 1: return "id == " + std::to_string(rng_.next_below(4));
+      case 2: return "id * 2 < p";                          // threadID
+      case 3: return "N > " + std::to_string(rng_.next_below(64));
+      default: return "P[id] > " + std::to_string(rng_.next_below(13));
+    }
+  }
+
+  void emit_phase() {
+    // Pick a loop shape; all writes go to the thread's own partition, so
+    // any interleaving is race-free.
+    switch (rng_.next_below(3)) {
+      case 0:  // strided loop over the whole array
+        emit(indent() + "for (int i = id; i < 256; i = i + p) {");
+        break;
+      case 1:  // block-partitioned loop
+        emit(indent() + "for (int i = lo; i < hi; i = i + 1) {");
+        break;
+      default:  // shared-bound loop over own partition offset
+        emit(indent() + "for (int k = 0; k < chunk; k = k + 1) {");
+        emit(indent() + "  int i = lo + k;");
+        break;
+    }
+    ++depth_;
+    int statements = 1 + static_cast<int>(rng_.next_below(3));
+    for (int s = 0; s < statements; ++s) emit_statement("i");
+    --depth_;
+    emit(indent() + "}");
+  }
+
+  void emit_statement(const std::string& index_var) {
+    switch (rng_.next_below(4)) {
+      case 0:
+        emit(indent() + "A[" + index_var + "] = " + expr(index_var) + ";");
+        break;
+      case 1:
+        emit(indent() + "acc = acc + " + expr(index_var) + " % 50;");
+        break;
+      case 2: {
+        emit(indent() + "if (" + condition(index_var) + ") {");
+        ++depth_;
+        emit(indent() + "B[" + index_var + "] = " + expr(index_var) + ";");
+        if (rng_.next_below(2) == 0) {
+          emit(indent() + "acc = acc + 1;");
+        }
+        --depth_;
+        emit(indent() + "} else {");
+        ++depth_;
+        emit(indent() + "acc = acc + 2;");
+        --depth_;
+        emit(indent() + "}");
+        break;
+      }
+      default: {
+        std::string bound = std::to_string(2 + rng_.next_below(4));
+        emit(indent() + "for (int w = 0; w < " + bound + "; w = w + 1) {");
+        ++depth_;
+        emit(indent() + "acc = acc + w;");
+        if (rng_.next_below(2) == 0) {
+          emit(indent() + "if (acc % 7 == 3) { acc = acc + 1; }");
+        }
+        --depth_;
+        emit(indent() + "}");
+        break;
+      }
+    }
+  }
+
+  support::SplitMixRng rng_;
+  std::string body_;
+  int depth_ = 1;
+};
+
+}  // namespace bw::test

@@ -1,0 +1,243 @@
+// Concurrency stress for the sharded, batched monitor, designed to run
+// under ThreadSanitizer (reproduce.sh --tsan): N real producer threads x
+// K checker shards with RANDOMIZED batch flush timing, under clean
+// conditions and under the MonitorStall / ReportDrop fault hooks. Every
+// scenario sends only consistent observations, so the invariant pinned
+// throughout is false_alarms == 0 — no interleaving, stall, or drop may
+// fabricate a violation — while producers must always terminate (bounded
+// backoff) and health must degrade exactly like the legacy monitor.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/sharded_monitor.h"
+#include "support/prng.h"
+
+namespace {
+
+using namespace bw::runtime;
+
+/// A consistent report: every thread derives the same outcome/value from
+/// (branch, iteration), so a correct monitor never flags. When
+/// `with_conditions` is set, every fourth branch sends PartialValue
+/// condition data instead of an outcome (condition-only instances are
+/// stored but never completed, mirroring real instrumentation streams).
+BranchReport consistent_report(std::uint32_t thread, std::uint32_t branch,
+                               std::uint64_t iter,
+                               bool with_conditions = true) {
+  BranchReport r;
+  r.thread = thread;
+  r.static_id = 1 + branch;
+  r.ctx_hash = 0xc0ffee00ULL + branch;
+  r.iter_hash = iter;
+  if (with_conditions && branch % 4 == 3) {
+    r.kind = ReportKind::Condition;
+    r.check = CheckCode::PartialValue;
+    r.value = branch * 1315423911ULL + iter;
+  } else {
+    r.kind = ReportKind::Outcome;
+    r.check = CheckCode::SharedOutcome;
+    r.outcome = ((branch ^ iter) & 1) != 0;
+  }
+  return r;
+}
+
+/// Drive `threads` producers through `monitor`, each sending the same
+/// consistent schedule of `branches x iters` reports in its own order,
+/// flushing at randomized points (seeded per thread, so TSan sees many
+/// distinct interleavings across runs of the suite).
+void run_producers(ShardedMonitor& monitor, unsigned threads,
+                   std::uint32_t branches, std::uint64_t iters,
+                   std::uint64_t seed, bool with_conditions = true) {
+  std::vector<std::thread> producers;
+  producers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    producers.emplace_back([&monitor, t, branches, iters, seed,
+                            with_conditions] {
+      bw::support::SplitMixRng rng(seed * 977 + t);
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        for (std::uint32_t b = 0; b < branches; ++b) {
+          monitor.send(consistent_report(t, b, i, with_conditions));
+          if (rng.next_below(16) == 0) monitor.flush(t);
+        }
+      }
+      monitor.flush(t);
+    });
+  }
+  for (auto& p : producers) p.join();
+}
+
+TEST(ShardedMonitorStress, CleanRunManyShardsRandomFlushNoFalseAlarms) {
+  for (unsigned shards : {1u, 2u, 4u}) {
+    ShardedMonitorOptions options;
+    options.num_shards = shards;
+    options.batch_size = 16;
+    ShardedMonitor monitor(4, options);
+    monitor.start();
+    run_producers(monitor, 4, /*branches=*/8, /*iters=*/500, shards);
+    monitor.stop();
+
+    MonitorStats stats = monitor.stats();
+    EXPECT_TRUE(monitor.violations().empty()) << "shards=" << shards;
+    EXPECT_EQ(stats.violations, 0u);  // false_alarms == 0
+    EXPECT_EQ(monitor.health(), MonitorHealth::Healthy);
+    EXPECT_EQ(stats.dropped_reports, 0u);
+    EXPECT_EQ(stats.reports_processed, 4u * 8u * 500u);
+    // Branches 3 and 7 send condition data only, so the 6 outcome
+    // branches produce the complete instances the eager path checks.
+    EXPECT_EQ(stats.instances_checked, 6u * 500u);
+    EXPECT_EQ(stats.instances_skipped, 0u);
+  }
+}
+
+TEST(ShardedMonitorStress, ValidationOnCleanRunRejectsNothing) {
+  ShardedMonitorOptions options;
+  options.num_shards = 4;
+  options.batch_size = 8;
+  options.validate_reports = true;
+  ShardedMonitor monitor(4, options);
+  monitor.start();
+  run_producers(monitor, 4, /*branches=*/6, /*iters=*/300, 99);
+  monitor.stop();
+  MonitorStats stats = monitor.stats();
+  EXPECT_TRUE(monitor.violations().empty());
+  EXPECT_EQ(stats.reports_rejected, 0u);
+  EXPECT_EQ(monitor.health(), MonitorHealth::Healthy);
+}
+
+// The tentpole resilience claim: a single wedged shard degrades health
+// exactly like the old single monitor — producers never deadlock, no
+// false alarm appears — while sibling shards keep draining their own
+// key ranges.
+TEST(ShardedMonitorStress, SingleStalledShardDegradesWithoutFalseAlarms) {
+  ShardedMonitorOptions options;
+  options.num_shards = 4;
+  options.batch_size = 8;
+  options.batch_queue_capacity = 16;  // small rings so the stall bites
+  options.backoff.spins = 8;
+  options.backoff.yields = 32;
+  options.watchdog.stall_timeout_ns = 10'000'000'000ULL;  // stay Degraded
+  options.fault_hooks.stall_after_reports = 1;
+  options.fault_hooks.shard_filter = 2;  // wedge shard 2 only
+  ShardedMonitor monitor(4, options);
+  monitor.start();
+  run_producers(monitor, 4, /*branches=*/16, /*iters=*/400, 7,
+                /*with_conditions=*/false);
+  monitor.stop();
+
+  MonitorStats stats = monitor.stats();
+  EXPECT_TRUE(monitor.violations().empty());  // false_alarms == 0
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_NE(monitor.health(), MonitorHealth::Healthy);
+  EXPECT_GT(stats.dropped_reports, 0u);
+  EXPECT_EQ(stats.hooks_fired, 1u);  // exactly one shard stalled
+  // Siblings kept checking: far more reports were processed than the one
+  // the wedged shard managed before stalling.
+  EXPECT_GT(stats.reports_processed, 1u);
+}
+
+TEST(ShardedMonitorStress, AllShardsStalledWatchdogTripsFailed) {
+  ShardedMonitorOptions options;
+  options.num_shards = 2;
+  options.batch_size = 4;
+  options.batch_queue_capacity = 16;
+  options.backoff.spins = 8;
+  options.backoff.yields = 16;
+  options.watchdog.stall_timeout_ns = 1'000'000;  // 1 ms
+  options.fault_hooks.stall_after_reports = 1;
+  ShardedMonitor monitor(2, options);
+  monitor.start();
+  bool failed = false;
+  for (std::uint64_t i = 0; i < 1'000'000 && !failed; ++i) {
+    monitor.send(consistent_report(0, 0, i));
+    monitor.flush(0);
+    failed = monitor.health() == MonitorHealth::Failed;
+  }
+  EXPECT_TRUE(failed);
+  // Post-Failed sends are cheap counted no-ops, as on the legacy monitor.
+  for (int i = 0; i < 100; ++i) {
+    monitor.send(consistent_report(1, 1, static_cast<std::uint64_t>(i)));
+  }
+  monitor.stop();
+  MonitorStats stats = monitor.stats();
+  EXPECT_EQ(monitor.health(), MonitorHealth::Failed);
+  EXPECT_GE(stats.dropped_per_thread[1], 100u);
+  EXPECT_TRUE(monitor.violations().empty());
+}
+
+TEST(ShardedMonitorStress, ReportDropFaultDegradesWithoutFalseAlarms) {
+  ShardedMonitorOptions options;
+  options.num_shards = 2;
+  options.batch_size = 8;
+  options.fault_hooks.drop_report_index = 5;  // each shard drops its 5th
+  ShardedMonitor monitor(4, options);
+  monitor.start();
+  run_producers(monitor, 4, /*branches=*/8, /*iters=*/200, 31,
+                /*with_conditions=*/false);
+  monitor.stop();
+
+  MonitorStats stats = monitor.stats();
+  EXPECT_TRUE(monitor.violations().empty());  // false_alarms == 0
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_EQ(monitor.health(), MonitorHealth::Degraded);
+  EXPECT_EQ(stats.hooks_fired, 2u);
+  EXPECT_EQ(stats.dropped_reports, 2u);
+  // Each dropped outcome leaves its instance one observation short: the
+  // degraded monitor must skip it as unverifiable, never guess.
+  EXPECT_GE(stats.instances_skipped, 1u);
+}
+
+TEST(ShardedMonitorStress, StopFlushesResidualOpenBatches) {
+  // Send fewer reports than one batch and never flush explicitly: stop()
+  // must push the residue before signalling the shards to exit, so no
+  // report is stranded producer-side.
+  ShardedMonitorOptions options;
+  options.num_shards = 2;
+  options.batch_size = 64;
+  ShardedMonitor monitor(2, options);
+  monitor.start();
+  for (unsigned t = 0; t < 2; ++t) {
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      monitor.send(consistent_report(t, b, 0, /*with_conditions=*/false));
+    }
+  }
+  monitor.stop();
+  MonitorStats stats = monitor.stats();
+  EXPECT_EQ(stats.reports_processed, 8u);
+  EXPECT_EQ(stats.instances_checked, 4u);
+  EXPECT_TRUE(monitor.violations().empty());
+}
+
+TEST(ShardedMonitorStress, RealViolationIsStillDetectedUnderConcurrency) {
+  // Not a false-alarm case: thread 2 genuinely deviates on one instance.
+  // Detection must survive sharding, batching, and concurrent producers.
+  ShardedMonitorOptions options;
+  options.num_shards = 4;
+  options.batch_size = 8;
+  ShardedMonitor monitor(4, options);
+  monitor.start();
+  std::vector<std::thread> producers;
+  for (unsigned t = 0; t < 4; ++t) {
+    producers.emplace_back([&monitor, t] {
+      for (std::uint64_t i = 0; i < 300; ++i) {
+        for (std::uint32_t b = 0; b < 4; ++b) {
+          BranchReport r =
+              consistent_report(t, b, i, /*with_conditions=*/false);
+          if (b == 1 && i == 137 && t == 2) r.outcome = !r.outcome;
+          monitor.send(r);
+        }
+      }
+      monitor.flush(t);
+    });
+  }
+  for (auto& p : producers) p.join();
+  monitor.stop();
+  ASSERT_EQ(monitor.violations().size(), 1u);
+  EXPECT_EQ(monitor.violations()[0].suspect_thread, 2u);
+  EXPECT_EQ(monitor.violations()[0].static_id, 2u);  // branch b=1
+  EXPECT_TRUE(monitor.violation_detected());
+}
+
+}  // namespace
