@@ -2,18 +2,33 @@
 // user would interact with BLOCKWATCH on their own programs.
 //
 //   bwc run <file.bwc> [threads]          execute (uninstrumented)
-//   bwc protect <file.bwc> [threads]      execute under BLOCKWATCH
+//   bwc protect <file.bwc> [threads] [--recover]
+//                                         execute under BLOCKWATCH;
+//                                         --recover adds barrier-aligned
+//                                         checkpoint/rollback
 //   bwc analyze <file.bwc>                per-branch similarity report
 //   bwc emit-ir <file.bwc>                dump SSA IR
 //   bwc emit-instrumented <file.bwc>      dump instrumented IR
-//   bwc inject <file.bwc> <thread> <k> [flip|cond] [threads]
+//   bwc inject <file.bwc> <thread> <k> [flip|cond] [threads] [--recover]
 //                                         inject one fault and classify
+//
+// Exit codes (scriptable):
+//   0  clean run
+//   1  program trapped (crash/hang/abort) or compile error
+//   2  usage error
+//   3  monitor detected a violation and the run stopped (or finished
+//      with a recorded violation)
+//   4  run finished but the monitor ended Degraded (partial protection)
+//   5  run finished but the monitor ended Failed (unprotected tail)
+//   6  a violation was detected, the run rolled back to a checkpoint and
+//      finished correctly (recovered)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "fault/campaign.h"
 #include "pipeline/pipeline.h"
@@ -41,7 +56,21 @@ int usage() {
   return 2;
 }
 
-int cmd_run(const std::string& source, unsigned threads, bool protect) {
+void print_recovery_stats(const vm::RecoveryStats& r) {
+  std::fprintf(stderr,
+               "bwc: recovery: %llu checkpoints (%llu discarded), "
+               "%llu rollbacks (%llu to section start), %u/%s retries%s\n",
+               static_cast<unsigned long long>(r.checkpoints_taken),
+               static_cast<unsigned long long>(r.checkpoints_discarded),
+               static_cast<unsigned long long>(r.rollbacks),
+               static_cast<unsigned long long>(r.rollbacks_to_section_start),
+               r.retries_used,
+               r.retries_exhausted ? "all" : "budget",
+               r.recovered ? ", recovered" : "");
+}
+
+int cmd_run(const std::string& source, unsigned threads, bool protect,
+            bool recover) {
   pipeline::CompiledProgram program =
       protect ? pipeline::protect_program(source)
               : pipeline::compile_program(source);
@@ -49,8 +78,10 @@ int cmd_run(const std::string& source, unsigned threads, bool protect) {
   config.num_threads = threads;
   config.monitor =
       protect ? pipeline::MonitorMode::Full : pipeline::MonitorMode::Off;
+  config.recovery.enabled = recover;
   pipeline::ExecutionResult result = pipeline::execute(program, config);
   std::fputs(result.run.output.c_str(), stdout);
+  if (recover) print_recovery_stats(result.recovery);
   if (!result.run.ok) {
     for (const auto& t : result.run.threads) {
       if (t.trap != vm::TrapKind::None) {
@@ -58,7 +89,7 @@ int cmd_run(const std::string& source, unsigned threads, bool protect) {
                      vm::to_string(t.trap), t.detail.c_str());
       }
     }
-    return 1;
+    return result.detected ? 3 : 1;
   }
   if (protect) {
     std::fprintf(stderr, "bwc: monitor processed %llu reports, %zu "
@@ -66,7 +97,10 @@ int cmd_run(const std::string& source, unsigned threads, bool protect) {
                  static_cast<unsigned long long>(
                      result.monitor_stats.reports_processed),
                  result.violations.size());
+    if (result.recovered) return 6;
     if (result.detected) return 3;
+    if (result.monitor_health == runtime::MonitorHealth::Degraded) return 4;
+    if (result.monitor_health == runtime::MonitorHealth::Failed) return 5;
   }
   return 0;
 }
@@ -96,7 +130,7 @@ int cmd_analyze(const std::string& source) {
 }
 
 int cmd_inject(const std::string& source, unsigned thread, std::uint64_t k,
-               bool cond_fault, unsigned threads) {
+               bool cond_fault, unsigned threads, bool recover) {
   pipeline::CompiledProgram program = pipeline::protect_program(source);
   fault::GoldenRun golden = fault::golden_run(program, threads);
   pipeline::ExecutionConfig config;
@@ -107,11 +141,15 @@ int cmd_inject(const std::string& source, unsigned thread, std::uint64_t k,
   config.fault.target_branch = k;
   config.fault.mode = cond_fault ? vm::FaultPlan::Mode::CondBit
                                  : vm::FaultPlan::Mode::BranchFlip;
+  config.recovery.enabled = recover;
   pipeline::ExecutionResult result = pipeline::execute(program, config);
 
   const char* verdict;
   if (!result.run.fault_applied) {
     verdict = "not-activated";
+  } else if (result.recovered) {
+    verdict = result.run.output == golden.output ? "RECOVERED"
+                                                 : "recovered-mismatch";
   } else if (result.detected) {
     verdict = "DETECTED";
   } else if (result.run.crash) {
@@ -126,20 +164,33 @@ int cmd_inject(const std::string& source, unsigned thread, std::uint64_t k,
   std::printf("fault thread=%u branch=%llu type=%s -> %s\n", thread,
               static_cast<unsigned long long>(k),
               cond_fault ? "condition" : "flip", verdict);
+  if (recover) print_recovery_stats(result.recovery);
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  std::string cmd = argv[1];
-  std::string source = read_file(argv[2]);
+  // Strip --recover wherever it appears; everything else is positional.
+  std::vector<std::string> args;
+  bool recover = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) return usage();
+  const std::string& cmd = args[0];
+  std::string source = read_file(args[1].c_str());
   try {
     if (cmd == "run" || cmd == "protect") {
       unsigned threads =
-          argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 4;
-      return cmd_run(source, threads, cmd == "protect");
+          args.size() > 2 ? static_cast<unsigned>(std::atoi(args[2].c_str()))
+                          : 4;
+      return cmd_run(source, threads, cmd == "protect",
+                     recover && cmd == "protect");
     }
     if (cmd == "analyze") return cmd_analyze(source);
     if (cmd == "emit-ir") {
@@ -152,13 +203,16 @@ int main(int argc, char** argv) {
                  stdout);
       return 0;
     }
-    if (cmd == "inject" && argc >= 5) {
-      bool cond_fault = argc > 5 && std::strcmp(argv[5], "cond") == 0;
+    if (cmd == "inject" && args.size() >= 4) {
+      bool cond_fault = args.size() > 4 && args[4] == "cond";
       unsigned threads =
-          argc > 6 ? static_cast<unsigned>(std::atoi(argv[6])) : 4;
-      return cmd_inject(source, static_cast<unsigned>(std::atoi(argv[3])),
-                        static_cast<std::uint64_t>(std::atoll(argv[4])),
-                        cond_fault, threads);
+          args.size() > 5 ? static_cast<unsigned>(std::atoi(args[5].c_str()))
+                          : 4;
+      return cmd_inject(source,
+                        static_cast<unsigned>(std::atoi(args[2].c_str())),
+                        static_cast<std::uint64_t>(
+                            std::atoll(args[3].c_str())),
+                        cond_fault, threads, recover);
     }
   } catch (const bw::support::CompileError& e) {
     std::fprintf(stderr, "bwc: %s\n", e.what());

@@ -5,13 +5,20 @@
 #   ./reproduce.sh          full build + tests + benches
 #   ./reproduce.sh --tsan   additionally rebuild under ThreadSanitizer and
 #                           run the concurrent runtime tests (queue,
-#                           monitors, resilience) in build-tsan/
+#                           monitors, resilience, recovery) in build-tsan/
+#   ./reproduce.sh --asan   additionally rebuild under AddressSanitizer and
+#                           run the full test suite in build-asan/ (the
+#                           checkpoint/restore paths copy frames, heaps and
+#                           tracker state around — ASan guards the
+#                           lifetimes)
 set -e
 
 run_tsan=0
+run_asan=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
+    --asan) run_asan=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -38,5 +45,14 @@ if [ "$run_tsan" = 1 ]; then
       -R 'SpscQueue|Monitor|Hierarchical|Resilience|Checker|ContextTracker'
     echo "===== TSan stress lane (N producers x K shards, fault hooks) ====="
     ctest --test-dir build-tsan --output-on-failure -L stress
+    echo "===== TSan recovery lane (quiesce/reset/rollback rendezvous) ====="
+    ctest --test-dir build-tsan --output-on-failure -L recovery
   } 2>&1 | tee tsan_output.txt
+fi
+
+if [ "$run_asan" = 1 ]; then
+  echo "===== AddressSanitizer pass (full suite) ====="
+  cmake -B build-asan -G Ninja -DBW_SANITIZE=address
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure 2>&1 | tee asan_output.txt
 fi

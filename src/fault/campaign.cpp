@@ -1,6 +1,7 @@
 #include "fault/campaign.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "support/diagnostics.h"
 #include "support/prng.h"
@@ -85,16 +86,33 @@ void run_application_fault(const pipeline::CompiledProgram& program,
                           ? vm::FaultPlan::Mode::BranchFlip
                           : vm::FaultPlan::Mode::CondBit;
   config.fault.bit = static_cast<unsigned>(rng.next_below(64));
+  config.recovery = options.recovery;
 
   pipeline::ExecutionResult run = pipeline::execute(program, config);
   ++result.injected;
+  result.rollbacks += run.recovery.rollbacks;
+  result.checkpoints += run.recovery.checkpoints_taken;
+  result.restore_ns += run.recovery.restore_ns;
+  result.checkpoint_ns += run.recovery.checkpoint_ns;
+  if (run.recovery.retries_exhausted) ++result.retry_exhausted_runs;
   if (!run.run.fault_applied) return;
   ++result.activated;
 
-  // Classification precedence mirrors the paper's procedure: detection
-  // first, then crash/hang (caught by other means), then the output
-  // comparison against the golden result.
-  if (options.protect && run.detected) {
+  // Classification precedence mirrors the paper's procedure: recovery
+  // first (the run both detected and corrected), then detection, then
+  // crash/hang (caught by other means), then the output comparison
+  // against the golden result.
+  if (options.protect && run.recovered) {
+    if (run.run.output == golden.output) {
+      ++result.recovered;
+    } else {
+      // Rolled back, replayed, and STILL diverged: the restore is
+      // unsound. Counted as sdc (the partition tells the truth) and
+      // flagged separately so tests can require zero.
+      ++result.sdc;
+      ++result.recovered_mismatch;
+    }
+  } else if (options.protect && run.detected) {
     ++result.detected;
   } else if (run.run.crash) {
     ++result.crashed;
@@ -192,18 +210,34 @@ CampaignResult run_campaign(std::string_view source,
   GoldenRun golden = golden_run(program, options.num_threads);
 
   // Generous watchdog: a fault-free thread never exceeds its golden
-  // instruction count by 10x.
-  std::uint64_t budget = golden.max_thread_instructions * 10 + 1'000'000;
+  // instruction count by 10x (the counter tracks the logical timeline, so
+  // recovery retries do not inflate it). An explicit budget overrides.
+  std::uint64_t budget =
+      options.instruction_budget != 0
+          ? options.instruction_budget
+          : golden.max_thread_instructions * 10 + 1'000'000;
 
   support::SplitMixRng rng(options.seed);
   CampaignResult result;
 
+  std::uint64_t total_ns = 0;
   for (int i = 0; i < options.injections; ++i) {
+    const auto run_start = std::chrono::steady_clock::now();
     if (monitor_fault) {
       run_monitor_fault(program, options, golden, budget, rng, result);
     } else {
       run_application_fault(program, options, golden, budget, rng, result);
     }
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - run_start)
+            .count());
+    total_ns += ns;
+    if (i == 0 || ns < result.run_ns_min) result.run_ns_min = ns;
+    if (ns > result.run_ns_max) result.run_ns_max = ns;
+  }
+  if (options.injections > 0) {
+    result.run_ns_mean = static_cast<double>(total_ns) / options.injections;
   }
   return result;
 }

@@ -52,15 +52,30 @@ struct CampaignOptions {
   pipeline::PipelineOptions pipeline;
   /// Monitor runtime configuration used for monitor-path fault types.
   bw::runtime::MonitorOptions monitor = fast_degrade_monitor_options();
+  /// Per-thread retired-instruction watchdog for every injection run.
+  /// 0 = auto: 10x the golden run's max thread count plus slack (covers
+  /// recovery retries, which re-execute checkpointed work up to
+  /// 1 + max_retries times).
+  std::uint64_t instruction_budget = 0;
+  /// Barrier-aligned checkpoint/rollback for application-fault runs (see
+  /// vm/recovery.h). Ignored for monitor-path fault types: those stress
+  /// the detection fabric itself, and recovery against a deliberately
+  /// broken monitor is exactly the degraded path the recovery tests cover
+  /// separately.
+  vm::RecoveryOptions recovery;
 };
 
 struct CampaignResult {
   int injected = 0;
   int activated = 0;
   // Outcome counts over activated faults (a partition: benign + detected
-  // + crashed + hung + sdc + false_alarms == activated):
+  // + recovered + crashed + hung + sdc + false_alarms == activated):
   int benign = 0;    // output matched the golden run (masked)
-  int detected = 0;  // BLOCKWATCH monitor flagged the run
+  int detected = 0;  // BLOCKWATCH monitor flagged the run (and it stopped)
+  /// Recovery campaigns only: the monitor flagged the run, it rolled back
+  /// to a clean checkpoint, re-executed, and finished with output equal
+  /// to the golden run — the fault was detected AND corrected.
+  int recovered = 0;
   int crashed = 0;   // memory/arithmetic trap
   int hung = 0;      // deadlock or runaway (watchdog)
   int sdc = 0;       // completed with wrong output
@@ -75,11 +90,42 @@ struct CampaignResult {
   int discarded = 0;      // runs where checksum validation rejected the
                           // corrupted report (QueueCorrupt defence)
 
+  // Side tallies for recovery campaigns (not part of the partition):
+  /// Runs that rolled back, re-executed, and completed with output that
+  /// did NOT match golden (counted as sdc in the partition). Must be zero
+  /// for transient faults — a mismatch means restore is unsound.
+  int recovered_mismatch = 0;
+  int retry_exhausted_runs = 0;       // runs that burned the whole budget
+  std::uint64_t rollbacks = 0;        // total across all runs
+  std::uint64_t checkpoints = 0;      // total checkpoints committed
+  std::uint64_t restore_ns = 0;       // total time inside restores
+  std::uint64_t checkpoint_ns = 0;    // total time inside commits
+
+  // Per-injection-run wall time (nanoseconds), over all injected runs.
+  std::uint64_t run_ns_min = 0;
+  std::uint64_t run_ns_max = 0;
+  double run_ns_mean = 0.0;
+
   /// The paper's coverage metric: fraction of activated faults that do
-  /// not produce an SDC (includes masked/crash/hang/detected).
+  /// not produce an SDC (includes masked/crash/hang/detected/recovered).
   double coverage() const {
     return activated == 0 ? 1.0
                           : 1.0 - static_cast<double>(sdc) / activated;
+  }
+  /// Fraction of activated faults whose run finished with CORRECT output:
+  /// masked plus detect-and-correct. Detection alone keeps coverage() high
+  /// but still loses the run's work; this is the recovery payoff metric.
+  double coverage_with_recovery() const {
+    return activated == 0
+               ? 1.0
+               : static_cast<double>(benign + recovered) / activated;
+  }
+  /// Of the runs the monitor flagged, how many finished correctly after
+  /// rollback (the ISSUE acceptance metric).
+  double recovery_rate() const {
+    int flagged = recovered + detected;
+    return flagged == 0 ? 0.0
+                        : static_cast<double>(recovered) / flagged;
   }
   double activation_rate() const {
     return injected == 0 ? 0.0

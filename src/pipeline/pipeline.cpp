@@ -85,7 +85,16 @@ ExecutionResult execute(const CompiledProgram& program,
   ropts.fault = config.fault;
   ropts.instruction_budget = config.instruction_budget;
   ropts.stop_on_detection = config.stop_on_detection;
+  ropts.recovery = config.recovery;
+  if (sink == nullptr || !sink->supports_recovery() ||
+      !config.stop_on_detection) {
+    // Recovery needs a monitor that can quiesce/reset and a run that stops
+    // on detection (otherwise nothing ever triggers a rollback).
+    ropts.recovery.enabled = false;
+  }
   result.run = vm::run_program(*program.module, ropts);
+  result.recovery = result.run.recovery;
+  result.recovered = result.run.recovered;
 
   if (monitor != nullptr) {
     monitor->stop();

@@ -76,6 +76,12 @@ struct ExecutionConfig {
   /// Entry points (must match the names used at analysis time).
   std::string parallel_entry = "slave";
   std::string init_function = "init";
+  /// Barrier-aligned checkpoint/rollback (see vm/recovery.h). Only honored
+  /// when the attached monitor supports the recovery protocol (legacy
+  /// Monitor and ShardedMonitor do; Hierarchical does not yet) AND
+  /// stop_on_detection is set — recovery is pointless if detection cannot
+  /// interrupt the run. execute() silently disables it otherwise.
+  vm::RecoveryOptions recovery;
 };
 
 struct ExecutionResult {
@@ -90,6 +96,11 @@ struct ExecutionResult {
   /// data; Failed: the watchdog declared the monitor dead and the program
   /// finished unprotected. See DESIGN.md "Failure modes & degradation".
   runtime::MonitorHealth monitor_health = runtime::MonitorHealth::Healthy;
+  /// Checkpoint/rollback accounting (all-zero when recovery was off or
+  /// disabled by the gating above).
+  vm::RecoveryStats recovery;
+  /// The run rolled back at least once and still finished cleanly.
+  bool recovered = false;
 };
 
 ExecutionResult execute(const CompiledProgram& program,

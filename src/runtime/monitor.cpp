@@ -110,6 +110,7 @@ void Monitor::run() {
   BranchReport report;
   while (true) {
     heartbeat_.fetch_add(1, std::memory_order_relaxed);
+    run_pending_command();
     bool drained_any = false;
     // Round-robin over the per-thread front-end queues (paper Fig. 4).
     for (auto& queue : queues_) {
@@ -141,6 +142,124 @@ void Monitor::run() {
   }
   finalize_all();
 }
+
+/// Executes a pending recovery command on the monitor thread (the only
+/// thread allowed to touch the tables). Producers are quiescent for the
+/// duration by the BranchSink recovery contract, so draining here observes
+/// every report of the epoch being reset/finalized.
+void Monitor::run_pending_command() {
+  const int cmd = command_.load(std::memory_order_acquire);
+  if (cmd == kCommandNone) return;
+  BranchReport report;
+  if (cmd == kCommandReset) {
+    // Rollback: every queued report, pending instance, and recorded
+    // violation belongs to the timeline being discarded. Health stays
+    // sticky — drops already happened and must not be masked.
+    for (auto& queue : queues_) {
+      while (queue->try_pop(report)) ++stats_.reports_rolled_back;
+    }
+    table_.clear();
+    key_debug_.clear();
+    violations_.clear();
+    stats_.violations = 0;
+    violation_count_.store(0, std::memory_order_release);
+  } else if (cmd == kCommandFinalize) {
+    // Mid-run residual check: drain fully, then run the end-of-section
+    // pass without stopping the monitor (the section may retry).
+    for (auto& queue : queues_) {
+      while (queue->try_pop(report)) {
+        if (!apply_pop_hooks(report)) continue;
+        ++stats_.reports_processed;
+        process(report);
+      }
+    }
+    finalize_all();
+  }
+  command_.store(kCommandNone, std::memory_order_release);
+  commands_done_.fetch_add(1, std::memory_order_release);
+}
+
+/// How long a recovery caller waits for the monitor thread before giving
+/// up: twice the watchdog stall budget (the monitor is considered dead
+/// past one budget) plus scheduling slack. With the watchdog disabled we
+/// substitute its default stall notion rather than waiting forever.
+std::uint64_t Monitor::command_deadline_ns() const {
+  const std::uint64_t stall = options_.watchdog.enabled
+                                  ? options_.watchdog.stall_timeout_ns
+                                  : 250'000'000ull;
+  return stall * 2 + 50'000'000ull;
+}
+
+/// Post a command for the monitor thread and wait (bounded) for its
+/// acknowledgement. False on a Failed/stopping monitor or timeout; a
+/// timed-out command is retracted if the monitor never claimed it, so a
+/// later epoch cannot be clobbered by a stale reset.
+bool Monitor::post_command(int command) {
+  if (!started_.load(std::memory_order_acquire)) return false;
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  if (health_.get() == MonitorHealth::Failed) return false;
+  const std::uint64_t done_before =
+      commands_done_.load(std::memory_order_acquire);
+  int expected = kCommandNone;
+  if (!command_.compare_exchange_strong(expected, command,
+                                        std::memory_order_acq_rel)) {
+    return false;  // another command in flight (single-leader contract)
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(command_deadline_ns());
+  while (commands_done_.load(std::memory_order_acquire) == done_before) {
+    if (health_.get() == MonitorHealth::Failed ||
+        std::chrono::steady_clock::now() >= deadline) {
+      expected = command;
+      command_.compare_exchange_strong(expected, kCommandNone,
+                                       std::memory_order_acq_rel);
+      return false;
+    }
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+/// Wait until every report sent so far has been drained AND processed:
+/// all queues empty, then two further heartbeats (the monitor thread came
+/// back to the top of its loop twice, so any report popped before the
+/// queues emptied has been fully filed/checked). Requires quiescent
+/// producers — a concurrent send() would make "empty" meaningless.
+bool Monitor::quiesce() {
+  if (!started_.load(std::memory_order_acquire)) return true;
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(command_deadline_ns());
+  bool seen_empty = false;
+  std::uint64_t empty_beat = 0;
+  while (true) {
+    if (health_.get() == MonitorHealth::Failed) return false;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    bool all_empty = true;
+    for (auto& queue : queues_) {
+      if (queue->size() != 0) {
+        all_empty = false;
+        break;
+      }
+    }
+    if (!all_empty) {
+      seen_empty = false;
+    } else {
+      const std::uint64_t beat = heartbeat_.load(std::memory_order_acquire);
+      if (!seen_empty) {
+        seen_empty = true;
+        empty_beat = beat;
+      } else if (beat >= empty_beat + 2) {
+        return true;
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+bool Monitor::finalize_section() { return post_command(kCommandFinalize); }
+
+bool Monitor::reset_epoch() { return post_command(kCommandReset); }
 
 /// Runs validation and the consumer-side fault hooks against a freshly
 /// popped report. Returns false when the report must be discarded.

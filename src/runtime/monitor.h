@@ -65,6 +65,10 @@ struct MonitorStats {
   std::uint64_t dropped_reports = 0;
   /// Popped reports discarded by checksum validation.
   std::uint64_t reports_rejected = 0;
+  /// Reports intentionally discarded by a recovery reset_epoch (they
+  /// belonged to a rolled-back timeline; NOT counted as drops and never
+  /// a degradation signal).
+  std::uint64_t reports_rolled_back = 0;
   /// Fault hooks that actually fired (campaign activation signal).
   std::uint64_t hooks_fired = 0;
   /// Producer give-up drops, indexed by program thread id.
@@ -102,6 +106,16 @@ class Monitor : public BranchSink {
 
   MonitorHealth health() const override { return health_.get(); }
 
+  // --- Recovery protocol (see monitor_interface.h for the contract) ---
+  // Commands are executed by the monitor thread itself at the top of its
+  // drain loop (the tables are consumer-owned; no locking), with the
+  // caller spin-waiting on an acknowledgement counter under a deadline
+  // derived from the watchdog stall budget.
+  bool supports_recovery() const override { return true; }
+  bool quiesce() override;
+  bool finalize_section() override;
+  bool reset_epoch() override;
+
   /// Only valid after stop(): the aggregate counters are consumer-owned
   /// and written without synchronization (the per-thread drop counters
   /// are atomics, but the snapshot as a whole is not). Use health() for
@@ -130,7 +144,12 @@ class Monitor : public BranchSink {
     std::chrono::steady_clock::time_point stall_since{};
   };
 
+  enum Command { kCommandNone = 0, kCommandReset = 1, kCommandFinalize = 2 };
+
   void run();
+  void run_pending_command();
+  bool post_command(int command);  // false: timeout / Failed / stopping
+  std::uint64_t command_deadline_ns() const;
   bool apply_pop_hooks(BranchReport& report);  // false: discard the report
   void give_up(std::uint32_t thread);
   void process(const BranchReport& report);
@@ -164,6 +183,10 @@ class Monitor : public BranchSink {
   std::atomic<std::uint64_t> violation_count_{0};
   std::vector<Violation> violations_;
   MonitorStats stats_;
+  /// Recovery command mailbox: one pending command, acknowledged by
+  /// bumping commands_done_ once the monitor thread has executed it.
+  std::atomic<int> command_{kCommandNone};
+  std::atomic<std::uint64_t> commands_done_{0};
 };
 
 }  // namespace bw::runtime

@@ -33,6 +33,35 @@ class BranchSink {
   /// Sticky Healthy -> Degraded -> Failed state of the monitor backing
   /// this sink (see resilience.h). Safe to poll from any thread.
   virtual MonitorHealth health() const { return MonitorHealth::Healthy; }
+
+  // --- Recovery protocol (detection-triggered rollback; vm/recovery.h) ---
+  //
+  // All three calls below share a contract: every producer thread is
+  // quiescent for the duration (blocked at a barrier or a rollback
+  // rendezvous), and each call is bounded — a stalled or Failed monitor
+  // returns false instead of wedging recovery, which then degrades to
+  // plain detect-and-report.
+
+  /// Does this sink implement quiesce/finalize_section/reset_epoch? The
+  /// VM only enables checkpoint/rollback against sinks that return true.
+  virtual bool supports_recovery() const { return false; }
+
+  /// Wait (bounded) until every report sent so far has been drained and
+  /// judged, so violation_detected() is authoritative for the prefix of
+  /// the run up to this point. False on timeout or a Failed monitor.
+  virtual bool quiesce() { return true; }
+
+  /// Run the end-of-section residual check (the finalize pass) on
+  /// everything received so far, without stopping the monitor. False on
+  /// timeout or a Failed monitor.
+  virtual bool finalize_section() { return false; }
+
+  /// Discard every in-flight report, pending instance, and recorded
+  /// violation: the timeline they belong to is being rolled back. Health
+  /// stays sticky (a Degraded monitor remains Degraded — drops already
+  /// happened and nothing may mask them). False on timeout or a Failed
+  /// monitor, in which case the caller must abandon recovery.
+  virtual bool reset_epoch() { return false; }
 };
 
 }  // namespace bw::runtime

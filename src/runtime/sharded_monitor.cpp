@@ -186,6 +186,12 @@ void ShardedMonitor::shard_run(Shard& shard) {
   ReportBatch batch;
   while (true) {
     shard.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t seq = command_seq_.load(std::memory_order_acquire);
+    if (seq != shard.command_seen) {
+      run_shard_command(shard, command_kind_.load(std::memory_order_acquire));
+      shard.command_seen = seq;
+      shard.command_ack.store(seq, std::memory_order_release);
+    }
     bool drained_any = false;
     // Round-robin over this shard's per-producer rings; the burst is in
     // batches, so it bounds work per ring at burst * batch_size reports.
@@ -212,6 +218,125 @@ void ShardedMonitor::shard_run(Shard& shard) {
     }
   }
   finalize_shard(shard);
+}
+
+/// Executes a broadcast recovery command on this shard's thread (the only
+/// thread allowed to touch its table). Producers are quiescent by the
+/// BranchSink recovery contract, so draining here observes every in-ring
+/// report of the epoch being reset/finalized.
+void ShardedMonitor::run_shard_command(Shard& shard, int command) {
+  ReportBatch batch;
+  if (command == kCommandReset) {
+    // Rollback: discard the in-flight timeline. Health stays sticky.
+    for (auto& queue : shard.queues) {
+      while (queue->try_pop(batch)) shard.reports_rolled_back += batch.count;
+    }
+    shard.table.clear();
+    shard.key_debug.clear();
+    shard.violations.clear();
+  } else if (command == kCommandFinalize) {
+    // Mid-run residual check: drain fully, then run the end-of-section
+    // pass on this shard's key range without stopping the fabric.
+    for (auto& queue : shard.queues) {
+      while (queue->try_pop(batch)) drain_batch(shard, batch);
+    }
+    finalize_shard(shard);
+  }
+}
+
+/// See Monitor::command_deadline_ns — same bound, worst shard applies.
+std::uint64_t ShardedMonitor::command_deadline_ns() const {
+  const std::uint64_t stall = options_.watchdog.enabled
+                                  ? options_.watchdog.stall_timeout_ns
+                                  : 250'000'000ull;
+  return stall * 2 + 50'000'000ull;
+}
+
+/// Broadcast a command and wait (bounded) for every shard to acknowledge.
+/// False on a Failed/stopping monitor or timeout. Single-leader contract:
+/// recovery serializes callers, so there is never a command in flight when
+/// a new one is posted.
+bool ShardedMonitor::post_command(int command) {
+  if (!started_.load(std::memory_order_acquire)) return false;
+  if (stop_requested_.load(std::memory_order_acquire)) return false;
+  if (health_.get() == MonitorHealth::Failed) return false;
+  command_kind_.store(command, std::memory_order_relaxed);
+  const std::uint64_t seq =
+      command_seq_.fetch_add(1, std::memory_order_release) + 1;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(command_deadline_ns());
+  for (auto& shard : shards_) {
+    while (shard->command_ack.load(std::memory_order_acquire) < seq) {
+      if (health_.get() == MonitorHealth::Failed ||
+          std::chrono::steady_clock::now() >= deadline) {
+        return false;
+      }
+      std::this_thread::yield();
+    }
+  }
+  return true;
+}
+
+/// All rings of every shard empty, then two further heartbeats per shard
+/// (each consumer came back to its loop top twice, so whatever it popped
+/// before emptying has been fully filed/checked). Requires quiescent
+/// producers with their open batches already flushed — the VM flushes
+/// before every checkpoint barrier and on section exit.
+bool ShardedMonitor::quiesce() {
+  if (!started_.load(std::memory_order_acquire)) return true;
+  if (stop_requested_.load(std::memory_order_acquire)) return false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(command_deadline_ns());
+  for (auto& shard : shards_) {
+    bool seen_empty = false;
+    std::uint64_t empty_beat = 0;
+    while (true) {
+      if (health_.get() == MonitorHealth::Failed) return false;
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      bool all_empty = true;
+      for (auto& queue : shard->queues) {
+        if (queue->size() != 0) {
+          all_empty = false;
+          break;
+        }
+      }
+      if (!all_empty) {
+        seen_empty = false;
+      } else {
+        const std::uint64_t beat =
+            shard->heartbeat.load(std::memory_order_acquire);
+        if (!seen_empty) {
+          seen_empty = true;
+          empty_beat = beat;
+        } else if (beat >= empty_beat + 2) {
+          break;  // this shard is quiescent; it stays so (producers idle)
+        }
+      }
+      std::this_thread::yield();
+    }
+  }
+  return true;
+}
+
+bool ShardedMonitor::finalize_section() {
+  return post_command(kCommandFinalize);
+}
+
+bool ShardedMonitor::reset_epoch() {
+  if (!post_command(kCommandReset)) return false;
+  // Shards have discarded everything in-ring; now discard what producers
+  // still hold in open batches (reports of the rolled-back timeline that
+  // never crossed a ring) and the shared detection flag. Safe: every
+  // producer is quiescent, parked at the recovery rendezvous, and the
+  // rendezvous mutex orders these writes against their resume.
+  for (ProducerSlot& slot : producers_) {
+    for (ReportBatch& batch : slot.open) {
+      producer_reports_rolled_back_ += batch.count;
+      batch.count = 0;
+    }
+  }
+  violation_count_.store(0, std::memory_order_release);
+  return true;
 }
 
 void ShardedMonitor::drain_batch(Shard& shard, ReportBatch& batch) {
@@ -385,8 +510,10 @@ MonitorStats ShardedMonitor::stats() const {
     merged.violations += shard->violations.size();
     merged.dropped_reports += shard->dropped_reports;
     merged.reports_rejected += shard->reports_rejected;
+    merged.reports_rolled_back += shard->reports_rolled_back;
     merged.hooks_fired += shard->hooks_fired;
   }
+  merged.reports_rolled_back += producer_reports_rolled_back_;
   merged.dropped_per_thread.assign(num_threads_, 0);
   for (unsigned t = 0; t < num_threads_; ++t) {
     std::uint64_t dropped =

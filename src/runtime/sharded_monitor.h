@@ -130,6 +130,18 @@ class ShardedMonitor : public BranchSink {
 
   MonitorHealth health() const override { return health_.get(); }
 
+  // --- Recovery protocol (see monitor_interface.h for the contract) ---
+  // A command is broadcast as a monotonically increasing sequence number;
+  // every shard executes it at the top of its drain loop and acknowledges
+  // by publishing the sequence it last ran. The caller waits (bounded) for
+  // all K acknowledgements, then — for reset — clears the producer-side
+  // open batches and the shared violation counter itself, which is safe
+  // because every producer is quiescent for the duration by contract.
+  bool supports_recovery() const override { return true; }
+  bool quiesce() override;
+  bool finalize_section() override;
+  bool reset_epoch() override;
+
   /// Only valid after stop(): shard-local vectors merged in shard order.
   const std::vector<Violation>& violations() const { return violations_; }
   /// Aggregate across shards + producer drop counters. Only valid after
@@ -169,6 +181,13 @@ class ShardedMonitor : public BranchSink {
     std::thread worker;
     /// Bumped once per drain cycle; read by producers' watchdog.
     std::atomic<std::uint64_t> heartbeat{0};
+    /// Last recovery command sequence executed (consumer-owned) and its
+    /// published acknowledgement (read by the recovery caller).
+    std::uint64_t command_seen = 0;
+    std::atomic<std::uint64_t> command_ack{0};
+    /// Reports this shard discarded under a reset_epoch (rolled-back
+    /// timeline; not drops, never a degradation signal).
+    std::uint64_t reports_rolled_back = 0;
     // Consumer-owned stats (read by stats() only after stop()).
     std::uint64_t reports_processed = 0;
     std::uint64_t instances_checked = 0;
@@ -192,9 +211,14 @@ class ShardedMonitor : public BranchSink {
     std::vector<std::chrono::steady_clock::time_point> stall_since;
   };
 
+  enum Command { kCommandNone = 0, kCommandReset = 1, kCommandFinalize = 2 };
+
   unsigned shard_of(const BranchReport& report) const;
   void flush_batch(std::uint32_t thread, unsigned shard);
   void give_up(std::uint32_t thread, unsigned shard, std::uint32_t lost);
+  void run_shard_command(Shard& shard, int command);
+  bool post_command(int command);  // false: timeout / Failed / stopping
+  std::uint64_t command_deadline_ns() const;
 
   void shard_run(Shard& shard);
   void drain_batch(Shard& shard, ReportBatch& batch);
@@ -219,6 +243,14 @@ class ShardedMonitor : public BranchSink {
   HealthCell health_;
   std::atomic<std::uint64_t> violation_count_{0};
   std::vector<Violation> violations_;  // merged at stop()
+
+  /// Recovery command broadcast: kind is published before the sequence
+  /// bump; shards ack by echoing the sequence they executed.
+  std::atomic<int> command_kind_{kCommandNone};
+  std::atomic<std::uint64_t> command_seq_{0};
+  /// Reports discarded from producer-side open batches by reset_epoch
+  /// (caller-owned; only mutated while every producer is quiescent).
+  std::uint64_t producer_reports_rolled_back_ = 0;
 };
 
 }  // namespace bw::runtime

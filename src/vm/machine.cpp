@@ -1,20 +1,25 @@
 #include "vm/machine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "runtime/context_tracker.h"
 #include "support/diagnostics.h"
 #include "support/prng.h"
 #include "vm/interpreter.h"
+#include "vm/recovery.h"
 
 namespace bw::vm {
 
@@ -39,6 +44,11 @@ struct Trap {
   std::string detail;
 };
 
+/// Unwinds a program thread out of the interpreter to its section top for
+/// a recovery rollback. Deliberately distinct from Trap: a rollback is
+/// not an error outcome, and must never be caught by trap classification.
+struct RollbackSignal {};
+
 union RtValue {
   std::int64_t i;
   double f;
@@ -54,6 +64,18 @@ class Coordinator {
   explicit Coordinator(unsigned n)
       : status_(n, Status::Running), waiting_lock_(n, 0) {}
 
+  /// Recovery hook, run by the barrier-releasing thread under the
+  /// coordinator mutex once every thread has arrived (every waiter is
+  /// parked on cv_, so the staged snapshots and the heap are stable).
+  /// Receives the new barrier generation and the held-locks map; returns
+  /// true to demand an immediate rollback (forced-rollback test hook).
+  /// The hook must NOT call back into this Coordinator.
+  using CheckpointHook = std::function<bool(
+      std::uint64_t, const std::unordered_map<std::int64_t, unsigned>&)>;
+  void set_checkpoint_hook(CheckpointHook hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+
   void barrier_wait(unsigned tid) {
     std::unique_lock<std::mutex> lock(mu_);
     throw_if_stopped(tid);
@@ -68,6 +90,10 @@ class Coordinator {
     if (barrier_arrived_ == status_.size()) {
       barrier_arrived_ = 0;
       ++barrier_generation_;
+      if (checkpoint_hook_ &&
+          checkpoint_hook_(barrier_generation_, lock_owner_)) {
+        rollback_.store(true, std::memory_order_relaxed);
+      }
       // Mark all waiters runnable NOW (under the mutex): they are
       // logically released even before they physically wake, so the
       // deadlock detector must not count them as waiting.
@@ -75,6 +101,7 @@ class Coordinator {
         if (s == Status::Barrier) s = Status::Running;
       }
       cv_.notify_all();
+      throw_if_stopped(tid);
       return;
     }
     status_[tid] = Status::Barrier;
@@ -82,7 +109,8 @@ class Coordinator {
     check_deadlock_locked();
     cv_.wait(lock, [&] {
       return barrier_generation_ != generation || hang_ ||
-             abort_.load(std::memory_order_relaxed);
+             abort_.load(std::memory_order_relaxed) ||
+             rollback_.load(std::memory_order_relaxed);
     });
     status_[tid] = Status::Running;
     throw_if_stopped(tid);
@@ -105,7 +133,8 @@ class Coordinator {
     check_deadlock_locked();
     cv_.wait(lock, [&] {
       return lock_owner_.find(lock_id) == lock_owner_.end() || hang_ ||
-             abort_.load(std::memory_order_relaxed);
+             abort_.load(std::memory_order_relaxed) ||
+             rollback_.load(std::memory_order_relaxed);
     });
     status_[tid] = Status::Running;
     throw_if_stopped(tid);
@@ -148,6 +177,37 @@ class Coordinator {
     return abort_.load(std::memory_order_relaxed);
   }
 
+  /// Kick every thread parked in a barrier or lock wait out through a
+  /// RollbackSignal so the rollback rendezvous can assemble.
+  void request_rollback() {
+    std::lock_guard<std::mutex> lock(mu_);
+    rollback_.store(true, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+
+  /// Terminal states only (hang/abort); used to cancel a rendezvous.
+  bool stopped() const {
+    return hang_flag_.load(std::memory_order_relaxed) ||
+           abort_.load(std::memory_order_relaxed);
+  }
+
+  /// Rewind lock/barrier bookkeeping to a checkpoint. Called by the
+  /// rollback leader while every other program thread is parked at the
+  /// rendezvous (nobody is inside any Coordinator wait).
+  void reset_for_retry(
+      std::uint64_t barrier_generation,
+      const std::vector<std::pair<std::int64_t, unsigned>>& lock_owners) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Status& s : status_) s = Status::Running;
+    std::fill(waiting_lock_.begin(), waiting_lock_.end(), 0);
+    done_count_ = 0;
+    trapped_count_ = 0;
+    barrier_arrived_ = 0;
+    barrier_generation_ = barrier_generation;
+    lock_owner_.clear();
+    for (const auto& [id, tid] : lock_owners) lock_owner_[id] = tid;
+    rollback_.store(false, std::memory_order_relaxed);
+  }
 
  private:
   enum class Status { Running, Barrier, LockWait, Done, Trapped };
@@ -158,9 +218,14 @@ class Coordinator {
     if (abort_.load(std::memory_order_relaxed)) {
       throw Trap{TrapKind::Aborted, "aborted by peer"};
     }
+    if (rollback_.load(std::memory_order_relaxed)) throw RollbackSignal{};
   }
 
   void check_deadlock_locked() {
+    // While a rollback is assembling, threads leave their waits through
+    // RollbackSignal in arbitrary order; the running/waiting census is
+    // transient and must not be classified as a hang.
+    if (rollback_.load(std::memory_order_relaxed)) return;
     unsigned running = 0;
     unsigned waiting = 0;
     for (unsigned t = 0; t < status_.size(); ++t) {
@@ -208,6 +273,8 @@ class Coordinator {
   bool hang_ = false;
   std::atomic<bool> hang_flag_{false};
   std::atomic<bool> abort_{false};
+  std::atomic<bool> rollback_{false};
+  CheckpointHook checkpoint_hook_;
 };
 
 class Machine {
@@ -227,6 +294,7 @@ class Machine {
   const RunOptions& options_;
   std::vector<std::int64_t> heap_;
   Coordinator coordinator_;
+  std::unique_ptr<RecoveryCoordinator> recovery_;
 };
 
 class ThreadRunner {
@@ -235,23 +303,62 @@ class ThreadRunner {
       : m_(machine),
         tid_(tid),
         parallel_(parallel_section),
-        monitor_(machine.options_.monitor) {}
+        monitor_(machine.options_.monitor),
+        recovery_(parallel_section ? machine.recovery_.get() : nullptr) {}
 
   ThreadOutcome run(std::uint32_t entry_index) {
-    try {
-      call(entry_index, {}, /*callsite_id=*/0);
-      // Parallel-section exit is a batch flush point: a batching monitor
-      // (ShardedMonitor) must not strand this thread's tail reports.
-      if (monitor_ != nullptr) monitor_->flush(tid_);
-      if (parallel_) m_.coordinator_.thread_finished(tid_);
-    } catch (const Trap& trap) {
-      outcome_.trap = trap.kind;
-      outcome_.detail = trap.detail;
-      if (monitor_ != nullptr) monitor_->flush(tid_);
-      if (parallel_) {
-        m_.coordinator_.thread_trapped(tid_);
-        // Shut the rest of the program down: any trap ends the run.
-        m_.coordinator_.request_abort();
+    for (bool running = true; running;) {
+      try {
+        if (pending_restore_ != nullptr) {
+          const ThreadSnapshot& ts = *pending_restore_;
+          pending_restore_ = nullptr;
+          if (ts.frames.empty()) {
+            // Section-start baseline: restart the entry from scratch.
+            call(entry_index, {}, /*callsite_id=*/0);
+          } else {
+            // Rebuild the native call stack frame by frame; the deepest
+            // frame resumes at its checkpoint Barrier.
+            restore_frames_ = &ts.frames;
+            restore_depth_ = 0;
+            call(ts.frames[0].func_index, {}, ts.frames[0].callsite_id);
+          }
+        } else {
+          call(entry_index, {}, /*callsite_id=*/0);
+        }
+        // Parallel-section exit is a batch flush point: a batching monitor
+        // (ShardedMonitor) must not strand this thread's tail reports.
+        if (monitor_ != nullptr) monitor_->flush(tid_);
+        if (parallel_) m_.coordinator_.thread_finished(tid_);
+        running = false;
+        if (recovery_ != nullptr) {
+          // Residual-violation gate: the last thread out runs the
+          // monitor's finalize check, and any violation (from it or from
+          // a peer still running) sends everyone back through a rollback.
+          SectionVerdict verdict = recovery_->section_rendezvous(
+              tid_, [this] { return m_.coordinator_.stopped(); });
+          if (verdict == SectionVerdict::Rollback) {
+            running = roll_back();
+          } else if (verdict == SectionVerdict::Detected) {
+            // Violation stands but the run cannot (or may no longer) roll
+            // back: graceful degradation to detect-and-report. Threads
+            // already passed the finished census; only the outcome flips.
+            outcome_.trap = TrapKind::Detected;
+            outcome_.detail =
+                "monitor raised violation; recovery retries exhausted";
+          }
+        }
+      } catch (const RollbackSignal&) {
+        running = roll_back();
+      } catch (const Trap& trap) {
+        outcome_.trap = trap.kind;
+        outcome_.detail = trap.detail;
+        if (monitor_ != nullptr) monitor_->flush(tid_);
+        if (parallel_) {
+          m_.coordinator_.thread_trapped(tid_);
+          // Shut the rest of the program down: any trap ends the run.
+          m_.coordinator_.request_abort();
+        }
+        running = false;
       }
     }
     outcome_.instructions = instructions_;
@@ -325,13 +432,109 @@ class ThreadRunner {
     if (m_.coordinator_.abort_requested()) {
       trap(TrapKind::Aborted, "aborted by peer");
     }
+    if (recovery_ != nullptr && recovery_->rollback_pending()) {
+      throw RollbackSignal{};
+    }
     if (monitor_ != nullptr && m_.options_.stop_on_detection &&
         monitor_->violation_detected()) {
-      trap(TrapKind::Detected, "monitor raised violation");
+      if (recovery_ != nullptr && recovery_->try_begin_rollback()) {
+        m_.coordinator_.request_rollback();
+        throw RollbackSignal{};
+      }
+      trap(TrapKind::Detected,
+           recovery_ != nullptr
+               ? "monitor raised violation; recovery retries exhausted"
+               : "monitor raised violation");
     }
     if (m_.options_.instruction_budget != 0 &&
         instructions_ > m_.options_.instruction_budget) {
       trap(TrapKind::InstructionBudget, "instruction budget exhausted");
+    }
+  }
+
+  // --- Checkpoint capture / restore ----------------------------------------
+
+  /// Flatten the live call stack (shadowed in frame_stack_) plus all
+  /// thread-private state. Called right before entering a checkpoint
+  /// barrier, so every frame's block/ip are at their blocking point: the
+  /// deepest at this Barrier, each parent at its pending Call.
+  ThreadSnapshot capture_snapshot() {
+    ThreadSnapshot ts;
+    ts.frames.reserve(frame_stack_.size());
+    for (const ActiveFrame& frame : frame_stack_) {
+      FrameSnapshot fs;
+      fs.func_index = frame.func_index;
+      fs.callsite_id = frame.callsite_id;
+      fs.block = *frame.block;
+      fs.ip = *frame.ip;
+      fs.regs.reserve(frame.regs->size());
+      for (const RtValue& v : *frame.regs) fs.regs.push_back(v.i);
+      ts.frames.push_back(std::move(fs));
+    }
+    ts.local_slots = local_slots_;
+    ts.output = output_;
+    ts.instructions = instructions_;
+    ts.branches = branches_;
+    ts.barriers_crossed = barriers_crossed_;
+    ts.tracker = tracker_;
+    return ts;
+  }
+
+  /// Rendezvous with every other thread, restore to the last clean
+  /// checkpoint, and report whether the interpreter should re-enter.
+  bool roll_back() {
+    RecoveryCoordinator::RestoreDecision decision =
+        recovery_->arrive_and_restore(
+            tid_,
+            [this](const Checkpoint& cp) {
+              // Leader-only, while every peer is parked at the
+              // rendezvous: shared heap, then lock/barrier bookkeeping.
+              // The generation is set one below the checkpoint's because
+              // every thread re-executes the checkpoint Barrier on
+              // resume, re-crossing it together.
+              m_.heap_ = cp.heap;
+              m_.coordinator_.reset_for_retry(
+                  cp.generation == 0 ? 0 : cp.generation - 1,
+                  cp.coordinator.lock_owners);
+            },
+            [this] { return m_.coordinator_.stopped(); });
+    switch (decision.action) {
+      case RestoreAction::Restore: {
+        const ThreadSnapshot& ts = decision.checkpoint->threads[tid_];
+        local_slots_ = ts.local_slots;
+        output_ = ts.output;
+        tracker_ = ts.tracker;
+        branches_ = ts.branches;
+        // The checkpoint Barrier (and each parent frame's Call dispatch)
+        // is re-executed on resume; pre-deduct so the replayed counters
+        // match the original timeline exactly.
+        instructions_ = ts.instructions - ts.frames.size();
+        barriers_crossed_ =
+            ts.barriers_crossed == 0 ? 0 : ts.barriers_crossed - 1;
+        call_depth_ = 0;
+        frame_stack_.clear();
+        restore_frames_ = nullptr;
+        restore_depth_ = 0;
+        // Transient faults are one-shot upsets: never re-inject a fault
+        // that already fired (recurring faults re-arm; a fault that has
+        // not fired yet stays armed either way).
+        fault_done_ = outcome_.fault_applied && !m_.options_.fault.recurring;
+        pending_restore_ = &ts;
+        return true;
+      }
+      case RestoreAction::GiveUp:
+        outcome_.trap = TrapKind::Detected;
+        outcome_.detail =
+            "monitor raised violation; recovery abandoned (monitor reset "
+            "failed)";
+        if (parallel_) m_.coordinator_.thread_trapped(tid_);
+        return false;
+      case RestoreAction::Cancelled:
+      default:
+        outcome_.trap = TrapKind::Aborted;
+        outcome_.detail = "rollback cancelled by peer trap";
+        if (parallel_) m_.coordinator_.thread_trapped(tid_);
+        return false;
     }
   }
 
@@ -342,8 +545,11 @@ class ThreadRunner {
       trap(TrapKind::BadPointer, "call stack overflow");
     }
     ++call_depth_;
+    const bool restoring = restore_frames_ != nullptr;
     bool tracked = monitor_ != nullptr && callsite_id != 0;
-    if (tracked) tracker_.push_call(callsite_id);
+    // A restored frame's context is already inside the restored tracker
+    // state; pushing again would double it (Ret still pops either way).
+    if (tracked && !restoring) tracker_.push_call(callsite_id);
 
     std::vector<RtValue> regs(f.num_regs, RtValue{0});
     for (std::size_t i = 0; i < args.size(); ++i) regs[i] = args[i];
@@ -352,6 +558,22 @@ class ThreadRunner {
     std::uint32_t block = 0;
     std::uint32_t ip = f.block_first.empty() ? 0 : f.block_first[0];
     std::vector<std::pair<std::uint32_t, RtValue>> phi_staging;
+
+    if (restoring) {
+      const FrameSnapshot& fs = (*restore_frames_)[restore_depth_];
+      BW_INTERNAL_CHECK(fs.func_index == func_index,
+                        "checkpoint frame does not match call target");
+      BW_INTERNAL_CHECK(fs.regs.size() == regs.size(),
+                        "checkpoint frame register count mismatch");
+      for (std::size_t i = 0; i < fs.regs.size(); ++i) regs[i].i = fs.regs[i];
+      block = fs.block;
+      ip = fs.ip;  // parent frames: the pending Call; deepest: the Barrier
+      if (++restore_depth_ == restore_frames_->size()) {
+        restore_frames_ = nullptr;  // stack rebuilt; resume for real
+        restore_depth_ = 0;
+      }
+    }
+    frame_stack_.push_back({func_index, callsite_id, &regs, &block, &ip});
 
     auto enter_block = [&](std::uint32_t target, std::uint32_t from) {
       std::uint32_t first = f.block_first[target];
@@ -554,6 +776,7 @@ class ThreadRunner {
             result.i = static_cast<std::int64_t>(raw(d.ops[0], regs.data()));
           }
           if (tracked) tracker_.pop_call();
+          frame_stack_.pop_back();
           --call_depth_;
           return result;
         }
@@ -577,9 +800,21 @@ class ThreadRunner {
           regs[d.dest].i = static_cast<std::int64_t>(
               m_.options_.num_threads);
           break;
-        case ir::Opcode::Barrier:
+        case ir::Opcode::Barrier: {
+          if (recovery_ != nullptr) {
+            ++barriers_crossed_;
+            if (recovery_->checkpoint_due(barriers_crossed_)) {
+              // Push this thread's buffered reports to the monitor (the
+              // commit quiesce must see them), then stage the snapshot
+              // BEFORE arriving: the releasing thread commits while all
+              // stagers are blocked inside the barrier.
+              if (monitor_ != nullptr) monitor_->flush(tid_);
+              recovery_->stage(tid_, capture_snapshot());
+            }
+          }
           m_.coordinator_.barrier_wait(tid_);
           break;
+        }
         case ir::Opcode::LockAcquire:
           m_.coordinator_.lock_acquire(tid_, geti(d.ops[0], regs.data()));
           break;
@@ -788,14 +1023,33 @@ class ThreadRunner {
   unsigned tid_;
   bool parallel_;
   runtime::BranchSink* monitor_;
+  RecoveryCoordinator* recovery_;  // null unless recovery is enabled
   runtime::ContextTracker tracker_;
   ThreadOutcome outcome_;
   std::string output_;
   std::vector<std::int64_t> local_slots_;
   std::uint64_t instructions_ = 0;
   std::uint64_t branches_ = 0;
+  std::uint64_t barriers_crossed_ = 0;
   unsigned call_depth_ = 0;
   bool fault_done_ = false;
+
+  /// Shadow of the native call() recursion: pointers into each live
+  /// frame's locals, so a barrier checkpoint can flatten the whole stack
+  /// without restructuring the interpreter into an explicit machine.
+  struct ActiveFrame {
+    std::uint32_t func_index;
+    std::uint32_t callsite_id;
+    std::vector<RtValue>* regs;
+    std::uint32_t* block;
+    std::uint32_t* ip;
+  };
+  std::vector<ActiveFrame> frame_stack_;
+  /// Restore mode: frames still to be consumed by call() while the native
+  /// stack is rebuilt, and the snapshot to resume from on re-entry.
+  const std::vector<FrameSnapshot>* restore_frames_ = nullptr;
+  std::size_t restore_depth_ = 0;
+  const ThreadSnapshot* pending_restore_ = nullptr;
 };
 
 RunResult Machine::run() {
@@ -824,6 +1078,22 @@ RunResult Machine::run() {
   BW_INTERNAL_CHECK(entry_index != kNoFunc,
                     "parallel entry function not found: " +
                         options_.parallel_entry);
+
+  if (options_.recovery.enabled) {
+    recovery_ = std::make_unique<RecoveryCoordinator>(
+        options_.num_threads, options_.recovery, options_.monitor);
+    // The post-init heap is the always-available rollback target: faults
+    // detected before the first checkpoint barrier restart the section.
+    recovery_->set_baseline(heap_);
+    coordinator_.set_checkpoint_hook(
+        [this](std::uint64_t generation,
+               const std::unordered_map<std::int64_t, unsigned>& lock_owner) {
+          if (!recovery_->checkpoint_due(generation)) return false;
+          CoordinatorSnapshot coord;
+          coord.lock_owners.assign(lock_owner.begin(), lock_owner.end());
+          return recovery_->commit(generation, heap_, std::move(coord));
+        });
+  }
 
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -859,6 +1129,10 @@ RunResult Machine::run() {
     if (t.trap != TrapKind::None) any_trap = true;
   }
   result.ok = !any_trap;
+  if (recovery_ != nullptr) {
+    result.recovery = recovery_->finalize_stats(result.ok);
+    result.recovered = result.recovery.recovered;
+  }
   return result;
 }
 

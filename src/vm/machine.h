@@ -15,6 +15,7 @@
 
 #include "ir/module.h"
 #include "runtime/monitor_interface.h"
+#include "vm/recovery.h"
 
 namespace bw::vm {
 
@@ -31,6 +32,12 @@ struct FaultPlan {
   std::uint64_t target_branch = 1;  // 1-based dynamic CondBr index
   enum class Mode { BranchFlip, CondBit } mode = Mode::BranchFlip;
   unsigned bit = 0;  // bit position for CondBit (mod 64)
+  /// Transient faults (the default) are NOT re-injected when a recovery
+  /// rollback replays the branch — the paper's soft-error model is a
+  /// one-shot upset. true models a persistent/intermittent fault that
+  /// re-fires on every retry (recovery stress tests: the retry budget
+  /// must terminate).
+  bool recurring = false;
 };
 
 enum class TrapKind {
@@ -70,6 +77,10 @@ struct RunResult {
   std::uint64_t total_branches = 0;
   /// Wall-clock of the parallel section, nanoseconds.
   std::uint64_t parallel_ns = 0;
+  /// Checkpoint/rollback accounting (all-zero when recovery is off).
+  RecoveryStats recovery;
+  /// The run rolled back at least once and still finished cleanly.
+  bool recovered = false;
 };
 
 struct RunOptions {
@@ -87,6 +98,10 @@ struct RunOptions {
   /// fault-injection runs; false when measuring performance).
   bool stop_on_detection = true;
   FaultPlan fault;
+  /// Barrier-aligned checkpoint/rollback (see vm/recovery.h). Requires a
+  /// monitor that supports the recovery protocol and stop_on_detection;
+  /// the pipeline enforces that gating.
+  RecoveryOptions recovery;
 };
 
 /// Execute the module. Thread-safe with respect to other Machines; the
