@@ -1,16 +1,24 @@
 // bwc: a command-line driver for the whole toolchain, the way a downstream
 // user would interact with BLOCKWATCH on their own programs.
 //
-//   bwc run <file.bwc> [threads]          execute (uninstrumented)
-//   bwc protect <file.bwc> [threads] [--recover]
+//   bwc run <prog> [threads]              execute (uninstrumented)
+//   bwc protect <prog> [threads] [--recover]
 //                                         execute under BLOCKWATCH;
 //                                         --recover adds barrier-aligned
 //                                         checkpoint/rollback
-//   bwc analyze <file.bwc>                per-branch similarity report
-//   bwc emit-ir <file.bwc>                dump SSA IR
-//   bwc emit-instrumented <file.bwc>      dump instrumented IR
-//   bwc inject <file.bwc> <thread> <k> [flip|cond] [threads] [--recover]
+//   bwc analyze <prog>                    per-branch similarity report
+//   bwc emit-ir <prog>                    dump SSA IR
+//   bwc emit-instrumented <prog>          dump instrumented IR
+//   bwc inject <prog> <thread> <k> [flip|cond] [threads] [--recover]
 //                                         inject one fault and classify
+//
+// <prog> is a path to a .bwc source file, or "bench:<name>" for a
+// built-in SPLASH-2 kernel (bench:fft, bench:radix, ...).
+//
+// Observability flags (any command, see docs/observability.md):
+//   --trace=<file>   record a Chrome trace_event JSON trace of the run
+//                    (loadable in ui.perfetto.dev / about://tracing)
+//   --metrics        dump the metrics registry to stderr at exit
 //
 // Exit codes (scriptable):
 //   0  clean run
@@ -30,8 +38,10 @@
 #include <string>
 #include <vector>
 
+#include "benchmarks/registry.h"
 #include "fault/campaign.h"
 #include "pipeline/pipeline.h"
+#include "support/telemetry/telemetry.h"
 
 namespace {
 
@@ -48,11 +58,32 @@ std::string read_file(const char* path) {
   return buffer.str();
 }
 
+/// "bench:<name>" resolves to a built-in SPLASH-2 kernel; anything else is
+/// a path to a .bwc source file.
+std::string load_source(const std::string& spec) {
+  if (spec.rfind("bench:", 0) == 0) {
+    const std::string name = spec.substr(6);
+    const benchmarks::Benchmark* bench = benchmarks::find_benchmark(name);
+    if (bench == nullptr) {
+      std::fprintf(stderr, "bwc: unknown benchmark '%s'; available:",
+                   name.c_str());
+      for (const benchmarks::Benchmark& b : benchmarks::all_benchmarks()) {
+        std::fprintf(stderr, " %s", b.name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    return bench->source;
+  }
+  return read_file(spec.c_str());
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: bwc <run|protect|analyze|emit-ir|emit-instrumented|inject> "
-      "<file.bwc> [args]\n");
+      "<file.bwc|bench:name> [args] [--recover] [--trace=<file>] "
+      "[--metrics]\n");
   return 2;
 }
 
@@ -168,55 +199,92 @@ int cmd_inject(const std::string& source, unsigned thread, std::uint64_t k,
   return 0;
 }
 
+int dispatch(const std::string& cmd, const std::string& source,
+             const std::vector<std::string>& args, bool recover) {
+  if (cmd == "run" || cmd == "protect") {
+    unsigned threads =
+        args.size() > 2 ? static_cast<unsigned>(std::atoi(args[2].c_str()))
+                        : 4;
+    return cmd_run(source, threads, cmd == "protect",
+                   recover && cmd == "protect");
+  }
+  if (cmd == "analyze") return cmd_analyze(source);
+  if (cmd == "emit-ir") {
+    std::fputs(pipeline::compile_program(source).module->to_string().c_str(),
+               stdout);
+    return 0;
+  }
+  if (cmd == "emit-instrumented") {
+    std::fputs(pipeline::protect_program(source).module->to_string().c_str(),
+               stdout);
+    return 0;
+  }
+  if (cmd == "inject" && args.size() >= 4) {
+    bool cond_fault = args.size() > 4 && args[4] == "cond";
+    unsigned threads =
+        args.size() > 5 ? static_cast<unsigned>(std::atoi(args[5].c_str()))
+                        : 4;
+    return cmd_inject(source,
+                      static_cast<unsigned>(std::atoi(args[2].c_str())),
+                      static_cast<std::uint64_t>(std::atoll(args[3].c_str())),
+                      cond_fault, threads, recover);
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --recover wherever it appears; everything else is positional.
+  // Strip flags wherever they appear; everything else is positional.
   std::vector<std::string> args;
   bool recover = false;
+  bool metrics = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "bwc: unknown flag '%s'\n", argv[i]);
+      return usage();
     } else {
       args.emplace_back(argv[i]);
     }
   }
   if (args.size() < 2) return usage();
+  const bool observing = metrics || !trace_path.empty();
+  if (observing) telemetry::set_enabled(true);
   const std::string& cmd = args[0];
-  std::string source = read_file(args[1].c_str());
+  std::string source = load_source(args[1]);
+  int rc;
   try {
-    if (cmd == "run" || cmd == "protect") {
-      unsigned threads =
-          args.size() > 2 ? static_cast<unsigned>(std::atoi(args[2].c_str()))
-                          : 4;
-      return cmd_run(source, threads, cmd == "protect",
-                     recover && cmd == "protect");
-    }
-    if (cmd == "analyze") return cmd_analyze(source);
-    if (cmd == "emit-ir") {
-      std::fputs(pipeline::compile_program(source).module->to_string().c_str(),
-                 stdout);
-      return 0;
-    }
-    if (cmd == "emit-instrumented") {
-      std::fputs(pipeline::protect_program(source).module->to_string().c_str(),
-                 stdout);
-      return 0;
-    }
-    if (cmd == "inject" && args.size() >= 4) {
-      bool cond_fault = args.size() > 4 && args[4] == "cond";
-      unsigned threads =
-          args.size() > 5 ? static_cast<unsigned>(std::atoi(args[5].c_str()))
-                          : 4;
-      return cmd_inject(source,
-                        static_cast<unsigned>(std::atoi(args[2].c_str())),
-                        static_cast<std::uint64_t>(
-                            std::atoll(args[3].c_str())),
-                        cond_fault, threads, recover);
-    }
+    rc = dispatch(cmd, source, args, recover);
   } catch (const bw::support::CompileError& e) {
     std::fprintf(stderr, "bwc: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return usage();
+  // Export AFTER the command so the snapshot covers the whole run,
+  // including failed ones — a trace of a detected/degraded run is
+  // exactly what docs/observability.md's diagnosis walkthrough needs.
+  if (observing) {
+    telemetry::Snapshot snap = telemetry::scrape();
+    if (metrics) std::fputs(telemetry::to_text(snap).c_str(), stderr);
+    if (!trace_path.empty()) {
+      if (telemetry::write_file(trace_path,
+                                telemetry::to_chrome_trace(snap))) {
+        std::fprintf(stderr, "bwc: trace written to %s (%zu spans, "
+                     "%zu events)\n",
+                     trace_path.c_str(), snap.spans.size(),
+                     snap.events.size());
+      } else {
+        std::fprintf(stderr, "bwc: cannot write trace '%s'\n",
+                     trace_path.c_str());
+        if (rc == 0) rc = 1;
+      }
+    }
+  }
+  return rc;
 }

@@ -11,6 +11,7 @@
 
 #include "benchmarks/registry.h"
 #include "pipeline/pipeline.h"
+#include "support/telemetry/telemetry.h"
 
 int main(int argc, char** argv) {
   using namespace bw;
@@ -33,9 +34,15 @@ int main(int argc, char** argv) {
     source = bench->source;
   }
 
+  // The summary line reads the telemetry gauges the pipeline publishes —
+  // the same numbers bench/bw_table5_categories reports — so this example
+  // and the Table V bench cannot drift apart.
+  telemetry::set_enabled(true);
   pipeline::CompiledProgram program = pipeline::compile_program(source);
-  std::printf("fixpoint iterations: %d\n",
-              program.analysis.fixpoint_iterations);
+  telemetry::Snapshot snap = telemetry::scrape();
+  std::printf("fixpoint iterations: %llu\n",
+              static_cast<unsigned long long>(
+                  snap.gauge(telemetry::Gauge::AnalysisFixpointIterations)));
   std::printf("%-4s %-18s %-22s %-10s %-18s %5s %s\n", "id", "function",
               "block", "category", "check", "depth", "flags");
   for (const analysis::BranchInfo& info : program.analysis.branches) {
@@ -50,11 +57,26 @@ int main(int argc, char** argv) {
                 analysis::to_string(info.check), info.loop_depth,
                 flags.c_str());
   }
-  analysis::CategoryCounts c = program.analysis.parallel_counts();
+  const std::uint64_t total =
+      snap.gauge(telemetry::Gauge::AnalysisBranchesTotal);
+  const std::uint64_t shared =
+      snap.gauge(telemetry::Gauge::AnalysisBranchesShared);
+  const std::uint64_t thread_id =
+      snap.gauge(telemetry::Gauge::AnalysisBranchesThreadId);
+  const std::uint64_t partial =
+      snap.gauge(telemetry::Gauge::AnalysisBranchesPartial);
+  const std::uint64_t none =
+      snap.gauge(telemetry::Gauge::AnalysisBranchesNone);
   std::printf(
-      "\nparallel section: %d branches | %d shared, %d threadID, %d "
-      "partial, %d none | %.0f%% similar\n",
-      c.total(), c.shared, c.thread_id, c.partial, c.none,
-      c.total() ? 100.0 * c.similar() / c.total() : 0.0);
+      "\nparallel section: %llu branches | %llu shared, %llu threadID, "
+      "%llu partial, %llu none | %.0f%% similar\n",
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(shared),
+      static_cast<unsigned long long>(thread_id),
+      static_cast<unsigned long long>(partial),
+      static_cast<unsigned long long>(none),
+      total ? 100.0 * static_cast<double>(shared + thread_id + partial) /
+                  static_cast<double>(total)
+            : 0.0);
   return 0;
 }

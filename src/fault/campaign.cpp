@@ -5,6 +5,7 @@
 
 #include "support/diagnostics.h"
 #include "support/prng.h"
+#include "support/telemetry/telemetry.h"
 
 namespace bw::fault {
 
@@ -57,6 +58,32 @@ GoldenRun golden_run(const pipeline::CompiledProgram& program,
 
 namespace {
 
+/// Fold one classified injection into the registry: a per-outcome counter
+/// plus a FaultOutcome event (a0 = outcome, a1 = faulted thread — 0 for
+/// monitor-path faults, where the fault lands on the consumer side —
+/// a2 = dynamic target index).
+void record_outcome(telemetry::FaultOutcomeCode code, unsigned thread,
+                    std::uint64_t target) {
+  if (!telemetry::enabled()) return;
+  using telemetry::Counter;
+  using OC = telemetry::FaultOutcomeCode;
+  Counter counter = Counter::kCount;
+  switch (code) {
+    case OC::NotActivated: break;  // FaultInjected - FaultActivated
+    case OC::Benign: counter = Counter::FaultBenign; break;
+    case OC::Detected: counter = Counter::FaultDetected; break;
+    case OC::Recovered: counter = Counter::FaultRecovered; break;
+    case OC::Crashed: counter = Counter::FaultCrashed; break;
+    case OC::Hung: counter = Counter::FaultHung; break;
+    case OC::Sdc: counter = Counter::FaultSdc; break;
+    case OC::FalseAlarm: counter = Counter::FaultFalseAlarm; break;
+  }
+  if (counter != Counter::kCount) telemetry::counter_add(counter);
+  telemetry::record_event(telemetry::EventKind::FaultOutcome,
+                          telemetry::Phase::Other,
+                          static_cast<std::uint64_t>(code), thread, target);
+}
+
 /// One injection run against the application (the paper's BranchFlip /
 /// BranchCondition models), classified into the paper's taxonomy.
 void run_application_fault(const pipeline::CompiledProgram& program,
@@ -70,7 +97,9 @@ void run_application_fault(const pipeline::CompiledProgram& program,
   std::uint64_t branches = golden.branches_per_thread[thread];
   if (branches == 0) {
     ++result.injected;  // fault lands in a thread that runs no branches
-    return;             // never activated
+    telemetry::counter_add(telemetry::Counter::FaultInjected);
+    record_outcome(telemetry::FaultOutcomeCode::NotActivated, thread, 0);
+    return;  // never activated
   }
   std::uint64_t target = 1 + rng.next_below(branches);
 
@@ -90,39 +119,53 @@ void run_application_fault(const pipeline::CompiledProgram& program,
 
   pipeline::ExecutionResult run = pipeline::execute(program, config);
   ++result.injected;
+  telemetry::counter_add(telemetry::Counter::FaultInjected);
   result.rollbacks += run.recovery.rollbacks;
   result.checkpoints += run.recovery.checkpoints_taken;
   result.restore_ns += run.recovery.restore_ns;
   result.checkpoint_ns += run.recovery.checkpoint_ns;
   if (run.recovery.retries_exhausted) ++result.retry_exhausted_runs;
-  if (!run.run.fault_applied) return;
+  if (!run.run.fault_applied) {
+    record_outcome(telemetry::FaultOutcomeCode::NotActivated, thread, target);
+    return;
+  }
   ++result.activated;
+  telemetry::counter_add(telemetry::Counter::FaultActivated);
 
   // Classification precedence mirrors the paper's procedure: recovery
   // first (the run both detected and corrected), then detection, then
   // crash/hang (caught by other means), then the output comparison
   // against the golden result.
+  telemetry::FaultOutcomeCode outcome;
   if (options.protect && run.recovered) {
     if (run.run.output == golden.output) {
       ++result.recovered;
+      outcome = telemetry::FaultOutcomeCode::Recovered;
     } else {
       // Rolled back, replayed, and STILL diverged: the restore is
       // unsound. Counted as sdc (the partition tells the truth) and
       // flagged separately so tests can require zero.
       ++result.sdc;
       ++result.recovered_mismatch;
+      outcome = telemetry::FaultOutcomeCode::Sdc;
     }
   } else if (options.protect && run.detected) {
     ++result.detected;
+    outcome = telemetry::FaultOutcomeCode::Detected;
   } else if (run.run.crash) {
     ++result.crashed;
+    outcome = telemetry::FaultOutcomeCode::Crashed;
   } else if (run.run.hang) {
     ++result.hung;
+    outcome = telemetry::FaultOutcomeCode::Hung;
   } else if (run.run.output == golden.output) {
     ++result.benign;
+    outcome = telemetry::FaultOutcomeCode::Benign;
   } else {
     ++result.sdc;
+    outcome = telemetry::FaultOutcomeCode::Sdc;
   }
+  record_outcome(outcome, thread, target);
 }
 
 /// One injection run against the monitor runtime: the program itself is
@@ -162,8 +205,13 @@ void run_monitor_fault(const pipeline::CompiledProgram& program,
 
   pipeline::ExecutionResult run = pipeline::execute(program, config);
   ++result.injected;
-  if (run.monitor_stats.hooks_fired == 0) return;  // never activated
+  telemetry::counter_add(telemetry::Counter::FaultInjected);
+  if (run.monitor_stats.hooks_fired == 0) {
+    record_outcome(telemetry::FaultOutcomeCode::NotActivated, 0, target);
+    return;  // never activated
+  }
   ++result.activated;
+  telemetry::counter_add(telemetry::Counter::FaultActivated);
 
   if (run.monitor_health == runtime::MonitorHealth::Degraded) {
     ++result.degraded_runs;
@@ -172,10 +220,13 @@ void run_monitor_fault(const pipeline::CompiledProgram& program,
   }
   if (run.monitor_stats.reports_rejected > 0) ++result.discarded;
 
+  telemetry::FaultOutcomeCode outcome;
   if (run.run.hang) {
     ++result.hung;  // liveness failure: the policy did not protect us
+    outcome = telemetry::FaultOutcomeCode::Hung;
   } else if (run.run.crash) {
     ++result.crashed;
+    outcome = telemetry::FaultOutcomeCode::Crashed;
   } else if (run.detected) {
     // A violation on a clean program. For QueueCorrupt without rejection
     // this would be legitimate detection of the corruption; with the
@@ -183,14 +234,19 @@ void run_monitor_fault(const pipeline::CompiledProgram& program,
     if (options.type == FaultType::QueueCorrupt &&
         run.monitor_stats.reports_rejected == 0) {
       ++result.detected;
+      outcome = telemetry::FaultOutcomeCode::Detected;
     } else {
       ++result.false_alarms;
+      outcome = telemetry::FaultOutcomeCode::FalseAlarm;
     }
   } else if (run.run.output == golden.output) {
     ++result.benign;
+    outcome = telemetry::FaultOutcomeCode::Benign;
   } else {
     ++result.sdc;  // monitor faults must never corrupt program output
+    outcome = telemetry::FaultOutcomeCode::Sdc;
   }
+  record_outcome(outcome, 0, target);
 }
 
 }  // namespace

@@ -3,21 +3,81 @@
 #include <algorithm>
 
 #include "ir/verifier.h"
+#include "support/telemetry/telemetry.h"
 
 namespace bw::pipeline {
+
+namespace {
+
+/// Single publication point for the Table V classification: the
+/// similarity_report example and the bw_table5_categories bench both read
+/// these gauges instead of re-deriving the counts, so they cannot drift.
+void publish_analysis(const analysis::SimilarityResult& analysis) {
+  if (!telemetry::enabled()) return;
+  analysis::CategoryCounts counts = analysis.parallel_counts();
+  telemetry::gauge_set(telemetry::Gauge::AnalysisBranchesTotal,
+                       static_cast<std::uint64_t>(counts.total()));
+  telemetry::gauge_set(telemetry::Gauge::AnalysisBranchesShared,
+                       static_cast<std::uint64_t>(counts.shared));
+  telemetry::gauge_set(telemetry::Gauge::AnalysisBranchesThreadId,
+                       static_cast<std::uint64_t>(counts.thread_id));
+  telemetry::gauge_set(telemetry::Gauge::AnalysisBranchesPartial,
+                       static_cast<std::uint64_t>(counts.partial));
+  telemetry::gauge_set(telemetry::Gauge::AnalysisBranchesNone,
+                       static_cast<std::uint64_t>(counts.none));
+  telemetry::gauge_set(
+      telemetry::Gauge::AnalysisFixpointIterations,
+      static_cast<std::uint64_t>(analysis.fixpoint_iterations));
+  telemetry::counter_add(telemetry::Counter::BranchesAnalyzed,
+                         static_cast<std::uint64_t>(analysis.branches.size()));
+}
+
+/// Fold an execution's monitor accounting into the registry. The per-shard
+/// consumer counters are only coherent after stop(), so this runs at the
+/// end of execute() rather than on the monitor's hot path.
+void publish_execution(const ExecutionResult& result,
+                       const ExecutionConfig& config) {
+  if (!telemetry::enabled()) return;
+  telemetry::counter_add(telemetry::Counter::RunsExecuted);
+  telemetry::counter_add(telemetry::Counter::ReportsProcessed,
+                         result.monitor_stats.reports_processed);
+  telemetry::counter_add(telemetry::Counter::InstancesChecked,
+                         result.monitor_stats.instances_checked);
+  telemetry::counter_add(telemetry::Counter::InstancesSkipped,
+                         result.monitor_stats.instances_skipped);
+  telemetry::gauge_set(telemetry::Gauge::NumThreads, config.num_threads);
+  telemetry::gauge_set(telemetry::Gauge::MonitorShards,
+                       config.monitor_shards);
+  telemetry::gauge_set(
+      telemetry::Gauge::MonitorHealth,
+      static_cast<std::uint64_t>(result.monitor_health));
+}
+
+}  // namespace
 
 CompiledProgram compile_program(std::string_view source,
                                 const PipelineOptions& options) {
   CompiledProgram program;
-  program.module = frontend::compile(source, options.compile);
-  program.analysis =
-      analysis::analyze_similarity(*program.module, options.similarity);
+  {
+    telemetry::SpanScope span(telemetry::Phase::Frontend,
+                              "frontend.compile");
+    program.module = frontend::compile(source, options.compile);
+  }
+  {
+    telemetry::SpanScope span(telemetry::Phase::Analysis,
+                              "analysis.similarity");
+    program.analysis =
+        analysis::analyze_similarity(*program.module, options.similarity);
+  }
+  publish_analysis(program.analysis);
   return program;
 }
 
 CompiledProgram protect_program(std::string_view source,
                                 const PipelineOptions& options) {
   CompiledProgram program = compile_program(source, options);
+  telemetry::SpanScope span(telemetry::Phase::Instrumentation,
+                            "instrument.module");
   program.instrument_stats = instrument::instrument_module(
       *program.module, program.analysis, options.instrumentation);
   program.instrumented = true;
@@ -92,7 +152,10 @@ ExecutionResult execute(const CompiledProgram& program,
     // on detection (otherwise nothing ever triggers a rollback).
     ropts.recovery.enabled = false;
   }
-  result.run = vm::run_program(*program.module, ropts);
+  {
+    telemetry::SpanScope span(telemetry::Phase::Execution, "vm.run");
+    result.run = vm::run_program(*program.module, ropts);
+  }
   result.recovery = result.run.recovery;
   result.recovered = result.run.recovered;
 
@@ -122,6 +185,7 @@ ExecutionResult execute(const CompiledProgram& program,
     result.detected = result.run.detected || !result.violations.empty();
     result.monitor_health = tree->health();
   }
+  publish_execution(result, config);
   return result;
 }
 

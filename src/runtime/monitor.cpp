@@ -4,6 +4,7 @@
 
 #include "support/diagnostics.h"
 #include "support/prng.h"
+#include "support/telemetry/telemetry.h"
 
 namespace bw::runtime {
 
@@ -49,6 +50,7 @@ void Monitor::stop() {
 void Monitor::give_up(std::uint32_t thread) {
   ProducerSlot& slot = producers_[thread];
   slot.dropped.fetch_add(1, std::memory_order_relaxed);
+  telemetry::counter_add(telemetry::Counter::ReportsDropped);
   health_.raise(MonitorHealth::Degraded);
   if (!options_.watchdog.enabled) return;
   const std::uint64_t beat = heartbeat_.load(std::memory_order_relaxed);
@@ -76,6 +78,7 @@ void Monitor::send(const BranchReport& report) {
     producers_[report.thread].dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  telemetry::counter_add(telemetry::Counter::ReportsSent);
   SpscQueue<BranchReport>& queue = *queues_[report.thread];
   BranchReport sealed;
   const BranchReport* payload = &report;
@@ -86,7 +89,14 @@ void Monitor::send(const BranchReport& report) {
   }
   if (queue.try_push(*payload)) return;
 
-  // Slow path: bounded backoff (spin -> yield -> give up and drop).
+  // Slow path: bounded backoff (spin -> yield -> give up and drop). Queue
+  // pressure is the leading indicator of a falling-behind monitor, so the
+  // first failed push is an observable event (counted + logged) even when
+  // the backoff eventually succeeds.
+  telemetry::counter_add(telemetry::Counter::QueueFullEvents);
+  telemetry::record_event(telemetry::EventKind::QueueHighWater,
+                          telemetry::Phase::MonitorCheck, report.thread,
+                          /*shard=*/0);
   const BackoffPolicy& policy = options_.backoff;
   for (std::uint32_t i = 0; i < policy.spins; ++i) {
     if (queue.try_push(*payload)) return;
@@ -107,6 +117,9 @@ void Monitor::send(const BranchReport& report) {
 }
 
 void Monitor::run() {
+  // One span for the monitor thread's whole drain-and-check lifetime: in a
+  // trace it sits on its own tid row, bracketing every violation event.
+  telemetry::SpanScope span(telemetry::Phase::MonitorCheck, "monitor.drain");
   BranchReport report;
   while (true) {
     heartbeat_.fetch_add(1, std::memory_order_relaxed);
@@ -373,6 +386,10 @@ void Monitor::check_instance_now(std::uint32_t static_id,
   v.suspect_thread = *suspect;
   violations_.push_back(v);
   ++stats_.violations;
+  telemetry::counter_add(telemetry::Counter::Violations);
+  telemetry::record_event(telemetry::EventKind::Violation,
+                          telemetry::Phase::MonitorCheck, v.static_id,
+                          v.ctx_hash, v.iter_hash);
   violation_count_.fetch_add(1, std::memory_order_release);
 }
 
@@ -401,6 +418,8 @@ void Monitor::maybe_evict(std::uint64_t key1, std::uint32_t static_id,
 }
 
 void Monitor::finalize_all() {
+  telemetry::SpanScope span(telemetry::Phase::MonitorCheck,
+                            "monitor.finalize");
   const bool unverifiable = degraded();
   for (auto& [key1, branch] : table_) {
     auto debug = key_debug_[key1];

@@ -26,6 +26,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "support/telemetry/telemetry.h"
+
 namespace bw::runtime {
 
 enum class MonitorHealth : std::uint8_t {
@@ -57,6 +59,13 @@ class HealthCell {
     while (static_cast<std::uint8_t>(cur) < static_cast<std::uint8_t>(to)) {
       if (health_.compare_exchange_weak(cur, to, std::memory_order_acq_rel,
                                         std::memory_order_relaxed)) {
+        // Exactly one thread wins each upward transition, so the event
+        // stream records each Healthy->Degraded->Failed edge once.
+        telemetry::counter_add(telemetry::Counter::HealthTransitions);
+        telemetry::record_event(telemetry::EventKind::HealthTransition,
+                                telemetry::Phase::MonitorCheck,
+                                static_cast<std::uint64_t>(cur),
+                                static_cast<std::uint64_t>(to));
         return;
       }
     }

@@ -4,6 +4,7 @@
 
 #include "support/diagnostics.h"
 #include "support/prng.h"
+#include "support/telemetry/telemetry.h"
 
 namespace bw::runtime {
 
@@ -97,6 +98,7 @@ void ShardedMonitor::send(const BranchReport& report) {
     slot.last_health = now_health;
     flush(report.thread);
   }
+  telemetry::counter_add(telemetry::Counter::ReportsSent);
   const unsigned shard = shard_of(report);
   ReportBatch& batch = slot.open[shard];
   BranchReport& dest = batch.reports[batch.count++];
@@ -108,7 +110,15 @@ void ShardedMonitor::send(const BranchReport& report) {
 void ShardedMonitor::flush(std::uint32_t thread) {
   BW_INTERNAL_CHECK(thread < num_threads_, "flush from out-of-range thread");
   for (unsigned s = 0; s < shards_.size(); ++s) {
-    if (producers_[thread].open[s].count != 0) flush_batch(thread, s);
+    const std::uint32_t pending = producers_[thread].open[s].count;
+    if (pending == 0) continue;
+    // Explicit flushes (section exit, health transition, stop) are rare
+    // and diagnostic — a run whose reports mostly cross on explicit flush
+    // has its batch size set too high for its report rate.
+    telemetry::record_event(telemetry::EventKind::ShardFlush,
+                            telemetry::Phase::MonitorCheck, thread, s,
+                            pending);
+    flush_batch(thread, s);
   }
 }
 
@@ -127,12 +137,19 @@ void ShardedMonitor::flush_batch(std::uint32_t thread, unsigned shard) {
   }
   SpscQueue<ReportBatch>& queue = *shards_[shard]->queues[thread];
   if (queue.try_push(batch)) {
+    telemetry::counter_add(telemetry::Counter::BatchesFlushed);
+    telemetry::histogram_record(telemetry::Histogram::BatchFill, count);
     batch.count = 0;
     return;
   }
+  telemetry::counter_add(telemetry::Counter::QueueFullEvents);
+  telemetry::record_event(telemetry::EventKind::QueueHighWater,
+                          telemetry::Phase::MonitorCheck, thread, shard);
   const BackoffPolicy& policy = options_.backoff;
   for (std::uint32_t i = 0; i < policy.spins; ++i) {
     if (queue.try_push(batch)) {
+      telemetry::counter_add(telemetry::Counter::BatchesFlushed);
+      telemetry::histogram_record(telemetry::Histogram::BatchFill, count);
       batch.count = 0;
       return;
     }
@@ -141,6 +158,8 @@ void ShardedMonitor::flush_batch(std::uint32_t thread, unsigned shard) {
   while (!policy.bounded || yielded < policy.yields) {
     std::this_thread::yield();
     if (queue.try_push(batch)) {
+      telemetry::counter_add(telemetry::Counter::BatchesFlushed);
+      telemetry::histogram_record(telemetry::Histogram::BatchFill, count);
       batch.count = 0;
       return;
     }
@@ -162,6 +181,7 @@ void ShardedMonitor::give_up(std::uint32_t thread, unsigned shard,
                              std::uint32_t lost) {
   ProducerSlot& slot = producers_[thread];
   slot.dropped.fetch_add(lost, std::memory_order_relaxed);
+  telemetry::counter_add(telemetry::Counter::ReportsDropped, lost);
   health_.raise(MonitorHealth::Degraded);
   if (!options_.watchdog.enabled) return;
   const std::uint64_t beat =
@@ -183,6 +203,10 @@ void ShardedMonitor::give_up(std::uint32_t thread, unsigned shard,
 }
 
 void ShardedMonitor::shard_run(Shard& shard) {
+  // One span per shard thread (own tid row in a trace); the shard index
+  // rides along as the first argument of its violation events.
+  telemetry::SpanScope span(telemetry::Phase::MonitorCheck,
+                            "monitor.shard.drain");
   ReportBatch batch;
   while (true) {
     shard.heartbeat.fetch_add(1, std::memory_order_relaxed);
@@ -458,6 +482,10 @@ void ShardedMonitor::check_instance_now(Shard& shard, std::uint32_t static_id,
   v.check = instance.check;
   v.suspect_thread = *suspect;
   shard.violations.push_back(v);
+  telemetry::counter_add(telemetry::Counter::Violations);
+  telemetry::record_event(telemetry::EventKind::Violation,
+                          telemetry::Phase::MonitorCheck, v.static_id,
+                          v.ctx_hash, v.iter_hash);
   violation_count_.fetch_add(1, std::memory_order_release);
 }
 
@@ -483,6 +511,8 @@ void ShardedMonitor::maybe_evict(Shard& shard, std::uint64_t key1,
 }
 
 void ShardedMonitor::finalize_shard(Shard& shard) {
+  telemetry::SpanScope span(telemetry::Phase::MonitorCheck,
+                            "monitor.shard.finalize");
   const bool unverifiable = degraded();
   for (auto& [key1, branch] : shard.table) {
     auto debug = shard.key_debug[key1];

@@ -18,6 +18,7 @@
 #include "runtime/context_tracker.h"
 #include "support/diagnostics.h"
 #include "support/prng.h"
+#include "support/telemetry/telemetry.h"
 #include "vm/interpreter.h"
 #include "vm/recovery.h"
 
@@ -1100,6 +1101,7 @@ RunResult Machine::run() {
   threads.reserve(options_.num_threads);
   for (unsigned t = 0; t < options_.num_threads; ++t) {
     threads.emplace_back([this, t, entry_index, &result] {
+      telemetry::SpanScope span(telemetry::Phase::Execution, "vm.thread");
       ThreadRunner runner(*this, t, /*parallel_section=*/true);
       result.threads[t] = runner.run(entry_index);
     });

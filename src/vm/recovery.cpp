@@ -5,6 +5,7 @@
 
 #include "runtime/monitor_interface.h"
 #include "support/diagnostics.h"
+#include "support/telemetry/telemetry.h"
 
 namespace bw::vm {
 
@@ -45,6 +46,10 @@ void RecoveryCoordinator::stage(unsigned tid, ThreadSnapshot snapshot) {
 bool RecoveryCoordinator::commit(std::uint64_t generation,
                                  const std::vector<std::int64_t>& heap,
                                  CoordinatorSnapshot coordinator) {
+  // This span fires at every checkpoint barrier, so a clean protected run
+  // still shows Recovery-phase activity in its trace.
+  telemetry::SpanScope span(telemetry::Phase::Recovery,
+                            "recovery.checkpoint");
   const auto start = std::chrono::steady_clock::now();
   // Quiesce-before-commit: every report sent before this barrier must be
   // drained and judged, and no violation may stand. Only then is the
@@ -59,6 +64,7 @@ bool RecoveryCoordinator::commit(std::uint64_t generation,
   std::lock_guard<std::mutex> lock(mu_);
   if (!clean) {
     ++stats_.checkpoints_discarded;
+    telemetry::counter_add(telemetry::Counter::CheckpointsDiscarded);
     return false;
   }
   Checkpoint checkpoint;
@@ -71,7 +77,14 @@ bool RecoveryCoordinator::commit(std::uint64_t generation,
   ring_.push_back(std::move(checkpoint));
   ++stats_.checkpoints_taken;
   stats_.checkpoint_heap_words = heap.size();
-  stats_.checkpoint_ns += ns_since(start);
+  const std::uint64_t elapsed = ns_since(start);
+  stats_.checkpoint_ns += elapsed;
+  telemetry::counter_add(telemetry::Counter::CheckpointsCommitted);
+  telemetry::histogram_record(telemetry::Histogram::CheckpointNs, elapsed);
+  telemetry::record_event(telemetry::EventKind::Checkpoint,
+                          telemetry::Phase::Recovery, generation,
+                          static_cast<std::uint64_t>(heap.size()),
+                          static_cast<std::uint64_t>(ring_.size()));
   if (options_.force_rollback_after_checkpoint != 0 &&
       stats_.checkpoints_taken == options_.force_rollback_after_checkpoint) {
     return try_begin_rollback_locked();
@@ -93,6 +106,7 @@ bool RecoveryCoordinator::try_begin_rollback_locked() {
   ++retries_used_;
   stats_.retries_used = retries_used_;
   ++stats_.rollbacks;
+  telemetry::counter_add(telemetry::Counter::Rollbacks);
   rollback_pending_.store(true, std::memory_order_release);
   cv_.notify_all();  // wake section-rendezvous waiters into the rollback
   return true;
@@ -131,12 +145,25 @@ RecoveryCoordinator::RestoreDecision RecoveryCoordinator::arrive_and_restore(
   const Checkpoint* target = ring_.empty() ? &baseline_ : &ring_.back();
   const auto start = std::chrono::steady_clock::now();
   lock.unlock();
-  bool reset_ok = monitor_ == nullptr || monitor_->reset_epoch();
-  if (reset_ok) apply_shared(*target);
+  bool reset_ok;
+  {
+    telemetry::SpanScope span(telemetry::Phase::Recovery, "recovery.restore");
+    reset_ok = monitor_ == nullptr || monitor_->reset_epoch();
+    if (reset_ok) apply_shared(*target);
+  }
   lock.lock();
   if (reset_ok) {
-    if (target == &baseline_) ++stats_.rollbacks_to_section_start;
-    stats_.restore_ns += ns_since(start);
+    const bool to_section_start = target == &baseline_;
+    if (to_section_start) {
+      ++stats_.rollbacks_to_section_start;
+      telemetry::counter_add(telemetry::Counter::RollbacksToSectionStart);
+    }
+    const std::uint64_t elapsed = ns_since(start);
+    stats_.restore_ns += elapsed;
+    telemetry::histogram_record(telemetry::Histogram::RestoreNs, elapsed);
+    telemetry::record_event(telemetry::EventKind::Rollback,
+                            telemetry::Phase::Recovery, target->generation,
+                            retries_used_, to_section_start ? 1 : 0);
     // Re-arm the per-attempt rendezvous state for the retried section.
     section_arrived_ = 0;
     section_finalizing_ = false;
