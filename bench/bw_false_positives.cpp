@@ -2,49 +2,65 @@
 // instrumented program many times fault-free and confirm the monitor never
 // reports anything. Paper: 100 error-free runs per program, zero reports.
 //
-//   usage: bw_false_positives [runs_per_program] [threads]
+// The clean runs execute on the campaign worker pool
+// (fault::run_clean_campaign) — each run is independent, so the experiment
+// parallelizes perfectly and the violation count is a plain sum. The
+// Wilson 95% upper bound on the per-run false-positive rate quantifies
+// what "zero violations in N runs" actually proves.
+//
+//   usage: bw_false_positives [runs_per_program] [threads] [--workers=N]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "benchmarks/registry.h"
+#include "fault/campaign.h"
+#include "fault/stats.h"
 #include "pipeline/pipeline.h"
 
 int main(int argc, char** argv) {
   using namespace bw;
-  int runs = argc > 1 ? std::atoi(argv[1]) : 100;
-  unsigned threads = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4;
+  unsigned workers = 0;  // 0 = hardware concurrency
+  int runs = 100;
+  unsigned threads = 4;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else if (positional++ == 0) {
+      runs = std::atoi(argv[i]);
+    } else {
+      threads = static_cast<unsigned>(std::atoi(argv[i]));
+    }
+  }
 
   std::printf("False-positive check: %d clean instrumented runs per "
               "program, %u threads\n\n", runs, threads);
   int total_violations = 0;
+  int total_runs = 0;
   for (const benchmarks::Benchmark& bench : benchmarks::all_benchmarks()) {
     pipeline::CompiledProgram program =
         pipeline::protect_program(bench.source);
-    int violations = 0;
-    std::uint64_t reports = 0;
-    std::uint64_t checks = 0;
-    for (int r = 0; r < runs; ++r) {
-      pipeline::ExecutionConfig config;
-      config.num_threads = threads;
-      pipeline::ExecutionResult result = pipeline::execute(program, config);
-      violations += static_cast<int>(result.violations.size());
-      reports += result.monitor_stats.reports_processed;
-      checks += result.monitor_stats.instances_checked;
-      if (!result.run.ok) {
-        std::printf("  !! %s run %d did not complete cleanly\n",
-                    bench.name.c_str(), r);
-        ++violations;  // count as a failure of the experiment
-        break;
-      }
-    }
+    pipeline::ExecutionConfig config;
+    config.num_threads = threads;
+    fault::CleanRunResult clean =
+        fault::run_clean_campaign(program, config, runs, workers);
     std::printf("%-22s %4d runs, %12llu reports, %12llu checks, "
-                "%d violations\n",
-                bench.paper_name.c_str(), runs,
-                static_cast<unsigned long long>(reports),
-                static_cast<unsigned long long>(checks), violations);
-    total_violations += violations;
+                "%d violations%s\n",
+                bench.paper_name.c_str(), clean.runs,
+                static_cast<unsigned long long>(clean.reports),
+                static_cast<unsigned long long>(clean.checks),
+                clean.violations,
+                clean.failures > 0 ? "  !! runs did not complete" : "");
+    total_violations += clean.violations + clean.failures;
+    total_runs += clean.runs;
   }
-  std::printf("\ntotal violations: %d (paper: 0 — BLOCKWATCH has no false "
-              "positives by construction)\n", total_violations);
+  fault::ConfidenceInterval fp_rate = fault::wilson_interval(
+      0, static_cast<std::uint64_t>(total_runs));
+  std::printf("\ntotal violations: %d over %d runs (paper: 0 — BLOCKWATCH "
+              "has no false positives by construction)\n",
+              total_violations, total_runs);
+  std::printf("per-run false-positive rate Wilson 95%% upper bound: "
+              "%.3f%%\n", 100.0 * fp_rate.hi);
   return total_violations == 0 ? 0 : 1;
 }

@@ -4,28 +4,45 @@
 // (4 threads) / 98% (32 threads); all programs 99-100% except raytrace
 // (~85%, no better than unprotected).
 //
-//   usage: bw_fig8_coverage_flip [injections] [threads...]
+// Campaigns run on the parallel engine; coverage is worker-count-
+// invariant (per-injection RNG streams), so --workers only moves
+// wall-clock. The bracketed column is the Wilson 95% interval on the
+// protected coverage — the error bar the paper's Figure 8 bars omit.
+//
+//   usage: bw_fig8_coverage_flip [injections] [threads...] [--workers=N]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "benchmarks/registry.h"
 #include "fault/campaign.h"
 
 int main(int argc, char** argv) {
   using namespace bw;
-  int injections = argc > 1 ? std::atoi(argv[1]) : 150;
+  unsigned workers = 0;  // 0 = hardware concurrency
   std::vector<unsigned> thread_counts;
-  for (int i = 2; i < argc; ++i) {
-    thread_counts.push_back(static_cast<unsigned>(std::atoi(argv[i])));
+  int injections = 150;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else if (positional++ == 0) {
+      injections = std::atoi(argv[i]);
+    } else {
+      thread_counts.push_back(static_cast<unsigned>(std::atoi(argv[i])));
+    }
   }
   if (thread_counts.empty()) thread_counts = {4, 32};
 
   std::printf("Figure 8: SDC coverage, branch-flip faults (%d injections "
               "per cell; higher is better)\n\n", injections);
+  const auto bench_start = std::chrono::steady_clock::now();
+  unsigned workers_used = 1;
   for (unsigned threads : thread_counts) {
     std::printf("--- %u threads ---\n", threads);
-    std::printf("%-22s %10s %12s %8s %28s\n", "Program", "original",
-                "BLOCKWATCH", "gain", "protected breakdown");
+    std::printf("%-22s %10s %12s %17s %8s %28s\n", "Program", "original",
+                "BLOCKWATCH", "95% CI", "gain", "protected breakdown");
     double sum_orig = 0.0;
     double sum_prot = 0.0;
     int count = 0;
@@ -36,6 +53,7 @@ int main(int argc, char** argv) {
       options.injections = injections;
       options.type = fault::FaultType::BranchFlip;
       options.seed = 0xF16'8000 + threads;
+      options.campaign_workers = workers;
 
       options.protect = false;
       fault::CampaignResult original =
@@ -43,12 +61,14 @@ int main(int argc, char** argv) {
       options.protect = true;
       fault::CampaignResult protected_run =
           fault::run_campaign(bench.source, options);
+      fault::ConfidenceInterval ci = protected_run.coverage_interval();
+      workers_used = protected_run.workers;
 
       std::printf(
-          "%-22s %9.1f%% %11.1f%% %+7.1f%%  det=%d crash=%d hang=%d "
-          "benign=%d sdc=%d\n",
+          "%-22s %9.1f%% %11.1f%% [%5.1f%%, %5.1f%%] %+7.1f%%  det=%d "
+          "crash=%d hang=%d benign=%d sdc=%d\n",
           bench.paper_name.c_str(), 100.0 * original.coverage(),
-          100.0 * protected_run.coverage(),
+          100.0 * protected_run.coverage(), 100.0 * ci.lo, 100.0 * ci.hi,
           100.0 * (protected_run.coverage() - original.coverage()),
           protected_run.detected, protected_run.crashed, protected_run.hung,
           protected_run.benign, protected_run.sdc);
@@ -60,5 +80,11 @@ int main(int argc, char** argv) {
                 "average", 100.0 * sum_orig / count,
                 100.0 * sum_prot / count);
   }
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - bench_start)
+          .count();
+  std::printf("total wall-clock %.2f s at %u campaign workers\n", wall_s,
+              workers_used);
   return 0;
 }

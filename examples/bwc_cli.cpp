@@ -11,6 +11,12 @@
 //   bwc emit-instrumented <prog>          dump instrumented IR
 //   bwc inject <prog> <thread> <k> [flip|cond] [threads] [--recover]
 //                                         inject one fault and classify
+//   bwc campaign <prog> [injections] [threads] [--type=...] [--workers=N]
+//                [--seed=S] [--checkpoint=<file>] [--resume=<file>]
+//                [--no-protect] [--recover]
+//                                         run a parallel fault-injection
+//                                         campaign and print the outcome
+//                                         partition with Wilson 95% CIs
 //
 // <prog> is a path to a .bwc source file, or "bench:<name>" for a
 // built-in SPLASH-2 kernel (bench:fft, bench:radix, ...).
@@ -81,9 +87,13 @@ std::string load_source(const std::string& spec) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: bwc <run|protect|analyze|emit-ir|emit-instrumented|inject> "
-      "<file.bwc|bench:name> [args] [--recover] [--trace=<file>] "
-      "[--metrics]\n");
+      "usage: bwc <run|protect|analyze|emit-ir|emit-instrumented|inject|"
+      "campaign> <file.bwc|bench:name> [args] [--recover] [--trace=<file>] "
+      "[--metrics]\n"
+      "       bwc campaign <prog> [injections] [threads] [--type=flip|cond|"
+      "stall|corrupt|drop]\n"
+      "           [--workers=N] [--seed=S] [--checkpoint=<file>] "
+      "[--resume=<file>] [--no-protect] [--recover]\n");
   return 2;
 }
 
@@ -166,7 +176,7 @@ int cmd_inject(const std::string& source, unsigned thread, std::uint64_t k,
   fault::GoldenRun golden = fault::golden_run(program, threads);
   pipeline::ExecutionConfig config;
   config.num_threads = threads;
-  config.instruction_budget = golden.max_thread_instructions * 10 + 1000000;
+  config.instruction_budget = fault::auto_instruction_budget(golden);
   config.fault.active = true;
   config.fault.thread = thread;
   config.fault.target_branch = k;
@@ -199,8 +209,87 @@ int cmd_inject(const std::string& source, unsigned thread, std::uint64_t k,
   return 0;
 }
 
+/// Flags consumed only by `bwc campaign`.
+struct CampaignFlags {
+  fault::FaultType type = fault::FaultType::BranchFlip;
+  unsigned workers = 0;  // 0 = hardware concurrency
+  std::uint64_t seed = 0x5eedf00d;
+  std::string checkpoint_file;
+  std::string resume_file;
+  bool no_protect = false;
+};
+
+int cmd_campaign(const std::string& source, int injections, unsigned threads,
+                 const CampaignFlags& flags, bool recover) {
+  fault::CampaignOptions options;
+  options.num_threads = threads;
+  options.injections = injections;
+  options.type = flags.type;
+  options.seed = flags.seed;
+  options.protect = !flags.no_protect;
+  options.campaign_workers = flags.workers;
+  options.checkpoint_file = flags.checkpoint_file;
+  options.resume_file = flags.resume_file;
+  options.recovery.enabled = recover;
+  if (fault::is_monitor_fault(options.type) && flags.no_protect) {
+    std::fprintf(stderr,
+                 "bwc: monitor-path fault types require the protected "
+                 "build (drop --no-protect)\n");
+    return 2;
+  }
+
+  fault::CampaignResult r = fault::run_campaign(source, options);
+
+  std::printf("campaign: %s, %d injections, %u threads, %u workers, "
+              "seed 0x%llx%s\n",
+              fault::to_string(options.type), options.injections, threads,
+              r.workers, static_cast<unsigned long long>(options.seed),
+              options.protect ? "" : ", unprotected");
+  if (r.resumed > 0) {
+    std::printf("resumed %d completed injections from %s\n", r.resumed,
+                flags.resume_file.c_str());
+  }
+  std::printf("injected   %6d\nactivated  %6d  (%.1f%% activation)\n",
+              r.injected, r.activated, 100.0 * r.activation_rate());
+  std::printf("  benign      %6d\n  detected    %6d\n", r.benign,
+              r.detected);
+  if (recover) std::printf("  recovered   %6d\n", r.recovered);
+  std::printf("  crashed     %6d\n  hung        %6d\n  sdc         %6d\n",
+              r.crashed, r.hung, r.sdc);
+  if (fault::is_monitor_fault(options.type)) {
+    std::printf("  false-alarm %6d\n", r.false_alarms);
+    std::printf("degraded %d  failed %d  discarded %d\n", r.degraded_runs,
+                r.failed_runs, r.discarded);
+  }
+  fault::ConfidenceInterval cov = r.coverage_interval();
+  fault::ConfidenceInterval sdc = r.sdc_interval();
+  std::printf("coverage   %6.2f%%  [%.2f%%, %.2f%%] Wilson 95%%\n",
+              100.0 * r.coverage(), 100.0 * cov.lo, 100.0 * cov.hi);
+  std::printf("sdc rate   %6.2f%%  [%.2f%%, %.2f%%] Wilson 95%%\n",
+              100.0 * (r.activated ? 1.0 - r.coverage() : 0.0),
+              100.0 * sdc.lo, 100.0 * sdc.hi);
+  if (recover) {
+    std::printf("recovery   %6.2f%% of flagged runs finished correctly "
+                "(%llu rollbacks)\n",
+                100.0 * r.recovery_rate(),
+                static_cast<unsigned long long>(r.rollbacks));
+  }
+  std::printf("run wall   min %.3f ms  mean %.3f ms  max %.3f ms\n",
+              r.run_ns_min * 1e-6, r.run_ns_mean * 1e-6,
+              r.run_ns_max * 1e-6);
+  if (r.interrupted) {
+    std::printf("INTERRUPTED after %d/%d injections%s\n", r.injected,
+                options.injections,
+                options.checkpoint_file.empty()
+                    ? ""
+                    : " (checkpoint holds the cursor)");
+  }
+  return 0;
+}
+
 int dispatch(const std::string& cmd, const std::string& source,
-             const std::vector<std::string>& args, bool recover) {
+             const std::vector<std::string>& args,
+             const CampaignFlags& campaign_flags, bool recover) {
   if (cmd == "run" || cmd == "protect") {
     unsigned threads =
         args.size() > 2 ? static_cast<unsigned>(std::atoi(args[2].c_str()))
@@ -218,6 +307,15 @@ int dispatch(const std::string& cmd, const std::string& source,
     std::fputs(pipeline::protect_program(source).module->to_string().c_str(),
                stdout);
     return 0;
+  }
+  if (cmd == "campaign") {
+    int injections =
+        args.size() > 2 ? std::atoi(args[2].c_str()) : 200;
+    unsigned threads =
+        args.size() > 3 ? static_cast<unsigned>(std::atoi(args[3].c_str()))
+                        : 4;
+    return cmd_campaign(source, injections, threads, campaign_flags,
+                        recover);
   }
   if (cmd == "inject" && args.size() >= 4) {
     bool cond_fault = args.size() > 4 && args[4] == "cond";
@@ -240,6 +338,7 @@ int main(int argc, char** argv) {
   bool recover = false;
   bool metrics = false;
   std::string trace_path;
+  CampaignFlags campaign_flags;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
@@ -247,6 +346,22 @@ int main(int argc, char** argv) {
       trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strncmp(argv[i], "--type=", 7) == 0) {
+      if (!fault::parse_fault_type(argv[i] + 7, campaign_flags.type)) {
+        std::fprintf(stderr, "bwc: unknown fault type '%s'\n", argv[i] + 7);
+        return usage();
+      }
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      campaign_flags.workers =
+          static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      campaign_flags.seed = std::strtoull(argv[i] + 7, nullptr, 0);
+    } else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0) {
+      campaign_flags.checkpoint_file = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
+      campaign_flags.resume_file = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--no-protect") == 0) {
+      campaign_flags.no_protect = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "bwc: unknown flag '%s'\n", argv[i]);
       return usage();
@@ -261,7 +376,7 @@ int main(int argc, char** argv) {
   std::string source = load_source(args[1]);
   int rc;
   try {
-    rc = dispatch(cmd, source, args, recover);
+    rc = dispatch(cmd, source, args, campaign_flags, recover);
   } catch (const bw::support::CompileError& e) {
     std::fprintf(stderr, "bwc: %s\n", e.what());
     rc = 1;

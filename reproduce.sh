@@ -92,6 +92,8 @@ if [ "$run_tsan" = 1 ]; then
     ctest --test-dir build-tsan --output-on-failure -L stress
     echo "===== TSan recovery lane (quiesce/reset/rollback rendezvous) ====="
     ctest --test-dir build-tsan --output-on-failure -L recovery
+    echo "===== TSan campaign lane (parallel engine determinism) ====="
+    ctest --test-dir build-tsan --output-on-failure -L campaign
   } 2>&1 | tee tsan_output.txt
 fi
 

@@ -1,8 +1,13 @@
 #include "fault/campaign.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
 
+#include "fault/checkpoint.h"
 #include "support/diagnostics.h"
 #include "support/prng.h"
 #include "support/telemetry/telemetry.h"
@@ -18,6 +23,46 @@ const char* to_string(FaultType type) {
     case FaultType::ReportDrop: return "report-drop";
   }
   return "<bad-fault-type>";
+}
+
+bool parse_fault_type(std::string_view name, FaultType& out) {
+  struct Alias {
+    std::string_view name;
+    FaultType type;
+  };
+  static constexpr Alias kAliases[] = {
+      {"branch-flip", FaultType::BranchFlip},
+      {"flip", FaultType::BranchFlip},
+      {"branch-condition", FaultType::BranchCondition},
+      {"cond", FaultType::BranchCondition},
+      {"monitor-stall", FaultType::MonitorStall},
+      {"stall", FaultType::MonitorStall},
+      {"queue-corrupt", FaultType::QueueCorrupt},
+      {"corrupt", FaultType::QueueCorrupt},
+      {"report-drop", FaultType::ReportDrop},
+      {"drop", FaultType::ReportDrop},
+  };
+  for (const Alias& alias : kAliases) {
+    if (alias.name == name) {
+      out = alias.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::NotActivated: return "not-activated";
+    case Verdict::Benign: return "benign";
+    case Verdict::Detected: return "detected";
+    case Verdict::Recovered: return "recovered";
+    case Verdict::Crashed: return "crashed";
+    case Verdict::Hung: return "hung";
+    case Verdict::Sdc: return "sdc";
+    case Verdict::FalseAlarm: return "false-alarm";
+  }
+  return "<bad-verdict>";
 }
 
 bool is_monitor_fault(FaultType type) {
@@ -56,50 +101,151 @@ GoldenRun golden_run(const pipeline::CompiledProgram& program,
   return golden;
 }
 
+std::uint64_t auto_instruction_budget(const GoldenRun& golden) {
+  // A fault-free thread never exceeds its golden retired-instruction count
+  // by 10x (the counter tracks the logical timeline, so recovery retries
+  // do not inflate it); the additive slack floors the budget for tiny and
+  // empty kernels. Clamp the multiply so a pathological golden count can
+  // never wrap to a small — or zero — budget: ExecutionConfig reads 0 as
+  // "no watchdog at all", which would let a hung injection run forever.
+  constexpr std::uint64_t kSlack = 1'000'000;
+  constexpr std::uint64_t kMax = ~std::uint64_t{0} - kSlack;
+  std::uint64_t scaled = golden.max_thread_instructions <= kMax / 10
+                             ? golden.max_thread_instructions * 10
+                             : kMax;
+  std::uint64_t budget = scaled <= kMax - kSlack ? scaled + kSlack : ~std::uint64_t{0};
+  BW_INTERNAL_CHECK(budget > 0, "auto instruction budget must be nonzero");
+  return budget;
+}
+
+std::uint64_t injection_seed(std::uint64_t base_seed, std::uint32_t index) {
+  // Two rounds of splitmix over (seed, index) decorrelate neighbouring
+  // indices; the stream depends only on the plan position, never on which
+  // worker runs it or in what order.
+  return support::splitmix64(support::splitmix64(base_seed) +
+                             0x9e3779b97f4a7c15ULL * (index + 1));
+}
+
+void accumulate(CampaignResult& shard, const InjectionOutcome& outcome) {
+  // Wall-time fold first: min needs to know whether the shard is empty.
+  if (shard.injected == 0 || outcome.wall_ns < shard.run_ns_min) {
+    shard.run_ns_min = outcome.wall_ns;
+  }
+  shard.run_ns_max = std::max(shard.run_ns_max, outcome.wall_ns);
+  shard.run_ns_total += outcome.wall_ns;
+
+  ++shard.injected;
+  shard.rollbacks += outcome.rollbacks;
+  shard.checkpoints += outcome.checkpoints;
+  shard.restore_ns += outcome.restore_ns;
+  shard.checkpoint_ns += outcome.checkpoint_ns;
+  if (outcome.retry_exhausted) ++shard.retry_exhausted_runs;
+  if (outcome.degraded) ++shard.degraded_runs;
+  if (outcome.failed) ++shard.failed_runs;
+  if (outcome.discarded) ++shard.discarded;
+  if (outcome.recovered_mismatch) ++shard.recovered_mismatch;
+
+  switch (outcome.verdict) {
+    case Verdict::NotActivated: return;
+    case Verdict::Benign: ++shard.benign; break;
+    case Verdict::Detected: ++shard.detected; break;
+    case Verdict::Recovered: ++shard.recovered; break;
+    case Verdict::Crashed: ++shard.crashed; break;
+    case Verdict::Hung: ++shard.hung; break;
+    case Verdict::Sdc: ++shard.sdc; break;
+    case Verdict::FalseAlarm: ++shard.false_alarms; break;
+  }
+  ++shard.activated;
+}
+
+void merge(CampaignResult& into, const CampaignResult& from) {
+  if (from.injected == 0) return;
+  if (into.injected == 0 || from.run_ns_min < into.run_ns_min) {
+    into.run_ns_min = from.run_ns_min;
+  }
+  into.run_ns_max = std::max(into.run_ns_max, from.run_ns_max);
+  into.run_ns_total += from.run_ns_total;
+
+  into.injected += from.injected;
+  into.activated += from.activated;
+  into.benign += from.benign;
+  into.detected += from.detected;
+  into.recovered += from.recovered;
+  into.crashed += from.crashed;
+  into.hung += from.hung;
+  into.sdc += from.sdc;
+  into.false_alarms += from.false_alarms;
+  into.degraded_runs += from.degraded_runs;
+  into.failed_runs += from.failed_runs;
+  into.discarded += from.discarded;
+  into.recovered_mismatch += from.recovered_mismatch;
+  into.retry_exhausted_runs += from.retry_exhausted_runs;
+  into.rollbacks += from.rollbacks;
+  into.checkpoints += from.checkpoints;
+  into.restore_ns += from.restore_ns;
+  into.checkpoint_ns += from.checkpoint_ns;
+}
+
 namespace {
+
+telemetry::FaultOutcomeCode to_outcome_code(Verdict verdict) {
+  // The enums are kept value-aligned (both serialize NotActivated..
+  // FalseAlarm as 0..7); a static_cast would work but the switch keeps the
+  // compiler checking exhaustiveness for us.
+  using OC = telemetry::FaultOutcomeCode;
+  switch (verdict) {
+    case Verdict::NotActivated: return OC::NotActivated;
+    case Verdict::Benign: return OC::Benign;
+    case Verdict::Detected: return OC::Detected;
+    case Verdict::Recovered: return OC::Recovered;
+    case Verdict::Crashed: return OC::Crashed;
+    case Verdict::Hung: return OC::Hung;
+    case Verdict::Sdc: return OC::Sdc;
+    case Verdict::FalseAlarm: return OC::FalseAlarm;
+  }
+  return OC::NotActivated;
+}
 
 /// Fold one classified injection into the registry: a per-outcome counter
 /// plus a FaultOutcome event (a0 = outcome, a1 = faulted thread — 0 for
 /// monitor-path faults, where the fault lands on the consumer side —
 /// a2 = dynamic target index).
-void record_outcome(telemetry::FaultOutcomeCode code, unsigned thread,
-                    std::uint64_t target) {
+void record_outcome(Verdict verdict, unsigned thread, std::uint64_t target) {
   if (!telemetry::enabled()) return;
   using telemetry::Counter;
-  using OC = telemetry::FaultOutcomeCode;
   Counter counter = Counter::kCount;
-  switch (code) {
-    case OC::NotActivated: break;  // FaultInjected - FaultActivated
-    case OC::Benign: counter = Counter::FaultBenign; break;
-    case OC::Detected: counter = Counter::FaultDetected; break;
-    case OC::Recovered: counter = Counter::FaultRecovered; break;
-    case OC::Crashed: counter = Counter::FaultCrashed; break;
-    case OC::Hung: counter = Counter::FaultHung; break;
-    case OC::Sdc: counter = Counter::FaultSdc; break;
-    case OC::FalseAlarm: counter = Counter::FaultFalseAlarm; break;
+  switch (verdict) {
+    case Verdict::NotActivated: break;  // FaultInjected - FaultActivated
+    case Verdict::Benign: counter = Counter::FaultBenign; break;
+    case Verdict::Detected: counter = Counter::FaultDetected; break;
+    case Verdict::Recovered: counter = Counter::FaultRecovered; break;
+    case Verdict::Crashed: counter = Counter::FaultCrashed; break;
+    case Verdict::Hung: counter = Counter::FaultHung; break;
+    case Verdict::Sdc: counter = Counter::FaultSdc; break;
+    case Verdict::FalseAlarm: counter = Counter::FaultFalseAlarm; break;
   }
   if (counter != Counter::kCount) telemetry::counter_add(counter);
-  telemetry::record_event(telemetry::EventKind::FaultOutcome,
-                          telemetry::Phase::Other,
-                          static_cast<std::uint64_t>(code), thread, target);
+  telemetry::record_event(
+      telemetry::EventKind::FaultOutcome, telemetry::Phase::Other,
+      static_cast<std::uint64_t>(to_outcome_code(verdict)), thread, target);
 }
 
 /// One injection run against the application (the paper's BranchFlip /
 /// BranchCondition models), classified into the paper's taxonomy.
-void run_application_fault(const pipeline::CompiledProgram& program,
-                           const CampaignOptions& options,
-                           const GoldenRun& golden, std::uint64_t budget,
-                           support::SplitMixRng& rng,
-                           CampaignResult& result) {
+Verdict run_application_fault(const pipeline::CompiledProgram& program,
+                              const CampaignOptions& options,
+                              const GoldenRun& golden, std::uint64_t budget,
+                              support::SplitMixRng& rng,
+                              InjectionOutcome& outcome) {
   // Paper: pick thread j uniformly, then the k-th dynamic branch of j.
   unsigned thread =
       static_cast<unsigned>(rng.next_below(options.num_threads));
   std::uint64_t branches = golden.branches_per_thread[thread];
   if (branches == 0) {
-    ++result.injected;  // fault lands in a thread that runs no branches
+    // Fault lands in a thread that runs no branches: never activated.
     telemetry::counter_add(telemetry::Counter::FaultInjected);
-    record_outcome(telemetry::FaultOutcomeCode::NotActivated, thread, 0);
-    return;  // never activated
+    record_outcome(Verdict::NotActivated, thread, 0);
+    return Verdict::NotActivated;
   }
   std::uint64_t target = 1 + rng.next_below(branches);
 
@@ -118,63 +264,56 @@ void run_application_fault(const pipeline::CompiledProgram& program,
   config.recovery = options.recovery;
 
   pipeline::ExecutionResult run = pipeline::execute(program, config);
-  ++result.injected;
   telemetry::counter_add(telemetry::Counter::FaultInjected);
-  result.rollbacks += run.recovery.rollbacks;
-  result.checkpoints += run.recovery.checkpoints_taken;
-  result.restore_ns += run.recovery.restore_ns;
-  result.checkpoint_ns += run.recovery.checkpoint_ns;
-  if (run.recovery.retries_exhausted) ++result.retry_exhausted_runs;
+  outcome.rollbacks = run.recovery.rollbacks;
+  outcome.checkpoints = run.recovery.checkpoints_taken;
+  outcome.restore_ns = run.recovery.restore_ns;
+  outcome.checkpoint_ns = run.recovery.checkpoint_ns;
+  outcome.retry_exhausted = run.recovery.retries_exhausted;
   if (!run.run.fault_applied) {
-    record_outcome(telemetry::FaultOutcomeCode::NotActivated, thread, target);
-    return;
+    record_outcome(Verdict::NotActivated, thread, target);
+    return Verdict::NotActivated;
   }
-  ++result.activated;
   telemetry::counter_add(telemetry::Counter::FaultActivated);
 
   // Classification precedence mirrors the paper's procedure: recovery
   // first (the run both detected and corrected), then detection, then
   // crash/hang (caught by other means), then the output comparison
   // against the golden result.
-  telemetry::FaultOutcomeCode outcome;
+  Verdict verdict;
   if (options.protect && run.recovered) {
     if (run.run.output == golden.output) {
-      ++result.recovered;
-      outcome = telemetry::FaultOutcomeCode::Recovered;
+      verdict = Verdict::Recovered;
     } else {
       // Rolled back, replayed, and STILL diverged: the restore is
       // unsound. Counted as sdc (the partition tells the truth) and
       // flagged separately so tests can require zero.
-      ++result.sdc;
-      ++result.recovered_mismatch;
-      outcome = telemetry::FaultOutcomeCode::Sdc;
+      verdict = Verdict::Sdc;
+      outcome.recovered_mismatch = true;
     }
   } else if (options.protect && run.detected) {
-    ++result.detected;
-    outcome = telemetry::FaultOutcomeCode::Detected;
+    verdict = Verdict::Detected;
   } else if (run.run.crash) {
-    ++result.crashed;
-    outcome = telemetry::FaultOutcomeCode::Crashed;
+    verdict = Verdict::Crashed;
   } else if (run.run.hang) {
-    ++result.hung;
-    outcome = telemetry::FaultOutcomeCode::Hung;
+    verdict = Verdict::Hung;
   } else if (run.run.output == golden.output) {
-    ++result.benign;
-    outcome = telemetry::FaultOutcomeCode::Benign;
+    verdict = Verdict::Benign;
   } else {
-    ++result.sdc;
-    outcome = telemetry::FaultOutcomeCode::Sdc;
+    verdict = Verdict::Sdc;
   }
-  record_outcome(outcome, thread, target);
+  record_outcome(verdict, thread, target);
+  return verdict;
 }
 
 /// One injection run against the monitor runtime: the program itself is
 /// clean, the fault lands in the detection path. Proves liveness (no
 /// hangs), output integrity (no SDC) and no false alarms from lost data.
-void run_monitor_fault(const pipeline::CompiledProgram& program,
-                       const CampaignOptions& options,
-                       const GoldenRun& golden, std::uint64_t budget,
-                       support::SplitMixRng& rng, CampaignResult& result) {
+Verdict run_monitor_fault(const pipeline::CompiledProgram& program,
+                          const CampaignOptions& options,
+                          const GoldenRun& golden, std::uint64_t budget,
+                          support::SplitMixRng& rng,
+                          InjectionOutcome& outcome) {
   std::uint64_t reports = std::max<std::uint64_t>(1, golden.monitor_reports);
   std::uint64_t target = 1 + rng.next_below(reports);
 
@@ -204,50 +343,143 @@ void run_monitor_fault(const pipeline::CompiledProgram& program,
   }
 
   pipeline::ExecutionResult run = pipeline::execute(program, config);
-  ++result.injected;
   telemetry::counter_add(telemetry::Counter::FaultInjected);
   if (run.monitor_stats.hooks_fired == 0) {
-    record_outcome(telemetry::FaultOutcomeCode::NotActivated, 0, target);
-    return;  // never activated
+    record_outcome(Verdict::NotActivated, 0, target);
+    return Verdict::NotActivated;  // never activated
   }
-  ++result.activated;
   telemetry::counter_add(telemetry::Counter::FaultActivated);
 
-  if (run.monitor_health == runtime::MonitorHealth::Degraded) {
-    ++result.degraded_runs;
-  } else if (run.monitor_health == runtime::MonitorHealth::Failed) {
-    ++result.failed_runs;
-  }
-  if (run.monitor_stats.reports_rejected > 0) ++result.discarded;
+  outcome.degraded = run.monitor_health == runtime::MonitorHealth::Degraded;
+  outcome.failed = run.monitor_health == runtime::MonitorHealth::Failed;
+  outcome.discarded = run.monitor_stats.reports_rejected > 0;
 
-  telemetry::FaultOutcomeCode outcome;
+  Verdict verdict;
   if (run.run.hang) {
-    ++result.hung;  // liveness failure: the policy did not protect us
-    outcome = telemetry::FaultOutcomeCode::Hung;
+    verdict = Verdict::Hung;  // liveness failure: policy did not protect us
   } else if (run.run.crash) {
-    ++result.crashed;
-    outcome = telemetry::FaultOutcomeCode::Crashed;
+    verdict = Verdict::Crashed;
   } else if (run.detected) {
     // A violation on a clean program. For QueueCorrupt without rejection
     // this would be legitimate detection of the corruption; with the
     // degradation logic in place any flag here is a false alarm.
     if (options.type == FaultType::QueueCorrupt &&
         run.monitor_stats.reports_rejected == 0) {
-      ++result.detected;
-      outcome = telemetry::FaultOutcomeCode::Detected;
+      verdict = Verdict::Detected;
     } else {
-      ++result.false_alarms;
-      outcome = telemetry::FaultOutcomeCode::FalseAlarm;
+      verdict = Verdict::FalseAlarm;
     }
   } else if (run.run.output == golden.output) {
-    ++result.benign;
-    outcome = telemetry::FaultOutcomeCode::Benign;
+    verdict = Verdict::Benign;
   } else {
-    ++result.sdc;  // monitor faults must never corrupt program output
-    outcome = telemetry::FaultOutcomeCode::Sdc;
+    verdict = Verdict::Sdc;  // monitor faults must never corrupt output
   }
-  record_outcome(outcome, 0, target);
+  record_outcome(verdict, 0, target);
+  return verdict;
 }
+
+std::uint64_t now_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// Shared state of one campaign's worker pool. Workers claim plan indices
+/// from an atomic cursor, run injections lock-free, and only take the
+/// mutex to publish a finished outcome (and occasionally serialize a
+/// checkpoint — rare by construction, checkpoint_every completions apart).
+struct CampaignEngine {
+  const pipeline::CompiledProgram& program;
+  const CampaignOptions& options;
+  const GoldenRun& golden;
+  const std::uint64_t budget;
+  const bool monitor_fault;
+
+  std::atomic<int> next{0};
+  std::atomic<bool> halted{false};
+
+  std::mutex mutex;
+  std::vector<InjectionOutcome> outcomes;  // slot i owned by injection i
+  std::vector<char> done;
+  int completed = 0;          // includes resumed outcomes
+  int since_checkpoint = 0;   // completions since the last serialization
+  std::uint64_t busy_ns = 0;  // summed across workers (utilization gauge)
+
+  CampaignEngine(const pipeline::CompiledProgram& p,
+                 const CampaignOptions& o, const GoldenRun& g,
+                 std::uint64_t b)
+      : program(p), options(o), golden(g), budget(b),
+        monitor_fault(is_monitor_fault(o.type)),
+        outcomes(static_cast<std::size_t>(std::max(o.injections, 0))),
+        done(static_cast<std::size_t>(std::max(o.injections, 0)), 0) {}
+
+  // Serialize every completed outcome (caller holds the mutex).
+  void write_checkpoint_locked() {
+    if (options.checkpoint_file.empty()) return;
+    CampaignCheckpoint cp;
+    cp.seed = options.seed;
+    cp.type = options.type;
+    cp.injections = options.injections;
+    cp.num_threads = options.num_threads;
+    cp.protect = options.protect;
+    for (int i = 0; i < options.injections; ++i) {
+      if (done[static_cast<std::size_t>(i)]) {
+        cp.completed.push_back(outcomes[static_cast<std::size_t>(i)]);
+      }
+    }
+    int cursor = 0;
+    while (cursor < options.injections &&
+           done[static_cast<std::size_t>(cursor)]) {
+      ++cursor;
+    }
+    cp.cursor = cursor;
+    save_checkpoint(options.checkpoint_file, cp);
+    since_checkpoint = 0;
+  }
+
+  void worker(unsigned worker_id) {
+    const auto epoch = std::chrono::steady_clock::now();
+    std::uint64_t my_busy = 0;
+    for (;;) {
+      if (halted.load(std::memory_order_relaxed)) break;
+      int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= options.injections) break;
+      if (done[static_cast<std::size_t>(i)]) continue;  // resumed slot
+
+      const std::uint64_t start = now_ns(epoch);
+      InjectionOutcome outcome;
+      outcome.index = static_cast<std::uint32_t>(i);
+      support::SplitMixRng rng(injection_seed(options.seed,
+                                              outcome.index));
+      outcome.verdict =
+          monitor_fault
+              ? run_monitor_fault(program, options, golden, budget, rng,
+                                  outcome)
+              : run_application_fault(program, options, golden, budget, rng,
+                                      outcome);
+      outcome.wall_ns = now_ns(epoch) - start;
+      my_busy += outcome.wall_ns;
+      telemetry::record_event(telemetry::EventKind::CampaignInjection,
+                              telemetry::Phase::Other, outcome.index,
+                              static_cast<std::uint64_t>(outcome.verdict),
+                              worker_id);
+
+      std::lock_guard<std::mutex> lock(mutex);
+      outcomes[static_cast<std::size_t>(i)] = outcome;
+      done[static_cast<std::size_t>(i)] = 1;
+      ++completed;
+      if (options.halt_after > 0 && completed >= options.halt_after) {
+        halted.store(true, std::memory_order_relaxed);
+      }
+      if (++since_checkpoint >= std::max(options.checkpoint_every, 1)) {
+        write_checkpoint_locked();
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    busy_ns += my_busy;
+  }
+};
 
 }  // namespace
 
@@ -256,46 +488,147 @@ CampaignResult run_campaign(std::string_view source,
   const bool monitor_fault = is_monitor_fault(options.type);
   BW_INTERNAL_CHECK(!monitor_fault || options.protect,
                     "monitor-path faults require the protected build");
+  BW_INTERNAL_CHECK(options.injections >= 0,
+                    "negative injection plan");
+  telemetry::SpanScope span(telemetry::Phase::Other, "fault.campaign");
 
   // Compile once; the module is read-only during execution so every
-  // injection run reuses it.
+  // injection run reuses it across all workers.
   pipeline::CompiledProgram program =
       options.protect ? pipeline::protect_program(source, options.pipeline)
                       : pipeline::compile_program(source, options.pipeline);
 
   GoldenRun golden = golden_run(program, options.num_threads);
+  std::uint64_t budget = options.instruction_budget != 0
+                             ? options.instruction_budget
+                             : auto_instruction_budget(golden);
 
-  // Generous watchdog: a fault-free thread never exceeds its golden
-  // instruction count by 10x (the counter tracks the logical timeline, so
-  // recovery retries do not inflate it). An explicit budget overrides.
-  std::uint64_t budget =
-      options.instruction_budget != 0
-          ? options.instruction_budget
-          : golden.max_thread_instructions * 10 + 1'000'000;
+  unsigned workers = options.campaign_workers != 0
+                         ? options.campaign_workers
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::clamp<unsigned>(
+      workers, 1, static_cast<unsigned>(std::max(options.injections, 1)));
 
-  support::SplitMixRng rng(options.seed);
-  CampaignResult result;
+  CampaignEngine engine(program, options, golden, budget);
 
-  std::uint64_t total_ns = 0;
-  for (int i = 0; i < options.injections; ++i) {
-    const auto run_start = std::chrono::steady_clock::now();
-    if (monitor_fault) {
-      run_monitor_fault(program, options, golden, budget, rng, result);
-    } else {
-      run_application_fault(program, options, golden, budget, rng, result);
+  // Resume: replay completed outcomes into their plan slots. Their
+  // telemetry was emitted by the run that produced them; replays only
+  // fold into the result.
+  if (!options.resume_file.empty()) {
+    CampaignCheckpoint cp;
+    std::string error;
+    if (!load_checkpoint(options.resume_file, cp, &error)) {
+      throw support::CompileError("campaign resume: " + error);
     }
-    const std::uint64_t ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - run_start)
-            .count());
-    total_ns += ns;
-    if (i == 0 || ns < result.run_ns_min) result.run_ns_min = ns;
-    if (ns > result.run_ns_max) result.run_ns_max = ns;
+    if (!cp.matches(options)) {
+      throw support::CompileError(
+          "campaign resume: checkpoint '" + options.resume_file +
+          "' was written by a different campaign (seed/type/plan/threads/"
+          "protect mismatch)");
+    }
+    for (const InjectionOutcome& o : cp.completed) {
+      std::size_t slot = o.index;
+      if (slot >= engine.done.size() || engine.done[slot]) continue;
+      engine.outcomes[slot] = o;
+      engine.done[slot] = 1;
+      ++engine.completed;
+    }
   }
-  if (options.injections > 0) {
-    result.run_ns_mean = static_cast<double>(total_ns) / options.injections;
+  const int resumed = engine.completed;
+
+  telemetry::gauge_set(telemetry::Gauge::CampaignWorkers, workers);
+  const auto campaign_start = std::chrono::steady_clock::now();
+  if (workers == 1) {
+    engine.worker(0);  // serial engine: same code path, no pool
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&engine, w] { engine.worker(w); });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  const std::uint64_t campaign_ns = now_ns(campaign_start);
+
+  // All workers joined: the engine is single-threaded again from here.
+  if (!options.checkpoint_file.empty()) engine.write_checkpoint_locked();
+  if (campaign_ns > 0 && workers > 0) {
+    telemetry::gauge_set(
+        telemetry::Gauge::CampaignWorkerUtilPct,
+        std::min<std::uint64_t>(
+            100, 100 * engine.busy_ns / (campaign_ns * workers)));
+  }
+
+  // Deterministic fold: outcomes enter the result in plan order, never in
+  // completion order, so any worker count produces identical bytes.
+  CampaignResult result;
+  result.workers = workers;
+  result.resumed = resumed;
+  for (int i = 0; i < options.injections; ++i) {
+    if (!engine.done[static_cast<std::size_t>(i)]) continue;
+    const InjectionOutcome& o = engine.outcomes[static_cast<std::size_t>(i)];
+    accumulate(result, o);
+    result.verdicts.push_back(o.verdict);
+  }
+  result.interrupted = result.injected < options.injections;
+  if (result.injected > 0) {
+    result.run_ns_mean =
+        static_cast<double>(result.run_ns_total) / result.injected;
   }
   return result;
+}
+
+CleanRunResult run_clean_campaign(const pipeline::CompiledProgram& program,
+                                  const pipeline::ExecutionConfig& config,
+                                  int runs, unsigned workers) {
+  telemetry::SpanScope span(telemetry::Phase::Other, "fault.clean_campaign");
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = std::clamp<unsigned>(workers, 1,
+                                 static_cast<unsigned>(std::max(runs, 1)));
+
+  CleanRunResult total;
+  std::atomic<int> next{0};
+  std::mutex mutex;
+  auto worker = [&] {
+    CleanRunResult shard;
+    for (;;) {
+      int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= runs) break;
+      pipeline::ExecutionResult result = pipeline::execute(program, config);
+      ++shard.runs;
+      if (!result.run.ok) ++shard.failures;
+      shard.violations += static_cast<int>(result.violations.size());
+      if (result.monitor_health == runtime::MonitorHealth::Degraded) {
+        ++shard.degraded;
+      } else if (result.monitor_health == runtime::MonitorHealth::Failed) {
+        ++shard.failed_health;
+      }
+      shard.reports += result.monitor_stats.reports_processed;
+      shard.checks += result.monitor_stats.instances_checked;
+      shard.dropped += result.monitor_stats.dropped_reports;
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    total.runs += shard.runs;
+    total.failures += shard.failures;
+    total.violations += shard.violations;
+    total.degraded += shard.degraded;
+    total.failed_health += shard.failed_health;
+    total.reports += shard.reports;
+    total.checks += shard.checks;
+    total.dropped += shard.dropped;
+  };
+
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return total;
 }
 
 }  // namespace bw::fault

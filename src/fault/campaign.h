@@ -9,12 +9,27 @@
 // application is validated: the protected program must never deadlock,
 // never be misclassified as an SDC, and never raise a false alarm because
 // the monitor lost data.
+//
+// Execution model: the injection plan is embarrassingly parallel — every
+// injection is an independent run of the compiled program — so the engine
+// partitions it across a worker pool. Determinism is preserved by
+// construction: injection i draws its (thread, branch, bit) sample from a
+// private RNG stream derived from (campaign seed, i), never from a shared
+// sequential stream, and per-injection outcomes are folded into the final
+// CampaignResult in index order. The outcome partition, recovery tallies,
+// and per-injection verdict list are therefore identical for ANY worker
+// count, including the workers=1 serial loop (guarded by
+// tests/campaign_parallel_test.cpp). Long campaigns can checkpoint
+// completed injections to a file and resume after an interruption; see
+// CampaignCheckpoint in fault/checkpoint.h.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "fault/stats.h"
 #include "pipeline/pipeline.h"
 
 namespace bw::fault {
@@ -31,6 +46,11 @@ enum class FaultType {
 
 const char* to_string(FaultType type);
 
+/// Parse a fault-type name as printed by to_string (plus the short CLI
+/// aliases "flip"/"cond"/"stall"/"corrupt"/"drop"). Returns false on an
+/// unknown name, leaving `out` untouched.
+bool parse_fault_type(std::string_view name, FaultType& out);
+
 /// True for the fault models that target the monitor runtime itself.
 bool is_monitor_fault(FaultType type);
 
@@ -39,6 +59,45 @@ bool is_monitor_fault(FaultType type);
 /// completes in milliseconds instead of serializing the campaign on the
 /// production 250 ms deadline.
 bw::runtime::MonitorOptions fast_degrade_monitor_options();
+
+/// Classification of one injection (the paper's outcome taxonomy plus the
+/// monitor-path FalseAlarm bucket). Values are serialized into campaign
+/// checkpoints — append only, never renumber.
+enum class Verdict : std::uint8_t {
+  NotActivated = 0,  // the fault target was never reached
+  Benign,            // output matched the golden run (masked)
+  Detected,          // the monitor flagged the run
+  Recovered,         // flagged, rolled back, finished with correct output
+  Crashed,           // memory/arithmetic trap
+  Hung,              // deadlock or runaway (watchdog)
+  Sdc,               // completed with wrong output
+  FalseAlarm,        // monitor-path fault made a clean run get flagged
+};
+
+const char* to_string(Verdict verdict);
+
+/// Everything one injection contributes to the campaign: its verdict plus
+/// the side tallies the serial engine used to accumulate in place. Workers
+/// produce these independently; accumulate()/merge() fold them into
+/// CampaignResult deterministically. Also the unit of checkpoint
+/// serialization (fault/checkpoint.h).
+struct InjectionOutcome {
+  std::uint32_t index = 0;  // position in the injection plan
+  Verdict verdict = Verdict::NotActivated;
+  // Monitor-path side flags (set only for activated monitor faults):
+  bool degraded = false;   // run ended MonitorHealth::Degraded
+  bool failed = false;     // run ended MonitorHealth::Failed
+  bool discarded = false;  // checksum validation rejected corrupted report
+  // Recovery side tallies (application faults under recovery):
+  bool recovered_mismatch = false;  // rolled back, replayed, still diverged
+  bool retry_exhausted = false;     // burned the whole retry budget
+  std::uint64_t rollbacks = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t restore_ns = 0;
+  std::uint64_t checkpoint_ns = 0;
+  // Wall time of this injection's full pipeline run.
+  std::uint64_t wall_ns = 0;
+};
 
 struct CampaignOptions {
   unsigned num_threads = 4;
@@ -55,7 +114,7 @@ struct CampaignOptions {
   /// Per-thread retired-instruction watchdog for every injection run.
   /// 0 = auto: 10x the golden run's max thread count plus slack (covers
   /// recovery retries, which re-execute checkpointed work up to
-  /// 1 + max_retries times).
+  /// 1 + max_retries times). See auto_instruction_budget().
   std::uint64_t instruction_budget = 0;
   /// Barrier-aligned checkpoint/rollback for application-fault runs (see
   /// vm/recovery.h). Ignored for monitor-path fault types: those stress
@@ -63,6 +122,27 @@ struct CampaignOptions {
   /// broken monitor is exactly the degraded path the recovery tests cover
   /// separately.
   vm::RecoveryOptions recovery;
+
+  // --- Parallel engine ------------------------------------------------
+  /// Worker threads executing the injection plan. 0 = hardware
+  /// concurrency (min 1); 1 = the serial loop, no pool spawned. The
+  /// outcome partition is worker-count-invariant by construction.
+  unsigned campaign_workers = 0;
+  /// When non-empty, serialize every completed injection plus the plan
+  /// cursor to this file after each `checkpoint_every` completions (and
+  /// once more at campaign end), so an interrupted campaign can resume.
+  std::string checkpoint_file;
+  int checkpoint_every = 16;
+  /// When non-empty, load a checkpoint written by a previous run of the
+  /// SAME campaign (seed/type/injections/threads/protect must match;
+  /// throws support::CompileError otherwise). Completed injections replay
+  /// their recorded outcomes; only the remainder executes.
+  std::string resume_file;
+  /// Test hook simulating a mid-campaign kill: stop dispatching new
+  /// injections once this many have completed (0 = run to completion).
+  /// The result is marked interrupted and the checkpoint file (if any)
+  /// holds everything needed to resume.
+  int halt_after = 0;
 };
 
 struct CampaignResult {
@@ -102,15 +182,41 @@ struct CampaignResult {
   std::uint64_t checkpoint_ns = 0;    // total time inside commits
 
   // Per-injection-run wall time (nanoseconds), over all injected runs.
+  // min/max/total merge associatively across worker shards; mean is
+  // derived from total at the end, never accumulated.
   std::uint64_t run_ns_min = 0;
   std::uint64_t run_ns_max = 0;
+  std::uint64_t run_ns_total = 0;
   double run_ns_mean = 0.0;
+
+  // --- Parallel-engine bookkeeping ------------------------------------
+  /// Worker threads the engine actually used.
+  unsigned workers = 1;
+  /// Injections replayed from a resume checkpoint instead of re-executed.
+  int resumed = 0;
+  /// The campaign was halted before completing the plan (halt_after);
+  /// the partition covers only the completed prefix set.
+  bool interrupted = false;
+  /// Per-injection verdicts in plan (index) order — the campaign's
+  /// canonical outcome list. Identical across worker counts and across
+  /// kill/resume for a fixed (source, options) pair.
+  std::vector<Verdict> verdicts;
 
   /// The paper's coverage metric: fraction of activated faults that do
   /// not produce an SDC (includes masked/crash/hang/detected/recovered).
   double coverage() const {
     return activated == 0 ? 1.0
                           : 1.0 - static_cast<double>(sdc) / activated;
+  }
+  /// Wilson 95% bounds on coverage() over the activated sample.
+  ConfidenceInterval coverage_interval() const {
+    return wilson_interval(static_cast<std::uint64_t>(activated - sdc),
+                           static_cast<std::uint64_t>(activated));
+  }
+  /// Wilson 95% bounds on the SDC rate (the complement's interval).
+  ConfidenceInterval sdc_interval() const {
+    return wilson_interval(static_cast<std::uint64_t>(sdc),
+                           static_cast<std::uint64_t>(activated));
   }
   /// Fraction of activated faults whose run finished with CORRECT output:
   /// masked plus detect-and-correct. Detection alone keeps coverage() high
@@ -133,6 +239,23 @@ struct CampaignResult {
   }
 };
 
+/// Fold one injection outcome into a result shard. Pure tallying — order
+/// of calls does not matter except for the verdict list, which the engine
+/// writes separately in index order.
+void accumulate(CampaignResult& shard, const InjectionOutcome& outcome);
+
+/// Merge a worker shard into `into`. Associative and commutative (all
+/// fields are sums, mins, maxes, or ors), so any shard fold order yields
+/// the same bytes — guarded by tests/campaign_stats_test.cpp. Does not
+/// touch `verdicts`, `workers`, `resumed`, `interrupted` or the derived
+/// `run_ns_mean`.
+void merge(CampaignResult& into, const CampaignResult& from);
+
+/// The RNG seed for injection `index` of a campaign with `base_seed`:
+/// a splitmix64 mix of the two, so every injection owns an independent
+/// stream regardless of which worker runs it or when.
+std::uint64_t injection_seed(std::uint64_t base_seed, std::uint32_t index);
+
 /// Run a whole campaign against one BW-C program.
 CampaignResult run_campaign(std::string_view source,
                             const CampaignOptions& options);
@@ -150,5 +273,32 @@ struct GoldenRun {
 
 GoldenRun golden_run(const pipeline::CompiledProgram& program,
                      unsigned num_threads);
+
+/// The auto watchdog budget for one injection run: 10x the golden run's
+/// max per-thread retired-instruction count plus fixed slack, clamped so
+/// it is always finite and nonzero — a kernel whose parallel section
+/// retires zero instructions must still get a real budget, never the 0
+/// that ExecutionConfig interprets as "no watchdog".
+std::uint64_t auto_instruction_budget(const GoldenRun& golden);
+
+/// Fault-free campaign: execute `runs` clean runs of an instrumented
+/// program across the same worker pool the injection engine uses, and
+/// tally violations/health (the paper's false-positive experiment, and
+/// the fuzz lane's per-seed clean sweep). Any violation on a race-free
+/// program is a false positive.
+struct CleanRunResult {
+  int runs = 0;
+  int failures = 0;    // runs that did not complete cleanly
+  int violations = 0;  // total violations across all runs (must be 0)
+  int degraded = 0;    // runs ending Degraded
+  int failed_health = 0;  // runs ending Failed
+  std::uint64_t reports = 0;  // total reports the monitors processed
+  std::uint64_t checks = 0;   // total instances checked
+  std::uint64_t dropped = 0;  // total reports dropped
+};
+
+CleanRunResult run_clean_campaign(const pipeline::CompiledProgram& program,
+                                  const pipeline::ExecutionConfig& config,
+                                  int runs, unsigned workers = 0);
 
 }  // namespace bw::fault

@@ -1,0 +1,158 @@
+#include "fault/checkpoint.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace bw::fault {
+
+namespace {
+
+constexpr const char* kMagic = "bw-campaign-checkpoint v1";
+
+// Side flags packed into one hex field so the format stays one line per
+// outcome. Bit assignments are part of the v1 format — append only.
+constexpr unsigned kFlagDegraded = 1u << 0;
+constexpr unsigned kFlagFailed = 1u << 1;
+constexpr unsigned kFlagDiscarded = 1u << 2;
+constexpr unsigned kFlagRecoveredMismatch = 1u << 3;
+constexpr unsigned kFlagRetryExhausted = 1u << 4;
+
+unsigned pack_flags(const InjectionOutcome& o) {
+  unsigned flags = 0;
+  if (o.degraded) flags |= kFlagDegraded;
+  if (o.failed) flags |= kFlagFailed;
+  if (o.discarded) flags |= kFlagDiscarded;
+  if (o.recovered_mismatch) flags |= kFlagRecoveredMismatch;
+  if (o.retry_exhausted) flags |= kFlagRetryExhausted;
+  return flags;
+}
+
+void unpack_flags(unsigned flags, InjectionOutcome& o) {
+  o.degraded = (flags & kFlagDegraded) != 0;
+  o.failed = (flags & kFlagFailed) != 0;
+  o.discarded = (flags & kFlagDiscarded) != 0;
+  o.recovered_mismatch = (flags & kFlagRecoveredMismatch) != 0;
+  o.retry_exhausted = (flags & kFlagRetryExhausted) != 0;
+}
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+bool CampaignCheckpoint::matches(const CampaignOptions& options) const {
+  return seed == options.seed && type == options.type &&
+         injections == options.injections &&
+         num_threads == options.num_threads && protect == options.protect;
+}
+
+std::string CampaignCheckpoint::to_text() const {
+  std::string out;
+  out.reserve(64 + completed.size() * 48);
+  char line[192];
+  std::snprintf(line, sizeof(line), "%s\n", kMagic);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "seed %" PRIx64 " type %s injections %d threads %u "
+                "protect %d\n",
+                seed, fault::to_string(type), injections, num_threads,
+                protect ? 1 : 0);
+  out += line;
+  std::snprintf(line, sizeof(line), "cursor %d\n", cursor);
+  out += line;
+  for (const InjectionOutcome& o : completed) {
+    std::snprintf(line, sizeof(line),
+                  "o %" PRIu32 " %u %x %" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %" PRIu64 " %" PRIu64 "\n",
+                  o.index, static_cast<unsigned>(o.verdict), pack_flags(o),
+                  o.rollbacks, o.checkpoints, o.restore_ns, o.checkpoint_ns,
+                  o.wall_ns);
+    out += line;
+  }
+  return out;
+}
+
+bool CampaignCheckpoint::from_text(const std::string& text,
+                                   CampaignCheckpoint& out,
+                                   std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return fail(error, "not a bw-campaign-checkpoint v1 file");
+  }
+
+  CampaignCheckpoint cp;
+  char type_name[64] = {0};
+  int protect_int = 0;
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(),
+                  "seed %" SCNx64 " type %63s injections %d threads %u "
+                  "protect %d",
+                  &cp.seed, type_name, &cp.injections, &cp.num_threads,
+                  &protect_int) != 5) {
+    return fail(error, "malformed identity line");
+  }
+  cp.protect = protect_int != 0;
+  if (!parse_fault_type(type_name, cp.type)) {
+    return fail(error, std::string("unknown fault type '") + type_name + "'");
+  }
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "cursor %d", &cp.cursor) != 1) {
+    return fail(error, "malformed cursor line");
+  }
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    InjectionOutcome o;
+    unsigned verdict = 0;
+    unsigned flags = 0;
+    if (std::sscanf(line.c_str(),
+                    "o %" SCNu32 " %u %x %" SCNu64 " %" SCNu64 " %" SCNu64
+                    " %" SCNu64 " %" SCNu64,
+                    &o.index, &verdict, &flags, &o.rollbacks, &o.checkpoints,
+                    &o.restore_ns, &o.checkpoint_ns, &o.wall_ns) != 8) {
+      return fail(error, "malformed outcome line: " + line);
+    }
+    if (verdict > static_cast<unsigned>(Verdict::FalseAlarm)) {
+      return fail(error, "outcome verdict out of range: " + line);
+    }
+    if (o.index >= static_cast<std::uint32_t>(
+                       std::max(cp.injections, 0))) {
+      return fail(error, "outcome index beyond the plan: " + line);
+    }
+    o.verdict = static_cast<Verdict>(verdict);
+    unpack_flags(flags, o);
+    cp.completed.push_back(o);
+  }
+  std::sort(cp.completed.begin(), cp.completed.end(),
+            [](const InjectionOutcome& a, const InjectionOutcome& b) {
+              return a.index < b.index;
+            });
+  out = std::move(cp);
+  return true;
+}
+
+bool save_checkpoint(const std::string& path,
+                     const CampaignCheckpoint& checkpoint) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << checkpoint.to_text();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool load_checkpoint(const std::string& path, CampaignCheckpoint& out,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) return fail(error, "cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return CampaignCheckpoint::from_text(buffer.str(), out, error);
+}
+
+}  // namespace bw::fault

@@ -1,0 +1,65 @@
+// Campaign checkpointing: a textual, versioned serialization of every
+// completed injection outcome plus the plan cursor, so a long coverage
+// campaign that dies mid-flight (preempted bench box, ctrl-C, crash)
+// resumes instead of restarting. Because every injection's RNG stream is
+// derived from (seed, index) — never from scheduling order — replaying
+// recorded outcomes for the completed set and executing only the
+// remainder reproduces the uninterrupted campaign's partition and verdict
+// list exactly (tests/campaign_parallel_test.cpp, KillAndResume*).
+//
+// Format (line-oriented; '#' starts a comment):
+//   bw-campaign-checkpoint v1
+//   seed <hex> type <fault-type> injections <n> threads <n> protect <0|1>
+//   cursor <contiguous-completed-prefix>
+//   o <index> <verdict> <flags-hex> <rollbacks> <checkpoints> <restore_ns>
+//     <checkpoint_ns> <wall_ns>            (one line per completed injection,
+//                                           sorted by index)
+// The identity line guards against resuming with mismatched options: the
+// outcomes are only valid for the exact (seed, type, plan size, threads,
+// protect) tuple they were produced under.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/campaign.h"
+
+namespace bw::fault {
+
+struct CampaignCheckpoint {
+  // Campaign identity: a checkpoint may only resume an identical plan.
+  std::uint64_t seed = 0;
+  FaultType type = FaultType::BranchFlip;
+  int injections = 0;
+  unsigned num_threads = 0;
+  bool protect = true;
+
+  /// Completed injections, sorted by index (holes allowed: workers finish
+  /// out of order, so an interrupt can leave gaps behind the high-water
+  /// mark).
+  std::vector<InjectionOutcome> completed;
+  /// Length of the contiguous completed prefix [0, cursor) — the plan
+  /// cursor a resumed campaign can skip without consulting the set.
+  int cursor = 0;
+
+  /// Does this checkpoint belong to the campaign `options` describes?
+  bool matches(const CampaignOptions& options) const;
+
+  std::string to_text() const;
+  /// Parse a checkpoint written by to_text(). On failure returns false
+  /// and, when `error` is non-null, stores a one-line reason.
+  static bool from_text(const std::string& text, CampaignCheckpoint& out,
+                        std::string* error = nullptr);
+};
+
+/// Atomically-enough persistence: write to `path` in one pass. Returns
+/// false on any I/O error.
+bool save_checkpoint(const std::string& path,
+                     const CampaignCheckpoint& checkpoint);
+
+/// Load and parse `path`. Returns false (with a reason in `error`) if the
+/// file is unreadable or malformed.
+bool load_checkpoint(const std::string& path, CampaignCheckpoint& out,
+                     std::string* error = nullptr);
+
+}  // namespace bw::fault

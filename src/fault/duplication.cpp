@@ -22,7 +22,7 @@ DuplicationResult run_duplication(std::string_view source,
   pipeline::CompiledProgram program =
       pipeline::compile_program(source, popts);
   GoldenRun golden = golden_run(program, options.num_threads);
-  std::uint64_t budget = golden.max_thread_instructions * 10 + 1'000'000;
+  std::uint64_t budget = auto_instruction_budget(golden);
 
   support::SplitMixRng rng(options.seed);
   CampaignResult& c = result.campaign;

@@ -1,0 +1,30 @@
+#include "fault/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.h"
+
+namespace bw::fault {
+
+ConfidenceInterval wilson_interval(std::uint64_t successes,
+                                   std::uint64_t trials, double z) {
+  BW_INTERNAL_CHECK(successes <= trials,
+                    "wilson_interval: successes exceed trials");
+  if (trials == 0) return {0.0, 1.0};
+
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+
+  ConfidenceInterval ci;
+  ci.lo = std::clamp((center - margin) / denom, 0.0, 1.0);
+  ci.hi = std::clamp((center + margin) / denom, 0.0, 1.0);
+  return ci;
+}
+
+}  // namespace bw::fault

@@ -1,0 +1,30 @@
+// Statistics helpers for fault-injection campaigns. The paper's coverage
+// numbers are binomial proportions estimated from a finite sample of
+// injections; Wu et al. (arXiv:1808.01093) stress that resilience stats
+// are meaningless without error bars, so CampaignResult reports Wilson
+// score intervals alongside every point estimate. The Wilson interval is
+// preferred over the normal approximation because it stays inside [0, 1]
+// and behaves sanely at the extremes (0%, 100%, tiny n) that coverage
+// campaigns actually produce.
+#pragma once
+
+#include <cstdint>
+
+namespace bw::fault {
+
+/// A two-sided confidence interval for a proportion, clamped to [0, 1].
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  double width() const { return hi - lo; }
+  bool contains(double p) const { return p >= lo && p <= hi; }
+};
+
+/// Wilson score interval for `successes` out of `trials` Bernoulli trials
+/// at critical value `z` (default 1.96 ~ 95% two-sided). With zero trials
+/// there is no information: returns the vacuous [0, 1].
+ConfidenceInterval wilson_interval(std::uint64_t successes,
+                                   std::uint64_t trials, double z = 1.96);
+
+}  // namespace bw::fault

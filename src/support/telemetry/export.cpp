@@ -45,6 +45,8 @@ ArgNames arg_names(EventKind kind) {
     case EventKind::ShardFlush: return {"thread", "shard", "reports"};
     case EventKind::QueueHighWater: return {"thread", "shard", "unused"};
     case EventKind::FaultOutcome: return {"outcome", "thread", "target"};
+    case EventKind::CampaignInjection:
+      return {"index", "verdict", "worker"};
     case EventKind::kCount: break;
   }
   return {"a0", "a1", "a2"};

@@ -52,6 +52,9 @@ const char* to_string(Gauge gauge) {
     case Gauge::MonitorShards: return "monitor.shards";
     case Gauge::MonitorHealth: return "monitor.health";
     case Gauge::NumThreads: return "vm.num_threads";
+    case Gauge::CampaignWorkers: return "fault.campaign_workers";
+    case Gauge::CampaignWorkerUtilPct:
+      return "fault.campaign_worker_util_pct";
     case Gauge::kCount: break;
   }
   return "<bad-gauge>";
@@ -90,6 +93,7 @@ const char* to_string(EventKind kind) {
     case EventKind::ShardFlush: return "shard_flush";
     case EventKind::QueueHighWater: return "queue_high_water";
     case EventKind::FaultOutcome: return "fault_outcome";
+    case EventKind::CampaignInjection: return "campaign_injection";
     case EventKind::kCount: break;
   }
   return "<bad-event-kind>";

@@ -88,6 +88,9 @@ enum class Gauge : std::uint16_t {
   MonitorShards,
   MonitorHealth,  // 0 healthy / 1 degraded / 2 failed
   NumThreads,
+  // Last fault campaign's worker pool.
+  CampaignWorkers,
+  CampaignWorkerUtilPct,  // 100 * sum(worker busy ns) / (workers * wall)
   kCount,
 };
 
@@ -119,6 +122,7 @@ enum class EventKind : std::uint8_t {
   ShardFlush,        // a0=thread     a1=shard       a2=reports
   QueueHighWater,    // a0=thread     a1=shard       a2=0
   FaultOutcome,      // a0=outcome(FaultOutcomeCode) a1=thread a2=target
+  CampaignInjection,  // a0=plan index a1=verdict     a2=worker id
   kCount,
 };
 

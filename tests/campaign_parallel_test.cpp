@@ -1,0 +1,261 @@
+// Differential determinism suite for the parallel campaign engine: the
+// same (source, options) pair must produce byte-identical outcome
+// partitions, per-injection verdict lists, and coverage numbers whether
+// the plan runs on 1, 2, or 8 workers — and a campaign that is killed
+// mid-flight and resumed from its checkpoint must reproduce the
+// uninterrupted result exactly. Application-fault campaigns are the ones
+// with this guarantee (their per-injection RNG streams fully determine
+// each run); monitor-path campaigns depend on real watchdog timing and
+// are covered by the invariants in fault_test.cpp instead.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "fault/campaign.h"
+#include "fault/checkpoint.h"
+#include "support/diagnostics.h"
+
+namespace {
+
+using namespace bw;
+
+constexpr const char* kKernel = R"BWC(
+global int n = 96;
+global int data[96];
+global int sums[8];
+func init() {
+  for (int i = 0; i < n; i = i + 1) { data[i] = hashrand(i) % 100; }
+}
+func slave() {
+  int p = nthreads();
+  int id = tid();
+  int s = 0;
+  for (int i = id; i < n; i = i + p) {
+    if (data[i] > 40) { s = s + data[i]; } else { s = s + 1; }
+  }
+  sums[id] = s;
+  barrier();
+  if (id == 0) {
+    int total = 0;
+    for (int t = 0; t < p; t = t + 1) { total = total + sums[t]; }
+    print_i(total);
+  }
+}
+)BWC";
+
+fault::CampaignOptions base_options(fault::FaultType type) {
+  fault::CampaignOptions options;
+  options.num_threads = 4;
+  options.injections = 48;
+  options.type = type;
+  options.seed = 0xDE7E12317157C0DEULL;
+  options.protect = true;
+  return options;
+}
+
+/// The full deterministic surface of a CampaignResult: every partition
+/// bucket, every recovery tally, and the verdict list. Wall-time fields
+/// are excluded — they are merge-deterministic but measure real time.
+void expect_identical(const fault::CampaignResult& a,
+                      const fault::CampaignResult& b, const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.activated, b.activated);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.hung, b.hung);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.false_alarms, b.false_alarms);
+  EXPECT_EQ(a.degraded_runs, b.degraded_runs);
+  EXPECT_EQ(a.failed_runs, b.failed_runs);
+  EXPECT_EQ(a.discarded, b.discarded);
+  EXPECT_EQ(a.recovered_mismatch, b.recovered_mismatch);
+  EXPECT_EQ(a.retry_exhausted_runs, b.retry_exhausted_runs);
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+  EXPECT_EQ(a.checkpoints, b.checkpoints);
+  EXPECT_EQ(a.coverage(), b.coverage());
+  EXPECT_EQ(a.coverage_interval().lo, b.coverage_interval().lo);
+  EXPECT_EQ(a.coverage_interval().hi, b.coverage_interval().hi);
+  ASSERT_EQ(a.verdicts.size(), b.verdicts.size());
+  for (std::size_t i = 0; i < a.verdicts.size(); ++i) {
+    EXPECT_EQ(a.verdicts[i], b.verdicts[i]) << "verdict " << i;
+  }
+}
+
+TEST(CampaignParallel, WorkersOneTwoEightProduceIdenticalPartitions) {
+  fault::CampaignOptions options = base_options(fault::FaultType::BranchFlip);
+  options.campaign_workers = 1;  // the serial engine
+  fault::CampaignResult serial = fault::run_campaign(kKernel, options);
+  EXPECT_EQ(serial.workers, 1u);
+  EXPECT_EQ(serial.injected, options.injections);
+  EXPECT_FALSE(serial.interrupted);
+  ASSERT_EQ(serial.verdicts.size(),
+            static_cast<std::size_t>(options.injections));
+
+  for (unsigned workers : {2u, 8u}) {
+    options.campaign_workers = workers;
+    fault::CampaignResult parallel = fault::run_campaign(kKernel, options);
+    EXPECT_EQ(parallel.workers, workers);
+    expect_identical(serial, parallel,
+                     workers == 2 ? "workers=2 vs serial"
+                                  : "workers=8 vs serial");
+  }
+}
+
+TEST(CampaignParallel, ConditionFaultsAreWorkerInvariantToo) {
+  fault::CampaignOptions options =
+      base_options(fault::FaultType::BranchCondition);
+  options.campaign_workers = 1;
+  fault::CampaignResult serial = fault::run_campaign(kKernel, options);
+  options.campaign_workers = 8;
+  fault::CampaignResult parallel = fault::run_campaign(kKernel, options);
+  expect_identical(serial, parallel, "condition faults, workers=8");
+}
+
+TEST(CampaignParallel, RecoveryCampaignIsWorkerInvariant) {
+  fault::CampaignOptions options = base_options(fault::FaultType::BranchFlip);
+  options.recovery.enabled = true;
+  options.recovery.checkpoint_interval = 1;
+  options.campaign_workers = 1;
+  fault::CampaignResult serial = fault::run_campaign(kKernel, options);
+  options.campaign_workers = 4;
+  fault::CampaignResult parallel = fault::run_campaign(kKernel, options);
+  expect_identical(serial, parallel, "recovery campaign, workers=4");
+}
+
+TEST(CampaignParallel, KillAndResumeReproducesUninterruptedResult) {
+  const std::string ckpt =
+      ::testing::TempDir() + "bw_campaign_resume_test.ckpt";
+  fault::CampaignOptions options = base_options(fault::FaultType::BranchFlip);
+  options.campaign_workers = 2;
+
+  fault::CampaignResult reference = fault::run_campaign(kKernel, options);
+  ASSERT_FALSE(reference.interrupted);
+
+  // "Kill" the campaign partway through: halt_after stops dispatch once 17
+  // injections completed; the checkpoint file holds the cursor.
+  options.checkpoint_file = ckpt;
+  options.checkpoint_every = 4;
+  options.halt_after = 17;
+  fault::CampaignResult partial = fault::run_campaign(kKernel, options);
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_GE(partial.injected, 17);
+  EXPECT_LT(partial.injected, options.injections);
+
+  // Resume: completed injections replay from the checkpoint, the rest
+  // execute — on a different worker count for good measure.
+  options.halt_after = 0;
+  options.checkpoint_file.clear();
+  options.resume_file = ckpt;
+  options.campaign_workers = 8;
+  fault::CampaignResult resumed = fault::run_campaign(kKernel, options);
+  EXPECT_EQ(resumed.resumed, partial.injected);
+  EXPECT_FALSE(resumed.interrupted);
+  expect_identical(reference, resumed, "kill-and-resume vs uninterrupted");
+  std::remove(ckpt.c_str());
+}
+
+TEST(CampaignParallel, CheckpointRoundTripsThroughText) {
+  fault::CampaignCheckpoint cp;
+  cp.seed = 0xABCDEF;
+  cp.type = fault::FaultType::BranchCondition;
+  cp.injections = 10;
+  cp.num_threads = 4;
+  cp.protect = true;
+  cp.cursor = 2;
+  fault::InjectionOutcome o;
+  o.index = 0;
+  o.verdict = fault::Verdict::Detected;
+  o.rollbacks = 3;
+  o.wall_ns = 12345;
+  cp.completed.push_back(o);
+  o.index = 1;
+  o.verdict = fault::Verdict::Sdc;
+  o.recovered_mismatch = true;
+  o.retry_exhausted = true;
+  o.checkpoint_ns = 777;
+  cp.completed.push_back(o);
+  o = {};
+  o.index = 7;  // hole between 1 and 7: workers finish out of order
+  o.verdict = fault::Verdict::Benign;
+  o.degraded = true;
+  cp.completed.push_back(o);
+
+  fault::CampaignCheckpoint back;
+  std::string error;
+  ASSERT_TRUE(fault::CampaignCheckpoint::from_text(cp.to_text(), back,
+                                                   &error))
+      << error;
+  EXPECT_EQ(back.seed, cp.seed);
+  EXPECT_EQ(back.type, cp.type);
+  EXPECT_EQ(back.injections, cp.injections);
+  EXPECT_EQ(back.num_threads, cp.num_threads);
+  EXPECT_EQ(back.protect, cp.protect);
+  EXPECT_EQ(back.cursor, cp.cursor);
+  ASSERT_EQ(back.completed.size(), cp.completed.size());
+  for (std::size_t i = 0; i < cp.completed.size(); ++i) {
+    const fault::InjectionOutcome& want = cp.completed[i];
+    const fault::InjectionOutcome& got = back.completed[i];
+    EXPECT_EQ(got.index, want.index);
+    EXPECT_EQ(got.verdict, want.verdict);
+    EXPECT_EQ(got.degraded, want.degraded);
+    EXPECT_EQ(got.recovered_mismatch, want.recovered_mismatch);
+    EXPECT_EQ(got.retry_exhausted, want.retry_exhausted);
+    EXPECT_EQ(got.rollbacks, want.rollbacks);
+    EXPECT_EQ(got.checkpoint_ns, want.checkpoint_ns);
+    EXPECT_EQ(got.wall_ns, want.wall_ns);
+  }
+}
+
+TEST(CampaignParallel, MalformedCheckpointsAreRejected) {
+  fault::CampaignCheckpoint cp;
+  std::string error;
+  EXPECT_FALSE(fault::CampaignCheckpoint::from_text("not a checkpoint", cp,
+                                                    &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(fault::CampaignCheckpoint::from_text(
+      "bw-campaign-checkpoint v1\nseed zzz\n", cp, &error));
+}
+
+TEST(CampaignParallel, ResumeRejectsAMismatchedCampaign) {
+  const std::string ckpt =
+      ::testing::TempDir() + "bw_campaign_mismatch_test.ckpt";
+  fault::CampaignOptions options = base_options(fault::FaultType::BranchFlip);
+  options.injections = 12;
+  options.campaign_workers = 1;
+  options.checkpoint_file = ckpt;
+  fault::run_campaign(kKernel, options);
+
+  options.checkpoint_file.clear();
+  options.resume_file = ckpt;
+  options.seed ^= 1;  // different campaign: the samples would not match
+  EXPECT_THROW(fault::run_campaign(kKernel, options),
+               support::CompileError);
+  std::remove(ckpt.c_str());
+}
+
+TEST(CampaignParallel, CleanCampaignIsWorkerInvariantAndQuiet) {
+  pipeline::CompiledProgram program = pipeline::protect_program(kKernel);
+  pipeline::ExecutionConfig config;
+  config.num_threads = 4;
+  fault::CleanRunResult serial =
+      fault::run_clean_campaign(program, config, 6, 1);
+  fault::CleanRunResult parallel =
+      fault::run_clean_campaign(program, config, 6, 4);
+  EXPECT_EQ(serial.runs, 6);
+  EXPECT_EQ(parallel.runs, 6);
+  EXPECT_EQ(serial.violations, 0);
+  EXPECT_EQ(parallel.violations, 0);
+  EXPECT_EQ(serial.failures, 0);
+  EXPECT_EQ(parallel.failures, 0);
+  // Clean instrumented runs report a deterministic number of branches, so
+  // the processed-report total is worker-invariant too.
+  EXPECT_EQ(serial.reports, parallel.reports);
+  EXPECT_EQ(serial.dropped, 0u);
+  EXPECT_EQ(parallel.dropped, 0u);
+}
+
+}  // namespace

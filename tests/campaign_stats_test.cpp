@@ -1,0 +1,222 @@
+// Unit tests for the campaign statistics helpers: Wilson score interval
+// edge cases (the 0%, 100%, and n=1 corners coverage campaigns actually
+// hit) and the shard-accumulator algebra — merge() must be associative
+// and commutative so the parallel engine's fold is order-independent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fault/campaign.h"
+#include "fault/stats.h"
+
+namespace {
+
+using namespace bw;
+
+TEST(WilsonInterval, ZeroTrialsIsVacuous) {
+  fault::ConfidenceInterval ci = fault::wilson_interval(0, 0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 1.0);
+}
+
+TEST(WilsonInterval, ZeroPercentStaysInsideTheUnitInterval) {
+  fault::ConfidenceInterval ci = fault::wilson_interval(0, 50);
+  EXPECT_EQ(ci.lo, 0.0);  // a normal-approximation interval would go < 0
+  EXPECT_GT(ci.hi, 0.0);
+  EXPECT_LT(ci.hi, 0.15);  // rule of three: ~3/n
+  EXPECT_TRUE(ci.contains(0.0));
+}
+
+TEST(WilsonInterval, HundredPercentStaysInsideTheUnitInterval) {
+  fault::ConfidenceInterval ci = fault::wilson_interval(50, 50);
+  EXPECT_EQ(ci.hi, 1.0);
+  EXPECT_LT(ci.lo, 1.0);
+  EXPECT_GT(ci.lo, 0.85);
+  EXPECT_TRUE(ci.contains(1.0));
+}
+
+TEST(WilsonInterval, SingleTrialIsWideButProper) {
+  fault::ConfidenceInterval success = fault::wilson_interval(1, 1);
+  fault::ConfidenceInterval failure = fault::wilson_interval(0, 1);
+  EXPECT_GT(success.width(), 0.5);  // one observation proves very little
+  EXPECT_GT(failure.width(), 0.5);
+  EXPECT_EQ(success.hi, 1.0);
+  EXPECT_EQ(failure.lo, 0.0);
+  // Symmetric by construction: p and 1-p mirror each other.
+  EXPECT_NEAR(success.lo, 1.0 - failure.hi, 1e-12);
+}
+
+TEST(WilsonInterval, ContainsThePointEstimateAndShrinksWithN) {
+  double last_width = 1.0;
+  for (std::uint64_t n : {10ull, 100ull, 1000ull, 10000ull}) {
+    fault::ConfidenceInterval ci = fault::wilson_interval(n * 9 / 10, n);
+    EXPECT_TRUE(ci.contains(0.9)) << "n=" << n;
+    EXPECT_LT(ci.width(), last_width) << "n=" << n;
+    last_width = ci.width();
+  }
+  EXPECT_LT(last_width, 0.02);  // 10k trials pin the rate down tightly
+}
+
+TEST(WilsonInterval, HigherConfidenceIsWider) {
+  fault::ConfidenceInterval z95 = fault::wilson_interval(90, 100, 1.96);
+  fault::ConfidenceInterval z99 = fault::wilson_interval(90, 100, 2.576);
+  EXPECT_GT(z99.width(), z95.width());
+}
+
+// ---------------------------------------------------------------------------
+// Accumulator algebra.
+// ---------------------------------------------------------------------------
+
+/// A deterministic bag of heterogeneous outcomes touching every tally.
+std::vector<fault::InjectionOutcome> sample_outcomes() {
+  std::vector<fault::InjectionOutcome> all;
+  const fault::Verdict verdicts[] = {
+      fault::Verdict::NotActivated, fault::Verdict::Benign,
+      fault::Verdict::Detected,     fault::Verdict::Recovered,
+      fault::Verdict::Crashed,      fault::Verdict::Hung,
+      fault::Verdict::Sdc,          fault::Verdict::FalseAlarm,
+  };
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    fault::InjectionOutcome o;
+    o.index = i;
+    o.verdict = verdicts[i % 8];
+    o.degraded = i % 3 == 0;
+    o.failed = i % 5 == 0;
+    o.discarded = i % 4 == 1;
+    o.recovered_mismatch = o.verdict == fault::Verdict::Sdc && i % 2 == 0;
+    o.retry_exhausted = i % 7 == 0;
+    o.rollbacks = i;
+    o.checkpoints = 2 * i + 1;
+    o.restore_ns = 100 + i;
+    o.checkpoint_ns = 50 + i;
+    o.wall_ns = 1000 + 13 * ((i * 7) % 24);  // non-monotonic: min/max matter
+    all.push_back(o);
+  }
+  return all;
+}
+
+void expect_equal_tallies(const fault::CampaignResult& a,
+                          const fault::CampaignResult& b) {
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.activated, b.activated);
+  EXPECT_EQ(a.benign, b.benign);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.hung, b.hung);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.false_alarms, b.false_alarms);
+  EXPECT_EQ(a.degraded_runs, b.degraded_runs);
+  EXPECT_EQ(a.failed_runs, b.failed_runs);
+  EXPECT_EQ(a.discarded, b.discarded);
+  EXPECT_EQ(a.recovered_mismatch, b.recovered_mismatch);
+  EXPECT_EQ(a.retry_exhausted_runs, b.retry_exhausted_runs);
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+  EXPECT_EQ(a.checkpoints, b.checkpoints);
+  EXPECT_EQ(a.restore_ns, b.restore_ns);
+  EXPECT_EQ(a.checkpoint_ns, b.checkpoint_ns);
+  EXPECT_EQ(a.run_ns_min, b.run_ns_min);
+  EXPECT_EQ(a.run_ns_max, b.run_ns_max);
+  EXPECT_EQ(a.run_ns_total, b.run_ns_total);
+}
+
+TEST(CampaignAccumulator, AccumulatePartitionsActivatedOutcomes) {
+  fault::CampaignResult r;
+  for (const fault::InjectionOutcome& o : sample_outcomes()) {
+    fault::accumulate(r, o);
+  }
+  EXPECT_EQ(r.injected, 24);
+  EXPECT_EQ(r.benign + r.detected + r.recovered + r.crashed + r.hung +
+                r.sdc + r.false_alarms,
+            r.activated);
+  EXPECT_EQ(r.injected - r.activated, 3);  // one NotActivated per 8-cycle
+  EXPECT_GT(r.run_ns_max, r.run_ns_min);
+  EXPECT_EQ(r.run_ns_total,
+            [&] {
+              std::uint64_t total = 0;
+              for (const auto& o : sample_outcomes()) total += o.wall_ns;
+              return total;
+            }());
+}
+
+TEST(CampaignAccumulator, MergeIsCommutative) {
+  std::vector<fault::InjectionOutcome> all = sample_outcomes();
+  fault::CampaignResult a, b;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    fault::accumulate(i % 2 ? a : b, all[i]);
+  }
+  fault::CampaignResult ab = a;
+  fault::merge(ab, b);
+  fault::CampaignResult ba = b;
+  fault::merge(ba, a);
+  expect_equal_tallies(ab, ba);
+}
+
+TEST(CampaignAccumulator, MergeIsAssociativeUnderPermutedShardOrders) {
+  std::vector<fault::InjectionOutcome> all = sample_outcomes();
+
+  // Serial reference: everything accumulated into one shard.
+  fault::CampaignResult reference;
+  for (const fault::InjectionOutcome& o : all) {
+    fault::accumulate(reference, o);
+  }
+
+  // Split into 4 shards round-robin, then fold in every shard order.
+  fault::CampaignResult shards[4];
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    fault::accumulate(shards[i % 4], all[i]);
+  }
+  int order[4] = {0, 1, 2, 3};
+  do {
+    fault::CampaignResult merged;
+    for (int s : order) fault::merge(merged, shards[s]);
+    expect_equal_tallies(reference, merged);
+    // Nested fold ((s0+s1)+(s2+s3)) must equal the linear fold too.
+    fault::CampaignResult left = shards[order[0]];
+    fault::merge(left, shards[order[1]]);
+    fault::CampaignResult right = shards[order[2]];
+    fault::merge(right, shards[order[3]]);
+    fault::merge(left, right);
+    expect_equal_tallies(reference, left);
+  } while (std::next_permutation(order, order + 4));
+}
+
+TEST(CampaignAccumulator, MergingAnEmptyShardIsIdentity) {
+  fault::CampaignResult r;
+  for (const fault::InjectionOutcome& o : sample_outcomes()) {
+    fault::accumulate(r, o);
+  }
+  fault::CampaignResult copy = r;
+  fault::CampaignResult empty;
+  fault::merge(copy, empty);
+  expect_equal_tallies(r, copy);
+  fault::CampaignResult other;
+  fault::merge(other, r);
+  expect_equal_tallies(r, other);
+}
+
+TEST(InjectionSeed, StreamsAreIndexAndSeedSensitive) {
+  // Neighbouring indices and neighbouring base seeds must not collide —
+  // the whole determinism story rests on stream independence.
+  EXPECT_NE(fault::injection_seed(1, 0), fault::injection_seed(1, 1));
+  EXPECT_NE(fault::injection_seed(1, 0), fault::injection_seed(2, 0));
+  EXPECT_NE(fault::injection_seed(0, 0), fault::injection_seed(0, 1));
+  EXPECT_EQ(fault::injection_seed(42, 7), fault::injection_seed(42, 7));
+}
+
+TEST(InstructionBudget, AutoBudgetIsAlwaysFiniteAndNonzero) {
+  fault::GoldenRun golden;  // empty parallel section: zero instructions
+  EXPECT_GT(fault::auto_instruction_budget(golden), 0u);
+
+  golden.max_thread_instructions = 1'000'000;
+  EXPECT_EQ(fault::auto_instruction_budget(golden),
+            10'000'000u + 1'000'000u);
+
+  // A pathological golden count must clamp, not wrap to a tiny budget.
+  golden.max_thread_instructions = ~std::uint64_t{0} / 2;
+  EXPECT_GT(fault::auto_instruction_budget(golden),
+            golden.max_thread_instructions);
+}
+
+}  // namespace

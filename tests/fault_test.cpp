@@ -46,28 +46,36 @@ TEST(FaultCampaign, OutcomesPartitionActivatedFaults) {
   options.num_threads = 4;
   options.injections = 50;
   options.protect = true;
+  options.campaign_workers = 4;  // exercise the parallel engine
   fault::CampaignResult r = fault::run_campaign(kKernel, options);
   EXPECT_EQ(r.injected, 50);
+  EXPECT_EQ(r.workers, 4u);
   EXPECT_LE(r.activated, r.injected);
   EXPECT_EQ(r.benign + r.detected + r.crashed + r.hung + r.sdc,
             r.activated);
   EXPECT_GE(r.coverage(), 0.0);
   EXPECT_LE(r.coverage(), 1.0);
+  ASSERT_EQ(r.verdicts.size(), 50u);
 }
 
 TEST(FaultCampaign, SameSeedSameResult) {
+  // Per-injection RNG streams make the result a function of (seed, plan),
+  // so a serial and a 4-worker campaign must agree exactly.
   fault::CampaignOptions options;
   options.num_threads = 4;
   options.injections = 30;
   options.seed = 999;
   options.protect = true;
+  options.campaign_workers = 1;
   fault::CampaignResult a = fault::run_campaign(kKernel, options);
+  options.campaign_workers = 4;
   fault::CampaignResult b = fault::run_campaign(kKernel, options);
   EXPECT_EQ(a.detected, b.detected);
   EXPECT_EQ(a.sdc, b.sdc);
   EXPECT_EQ(a.benign, b.benign);
   EXPECT_EQ(a.crashed, b.crashed);
   EXPECT_EQ(a.hung, b.hung);
+  EXPECT_EQ(a.verdicts, b.verdicts);
 }
 
 TEST(FaultCampaign, ProtectionImprovesCoverage) {
@@ -194,6 +202,9 @@ TEST(MonitorFaultCampaign, StallNeverDeadlocksOrCorruptsOutput) {
   options.num_threads = 4;
   options.injections = 12;
   options.type = fault::FaultType::MonitorStall;
+  // Monitor-fault runs are watchdog-timed; two workers exercise the
+  // parallel path without piling timing pressure onto a small machine.
+  options.campaign_workers = 2;
   fault::CampaignResult r = fault::run_campaign(kLoopyKernel, options);
   EXPECT_EQ(r.injected, 12);
   EXPECT_GT(r.activated, 0);
@@ -217,6 +228,7 @@ TEST(MonitorFaultCampaign, QueueCorruptionIsRejectedNotBelieved) {
   options.num_threads = 4;
   options.injections = 25;
   options.type = fault::FaultType::QueueCorrupt;
+  options.campaign_workers = 2;
   fault::CampaignResult r = fault::run_campaign(kKernel, options);
   EXPECT_GT(r.activated, 0);
   EXPECT_EQ(r.hung, 0);
@@ -236,6 +248,7 @@ TEST(MonitorFaultCampaign, LostReportsNeverRaiseFalseAlarms) {
   options.num_threads = 4;
   options.injections = 25;
   options.type = fault::FaultType::ReportDrop;
+  options.campaign_workers = 2;
   fault::CampaignResult r = fault::run_campaign(kKernel, options);
   EXPECT_GT(r.activated, 0);
   EXPECT_EQ(r.hung, 0);

@@ -9,10 +9,14 @@
 // legacy single-consumer Monitor, odd seeds a ShardedMonitor whose shard
 // count and batch size also rotate with the seed — so the clean-run
 // guarantee covers both the legacy and the sharded/batched check paths.
+// Clean runs execute through the campaign worker pool
+// (fault::run_clean_campaign, two workers) so the fuzz lane also covers
+// concurrent pipeline::execute calls over one shared CompiledProgram.
 #include <gtest/gtest.h>
 
 #include <string>
 
+#include "fault/campaign.h"
 #include "kernel_generator.h"
 #include "pipeline/pipeline.h"
 
@@ -44,15 +48,16 @@ TEST_P(FuzzNoFalsePositives, CleanRunNeverFlagged) {
       config.monitor_shards = shards;
       config.monitor_batch = batch;
     }
-    pipeline::ExecutionResult result = pipeline::execute(program, config);
-    ASSERT_TRUE(result.run.ok) << "threads=" << threads;
-    EXPECT_FALSE(result.detected)
+    fault::CleanRunResult clean =
+        fault::run_clean_campaign(program, config, /*runs=*/2, /*workers=*/2);
+    ASSERT_EQ(clean.runs, 2) << "threads=" << threads;
+    ASSERT_EQ(clean.failures, 0) << "threads=" << threads;
+    EXPECT_EQ(clean.violations, 0)
         << "FALSE POSITIVE at " << threads << " threads, "
         << (sharded ? "sharded" : "legacy") << " backend (shards=" << shards
-        << " batch=" << batch << "), " << result.violations.size()
-        << " violations";
-    EXPECT_EQ(result.monitor_health, runtime::MonitorHealth::Healthy);
-    EXPECT_EQ(result.monitor_stats.dropped_reports, 0u);
+        << " batch=" << batch << ")";
+    EXPECT_EQ(clean.failed_health, 0) << "threads=" << threads;
+    EXPECT_EQ(clean.dropped, 0u) << "threads=" << threads;
   }
 }
 
