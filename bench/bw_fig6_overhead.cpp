@@ -15,12 +15,13 @@
 // wire protocol over the sharded fabric). See EXPERIMENTS.md for the
 // recorded batch=1 vs batch=64 comparison.
 //
-//   usage: bw_fig6_overhead [reps] [--shards=K] [--batch=B]
+//   usage: bw_fig6_overhead [reps] [--shards=K] [--batch=B] [--json=<file>]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "benchmarks/registry.h"
@@ -57,11 +58,14 @@ double median_parallel_seconds(const pipeline::CompiledProgram& program,
 
 int main(int argc, char** argv) {
   int reps = 3;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       g_shards = static_cast<unsigned>(std::atoi(argv[i] + 9));
     } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
       g_batch = static_cast<std::size_t>(std::atol(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else {
       reps = std::atoi(argv[i]);
     }
@@ -79,6 +83,11 @@ int main(int argc, char** argv) {
   double log_sum4 = 0.0;
   double log_sum32 = 0.0;
   int count = 0;
+  struct Row {
+    std::string name;
+    double ratio4, ratio32;
+  };
+  std::vector<Row> rows;
   for (const benchmarks::Benchmark& bench : benchmarks::all_benchmarks()) {
     pipeline::CompiledProgram baseline =
         pipeline::compile_program(bench.source);
@@ -100,13 +109,39 @@ int main(int argc, char** argv) {
                 ratios[0], ratios[1]);
     log_sum4 += std::log(ratios[0]);
     log_sum32 += std::log(ratios[1]);
+    rows.push_back({bench.name, ratios[0], ratios[1]});
     ++count;
   }
+  const double geomean4 = std::exp(log_sum4 / count);
+  const double geomean32 = std::exp(log_sum32 / count);
   std::printf("%-22s %11.2fx %11.2fx   (paper: 2.15x / 1.16x)\n", "geomean",
-              std::exp(log_sum4 / count), std::exp(log_sum32 / count));
+              geomean4, geomean32);
   std::printf(
       "\nNote: this container has 1 core, so threads timeshare; the "
       "normalized\nratio (instrumented/baseline at equal thread count) is "
       "the comparable\nquantity, not absolute time. See EXPERIMENTS.md.\n");
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"bw_fig6_overhead\",\n  \"reps\": %d,\n"
+                 "  \"shards\": %u,\n  \"batch\": %zu,\n  \"rows\": [\n",
+                 reps, g_shards, g_batch);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"program\": \"%s\", \"ratio_4t\": %.4f, "
+                   "\"ratio_32t\": %.4f}%s\n",
+                   rows[i].name.c_str(), rows[i].ratio4, rows[i].ratio32,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n  \"geomean_4t\": %.4f,\n  \"geomean_32t\": %.4f\n}\n",
+                 geomean4, geomean32);
+    std::fclose(out);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
   return 0;
 }

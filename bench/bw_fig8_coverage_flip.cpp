@@ -10,10 +10,13 @@
 // protected coverage — the error bar the paper's Figure 8 bars omit.
 //
 //   usage: bw_fig8_coverage_flip [injections] [threads...] [--workers=N]
+//          [--json=<file>]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "benchmarks/registry.h"
 #include "fault/campaign.h"
@@ -24,9 +27,12 @@ int main(int argc, char** argv) {
   std::vector<unsigned> thread_counts;
   int injections = 150;
   int positional = 0;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       workers = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else if (positional++ == 0) {
       injections = std::atoi(argv[i]);
     } else {
@@ -39,6 +45,13 @@ int main(int argc, char** argv) {
               "per cell; higher is better)\n\n", injections);
   const auto bench_start = std::chrono::steady_clock::now();
   unsigned workers_used = 1;
+  struct Row {
+    std::string program;
+    unsigned threads;
+    double orig, prot, ci_lo, ci_hi;
+    int detected, crashed, hung, benign, sdc;
+  };
+  std::vector<Row> rows;
   for (unsigned threads : thread_counts) {
     std::printf("--- %u threads ---\n", threads);
     std::printf("%-22s %10s %12s %17s %8s %28s\n", "Program", "original",
@@ -74,6 +87,11 @@ int main(int argc, char** argv) {
           protected_run.benign, protected_run.sdc);
       sum_orig += original.coverage();
       sum_prot += protected_run.coverage();
+      rows.push_back({bench.name, threads, original.coverage(),
+                      protected_run.coverage(), ci.lo, ci.hi,
+                      protected_run.detected, protected_run.crashed,
+                      protected_run.hung, protected_run.benign,
+                      protected_run.sdc});
       ++count;
     }
     std::printf("%-22s %9.1f%% %11.1f%%   (paper: 83%% / 97-98%%)\n\n",
@@ -86,5 +104,31 @@ int main(int argc, char** argv) {
           .count();
   std::printf("total wall-clock %.2f s at %u campaign workers\n", wall_s,
               workers_used);
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"bw_fig8_coverage_flip\",\n"
+                 "  \"injections\": %d,\n  \"rows\": [\n",
+                 injections);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(out,
+                   "    {\"program\": \"%s\", \"threads\": %u, "
+                   "\"coverage_original\": %.4f, \"coverage_protected\": "
+                   "%.4f, \"ci_lo\": %.4f, \"ci_hi\": %.4f, "
+                   "\"detected\": %d, \"crashed\": %d, \"hung\": %d, "
+                   "\"benign\": %d, \"sdc\": %d}%s\n",
+                   r.program.c_str(), r.threads, r.orig, r.prot, r.ci_lo,
+                   r.ci_hi, r.detected, r.crashed, r.hung, r.benign, r.sdc,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
   return 0;
 }

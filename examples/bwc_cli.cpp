@@ -13,13 +13,23 @@
 //                                         inject one fault and classify
 //   bwc campaign <prog> [injections] [threads] [--type=...] [--workers=N]
 //                [--seed=S] [--checkpoint=<file>] [--resume=<file>]
-//                [--no-protect] [--recover]
+//                [--no-protect] [--recover] [--flips=N]
 //                                         run a parallel fault-injection
 //                                         campaign and print the outcome
 //                                         partition with Wilson 95% CIs
 //
 // <prog> is a path to a .bwc source file, or "bench:<name>" for a
-// built-in SPLASH-2 kernel (bench:fft, bench:radix, ...).
+// built-in SPLASH-2 kernel (bench:fft, bench:radix, ...) or service
+// kernel (bench:auth_check, bench:dispatch).
+//
+// Sampled monitoring (protect and campaign; see docs/bwc_cli.md):
+//   --sampling        adaptive 1-in-N sampling: full checking while the
+//                     overhead budget holds, degrade under queue pressure,
+//                     snap back to full on any violation/anomaly
+//   --sample-rate=N   pin deterministic 1-in-N sampling (no adaptation);
+//                     N=1 is full checking through the sampling path
+//   --flips=N         targeted-flip campaigns: adversary budget per
+//                     injection (0 = unbounded; default 4)
 //
 // Observability flags (any command, see docs/observability.md):
 //   --trace=<file>   record a Chrome trace_event JSON trace of the run
@@ -89,11 +99,11 @@ int usage() {
       stderr,
       "usage: bwc <run|protect|analyze|emit-ir|emit-instrumented|inject|"
       "campaign> <file.bwc|bench:name> [args] [--recover] [--trace=<file>] "
-      "[--metrics]\n"
+      "[--metrics] [--sampling] [--sample-rate=N]\n"
       "       bwc campaign <prog> [injections] [threads] [--type=flip|cond|"
-      "stall|corrupt|drop]\n"
+      "targeted|stall|corrupt|drop]\n"
       "           [--workers=N] [--seed=S] [--checkpoint=<file>] "
-      "[--resume=<file>] [--no-protect] [--recover]\n");
+      "[--resume=<file>] [--no-protect] [--recover] [--flips=N]\n");
   return 2;
 }
 
@@ -111,7 +121,7 @@ void print_recovery_stats(const vm::RecoveryStats& r) {
 }
 
 int cmd_run(const std::string& source, unsigned threads, bool protect,
-            bool recover) {
+            bool recover, const runtime::SamplingOptions& sampling) {
   pipeline::CompiledProgram program =
       protect ? pipeline::protect_program(source)
               : pipeline::compile_program(source);
@@ -119,6 +129,7 @@ int cmd_run(const std::string& source, unsigned threads, bool protect,
   config.num_threads = threads;
   config.monitor =
       protect ? pipeline::MonitorMode::Full : pipeline::MonitorMode::Off;
+  config.monitor_options.sampling = sampling;
   config.recovery.enabled = recover;
   pipeline::ExecutionResult result = pipeline::execute(program, config);
   std::fputs(result.run.output.c_str(), stdout);
@@ -138,6 +149,19 @@ int cmd_run(const std::string& source, unsigned threads, bool protect,
                  static_cast<unsigned long long>(
                      result.monitor_stats.reports_processed),
                  result.violations.size());
+    if (sampling.enabled || sampling.forced_rate > 0) {
+      std::fprintf(stderr,
+                   "bwc: sampling: %llu sampled out, %llu degrades, "
+                   "%llu snap-backs, rate 1-in-%u (peak 1-in-%u)\n",
+                   static_cast<unsigned long long>(
+                       result.monitor_stats.reports_sampled_out),
+                   static_cast<unsigned long long>(
+                       result.monitor_stats.sampling_degrades),
+                   static_cast<unsigned long long>(
+                       result.monitor_stats.sampling_snap_backs),
+                   result.monitor_stats.sampling_rate_final,
+                   result.monitor_stats.sampling_rate_peak);
+    }
     if (result.recovered) return 6;
     if (result.detected) return 3;
     if (result.monitor_health == runtime::MonitorHealth::Degraded) return 4;
@@ -217,10 +241,12 @@ struct CampaignFlags {
   std::string checkpoint_file;
   std::string resume_file;
   bool no_protect = false;
+  unsigned targeted_flips = 4;
 };
 
 int cmd_campaign(const std::string& source, int injections, unsigned threads,
-                 const CampaignFlags& flags, bool recover) {
+                 const CampaignFlags& flags, bool recover,
+                 const runtime::SamplingOptions& sampling) {
   fault::CampaignOptions options;
   options.num_threads = threads;
   options.injections = injections;
@@ -231,6 +257,8 @@ int cmd_campaign(const std::string& source, int injections, unsigned threads,
   options.checkpoint_file = flags.checkpoint_file;
   options.resume_file = flags.resume_file;
   options.recovery.enabled = recover;
+  options.monitor.sampling = sampling;
+  options.targeted_flips = flags.targeted_flips;
   if (fault::is_monitor_fault(options.type) && flags.no_protect) {
     std::fprintf(stderr,
                  "bwc: monitor-path fault types require the protected "
@@ -245,6 +273,16 @@ int cmd_campaign(const std::string& source, int injections, unsigned threads,
               fault::to_string(options.type), options.injections, threads,
               r.workers, static_cast<unsigned long long>(options.seed),
               options.protect ? "" : ", unprotected");
+  if (sampling.forced_rate > 0) {
+    std::printf("sampling: forced 1-in-%u\n", sampling.forced_rate);
+  } else if (sampling.enabled) {
+    std::printf("sampling: adaptive (max 1-in-%u)\n", sampling.max_rate);
+  }
+  if (options.type == fault::FaultType::TargetedFlip) {
+    std::printf("adversary budget: %u flips per injection%s\n",
+                options.targeted_flips,
+                options.targeted_flips == 0 ? " (unbounded)" : "");
+  }
   if (r.resumed > 0) {
     std::printf("resumed %d completed injections from %s\n", r.resumed,
                 flags.resume_file.c_str());
@@ -289,13 +327,14 @@ int cmd_campaign(const std::string& source, int injections, unsigned threads,
 
 int dispatch(const std::string& cmd, const std::string& source,
              const std::vector<std::string>& args,
-             const CampaignFlags& campaign_flags, bool recover) {
+             const CampaignFlags& campaign_flags, bool recover,
+             const runtime::SamplingOptions& sampling) {
   if (cmd == "run" || cmd == "protect") {
     unsigned threads =
         args.size() > 2 ? static_cast<unsigned>(std::atoi(args[2].c_str()))
                         : 4;
     return cmd_run(source, threads, cmd == "protect",
-                   recover && cmd == "protect");
+                   recover && cmd == "protect", sampling);
   }
   if (cmd == "analyze") return cmd_analyze(source);
   if (cmd == "emit-ir") {
@@ -315,7 +354,7 @@ int dispatch(const std::string& cmd, const std::string& source,
         args.size() > 3 ? static_cast<unsigned>(std::atoi(args[3].c_str()))
                         : 4;
     return cmd_campaign(source, injections, threads, campaign_flags,
-                        recover);
+                        recover, sampling);
   }
   if (cmd == "inject" && args.size() >= 4) {
     bool cond_fault = args.size() > 4 && args[4] == "cond";
@@ -339,9 +378,18 @@ int main(int argc, char** argv) {
   bool metrics = false;
   std::string trace_path;
   CampaignFlags campaign_flags;
+  runtime::SamplingOptions sampling;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
+    } else if (std::strcmp(argv[i], "--sampling") == 0) {
+      sampling.enabled = true;
+    } else if (std::strncmp(argv[i], "--sample-rate=", 14) == 0) {
+      sampling.forced_rate =
+          static_cast<std::uint32_t>(std::atoi(argv[i] + 14));
+    } else if (std::strncmp(argv[i], "--flips=", 8) == 0) {
+      campaign_flags.targeted_flips =
+          static_cast<unsigned>(std::atoi(argv[i] + 8));
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -376,7 +424,7 @@ int main(int argc, char** argv) {
   std::string source = load_source(args[1]);
   int rc;
   try {
-    rc = dispatch(cmd, source, args, campaign_flags, recover);
+    rc = dispatch(cmd, source, args, campaign_flags, recover, sampling);
   } catch (const bw::support::CompileError& e) {
     std::fprintf(stderr, "bwc: %s\n", e.what());
     rc = 1;

@@ -94,6 +94,8 @@ if [ "$run_tsan" = 1 ]; then
     ctest --test-dir build-tsan --output-on-failure -L recovery
     echo "===== TSan campaign lane (parallel engine determinism) ====="
     ctest --test-dir build-tsan --output-on-failure -L campaign
+    echo "===== TSan sampling lane (adaptive rate ladder under races) ====="
+    ctest --test-dir build-tsan --output-on-failure -L sampling
   } 2>&1 | tee tsan_output.txt
 fi
 

@@ -1,0 +1,107 @@
+// Auth-check kernel: a request-processing loop modeled on a service
+// front-end. Every thread walks the same shared request stream and
+// evaluates the same access-control decisions (token validity, revocation
+// list, ACL mask) — branch outcomes that MUST agree across threads, the
+// BLOCKWATCH "shared" category. Side effects (grant/deny/audit counters)
+// are partitioned by `i % p == id`, the thread-id category. Thread 0
+// revokes one principal per round between barriers, so the shared
+// decisions evolve over the run instead of being loop-invariant.
+//
+// This is the critical-branch workload for the targeted fault model: a
+// single flipped auth decision admits a request that every sibling thread
+// denied, which is exactly the divergence the monitor keys on.
+#include "benchmarks/registry.h"
+
+namespace bw::benchmarks {
+
+const char* auth_check_source() {
+  return R"BWC(
+// 256 queued requests x 8 policy rounds against a 64-principal ACL table.
+global int NREQ = 256;
+global int ROUNDS = 8;
+global int token[256];
+global int perm[64];
+global int required[8];
+global int revoked[64];
+global int granted_c[32];
+global int denied_c[32];
+global int audit_c[32];
+
+func init() {
+  for (int i = 0; i < NREQ; i = i + 1) {
+    // ~10% of tokens are negative (malformed) and fail validation.
+    token[i] = hashrand(i) % 72 - 7;
+  }
+  for (int u = 0; u < 64; u = u + 1) {
+    perm[u] = hashrand(u + 131) & 15;
+    revoked[u] = 0;
+  }
+  for (int r = 0; r < ROUNDS; r = r + 1) {
+    required[r] = 1 << (r % 4);
+  }
+}
+
+func slave() {
+  int p = nthreads();
+  int id = tid();
+  int granted = 0;
+  int denied = 0;
+  int audited = 0;
+
+  for (int r = 0; r < ROUNDS; r = r + 1) {
+    int need = required[r];
+    for (int i = 0; i < NREQ; i = i + 1) {
+      int tok = token[i];
+      int ok = 0;
+      // The auth decision: identical inputs on every thread, so every
+      // branch below must resolve identically across the team.
+      if (tok >= 0) {
+        int u = tok % 64;
+        if (revoked[u] == 0) {
+          if ((perm[u] & need) != 0) {
+            ok = 1;
+          }
+        }
+      }
+      // Commit the decision on the owning thread only.
+      if (i % p == id) {
+        if (ok == 1) {
+          granted = granted + 1;
+        } else {
+          denied = denied + 1;
+        }
+        if (tok % 8 == 0) {
+          audited = audited + 1;
+        }
+      }
+    }
+    barrier();
+    if (id == 0) {
+      // Revoke one principal per round; visible to all threads next round.
+      revoked[(r * 11 + 5) % 64] = 1;
+    }
+    barrier();
+  }
+
+  granted_c[id] = granted;
+  denied_c[id] = denied;
+  audit_c[id] = audited;
+  barrier();
+  if (id == 0) {
+    int g = 0;
+    int d = 0;
+    int a = 0;
+    for (int t = 0; t < p; t = t + 1) {
+      g = g + granted_c[t];
+      d = d + denied_c[t];
+      a = a + audit_c[t];
+    }
+    print_i(g);
+    print_i(d);
+    print_i(a);
+  }
+}
+)BWC";
+}
+
+}  // namespace bw::benchmarks

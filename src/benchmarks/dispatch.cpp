@@ -1,0 +1,119 @@
+// Dispatch-loop kernel: a request router modeled on a worker pool's main
+// loop. Every thread reads the same shared opcode queue and takes the
+// same dispatch branches (the BLOCKWATCH "shared" category — a flipped
+// opcode decision routes a request to the wrong handler on one thread
+// only, which the monitor flags); handler side effects touch only the
+// owning thread's partition of the state array. A shared completion
+// counter exercises atomic_add and a lock-guarded error log exercises the
+// lock()/unlock() idiom, both classified thread-id/none rather than
+// shared.
+#include "benchmarks/registry.h"
+
+namespace bw::benchmarks {
+
+const char* dispatch_source() {
+  return R"BWC(
+// 256 queued requests x 6 rounds through a 5-way opcode dispatch.
+global int QLEN = 256;
+global int ROUNDS = 6;
+global int opcode[256];
+global int arg[256];
+global int state[256];
+global int completed = 0;
+global int error_log = 0;
+global int sum_c[32];
+
+func init() {
+  for (int i = 0; i < QLEN; i = i + 1) {
+    opcode[i] = hashrand(i * 3 + 1) % 5;
+    arg[i] = hashrand(i + 977) % 100;
+    state[i] = 0;
+  }
+}
+
+func slave() {
+  int p = nthreads();
+  int id = tid();
+
+  for (int r = 0; r < ROUNDS; r = r + 1) {
+    for (int i = 0; i < QLEN; i = i + 1) {
+      int op = opcode[i];
+      int mine = 0;
+      if (i % p == id) {
+        mine = 1;
+      }
+      // The dispatch: every thread resolves the same opcode the same way.
+      if (op == 0) {
+        if (mine == 1) {
+          state[i] = state[i] + arg[i];
+        }
+      } else {
+        if (op == 1) {
+          if (mine == 1) {
+            state[i] = state[i] * 2 + 1;
+          }
+        } else {
+          if (op == 2) {
+            // Data-dependent handler branch, still shared: arg[] is
+            // identical on every thread.
+            if (arg[i] > 50) {
+              if (mine == 1) {
+                state[i] = state[i] + 3;
+              }
+            } else {
+              if (mine == 1) {
+                state[i] = state[i] - 1;
+              }
+            }
+          } else {
+            if (op == 3) {
+              if (mine == 1) {
+                // The ticket value is schedule-dependent; only the final
+                // counter (printed after the join) is deterministic, so
+                // it must not flow into state[].
+                int ticket = atomic_add(completed, 1);
+                if (ticket >= 0) {
+                  state[i] = state[i] + 5;
+                }
+              }
+            } else {
+              // op == 4: malformed request; log under the global lock.
+              if (mine == 1) {
+                lock(0);
+                error_log = error_log + 1;
+                unlock(0);
+                state[i] = 0 - 1;
+              }
+            }
+          }
+        }
+      }
+    }
+    barrier();
+    if (id == 0) {
+      // Rotate one opcode per round so dispatch outcomes drift over time.
+      opcode[(r * 37 + 13) % QLEN] = (opcode[(r * 37 + 13) % QLEN] + 1) % 5;
+    }
+    barrier();
+  }
+
+  int s = 0;
+  for (int i = id; i < QLEN; i = i + p) {
+    s = s + state[i];
+  }
+  sum_c[id] = s;
+  barrier();
+  if (id == 0) {
+    int total = 0;
+    for (int t = 0; t < p; t = t + 1) {
+      total = total + sum_c[t];
+    }
+    print_i(total);
+    print_i(completed);
+    print_i(error_log);
+  }
+}
+)BWC";
+}
+
+}  // namespace bw::benchmarks

@@ -24,8 +24,19 @@ const std::vector<Benchmark>& all_benchmarks() {
   return benchmarks;
 }
 
+const std::vector<Benchmark>& service_benchmarks() {
+  static const std::vector<Benchmark> benchmarks = {
+      {"auth_check", "auth-check", auth_check_source(), {}, 32},
+      {"dispatch", "dispatch", dispatch_source(), {}, 32},
+  };
+  return benchmarks;
+}
+
 const Benchmark* find_benchmark(std::string_view name) {
   for (const Benchmark& b : all_benchmarks()) {
+    if (b.name == name) return &b;
+  }
+  for (const Benchmark& b : service_benchmarks()) {
     if (b.name == name) return &b;
   }
   return nullptr;

@@ -21,6 +21,7 @@ const char* to_string(FaultType type) {
     case FaultType::MonitorStall: return "monitor-stall";
     case FaultType::QueueCorrupt: return "queue-corrupt";
     case FaultType::ReportDrop: return "report-drop";
+    case FaultType::TargetedFlip: return "targeted-flip";
   }
   return "<bad-fault-type>";
 }
@@ -41,6 +42,8 @@ bool parse_fault_type(std::string_view name, FaultType& out) {
       {"corrupt", FaultType::QueueCorrupt},
       {"report-drop", FaultType::ReportDrop},
       {"drop", FaultType::ReportDrop},
+      {"targeted-flip", FaultType::TargetedFlip},
+      {"targeted", FaultType::TargetedFlip},
   };
   for (const Alias& alias : kAliases) {
     if (alias.name == name) {
@@ -257,10 +260,15 @@ Verdict run_application_fault(const pipeline::CompiledProgram& program,
   config.fault.active = true;
   config.fault.thread = thread;
   config.fault.target_branch = target;
-  config.fault.mode = options.type == FaultType::BranchFlip
-                          ? vm::FaultPlan::Mode::BranchFlip
-                          : vm::FaultPlan::Mode::CondBit;
+  config.fault.mode = options.type == FaultType::BranchCondition
+                          ? vm::FaultPlan::Mode::CondBit
+                          : vm::FaultPlan::Mode::BranchFlip;
+  // Drawn unconditionally so every fault type consumes the same RNG
+  // stream shape (verdict lists stay comparable across types per index).
   config.fault.bit = static_cast<unsigned>(rng.next_below(64));
+  config.fault.targeted = options.type == FaultType::TargetedFlip;
+  config.fault.targeted_flips = options.targeted_flips;
+  config.monitor_options.sampling = options.monitor.sampling;
   config.recovery = options.recovery;
 
   pipeline::ExecutionResult run = pipeline::execute(program, config);
@@ -423,6 +431,10 @@ struct CampaignEngine {
     cp.injections = options.injections;
     cp.num_threads = options.num_threads;
     cp.protect = options.protect;
+    cp.sampling_enabled = options.monitor.sampling.enabled;
+    cp.sampling_forced_rate = options.monitor.sampling.forced_rate;
+    cp.sampling_max_rate = options.monitor.sampling.max_rate;
+    cp.targeted_flips = options.targeted_flips;
     for (int i = 0; i < options.injections; ++i) {
       if (done[static_cast<std::size_t>(i)]) {
         cp.completed.push_back(outcomes[static_cast<std::size_t>(i)]);
@@ -524,7 +536,7 @@ CampaignResult run_campaign(std::string_view source,
       throw support::CompileError(
           "campaign resume: checkpoint '" + options.resume_file +
           "' was written by a different campaign (seed/type/plan/threads/"
-          "protect mismatch)");
+          "protect/sampling/flips mismatch)");
     }
     for (const InjectionOutcome& o : cp.completed) {
       std::size_t slot = o.index;

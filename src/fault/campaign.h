@@ -42,6 +42,14 @@ enum class FaultType {
   MonitorStall,     // suspend the monitor thread mid-run, forever
   QueueCorrupt,     // flip one bit of an enqueued BranchReport
   ReportDrop,       // silently lose one report at the consumer
+  /// Adversarial model: repeated flips of ONE chosen branch. The fault
+  /// anchors at a uniformly drawn dynamic branch of the victim thread and
+  /// re-flips every subsequent execution of that same static site, up to
+  /// CampaignOptions::targeted_flips applications (0 = unbounded). The
+  /// hostile scenario from "Securing Conditional Branches in the Presence
+  /// of Fault Attacks": a single flip can be masked, a barrage on one
+  /// critical branch is what a monitor must catch.
+  TargetedFlip,
 };
 
 const char* to_string(FaultType type);
@@ -110,7 +118,12 @@ struct CampaignOptions {
   bool protect = true;
   pipeline::PipelineOptions pipeline;
   /// Monitor runtime configuration used for monitor-path fault types.
+  /// Application-fault runs take only its `sampling` block (so sampled
+  /// campaigns are expressible without disturbing the default runtime).
   bw::runtime::MonitorOptions monitor = fast_degrade_monitor_options();
+  /// TargetedFlip only: total flips the adversary may spend on its chosen
+  /// branch site (0 = unbounded, every execution of the site is flipped).
+  unsigned targeted_flips = 4;
   /// Per-thread retired-instruction watchdog for every injection run.
   /// 0 = auto: 10x the golden run's max thread count plus slack (covers
   /// recovery retries, which re-execute checkpointed work up to

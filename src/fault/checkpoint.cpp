@@ -10,7 +10,7 @@ namespace bw::fault {
 
 namespace {
 
-constexpr const char* kMagic = "bw-campaign-checkpoint v1";
+constexpr const char* kMagic = "bw-campaign-checkpoint v2";
 
 // Side flags packed into one hex field so the format stays one line per
 // outcome. Bit assignments are part of the v1 format — append only.
@@ -46,9 +46,14 @@ bool fail(std::string* error, const std::string& why) {
 }  // namespace
 
 bool CampaignCheckpoint::matches(const CampaignOptions& options) const {
+  const runtime::SamplingOptions& sampling = options.monitor.sampling;
   return seed == options.seed && type == options.type &&
          injections == options.injections &&
-         num_threads == options.num_threads && protect == options.protect;
+         num_threads == options.num_threads && protect == options.protect &&
+         sampling_enabled == sampling.enabled &&
+         sampling_forced_rate == sampling.forced_rate &&
+         sampling_max_rate == sampling.max_rate &&
+         targeted_flips == options.targeted_flips;
 }
 
 std::string CampaignCheckpoint::to_text() const {
@@ -59,9 +64,10 @@ std::string CampaignCheckpoint::to_text() const {
   out += line;
   std::snprintf(line, sizeof(line),
                 "seed %" PRIx64 " type %s injections %d threads %u "
-                "protect %d\n",
+                "protect %d sampling %d %u %u flips %u\n",
                 seed, fault::to_string(type), injections, num_threads,
-                protect ? 1 : 0);
+                protect ? 1 : 0, sampling_enabled ? 1 : 0,
+                sampling_forced_rate, sampling_max_rate, targeted_flips);
   out += line;
   std::snprintf(line, sizeof(line), "cursor %d\n", cursor);
   out += line;
@@ -83,21 +89,24 @@ bool CampaignCheckpoint::from_text(const std::string& text,
   std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line) || line != kMagic) {
-    return fail(error, "not a bw-campaign-checkpoint v1 file");
+    return fail(error, "not a bw-campaign-checkpoint v2 file");
   }
 
   CampaignCheckpoint cp;
   char type_name[64] = {0};
   int protect_int = 0;
+  int sampling_int = 0;
   if (!std::getline(in, line) ||
       std::sscanf(line.c_str(),
                   "seed %" SCNx64 " type %63s injections %d threads %u "
-                  "protect %d",
+                  "protect %d sampling %d %u %u flips %u",
                   &cp.seed, type_name, &cp.injections, &cp.num_threads,
-                  &protect_int) != 5) {
+                  &protect_int, &sampling_int, &cp.sampling_forced_rate,
+                  &cp.sampling_max_rate, &cp.targeted_flips) != 9) {
     return fail(error, "malformed identity line");
   }
   cp.protect = protect_int != 0;
+  cp.sampling_enabled = sampling_int != 0;
   if (!parse_fault_type(type_name, cp.type)) {
     return fail(error, std::string("unknown fault type '") + type_name + "'");
   }

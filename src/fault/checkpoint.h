@@ -8,15 +8,18 @@
 // list exactly (tests/campaign_parallel_test.cpp, KillAndResume*).
 //
 // Format (line-oriented; '#' starts a comment):
-//   bw-campaign-checkpoint v1
+//   bw-campaign-checkpoint v2
 //   seed <hex> type <fault-type> injections <n> threads <n> protect <0|1>
+//     sampling <enabled> <forced-rate> <max-rate> flips <targeted-flips>
 //   cursor <contiguous-completed-prefix>
 //   o <index> <verdict> <flags-hex> <rollbacks> <checkpoints> <restore_ns>
 //     <checkpoint_ns> <wall_ns>            (one line per completed injection,
 //                                           sorted by index)
 // The identity line guards against resuming with mismatched options: the
 // outcomes are only valid for the exact (seed, type, plan size, threads,
-// protect) tuple they were produced under.
+// protect, sampling configuration, targeted-flip budget) tuple they were
+// produced under. v2 widened the identity with the sampling/flips fields;
+// v1 files are rejected rather than resumed under guessed-at sampling.
 #pragma once
 
 #include <string>
@@ -33,6 +36,14 @@ struct CampaignCheckpoint {
   int injections = 0;
   unsigned num_threads = 0;
   bool protect = true;
+  // Sampled-monitoring identity: a verdict produced under 1-in-N checking
+  // is not interchangeable with one produced under full checking, so the
+  // sampling configuration is part of what the checkpoint guards.
+  bool sampling_enabled = false;
+  unsigned sampling_forced_rate = 0;
+  unsigned sampling_max_rate = 64;
+  // TargetedFlip budget (identity even for non-targeted types: 0-cost).
+  unsigned targeted_flips = 4;
 
   /// Completed injections, sorted by index (holes allowed: workers finish
   /// out of order, so an interrupt can leave gaps behind the high-water

@@ -51,6 +51,8 @@ void publish_execution(const ExecutionResult& result,
   telemetry::gauge_set(
       telemetry::Gauge::MonitorHealth,
       static_cast<std::uint64_t>(result.monitor_health));
+  telemetry::gauge_set(telemetry::Gauge::SamplingRate,
+                       result.monitor_stats.sampling_rate_final);
 }
 
 }  // namespace
@@ -122,6 +124,7 @@ ExecutionResult execute(const CompiledProgram& program,
     sopts.watchdog = config.monitor_options.watchdog;
     sopts.validate_reports = config.monitor_options.validate_reports;
     sopts.fault_hooks = config.monitor_options.fault_hooks;
+    sopts.sampling = config.monitor_options.sampling;
     sharded = std::make_unique<runtime::ShardedMonitor>(config.num_threads,
                                                         sopts);
     sharded->start();

@@ -17,7 +17,8 @@ std::uint64_t level1_key(std::uint64_t ctx_hash, std::uint32_t static_id) {
 Monitor::Monitor(unsigned num_threads, MonitorOptions options)
     : num_threads_(num_threads),
       options_(options),
-      producers_(num_threads) {
+      producers_(num_threads),
+      sampler_(options.sampling) {
   queues_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
     queues_.push_back(
@@ -51,7 +52,9 @@ void Monitor::give_up(std::uint32_t thread) {
   ProducerSlot& slot = producers_[thread];
   slot.dropped.fetch_add(1, std::memory_order_relaxed);
   telemetry::counter_add(telemetry::Counter::ReportsDropped);
-  health_.raise(MonitorHealth::Degraded);
+  if (health_.raise(MonitorHealth::Degraded)) {
+    sampler_.note_health_transition();
+  }
   if (!options_.watchdog.enabled) return;
   const std::uint64_t beat = heartbeat_.load(std::memory_order_relaxed);
   const auto now = std::chrono::steady_clock::now();
@@ -66,7 +69,9 @@ void Monitor::give_up(std::uint32_t thread) {
   if (stalled >= 0 &&
       static_cast<std::uint64_t>(stalled) >=
           options_.watchdog.stall_timeout_ns) {
-    health_.raise(MonitorHealth::Failed);
+    if (health_.raise(MonitorHealth::Failed)) {
+      sampler_.note_health_transition();
+    }
   }
 }
 
@@ -77,6 +82,11 @@ void Monitor::send(const BranchReport& report) {
     // Monitoring abandoned: count the loss, let the program run on.
     producers_[report.thread].dropped.fetch_add(1, std::memory_order_relaxed);
     return;
+  }
+  if (sampler_.active() &&
+      !sampler_.should_check(report.ctx_hash, report.static_id,
+                             report.iter_hash)) {
+    return;  // instance deterministically sampled out on every thread
   }
   telemetry::counter_add(telemetry::Counter::ReportsSent);
   SpscQueue<BranchReport>& queue = *queues_[report.thread];
@@ -97,6 +107,7 @@ void Monitor::send(const BranchReport& report) {
   telemetry::record_event(telemetry::EventKind::QueueHighWater,
                           telemetry::Phase::MonitorCheck, report.thread,
                           /*shard=*/0);
+  sampler_.note_pressure();
   const BackoffPolicy& policy = options_.backoff;
   for (std::uint32_t i = 0; i < policy.spins; ++i) {
     if (queue.try_push(*payload)) return;
@@ -284,7 +295,9 @@ bool Monitor::apply_pop_hooks(BranchReport& report) {
       reports_popped_ == hooks.drop_report_index) {
     ++stats_.hooks_fired;
     ++stats_.dropped_reports;
-    health_.raise(MonitorHealth::Degraded);
+    if (health_.raise(MonitorHealth::Degraded)) {
+      sampler_.note_health_transition();
+    }
     return false;
   }
   if (hooks.corrupt_report_index != 0 &&
@@ -302,7 +315,10 @@ bool Monitor::apply_pop_hooks(BranchReport& report) {
     // unverifiable instead of a subset to be checked.
     ++stats_.reports_rejected;
     ++stats_.dropped_reports;
-    health_.raise(MonitorHealth::Degraded);
+    if (health_.raise(MonitorHealth::Degraded)) {
+      sampler_.note_health_transition();
+    }
+    sampler_.note_anomaly();
     return false;
   }
   if (hooks.delay_ns_per_report != 0) {
@@ -324,7 +340,10 @@ bool Monitor::apply_pop_hooks(BranchReport& report) {
   if (report.thread >= num_threads_) {
     ++stats_.reports_rejected;
     ++stats_.dropped_reports;
-    health_.raise(MonitorHealth::Degraded);
+    if (health_.raise(MonitorHealth::Degraded)) {
+      sampler_.note_health_transition();
+    }
+    sampler_.note_anomaly();
     return false;
   }
   return true;
@@ -391,6 +410,7 @@ void Monitor::check_instance_now(std::uint32_t static_id,
                           telemetry::Phase::MonitorCheck, v.static_id,
                           v.ctx_hash, v.iter_hash);
   violation_count_.fetch_add(1, std::memory_order_release);
+  sampler_.note_violation();
 }
 
 void Monitor::maybe_evict(std::uint64_t key1, std::uint32_t static_id,
@@ -448,6 +468,12 @@ MonitorStats Monitor::stats() const {
     merged.dropped_per_thread[t] = dropped;
     merged.dropped_reports += dropped;
   }
+  const SamplingStats sampling = sampler_.stats();
+  merged.reports_sampled_out = sampling.sampled_out;
+  merged.sampling_degrades = sampling.degrades;
+  merged.sampling_snap_backs = sampling.snap_backs;
+  merged.sampling_rate_final = sampling.final_rate;
+  merged.sampling_rate_peak = sampling.peak_rate;
   return merged;
 }
 

@@ -51,6 +51,9 @@ struct MonitorOptions {
   bool validate_reports = false;
   /// Consumer-side fault injection (campaign/tests/bench only).
   MonitorFaultHooks fault_hooks;
+  /// Adaptive sampled monitoring (see sampling.h). Off by default: every
+  /// instance is checked and the controller is never consulted.
+  SamplingOptions sampling;
 };
 
 struct MonitorStats {
@@ -71,6 +74,12 @@ struct MonitorStats {
   std::uint64_t reports_rolled_back = 0;
   /// Fault hooks that actually fired (campaign activation signal).
   std::uint64_t hooks_fired = 0;
+  /// Adaptive sampling (all zero / rate 1 when sampling is off).
+  std::uint64_t reports_sampled_out = 0;
+  std::uint64_t sampling_degrades = 0;
+  std::uint64_t sampling_snap_backs = 0;
+  std::uint32_t sampling_rate_final = 1;
+  std::uint32_t sampling_rate_peak = 1;
   /// Producer give-up drops, indexed by program thread id.
   std::vector<std::uint64_t> dropped_per_thread;
 };
@@ -105,6 +114,10 @@ class Monitor : public BranchSink {
   }
 
   MonitorHealth health() const override { return health_.get(); }
+
+  SamplingController* sampler() override {
+    return sampler_.active() ? &sampler_ : nullptr;
+  }
 
   // --- Recovery protocol (see monitor_interface.h for the contract) ---
   // Commands are executed by the monitor thread itself at the top of its
@@ -180,6 +193,7 @@ class Monitor : public BranchSink {
   /// watchdog reads it to distinguish "slow" from "dead".
   std::atomic<std::uint64_t> heartbeat_{0};
   HealthCell health_;
+  SamplingController sampler_;
   std::atomic<std::uint64_t> violation_count_{0};
   std::vector<Violation> violations_;
   MonitorStats stats_;

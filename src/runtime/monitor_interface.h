@@ -6,12 +6,19 @@
 
 #include "runtime/report.h"
 #include "runtime/resilience.h"
+#include "runtime/sampling.h"
 
 namespace bw::runtime {
 
 class BranchSink {
  public:
   virtual ~BranchSink() = default;
+
+  /// The adaptive sampling controller gating this sink's checks, or
+  /// nullptr for sinks that check every instance unconditionally.
+  /// Harnesses use it to read rates/stats; the sink itself consults the
+  /// controller inside send().
+  virtual SamplingController* sampler() { return nullptr; }
 
   /// Called by program thread `report.thread`; must be safe to call
   /// concurrently from distinct threads (one producer per thread id).

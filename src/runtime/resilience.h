@@ -54,7 +54,11 @@ class HealthCell {
     return health_.load(std::memory_order_acquire);
   }
 
-  void raise(MonitorHealth to) {
+  /// Returns true iff THIS call won an upward transition (exactly one
+  /// caller per edge), so callers can chain edge-triggered reactions —
+  /// e.g. the SamplingController snaps back to full checking on the
+  /// Healthy->Degraded edge — without a second source of truth.
+  bool raise(MonitorHealth to) {
     MonitorHealth cur = health_.load(std::memory_order_relaxed);
     while (static_cast<std::uint8_t>(cur) < static_cast<std::uint8_t>(to)) {
       if (health_.compare_exchange_weak(cur, to, std::memory_order_acq_rel,
@@ -66,9 +70,10 @@ class HealthCell {
                                 telemetry::Phase::MonitorCheck,
                                 static_cast<std::uint64_t>(cur),
                                 static_cast<std::uint64_t>(to));
-        return;
+        return true;
       }
     }
+    return false;
   }
 
  private:

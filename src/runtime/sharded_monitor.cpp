@@ -16,7 +16,10 @@ std::uint64_t level1_key(std::uint64_t ctx_hash, std::uint32_t static_id) {
 
 ShardedMonitor::ShardedMonitor(unsigned num_threads,
                                ShardedMonitorOptions options)
-    : num_threads_(num_threads), options_(options), producers_(num_threads) {
+    : num_threads_(num_threads),
+      options_(options),
+      producers_(num_threads),
+      sampler_(options.sampling) {
   if (options_.num_shards == 0) options_.num_shards = 1;
   if (options_.batch_size == 0) options_.batch_size = 1;
   if (options_.batch_size > ReportBatch::kMax) {
@@ -98,6 +101,11 @@ void ShardedMonitor::send(const BranchReport& report) {
     slot.last_health = now_health;
     flush(report.thread);
   }
+  if (sampler_.active() &&
+      !sampler_.should_check(report.ctx_hash, report.static_id,
+                             report.iter_hash)) {
+    return;  // instance deterministically sampled out on every thread
+  }
   telemetry::counter_add(telemetry::Counter::ReportsSent);
   const unsigned shard = shard_of(report);
   ReportBatch& batch = slot.open[shard];
@@ -145,6 +153,7 @@ void ShardedMonitor::flush_batch(std::uint32_t thread, unsigned shard) {
   telemetry::counter_add(telemetry::Counter::QueueFullEvents);
   telemetry::record_event(telemetry::EventKind::QueueHighWater,
                           telemetry::Phase::MonitorCheck, thread, shard);
+  sampler_.note_pressure();
   const BackoffPolicy& policy = options_.backoff;
   for (std::uint32_t i = 0; i < policy.spins; ++i) {
     if (queue.try_push(batch)) {
@@ -182,7 +191,9 @@ void ShardedMonitor::give_up(std::uint32_t thread, unsigned shard,
   ProducerSlot& slot = producers_[thread];
   slot.dropped.fetch_add(lost, std::memory_order_relaxed);
   telemetry::counter_add(telemetry::Counter::ReportsDropped, lost);
-  health_.raise(MonitorHealth::Degraded);
+  if (health_.raise(MonitorHealth::Degraded)) {
+    sampler_.note_health_transition();
+  }
   if (!options_.watchdog.enabled) return;
   const std::uint64_t beat =
       shards_[shard]->heartbeat.load(std::memory_order_relaxed);
@@ -198,7 +209,9 @@ void ShardedMonitor::give_up(std::uint32_t thread, unsigned shard,
   if (stalled >= 0 &&
       static_cast<std::uint64_t>(stalled) >=
           options_.watchdog.stall_timeout_ns) {
-    health_.raise(MonitorHealth::Failed);
+    if (health_.raise(MonitorHealth::Failed)) {
+      sampler_.note_health_transition();
+    }
   }
 }
 
@@ -387,7 +400,9 @@ bool ShardedMonitor::apply_pop_hooks(Shard& shard, BranchReport& report) {
       shard.reports_popped == hooks.drop_report_index) {
     ++shard.hooks_fired;
     ++shard.dropped_reports;
-    health_.raise(MonitorHealth::Degraded);
+    if (health_.raise(MonitorHealth::Degraded)) {
+      sampler_.note_health_transition();
+    }
     return false;
   }
   if (hooks_apply && hooks.corrupt_report_index != 0 &&
@@ -402,7 +417,10 @@ bool ShardedMonitor::apply_pop_hooks(Shard& shard, BranchReport& report) {
   if (options_.validate_reports && !report_intact(report)) {
     ++shard.reports_rejected;
     ++shard.dropped_reports;
-    health_.raise(MonitorHealth::Degraded);
+    if (health_.raise(MonitorHealth::Degraded)) {
+      sampler_.note_health_transition();
+    }
+    sampler_.note_anomaly();
     return false;
   }
   if (hooks_apply && hooks.delay_ns_per_report != 0) {
@@ -422,7 +440,10 @@ bool ShardedMonitor::apply_pop_hooks(Shard& shard, BranchReport& report) {
   if (report.thread >= num_threads_) {
     ++shard.reports_rejected;
     ++shard.dropped_reports;
-    health_.raise(MonitorHealth::Degraded);
+    if (health_.raise(MonitorHealth::Degraded)) {
+      sampler_.note_health_transition();
+    }
+    sampler_.note_anomaly();
     return false;
   }
   return true;
@@ -487,6 +508,7 @@ void ShardedMonitor::check_instance_now(Shard& shard, std::uint32_t static_id,
                           telemetry::Phase::MonitorCheck, v.static_id,
                           v.ctx_hash, v.iter_hash);
   violation_count_.fetch_add(1, std::memory_order_release);
+  sampler_.note_violation();
 }
 
 void ShardedMonitor::maybe_evict(Shard& shard, std::uint64_t key1,
@@ -551,6 +573,12 @@ MonitorStats ShardedMonitor::stats() const {
     merged.dropped_per_thread[t] = dropped;
     merged.dropped_reports += dropped;
   }
+  const SamplingStats sampling = sampler_.stats();
+  merged.reports_sampled_out = sampling.sampled_out;
+  merged.sampling_degrades = sampling.degrades;
+  merged.sampling_snap_backs = sampling.snap_backs;
+  merged.sampling_rate_final = sampling.final_rate;
+  merged.sampling_rate_peak = sampling.peak_rate;
   return merged;
 }
 

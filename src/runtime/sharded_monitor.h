@@ -91,6 +91,10 @@ struct ShardedMonitorOptions {
   /// its own Nth pop, mirroring HierarchicalMonitor's per-leaf hooks) —
   /// or by a single shard when fault_hooks.shard_filter selects one.
   MonitorFaultHooks fault_hooks;
+  /// Adaptive sampled monitoring (see sampling.h). One controller is
+  /// shared across all producers and shards, so a snap-back anywhere
+  /// restores full checking everywhere.
+  SamplingOptions sampling;
 };
 
 class ShardedMonitor : public BranchSink {
@@ -129,6 +133,10 @@ class ShardedMonitor : public BranchSink {
   }
 
   MonitorHealth health() const override { return health_.get(); }
+
+  SamplingController* sampler() override {
+    return sampler_.active() ? &sampler_ : nullptr;
+  }
 
   // --- Recovery protocol (see monitor_interface.h for the contract) ---
   // A command is broadcast as a monotonically increasing sequence number;
@@ -241,6 +249,7 @@ class ShardedMonitor : public BranchSink {
   std::atomic<bool> stopping_{false};  // shard exit signal (post-flush)
   std::atomic<bool> started_{false};
   HealthCell health_;
+  SamplingController sampler_;
   std::atomic<std::uint64_t> violation_count_{0};
   std::vector<Violation> violations_;  // merged at stop()
 

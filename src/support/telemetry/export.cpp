@@ -47,6 +47,8 @@ ArgNames arg_names(EventKind kind) {
     case EventKind::FaultOutcome: return {"outcome", "thread", "target"};
     case EventKind::CampaignInjection:
       return {"index", "verdict", "worker"};
+    case EventKind::SamplingTransition:
+      return {"from_rate", "to_rate", "reason"};
     case EventKind::kCount: break;
   }
   return {"a0", "a1", "a2"};

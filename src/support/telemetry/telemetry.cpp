@@ -35,6 +35,9 @@ const char* to_string(Counter counter) {
     case Counter::FaultHung: return "fault.hung";
     case Counter::FaultSdc: return "fault.sdc";
     case Counter::FaultFalseAlarm: return "fault.false_alarms";
+    case Counter::ReportsSampledOut: return "monitor.reports_sampled_out";
+    case Counter::SamplingDegrades: return "monitor.sampling_degrades";
+    case Counter::SamplingSnapBacks: return "monitor.sampling_snap_backs";
     case Counter::kCount: break;
   }
   return "<bad-counter>";
@@ -55,6 +58,7 @@ const char* to_string(Gauge gauge) {
     case Gauge::CampaignWorkers: return "fault.campaign_workers";
     case Gauge::CampaignWorkerUtilPct:
       return "fault.campaign_worker_util_pct";
+    case Gauge::SamplingRate: return "monitor.sampling_rate";
     case Gauge::kCount: break;
   }
   return "<bad-gauge>";
@@ -94,6 +98,7 @@ const char* to_string(EventKind kind) {
     case EventKind::QueueHighWater: return "queue_high_water";
     case EventKind::FaultOutcome: return "fault_outcome";
     case EventKind::CampaignInjection: return "campaign_injection";
+    case EventKind::SamplingTransition: return "sampling_transition";
     case EventKind::kCount: break;
   }
   return "<bad-event-kind>";

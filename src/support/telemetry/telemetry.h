@@ -72,6 +72,10 @@ enum class Counter : std::uint16_t {
   FaultHung,
   FaultSdc,
   FaultFalseAlarm,
+  // Adaptive sampled monitoring (SamplingController).
+  ReportsSampledOut,  // instances deterministically skipped by sampling
+  SamplingDegrades,   // upward rate transitions (escalation ladder)
+  SamplingSnapBacks,  // forced returns to full checking
   kCount,
 };
 
@@ -91,6 +95,8 @@ enum class Gauge : std::uint16_t {
   // Last fault campaign's worker pool.
   CampaignWorkers,
   CampaignWorkerUtilPct,  // 100 * sum(worker busy ns) / (workers * wall)
+  // Last execution's sampling state (1 = full checking).
+  SamplingRate,
   kCount,
 };
 
@@ -123,6 +129,7 @@ enum class EventKind : std::uint8_t {
   QueueHighWater,    // a0=thread     a1=shard       a2=0
   FaultOutcome,      // a0=outcome(FaultOutcomeCode) a1=thread a2=target
   CampaignInjection,  // a0=plan index a1=verdict     a2=worker id
+  SamplingTransition,  // a0=from_rate a1=to_rate a2=reason(SamplingTrigger)
   kCount,
 };
 

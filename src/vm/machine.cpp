@@ -758,7 +758,7 @@ class ThreadRunner {
         case ir::Opcode::CondBr: {
           ++branches_;
           bool taken = geti(d.ops[0], regs.data()) != 0;
-          if (fault_armed()) {
+          if (fault_fires(f, ip)) {
             taken = apply_fault(f, d, regs.data(), taken);
             // Record the fault site for campaign diagnostics.
             std::uint32_t b = block;
@@ -934,10 +934,28 @@ class ThreadRunner {
 
   // --- Fault injection -------------------------------------------------------
 
-  bool fault_armed() const {
+  /// Does the planned fault fire at THIS dynamic execution of the CondBr
+  /// at (f, ip)? One-shot faults fire exactly once, at the target_branch-th
+  /// dynamic branch. Targeted faults anchor there — recording the static
+  /// site — and then re-fire on every later execution of that same site
+  /// until the flip budget is spent (0 = unbounded). The anchor compares
+  /// by (function address, instruction index), both stable for the
+  /// duration of a run (the module is read-only during execution).
+  bool fault_fires(const DFunction& f, std::uint32_t ip) {
     const FaultPlan& plan = m_.options_.fault;
-    return parallel_ && plan.active && !fault_done_ && plan.thread == tid_ &&
-           branches_ == plan.target_branch;
+    if (!parallel_ || !plan.active || plan.thread != tid_) return false;
+    if (!plan.targeted) {
+      return !fault_done_ && branches_ == plan.target_branch;
+    }
+    if (!targeted_anchored_) {
+      if (branches_ != plan.target_branch) return false;
+      targeted_anchored_ = true;
+      targeted_func_ = &f;
+      targeted_ip_ = ip;
+    } else if (targeted_func_ != &f || targeted_ip_ != ip) {
+      return false;
+    }
+    return plan.targeted_flips == 0 || targeted_fired_ < plan.targeted_flips;
   }
 
   /// Apply the planned fault at this branch. Returns the (possibly
@@ -945,6 +963,7 @@ class ThreadRunner {
   bool apply_fault(const DFunction& f, const DInst& branch, RtValue* regs,
                    bool clean_taken) {
     fault_done_ = true;
+    ++targeted_fired_;
     outcome_.fault_applied = true;
     const FaultPlan& plan = m_.options_.fault;
     if (plan.mode == FaultPlan::Mode::BranchFlip) {
@@ -1034,6 +1053,13 @@ class ThreadRunner {
   std::uint64_t barriers_crossed_ = 0;
   unsigned call_depth_ = 0;
   bool fault_done_ = false;
+  /// Targeted fault model state. Deliberately NOT restored on rollback:
+  /// the adversary outlives recovery attempts (see FaultPlan::targeted),
+  /// and budget spent in rolled-back timelines stays spent.
+  bool targeted_anchored_ = false;
+  const DFunction* targeted_func_ = nullptr;
+  std::uint32_t targeted_ip_ = 0;
+  std::uint32_t targeted_fired_ = 0;
 
   /// Shadow of the native call() recursion: pointers into each live
   /// frame's locals, so a barrier checkpoint can flatten the whole stack

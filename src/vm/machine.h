@@ -38,6 +38,17 @@ struct FaultPlan {
   /// re-fires on every retry (recovery stress tests: the retry budget
   /// must terminate).
   bool recurring = false;
+  /// Adversarial fault model (campaign FaultType::TargetedFlip): instead
+  /// of a one-shot upset, the fault anchors at the target_branch-th
+  /// dynamic CondBr of the victim thread and re-applies on every
+  /// subsequent execution of that SAME static branch site, up to
+  /// targeted_flips total applications (0 = unbounded). Models the
+  /// repeated flips of one chosen critical branch from "Securing
+  /// Conditional Branches in the Presence of Fault Attacks". The
+  /// adversary is persistent: rollback does not restore its budget, so
+  /// flips spent in rolled-back timelines stay spent.
+  bool targeted = false;
+  std::uint32_t targeted_flips = 1;
 };
 
 enum class TrapKind {

@@ -40,6 +40,12 @@ std::vector<std::tuple<std::string, unsigned>> sweep_params() {
       params.emplace_back(bench.name, threads);
     }
   }
+  for (const benchmarks::Benchmark& bench :
+       benchmarks::service_benchmarks()) {
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      params.emplace_back(bench.name, threads);
+    }
+  }
   return params;
 }
 
@@ -53,8 +59,14 @@ INSTANTIATE_TEST_SUITE_P(AllKernels, BenchmarkSweep,
                          ::testing::ValuesIn(sweep_params()), sweep_name);
 
 TEST(Benchmarks, RegistryIsComplete) {
+  // The paper registry stays at exactly the seven SPLASH-2 rows — the
+  // Table IV/V harnesses iterate it; service kernels live in their own
+  // registry and are only reachable by name.
   EXPECT_EQ(benchmarks::all_benchmarks().size(), 7u);
+  EXPECT_EQ(benchmarks::service_benchmarks().size(), 2u);
   EXPECT_NE(benchmarks::find_benchmark("fft"), nullptr);
+  EXPECT_NE(benchmarks::find_benchmark("auth_check"), nullptr);
+  EXPECT_NE(benchmarks::find_benchmark("dispatch"), nullptr);
   EXPECT_EQ(benchmarks::find_benchmark("nope"), nullptr);
   for (const benchmarks::Benchmark& bench : benchmarks::all_benchmarks()) {
     EXPECT_FALSE(bench.paper_name.empty());
@@ -136,6 +148,32 @@ TEST(Benchmarks, RaytraceHasBranchesBeyondTheCutoff) {
   const benchmarks::Benchmark* rt = benchmarks::find_benchmark("raytrace");
   pipeline::CompiledProgram program = pipeline::protect_program(rt->source);
   EXPECT_GT(program.instrument_stats.skipped_depth, 0);
+}
+
+TEST(Benchmarks, ServiceKernelTalliesAreThreadCountInvariant) {
+  // The auth decision per request is a pure function of shared state, so
+  // the grant/deny/audit totals cannot depend on how requests were
+  // partitioned; likewise dispatch's state checksum and counters.
+  for (const char* name : {"auth_check", "dispatch"}) {
+    const benchmarks::Benchmark* bench = benchmarks::find_benchmark(name);
+    ASSERT_NE(bench, nullptr);
+    std::string out1 = run_output(bench->source, 1);
+    std::string out4 = run_output(bench->source, 4);
+    EXPECT_EQ(out1, out4) << name;
+  }
+}
+
+TEST(Benchmarks, ServiceKernelsAreSharedBranchHeavy) {
+  // The service kernels exist to exercise shared-outcome checking on
+  // request-processing shapes: each must offer several shared branches.
+  for (const char* name : {"auth_check", "dispatch"}) {
+    const benchmarks::Benchmark* bench = benchmarks::find_benchmark(name);
+    ASSERT_NE(bench, nullptr);
+    pipeline::CompiledProgram program =
+        pipeline::compile_program(bench->source);
+    analysis::CategoryCounts c = program.analysis.parallel_counts();
+    EXPECT_GE(c.shared, 5) << name;
+  }
 }
 
 TEST(Benchmarks, DefaultThreadCountOutputsAreStable) {
