@@ -15,7 +15,13 @@
 // wire protocol over the sharded fabric). See EXPERIMENTS.md for the
 // recorded batch=1 vs batch=64 comparison.
 //
-//   usage: bw_fig6_overhead [reps] [--shards=K] [--batch=B] [--json=<file>]
+//   usage: bw_fig6_overhead [reps] [--shards=K] [--batch=B]
+//          [--tier=auto|interpreter|threaded] [--json=<file>]
+//
+// --tier selects the VM dispatcher for BOTH the baseline and instrumented
+// runs (vm/dispatch.h; auto = threaded), so the normalized ratio isolates
+// instrumentation cost at either tier while the absolute wall-clocks show
+// the dispatcher speedup.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -33,6 +39,7 @@ using namespace bw;
 
 unsigned g_shards = 0;   // 0 = legacy single-consumer monitor
 std::size_t g_batch = 16;
+vm::ExecTier g_tier = vm::ExecTier::Auto;
 
 double median_parallel_seconds(const pipeline::CompiledProgram& program,
                                unsigned threads, pipeline::MonitorMode mode,
@@ -41,6 +48,7 @@ double median_parallel_seconds(const pipeline::CompiledProgram& program,
   for (int r = 0; r < reps; ++r) {
     pipeline::ExecutionConfig config;
     config.num_threads = threads;
+    config.exec_tier = g_tier;
     config.monitor = mode;
     config.stop_on_detection = false;
     if (mode != pipeline::MonitorMode::Off) {
@@ -64,6 +72,11 @@ int main(int argc, char** argv) {
       g_shards = static_cast<unsigned>(std::atoi(argv[i] + 9));
     } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
       g_batch = static_cast<std::size_t>(std::atol(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--tier=", 7) == 0) {
+      if (!vm::parse_exec_tier(argv[i] + 7, g_tier)) {
+        std::fprintf(stderr, "unknown tier '%s'\n", argv[i] + 7);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else {
@@ -73,11 +86,13 @@ int main(int argc, char** argv) {
   std::printf("Figure 6: normalized execution time with BLOCKWATCH "
               "(lower is better; baseline = 1.0)\n");
   if (g_shards > 0) {
-    std::printf("monitor: sharded, %u shard(s), batch=%zu\n\n", g_shards,
+    std::printf("monitor: sharded, %u shard(s), batch=%zu\n", g_shards,
                 g_batch);
   } else {
-    std::printf("monitor: legacy single consumer\n\n");
+    std::printf("monitor: legacy single consumer\n");
   }
+  std::printf("vm tier: %s\n\n",
+              vm::to_string(vm::resolve_tier(g_tier)));
   std::printf("%-22s %12s %12s\n", "Program", "4 threads", "32 threads");
 
   double log_sum4 = 0.0;
@@ -128,8 +143,10 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out,
                  "{\n  \"bench\": \"bw_fig6_overhead\",\n  \"reps\": %d,\n"
-                 "  \"shards\": %u,\n  \"batch\": %zu,\n  \"rows\": [\n",
-                 reps, g_shards, g_batch);
+                 "  \"shards\": %u,\n  \"batch\": %zu,\n"
+                 "  \"tier\": \"%s\",\n  \"rows\": [\n",
+                 reps, g_shards, g_batch,
+                 vm::to_string(vm::resolve_tier(g_tier)));
     for (std::size_t i = 0; i < rows.size(); ++i) {
       std::fprintf(out,
                    "    {\"program\": \"%s\", \"ratio_4t\": %.4f, "

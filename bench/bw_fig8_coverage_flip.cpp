@@ -10,7 +10,12 @@
 // protected coverage — the error bar the paper's Figure 8 bars omit.
 //
 //   usage: bw_fig8_coverage_flip [injections] [threads...] [--workers=N]
-//          [--json=<file>]
+//          [--tier=auto|interpreter|threaded] [--json=<file>]
+//
+// --tier selects the VM dispatcher for every run (vm/dispatch.h; auto =
+// threaded). Coverage is tier-invariant — the tiers retire identical
+// logical instruction streams, guarded by tests/tier_differential_test.cpp
+// — so switching tiers only moves the wall-clock line at the bottom.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +29,7 @@
 int main(int argc, char** argv) {
   using namespace bw;
   unsigned workers = 0;  // 0 = hardware concurrency
+  vm::ExecTier tier = vm::ExecTier::Auto;
   std::vector<unsigned> thread_counts;
   int injections = 150;
   int positional = 0;
@@ -31,6 +37,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       workers = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--tier=", 7) == 0) {
+      if (!vm::parse_exec_tier(argv[i] + 7, tier)) {
+        std::fprintf(stderr, "unknown tier '%s'\n", argv[i] + 7);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else if (positional++ == 0) {
@@ -42,7 +53,8 @@ int main(int argc, char** argv) {
   if (thread_counts.empty()) thread_counts = {4, 32};
 
   std::printf("Figure 8: SDC coverage, branch-flip faults (%d injections "
-              "per cell; higher is better)\n\n", injections);
+              "per cell; higher is better)\n", injections);
+  std::printf("vm tier: %s\n\n", vm::to_string(vm::resolve_tier(tier)));
   const auto bench_start = std::chrono::steady_clock::now();
   unsigned workers_used = 1;
   struct Row {
@@ -67,6 +79,7 @@ int main(int argc, char** argv) {
       options.type = fault::FaultType::BranchFlip;
       options.seed = 0xF16'8000 + threads;
       options.campaign_workers = workers;
+      options.exec_tier = tier;
 
       options.protect = false;
       fault::CampaignResult original =
@@ -112,8 +125,10 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out,
                  "{\n  \"bench\": \"bw_fig8_coverage_flip\",\n"
-                 "  \"injections\": %d,\n  \"rows\": [\n",
-                 injections);
+                 "  \"injections\": %d,\n  \"tier\": \"%s\",\n"
+                 "  \"wall_s\": %.3f,\n  \"rows\": [\n",
+                 injections, vm::to_string(vm::resolve_tier(tier)),
+                 wall_s);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       std::fprintf(out,

@@ -6,8 +6,16 @@
 //  * monitor end-to-end report throughput
 //  * front-end compile, similarity analysis (paper: < 1 s per program),
 //    and instrumentation pass latency per benchmark kernel
-//  * VM throughput, baseline vs instrumented
+//  * VM throughput, baseline vs instrumented, and the interpreter-vs-
+//    threaded dispatcher comparison (vm/dispatch.h)
+//
+// Accepts --tier=auto|interpreter|threaded (stripped before the
+// google-benchmark flags) to pin the tier the BM_VmExecute cases run on;
+// BM_VmTier always benchmarks both tiers side by side regardless.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 
 #include "analysis/similarity.h"
 #include "benchmarks/registry.h"
@@ -23,6 +31,8 @@
 namespace {
 
 using namespace bw;
+
+vm::ExecTier g_tier = vm::ExecTier::Auto;
 
 void BM_SpscQueuePushPop(benchmark::State& state) {
   runtime::SpscQueue<runtime::BranchReport> queue(4096);
@@ -158,7 +168,9 @@ BENCHMARK(BM_InstrumentPass);
 void BM_VmExecute(benchmark::State& state) {
   const benchmarks::Benchmark& bench = *benchmarks::find_benchmark("fft");
   bool instrumented = state.range(0) != 0;
-  state.SetLabel(instrumented ? "instrumented+drain" : "baseline");
+  state.SetLabel(std::string(instrumented ? "instrumented+drain"
+                                          : "baseline") +
+                 " " + vm::to_string(vm::resolve_tier(g_tier)));
   pipeline::CompiledProgram program =
       instrumented ? pipeline::protect_program(bench.source)
                    : pipeline::compile_program(bench.source);
@@ -166,6 +178,7 @@ void BM_VmExecute(benchmark::State& state) {
   for (auto _ : state) {
     pipeline::ExecutionConfig config;
     config.num_threads = 2;
+    config.exec_tier = g_tier;
     config.monitor = instrumented ? pipeline::MonitorMode::DrainOnly
                                   : pipeline::MonitorMode::Off;
     pipeline::ExecutionResult result = pipeline::execute(program, config);
@@ -176,6 +189,108 @@ void BM_VmExecute(benchmark::State& state) {
 }
 BENCHMARK(BM_VmExecute)->Arg(0)->Arg(1);
 
+/// Head-to-head dispatcher comparison per kernel: same compiled program,
+/// monitor off, only the tier differs. Manual time clocks the PARALLEL
+/// SECTION (result.run.parallel_ns) — where dispatch lives — so thread
+/// spawn and the sequential init() don't dilute the ratio; items/s is
+/// retired instructions per parallel-section second, and the threaded
+/// tier's speedup reads directly off it (EXPERIMENTS.md records it; the
+/// differential suite guarantees the outputs are identical).
+void BM_VmTier(benchmark::State& state) {
+  const benchmarks::Benchmark& bench =
+      benchmarks::all_benchmarks()[static_cast<std::size_t>(state.range(0))];
+  const vm::ExecTier tier = state.range(1) != 0 ? vm::ExecTier::Threaded
+                                                : vm::ExecTier::Interpreter;
+  state.SetLabel(bench.name + " " + vm::to_string(tier));
+  pipeline::CompiledProgram program =
+      pipeline::compile_program(bench.source);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    pipeline::ExecutionConfig config;
+    config.num_threads = 2;
+    config.exec_tier = tier;
+    config.monitor = pipeline::MonitorMode::Off;
+    pipeline::ExecutionResult result = pipeline::execute(program, config);
+    instructions += result.run.total_instructions;
+    state.SetIterationTime(static_cast<double>(result.run.parallel_ns) *
+                           1e-9);
+    benchmark::DoNotOptimize(result.run.ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_VmTier)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 6, 1), {0, 1}})
+    ->UseManualTime();
+
+// The paper kernels spend much of their parallel section in barriers and
+// heap traffic, costs both tiers share, so their tier ratio understates
+// what the dispatcher itself gains. This kernel is pure register compute —
+// the workload the threaded tier exists for — and isolates the dispatch
+// speedup the same way BM_SpscQueuePushPop isolates the queue.
+constexpr const char* kDispatchBoundKernel = R"(
+global int out[8];
+func slave() {
+  int id = tid();
+  int acc = 0;
+  for (int i = 0; i < 400000; i = i + 1) {
+    acc = acc + i * 3 - i;
+    acc = acc + i * 5 - i;
+    acc = acc + i * 7 - i;
+    acc = acc + i * 9 - i;
+    acc = acc + i * 11 - i;
+    acc = acc + i * 13 - i;
+    acc = acc + i * 2 - i;
+    acc = acc + i * 4 - i;
+    acc = acc + i * 6 - i;
+    acc = acc + i * 8 - i;
+  }
+  out[id] = acc;
+  if (id == 0) { print_i(acc); }
+}
+)";
+
+void BM_VmTierDispatch(benchmark::State& state) {
+  const vm::ExecTier tier = state.range(0) != 0 ? vm::ExecTier::Threaded
+                                                : vm::ExecTier::Interpreter;
+  state.SetLabel(std::string("dispatch-bound ") + vm::to_string(tier));
+  pipeline::CompiledProgram program =
+      pipeline::compile_program(kDispatchBoundKernel);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    pipeline::ExecutionConfig config;
+    config.num_threads = 2;
+    config.exec_tier = tier;
+    config.monitor = pipeline::MonitorMode::Off;
+    pipeline::ExecutionResult result = pipeline::execute(program, config);
+    instructions += result.run.total_instructions;
+    state.SetIterationTime(static_cast<double>(result.run.parallel_ns) *
+                           1e-9);
+    benchmark::DoNotOptimize(result.run.ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_VmTierDispatch)->Arg(0)->Arg(1)->UseManualTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: pluck --tier= out of argv (google-benchmark rejects flags
+// it does not know), then hand the rest to the normal benchmark driver.
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tier=", 7) == 0) {
+      if (!bw::vm::parse_exec_tier(argv[i] + 7, g_tier)) {
+        std::fprintf(stderr, "bw_micro: unknown tier '%s'\n", argv[i] + 7);
+        return 2;
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -31,6 +31,13 @@
 //   --flips=N         targeted-flip campaigns: adversary budget per
 //                     injection (0 = unbounded; default 4)
 //
+// Execution tier (run, protect, inject, campaign; see docs/bwc_cli.md):
+//   --tier=auto|interpreter|threaded
+//                    which VM dispatcher executes the program. "threaded"
+//                    (the auto default) pre-decodes to a direct-threaded
+//                    form; "interpreter" is the differential oracle. Both
+//                    tiers produce byte-identical outputs and verdicts.
+//
 // Observability flags (any command, see docs/observability.md):
 //   --trace=<file>   record a Chrome trace_event JSON trace of the run
 //                    (loadable in ui.perfetto.dev / about://tracing)
@@ -99,7 +106,8 @@ int usage() {
       stderr,
       "usage: bwc <run|protect|analyze|emit-ir|emit-instrumented|inject|"
       "campaign> <file.bwc|bench:name> [args] [--recover] [--trace=<file>] "
-      "[--metrics] [--sampling] [--sample-rate=N]\n"
+      "[--metrics] [--sampling] [--sample-rate=N] "
+      "[--tier=auto|interpreter|threaded]\n"
       "       bwc campaign <prog> [injections] [threads] [--type=flip|cond|"
       "targeted|stall|corrupt|drop]\n"
       "           [--workers=N] [--seed=S] [--checkpoint=<file>] "
@@ -121,18 +129,21 @@ void print_recovery_stats(const vm::RecoveryStats& r) {
 }
 
 int cmd_run(const std::string& source, unsigned threads, bool protect,
-            bool recover, const runtime::SamplingOptions& sampling) {
+            bool recover, const runtime::SamplingOptions& sampling,
+            vm::ExecTier tier) {
   pipeline::CompiledProgram program =
       protect ? pipeline::protect_program(source)
               : pipeline::compile_program(source);
   pipeline::ExecutionConfig config;
   config.num_threads = threads;
+  config.exec_tier = tier;
   config.monitor =
       protect ? pipeline::MonitorMode::Full : pipeline::MonitorMode::Off;
   config.monitor_options.sampling = sampling;
   config.recovery.enabled = recover;
   pipeline::ExecutionResult result = pipeline::execute(program, config);
   std::fputs(result.run.output.c_str(), stdout);
+  std::fprintf(stderr, "bwc: tier: %s\n", vm::to_string(result.run.tier));
   if (recover) print_recovery_stats(result.recovery);
   if (!result.run.ok) {
     for (const auto& t : result.run.threads) {
@@ -195,11 +206,13 @@ int cmd_analyze(const std::string& source) {
 }
 
 int cmd_inject(const std::string& source, unsigned thread, std::uint64_t k,
-               bool cond_fault, unsigned threads, bool recover) {
+               bool cond_fault, unsigned threads, bool recover,
+               vm::ExecTier tier) {
   pipeline::CompiledProgram program = pipeline::protect_program(source);
-  fault::GoldenRun golden = fault::golden_run(program, threads);
+  fault::GoldenRun golden = fault::golden_run(program, threads, tier);
   pipeline::ExecutionConfig config;
   config.num_threads = threads;
+  config.exec_tier = tier;
   config.instruction_budget = fault::auto_instruction_budget(golden);
   config.fault.active = true;
   config.fault.thread = thread;
@@ -246,9 +259,11 @@ struct CampaignFlags {
 
 int cmd_campaign(const std::string& source, int injections, unsigned threads,
                  const CampaignFlags& flags, bool recover,
-                 const runtime::SamplingOptions& sampling) {
+                 const runtime::SamplingOptions& sampling,
+                 vm::ExecTier tier) {
   fault::CampaignOptions options;
   options.num_threads = threads;
+  options.exec_tier = tier;
   options.injections = injections;
   options.type = flags.type;
   options.seed = flags.seed;
@@ -269,9 +284,10 @@ int cmd_campaign(const std::string& source, int injections, unsigned threads,
   fault::CampaignResult r = fault::run_campaign(source, options);
 
   std::printf("campaign: %s, %d injections, %u threads, %u workers, "
-              "seed 0x%llx%s\n",
+              "seed 0x%llx, tier %s%s\n",
               fault::to_string(options.type), options.injections, threads,
               r.workers, static_cast<unsigned long long>(options.seed),
+              vm::to_string(vm::resolve_tier(tier)),
               options.protect ? "" : ", unprotected");
   if (sampling.forced_rate > 0) {
     std::printf("sampling: forced 1-in-%u\n", sampling.forced_rate);
@@ -328,13 +344,13 @@ int cmd_campaign(const std::string& source, int injections, unsigned threads,
 int dispatch(const std::string& cmd, const std::string& source,
              const std::vector<std::string>& args,
              const CampaignFlags& campaign_flags, bool recover,
-             const runtime::SamplingOptions& sampling) {
+             const runtime::SamplingOptions& sampling, vm::ExecTier tier) {
   if (cmd == "run" || cmd == "protect") {
     unsigned threads =
         args.size() > 2 ? static_cast<unsigned>(std::atoi(args[2].c_str()))
                         : 4;
     return cmd_run(source, threads, cmd == "protect",
-                   recover && cmd == "protect", sampling);
+                   recover && cmd == "protect", sampling, tier);
   }
   if (cmd == "analyze") return cmd_analyze(source);
   if (cmd == "emit-ir") {
@@ -354,7 +370,7 @@ int dispatch(const std::string& cmd, const std::string& source,
         args.size() > 3 ? static_cast<unsigned>(std::atoi(args[3].c_str()))
                         : 4;
     return cmd_campaign(source, injections, threads, campaign_flags,
-                        recover, sampling);
+                        recover, sampling, tier);
   }
   if (cmd == "inject" && args.size() >= 4) {
     bool cond_fault = args.size() > 4 && args[4] == "cond";
@@ -364,7 +380,7 @@ int dispatch(const std::string& cmd, const std::string& source,
     return cmd_inject(source,
                       static_cast<unsigned>(std::atoi(args[2].c_str())),
                       static_cast<std::uint64_t>(std::atoll(args[3].c_str())),
-                      cond_fault, threads, recover);
+                      cond_fault, threads, recover, tier);
   }
   return usage();
 }
@@ -379,9 +395,15 @@ int main(int argc, char** argv) {
   std::string trace_path;
   CampaignFlags campaign_flags;
   runtime::SamplingOptions sampling;
+  vm::ExecTier tier = vm::ExecTier::Auto;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
+    } else if (std::strncmp(argv[i], "--tier=", 7) == 0) {
+      if (!vm::parse_exec_tier(argv[i] + 7, tier)) {
+        std::fprintf(stderr, "bwc: unknown tier '%s'\n", argv[i] + 7);
+        return usage();
+      }
     } else if (std::strcmp(argv[i], "--sampling") == 0) {
       sampling.enabled = true;
     } else if (std::strncmp(argv[i], "--sample-rate=", 14) == 0) {
@@ -424,7 +446,8 @@ int main(int argc, char** argv) {
   std::string source = load_source(args[1]);
   int rc;
   try {
-    rc = dispatch(cmd, source, args, campaign_flags, recover, sampling);
+    rc = dispatch(cmd, source, args, campaign_flags, recover, sampling,
+                  tier);
   } catch (const bw::support::CompileError& e) {
     std::fprintf(stderr, "bwc: %s\n", e.what());
     rc = 1;

@@ -96,6 +96,13 @@ if [ "$run_tsan" = 1 ]; then
     ctest --test-dir build-tsan --output-on-failure -L campaign
     echo "===== TSan sampling lane (adaptive rate ladder under races) ====="
     ctest --test-dir build-tsan --output-on-failure -L sampling
+    echo "===== TSan tier lane (threaded dispatch vs interpreter oracle) ====="
+    # Bounded subset: the tier-differential harness runs both dispatchers
+    # over the same shared heap / monitor / recovery machinery — the
+    # threaded tier's relaxed-atomic heap access and per-run table
+    # patching are exactly the code TSan should see under contention.
+    ctest --test-dir build-tsan --output-on-failure -L differential \
+      -R 'TierDifferential/TierDifferential\.TiersAreObservationallyIdentical/(1|7|13|19|25)$|TierCampaign|BudgetWatchdogParity'
   } 2>&1 | tee tsan_output.txt
 fi
 

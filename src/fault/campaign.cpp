@@ -83,9 +83,10 @@ runtime::MonitorOptions fast_degrade_monitor_options() {
 }
 
 GoldenRun golden_run(const pipeline::CompiledProgram& program,
-                     unsigned num_threads) {
+                     unsigned num_threads, vm::ExecTier tier) {
   pipeline::ExecutionConfig config;
   config.num_threads = num_threads;
+  config.exec_tier = tier;
   // Golden profiling runs uninstrumented semantics: drain-only keeps the
   // branch counts identical to the protected run without paying checks.
   config.monitor = program.instrumented ? pipeline::MonitorMode::DrainOnly
@@ -254,6 +255,7 @@ Verdict run_application_fault(const pipeline::CompiledProgram& program,
 
   pipeline::ExecutionConfig config;
   config.num_threads = options.num_threads;
+  config.exec_tier = options.exec_tier;
   config.monitor = options.protect ? pipeline::MonitorMode::Full
                                    : pipeline::MonitorMode::Off;
   config.instruction_budget = budget;
@@ -327,6 +329,7 @@ Verdict run_monitor_fault(const pipeline::CompiledProgram& program,
 
   pipeline::ExecutionConfig config;
   config.num_threads = options.num_threads;
+  config.exec_tier = options.exec_tier;
   config.monitor = pipeline::MonitorMode::Full;
   config.instruction_budget = budget;
   config.monitor_options = options.monitor;
@@ -510,7 +513,8 @@ CampaignResult run_campaign(std::string_view source,
       options.protect ? pipeline::protect_program(source, options.pipeline)
                       : pipeline::compile_program(source, options.pipeline);
 
-  GoldenRun golden = golden_run(program, options.num_threads);
+  GoldenRun golden =
+      golden_run(program, options.num_threads, options.exec_tier);
   std::uint64_t budget = options.instruction_budget != 0
                              ? options.instruction_budget
                              : auto_instruction_budget(golden);

@@ -109,6 +109,13 @@ struct InjectionOutcome {
 
 struct CampaignOptions {
   unsigned num_threads = 4;
+  /// VM dispatcher for every run of the campaign — golden profiling and
+  /// injections alike (vm/dispatch.h; Auto = threaded). Any mix of tiers
+  /// yields the same verdicts, budgets and checkpoints: the tiers retire
+  /// identical logical instruction streams, and campaign checkpoints
+  /// deliberately do not record the tier, so a campaign checkpointed under
+  /// one tier may resume under the other.
+  vm::ExecTier exec_tier = vm::ExecTier::Auto;
   int injections = 200;
   FaultType type = FaultType::BranchFlip;
   std::uint64_t seed = 0x5eedf00d;
@@ -285,13 +292,22 @@ struct GoldenRun {
 };
 
 GoldenRun golden_run(const pipeline::CompiledProgram& program,
-                     unsigned num_threads);
+                     unsigned num_threads,
+                     vm::ExecTier tier = vm::ExecTier::Auto);
 
 /// The auto watchdog budget for one injection run: 10x the golden run's
 /// max per-thread retired-instruction count plus fixed slack, clamped so
 /// it is always finite and nonzero — a kernel whose parallel section
 /// retires zero instructions must still get a real budget, never the 0
 /// that ExecutionConfig interprets as "no watchdog".
+///
+/// Tier independence: the count profiled here is LOGICAL retired
+/// instructions (decoded ops, phis included), which both dispatchers
+/// charge identically — the threaded tier folds phi retirement into its
+/// pre-resolved edges rather than dispatching them, but charges the same
+/// totals. A budget derived from a golden run under either tier therefore
+/// trips the watchdog at the same logical point under the other
+/// (tests/tier_differential_test.cpp, BudgetWatchdogParity).
 std::uint64_t auto_instruction_budget(const GoldenRun& golden);
 
 /// Fault-free campaign: execute `runs` clean runs of an instrumented

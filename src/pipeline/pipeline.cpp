@@ -53,6 +53,8 @@ void publish_execution(const ExecutionResult& result,
       static_cast<std::uint64_t>(result.monitor_health));
   telemetry::gauge_set(telemetry::Gauge::SamplingRate,
                        result.monitor_stats.sampling_rate_final);
+  telemetry::gauge_set(telemetry::Gauge::ExecTier,
+                       static_cast<std::uint64_t>(result.run.tier));
 }
 
 }  // namespace
@@ -139,6 +141,7 @@ ExecutionResult execute(const CompiledProgram& program,
 
   vm::RunOptions ropts;
   ropts.num_threads = config.num_threads;
+  ropts.tier = config.exec_tier;
   ropts.parallel_entry = config.parallel_entry;
   ropts.init_function =
       program.module->find_function(config.init_function) != nullptr

@@ -54,6 +54,10 @@ enum class MonitorMode {
 
 struct ExecutionConfig {
   unsigned num_threads = 4;
+  /// Which VM dispatcher runs the program (vm/dispatch.h). Auto resolves
+  /// to the threaded tier; the interpreter is the differential oracle.
+  /// The resolved tier is reported in ExecutionResult::run.tier.
+  vm::ExecTier exec_tier = vm::ExecTier::Auto;
   MonitorMode monitor = MonitorMode::Full;
   vm::FaultPlan fault;
   std::uint64_t instruction_budget = 0;

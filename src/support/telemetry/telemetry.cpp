@@ -38,6 +38,8 @@ const char* to_string(Counter counter) {
     case Counter::ReportsSampledOut: return "monitor.reports_sampled_out";
     case Counter::SamplingDegrades: return "monitor.sampling_degrades";
     case Counter::SamplingSnapBacks: return "monitor.sampling_snap_backs";
+    case Counter::DecodeCacheHits: return "vm.decode_cache_hits";
+    case Counter::DecodeCacheMisses: return "vm.decode_cache_misses";
     case Counter::kCount: break;
   }
   return "<bad-counter>";
@@ -59,6 +61,7 @@ const char* to_string(Gauge gauge) {
     case Gauge::CampaignWorkerUtilPct:
       return "fault.campaign_worker_util_pct";
     case Gauge::SamplingRate: return "monitor.sampling_rate";
+    case Gauge::ExecTier: return "vm.exec_tier";
     case Gauge::kCount: break;
   }
   return "<bad-gauge>";

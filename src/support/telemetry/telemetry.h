@@ -76,6 +76,9 @@ enum class Counter : std::uint16_t {
   ReportsSampledOut,  // instances deterministically skipped by sampling
   SamplingDegrades,   // upward rate transitions (escalation ladder)
   SamplingSnapBacks,  // forced returns to full checking
+  // Execution-tier decode cache (vm/dispatch.cpp).
+  DecodeCacheHits,
+  DecodeCacheMisses,
   kCount,
 };
 
@@ -97,6 +100,9 @@ enum class Gauge : std::uint16_t {
   CampaignWorkerUtilPct,  // 100 * sum(worker busy ns) / (workers * wall)
   // Last execution's sampling state (1 = full checking).
   SamplingRate,
+  // Last execution's dispatcher (vm::ExecTier numeric value; resolved,
+  // never Auto).
+  ExecTier,
   kCount,
 };
 

@@ -1,0 +1,786 @@
+// Internal execution engine shared by the two dispatchers: the interpreter
+// loop (machine.cpp) and the direct-threaded loop (dispatch.cpp) are both
+// ThreadRunner member functions over the same Machine, Coordinator, trap,
+// checkpoint and fault-injection machinery, so every semantic outside raw
+// dispatch — heap access, barriers, rollback, monitor reports, fault
+// anchoring, instruction accounting — exists exactly once and cannot drift
+// between tiers. Not installed; include only from src/vm/*.cpp.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "runtime/context_tracker.h"
+#include "support/diagnostics.h"
+#include "support/prng.h"
+#include "vm/dispatch.h"
+#include "vm/machine.h"
+#include "vm/recovery.h"
+
+namespace bw::vm::detail {
+
+struct Trap {
+  TrapKind kind;
+  std::string detail;
+};
+
+/// Unwinds a program thread out of the dispatcher to its section top for
+/// a recovery rollback. Deliberately distinct from Trap: a rollback is
+/// not an error outcome, and must never be caught by trap classification.
+struct RollbackSignal {};
+
+union RtValue {
+  std::int64_t i;
+  double f;
+};
+
+/// Thread lifecycle / barrier / lock coordinator with cooperative deadlock
+/// detection: the invariant "if no thread is Running and any thread is
+/// waiting, the program can never progress" classifies fault-induced
+/// barrier mismatches and lost unlocks as hangs deterministically, without
+/// timeouts.
+class Coordinator {
+ public:
+  explicit Coordinator(unsigned n)
+      : status_(n, Status::Running), waiting_lock_(n, 0) {}
+
+  /// Recovery hook, run by the barrier-releasing thread under the
+  /// coordinator mutex once every thread has arrived (every waiter is
+  /// parked on cv_, so the staged snapshots and the heap are stable).
+  /// Receives the new barrier generation and the held-locks map; returns
+  /// true to demand an immediate rollback (forced-rollback test hook).
+  /// The hook must NOT call back into this Coordinator.
+  using CheckpointHook = std::function<bool(
+      std::uint64_t, const std::unordered_map<std::int64_t, unsigned>&)>;
+  void set_checkpoint_hook(CheckpointHook hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+
+  void barrier_wait(unsigned tid) {
+    std::unique_lock<std::mutex> lock(mu_);
+    throw_if_stopped(tid);
+    ++barrier_arrived_;
+    if (barrier_arrived_ == status_.size() - done_count_ - trapped_count_ &&
+        done_count_ + trapped_count_ > 0) {
+      // Everyone still alive is here, but departed threads will never
+      // arrive: the real program would block forever.
+      declare_hang();
+      throw Trap{TrapKind::Deadlock, "barrier mismatch"};
+    }
+    if (barrier_arrived_ == status_.size()) {
+      barrier_arrived_ = 0;
+      ++barrier_generation_;
+      if (checkpoint_hook_ &&
+          checkpoint_hook_(barrier_generation_, lock_owner_)) {
+        rollback_.store(true, std::memory_order_relaxed);
+      }
+      // Mark all waiters runnable NOW (under the mutex): they are
+      // logically released even before they physically wake, so the
+      // deadlock detector must not count them as waiting.
+      for (Status& s : status_) {
+        if (s == Status::Barrier) s = Status::Running;
+      }
+      cv_.notify_all();
+      throw_if_stopped(tid);
+      return;
+    }
+    status_[tid] = Status::Barrier;
+    const std::uint64_t generation = barrier_generation_;
+    check_deadlock_locked();
+    cv_.wait(lock, [&] {
+      return barrier_generation_ != generation || hang_ ||
+             abort_.load(std::memory_order_relaxed) ||
+             rollback_.load(std::memory_order_relaxed);
+    });
+    status_[tid] = Status::Running;
+    throw_if_stopped(tid);
+  }
+
+  void lock_acquire(unsigned tid, std::int64_t lock_id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    throw_if_stopped(tid);
+    auto it = lock_owner_.find(lock_id);
+    if (it != lock_owner_.end() && it->second == tid) {
+      declare_hang();
+      throw Trap{TrapKind::Deadlock, "self-deadlock on lock"};
+    }
+    if (it == lock_owner_.end()) {
+      lock_owner_[lock_id] = tid;
+      return;
+    }
+    status_[tid] = Status::LockWait;
+    waiting_lock_[tid] = lock_id;
+    check_deadlock_locked();
+    cv_.wait(lock, [&] {
+      return lock_owner_.find(lock_id) == lock_owner_.end() || hang_ ||
+             abort_.load(std::memory_order_relaxed) ||
+             rollback_.load(std::memory_order_relaxed);
+    });
+    status_[tid] = Status::Running;
+    throw_if_stopped(tid);
+    lock_owner_[lock_id] = tid;
+  }
+
+  void lock_release(unsigned tid, std::int64_t lock_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = lock_owner_.find(lock_id);
+    // Releasing a lock one does not hold is a fault symptom; tolerate it
+    // (real pthreads behaviour is undefined; tolerating avoids masking the
+    // fault's downstream effects).
+    if (it != lock_owner_.end() && it->second == tid) {
+      lock_owner_.erase(it);
+      cv_.notify_all();
+    }
+  }
+
+  void thread_finished(unsigned tid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    status_[tid] = Status::Done;
+    ++done_count_;
+    check_deadlock_locked();
+  }
+
+  void thread_trapped(unsigned tid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    status_[tid] = Status::Trapped;
+    ++trapped_count_;
+    check_deadlock_locked();
+  }
+
+  void request_abort() {
+    std::lock_guard<std::mutex> lock(mu_);
+    abort_.store(true, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+
+  bool abort_requested() const {
+    return abort_.load(std::memory_order_relaxed);
+  }
+
+  /// Kick every thread parked in a barrier or lock wait out through a
+  /// RollbackSignal so the rollback rendezvous can assemble.
+  void request_rollback() {
+    std::lock_guard<std::mutex> lock(mu_);
+    rollback_.store(true, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+
+  /// Terminal states only (hang/abort); used to cancel a rendezvous.
+  bool stopped() const {
+    return hang_flag_.load(std::memory_order_relaxed) ||
+           abort_.load(std::memory_order_relaxed);
+  }
+
+  /// Rewind lock/barrier bookkeeping to a checkpoint. Called by the
+  /// rollback leader while every other program thread is parked at the
+  /// rendezvous (nobody is inside any Coordinator wait).
+  void reset_for_retry(
+      std::uint64_t barrier_generation,
+      const std::vector<std::pair<std::int64_t, unsigned>>& lock_owners) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Status& s : status_) s = Status::Running;
+    std::fill(waiting_lock_.begin(), waiting_lock_.end(), 0);
+    done_count_ = 0;
+    trapped_count_ = 0;
+    barrier_arrived_ = 0;
+    barrier_generation_ = barrier_generation;
+    lock_owner_.clear();
+    for (const auto& [id, tid] : lock_owners) lock_owner_[id] = tid;
+    rollback_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Status { Running, Barrier, LockWait, Done, Trapped };
+
+  void throw_if_stopped(unsigned tid) {
+    (void)tid;
+    if (hang_) throw Trap{TrapKind::Deadlock, "program deadlocked"};
+    if (abort_.load(std::memory_order_relaxed)) {
+      throw Trap{TrapKind::Aborted, "aborted by peer"};
+    }
+    if (rollback_.load(std::memory_order_relaxed)) throw RollbackSignal{};
+  }
+
+  void check_deadlock_locked() {
+    // While a rollback is assembling, threads leave their waits through
+    // RollbackSignal in arbitrary order; the running/waiting census is
+    // transient and must not be classified as a hang.
+    if (rollback_.load(std::memory_order_relaxed)) return;
+    unsigned running = 0;
+    unsigned waiting = 0;
+    for (unsigned t = 0; t < status_.size(); ++t) {
+      switch (status_[t]) {
+        case Status::Running:
+          ++running;
+          break;
+        case Status::LockWait:
+          // A waiter whose lock has been released is logically runnable
+          // even if it has not physically woken yet.
+          if (lock_owner_.find(waiting_lock_[t]) == lock_owner_.end()) {
+            ++running;
+          } else {
+            ++waiting;
+          }
+          break;
+        case Status::Barrier:
+          ++waiting;
+          break;
+        case Status::Done:
+        case Status::Trapped:
+          break;
+      }
+    }
+    // A full barrier releases at arrival, so waiting threads with nobody
+    // running can never be woken by the program itself.
+    if (running == 0 && waiting > 0) declare_hang();
+  }
+
+  void declare_hang() {
+    hang_ = true;
+    hang_flag_.store(true, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Status> status_;
+  std::vector<std::int64_t> waiting_lock_;
+  unsigned done_count_ = 0;
+  unsigned trapped_count_ = 0;
+  unsigned barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  std::unordered_map<std::int64_t, unsigned> lock_owner_;
+  bool hang_ = false;
+  std::atomic<bool> hang_flag_{false};
+  std::atomic<bool> abort_{false};
+  std::atomic<bool> rollback_{false};
+  CheckpointHook checkpoint_hook_;
+};
+
+// Internal header: members are public so the two dispatcher TUs and the
+// ThreadRunner share state without friend ceremony.
+class Machine {
+ public:
+  Machine(const ir::Module& module, const RunOptions& options)
+      : code_(acquire_program_code(module)),
+        program_(code_->decoded),
+        options_(options),
+        tier_(resolve_tier(options.tier)),
+        heap_(program_.layout.make_initial_heap()),
+        coordinator_(options.num_threads) {}
+
+  RunResult run();
+
+  /// Shared decode (both tiers' forms); immutable, shared across Machines.
+  std::shared_ptr<const ProgramCode> code_;
+  const DecodedProgram& program_;  // == code_->decoded
+  const RunOptions& options_;
+  const ExecTier tier_;  // resolved: Interpreter or Threaded, never Auto
+  std::vector<std::int64_t> heap_;
+  Coordinator coordinator_;
+  std::unique_ptr<RecoveryCoordinator> recovery_;
+};
+
+class ThreadRunner {
+ public:
+  ThreadRunner(Machine& machine, unsigned tid, bool parallel_section)
+      : m_(machine),
+        tid_(tid),
+        parallel_(parallel_section),
+        monitor_(machine.options_.monitor),
+        recovery_(parallel_section ? machine.recovery_.get() : nullptr) {}
+
+  ThreadOutcome run(std::uint32_t entry_index) {
+    for (bool running = true; running;) {
+      try {
+        if (pending_restore_ != nullptr) {
+          const ThreadSnapshot& ts = *pending_restore_;
+          pending_restore_ = nullptr;
+          if (ts.frames.empty()) {
+            // Section-start baseline: restart the entry from scratch.
+            invoke(entry_index, {}, /*callsite_id=*/0);
+          } else {
+            // Rebuild the native call stack frame by frame; the deepest
+            // frame resumes at its checkpoint Barrier.
+            restore_frames_ = &ts.frames;
+            restore_depth_ = 0;
+            invoke(ts.frames[0].func_index, {}, ts.frames[0].callsite_id);
+          }
+        } else {
+          invoke(entry_index, {}, /*callsite_id=*/0);
+        }
+        // Parallel-section exit is a batch flush point: a batching monitor
+        // (ShardedMonitor) must not strand this thread's tail reports.
+        if (monitor_ != nullptr) monitor_->flush(tid_);
+        if (parallel_) m_.coordinator_.thread_finished(tid_);
+        running = false;
+        if (recovery_ != nullptr) {
+          // Residual-violation gate: the last thread out runs the
+          // monitor's finalize check, and any violation (from it or from
+          // a peer still running) sends everyone back through a rollback.
+          SectionVerdict verdict = recovery_->section_rendezvous(
+              tid_, [this] { return m_.coordinator_.stopped(); });
+          if (verdict == SectionVerdict::Rollback) {
+            running = roll_back();
+          } else if (verdict == SectionVerdict::Detected) {
+            // Violation stands but the run cannot (or may no longer) roll
+            // back: graceful degradation to detect-and-report. Threads
+            // already passed the finished census; only the outcome flips.
+            outcome_.trap = TrapKind::Detected;
+            outcome_.detail =
+                "monitor raised violation; recovery retries exhausted";
+          }
+        }
+      } catch (const RollbackSignal&) {
+        running = roll_back();
+      } catch (const Trap& trap) {
+        outcome_.trap = trap.kind;
+        outcome_.detail = trap.detail;
+        if (monitor_ != nullptr) monitor_->flush(tid_);
+        if (parallel_) {
+          m_.coordinator_.thread_trapped(tid_);
+          // Shut the rest of the program down: any trap ends the run.
+          m_.coordinator_.request_abort();
+        }
+        running = false;
+      }
+    }
+    outcome_.instructions = instructions_;
+    outcome_.branches = branches_;
+    outcome_.output = std::move(output_);
+    return std::move(outcome_);
+  }
+
+  [[noreturn]] void trap(TrapKind kind, std::string detail) {
+    throw Trap{kind, std::move(detail)};
+  }
+
+  // --- Operand access ----------------------------------------------------
+
+  static std::int64_t geti(const DOperand& op, const RtValue* regs) {
+    return op.kind == DOperand::Kind::Reg ? regs[op.reg].i : op.i;
+  }
+  static double getf(const DOperand& op, const RtValue* regs) {
+    return op.kind == DOperand::Kind::Reg ? regs[op.reg].f : op.f;
+  }
+  /// Raw 64-bit pattern of an operand regardless of type (hash input).
+  static std::uint64_t raw(const DOperand& op, const RtValue* regs) {
+    if (op.kind == DOperand::Kind::Reg) {
+      return static_cast<std::uint64_t>(regs[op.reg].i);
+    }
+    if (op.kind == DOperand::Kind::ImmF) {
+      return std::bit_cast<std::uint64_t>(op.f);
+    }
+    return static_cast<std::uint64_t>(op.i);
+  }
+
+  // --- Heap access (relaxed atomics: benign races under faults must not
+  // --- be C++ UB) ---------------------------------------------------------
+
+  std::int64_t heap_load(std::int64_t addr) {
+    if (addr < 0 || static_cast<std::uint64_t>(addr) >= m_.heap_.size()) {
+      trap(TrapKind::OutOfBounds,
+           "load at word " + std::to_string(addr));
+    }
+    return std::atomic_ref<std::int64_t>(m_.heap_[static_cast<std::size_t>(addr)])
+        .load(std::memory_order_relaxed);
+  }
+
+  void heap_store(std::int64_t addr, std::int64_t value) {
+    if (addr < 0 || static_cast<std::uint64_t>(addr) >= m_.heap_.size()) {
+      trap(TrapKind::OutOfBounds,
+           "store at word " + std::to_string(addr));
+    }
+    std::atomic_ref<std::int64_t>(m_.heap_[static_cast<std::size_t>(addr)])
+        .store(value, std::memory_order_relaxed);
+  }
+
+  static bool is_local_addr(std::int64_t addr) {
+    return (static_cast<std::uint64_t>(addr) & kLocalTag) != 0;
+  }
+
+  /// Alloca slots: tagged pointers into a thread-private slot array
+  /// (thread-private, so plain access is race-free).
+  std::int64_t& local_slot(std::int64_t addr) {
+    std::uint64_t index = static_cast<std::uint64_t>(addr) & ~kLocalTag;
+    if (index >= local_slots_.size()) {
+      trap(TrapKind::BadPointer, "bad local slot");
+    }
+    return local_slots_[index];
+  }
+
+  // --- Execution -----------------------------------------------------------
+
+  void poll() {
+    if (m_.coordinator_.abort_requested()) {
+      trap(TrapKind::Aborted, "aborted by peer");
+    }
+    if (recovery_ != nullptr && recovery_->rollback_pending()) {
+      throw RollbackSignal{};
+    }
+    if (monitor_ != nullptr && m_.options_.stop_on_detection &&
+        monitor_->violation_detected()) {
+      if (recovery_ != nullptr && recovery_->try_begin_rollback()) {
+        m_.coordinator_.request_rollback();
+        throw RollbackSignal{};
+      }
+      trap(TrapKind::Detected,
+           recovery_ != nullptr
+               ? "monitor raised violation; recovery retries exhausted"
+               : "monitor raised violation");
+    }
+    if (m_.options_.instruction_budget != 0 &&
+        instructions_ > m_.options_.instruction_budget) {
+      trap(TrapKind::InstructionBudget, "instruction budget exhausted");
+    }
+  }
+
+  // --- Checkpoint capture / restore ----------------------------------------
+
+  /// Flatten the live call stack (shadowed in frame_stack_) plus all
+  /// thread-private state. Called right before entering a checkpoint
+  /// barrier, so every frame's block/ip are at their blocking point: the
+  /// deepest at this Barrier, each parent at its pending Call. Register
+  /// capture is trimmed to num_regs: threaded-tier frames append constant
+  /// slots after the registers, and those are decode-time facts that must
+  /// not enter the snapshot (cross-tier restore identity).
+  ThreadSnapshot capture_snapshot() {
+    ThreadSnapshot ts;
+    ts.frames.reserve(frame_stack_.size());
+    for (const ActiveFrame& frame : frame_stack_) {
+      FrameSnapshot fs;
+      fs.func_index = frame.func_index;
+      fs.callsite_id = frame.callsite_id;
+      fs.block = *frame.block;
+      fs.ip = *frame.ip;
+      const std::uint32_t num_regs =
+          m_.program_.functions[frame.func_index].num_regs;
+      fs.regs.reserve(num_regs);
+      const RtValue* regs = frame.regs->data();
+      for (std::uint32_t i = 0; i < num_regs; ++i) {
+        fs.regs.push_back(regs[i].i);
+      }
+      ts.frames.push_back(std::move(fs));
+    }
+    ts.local_slots = local_slots_;
+    ts.output = output_;
+    ts.instructions = instructions_;
+    ts.branches = branches_;
+    ts.barriers_crossed = barriers_crossed_;
+    ts.tracker = tracker_;
+    return ts;
+  }
+
+  /// Rendezvous with every other thread, restore to the last clean
+  /// checkpoint, and report whether the dispatcher should re-enter.
+  bool roll_back() {
+    RecoveryCoordinator::RestoreDecision decision =
+        recovery_->arrive_and_restore(
+            tid_,
+            [this](const Checkpoint& cp) {
+              // Leader-only, while every peer is parked at the
+              // rendezvous: shared heap, then lock/barrier bookkeeping.
+              // The generation is set one below the checkpoint's because
+              // every thread re-executes the checkpoint Barrier on
+              // resume, re-crossing it together.
+              m_.heap_ = cp.heap;
+              m_.coordinator_.reset_for_retry(
+                  cp.generation == 0 ? 0 : cp.generation - 1,
+                  cp.coordinator.lock_owners);
+            },
+            [this] { return m_.coordinator_.stopped(); });
+    switch (decision.action) {
+      case RestoreAction::Restore: {
+        const ThreadSnapshot& ts = decision.checkpoint->threads[tid_];
+        local_slots_ = ts.local_slots;
+        output_ = ts.output;
+        tracker_ = ts.tracker;
+        branches_ = ts.branches;
+        // The checkpoint Barrier (and each parent frame's Call dispatch)
+        // is re-executed on resume; pre-deduct so the replayed counters
+        // match the original timeline exactly.
+        instructions_ = ts.instructions - ts.frames.size();
+        barriers_crossed_ =
+            ts.barriers_crossed == 0 ? 0 : ts.barriers_crossed - 1;
+        call_depth_ = 0;
+        frame_stack_.clear();
+        restore_frames_ = nullptr;
+        restore_depth_ = 0;
+        // Transient faults are one-shot upsets: never re-inject a fault
+        // that already fired (recurring faults re-arm; a fault that has
+        // not fired yet stays armed either way).
+        fault_done_ = outcome_.fault_applied && !m_.options_.fault.recurring;
+        pending_restore_ = &ts;
+        return true;
+      }
+      case RestoreAction::GiveUp:
+        outcome_.trap = TrapKind::Detected;
+        outcome_.detail =
+            "monitor raised violation; recovery abandoned (monitor reset "
+            "failed)";
+        if (parallel_) m_.coordinator_.thread_trapped(tid_);
+        return false;
+      case RestoreAction::Cancelled:
+      default:
+        outcome_.trap = TrapKind::Aborted;
+        outcome_.detail = "rollback cancelled by peer trap";
+        if (parallel_) m_.coordinator_.thread_trapped(tid_);
+        return false;
+    }
+  }
+
+  /// Tier dispatch: one call frame in the resolved tier. Both loops
+  /// recurse back through their own entry point (Call handlers), never
+  /// through this switch, so a run is single-tier end to end.
+  RtValue invoke(std::uint32_t func_index, std::vector<RtValue> args,
+                 std::uint32_t callsite_id) {
+    return m_.tier_ == ExecTier::Threaded
+               ? call_threaded(func_index, std::move(args), callsite_id)
+               : call(func_index, std::move(args), callsite_id);
+  }
+
+  /// The interpreter dispatch loop (machine.cpp).
+  RtValue call(std::uint32_t func_index, std::vector<RtValue> args,
+               std::uint32_t callsite_id);
+
+  /// The direct-threaded dispatch loop (dispatch.cpp).
+  RtValue call_threaded(std::uint32_t func_index, std::vector<RtValue> args,
+                        std::uint32_t callsite_id);
+
+  static bool eval_icmp(ir::CmpPred pred, std::int64_t a, std::int64_t b) {
+    switch (pred) {
+      case ir::CmpPred::EQ: return a == b;
+      case ir::CmpPred::NE: return a != b;
+      case ir::CmpPred::LT: return a < b;
+      case ir::CmpPred::LE: return a <= b;
+      case ir::CmpPred::GT: return a > b;
+      case ir::CmpPred::GE: return a >= b;
+    }
+    return false;
+  }
+
+  static bool eval_fcmp(ir::CmpPred pred, double a, double b) {
+    switch (pred) {
+      case ir::CmpPred::EQ: return a == b;
+      case ir::CmpPred::NE: return a != b;
+      case ir::CmpPred::LT: return a < b;
+      case ir::CmpPred::LE: return a <= b;
+      case ir::CmpPred::GT: return a > b;
+      case ir::CmpPred::GE: return a >= b;
+    }
+    return false;
+  }
+
+  static std::int64_t safe_fptosi(double v) {
+    if (std::isnan(v)) return 0;
+    if (v >= 9.2233720368547758e18) {
+      return std::numeric_limits<std::int64_t>::max();
+    }
+    if (v <= -9.2233720368547758e18) {
+      return std::numeric_limits<std::int64_t>::min();
+    }
+    return static_cast<std::int64_t>(v);
+  }
+
+  // --- Fault injection -------------------------------------------------------
+
+  /// Does the planned fault fire at THIS dynamic execution of the CondBr
+  /// at (f, ip)? One-shot faults fire exactly once, at the target_branch-th
+  /// dynamic branch. Targeted faults anchor there — recording the static
+  /// site — and then re-fire on every later execution of that same site
+  /// until the flip budget is spent (0 = unbounded). The anchor compares
+  /// by (function address, instruction index), both stable for the
+  /// duration of a run (the module is read-only during execution) and
+  /// tier-independent (the threaded code array is index-aligned with the
+  /// interpreter's).
+  bool fault_fires(const DFunction& f, std::uint32_t ip) {
+    const FaultPlan& plan = m_.options_.fault;
+    if (!parallel_ || !plan.active || plan.thread != tid_) return false;
+    if (!plan.targeted) {
+      return !fault_done_ && branches_ == plan.target_branch;
+    }
+    if (!targeted_anchored_) {
+      if (branches_ != plan.target_branch) return false;
+      targeted_anchored_ = true;
+      targeted_func_ = &f;
+      targeted_ip_ = ip;
+    } else if (targeted_func_ != &f || targeted_ip_ != ip) {
+      return false;
+    }
+    return plan.targeted_flips == 0 || targeted_fired_ < plan.targeted_flips;
+  }
+
+  /// The fault may fire on this runner at all (victim thread of an active
+  /// plan in the parallel section). Constant for the runner's lifetime,
+  /// so the threaded tier patches its dispatch table on it.
+  bool fault_possible() const {
+    const FaultPlan& plan = m_.options_.fault;
+    return parallel_ && plan.active && plan.thread == tid_;
+  }
+
+  /// Apply the planned fault at this branch. Returns the (possibly
+  /// corrupted) branch outcome. See FaultPlan for semantics. `regs` must
+  /// hold the frame's SSA registers at indices [0, num_regs) — true in
+  /// both tiers — because the corrupted operand persists via its register
+  /// index.
+  bool apply_fault(const DFunction& f, const DInst& branch, RtValue* regs,
+                   bool clean_taken) {
+    fault_done_ = true;
+    ++targeted_fired_;
+    outcome_.fault_applied = true;
+    const FaultPlan& plan = m_.options_.fault;
+    if (plan.mode == FaultPlan::Mode::BranchFlip) {
+      return !clean_taken;
+    }
+    // CondBit: find the comparison defining the branch condition and flip a
+    // bit in one of its register operands, then re-evaluate. The corrupted
+    // register persists (paper: "the corruption ... will persist even after
+    // the execution of the branch").
+    if (branch.ops[0].kind != DOperand::Kind::Reg) return !clean_taken;
+    const DInst* cmp = defining(f, branch.ops[0].reg);
+    if (cmp == nullptr ||
+        (cmp->op != ir::Opcode::ICmp && cmp->op != ir::Opcode::FCmp)) {
+      // No register-resident condition data: degrade to a flip, which is
+      // the closest machine-level effect.
+      return !clean_taken;
+    }
+    const DOperand* target = nullptr;
+    for (const DOperand& op : cmp->ops) {
+      if (op.kind == DOperand::Kind::Reg) {
+        target = &op;
+        break;
+      }
+    }
+    if (target == nullptr) return !clean_taken;
+    regs[target->reg].i ^= (std::int64_t{1} << (plan.bit & 63));
+    bool corrupted;
+    if (cmp->op == ir::Opcode::ICmp) {
+      corrupted = eval_icmp(cmp->pred, geti(cmp->ops[0], regs),
+                            geti(cmp->ops[1], regs));
+    } else {
+      corrupted = eval_fcmp(cmp->pred, getf(cmp->ops[0], regs),
+                            getf(cmp->ops[1], regs));
+    }
+    regs[cmp->dest].i = corrupted ? 1 : 0;  // persist the i1 too
+    return corrupted;
+  }
+
+  static const DInst* defining(const DFunction& f, std::uint32_t reg) {
+    for (const DInst& inst : f.code) {
+      if (inst.dest == reg) return &inst;
+    }
+    return nullptr;
+  }
+
+  /// Campaign diagnostics: "func:blockN" for the block containing ip.
+  /// Shared by both tiers so the recorded fault site cannot drift.
+  void note_fault_site(const DFunction& f, std::uint32_t ip,
+                       std::uint32_t block) {
+    std::uint32_t b = block;
+    for (std::uint32_t bi = 0; bi + 1 < f.block_first.size(); ++bi) {
+      if (f.block_first[bi] <= ip && ip < f.block_first[bi + 1]) {
+        b = bi;
+      }
+    }
+    outcome_.detail = f.name + ":block" + std::to_string(b);
+  }
+
+  // --- Monitor client ----------------------------------------------------------
+
+  void send_condition(const DInst& d, const RtValue* regs) {
+    runtime::BranchReport report = base_report(d.imm);
+    report.kind = runtime::ReportKind::Condition;
+    std::uint64_t h = 0x6a09e667f3bcc909ULL;
+    for (const DOperand& op : d.ops) {
+      h = support::hash_combine(h, raw(op, regs));
+    }
+    report.value = h;
+    monitor_->send(report);
+  }
+
+  /// Threaded-tier variant: the operand hash is computed by the caller
+  /// over pre-resolved slots (identical inputs — raw() of a constant slot
+  /// equals raw() of the immediate operand it was materialized from).
+  void send_condition_hashed(std::uint32_t imm, std::uint64_t hash) {
+    runtime::BranchReport report = base_report(imm);
+    report.kind = runtime::ReportKind::Condition;
+    report.value = hash;
+    monitor_->send(report);
+  }
+
+  void send_outcome(std::uint32_t imm, bool outcome_flag) {
+    runtime::BranchReport report = base_report(imm);
+    report.kind = runtime::ReportKind::Outcome;
+    report.outcome = outcome_flag;
+    monitor_->send(report);
+  }
+
+  runtime::BranchReport base_report(std::uint32_t imm) {
+    runtime::BranchReport report;
+    report.static_id = imm & 0xffffffu;
+    report.check = static_cast<runtime::CheckCode>(imm >> 24);
+    report.thread = tid_;
+    report.ctx_hash = tracker_.ctx_hash();
+    report.iter_hash = tracker_.iter_hash();
+    return report;
+  }
+
+  Machine& m_;
+  unsigned tid_;
+  bool parallel_;
+  runtime::BranchSink* monitor_;
+  RecoveryCoordinator* recovery_;  // null unless recovery is enabled
+  runtime::ContextTracker tracker_;
+  ThreadOutcome outcome_;
+  std::string output_;
+  std::vector<std::int64_t> local_slots_;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t branches_ = 0;
+  std::uint64_t barriers_crossed_ = 0;
+  unsigned call_depth_ = 0;
+  bool fault_done_ = false;
+  /// Targeted fault model state. Deliberately NOT restored on rollback:
+  /// the adversary outlives recovery attempts (see FaultPlan::targeted),
+  /// and budget spent in rolled-back timelines stays spent.
+  bool targeted_anchored_ = false;
+  const DFunction* targeted_func_ = nullptr;
+  std::uint32_t targeted_ip_ = 0;
+  std::uint32_t targeted_fired_ = 0;
+
+  /// Shadow of the native call recursion: pointers into each live frame's
+  /// locals, so a barrier checkpoint can flatten the whole stack without
+  /// restructuring the dispatchers into explicit machines. Threaded-tier
+  /// frames point at slot vectors whose first num_regs entries are the
+  /// SSA registers (capture_snapshot trims to those).
+  struct ActiveFrame {
+    std::uint32_t func_index;
+    std::uint32_t callsite_id;
+    std::vector<RtValue>* regs;
+    std::uint32_t* block;
+    std::uint32_t* ip;
+  };
+  std::vector<ActiveFrame> frame_stack_;
+  /// Restore mode: frames still to be consumed by call()/call_threaded()
+  /// while the native stack is rebuilt, and the snapshot to resume from.
+  const std::vector<FrameSnapshot>* restore_frames_ = nullptr;
+  std::size_t restore_depth_ = 0;
+  const ThreadSnapshot* pending_restore_ = nullptr;
+  /// Staging buffer for edge phi moves (parallel-copy semantics), reused
+  /// across edges to stay allocation-free on the hot path.
+  std::vector<std::int64_t> phi_staging_;
+};
+
+}  // namespace bw::vm::detail

@@ -1,26 +1,10 @@
 #include "vm/machine.h"
 
-#include <algorithm>
-#include <atomic>
-#include <bit>
 #include <chrono>
-#include <cmath>
-#include <condition_variable>
-#include <cstdio>
-#include <functional>
-#include <limits>
-#include <memory>
-#include <mutex>
 #include <thread>
-#include <unordered_map>
-#include <utility>
 
-#include "runtime/context_tracker.h"
-#include "support/diagnostics.h"
-#include "support/prng.h"
 #include "support/telemetry/telemetry.h"
-#include "vm/interpreter.h"
-#include "vm/recovery.h"
+#include "vm/exec_internal.h"
 
 namespace bw::vm {
 
@@ -38,1049 +22,367 @@ const char* to_string(TrapKind kind) {
   return "<bad-trap>";
 }
 
-namespace {
+namespace detail {
 
-struct Trap {
-  TrapKind kind;
-  std::string detail;
-};
-
-/// Unwinds a program thread out of the interpreter to its section top for
-/// a recovery rollback. Deliberately distinct from Trap: a rollback is
-/// not an error outcome, and must never be caught by trap classification.
-struct RollbackSignal {};
-
-union RtValue {
-  std::int64_t i;
-  double f;
-};
-
-/// Thread lifecycle / barrier / lock coordinator with cooperative deadlock
-/// detection: the invariant "if no thread is Running and any thread is
-/// waiting, the program can never progress" classifies fault-induced
-/// barrier mismatches and lost unlocks as hangs deterministically, without
-/// timeouts.
-class Coordinator {
- public:
-  explicit Coordinator(unsigned n)
-      : status_(n, Status::Running), waiting_lock_(n, 0) {}
-
-  /// Recovery hook, run by the barrier-releasing thread under the
-  /// coordinator mutex once every thread has arrived (every waiter is
-  /// parked on cv_, so the staged snapshots and the heap are stable).
-  /// Receives the new barrier generation and the held-locks map; returns
-  /// true to demand an immediate rollback (forced-rollback test hook).
-  /// The hook must NOT call back into this Coordinator.
-  using CheckpointHook = std::function<bool(
-      std::uint64_t, const std::unordered_map<std::int64_t, unsigned>&)>;
-  void set_checkpoint_hook(CheckpointHook hook) {
-    checkpoint_hook_ = std::move(hook);
+// The interpreter dispatch loop: the reference tier and differential
+// oracle. Every semantic here must stay bit-identical to the threaded
+// loop in dispatch.cpp — the shared machinery lives in exec_internal.h;
+// only raw dispatch differs.
+RtValue ThreadRunner::call(std::uint32_t func_index,
+                           std::vector<RtValue> args,
+                           std::uint32_t callsite_id) {
+  const DFunction& f = m_.program_.functions[func_index];
+  if (call_depth_ > 512) {
+    trap(TrapKind::BadPointer, "call stack overflow");
   }
+  ++call_depth_;
+  const bool restoring = restore_frames_ != nullptr;
+  bool tracked = monitor_ != nullptr && callsite_id != 0;
+  // A restored frame's context is already inside the restored tracker
+  // state; pushing again would double it (Ret still pops either way).
+  if (tracked && !restoring) tracker_.push_call(callsite_id);
 
-  void barrier_wait(unsigned tid) {
-    std::unique_lock<std::mutex> lock(mu_);
-    throw_if_stopped(tid);
-    ++barrier_arrived_;
-    if (barrier_arrived_ == status_.size() - done_count_ - trapped_count_ &&
-        done_count_ + trapped_count_ > 0) {
-      // Everyone still alive is here, but departed threads will never
-      // arrive: the real program would block forever.
-      declare_hang();
-      throw Trap{TrapKind::Deadlock, "barrier mismatch"};
+  std::vector<RtValue> regs(f.num_regs, RtValue{0});
+  for (std::size_t i = 0; i < args.size(); ++i) regs[i] = args[i];
+
+  RtValue result{0};
+  std::uint32_t block = 0;
+  std::uint32_t ip = f.block_first.empty() ? 0 : f.block_first[0];
+  std::vector<std::pair<std::uint32_t, RtValue>> phi_staging;
+
+  if (restoring) {
+    const FrameSnapshot& fs = (*restore_frames_)[restore_depth_];
+    BW_INTERNAL_CHECK(fs.func_index == func_index,
+                      "checkpoint frame does not match call target");
+    BW_INTERNAL_CHECK(fs.regs.size() == regs.size(),
+                      "checkpoint frame register count mismatch");
+    for (std::size_t i = 0; i < fs.regs.size(); ++i) regs[i].i = fs.regs[i];
+    block = fs.block;
+    ip = fs.ip;  // parent frames: the pending Call; deepest: the Barrier
+    if (++restore_depth_ == restore_frames_->size()) {
+      restore_frames_ = nullptr;  // stack rebuilt; resume for real
+      restore_depth_ = 0;
     }
-    if (barrier_arrived_ == status_.size()) {
-      barrier_arrived_ = 0;
-      ++barrier_generation_;
-      if (checkpoint_hook_ &&
-          checkpoint_hook_(barrier_generation_, lock_owner_)) {
-        rollback_.store(true, std::memory_order_relaxed);
+  }
+  frame_stack_.push_back({func_index, callsite_id, &regs, &block, &ip});
+
+  auto enter_block = [&](std::uint32_t target, std::uint32_t from) {
+    std::uint32_t first = f.block_first[target];
+    phi_staging.clear();
+    std::uint32_t i = first;
+    while (i < f.block_first[target + 1] &&
+           f.code[i].op == ir::Opcode::Phi) {
+      const DInst& phi = f.code[i];
+      bool matched = false;
+      for (const DPhiEntry& entry : phi.phis) {
+        if (entry.pred_block == from) {
+          RtValue v;
+          v.i = static_cast<std::int64_t>(raw(entry.value, regs.data()));
+          phi_staging.emplace_back(phi.dest, v);
+          matched = true;
+          break;
+        }
       }
-      // Mark all waiters runnable NOW (under the mutex): they are
-      // logically released even before they physically wake, so the
-      // deadlock detector must not count them as waiting.
-      for (Status& s : status_) {
-        if (s == Status::Barrier) s = Status::Running;
+      if (!matched) {
+        trap(TrapKind::BadPointer, "phi without matching incoming edge");
       }
-      cv_.notify_all();
-      throw_if_stopped(tid);
-      return;
+      ++i;
     }
-    status_[tid] = Status::Barrier;
-    const std::uint64_t generation = barrier_generation_;
-    check_deadlock_locked();
-    cv_.wait(lock, [&] {
-      return barrier_generation_ != generation || hang_ ||
-             abort_.load(std::memory_order_relaxed) ||
-             rollback_.load(std::memory_order_relaxed);
-    });
-    status_[tid] = Status::Running;
-    throw_if_stopped(tid);
-  }
+    for (const auto& [dest, value] : phi_staging) regs[dest] = value;
+    block = target;
+    ip = i;  // skip the phis; they are executed
+    instructions_ += i - first;
+  };
 
-  void lock_acquire(unsigned tid, std::int64_t lock_id) {
-    std::unique_lock<std::mutex> lock(mu_);
-    throw_if_stopped(tid);
-    auto it = lock_owner_.find(lock_id);
-    if (it != lock_owner_.end() && it->second == tid) {
-      declare_hang();
-      throw Trap{TrapKind::Deadlock, "self-deadlock on lock"};
-    }
-    if (it == lock_owner_.end()) {
-      lock_owner_[lock_id] = tid;
-      return;
-    }
-    status_[tid] = Status::LockWait;
-    waiting_lock_[tid] = lock_id;
-    check_deadlock_locked();
-    cv_.wait(lock, [&] {
-      return lock_owner_.find(lock_id) == lock_owner_.end() || hang_ ||
-             abort_.load(std::memory_order_relaxed) ||
-             rollback_.load(std::memory_order_relaxed);
-    });
-    status_[tid] = Status::Running;
-    throw_if_stopped(tid);
-    lock_owner_[lock_id] = tid;
-  }
-
-  void lock_release(unsigned tid, std::int64_t lock_id) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = lock_owner_.find(lock_id);
-    // Releasing a lock one does not hold is a fault symptom; tolerate it
-    // (real pthreads behaviour is undefined; tolerating avoids masking the
-    // fault's downstream effects).
-    if (it != lock_owner_.end() && it->second == tid) {
-      lock_owner_.erase(it);
-      cv_.notify_all();
-    }
-  }
-
-  void thread_finished(unsigned tid) {
-    std::lock_guard<std::mutex> lock(mu_);
-    status_[tid] = Status::Done;
-    ++done_count_;
-    check_deadlock_locked();
-  }
-
-  void thread_trapped(unsigned tid) {
-    std::lock_guard<std::mutex> lock(mu_);
-    status_[tid] = Status::Trapped;
-    ++trapped_count_;
-    check_deadlock_locked();
-  }
-
-  void request_abort() {
-    std::lock_guard<std::mutex> lock(mu_);
-    abort_.store(true, std::memory_order_relaxed);
-    cv_.notify_all();
-  }
-
-  bool abort_requested() const {
-    return abort_.load(std::memory_order_relaxed);
-  }
-
-  /// Kick every thread parked in a barrier or lock wait out through a
-  /// RollbackSignal so the rollback rendezvous can assemble.
-  void request_rollback() {
-    std::lock_guard<std::mutex> lock(mu_);
-    rollback_.store(true, std::memory_order_relaxed);
-    cv_.notify_all();
-  }
-
-  /// Terminal states only (hang/abort); used to cancel a rendezvous.
-  bool stopped() const {
-    return hang_flag_.load(std::memory_order_relaxed) ||
-           abort_.load(std::memory_order_relaxed);
-  }
-
-  /// Rewind lock/barrier bookkeeping to a checkpoint. Called by the
-  /// rollback leader while every other program thread is parked at the
-  /// rendezvous (nobody is inside any Coordinator wait).
-  void reset_for_retry(
-      std::uint64_t barrier_generation,
-      const std::vector<std::pair<std::int64_t, unsigned>>& lock_owners) {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (Status& s : status_) s = Status::Running;
-    std::fill(waiting_lock_.begin(), waiting_lock_.end(), 0);
-    done_count_ = 0;
-    trapped_count_ = 0;
-    barrier_arrived_ = 0;
-    barrier_generation_ = barrier_generation;
-    lock_owner_.clear();
-    for (const auto& [id, tid] : lock_owners) lock_owner_[id] = tid;
-    rollback_.store(false, std::memory_order_relaxed);
-  }
-
- private:
-  enum class Status { Running, Barrier, LockWait, Done, Trapped };
-
-  void throw_if_stopped(unsigned tid) {
-    (void)tid;
-    if (hang_) throw Trap{TrapKind::Deadlock, "program deadlocked"};
-    if (abort_.load(std::memory_order_relaxed)) {
-      throw Trap{TrapKind::Aborted, "aborted by peer"};
-    }
-    if (rollback_.load(std::memory_order_relaxed)) throw RollbackSignal{};
-  }
-
-  void check_deadlock_locked() {
-    // While a rollback is assembling, threads leave their waits through
-    // RollbackSignal in arbitrary order; the running/waiting census is
-    // transient and must not be classified as a hang.
-    if (rollback_.load(std::memory_order_relaxed)) return;
-    unsigned running = 0;
-    unsigned waiting = 0;
-    for (unsigned t = 0; t < status_.size(); ++t) {
-      switch (status_[t]) {
-        case Status::Running:
-          ++running;
-          break;
-        case Status::LockWait:
-          // A waiter whose lock has been released is logically runnable
-          // even if it has not physically woken yet.
-          if (lock_owner_.find(waiting_lock_[t]) == lock_owner_.end()) {
-            ++running;
-          } else {
-            ++waiting;
-          }
-          break;
-        case Status::Barrier:
-          ++waiting;
-          break;
-        case Status::Done:
-        case Status::Trapped:
-          break;
-      }
-    }
-    // A full barrier releases at arrival, so waiting threads with nobody
-    // running can never be woken by the program itself.
-    if (running == 0 && waiting > 0) declare_hang();
-  }
-
-  void declare_hang() {
-    hang_ = true;
-    hang_flag_.store(true, std::memory_order_relaxed);
-    cv_.notify_all();
-  }
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Status> status_;
-  std::vector<std::int64_t> waiting_lock_;
-  unsigned done_count_ = 0;
-  unsigned trapped_count_ = 0;
-  unsigned barrier_arrived_ = 0;
-  std::uint64_t barrier_generation_ = 0;
-  std::unordered_map<std::int64_t, unsigned> lock_owner_;
-  bool hang_ = false;
-  std::atomic<bool> hang_flag_{false};
-  std::atomic<bool> abort_{false};
-  std::atomic<bool> rollback_{false};
-  CheckpointHook checkpoint_hook_;
-};
-
-class Machine {
- public:
-  Machine(const ir::Module& module, const RunOptions& options)
-      : program_(module),
-        options_(options),
-        heap_(program_.layout.make_initial_heap()),
-        coordinator_(options.num_threads) {}
-
-  RunResult run();
-
- private:
-  friend class ThreadRunner;
-
-  const DecodedProgram program_;
-  const RunOptions& options_;
-  std::vector<std::int64_t> heap_;
-  Coordinator coordinator_;
-  std::unique_ptr<RecoveryCoordinator> recovery_;
-};
-
-class ThreadRunner {
- public:
-  ThreadRunner(Machine& machine, unsigned tid, bool parallel_section)
-      : m_(machine),
-        tid_(tid),
-        parallel_(parallel_section),
-        monitor_(machine.options_.monitor),
-        recovery_(parallel_section ? machine.recovery_.get() : nullptr) {}
-
-  ThreadOutcome run(std::uint32_t entry_index) {
-    for (bool running = true; running;) {
-      try {
-        if (pending_restore_ != nullptr) {
-          const ThreadSnapshot& ts = *pending_restore_;
-          pending_restore_ = nullptr;
-          if (ts.frames.empty()) {
-            // Section-start baseline: restart the entry from scratch.
-            call(entry_index, {}, /*callsite_id=*/0);
-          } else {
-            // Rebuild the native call stack frame by frame; the deepest
-            // frame resumes at its checkpoint Barrier.
-            restore_frames_ = &ts.frames;
-            restore_depth_ = 0;
-            call(ts.frames[0].func_index, {}, ts.frames[0].callsite_id);
-          }
-        } else {
-          call(entry_index, {}, /*callsite_id=*/0);
-        }
-        // Parallel-section exit is a batch flush point: a batching monitor
-        // (ShardedMonitor) must not strand this thread's tail reports.
-        if (monitor_ != nullptr) monitor_->flush(tid_);
-        if (parallel_) m_.coordinator_.thread_finished(tid_);
-        running = false;
-        if (recovery_ != nullptr) {
-          // Residual-violation gate: the last thread out runs the
-          // monitor's finalize check, and any violation (from it or from
-          // a peer still running) sends everyone back through a rollback.
-          SectionVerdict verdict = recovery_->section_rendezvous(
-              tid_, [this] { return m_.coordinator_.stopped(); });
-          if (verdict == SectionVerdict::Rollback) {
-            running = roll_back();
-          } else if (verdict == SectionVerdict::Detected) {
-            // Violation stands but the run cannot (or may no longer) roll
-            // back: graceful degradation to detect-and-report. Threads
-            // already passed the finished census; only the outcome flips.
-            outcome_.trap = TrapKind::Detected;
-            outcome_.detail =
-                "monitor raised violation; recovery retries exhausted";
-          }
-        }
-      } catch (const RollbackSignal&) {
-        running = roll_back();
-      } catch (const Trap& trap) {
-        outcome_.trap = trap.kind;
-        outcome_.detail = trap.detail;
-        if (monitor_ != nullptr) monitor_->flush(tid_);
-        if (parallel_) {
-          m_.coordinator_.thread_trapped(tid_);
-          // Shut the rest of the program down: any trap ends the run.
-          m_.coordinator_.request_abort();
-        }
-        running = false;
-      }
-    }
-    outcome_.instructions = instructions_;
-    outcome_.branches = branches_;
-    outcome_.output = std::move(output_);
-    return std::move(outcome_);
-  }
-
- private:
-  [[noreturn]] void trap(TrapKind kind, std::string detail) {
-    throw Trap{kind, std::move(detail)};
-  }
-
-  // --- Operand access ----------------------------------------------------
-
-  static std::int64_t geti(const DOperand& op, const RtValue* regs) {
-    return op.kind == DOperand::Kind::Reg ? regs[op.reg].i : op.i;
-  }
-  static double getf(const DOperand& op, const RtValue* regs) {
-    return op.kind == DOperand::Kind::Reg ? regs[op.reg].f : op.f;
-  }
-  /// Raw 64-bit pattern of an operand regardless of type (hash input).
-  static std::uint64_t raw(const DOperand& op, const RtValue* regs) {
-    if (op.kind == DOperand::Kind::Reg) {
-      return static_cast<std::uint64_t>(regs[op.reg].i);
-    }
-    if (op.kind == DOperand::Kind::ImmF) {
-      return std::bit_cast<std::uint64_t>(op.f);
-    }
-    return static_cast<std::uint64_t>(op.i);
-  }
-
-  // --- Heap access (relaxed atomics: benign races under faults must not
-  // --- be C++ UB) ---------------------------------------------------------
-
-  std::int64_t heap_load(std::int64_t addr) {
-    if (addr < 0 || static_cast<std::uint64_t>(addr) >= m_.heap_.size()) {
-      trap(TrapKind::OutOfBounds,
-           "load at word " + std::to_string(addr));
-    }
-    return std::atomic_ref<std::int64_t>(m_.heap_[static_cast<std::size_t>(addr)])
-        .load(std::memory_order_relaxed);
-  }
-
-  void heap_store(std::int64_t addr, std::int64_t value) {
-    if (addr < 0 || static_cast<std::uint64_t>(addr) >= m_.heap_.size()) {
-      trap(TrapKind::OutOfBounds,
-           "store at word " + std::to_string(addr));
-    }
-    std::atomic_ref<std::int64_t>(m_.heap_[static_cast<std::size_t>(addr)])
-        .store(value, std::memory_order_relaxed);
-  }
-
-  static bool is_local_addr(std::int64_t addr) {
-    return (static_cast<std::uint64_t>(addr) & kLocalTag) != 0;
-  }
-
-  /// Alloca slots: tagged pointers into a thread-private slot array
-  /// (thread-private, so plain access is race-free).
-  std::int64_t& local_slot(std::int64_t addr) {
-    std::uint64_t index = static_cast<std::uint64_t>(addr) & ~kLocalTag;
-    if (index >= local_slots_.size()) {
-      trap(TrapKind::BadPointer, "bad local slot");
-    }
-    return local_slots_[index];
-  }
-
-  // --- Execution -----------------------------------------------------------
-
-  void poll() {
-    if (m_.coordinator_.abort_requested()) {
-      trap(TrapKind::Aborted, "aborted by peer");
-    }
-    if (recovery_ != nullptr && recovery_->rollback_pending()) {
-      throw RollbackSignal{};
-    }
-    if (monitor_ != nullptr && m_.options_.stop_on_detection &&
-        monitor_->violation_detected()) {
-      if (recovery_ != nullptr && recovery_->try_begin_rollback()) {
-        m_.coordinator_.request_rollback();
-        throw RollbackSignal{};
-      }
-      trap(TrapKind::Detected,
-           recovery_ != nullptr
-               ? "monitor raised violation; recovery retries exhausted"
-               : "monitor raised violation");
-    }
-    if (m_.options_.instruction_budget != 0 &&
-        instructions_ > m_.options_.instruction_budget) {
-      trap(TrapKind::InstructionBudget, "instruction budget exhausted");
-    }
-  }
-
-  // --- Checkpoint capture / restore ----------------------------------------
-
-  /// Flatten the live call stack (shadowed in frame_stack_) plus all
-  /// thread-private state. Called right before entering a checkpoint
-  /// barrier, so every frame's block/ip are at their blocking point: the
-  /// deepest at this Barrier, each parent at its pending Call.
-  ThreadSnapshot capture_snapshot() {
-    ThreadSnapshot ts;
-    ts.frames.reserve(frame_stack_.size());
-    for (const ActiveFrame& frame : frame_stack_) {
-      FrameSnapshot fs;
-      fs.func_index = frame.func_index;
-      fs.callsite_id = frame.callsite_id;
-      fs.block = *frame.block;
-      fs.ip = *frame.ip;
-      fs.regs.reserve(frame.regs->size());
-      for (const RtValue& v : *frame.regs) fs.regs.push_back(v.i);
-      ts.frames.push_back(std::move(fs));
-    }
-    ts.local_slots = local_slots_;
-    ts.output = output_;
-    ts.instructions = instructions_;
-    ts.branches = branches_;
-    ts.barriers_crossed = barriers_crossed_;
-    ts.tracker = tracker_;
-    return ts;
-  }
-
-  /// Rendezvous with every other thread, restore to the last clean
-  /// checkpoint, and report whether the interpreter should re-enter.
-  bool roll_back() {
-    RecoveryCoordinator::RestoreDecision decision =
-        recovery_->arrive_and_restore(
-            tid_,
-            [this](const Checkpoint& cp) {
-              // Leader-only, while every peer is parked at the
-              // rendezvous: shared heap, then lock/barrier bookkeeping.
-              // The generation is set one below the checkpoint's because
-              // every thread re-executes the checkpoint Barrier on
-              // resume, re-crossing it together.
-              m_.heap_ = cp.heap;
-              m_.coordinator_.reset_for_retry(
-                  cp.generation == 0 ? 0 : cp.generation - 1,
-                  cp.coordinator.lock_owners);
-            },
-            [this] { return m_.coordinator_.stopped(); });
-    switch (decision.action) {
-      case RestoreAction::Restore: {
-        const ThreadSnapshot& ts = decision.checkpoint->threads[tid_];
-        local_slots_ = ts.local_slots;
-        output_ = ts.output;
-        tracker_ = ts.tracker;
-        branches_ = ts.branches;
-        // The checkpoint Barrier (and each parent frame's Call dispatch)
-        // is re-executed on resume; pre-deduct so the replayed counters
-        // match the original timeline exactly.
-        instructions_ = ts.instructions - ts.frames.size();
-        barriers_crossed_ =
-            ts.barriers_crossed == 0 ? 0 : ts.barriers_crossed - 1;
-        call_depth_ = 0;
-        frame_stack_.clear();
-        restore_frames_ = nullptr;
-        restore_depth_ = 0;
-        // Transient faults are one-shot upsets: never re-inject a fault
-        // that already fired (recurring faults re-arm; a fault that has
-        // not fired yet stays armed either way).
-        fault_done_ = outcome_.fault_applied && !m_.options_.fault.recurring;
-        pending_restore_ = &ts;
-        return true;
-      }
-      case RestoreAction::GiveUp:
-        outcome_.trap = TrapKind::Detected;
-        outcome_.detail =
-            "monitor raised violation; recovery abandoned (monitor reset "
-            "failed)";
-        if (parallel_) m_.coordinator_.thread_trapped(tid_);
-        return false;
-      case RestoreAction::Cancelled:
-      default:
-        outcome_.trap = TrapKind::Aborted;
-        outcome_.detail = "rollback cancelled by peer trap";
-        if (parallel_) m_.coordinator_.thread_trapped(tid_);
-        return false;
-    }
-  }
-
-  RtValue call(std::uint32_t func_index, std::vector<RtValue> args,
-               std::uint32_t callsite_id) {
-    const DFunction& f = m_.program_.functions[func_index];
-    if (call_depth_ > 512) {
-      trap(TrapKind::BadPointer, "call stack overflow");
-    }
-    ++call_depth_;
-    const bool restoring = restore_frames_ != nullptr;
-    bool tracked = monitor_ != nullptr && callsite_id != 0;
-    // A restored frame's context is already inside the restored tracker
-    // state; pushing again would double it (Ret still pops either way).
-    if (tracked && !restoring) tracker_.push_call(callsite_id);
-
-    std::vector<RtValue> regs(f.num_regs, RtValue{0});
-    for (std::size_t i = 0; i < args.size(); ++i) regs[i] = args[i];
-
-    RtValue result{0};
-    std::uint32_t block = 0;
-    std::uint32_t ip = f.block_first.empty() ? 0 : f.block_first[0];
-    std::vector<std::pair<std::uint32_t, RtValue>> phi_staging;
-
-    if (restoring) {
-      const FrameSnapshot& fs = (*restore_frames_)[restore_depth_];
-      BW_INTERNAL_CHECK(fs.func_index == func_index,
-                        "checkpoint frame does not match call target");
-      BW_INTERNAL_CHECK(fs.regs.size() == regs.size(),
-                        "checkpoint frame register count mismatch");
-      for (std::size_t i = 0; i < fs.regs.size(); ++i) regs[i].i = fs.regs[i];
-      block = fs.block;
-      ip = fs.ip;  // parent frames: the pending Call; deepest: the Barrier
-      if (++restore_depth_ == restore_frames_->size()) {
-        restore_frames_ = nullptr;  // stack rebuilt; resume for real
-        restore_depth_ = 0;
-      }
-    }
-    frame_stack_.push_back({func_index, callsite_id, &regs, &block, &ip});
-
-    auto enter_block = [&](std::uint32_t target, std::uint32_t from) {
-      std::uint32_t first = f.block_first[target];
-      phi_staging.clear();
-      std::uint32_t i = first;
-      while (i < f.block_first[target + 1] &&
-             f.code[i].op == ir::Opcode::Phi) {
-        const DInst& phi = f.code[i];
-        bool matched = false;
-        for (const DPhiEntry& entry : phi.phis) {
-          if (entry.pred_block == from) {
-            RtValue v;
-            v.i = static_cast<std::int64_t>(raw(entry.value, regs.data()));
-            phi_staging.emplace_back(phi.dest, v);
-            matched = true;
-            break;
-          }
-        }
-        if (!matched) {
-          trap(TrapKind::BadPointer, "phi without matching incoming edge");
-        }
-        ++i;
-      }
-      for (const auto& [dest, value] : phi_staging) regs[dest] = value;
-      block = target;
-      ip = i;  // skip the phis; they are executed
-      instructions_ += i - first;
-    };
-
-    for (;;) {
-      const DInst& d = f.code[ip];
-      ++instructions_;
-      if ((instructions_ & 0x1fff) == 0) poll();
-      switch (d.op) {
-        // --- Integer arithmetic (wrap-around, UB-free) -------------------
-        case ir::Opcode::Add: {
-          regs[d.dest].i = static_cast<std::int64_t>(
-              static_cast<std::uint64_t>(geti(d.ops[0], regs.data())) +
-              static_cast<std::uint64_t>(geti(d.ops[1], regs.data())));
-          break;
-        }
-        case ir::Opcode::Sub: {
-          regs[d.dest].i = static_cast<std::int64_t>(
-              static_cast<std::uint64_t>(geti(d.ops[0], regs.data())) -
-              static_cast<std::uint64_t>(geti(d.ops[1], regs.data())));
-          break;
-        }
-        case ir::Opcode::Mul: {
-          regs[d.dest].i = static_cast<std::int64_t>(
-              static_cast<std::uint64_t>(geti(d.ops[0], regs.data())) *
-              static_cast<std::uint64_t>(geti(d.ops[1], regs.data())));
-          break;
-        }
-        case ir::Opcode::SDiv: {
-          std::int64_t a = geti(d.ops[0], regs.data());
-          std::int64_t b = geti(d.ops[1], regs.data());
-          if (b == 0) trap(TrapKind::DivideByZero, "sdiv by zero");
-          if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
-            regs[d.dest].i = a;  // wrap like hardware
-          } else {
-            regs[d.dest].i = a / b;
-          }
-          break;
-        }
-        case ir::Opcode::SRem: {
-          std::int64_t a = geti(d.ops[0], regs.data());
-          std::int64_t b = geti(d.ops[1], regs.data());
-          if (b == 0) trap(TrapKind::DivideByZero, "srem by zero");
-          if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
-            regs[d.dest].i = 0;
-          } else {
-            regs[d.dest].i = a % b;
-          }
-          break;
-        }
-        case ir::Opcode::And:
-          regs[d.dest].i =
-              geti(d.ops[0], regs.data()) & geti(d.ops[1], regs.data());
-          break;
-        case ir::Opcode::Or:
-          regs[d.dest].i =
-              geti(d.ops[0], regs.data()) | geti(d.ops[1], regs.data());
-          break;
-        case ir::Opcode::Xor:
-          regs[d.dest].i =
-              geti(d.ops[0], regs.data()) ^ geti(d.ops[1], regs.data());
-          break;
-        case ir::Opcode::Shl: {
-          std::uint64_t a =
-              static_cast<std::uint64_t>(geti(d.ops[0], regs.data()));
-          regs[d.dest].i = static_cast<std::int64_t>(
-              a << (geti(d.ops[1], regs.data()) & 63));
-          break;
-        }
-        case ir::Opcode::AShr: {
-          regs[d.dest].i =
-              geti(d.ops[0], regs.data()) >> (geti(d.ops[1], regs.data()) & 63);
-          break;
-        }
-        // --- Floating point ------------------------------------------------
-        case ir::Opcode::FAdd:
-          regs[d.dest].f =
-              getf(d.ops[0], regs.data()) + getf(d.ops[1], regs.data());
-          break;
-        case ir::Opcode::FSub:
-          regs[d.dest].f =
-              getf(d.ops[0], regs.data()) - getf(d.ops[1], regs.data());
-          break;
-        case ir::Opcode::FMul:
-          regs[d.dest].f =
-              getf(d.ops[0], regs.data()) * getf(d.ops[1], regs.data());
-          break;
-        case ir::Opcode::FDiv:
-          regs[d.dest].f =
-              getf(d.ops[0], regs.data()) / getf(d.ops[1], regs.data());
-          break;
-        // --- Comparisons ------------------------------------------------------
-        case ir::Opcode::ICmp: {
-          std::int64_t a = geti(d.ops[0], regs.data());
-          std::int64_t b = geti(d.ops[1], regs.data());
-          regs[d.dest].i = eval_icmp(d.pred, a, b) ? 1 : 0;
-          break;
-        }
-        case ir::Opcode::FCmp: {
-          double a = getf(d.ops[0], regs.data());
-          double b = getf(d.ops[1], regs.data());
-          regs[d.dest].i = eval_fcmp(d.pred, a, b) ? 1 : 0;
-          break;
-        }
-        // --- Conversions ---------------------------------------------------------
-        case ir::Opcode::SIToFP:
-          regs[d.dest].f =
-              static_cast<double>(geti(d.ops[0], regs.data()));
-          break;
-        case ir::Opcode::FPToSI: {
-          double v = getf(d.ops[0], regs.data());
-          regs[d.dest].i = safe_fptosi(v);
-          break;
-        }
-        case ir::Opcode::Select: {
-          bool cond = geti(d.ops[0], regs.data()) != 0;
-          const DOperand& chosen = cond ? d.ops[1] : d.ops[2];
-          regs[d.dest].i =
-              static_cast<std::int64_t>(raw(chosen, regs.data()));
-          break;
-        }
-        // --- Memory ------------------------------------------------------------
-        case ir::Opcode::Alloca: {
-          local_slots_.push_back(0);
-          regs[d.dest].i = static_cast<std::int64_t>(
-              kLocalTag | (local_slots_.size() - 1));
-          break;
-        }
-        case ir::Opcode::Load: {
-          std::int64_t addr = geti(d.ops[0], regs.data());
-          regs[d.dest].i =
-              is_local_addr(addr) ? local_slot(addr) : heap_load(addr);
-          break;
-        }
-        case ir::Opcode::Store: {
-          std::int64_t value =
-              static_cast<std::int64_t>(raw(d.ops[0], regs.data()));
-          std::int64_t addr = geti(d.ops[1], regs.data());
-          if (is_local_addr(addr)) {
-            local_slot(addr) = value;
-          } else {
-            heap_store(addr, value);
-          }
-          break;
-        }
-        case ir::Opcode::Gep: {
-          regs[d.dest].i = static_cast<std::int64_t>(
-              static_cast<std::uint64_t>(geti(d.ops[0], regs.data())) +
-              static_cast<std::uint64_t>(geti(d.ops[1], regs.data())));
-          break;
-        }
-        // --- Control flow -----------------------------------------------------------
-        case ir::Opcode::Br:
-          enter_block(d.succ0, block);
-          continue;
-        case ir::Opcode::CondBr: {
-          ++branches_;
-          bool taken = geti(d.ops[0], regs.data()) != 0;
-          if (fault_fires(f, ip)) {
-            taken = apply_fault(f, d, regs.data(), taken);
-            // Record the fault site for campaign diagnostics.
-            std::uint32_t b = block;
-            for (std::uint32_t bi = 0; bi + 1 < f.block_first.size(); ++bi) {
-              if (f.block_first[bi] <= ip && ip < f.block_first[bi + 1]) {
-                b = bi;
-              }
-            }
-            outcome_.detail = f.name + ":block" + std::to_string(b);
-          }
-          enter_block(taken ? d.succ0 : d.succ1, block);
-          continue;
-        }
-        case ir::Opcode::Ret: {
-          if (!d.ops.empty()) {
-            result.i = static_cast<std::int64_t>(raw(d.ops[0], regs.data()));
-          }
-          if (tracked) tracker_.pop_call();
-          frame_stack_.pop_back();
-          --call_depth_;
-          return result;
-        }
-        case ir::Opcode::Call: {
-          std::vector<RtValue> call_args;
-          call_args.reserve(d.ops.size());
-          for (const DOperand& op : d.ops) {
-            RtValue v;
-            v.i = static_cast<std::int64_t>(raw(op, regs.data()));
-            call_args.push_back(v);
-          }
-          RtValue r = call(d.callee, std::move(call_args), d.imm);
-          if (d.dest != kNoReg) regs[d.dest] = r;
-          break;
-        }
-        // --- SPMD intrinsics ------------------------------------------------------------
-        case ir::Opcode::Tid:
-          regs[d.dest].i = static_cast<std::int64_t>(tid_);
-          break;
-        case ir::Opcode::NumThreads:
-          regs[d.dest].i = static_cast<std::int64_t>(
-              m_.options_.num_threads);
-          break;
-        case ir::Opcode::Barrier: {
-          if (recovery_ != nullptr) {
-            ++barriers_crossed_;
-            if (recovery_->checkpoint_due(barriers_crossed_)) {
-              // Push this thread's buffered reports to the monitor (the
-              // commit quiesce must see them), then stage the snapshot
-              // BEFORE arriving: the releasing thread commits while all
-              // stagers are blocked inside the barrier.
-              if (monitor_ != nullptr) monitor_->flush(tid_);
-              recovery_->stage(tid_, capture_snapshot());
-            }
-          }
-          m_.coordinator_.barrier_wait(tid_);
-          break;
-        }
-        case ir::Opcode::LockAcquire:
-          m_.coordinator_.lock_acquire(tid_, geti(d.ops[0], regs.data()));
-          break;
-        case ir::Opcode::LockRelease:
-          m_.coordinator_.lock_release(tid_, geti(d.ops[0], regs.data()));
-          break;
-        case ir::Opcode::AtomicAdd: {
-          std::int64_t addr = geti(d.ops[0], regs.data());
-          std::int64_t delta = geti(d.ops[1], regs.data());
-          if (addr < 0 ||
-              static_cast<std::uint64_t>(addr) >= m_.heap_.size()) {
-            trap(TrapKind::OutOfBounds, "atomic_add out of bounds");
-          }
-          regs[d.dest].i =
-              std::atomic_ref<std::int64_t>(
-                  m_.heap_[static_cast<std::size_t>(addr)])
-                  .fetch_add(delta, std::memory_order_relaxed);
-          break;
-        }
-        case ir::Opcode::PrintI64: {
-          char buf[32];
-          std::snprintf(buf, sizeof(buf), "%lld\n",
-                        static_cast<long long>(geti(d.ops[0], regs.data())));
-          output_ += buf;
-          break;
-        }
-        case ir::Opcode::PrintF64: {
-          // Six significant digits, like SPLASH-2's printf output: the SDC
-          // comparison should not flag sub-output-precision perturbations.
-          char buf[48];
-          std::snprintf(buf, sizeof(buf), "%.6g\n",
-                        getf(d.ops[0], regs.data()));
-          output_ += buf;
-          break;
-        }
-        case ir::Opcode::HashRand:
-          regs[d.dest].i = static_cast<std::int64_t>(support::splitmix64(
-              static_cast<std::uint64_t>(geti(d.ops[0], regs.data()))));
-          break;
-        case ir::Opcode::Sqrt:
-          regs[d.dest].f = std::sqrt(getf(d.ops[0], regs.data()));
-          break;
-        case ir::Opcode::Sin:
-          regs[d.dest].f = std::sin(getf(d.ops[0], regs.data()));
-          break;
-        case ir::Opcode::Cos:
-          regs[d.dest].f = std::cos(getf(d.ops[0], regs.data()));
-          break;
-        case ir::Opcode::FAbs:
-          regs[d.dest].f = std::fabs(getf(d.ops[0], regs.data()));
-          break;
-        case ir::Opcode::Floor:
-          regs[d.dest].f = std::floor(getf(d.ops[0], regs.data()));
-          break;
-        // --- BLOCKWATCH instrumentation ------------------------------------------------
-        case ir::Opcode::BwSendCond: {
-          if (monitor_ != nullptr) send_condition(d, regs.data());
-          break;
-        }
-        case ir::Opcode::BwSendOutcome: {
-          if (monitor_ != nullptr) send_outcome(d);
-          break;
-        }
-        case ir::Opcode::BwLoopEnter:
-          if (monitor_ != nullptr) tracker_.loop_enter();
-          break;
-        case ir::Opcode::BwLoopIter:
-          if (monitor_ != nullptr) tracker_.loop_iter();
-          break;
-        case ir::Opcode::BwLoopExit:
-          if (monitor_ != nullptr) tracker_.loop_exit();
-          break;
-        case ir::Opcode::Phi:
-          // Phis are executed by enter_block; reaching one here means fall
-          // through into a block, which the IR forbids.
-          trap(TrapKind::BadPointer, "fell through into phi");
-      }
-      ++ip;
-    }
-  }
-
-  static bool eval_icmp(ir::CmpPred pred, std::int64_t a, std::int64_t b) {
-    switch (pred) {
-      case ir::CmpPred::EQ: return a == b;
-      case ir::CmpPred::NE: return a != b;
-      case ir::CmpPred::LT: return a < b;
-      case ir::CmpPred::LE: return a <= b;
-      case ir::CmpPred::GT: return a > b;
-      case ir::CmpPred::GE: return a >= b;
-    }
-    return false;
-  }
-
-  static bool eval_fcmp(ir::CmpPred pred, double a, double b) {
-    switch (pred) {
-      case ir::CmpPred::EQ: return a == b;
-      case ir::CmpPred::NE: return a != b;
-      case ir::CmpPred::LT: return a < b;
-      case ir::CmpPred::LE: return a <= b;
-      case ir::CmpPred::GT: return a > b;
-      case ir::CmpPred::GE: return a >= b;
-    }
-    return false;
-  }
-
-  static std::int64_t safe_fptosi(double v) {
-    if (std::isnan(v)) return 0;
-    if (v >= 9.2233720368547758e18) {
-      return std::numeric_limits<std::int64_t>::max();
-    }
-    if (v <= -9.2233720368547758e18) {
-      return std::numeric_limits<std::int64_t>::min();
-    }
-    return static_cast<std::int64_t>(v);
-  }
-
-  // --- Fault injection -------------------------------------------------------
-
-  /// Does the planned fault fire at THIS dynamic execution of the CondBr
-  /// at (f, ip)? One-shot faults fire exactly once, at the target_branch-th
-  /// dynamic branch. Targeted faults anchor there — recording the static
-  /// site — and then re-fire on every later execution of that same site
-  /// until the flip budget is spent (0 = unbounded). The anchor compares
-  /// by (function address, instruction index), both stable for the
-  /// duration of a run (the module is read-only during execution).
-  bool fault_fires(const DFunction& f, std::uint32_t ip) {
-    const FaultPlan& plan = m_.options_.fault;
-    if (!parallel_ || !plan.active || plan.thread != tid_) return false;
-    if (!plan.targeted) {
-      return !fault_done_ && branches_ == plan.target_branch;
-    }
-    if (!targeted_anchored_) {
-      if (branches_ != plan.target_branch) return false;
-      targeted_anchored_ = true;
-      targeted_func_ = &f;
-      targeted_ip_ = ip;
-    } else if (targeted_func_ != &f || targeted_ip_ != ip) {
-      return false;
-    }
-    return plan.targeted_flips == 0 || targeted_fired_ < plan.targeted_flips;
-  }
-
-  /// Apply the planned fault at this branch. Returns the (possibly
-  /// corrupted) branch outcome. See FaultPlan for semantics.
-  bool apply_fault(const DFunction& f, const DInst& branch, RtValue* regs,
-                   bool clean_taken) {
-    fault_done_ = true;
-    ++targeted_fired_;
-    outcome_.fault_applied = true;
-    const FaultPlan& plan = m_.options_.fault;
-    if (plan.mode == FaultPlan::Mode::BranchFlip) {
-      return !clean_taken;
-    }
-    // CondBit: find the comparison defining the branch condition and flip a
-    // bit in one of its register operands, then re-evaluate. The corrupted
-    // register persists (paper: "the corruption ... will persist even after
-    // the execution of the branch").
-    if (branch.ops[0].kind != DOperand::Kind::Reg) return !clean_taken;
-    const DInst* cmp = defining(f, branch.ops[0].reg);
-    if (cmp == nullptr ||
-        (cmp->op != ir::Opcode::ICmp && cmp->op != ir::Opcode::FCmp)) {
-      // No register-resident condition data: degrade to a flip, which is
-      // the closest machine-level effect.
-      return !clean_taken;
-    }
-    const DOperand* target = nullptr;
-    for (const DOperand& op : cmp->ops) {
-      if (op.kind == DOperand::Kind::Reg) {
-        target = &op;
+  for (;;) {
+    const DInst& d = f.code[ip];
+    ++instructions_;
+    if ((instructions_ & 0x1fff) == 0) poll();
+    switch (d.op) {
+      // --- Integer arithmetic (wrap-around, UB-free) -------------------
+      case ir::Opcode::Add: {
+        regs[d.dest].i = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(geti(d.ops[0], regs.data())) +
+            static_cast<std::uint64_t>(geti(d.ops[1], regs.data())));
         break;
       }
+      case ir::Opcode::Sub: {
+        regs[d.dest].i = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(geti(d.ops[0], regs.data())) -
+            static_cast<std::uint64_t>(geti(d.ops[1], regs.data())));
+        break;
+      }
+      case ir::Opcode::Mul: {
+        regs[d.dest].i = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(geti(d.ops[0], regs.data())) *
+            static_cast<std::uint64_t>(geti(d.ops[1], regs.data())));
+        break;
+      }
+      case ir::Opcode::SDiv: {
+        std::int64_t a = geti(d.ops[0], regs.data());
+        std::int64_t b = geti(d.ops[1], regs.data());
+        if (b == 0) trap(TrapKind::DivideByZero, "sdiv by zero");
+        if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+          regs[d.dest].i = a;  // wrap like hardware
+        } else {
+          regs[d.dest].i = a / b;
+        }
+        break;
+      }
+      case ir::Opcode::SRem: {
+        std::int64_t a = geti(d.ops[0], regs.data());
+        std::int64_t b = geti(d.ops[1], regs.data());
+        if (b == 0) trap(TrapKind::DivideByZero, "srem by zero");
+        if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+          regs[d.dest].i = 0;
+        } else {
+          regs[d.dest].i = a % b;
+        }
+        break;
+      }
+      case ir::Opcode::And:
+        regs[d.dest].i =
+            geti(d.ops[0], regs.data()) & geti(d.ops[1], regs.data());
+        break;
+      case ir::Opcode::Or:
+        regs[d.dest].i =
+            geti(d.ops[0], regs.data()) | geti(d.ops[1], regs.data());
+        break;
+      case ir::Opcode::Xor:
+        regs[d.dest].i =
+            geti(d.ops[0], regs.data()) ^ geti(d.ops[1], regs.data());
+        break;
+      case ir::Opcode::Shl: {
+        std::uint64_t a =
+            static_cast<std::uint64_t>(geti(d.ops[0], regs.data()));
+        regs[d.dest].i = static_cast<std::int64_t>(
+            a << (geti(d.ops[1], regs.data()) & 63));
+        break;
+      }
+      case ir::Opcode::AShr: {
+        regs[d.dest].i =
+            geti(d.ops[0], regs.data()) >> (geti(d.ops[1], regs.data()) & 63);
+        break;
+      }
+      // --- Floating point ------------------------------------------------
+      case ir::Opcode::FAdd:
+        regs[d.dest].f =
+            getf(d.ops[0], regs.data()) + getf(d.ops[1], regs.data());
+        break;
+      case ir::Opcode::FSub:
+        regs[d.dest].f =
+            getf(d.ops[0], regs.data()) - getf(d.ops[1], regs.data());
+        break;
+      case ir::Opcode::FMul:
+        regs[d.dest].f =
+            getf(d.ops[0], regs.data()) * getf(d.ops[1], regs.data());
+        break;
+      case ir::Opcode::FDiv:
+        regs[d.dest].f =
+            getf(d.ops[0], regs.data()) / getf(d.ops[1], regs.data());
+        break;
+      // --- Comparisons ------------------------------------------------------
+      case ir::Opcode::ICmp: {
+        std::int64_t a = geti(d.ops[0], regs.data());
+        std::int64_t b = geti(d.ops[1], regs.data());
+        regs[d.dest].i = eval_icmp(d.pred, a, b) ? 1 : 0;
+        break;
+      }
+      case ir::Opcode::FCmp: {
+        double a = getf(d.ops[0], regs.data());
+        double b = getf(d.ops[1], regs.data());
+        regs[d.dest].i = eval_fcmp(d.pred, a, b) ? 1 : 0;
+        break;
+      }
+      // --- Conversions ---------------------------------------------------------
+      case ir::Opcode::SIToFP:
+        regs[d.dest].f =
+            static_cast<double>(geti(d.ops[0], regs.data()));
+        break;
+      case ir::Opcode::FPToSI: {
+        double v = getf(d.ops[0], regs.data());
+        regs[d.dest].i = safe_fptosi(v);
+        break;
+      }
+      case ir::Opcode::Select: {
+        bool cond = geti(d.ops[0], regs.data()) != 0;
+        const DOperand& chosen = cond ? d.ops[1] : d.ops[2];
+        regs[d.dest].i =
+            static_cast<std::int64_t>(raw(chosen, regs.data()));
+        break;
+      }
+      // --- Memory ------------------------------------------------------------
+      case ir::Opcode::Alloca: {
+        local_slots_.push_back(0);
+        regs[d.dest].i = static_cast<std::int64_t>(
+            kLocalTag | (local_slots_.size() - 1));
+        break;
+      }
+      case ir::Opcode::Load: {
+        std::int64_t addr = geti(d.ops[0], regs.data());
+        regs[d.dest].i =
+            is_local_addr(addr) ? local_slot(addr) : heap_load(addr);
+        break;
+      }
+      case ir::Opcode::Store: {
+        std::int64_t value =
+            static_cast<std::int64_t>(raw(d.ops[0], regs.data()));
+        std::int64_t addr = geti(d.ops[1], regs.data());
+        if (is_local_addr(addr)) {
+          local_slot(addr) = value;
+        } else {
+          heap_store(addr, value);
+        }
+        break;
+      }
+      case ir::Opcode::Gep: {
+        regs[d.dest].i = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(geti(d.ops[0], regs.data())) +
+            static_cast<std::uint64_t>(geti(d.ops[1], regs.data())));
+        break;
+      }
+      // --- Control flow -----------------------------------------------------------
+      case ir::Opcode::Br:
+        enter_block(d.succ0, block);
+        continue;
+      case ir::Opcode::CondBr: {
+        ++branches_;
+        bool taken = geti(d.ops[0], regs.data()) != 0;
+        if (fault_fires(f, ip)) {
+          taken = apply_fault(f, d, regs.data(), taken);
+          note_fault_site(f, ip, block);
+        }
+        enter_block(taken ? d.succ0 : d.succ1, block);
+        continue;
+      }
+      case ir::Opcode::Ret: {
+        if (!d.ops.empty()) {
+          result.i = static_cast<std::int64_t>(raw(d.ops[0], regs.data()));
+        }
+        if (tracked) tracker_.pop_call();
+        frame_stack_.pop_back();
+        --call_depth_;
+        return result;
+      }
+      case ir::Opcode::Call: {
+        std::vector<RtValue> call_args;
+        call_args.reserve(d.ops.size());
+        for (const DOperand& op : d.ops) {
+          RtValue v;
+          v.i = static_cast<std::int64_t>(raw(op, regs.data()));
+          call_args.push_back(v);
+        }
+        RtValue r = call(d.callee, std::move(call_args), d.imm);
+        if (d.dest != kNoReg) regs[d.dest] = r;
+        break;
+      }
+      // --- SPMD intrinsics ------------------------------------------------------------
+      case ir::Opcode::Tid:
+        regs[d.dest].i = static_cast<std::int64_t>(tid_);
+        break;
+      case ir::Opcode::NumThreads:
+        regs[d.dest].i = static_cast<std::int64_t>(
+            m_.options_.num_threads);
+        break;
+      case ir::Opcode::Barrier: {
+        if (recovery_ != nullptr) {
+          ++barriers_crossed_;
+          if (recovery_->checkpoint_due(barriers_crossed_)) {
+            // Push this thread's buffered reports to the monitor (the
+            // commit quiesce must see them), then stage the snapshot
+            // BEFORE arriving: the releasing thread commits while all
+            // stagers are blocked inside the barrier.
+            if (monitor_ != nullptr) monitor_->flush(tid_);
+            recovery_->stage(tid_, capture_snapshot());
+          }
+        }
+        m_.coordinator_.barrier_wait(tid_);
+        break;
+      }
+      case ir::Opcode::LockAcquire:
+        m_.coordinator_.lock_acquire(tid_, geti(d.ops[0], regs.data()));
+        break;
+      case ir::Opcode::LockRelease:
+        m_.coordinator_.lock_release(tid_, geti(d.ops[0], regs.data()));
+        break;
+      case ir::Opcode::AtomicAdd: {
+        std::int64_t addr = geti(d.ops[0], regs.data());
+        std::int64_t delta = geti(d.ops[1], regs.data());
+        if (addr < 0 ||
+            static_cast<std::uint64_t>(addr) >= m_.heap_.size()) {
+          trap(TrapKind::OutOfBounds, "atomic_add out of bounds");
+        }
+        regs[d.dest].i =
+            std::atomic_ref<std::int64_t>(
+                m_.heap_[static_cast<std::size_t>(addr)])
+                .fetch_add(delta, std::memory_order_relaxed);
+        break;
+      }
+      case ir::Opcode::PrintI64: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld\n",
+                      static_cast<long long>(geti(d.ops[0], regs.data())));
+        output_ += buf;
+        break;
+      }
+      case ir::Opcode::PrintF64: {
+        // Six significant digits, like SPLASH-2's printf output: the SDC
+        // comparison should not flag sub-output-precision perturbations.
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.6g\n",
+                      getf(d.ops[0], regs.data()));
+        output_ += buf;
+        break;
+      }
+      case ir::Opcode::HashRand:
+        regs[d.dest].i = static_cast<std::int64_t>(support::splitmix64(
+            static_cast<std::uint64_t>(geti(d.ops[0], regs.data()))));
+        break;
+      case ir::Opcode::Sqrt:
+        regs[d.dest].f = std::sqrt(getf(d.ops[0], regs.data()));
+        break;
+      case ir::Opcode::Sin:
+        regs[d.dest].f = std::sin(getf(d.ops[0], regs.data()));
+        break;
+      case ir::Opcode::Cos:
+        regs[d.dest].f = std::cos(getf(d.ops[0], regs.data()));
+        break;
+      case ir::Opcode::FAbs:
+        regs[d.dest].f = std::fabs(getf(d.ops[0], regs.data()));
+        break;
+      case ir::Opcode::Floor:
+        regs[d.dest].f = std::floor(getf(d.ops[0], regs.data()));
+        break;
+      // --- BLOCKWATCH instrumentation ------------------------------------------------
+      case ir::Opcode::BwSendCond: {
+        if (monitor_ != nullptr) send_condition(d, regs.data());
+        break;
+      }
+      case ir::Opcode::BwSendOutcome: {
+        if (monitor_ != nullptr) send_outcome(d.imm, d.flag);
+        break;
+      }
+      case ir::Opcode::BwLoopEnter:
+        if (monitor_ != nullptr) tracker_.loop_enter();
+        break;
+      case ir::Opcode::BwLoopIter:
+        if (monitor_ != nullptr) tracker_.loop_iter();
+        break;
+      case ir::Opcode::BwLoopExit:
+        if (monitor_ != nullptr) tracker_.loop_exit();
+        break;
+      case ir::Opcode::Phi:
+        // Phis are executed by enter_block; reaching one here means fall
+        // through into a block, which the IR forbids.
+        trap(TrapKind::BadPointer, "fell through into phi");
     }
-    if (target == nullptr) return !clean_taken;
-    regs[target->reg].i ^= (std::int64_t{1} << (plan.bit & 63));
-    bool corrupted;
-    if (cmp->op == ir::Opcode::ICmp) {
-      corrupted = eval_icmp(cmp->pred, geti(cmp->ops[0], regs),
-                            geti(cmp->ops[1], regs));
-    } else {
-      corrupted = eval_fcmp(cmp->pred, getf(cmp->ops[0], regs),
-                            getf(cmp->ops[1], regs));
-    }
-    regs[cmp->dest].i = corrupted ? 1 : 0;  // persist the i1 too
-    return corrupted;
+    ++ip;
   }
-
-  static const DInst* defining(const DFunction& f, std::uint32_t reg) {
-    for (const DInst& inst : f.code) {
-      if (inst.dest == reg) return &inst;
-    }
-    return nullptr;
-  }
-
-  // --- Monitor client ----------------------------------------------------------
-
-  void send_condition(const DInst& d, const RtValue* regs) {
-    runtime::BranchReport report = base_report(d);
-    report.kind = runtime::ReportKind::Condition;
-    std::uint64_t h = 0x6a09e667f3bcc909ULL;
-    for (const DOperand& op : d.ops) {
-      h = support::hash_combine(h, raw(op, regs));
-    }
-    report.value = h;
-    monitor_->send(report);
-  }
-
-  void send_outcome(const DInst& d) {
-    runtime::BranchReport report = base_report(d);
-    report.kind = runtime::ReportKind::Outcome;
-    report.outcome = d.flag;
-    monitor_->send(report);
-  }
-
-  runtime::BranchReport base_report(const DInst& d) {
-    runtime::BranchReport report;
-    report.static_id = d.imm & 0xffffffu;
-    report.check = static_cast<runtime::CheckCode>(d.imm >> 24);
-    report.thread = tid_;
-    report.ctx_hash = tracker_.ctx_hash();
-    report.iter_hash = tracker_.iter_hash();
-    return report;
-  }
-
-  Machine& m_;
-  unsigned tid_;
-  bool parallel_;
-  runtime::BranchSink* monitor_;
-  RecoveryCoordinator* recovery_;  // null unless recovery is enabled
-  runtime::ContextTracker tracker_;
-  ThreadOutcome outcome_;
-  std::string output_;
-  std::vector<std::int64_t> local_slots_;
-  std::uint64_t instructions_ = 0;
-  std::uint64_t branches_ = 0;
-  std::uint64_t barriers_crossed_ = 0;
-  unsigned call_depth_ = 0;
-  bool fault_done_ = false;
-  /// Targeted fault model state. Deliberately NOT restored on rollback:
-  /// the adversary outlives recovery attempts (see FaultPlan::targeted),
-  /// and budget spent in rolled-back timelines stays spent.
-  bool targeted_anchored_ = false;
-  const DFunction* targeted_func_ = nullptr;
-  std::uint32_t targeted_ip_ = 0;
-  std::uint32_t targeted_fired_ = 0;
-
-  /// Shadow of the native call() recursion: pointers into each live
-  /// frame's locals, so a barrier checkpoint can flatten the whole stack
-  /// without restructuring the interpreter into an explicit machine.
-  struct ActiveFrame {
-    std::uint32_t func_index;
-    std::uint32_t callsite_id;
-    std::vector<RtValue>* regs;
-    std::uint32_t* block;
-    std::uint32_t* ip;
-  };
-  std::vector<ActiveFrame> frame_stack_;
-  /// Restore mode: frames still to be consumed by call() while the native
-  /// stack is rebuilt, and the snapshot to resume from on re-entry.
-  const std::vector<FrameSnapshot>* restore_frames_ = nullptr;
-  std::size_t restore_depth_ = 0;
-  const ThreadSnapshot* pending_restore_ = nullptr;
-};
+}
 
 RunResult Machine::run() {
   RunResult result;
+  result.tier = tier_;
   result.threads.resize(options_.num_threads);
 
   // Sequential init (mirrors SPLASH-2 main() setup).
@@ -1164,10 +466,10 @@ RunResult Machine::run() {
   return result;
 }
 
-}  // namespace
+}  // namespace detail
 
 RunResult run_program(const ir::Module& module, const RunOptions& options) {
-  Machine machine(module, options);
+  detail::Machine machine(module, options);
   return machine.run();
 }
 

@@ -15,6 +15,7 @@
 
 #include "ir/module.h"
 #include "runtime/monitor_interface.h"
+#include "vm/dispatch.h"
 #include "vm/recovery.h"
 
 namespace bw::vm {
@@ -92,6 +93,8 @@ struct RunResult {
   RecoveryStats recovery;
   /// The run rolled back at least once and still finished cleanly.
   bool recovered = false;
+  /// The tier that actually executed (resolved; never Auto).
+  ExecTier tier = ExecTier::Interpreter;
 };
 
 struct RunOptions {
@@ -113,6 +116,10 @@ struct RunOptions {
   /// monitor that supports the recovery protocol and stop_on_detection;
   /// the pipeline enforces that gating.
   RecoveryOptions recovery;
+  /// Which dispatcher to run (vm/dispatch.h); Auto resolves to Threaded.
+  /// The tiers are bit-identical for verified modules (the differential
+  /// suite enforces it), so this only trades speed for debuggability.
+  ExecTier tier = ExecTier::Auto;
 };
 
 /// Execute the module. Thread-safe with respect to other Machines; the

@@ -88,6 +88,10 @@ void expect_identical(const fault::CampaignResult& a,
 TEST(CampaignParallel, WorkersOneTwoEightProduceIdenticalPartitions) {
   fault::CampaignOptions options = base_options(fault::FaultType::BranchFlip);
   options.campaign_workers = 1;  // the serial engine
+  // The serial reference runs on the interpreter tier; the parallel runs
+  // below use the threaded tier, so this differential simultaneously
+  // proves worker-count AND execution-tier invariance of the partition.
+  options.exec_tier = vm::ExecTier::Interpreter;
   fault::CampaignResult serial = fault::run_campaign(kKernel, options);
   EXPECT_EQ(serial.workers, 1u);
   EXPECT_EQ(serial.injected, options.injections);
@@ -95,13 +99,14 @@ TEST(CampaignParallel, WorkersOneTwoEightProduceIdenticalPartitions) {
   ASSERT_EQ(serial.verdicts.size(),
             static_cast<std::size_t>(options.injections));
 
+  options.exec_tier = vm::ExecTier::Threaded;
   for (unsigned workers : {2u, 8u}) {
     options.campaign_workers = workers;
     fault::CampaignResult parallel = fault::run_campaign(kKernel, options);
     EXPECT_EQ(parallel.workers, workers);
     expect_identical(serial, parallel,
-                     workers == 2 ? "workers=2 vs serial"
-                                  : "workers=8 vs serial");
+                     workers == 2 ? "workers=2 threaded vs serial interp"
+                                  : "workers=8 threaded vs serial interp");
   }
 }
 
@@ -136,21 +141,26 @@ TEST(CampaignParallel, KillAndResumeReproducesUninterruptedResult) {
   ASSERT_FALSE(reference.interrupted);
 
   // "Kill" the campaign partway through: halt_after stops dispatch once 17
-  // injections completed; the checkpoint file holds the cursor.
+  // injections completed; the checkpoint file holds the cursor. The
+  // interrupted leg runs on the interpreter tier — checkpoints do not
+  // record the tier, so the resume may switch dispatchers.
   options.checkpoint_file = ckpt;
   options.checkpoint_every = 4;
   options.halt_after = 17;
+  options.exec_tier = vm::ExecTier::Interpreter;
   fault::CampaignResult partial = fault::run_campaign(kKernel, options);
   EXPECT_TRUE(partial.interrupted);
   EXPECT_GE(partial.injected, 17);
   EXPECT_LT(partial.injected, options.injections);
 
   // Resume: completed injections replay from the checkpoint, the rest
-  // execute — on a different worker count for good measure.
+  // execute — on a different worker count AND the threaded tier for good
+  // measure.
   options.halt_after = 0;
   options.checkpoint_file.clear();
   options.resume_file = ckpt;
   options.campaign_workers = 8;
+  options.exec_tier = vm::ExecTier::Threaded;
   fault::CampaignResult resumed = fault::run_campaign(kKernel, options);
   EXPECT_EQ(resumed.resumed, partial.injected);
   EXPECT_FALSE(resumed.interrupted);

@@ -9,6 +9,10 @@
 // legacy single-consumer Monitor, odd seeds a ShardedMonitor whose shard
 // count and batch size also rotate with the seed — so the clean-run
 // guarantee covers both the legacy and the sharded/batched check paths.
+// The VM execution tier rotates on a different cadence (seed/2 parity:
+// interpreter vs direct-threaded, vm/dispatch.h), decorrelated from the
+// backend choice so all four backend x tier combinations appear; zero
+// false positives must hold under every one of them.
 // Clean runs execute through the campaign worker pool
 // (fault::run_clean_campaign, two workers) so the fuzz lane also covers
 // concurrent pipeline::execute calls over one shared CompiledProgram.
@@ -40,10 +44,14 @@ TEST_P(FuzzNoFalsePositives, CleanRunNeverFlagged) {
   const unsigned shards = 1u << (seed % 3);           // 1, 2, 4
   const std::size_t batches[] = {1, 8, 64};
   const std::size_t batch = batches[(seed / 3) % 3];
+  const vm::ExecTier tier = ((seed / 2) % 2) == 0
+                                ? vm::ExecTier::Interpreter
+                                : vm::ExecTier::Threaded;
 
   for (unsigned threads : {2u, 4u, 8u}) {
     pipeline::ExecutionConfig config;
     config.num_threads = threads;
+    config.exec_tier = tier;
     if (sharded) {
       config.monitor_shards = shards;
       config.monitor_batch = batch;
@@ -55,7 +63,7 @@ TEST_P(FuzzNoFalsePositives, CleanRunNeverFlagged) {
     EXPECT_EQ(clean.violations, 0)
         << "FALSE POSITIVE at " << threads << " threads, "
         << (sharded ? "sharded" : "legacy") << " backend (shards=" << shards
-        << " batch=" << batch << ")";
+        << " batch=" << batch << "), " << vm::to_string(tier) << " tier";
     EXPECT_EQ(clean.failed_health, 0) << "threads=" << threads;
     EXPECT_EQ(clean.dropped, 0u) << "threads=" << threads;
   }

@@ -248,9 +248,16 @@ TEST(SamplingDifferential, RateOneMatchesFullCheckingOnBothBackends) {
         pipeline::ExecutionResult a = pipeline::execute(program, off);
         pipeline::ExecutionResult b = pipeline::execute(program, rate1);
         EXPECT_EQ(a.detected, b.detected) << "target=" << target;
-        EXPECT_EQ(a.violations.size(), b.violations.size())
-            << "target=" << target;
-        EXPECT_EQ(a.run.output, b.run.output) << "target=" << target;
+        // A detected run aborts the victim threads at a schedule-dependent
+        // point, so how much output was printed and how many follow-on
+        // violations drained first vary between any two executions — even
+        // two with identical monitor configs. Only undetected runs have a
+        // deterministic output/violation surface.
+        if (!a.detected && !b.detected) {
+          EXPECT_EQ(a.violations.size(), b.violations.size())
+              << "target=" << target;
+          EXPECT_EQ(a.run.output, b.run.output) << "target=" << target;
+        }
         // Rate 1 never thins. Report volume is only comparable on clean
         // runs: a detected run aborts mid-stream, so how many reports
         // drained first is schedule-dependent.
