@@ -1,0 +1,134 @@
+// Shared --json=<file> writer for the bench binaries. Every bench emits
+// the same shape — a top-level object of run metadata plus one flat
+// "rows" array — so the streaming writer below replaces the hand-rolled
+// fprintf blocks and keeps the emitted schema uniform across benches
+// (consumers: reproduce.sh pipelines and the EXPERIMENTS.md tables).
+//
+//   JsonWriter json("bw_fig6_overhead");
+//   json.num("reps", reps);
+//   json.str("tier", tier_name);
+//   json.begin_rows();
+//   for (const Row& r : rows) {
+//     json.begin_row();
+//     json.str("program", r.name);
+//     json.real("ratio_4t", r.ratio4);
+//     json.end_row();
+//   }
+//   json.end_rows();
+//   json.real("geomean_4t", geomean4);   // trailing scalars are fine
+//   if (!json.write(json_path)) return 1;
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+
+namespace bw::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(const char* bench_name) {
+    buf_ = "{\n";
+    str("bench", bench_name);
+  }
+
+  void str(const char* key, const char* value) {
+    append_key(key);
+    buf_ += '"';
+    escape_into(value);
+    buf_ += '"';
+  }
+  void str(const char* key, const std::string& value) {
+    str(key, value.c_str());
+  }
+
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T>>>
+  void num(const char* key, T value) {
+    append_key(key);
+    char tmp[32];
+    if constexpr (std::is_signed_v<T>) {
+      std::snprintf(tmp, sizeof tmp, "%lld",
+                    static_cast<long long>(value));
+    } else {
+      std::snprintf(tmp, sizeof tmp, "%llu",
+                    static_cast<unsigned long long>(value));
+    }
+    buf_ += tmp;
+  }
+
+  void real(const char* key, double value, int precision = 4) {
+    append_key(key);
+    char tmp[64];
+    std::snprintf(tmp, sizeof tmp, "%.*f", precision, value);
+    buf_ += tmp;
+  }
+
+  void begin_rows(const char* key = "rows") {
+    append_key(key);
+    buf_ += "[\n";
+    in_rows_ = true;
+    need_comma_ = false;
+  }
+  void begin_row() {
+    if (need_comma_) buf_ += ",\n";
+    buf_ += "    {";
+    in_row_ = true;
+    need_comma_ = false;
+  }
+  void end_row() {
+    buf_ += '}';
+    in_row_ = false;
+    need_comma_ = true;  // between rows
+  }
+  void end_rows() {
+    buf_ += "\n  ]";
+    in_rows_ = false;
+    need_comma_ = true;  // before any trailing top-level fields
+  }
+
+  /// Close the object and write it to `path`. On success prints the
+  /// conventional "json written to <path>" line; on failure prints to
+  /// stderr and returns false (benches exit non-zero on that).
+  bool write(const std::string& path) {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+      return false;
+    }
+    std::fwrite(buf_.data(), 1, buf_.size(), out);
+    std::fputs("\n}\n", out);
+    std::fclose(out);
+    std::printf("json written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  void append_key(const char* key) {
+    if (in_row_) {
+      if (need_comma_) buf_ += ", ";
+    } else {
+      if (need_comma_) buf_ += ",\n";
+      buf_ += "  ";
+    }
+    need_comma_ = true;
+    buf_ += '"';
+    escape_into(key);
+    buf_ += "\": ";
+  }
+
+  void escape_into(const char* s) {
+    for (; *s != '\0'; ++s) {
+      if (*s == '"' || *s == '\\') buf_ += '\\';
+      buf_ += *s;
+    }
+  }
+
+  std::string buf_;
+  bool need_comma_ = false;  // context-sensitive: row fields vs top level
+  bool in_rows_ = false;
+  bool in_row_ = false;
+};
+
+}  // namespace bw::bench

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "benchmarks/registry.h"
 #include "pipeline/pipeline.h"
 
@@ -136,29 +137,23 @@ int main(int argc, char** argv) {
       "normalized\nratio (instrumented/baseline at equal thread count) is "
       "the comparable\nquantity, not absolute time. See EXPERIMENTS.md.\n");
   if (!json_path.empty()) {
-    std::FILE* out = std::fopen(json_path.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
-      return 1;
+    bench::JsonWriter json("bw_fig6_overhead");
+    json.num("reps", reps);
+    json.num("shards", g_shards);
+    json.num("batch", g_batch);
+    json.str("tier", vm::to_string(vm::resolve_tier(g_tier)));
+    json.begin_rows();
+    for (const Row& r : rows) {
+      json.begin_row();
+      json.str("program", r.name);
+      json.real("ratio_4t", r.ratio4);
+      json.real("ratio_32t", r.ratio32);
+      json.end_row();
     }
-    std::fprintf(out,
-                 "{\n  \"bench\": \"bw_fig6_overhead\",\n  \"reps\": %d,\n"
-                 "  \"shards\": %u,\n  \"batch\": %zu,\n"
-                 "  \"tier\": \"%s\",\n  \"rows\": [\n",
-                 reps, g_shards, g_batch,
-                 vm::to_string(vm::resolve_tier(g_tier)));
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      std::fprintf(out,
-                   "    {\"program\": \"%s\", \"ratio_4t\": %.4f, "
-                   "\"ratio_32t\": %.4f}%s\n",
-                   rows[i].name.c_str(), rows[i].ratio4, rows[i].ratio32,
-                   i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(out,
-                 "  ],\n  \"geomean_4t\": %.4f,\n  \"geomean_32t\": %.4f\n}\n",
-                 geomean4, geomean32);
-    std::fclose(out);
-    std::printf("json written to %s\n", json_path.c_str());
+    json.end_rows();
+    json.real("geomean_4t", geomean4);
+    json.real("geomean_32t", geomean32);
+    if (!json.write(json_path)) return 1;
   }
   return 0;
 }

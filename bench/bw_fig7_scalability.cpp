@@ -4,13 +4,16 @@
 // their 4-socket machine), then falls monotonically to 1.16x at 32.
 //
 //   usage: bw_fig7_scalability [reps] [--shards=K] [--batch=B]
+//          [--json=<file>]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "benchmarks/registry.h"
 #include "pipeline/pipeline.h"
 
@@ -45,11 +48,14 @@ double median_parallel_seconds(const pipeline::CompiledProgram& program,
 
 int main(int argc, char** argv) {
   int reps = 3;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       g_shards = static_cast<unsigned>(std::atoi(argv[i] + 9));
     } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
       g_batch = static_cast<std::size_t>(std::atol(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else {
       reps = std::atoi(argv[i]);
     }
@@ -64,6 +70,11 @@ int main(int argc, char** argv) {
     std::printf("monitor: legacy single consumer\n\n");
   }
   std::printf("%8s %10s\n", "threads", "overhead");
+  struct Row {
+    unsigned threads;
+    double geomean;
+  };
+  std::vector<Row> rows;
   for (unsigned threads : thread_counts) {
     double log_sum = 0.0;
     int count = 0;
@@ -83,12 +94,29 @@ int main(int argc, char** argv) {
         ++count;
       }
     }
-    std::printf("%8u %9.2fx\n", threads, std::exp(log_sum / count));
+    const double geomean = std::exp(log_sum / count);
+    std::printf("%8u %9.2fx\n", threads, geomean);
+    rows.push_back({threads, geomean});
   }
   std::printf(
       "\nPaper anchors: 2.15x @4 threads, 1.16x @32 threads; shape: the\n"
       "overhead rises from 1 to 2 threads (a NUMA artifact of their\n"
       "4-socket testbed, not reproducible on a 1-core container), then\n"
       "falls monotonically toward 32 threads. See EXPERIMENTS.md.\n");
+  if (!json_path.empty()) {
+    bench::JsonWriter json("bw_fig7_scalability");
+    json.num("reps", reps);
+    json.num("shards", g_shards);
+    json.num("batch", g_batch);
+    json.begin_rows();
+    for (const Row& r : rows) {
+      json.begin_row();
+      json.num("threads", r.threads);
+      json.real("geomean_overhead", r.geomean);
+      json.end_row();
+    }
+    json.end_rows();
+    if (!json.write(json_path)) return 1;
+  }
   return 0;
 }

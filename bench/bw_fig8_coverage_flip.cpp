@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "benchmarks/registry.h"
 #include "fault/campaign.h"
 
@@ -118,32 +119,28 @@ int main(int argc, char** argv) {
   std::printf("total wall-clock %.2f s at %u campaign workers\n", wall_s,
               workers_used);
   if (!json_path.empty()) {
-    std::FILE* out = std::fopen(json_path.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
-      return 1;
+    bench::JsonWriter json("bw_fig8_coverage_flip");
+    json.num("injections", injections);
+    json.str("tier", vm::to_string(vm::resolve_tier(tier)));
+    json.real("wall_s", wall_s, 3);
+    json.begin_rows();
+    for (const Row& r : rows) {
+      json.begin_row();
+      json.str("program", r.program);
+      json.num("threads", r.threads);
+      json.real("coverage_original", r.orig);
+      json.real("coverage_protected", r.prot);
+      json.real("ci_lo", r.ci_lo);
+      json.real("ci_hi", r.ci_hi);
+      json.num("detected", r.detected);
+      json.num("crashed", r.crashed);
+      json.num("hung", r.hung);
+      json.num("benign", r.benign);
+      json.num("sdc", r.sdc);
+      json.end_row();
     }
-    std::fprintf(out,
-                 "{\n  \"bench\": \"bw_fig8_coverage_flip\",\n"
-                 "  \"injections\": %d,\n  \"tier\": \"%s\",\n"
-                 "  \"wall_s\": %.3f,\n  \"rows\": [\n",
-                 injections, vm::to_string(vm::resolve_tier(tier)),
-                 wall_s);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(out,
-                   "    {\"program\": \"%s\", \"threads\": %u, "
-                   "\"coverage_original\": %.4f, \"coverage_protected\": "
-                   "%.4f, \"ci_lo\": %.4f, \"ci_hi\": %.4f, "
-                   "\"detected\": %d, \"crashed\": %d, \"hung\": %d, "
-                   "\"benign\": %d, \"sdc\": %d}%s\n",
-                   r.program.c_str(), r.threads, r.orig, r.prot, r.ci_lo,
-                   r.ci_hi, r.detected, r.crashed, r.hung, r.benign, r.sdc,
-                   i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(out, "  ]\n}\n");
-    std::fclose(out);
-    std::printf("json written to %s\n", json_path.c_str());
+    json.end_rows();
+    if (!json.write(json_path)) return 1;
   }
   return 0;
 }

@@ -8,11 +8,15 @@
 // column legend); --workers only moves wall-clock, never coverage.
 //
 //   usage: bw_fig9_coverage_cond [injections] [threads...] [--workers=N]
+//          [--json=<file>]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "benchmarks/registry.h"
 #include "fault/campaign.h"
 
@@ -22,9 +26,12 @@ int main(int argc, char** argv) {
   std::vector<unsigned> thread_counts;
   int injections = 150;
   int positional = 0;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       workers = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else if (positional++ == 0) {
       injections = std::atoi(argv[i]);
     } else {
@@ -37,6 +44,13 @@ int main(int argc, char** argv) {
               "injections per cell; higher is better)\n\n", injections);
   const auto bench_start = std::chrono::steady_clock::now();
   unsigned workers_used = 1;
+  struct Row {
+    std::string program;
+    unsigned threads;
+    double orig, prot, ci_lo, ci_hi;
+    int detected, crashed, hung, benign, sdc;
+  };
+  std::vector<Row> rows;
   for (unsigned threads : thread_counts) {
     std::printf("--- %u threads ---\n", threads);
     std::printf("%-22s %10s %12s %17s %8s %28s\n", "Program", "original",
@@ -72,6 +86,11 @@ int main(int argc, char** argv) {
           protected_run.benign, protected_run.sdc);
       sum_orig += original.coverage();
       sum_prot += protected_run.coverage();
+      rows.push_back({bench.name, threads, original.coverage(),
+                      protected_run.coverage(), ci.lo, ci.hi,
+                      protected_run.detected, protected_run.crashed,
+                      protected_run.hung, protected_run.benign,
+                      protected_run.sdc});
       ++count;
     }
     std::printf("%-22s %9.1f%% %11.1f%%   (paper: 90%% / 97%%)\n\n",
@@ -84,5 +103,28 @@ int main(int argc, char** argv) {
           .count();
   std::printf("total wall-clock %.2f s at %u campaign workers\n", wall_s,
               workers_used);
+  if (!json_path.empty()) {
+    bench::JsonWriter json("bw_fig9_coverage_cond");
+    json.num("injections", injections);
+    json.real("wall_s", wall_s, 3);
+    json.begin_rows();
+    for (const Row& r : rows) {
+      json.begin_row();
+      json.str("program", r.program);
+      json.num("threads", r.threads);
+      json.real("coverage_original", r.orig);
+      json.real("coverage_protected", r.prot);
+      json.real("ci_lo", r.ci_lo);
+      json.real("ci_hi", r.ci_hi);
+      json.num("detected", r.detected);
+      json.num("crashed", r.crashed);
+      json.num("hung", r.hung);
+      json.num("benign", r.benign);
+      json.num("sdc", r.sdc);
+      json.end_row();
+    }
+    json.end_rows();
+    if (!json.write(json_path)) return 1;
+  }
   return 0;
 }

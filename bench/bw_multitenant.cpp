@@ -1,0 +1,234 @@
+// Multi-tenant monitor service under load: hundreds of interleaved
+// kernel sessions pushed through ONE shared MonitorService pool, sweeping
+// the number of concurrently-live tenants.
+//
+// Each tenant is a runner thread that executes a full session turnaround
+// — admit, run a protected request-processing kernel (auth_check and
+// dispatch, alternating per tenant), close, read the verdict — via
+// pipeline::execute_in_session. The timed quantity is that whole
+// turnaround: it is the latency a hosted program pays to get a checked
+// verdict out of the shared service, including admission, backpressure
+// and teardown drain. Per tenant count N we run ceil(64 / N) rounds of N
+// concurrent sessions, so low counts still accumulate >= 64 latency
+// samples and the sweep totals a few hundred sessions.
+//
+// Reported per tenant count:
+//   * p50 / p99 session turnaround latency (ms, sorted-sample order
+//     statistics);
+//   * throttle rate — quota-discarded reports over all reports the
+//     tenants tried to send (processed + throttled + dropped);
+//   * clean-run violations and admission failures, both of which must be
+//     0: every session here is fault-free, so any alarm is a false
+//     positive and the bench exits non-zero.
+//
+//   usage: bw_multitenant [tenant_counts...] [--shards=K] [--quota=N]
+//          [--samples=M] [--json=<file>]
+//
+// Defaults: tenant counts {1, 8, 32, 128}, 2 shards, the service default
+// quota (0), >= 64 samples per count. On the 1-core container the
+// absolute latencies timeshare; the comparable quantity is the latency
+// and throttle trend vs tenant count at a fixed machine.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "benchmarks/registry.h"
+#include "pipeline/pipeline.h"
+#include "runtime/monitor_service.h"
+
+namespace {
+
+using namespace bw;
+using Clock = std::chrono::steady_clock;
+
+struct Cell {
+  unsigned tenants = 0;
+  std::size_t sessions = 0;
+  double p50_ms = 0.0, p99_ms = 0.0;
+  double throttle_rate = 0.0;
+  std::uint64_t reports_processed = 0;
+  std::uint64_t reports_throttled = 0;
+  std::uint64_t throttle_events = 0;
+  std::uint64_t dropped_reports = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t admit_failures = 0;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned shards = 2;
+  std::uint64_t quota = 0;  // 0 = service default
+  unsigned min_samples = 64;
+  std::string json_path;
+  std::vector<unsigned> tenant_counts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = static_cast<unsigned>(std::atoi(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--quota=", 8) == 0) {
+      quota = static_cast<std::uint64_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--samples=", 10) == 0) {
+      min_samples = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      tenant_counts.push_back(static_cast<unsigned>(std::atoi(argv[i])));
+    }
+  }
+  if (tenant_counts.empty()) tenant_counts = {1, 8, 32, 128};
+  if (min_samples == 0) min_samples = 1;
+
+  // Alternating request-processing kernels, compiled once and shared by
+  // every session (execute_in_session is safe over one CompiledProgram).
+  std::vector<pipeline::CompiledProgram> programs;
+  std::vector<std::string> program_names;
+  for (const benchmarks::Benchmark& bench :
+       benchmarks::service_benchmarks()) {
+    programs.push_back(pipeline::protect_program(bench.source));
+    program_names.push_back(bench.name);
+  }
+  if (programs.empty()) {
+    std::fprintf(stderr, "no service kernels registered\n");
+    return 2;
+  }
+
+  std::printf("Multi-tenant service: session turnaround latency vs live "
+              "tenant count\n");
+  std::printf("shards=%u  session quota=%llu%s  kernels=", shards,
+              static_cast<unsigned long long>(quota),
+              quota == 0 ? " (service default)" : "");
+  for (std::size_t i = 0; i < program_names.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", program_names[i].c_str());
+  }
+  std::printf("\n\n%8s %9s %10s %10s %10s %12s %9s %7s %6s\n", "tenants",
+              "sessions", "p50 ms", "p99 ms", "throttle%", "reports",
+              "throttled", "alarms", "rejects");
+
+  std::vector<Cell> cells;
+  std::uint64_t total_alarms = 0;
+  std::uint64_t total_rejects = 0;
+  for (unsigned tenants : tenant_counts) {
+    if (tenants == 0) continue;
+    const unsigned rounds = (min_samples + tenants - 1) / tenants;
+
+    runtime::MonitorServiceOptions service_options;
+    service_options.num_shards = shards;
+    // The sweep, not the table, should be the binding limit on liveness.
+    service_options.max_sessions =
+        std::max<std::size_t>(256, static_cast<std::size_t>(tenants) + 8);
+    if (quota != 0) service_options.default_report_quota = quota;
+    runtime::MonitorService service(service_options);
+    service.start();
+
+    Cell cell;
+    cell.tenants = tenants;
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<std::size_t>(rounds) * tenants);
+    for (unsigned round = 0; round < rounds; ++round) {
+      std::vector<double> round_ms(tenants, 0.0);
+      std::vector<pipeline::ExecutionResult> results(tenants);
+      std::vector<std::thread> runners;
+      runners.reserve(tenants);
+      for (unsigned t = 0; t < tenants; ++t) {
+        runners.emplace_back([&, t] {
+          pipeline::ExecutionConfig config;
+          config.num_threads = 2;
+          config.stop_on_detection = false;
+          config.session_quota = quota;
+          const pipeline::CompiledProgram& program =
+              programs[t % programs.size()];
+          const auto t0 = Clock::now();
+          results[t] = pipeline::execute_in_session(program, config, service);
+          round_ms[t] =
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count();
+        });
+      }
+      for (auto& r : runners) r.join();
+      for (unsigned t = 0; t < tenants; ++t) {
+        const pipeline::ExecutionResult& result = results[t];
+        if (result.admit_error != runtime::AdmitError::None) {
+          ++cell.admit_failures;
+          continue;
+        }
+        latencies.push_back(round_ms[t]);
+        ++cell.sessions;
+        cell.reports_processed += result.monitor_stats.reports_processed;
+        cell.reports_throttled += result.monitor_stats.reports_throttled;
+        cell.throttle_events += result.monitor_stats.throttle_events;
+        cell.dropped_reports += result.monitor_stats.dropped_reports;
+        cell.violations += result.violations.size();
+      }
+    }
+    service.stop();
+
+    std::sort(latencies.begin(), latencies.end());
+    cell.p50_ms = percentile(latencies, 0.50);
+    cell.p99_ms = percentile(latencies, 0.99);
+    const std::uint64_t attempted = cell.reports_processed +
+                                    cell.reports_throttled +
+                                    cell.dropped_reports;
+    cell.throttle_rate =
+        attempted > 0
+            ? static_cast<double>(cell.reports_throttled) /
+                  static_cast<double>(attempted)
+            : 0.0;
+    total_alarms += cell.violations;
+    total_rejects += cell.admit_failures;
+
+    std::printf("%8u %9zu %10.2f %10.2f %9.2f%% %12llu %9llu %7llu %6llu\n",
+                cell.tenants, cell.sessions, cell.p50_ms, cell.p99_ms,
+                100.0 * cell.throttle_rate,
+                static_cast<unsigned long long>(cell.reports_processed),
+                static_cast<unsigned long long>(cell.reports_throttled),
+                static_cast<unsigned long long>(cell.violations),
+                static_cast<unsigned long long>(cell.admit_failures));
+    cells.push_back(cell);
+  }
+
+  std::printf("\nclean-run false alarms: %llu, admission failures: %llu "
+              "(both expected 0)\n",
+              static_cast<unsigned long long>(total_alarms),
+              static_cast<unsigned long long>(total_rejects));
+
+  if (!json_path.empty()) {
+    bench::JsonWriter json("bw_multitenant");
+    json.num("shards", shards);
+    json.num("quota", quota);
+    json.num("min_samples", min_samples);
+    json.begin_rows();
+    for (const Cell& c : cells) {
+      json.begin_row();
+      json.num("tenants", c.tenants);
+      json.num("sessions", c.sessions);
+      json.real("p50_ms", c.p50_ms, 3);
+      json.real("p99_ms", c.p99_ms, 3);
+      json.real("throttle_rate", c.throttle_rate, 6);
+      json.num("reports_processed", c.reports_processed);
+      json.num("reports_throttled", c.reports_throttled);
+      json.num("throttle_events", c.throttle_events);
+      json.num("dropped_reports", c.dropped_reports);
+      json.num("violations", c.violations);
+      json.num("admit_failures", c.admit_failures);
+      json.end_row();
+    }
+    json.end_rows();
+    if (!json.write(json_path)) return 1;
+  }
+  return (total_alarms == 0 && total_rejects == 0) ? 0 : 1;
+}

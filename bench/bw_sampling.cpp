@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "benchmarks/registry.h"
 #include "fault/campaign.h"
 #include "pipeline/pipeline.h"
@@ -158,32 +159,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total_alarms));
 
   if (!json_path.empty()) {
-    std::FILE* out = std::fopen(json_path.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
-      return 1;
+    bench::JsonWriter json("bw_sampling");
+    json.num("injections", injections);
+    json.num("threads", threads);
+    json.num("targeted_flips", flips);
+    json.begin_rows();
+    for (const Row& r : rows) {
+      json.begin_row();
+      json.str("kernel", r.kernel);
+      json.str("fault", r.fault);
+      json.num("rate", r.rate);
+      json.real("coverage", r.coverage);
+      json.real("ci_lo", r.ci_lo);
+      json.real("ci_hi", r.ci_hi);
+      json.real("overhead", r.overhead);
+      json.num("detected", r.detected);
+      json.num("sdc", r.sdc);
+      json.num("activated", r.activated);
+      json.num("clean_violations", r.clean_violations);
+      json.end_row();
     }
-    std::fprintf(out,
-                 "{\n  \"bench\": \"bw_sampling\",\n  \"injections\": %d,\n"
-                 "  \"threads\": %u,\n  \"targeted_flips\": %u,\n"
-                 "  \"rows\": [\n",
-                 injections, threads, flips);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(out,
-                   "    {\"kernel\": \"%s\", \"fault\": \"%s\", "
-                   "\"rate\": %u, \"coverage\": %.4f, \"ci_lo\": %.4f, "
-                   "\"ci_hi\": %.4f, \"overhead\": %.4f, \"detected\": %d, "
-                   "\"sdc\": %d, \"activated\": %d, "
-                   "\"clean_violations\": %llu}%s\n",
-                   r.kernel.c_str(), r.fault, r.rate, r.coverage, r.ci_lo,
-                   r.ci_hi, r.overhead, r.detected, r.sdc, r.activated,
-                   static_cast<unsigned long long>(r.clean_violations),
-                   i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(out, "  ]\n}\n");
-    std::fclose(out);
-    std::printf("json written to %s\n", json_path.c_str());
+    json.end_rows();
+    if (!json.write(json_path)) return 1;
   }
   return total_alarms == 0 ? 0 : 1;
 }

@@ -17,6 +17,15 @@
 //                                         run a parallel fault-injection
 //                                         campaign and print the outcome
 //                                         partition with Wilson 95% CIs
+//   bwc serve <prog> [sessions] [threads] [--shards=K] [--max-sessions=N]
+//             [--quota=N] [--runners=R]
+//                                         host many protected runs of the
+//                                         program as sessions of ONE
+//                                         shared multi-tenant
+//                                         MonitorService (R concurrent
+//                                         runners), then print service
+//                                         admission and per-tenant
+//                                         aggregate stats
 //
 // <prog> is a path to a .bwc source file, or "bench:<name>" for a
 // built-in SPLASH-2 kernel (bench:fft, bench:radix, ...) or service
@@ -53,17 +62,23 @@
 //   5  run finished but the monitor ended Failed (unprotected tail)
 //   6  a violation was detected, the run rolled back to a checkpoint and
 //      finished correctly (recovered)
+//   7  serve only: the service rejected at least one admission (sessions
+//      beyond --max-sessions; the runs that were admitted still report
+//      via codes 3/4/5 first)
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchmarks/registry.h"
 #include "fault/campaign.h"
 #include "pipeline/pipeline.h"
+#include "runtime/monitor_service.h"
 #include "support/telemetry/telemetry.h"
 
 namespace {
@@ -105,13 +120,16 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: bwc <run|protect|analyze|emit-ir|emit-instrumented|inject|"
-      "campaign> <file.bwc|bench:name> [args] [--recover] [--trace=<file>] "
+      "campaign|serve> <file.bwc|bench:name> [args] [--recover] "
+      "[--trace=<file>] "
       "[--metrics] [--sampling] [--sample-rate=N] "
       "[--tier=auto|interpreter|threaded]\n"
       "       bwc campaign <prog> [injections] [threads] [--type=flip|cond|"
       "targeted|stall|corrupt|drop]\n"
       "           [--workers=N] [--seed=S] [--checkpoint=<file>] "
-      "[--resume=<file>] [--no-protect] [--recover] [--flips=N]\n");
+      "[--resume=<file>] [--no-protect] [--recover] [--flips=N]\n"
+      "       bwc serve <prog> [sessions] [threads] [--shards=K] "
+      "[--max-sessions=N] [--quota=N] [--runners=R]\n");
   return 2;
 }
 
@@ -246,6 +264,112 @@ int cmd_inject(const std::string& source, unsigned thread, std::uint64_t k,
   return 0;
 }
 
+/// Flags consumed only by `bwc serve`.
+struct ServeFlags {
+  unsigned shards = 2;
+  std::size_t max_sessions = 64;
+  std::uint64_t quota = 0;  // 0 = service default
+  unsigned runners = 4;
+};
+
+int cmd_serve(const std::string& source, unsigned sessions, unsigned threads,
+              const ServeFlags& flags,
+              const runtime::SamplingOptions& sampling, vm::ExecTier tier) {
+  pipeline::CompiledProgram program = pipeline::protect_program(source);
+
+  runtime::MonitorServiceOptions service_options;
+  service_options.num_shards = flags.shards;
+  service_options.max_sessions = flags.max_sessions;
+  if (flags.quota != 0) service_options.default_report_quota = flags.quota;
+  runtime::MonitorService service(service_options);
+  service.start();
+
+  const unsigned runners = std::max(1u, flags.runners);
+  std::fprintf(stderr,
+               "bwc: serve: %u sessions (%u program threads each) over %u "
+               "shard(s), %u concurrent runner(s), max %zu live sessions\n",
+               sessions, threads, service.num_shards(), runners,
+               service_options.max_sessions);
+
+  // Runners claim session slots from a shared cursor; each session is a
+  // full admit -> run -> close turnaround against the shared service.
+  std::vector<pipeline::ExecutionResult> results(sessions);
+  std::atomic<unsigned> cursor{0};
+  std::vector<std::thread> pool;
+  pool.reserve(runners);
+  for (unsigned r = 0; r < runners; ++r) {
+    pool.emplace_back([&] {
+      for (unsigned i = cursor.fetch_add(1, std::memory_order_relaxed);
+           i < sessions;
+           i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        pipeline::ExecutionConfig config;
+        config.num_threads = threads;
+        config.exec_tier = tier;
+        config.stop_on_detection = false;
+        config.session_quota = flags.quota;
+        config.monitor_options.sampling = sampling;
+        results[i] = pipeline::execute_in_session(program, config, service);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  runtime::ServiceStats service_stats = service.stats();
+  service.stop();
+
+  unsigned ok = 0, trapped = 0, rejected = 0, with_violations = 0;
+  unsigned degraded = 0, failed = 0;
+  std::uint64_t processed = 0, throttled = 0, dropped = 0;
+  std::size_t violations = 0;
+  for (const pipeline::ExecutionResult& result : results) {
+    if (result.admit_error != runtime::AdmitError::None) {
+      ++rejected;
+      continue;
+    }
+    if (!result.run.ok) ++trapped;
+    if (result.detected) ++with_violations;
+    if (result.monitor_health == runtime::MonitorHealth::Degraded) {
+      ++degraded;
+    } else if (result.monitor_health == runtime::MonitorHealth::Failed) {
+      ++failed;
+    }
+    if (result.run.ok && !result.detected &&
+        result.monitor_health == runtime::MonitorHealth::Healthy) {
+      ++ok;
+    }
+    processed += result.monitor_stats.reports_processed;
+    throttled += result.monitor_stats.reports_throttled;
+    dropped += result.monitor_stats.dropped_reports;
+    violations += result.violations.size();
+  }
+
+  std::fprintf(stderr,
+               "bwc: service: admitted %llu, rejected %llu, evicted %llu, "
+               "active %zu\n",
+               static_cast<unsigned long long>(
+                   service_stats.sessions_admitted),
+               static_cast<unsigned long long>(
+                   service_stats.sessions_rejected),
+               static_cast<unsigned long long>(service_stats.sessions_evicted),
+               service_stats.active_sessions);
+  std::fprintf(stderr,
+               "bwc: sessions: %u ok, %u with violations (%zu total), %u "
+               "degraded, %u failed, %u trapped, %u rejected\n",
+               ok, with_violations, violations, degraded, failed, trapped,
+               rejected);
+  std::fprintf(stderr,
+               "bwc: reports: processed %llu, throttled %llu, dropped %llu\n",
+               static_cast<unsigned long long>(processed),
+               static_cast<unsigned long long>(throttled),
+               static_cast<unsigned long long>(dropped));
+
+  if (trapped > 0) return 1;
+  if (with_violations > 0) return 3;
+  if (failed > 0) return 5;
+  if (degraded > 0) return 4;
+  if (rejected > 0) return 7;
+  return 0;
+}
+
 /// Flags consumed only by `bwc campaign`.
 struct CampaignFlags {
   fault::FaultType type = fault::FaultType::BranchFlip;
@@ -343,7 +467,8 @@ int cmd_campaign(const std::string& source, int injections, unsigned threads,
 
 int dispatch(const std::string& cmd, const std::string& source,
              const std::vector<std::string>& args,
-             const CampaignFlags& campaign_flags, bool recover,
+             const CampaignFlags& campaign_flags,
+             const ServeFlags& serve_flags, bool recover,
              const runtime::SamplingOptions& sampling, vm::ExecTier tier) {
   if (cmd == "run" || cmd == "protect") {
     unsigned threads =
@@ -372,6 +497,15 @@ int dispatch(const std::string& cmd, const std::string& source,
     return cmd_campaign(source, injections, threads, campaign_flags,
                         recover, sampling, tier);
   }
+  if (cmd == "serve") {
+    unsigned sessions =
+        args.size() > 2 ? static_cast<unsigned>(std::atoi(args[2].c_str()))
+                        : 16;
+    unsigned threads =
+        args.size() > 3 ? static_cast<unsigned>(std::atoi(args[3].c_str()))
+                        : 4;
+    return cmd_serve(source, sessions, threads, serve_flags, sampling, tier);
+  }
   if (cmd == "inject" && args.size() >= 4) {
     bool cond_fault = args.size() > 4 && args[4] == "cond";
     unsigned threads =
@@ -394,6 +528,7 @@ int main(int argc, char** argv) {
   bool metrics = false;
   std::string trace_path;
   CampaignFlags campaign_flags;
+  ServeFlags serve_flags;
   runtime::SamplingOptions sampling;
   vm::ExecTier tier = vm::ExecTier::Auto;
   for (int i = 1; i < argc; ++i) {
@@ -432,6 +567,15 @@ int main(int argc, char** argv) {
       campaign_flags.resume_file = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--no-protect") == 0) {
       campaign_flags.no_protect = true;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      serve_flags.shards = static_cast<unsigned>(std::atoi(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--max-sessions=", 15) == 0) {
+      serve_flags.max_sessions =
+          static_cast<std::size_t>(std::atoll(argv[i] + 15));
+    } else if (std::strncmp(argv[i], "--quota=", 8) == 0) {
+      serve_flags.quota = std::strtoull(argv[i] + 8, nullptr, 0);
+    } else if (std::strncmp(argv[i], "--runners=", 10) == 0) {
+      serve_flags.runners = static_cast<unsigned>(std::atoi(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "bwc: unknown flag '%s'\n", argv[i]);
       return usage();
@@ -446,8 +590,8 @@ int main(int argc, char** argv) {
   std::string source = load_source(args[1]);
   int rc;
   try {
-    rc = dispatch(cmd, source, args, campaign_flags, recover, sampling,
-                  tier);
+    rc = dispatch(cmd, source, args, campaign_flags, serve_flags, recover,
+                  sampling, tier);
   } catch (const bw::support::CompileError& e) {
     std::fprintf(stderr, "bwc: %s\n", e.what());
     rc = 1;

@@ -96,6 +96,8 @@ if [ "$run_tsan" = 1 ]; then
     ctest --test-dir build-tsan --output-on-failure -L campaign
     echo "===== TSan sampling lane (adaptive rate ladder under races) ====="
     ctest --test-dir build-tsan --output-on-failure -L sampling
+    echo "===== TSan multitenant lane (session isolation proofs) ====="
+    ctest --test-dir build-tsan --output-on-failure -L multitenant
     echo "===== TSan tier lane (threaded dispatch vs interpreter oracle) ====="
     # Bounded subset: the tier-differential harness runs both dispatchers
     # over the same shared heap / monitor / recovery machinery — the

@@ -57,6 +57,39 @@ void publish_execution(const ExecutionResult& result,
                        static_cast<std::uint64_t>(result.run.tier));
 }
 
+/// Shared tail of execute()/execute_in_session(): translate the config
+/// into vm::RunOptions (gating recovery on sink capability), run, and
+/// copy the recovery accounting out.
+void run_with_sink(const CompiledProgram& program,
+                   const ExecutionConfig& config, runtime::BranchSink* sink,
+                   ExecutionResult& result) {
+  vm::RunOptions ropts;
+  ropts.num_threads = config.num_threads;
+  ropts.tier = config.exec_tier;
+  ropts.parallel_entry = config.parallel_entry;
+  ropts.init_function =
+      program.module->find_function(config.init_function) != nullptr
+          ? config.init_function
+          : std::string();
+  ropts.monitor = sink;
+  ropts.fault = config.fault;
+  ropts.instruction_budget = config.instruction_budget;
+  ropts.stop_on_detection = config.stop_on_detection;
+  ropts.recovery = config.recovery;
+  if (sink == nullptr || !sink->supports_recovery() ||
+      !config.stop_on_detection) {
+    // Recovery needs a monitor that can quiesce/reset and a run that stops
+    // on detection (otherwise nothing ever triggers a rollback).
+    ropts.recovery.enabled = false;
+  }
+  {
+    telemetry::SpanScope span(telemetry::Phase::Execution, "vm.run");
+    result.run = vm::run_program(*program.module, ropts);
+  }
+  result.recovery = result.run.recovery;
+  result.recovered = result.run.recovered;
+}
+
 }  // namespace
 
 CompiledProgram compile_program(std::string_view source,
@@ -139,31 +172,7 @@ ExecutionResult execute(const CompiledProgram& program,
     sink = monitor.get();
   }
 
-  vm::RunOptions ropts;
-  ropts.num_threads = config.num_threads;
-  ropts.tier = config.exec_tier;
-  ropts.parallel_entry = config.parallel_entry;
-  ropts.init_function =
-      program.module->find_function(config.init_function) != nullptr
-          ? config.init_function
-          : std::string();
-  ropts.monitor = sink;
-  ropts.fault = config.fault;
-  ropts.instruction_budget = config.instruction_budget;
-  ropts.stop_on_detection = config.stop_on_detection;
-  ropts.recovery = config.recovery;
-  if (sink == nullptr || !sink->supports_recovery() ||
-      !config.stop_on_detection) {
-    // Recovery needs a monitor that can quiesce/reset and a run that stops
-    // on detection (otherwise nothing ever triggers a rollback).
-    ropts.recovery.enabled = false;
-  }
-  {
-    telemetry::SpanScope span(telemetry::Phase::Execution, "vm.run");
-    result.run = vm::run_program(*program.module, ropts);
-  }
-  result.recovery = result.run.recovery;
-  result.recovered = result.run.recovered;
+  run_with_sink(program, config, sink, result);
 
   if (monitor != nullptr) {
     monitor->stop();
@@ -191,6 +200,38 @@ ExecutionResult execute(const CompiledProgram& program,
     result.detected = result.run.detected || !result.violations.empty();
     result.monitor_health = tree->health();
   }
+  publish_execution(result, config);
+  return result;
+}
+
+ExecutionResult execute_in_session(const CompiledProgram& program,
+                                   const ExecutionConfig& config,
+                                   runtime::MonitorService& service) {
+  ExecutionResult result;
+
+  runtime::SessionOptions sopts;
+  sopts.num_threads = config.num_threads;
+  sopts.report_quota = config.session_quota;
+  sopts.perform_checks = config.monitor != MonitorMode::DrainOnly;
+  sopts.validate_reports = config.monitor_options.validate_reports;
+  sopts.max_pending_per_branch =
+      config.monitor_options.max_pending_per_branch;
+  sopts.fault_hooks = config.monitor_options.fault_hooks;
+  sopts.sampling = config.monitor_options.sampling;
+  runtime::MonitorService::Admission admission = service.admit(sopts);
+  if (admission.error != runtime::AdmitError::None) {
+    result.admit_error = admission.error;
+    return result;
+  }
+  runtime::MonitorSession& session = *admission.session;
+
+  run_with_sink(program, config, &session, result);
+
+  session.close();
+  result.violations = session.violations();
+  result.monitor_stats = session.stats();
+  result.detected = result.run.detected || !result.violations.empty();
+  result.monitor_health = session.health();
   publish_execution(result, config);
   return result;
 }

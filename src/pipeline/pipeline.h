@@ -15,6 +15,7 @@
 #include "instrument/instrument.h"
 #include "runtime/hierarchical_monitor.h"
 #include "runtime/monitor.h"
+#include "runtime/monitor_service.h"
 #include "runtime/sharded_monitor.h"
 #include "vm/machine.h"
 
@@ -82,10 +83,16 @@ struct ExecutionConfig {
   std::string init_function = "init";
   /// Barrier-aligned checkpoint/rollback (see vm/recovery.h). Only honored
   /// when the attached monitor supports the recovery protocol (legacy
-  /// Monitor and ShardedMonitor do; Hierarchical does not yet) AND
-  /// stop_on_detection is set — recovery is pointless if detection cannot
-  /// interrupt the run. execute() silently disables it otherwise.
+  /// Monitor, ShardedMonitor and MonitorSession do; Hierarchical does not
+  /// yet) AND stop_on_detection is set — recovery is pointless if
+  /// detection cannot interrupt the run. execute() silently disables it
+  /// otherwise.
   vm::RecoveryOptions recovery;
+  /// execute_in_session only: this run's queued-report quota (0 = the
+  /// service's default). monitor_options carries the rest of the session
+  /// shape (validation, fault hooks, sampling, max_pending); monitor
+  /// Full/DrainOnly maps onto the session's perform_checks.
+  std::uint64_t session_quota = 0;
 };
 
 struct ExecutionResult {
@@ -105,9 +112,23 @@ struct ExecutionResult {
   vm::RecoveryStats recovery;
   /// The run rolled back at least once and still finished cleanly.
   bool recovered = false;
+  /// execute_in_session only: why admission failed. When != None the
+  /// program did NOT run (run/violations/stats are all default).
+  runtime::AdmitError admit_error = runtime::AdmitError::None;
 };
 
 ExecutionResult execute(const CompiledProgram& program,
                         const ExecutionConfig& config);
+
+/// As execute(), but the monitor is a session admitted from (and torn
+/// down back into) a shared multi-tenant MonitorService instead of a
+/// monitor owned by this run. The service must be started; many
+/// execute_in_session calls may run concurrently against one service.
+/// MonitorMode::Off/Hierarchical are not meaningful here and map to a
+/// checking session (Full). Admission failure is reported in
+/// ExecutionResult::admit_error without running the program.
+ExecutionResult execute_in_session(const CompiledProgram& program,
+                                   const ExecutionConfig& config,
+                                   runtime::MonitorService& service);
 
 }  // namespace bw::pipeline

@@ -1,0 +1,132 @@
+#include "runtime/branch_table.h"
+
+#include "support/prng.h"
+#include "support/telemetry/telemetry.h"
+
+namespace bw::runtime {
+
+namespace {
+std::uint64_t level1_key(std::uint64_t ctx_hash, std::uint32_t static_id) {
+  return support::hash_combine(ctx_hash, static_id);
+}
+}  // namespace
+
+BranchTable::BranchTable(unsigned num_threads,
+                         std::size_t max_pending_per_branch,
+                         ViolationHook on_violation)
+    : num_threads_(num_threads),
+      max_pending_per_branch_(max_pending_per_branch),
+      on_violation_(std::move(on_violation)) {}
+
+BranchTable::Instance& BranchTable::instance_for(const BranchReport& report,
+                                                 bool degraded) {
+  std::uint64_t key1 = level1_key(report.ctx_hash, report.static_id);
+  Branch& branch = table_[key1];
+  key_debug_.emplace(key1,
+                     std::make_pair(report.static_id, report.ctx_hash));
+  auto [it, inserted] = branch.instances.try_emplace(report.iter_hash);
+  Instance& inst = it->second;
+  if (inserted) {
+    inst.observations.resize(num_threads_);
+    for (unsigned t = 0; t < num_threads_; ++t) {
+      inst.observations[t].thread = t;
+    }
+    inst.check = report.check;
+    inst.iter_hash = report.iter_hash;
+    inst.sequence = next_sequence_++;
+    maybe_evict(key1, report.static_id, report.ctx_hash, degraded);
+  }
+  return inst;
+}
+
+void BranchTable::process(const BranchReport& report, bool degraded) {
+  Instance& inst = instance_for(report, degraded);
+  ThreadObservation& obs = inst.observations[report.thread];
+  if (report.kind == ReportKind::Condition) {
+    obs.has_value = true;
+    obs.value = report.value;
+  } else {
+    if (!obs.has_outcome) ++inst.outcomes_reported;
+    obs.has_outcome = true;
+    obs.outcome = report.outcome;
+    if (inst.outcomes_reported == num_threads_) {
+      // Eager path: everyone reported; check and evict. Complete
+      // instances are fully trustworthy even when degraded.
+      check_instance_now(report.static_id, report.ctx_hash, inst);
+      std::uint64_t key1 = level1_key(report.ctx_hash, report.static_id);
+      table_[key1].instances.erase(report.iter_hash);
+    }
+  }
+}
+
+void BranchTable::check_instance_now(std::uint32_t static_id,
+                                     std::uint64_t ctx_hash,
+                                     const Instance& instance) {
+  ++instances_checked_;
+  std::optional<std::uint32_t> suspect =
+      check_instance(instance.check, instance.observations);
+  if (!suspect.has_value()) return;
+  Violation v;
+  v.static_id = static_id;
+  v.ctx_hash = ctx_hash;
+  v.iter_hash = instance.iter_hash;
+  v.check = instance.check;
+  v.suspect_thread = *suspect;
+  violations_.push_back(v);
+  telemetry::counter_add(telemetry::Counter::Violations);
+  telemetry::record_event(telemetry::EventKind::Violation,
+                          telemetry::Phase::MonitorCheck, v.static_id,
+                          v.ctx_hash, v.iter_hash);
+  if (on_violation_) on_violation_(v);
+}
+
+void BranchTable::maybe_evict(std::uint64_t key1, std::uint32_t static_id,
+                              std::uint64_t ctx_hash, bool degraded) {
+  Branch& branch = table_[key1];
+  if (branch.instances.size() <= max_pending_per_branch_) return;
+  // Evict the oldest pending instance after checking the subset of threads
+  // that did report (sound: every check holds on subsets) — unless the
+  // monitor is degraded, in which case the missing observations may be
+  // dropped reports and the instance is unverifiable.
+  auto oldest = branch.instances.begin();
+  for (auto it = branch.instances.begin(); it != branch.instances.end();
+       ++it) {
+    if (it->second.sequence < oldest->second.sequence) oldest = it;
+  }
+  if (oldest->second.outcomes_reported >= 2) {
+    if (degraded) {
+      ++instances_skipped_;
+    } else {
+      check_instance_now(static_id, ctx_hash, oldest->second);
+    }
+  }
+  ++instances_evicted_;
+  branch.instances.erase(oldest);
+}
+
+void BranchTable::finalize(bool degraded) {
+  for (auto& [key1, branch] : table_) {
+    auto debug = key_debug_[key1];
+    for (auto& [iter_hash, inst] : branch.instances) {
+      (void)iter_hash;
+      if (inst.outcomes_reported < 2) continue;
+      if (degraded && inst.outcomes_reported < num_threads_) {
+        // Degraded: a missing observation may be a dropped report, so a
+        // subset "violation" could be an artifact of the loss. Skip.
+        ++instances_skipped_;
+        continue;
+      }
+      check_instance_now(debug.first, debug.second, inst);
+    }
+    branch.instances.clear();
+  }
+  table_.clear();
+}
+
+void BranchTable::clear() {
+  table_.clear();
+  key_debug_.clear();
+  violations_.clear();
+}
+
+}  // namespace bw::runtime

@@ -1,0 +1,94 @@
+// The per-branch instance state machine shared by every monitor backend:
+// a two-level table keyed by (ctx_hash + static branch id, outer-loop
+// iteration vector) holding partially-observed branch instances, with the
+// paper's eager check (all threads reported), bounded-pending eviction
+// (subset checks are sound), and the end-of-section finalize pass.
+//
+// Extracted from Monitor / ShardedMonitor (which carried byte-identical
+// copies) so that every owner of branch state — the legacy single
+// consumer, each checker shard, and each (session, shard) tenant slot of
+// the multi-tenant MonitorService — runs the SAME lifecycle on its own
+// partition of the key space. The monitor differential suite pins the
+// verdict semantics; keying a table per tenant is what makes cross-tenant
+// verdict interference impossible by construction.
+//
+// Threading: a BranchTable is owned by exactly one consumer thread; it
+// performs no synchronization of its own. Violation side effects that
+// must escape the owner (violation counters, sampling snap-back) are the
+// owner's job, via the on_violation hook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "runtime/checker.h"
+#include "runtime/report.h"
+
+namespace bw::runtime {
+
+class BranchTable {
+ public:
+  /// Invoked synchronously (on the owning consumer thread) for every
+  /// violation appended to violations().
+  using ViolationHook = std::function<void(const Violation&)>;
+
+  BranchTable(unsigned num_threads, std::size_t max_pending_per_branch,
+              ViolationHook on_violation = {});
+
+  /// File one report. Eagerly checks-and-erases instances once every
+  /// thread reported an outcome; evicts the oldest pending instance of an
+  /// over-cap branch (checked as a subset unless `degraded`).
+  void process(const BranchReport& report, bool degraded);
+
+  /// End-of-section residual pass: check every pending instance with >= 2
+  /// outcomes (skipped as unverifiable when `degraded` and incomplete),
+  /// then drop the table. Violations accumulate across calls.
+  void finalize(bool degraded);
+
+  /// Discard every pending instance AND every recorded violation (the
+  /// timeline they belong to is being rolled back). Counters other than
+  /// the violation list are left untouched, as before the extraction.
+  void clear();
+
+  bool empty() const { return table_.empty(); }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t instances_checked() const { return instances_checked_; }
+  std::uint64_t instances_evicted() const { return instances_evicted_; }
+  std::uint64_t instances_skipped() const { return instances_skipped_; }
+
+ private:
+  struct Instance {
+    std::vector<ThreadObservation> observations;  // indexed by thread id
+    unsigned outcomes_reported = 0;
+    CheckCode check = CheckCode::SharedOutcome;
+    std::uint64_t iter_hash = 0;
+    std::uint64_t sequence = 0;  // insertion order, for eviction
+  };
+  struct Branch {  // level-1 bucket: one (ctx, static_id) pair
+    std::unordered_map<std::uint64_t, Instance> instances;  // by iter hash
+  };
+
+  Instance& instance_for(const BranchReport& report, bool degraded);
+  void check_instance_now(std::uint32_t static_id, std::uint64_t ctx_hash,
+                          const Instance& instance);
+  void maybe_evict(std::uint64_t key1, std::uint32_t static_id,
+                   std::uint64_t ctx_hash, bool degraded);
+
+  unsigned num_threads_;
+  std::size_t max_pending_per_branch_;
+  ViolationHook on_violation_;
+  std::unordered_map<std::uint64_t, Branch> table_;
+  std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>>
+      key_debug_;  // level1 key -> (static_id, ctx) for violation reports
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t instances_checked_ = 0;
+  std::uint64_t instances_evicted_ = 0;
+  std::uint64_t instances_skipped_ = 0;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace bw::runtime

@@ -8,16 +8,15 @@
 
 namespace bw::runtime {
 
-namespace {
-std::uint64_t level1_key(std::uint64_t ctx_hash, std::uint32_t static_id) {
-  return support::hash_combine(ctx_hash, static_id);
-}
-}  // namespace
-
 Monitor::Monitor(unsigned num_threads, MonitorOptions options)
     : num_threads_(num_threads),
       options_(options),
       producers_(num_threads),
+      table_(num_threads, options.max_pending_per_branch,
+             [this](const Violation&) {
+               violation_count_.fetch_add(1, std::memory_order_release);
+               sampler_.note_violation();
+             }),
       sampler_(options.sampling) {
   queues_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
@@ -183,9 +182,6 @@ void Monitor::run_pending_command() {
       while (queue->try_pop(report)) ++stats_.reports_rolled_back;
     }
     table_.clear();
-    key_debug_.clear();
-    violations_.clear();
-    stats_.violations = 0;
     violation_count_.store(0, std::memory_order_release);
   } else if (cmd == kCommandFinalize) {
     // Mid-run residual check: drain fully, then run the end-of-section
@@ -349,118 +345,23 @@ bool Monitor::apply_pop_hooks(BranchReport& report) {
   return true;
 }
 
-Monitor::Instance& Monitor::instance_for(const BranchReport& report) {
-  std::uint64_t key1 = level1_key(report.ctx_hash, report.static_id);
-  Branch& branch = table_[key1];
-  key_debug_.emplace(key1,
-                     std::make_pair(report.static_id, report.ctx_hash));
-  auto [it, inserted] = branch.instances.try_emplace(report.iter_hash);
-  Instance& inst = it->second;
-  if (inserted) {
-    inst.observations.resize(num_threads_);
-    for (unsigned t = 0; t < num_threads_; ++t) {
-      inst.observations[t].thread = t;
-    }
-    inst.check = report.check;
-    inst.iter_hash = report.iter_hash;
-    inst.sequence = next_sequence_++;
-    maybe_evict(key1, report.static_id, report.ctx_hash);
-  }
-  return inst;
-}
-
 void Monitor::process(const BranchReport& report) {
   if (!options_.perform_checks) return;  // drain-only mode
-  Instance& inst = instance_for(report);
-  ThreadObservation& obs = inst.observations[report.thread];
-  if (report.kind == ReportKind::Condition) {
-    obs.has_value = true;
-    obs.value = report.value;
-  } else {
-    if (!obs.has_outcome) ++inst.outcomes_reported;
-    obs.has_outcome = true;
-    obs.outcome = report.outcome;
-    if (inst.outcomes_reported == num_threads_) {
-      // Eager path: everyone reported; check and evict. Complete
-      // instances are fully trustworthy even when degraded.
-      check_instance_now(report.static_id, report.ctx_hash, inst);
-      std::uint64_t key1 = level1_key(report.ctx_hash, report.static_id);
-      table_[key1].instances.erase(report.iter_hash);
-    }
-  }
-}
-
-void Monitor::check_instance_now(std::uint32_t static_id,
-                                 std::uint64_t ctx_hash,
-                                 const Instance& instance) {
-  ++stats_.instances_checked;
-  std::optional<std::uint32_t> suspect =
-      check_instance(instance.check, instance.observations);
-  if (!suspect.has_value()) return;
-  Violation v;
-  v.static_id = static_id;
-  v.ctx_hash = ctx_hash;
-  v.iter_hash = instance.iter_hash;
-  v.check = instance.check;
-  v.suspect_thread = *suspect;
-  violations_.push_back(v);
-  ++stats_.violations;
-  telemetry::counter_add(telemetry::Counter::Violations);
-  telemetry::record_event(telemetry::EventKind::Violation,
-                          telemetry::Phase::MonitorCheck, v.static_id,
-                          v.ctx_hash, v.iter_hash);
-  violation_count_.fetch_add(1, std::memory_order_release);
-  sampler_.note_violation();
-}
-
-void Monitor::maybe_evict(std::uint64_t key1, std::uint32_t static_id,
-                          std::uint64_t ctx_hash) {
-  Branch& branch = table_[key1];
-  if (branch.instances.size() <= options_.max_pending_per_branch) return;
-  // Evict the oldest pending instance after checking the subset of threads
-  // that did report (sound: every check holds on subsets) — unless the
-  // monitor is degraded, in which case the missing observations may be
-  // dropped reports and the instance is unverifiable.
-  auto oldest = branch.instances.begin();
-  for (auto it = branch.instances.begin(); it != branch.instances.end();
-       ++it) {
-    if (it->second.sequence < oldest->second.sequence) oldest = it;
-  }
-  if (oldest->second.outcomes_reported >= 2) {
-    if (degraded()) {
-      ++stats_.instances_skipped;
-    } else {
-      check_instance_now(static_id, ctx_hash, oldest->second);
-    }
-  }
-  ++stats_.instances_evicted;
-  branch.instances.erase(oldest);
+  table_.process(report, degraded());
 }
 
 void Monitor::finalize_all() {
   telemetry::SpanScope span(telemetry::Phase::MonitorCheck,
                             "monitor.finalize");
-  const bool unverifiable = degraded();
-  for (auto& [key1, branch] : table_) {
-    auto debug = key_debug_[key1];
-    for (auto& [iter_hash, inst] : branch.instances) {
-      (void)iter_hash;
-      if (inst.outcomes_reported < 2) continue;
-      if (unverifiable && inst.outcomes_reported < num_threads_) {
-        // Degraded: a missing observation may be a dropped report, so a
-        // subset "violation" could be an artifact of the loss. Skip.
-        ++stats_.instances_skipped;
-        continue;
-      }
-      check_instance_now(debug.first, debug.second, inst);
-    }
-    branch.instances.clear();
-  }
-  table_.clear();
+  table_.finalize(degraded());
 }
 
 MonitorStats Monitor::stats() const {
   MonitorStats merged = stats_;
+  merged.instances_checked = table_.instances_checked();
+  merged.instances_evicted = table_.instances_evicted();
+  merged.instances_skipped += table_.instances_skipped();
+  merged.violations = table_.violations().size();
   merged.dropped_per_thread.assign(num_threads_, 0);
   for (unsigned t = 0; t < num_threads_; ++t) {
     std::uint64_t dropped =

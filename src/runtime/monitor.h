@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/branch_table.h"
 #include "runtime/checker.h"
 #include "runtime/monitor_interface.h"
 #include "runtime/report.h"
@@ -80,6 +81,13 @@ struct MonitorStats {
   std::uint64_t sampling_snap_backs = 0;
   std::uint32_t sampling_rate_final = 1;
   std::uint32_t sampling_rate_peak = 1;
+  /// Multi-tenant backpressure (MonitorService sessions only; always zero
+  /// for the single-tenant backends). Reports discarded because the
+  /// tenant was over its queued-report quota, the number of distinct
+  /// over-quota episodes, and the high-water mark of queued reports.
+  std::uint64_t reports_throttled = 0;
+  std::uint64_t throttle_events = 0;
+  std::uint64_t quota_peak = 0;
   /// Producer give-up drops, indexed by program thread id.
   std::vector<std::uint64_t> dropped_per_thread;
 };
@@ -133,22 +141,14 @@ class Monitor : public BranchSink {
   /// and written without synchronization (the per-thread drop counters
   /// are atomics, but the snapshot as a whole is not). Use health() for
   /// a mid-run signal.
-  const std::vector<Violation>& violations() const { return violations_; }
+  const std::vector<Violation>& violations() const {
+    return table_.violations();
+  }
   MonitorStats stats() const;
 
   unsigned num_threads() const { return num_threads_; }
 
  private:
-  struct Instance {
-    std::vector<ThreadObservation> observations;  // indexed by thread id
-    unsigned outcomes_reported = 0;
-    CheckCode check = CheckCode::SharedOutcome;
-    std::uint64_t iter_hash = 0;
-    std::uint64_t sequence = 0;  // insertion order, for eviction
-  };
-  struct Branch {  // level-1 bucket: one (ctx, static_id) pair
-    std::unordered_map<std::uint64_t, Instance> instances;  // by iter hash
-  };
   /// Per-producer slow-path state. Cacheline-sized so one producer's drop
   /// accounting never bounces another producer's line.
   struct alignas(64) ProducerSlot {
@@ -166,24 +166,16 @@ class Monitor : public BranchSink {
   bool apply_pop_hooks(BranchReport& report);  // false: discard the report
   void give_up(std::uint32_t thread);
   void process(const BranchReport& report);
-  Instance& instance_for(const BranchReport& report);
-  void check_instance_now(std::uint32_t static_id, std::uint64_t ctx_hash,
-                          const Instance& instance);
   void finalize_all();
-  void maybe_evict(std::uint64_t level1_key, std::uint32_t static_id,
-                   std::uint64_t ctx_hash);
   bool degraded() const { return health_.get() != MonitorHealth::Healthy; }
 
   unsigned num_threads_;
   MonitorOptions options_;
   std::vector<std::unique_ptr<SpscQueue<BranchReport>>> queues_;
   std::vector<ProducerSlot> producers_;
-  // Level-1 table: hash of (ctx_hash, static_id) -> Branch. The monitor
-  // thread is the only mutator; no locking needed.
-  std::unordered_map<std::uint64_t, Branch> table_;
-  std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>>
-      key_debug_;  // level1 key -> (static_id, ctx) for violation reports
-  std::uint64_t next_sequence_ = 0;
+  // The shared per-branch state machine (branch_table.h); the monitor
+  // thread is the only mutator, no locking needed.
+  BranchTable table_;
   std::uint64_t reports_popped_ = 0;  // hook index base (includes drops)
 
   std::thread thread_;
@@ -195,7 +187,6 @@ class Monitor : public BranchSink {
   HealthCell health_;
   SamplingController sampler_;
   std::atomic<std::uint64_t> violation_count_{0};
-  std::vector<Violation> violations_;
   MonitorStats stats_;
   /// Recovery command mailbox: one pending command, acknowledged by
   /// bumping commands_done_ once the monitor thread has executed it.

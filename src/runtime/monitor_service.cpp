@@ -1,0 +1,1008 @@
+#include "runtime/monitor_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+
+#include "runtime/branch_table.h"
+#include "runtime/spsc_queue.h"
+#include "support/diagnostics.h"
+#include "support/prng.h"
+#include "support/telemetry/telemetry.h"
+
+namespace bw::runtime {
+
+const char* to_string(AdmitError error) {
+  switch (error) {
+    case AdmitError::None: return "none";
+    case AdmitError::TableFull: return "table-full";
+    case AdmitError::ServiceStopped: return "service-stopped";
+    case AdmitError::BadConfig: return "bad-config";
+  }
+  return "<bad-admit-error>";
+}
+
+namespace detail {
+
+enum SessionPhase { kActive = 0, kDraining = 1, kDetached = 2 };
+enum SessionCommand {
+  kCmdNone = 0,
+  kCmdReset = 1,
+  kCmdFinalize = 2,
+  kCmdDetach = 3,
+};
+
+/// Producer-thread-private state, one slot per program thread of the
+/// session. Cacheline-aligned; only `dropped` and `in_flight` are read
+/// by other threads.
+struct alignas(64) ProducerSlot {
+  std::atomic<std::uint64_t> dropped{0};
+  /// Dekker-style teardown guard, as ShardedMonitor::ProducerSlot: a
+  /// producer call increments (seq_cst) then checks the session phase;
+  /// teardown latches the phase then waits for zero.
+  std::atomic<std::uint32_t> in_flight{0};
+  std::vector<ReportBatch> open;  // one open batch per shard
+  MonitorHealth last_health = MonitorHealth::Healthy;
+  /// Edge-detector for throttle episodes (one event per entry into the
+  /// over-quota regime, not per dropped batch).
+  bool throttling = false;
+  // Per-shard watchdog state, run against this SESSION's progress
+  // counter on that shard (a frozen tenant fails only its own session).
+  std::vector<std::uint64_t> last_progress;
+  std::vector<std::chrono::steady_clock::time_point> stall_since;
+};
+
+/// Per-(session, shard) shared cells: the shard bumps progress on every
+/// visit it could drain (producers' watchdog reads it) and echoes the
+/// last command sequence it executed.
+struct alignas(64) ShardSlot {
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<std::uint64_t> command_ack{0};
+};
+
+/// One shard's final contribution to a session, published by the shard
+/// thread right before it acks the detach command (the release-store of
+/// the ack orders these writes against the teardown-side merge).
+struct ShardResult {
+  std::vector<Violation> violations;
+  std::uint64_t reports_processed = 0;
+  std::uint64_t instances_checked = 0;
+  std::uint64_t instances_evicted = 0;
+  std::uint64_t instances_skipped = 0;
+  std::uint64_t dropped_reports = 0;
+  std::uint64_t reports_rejected = 0;
+  std::uint64_t reports_rolled_back = 0;
+  std::uint64_t hooks_fired = 0;
+};
+
+/// Everything a session owns. Shared (via shared_ptr) between the
+/// session handle, the registry, and each shard's snapshot, so a
+/// detaching session's state outlives its registry entry.
+struct SessionState {
+  SessionState(SessionId id_, const SessionOptions& opts,
+               std::uint64_t quota_, unsigned num_shards_,
+               std::size_t ring_capacity)
+      : id(id_),
+        options(opts),
+        quota(quota_),
+        num_shards(num_shards_),
+        producers(opts.num_threads),
+        shard_slots(num_shards_),
+        shard_results(num_shards_),
+        sampler(opts.sampling) {
+    rings.resize(opts.num_threads);
+    for (auto& lane : rings) {
+      lane.reserve(num_shards_);
+      for (unsigned k = 0; k < num_shards_; ++k) {
+        lane.push_back(
+            std::make_unique<SpscQueue<ReportBatch>>(ring_capacity));
+      }
+    }
+    for (ProducerSlot& slot : producers) {
+      slot.open.resize(num_shards_);
+      slot.last_progress.assign(num_shards_, ~std::uint64_t{0});
+      slot.stall_since.assign(num_shards_, {});
+    }
+  }
+
+  const SessionId id;
+  const SessionOptions options;
+  const std::uint64_t quota;
+  const unsigned num_shards;
+
+  std::vector<ProducerSlot> producers;
+  /// rings[producer][shard]: every ring keeps exactly one producer (the
+  /// program thread) and one consumer (the shard), so the whole fabric
+  /// stays lock-free per session too.
+  std::vector<std::vector<std::unique_ptr<SpscQueue<ReportBatch>>>> rings;
+  std::vector<ShardSlot> shard_slots;
+  std::vector<ShardResult> shard_results;
+
+  /// Reports pushed but not yet processed, across all shards — the value
+  /// the per-tenant quota gates on. Incremented by producers when a
+  /// batch claims quota, decremented by shards after a batch is filed.
+  std::atomic<std::uint64_t> queued_reports{0};
+  std::atomic<std::uint64_t> quota_peak{0};
+  std::atomic<std::uint64_t> reports_throttled{0};
+  std::atomic<std::uint64_t> throttle_events{0};
+
+  HealthCell health;
+  SamplingController sampler;
+  std::atomic<std::uint64_t> violation_count{0};
+
+  std::atomic<int> phase{kActive};
+  /// Session-scoped recovery/teardown command mailbox (sequence
+  /// broadcast, per-shard acks in shard_slots).
+  std::atomic<int> cmd_kind{kCmdNone};
+  std::atomic<std::uint64_t> cmd_seq{0};
+
+  /// Reports discarded from producer-side open batches by reset_epoch
+  /// (caller-owned; producers quiescent by the recovery contract).
+  std::uint64_t producer_reports_rolled_back = 0;
+
+  // Final merged results; written by teardown before phase -> Detached.
+  MonitorStats final_stats;
+  std::vector<Violation> final_violations;
+};
+
+}  // namespace detail
+
+namespace {
+
+struct InFlightGuard {
+  std::atomic<std::uint32_t>& count;
+  ~InFlightGuard() { count.fetch_sub(1, std::memory_order_release); }
+};
+
+/// Merge per-shard results, producer counters, throttle accounting and
+/// sampling stats into the session's final MonitorStats. Runs on the
+/// teardown thread after every shard acked its detach.
+void merge_session_results(detail::SessionState& s) {
+  MonitorStats m;
+  s.final_violations.clear();
+  for (unsigned k = 0; k < s.num_shards; ++k) {
+    const detail::ShardResult& r = s.shard_results[k];
+    s.final_violations.insert(s.final_violations.end(), r.violations.begin(),
+                              r.violations.end());
+    m.reports_processed += r.reports_processed;
+    m.instances_checked += r.instances_checked;
+    m.instances_evicted += r.instances_evicted;
+    m.instances_skipped += r.instances_skipped;
+    m.dropped_reports += r.dropped_reports;
+    m.reports_rejected += r.reports_rejected;
+    m.reports_rolled_back += r.reports_rolled_back;
+    m.hooks_fired += r.hooks_fired;
+  }
+  m.violations = s.final_violations.size();
+  m.reports_rolled_back += s.producer_reports_rolled_back;
+  m.dropped_per_thread.assign(s.options.num_threads, 0);
+  for (unsigned t = 0; t < s.options.num_threads; ++t) {
+    const std::uint64_t dropped =
+        s.producers[t].dropped.load(std::memory_order_relaxed);
+    m.dropped_per_thread[t] = dropped;
+    m.dropped_reports += dropped;
+  }
+  m.reports_throttled = s.reports_throttled.load(std::memory_order_relaxed);
+  m.throttle_events = s.throttle_events.load(std::memory_order_relaxed);
+  m.quota_peak = s.quota_peak.load(std::memory_order_relaxed);
+  const SamplingStats sampling = s.sampler.stats();
+  m.reports_sampled_out = sampling.sampled_out;
+  m.sampling_degrades = sampling.degrades;
+  m.sampling_snap_backs = sampling.snap_backs;
+  m.sampling_rate_final = sampling.final_rate;
+  m.sampling_rate_peak = sampling.peak_rate;
+  s.final_stats = std::move(m);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shard side: one thread per shard, a private tenant map per shard.
+// ---------------------------------------------------------------------------
+
+struct MonitorService::Shard {
+  unsigned index = 0;
+  std::thread worker;
+  std::uint64_t snapshot_version = ~std::uint64_t{0};
+  std::vector<std::shared_ptr<detail::SessionState>> snapshot;
+
+  /// This shard's slice of one session: a private BranchTable over the
+  /// (session, key) pairs that route here, plus consumer-owned counters.
+  /// Freed at detach — teardown really does release per-tenant memory.
+  struct Tenant {
+    explicit Tenant(detail::SessionState* s)
+        : table(s->options.num_threads, s->options.max_pending_per_branch,
+                [s](const Violation&) {
+                  s->violation_count.fetch_add(1, std::memory_order_release);
+                  s->sampler.note_violation();
+                }) {}
+    BranchTable table;
+    std::uint64_t reports_popped = 0;  // session-scoped fault-hook index
+    std::uint64_t reports_processed = 0;
+    std::uint64_t dropped_reports = 0;
+    std::uint64_t reports_rejected = 0;
+    std::uint64_t reports_rolled_back = 0;
+    std::uint64_t hooks_fired = 0;
+    std::uint64_t command_seen = 0;
+    /// A session-scoped MonitorStall wedges only this tenant: the shard
+    /// stops draining it and stops bumping its progress counter, so only
+    /// this session's watchdog trips.
+    bool stalled = false;
+    /// Per-report delay hook, tenant-local: defers this tenant's next
+    /// drain visit instead of sleeping the shared shard thread.
+    std::chrono::steady_clock::time_point resume_at{};
+  };
+  std::unordered_map<detail::SessionState*, Tenant> tenants;
+
+  bool tenant_degraded(const detail::SessionState& s) const {
+    return s.health.get() != MonitorHealth::Healthy;
+  }
+
+  bool apply_pop_hooks(Tenant& tenant, detail::SessionState& s,
+                       BranchReport& report);
+  void drain_batch(Tenant& tenant, detail::SessionState& s,
+                   ReportBatch& batch);
+  void drain_rings(Tenant& tenant, detail::SessionState& s, bool discard);
+  void run_command(Tenant& tenant, detail::SessionState& s, int command);
+  void publish(Tenant& tenant, detail::SessionState& s);
+};
+
+/// Session-scoped twin of ShardedMonitor::apply_pop_hooks: indices count
+/// THIS session's reports popped by THIS shard, and every side effect
+/// (health, sampler, counters) lands on this session alone.
+bool MonitorService::Shard::apply_pop_hooks(Tenant& tenant,
+                                            detail::SessionState& s,
+                                            BranchReport& report) {
+  ++tenant.reports_popped;
+  const MonitorFaultHooks& hooks = s.options.fault_hooks;
+  const bool hooks_apply =
+      hooks.shard_filter == MonitorFaultHooks::kAllShards ||
+      hooks.shard_filter == index;
+
+  if (hooks_apply && hooks.drop_report_index != 0 &&
+      tenant.reports_popped == hooks.drop_report_index) {
+    ++tenant.hooks_fired;
+    ++tenant.dropped_reports;
+    if (s.health.raise(MonitorHealth::Degraded)) {
+      s.sampler.note_health_transition();
+    }
+    return false;
+  }
+  if (hooks_apply && hooks.corrupt_report_index != 0 &&
+      tenant.reports_popped == hooks.corrupt_report_index) {
+    ++tenant.hooks_fired;
+    unsigned bit = hooks.corrupt_bit % (8 * sizeof(BranchReport));
+    unsigned char bytes[sizeof(BranchReport)];
+    std::memcpy(bytes, &report, sizeof(BranchReport));
+    bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    std::memcpy(&report, bytes, sizeof(BranchReport));
+  }
+  if (s.options.validate_reports && !report_intact(report)) {
+    ++tenant.reports_rejected;
+    ++tenant.dropped_reports;
+    if (s.health.raise(MonitorHealth::Degraded)) {
+      s.sampler.note_health_transition();
+    }
+    s.sampler.note_anomaly();
+    return false;
+  }
+  if (hooks_apply && hooks.stall_after_reports != 0 &&
+      tenant.reports_popped == hooks.stall_after_reports) {
+    ++tenant.hooks_fired;
+    tenant.stalled = true;  // takes effect at the next drain visit
+  }
+  if (report.thread >= s.options.num_threads) {
+    ++tenant.reports_rejected;
+    ++tenant.dropped_reports;
+    if (s.health.raise(MonitorHealth::Degraded)) {
+      s.sampler.note_health_transition();
+    }
+    s.sampler.note_anomaly();
+    return false;
+  }
+  return true;
+}
+
+void MonitorService::Shard::drain_batch(Tenant& tenant,
+                                        detail::SessionState& s,
+                                        ReportBatch& batch) {
+  for (std::uint32_t i = 0; i < batch.count; ++i) {
+    if (tenant.stalled) {
+      // The stall hook fired on an earlier report (possibly mid-batch,
+      // possibly during a detach drain): nothing past it is ever
+      // processed, no matter which code path is popping. The remainder
+      // surfaces as this session's drops, under its own degraded health.
+      tenant.dropped_reports += batch.count - i;
+      if (s.health.raise(MonitorHealth::Degraded)) {
+        s.sampler.note_health_transition();
+      }
+      return;
+    }
+    BranchReport& report = batch.reports[i];
+    if (!apply_pop_hooks(tenant, s, report)) continue;
+    ++tenant.reports_processed;
+    if (s.options.perform_checks) {
+      tenant.table.process(report, tenant_degraded(s));
+    }
+  }
+  const MonitorFaultHooks& hooks = s.options.fault_hooks;
+  if (hooks.delay_ns_per_report != 0 &&
+      (hooks.shard_filter == MonitorFaultHooks::kAllShards ||
+       hooks.shard_filter == index)) {
+    tenant.resume_at =
+        std::chrono::steady_clock::now() +
+        std::chrono::nanoseconds(hooks.delay_ns_per_report * batch.count);
+  }
+}
+
+void MonitorService::Shard::drain_rings(Tenant& tenant,
+                                        detail::SessionState& s,
+                                        bool discard) {
+  ReportBatch batch;
+  for (unsigned t = 0; t < s.options.num_threads; ++t) {
+    SpscQueue<ReportBatch>& ring = *s.rings[t][index];
+    while (ring.try_pop(batch)) {
+      if (discard) {
+        tenant.dropped_reports += batch.count;
+      } else {
+        drain_batch(tenant, s, batch);
+      }
+      s.queued_reports.fetch_sub(batch.count, std::memory_order_release);
+    }
+  }
+}
+
+void MonitorService::Shard::run_command(Tenant& tenant,
+                                        detail::SessionState& s,
+                                        int command) {
+  ReportBatch batch;
+  if (command == detail::kCmdReset) {
+    // Rollback: discard this session's in-flight timeline on this shard.
+    // Health stays sticky, counters other than the violation list stay.
+    for (unsigned t = 0; t < s.options.num_threads; ++t) {
+      SpscQueue<ReportBatch>& ring = *s.rings[t][index];
+      while (ring.try_pop(batch)) {
+        tenant.reports_rolled_back += batch.count;
+        s.queued_reports.fetch_sub(batch.count, std::memory_order_release);
+      }
+    }
+    tenant.table.clear();
+  } else if (command == detail::kCmdFinalize) {
+    drain_rings(tenant, s, /*discard=*/false);
+    tenant.table.finalize(tenant_degraded(s));
+  } else if (command == detail::kCmdDetach) {
+    // A stalled tenant is wedged by its own injected fault; counting its
+    // undrained reports as drops (under its own degraded health) keeps
+    // the session honest without replaying a faulted timeline. The stall
+    // may also first fire DURING this drain — drain_batch then discards
+    // the remainder — so the health raise comes after the drain.
+    drain_rings(tenant, s, /*discard=*/tenant.stalled);
+    if (tenant.stalled && s.health.raise(MonitorHealth::Degraded)) {
+      s.sampler.note_health_transition();
+    }
+    tenant.table.finalize(tenant_degraded(s));
+    publish(tenant, s);
+  }
+}
+
+void MonitorService::Shard::publish(Tenant& tenant,
+                                    detail::SessionState& s) {
+  detail::ShardResult& r = s.shard_results[index];
+  r.violations = tenant.table.violations();
+  r.reports_processed = tenant.reports_processed;
+  r.instances_checked = tenant.table.instances_checked();
+  r.instances_evicted = tenant.table.instances_evicted();
+  r.instances_skipped = tenant.table.instances_skipped();
+  r.dropped_reports = tenant.dropped_reports;
+  r.reports_rejected = tenant.reports_rejected;
+  r.reports_rolled_back = tenant.reports_rolled_back;
+  r.hooks_fired = tenant.hooks_fired;
+}
+
+void MonitorService::shard_run(Shard& shard) {
+  telemetry::SpanScope span(telemetry::Phase::MonitorCheck,
+                            "service.shard.drain");
+  ReportBatch batch;
+  while (true) {
+    if (registry_version_.load(std::memory_order_acquire) !=
+        shard.snapshot_version) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shard.snapshot = sessions_;
+      shard.snapshot_version =
+          registry_version_.load(std::memory_order_relaxed);
+    }
+    bool drained_any = false;
+    for (auto& sp : shard.snapshot) {
+      detail::SessionState& s = *sp;
+      const std::uint64_t seq = s.cmd_seq.load(std::memory_order_acquire);
+      const bool acked =
+          s.shard_slots[shard.index].command_ack.load(
+              std::memory_order_relaxed) >= seq;
+      if (s.phase.load(std::memory_order_acquire) != detail::kActive &&
+          acked) {
+        // Draining with no pending command (teardown owns the session
+        // until it posts the detach), or detach already executed here.
+        // Never resurrect a tenant slot for such a session.
+        continue;
+      }
+      auto [it, inserted] = shard.tenants.try_emplace(&s, &s);
+      Shard::Tenant& tenant = it->second;
+      if (seq != tenant.command_seen) {
+        const int cmd = s.cmd_kind.load(std::memory_order_acquire);
+        shard.run_command(tenant, s, cmd);
+        tenant.command_seen = seq;
+        s.shard_slots[shard.index].command_ack.store(
+            seq, std::memory_order_release);
+        if (cmd == detail::kCmdDetach) {
+          shard.tenants.erase(it);  // frees this tenant's tables
+          continue;
+        }
+      }
+      if (tenant.stalled) continue;  // frozen: no drain, no progress
+      s.shard_slots[shard.index].progress.fetch_add(
+          1, std::memory_order_release);
+      if (tenant.resume_at.time_since_epoch().count() != 0 &&
+          std::chrono::steady_clock::now() < tenant.resume_at) {
+        continue;  // delay hook: this tenant's visit is deferred
+      }
+      for (unsigned t = 0; t < s.options.num_threads; ++t) {
+        SpscQueue<ReportBatch>& ring = *s.rings[t][shard.index];
+        int burst = 32;
+        while (burst-- > 0 && ring.try_pop(batch)) {
+          drained_any = true;
+          const std::uint32_t count = batch.count;
+          shard.drain_batch(tenant, s, batch);
+          s.queued_reports.fetch_sub(count, std::memory_order_release);
+          if (tenant.stalled) break;
+        }
+        if (tenant.stalled) break;
+      }
+    }
+    if (!drained_any) {
+      if (shards_exit_.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+    }
+  }
+  // Defensive: stop() detaches every registered session first, so this
+  // only fires for state kept alive by a leaked handle. Publish anyway.
+  for (auto& [state, tenant] : shard.tenants) {
+    tenant.table.finalize(shard.tenant_degraded(*state));
+    shard.publish(tenant, *state);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Producer side (runs on the session's program threads).
+// ---------------------------------------------------------------------------
+
+unsigned MonitorService::shard_of(const detail::SessionState& s,
+                                  const BranchReport& report) const {
+  // Keyed by (session, ctx, static_id): a branch of one session lives
+  // wholly in one shard, and two sessions' identical branches may land
+  // on different shards — irrelevant, since their tables are disjoint.
+  return static_cast<unsigned>(
+      support::hash_combine(
+          support::hash_combine(report.ctx_hash, report.static_id), s.id) %
+      num_shards_);
+}
+
+void MonitorService::session_send(detail::SessionState& s,
+                                  const BranchReport& report) {
+  BW_INTERNAL_CHECK(report.thread < s.options.num_threads,
+                    "report from out-of-range thread");
+  detail::ProducerSlot& slot = s.producers[report.thread];
+  slot.in_flight.fetch_add(1, std::memory_order_seq_cst);
+  InFlightGuard guard{slot.in_flight};
+  if (s.phase.load(std::memory_order_seq_cst) != detail::kActive) {
+    slot.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const MonitorHealth now_health = s.health.get();
+  if (now_health == MonitorHealth::Failed) {
+    slot.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (slot.last_health != now_health) {
+    slot.last_health = now_health;
+    flush_open(s, report.thread);
+  }
+  if (s.sampler.active() &&
+      !s.sampler.should_check(report.ctx_hash, report.static_id,
+                              report.iter_hash)) {
+    return;  // instance deterministically sampled out on every thread
+  }
+  telemetry::counter_add(telemetry::Counter::ReportsSent);
+  const unsigned shard = shard_of(s, report);
+  ReportBatch& batch = slot.open[shard];
+  BranchReport& dest = batch.reports[batch.count++];
+  dest = report;
+  if (s.options.validate_reports) seal_report(dest);
+  if (batch.count >= options_.batch_size) {
+    flush_batch(s, report.thread, shard);
+  }
+}
+
+void MonitorService::session_flush(detail::SessionState& s,
+                                   std::uint32_t thread) {
+  BW_INTERNAL_CHECK(thread < s.options.num_threads,
+                    "flush from out-of-range thread");
+  detail::ProducerSlot& slot = s.producers[thread];
+  slot.in_flight.fetch_add(1, std::memory_order_seq_cst);
+  InFlightGuard guard{slot.in_flight};
+  if (s.phase.load(std::memory_order_seq_cst) != detail::kActive) {
+    return;  // teardown owns the open batches from here on
+  }
+  flush_open(s, thread);
+}
+
+void MonitorService::flush_open(detail::SessionState& s,
+                                std::uint32_t thread) {
+  for (unsigned k = 0; k < num_shards_; ++k) {
+    const std::uint32_t pending = s.producers[thread].open[k].count;
+    if (pending == 0) continue;
+    telemetry::record_event(telemetry::EventKind::ShardFlush,
+                            telemetry::Phase::MonitorCheck, thread, k,
+                            pending);
+    flush_batch(s, thread, k);
+  }
+}
+
+/// The per-tenant quota gate, running the generalized backpressure
+/// ladder: claim (CAS), spin, yield, and finally report failure — the
+/// caller then samples down and drops. Only this session's producers
+/// ever wait here; the quota counter is session-private.
+bool MonitorService::acquire_quota(detail::SessionState& s,
+                                   std::uint32_t thread,
+                                   std::uint32_t count) {
+  (void)thread;
+  auto try_claim = [&]() -> bool {
+    std::uint64_t cur = s.queued_reports.load(std::memory_order_relaxed);
+    while (cur + count <= s.quota) {
+      if (s.queued_reports.compare_exchange_weak(cur, cur + count,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed)) {
+        const std::uint64_t now_queued = cur + count;
+        std::uint64_t peak = s.quota_peak.load(std::memory_order_relaxed);
+        while (now_queued > peak &&
+               !s.quota_peak.compare_exchange_weak(
+                   peak, now_queued, std::memory_order_relaxed)) {
+        }
+        return true;
+      }
+    }
+    return false;
+  };
+  if (try_claim()) return true;
+  const BackoffPolicy& policy = options_.backoff;
+  for (std::uint32_t i = 0; i < policy.spins; ++i) {
+    if (try_claim()) return true;
+  }
+  std::uint32_t yielded = 0;
+  while (!policy.bounded || yielded < policy.yields) {
+    std::this_thread::yield();
+    if (try_claim()) return true;
+    ++yielded;
+    if ((yielded & 63) == 0) {
+      if (s.health.get() == MonitorHealth::Failed) return false;
+      if (s.phase.load(std::memory_order_acquire) != detail::kActive) {
+        return false;
+      }
+    }
+  }
+  return false;
+}
+
+void MonitorService::flush_batch(detail::SessionState& s,
+                                 std::uint32_t thread, unsigned shard) {
+  detail::ProducerSlot& slot = s.producers[thread];
+  ReportBatch& batch = slot.open[shard];
+  const std::uint32_t count = batch.count;
+  if (count == 0) return;
+  if (s.health.get() == MonitorHealth::Failed) {
+    slot.dropped.fetch_add(count, std::memory_order_relaxed);
+    batch.count = 0;
+    return;
+  }
+  if (!acquire_quota(s, thread, count)) {
+    // Over quota after the full ladder: the final rungs — sample down,
+    // degrade, drop. All side effects are session-local; a noisy tenant
+    // throttles itself while its neighbors keep full checking.
+    s.reports_throttled.fetch_add(count, std::memory_order_relaxed);
+    if (!slot.throttling) {
+      slot.throttling = true;
+      s.throttle_events.fetch_add(1, std::memory_order_relaxed);
+      telemetry::counter_add(telemetry::Counter::TenantThrottleEvents);
+    }
+    telemetry::counter_add(telemetry::Counter::ReportsThrottled, count);
+    telemetry::record_event(telemetry::EventKind::TenantThrottled,
+                            telemetry::Phase::MonitorCheck, s.id, thread,
+                            count);
+    s.sampler.note_pressure();
+    if (s.health.raise(MonitorHealth::Degraded)) {
+      s.sampler.note_health_transition();
+    }
+    batch.count = 0;
+    return;
+  }
+  slot.throttling = false;
+  SpscQueue<ReportBatch>& queue = *s.rings[thread][shard];
+  if (queue.try_push(batch)) {
+    telemetry::counter_add(telemetry::Counter::BatchesFlushed);
+    telemetry::histogram_record(telemetry::Histogram::BatchFill, count);
+    batch.count = 0;
+    return;
+  }
+  telemetry::counter_add(telemetry::Counter::QueueFullEvents);
+  telemetry::record_event(telemetry::EventKind::QueueHighWater,
+                          telemetry::Phase::MonitorCheck, thread, shard);
+  s.sampler.note_pressure();
+  const BackoffPolicy& policy = options_.backoff;
+  for (std::uint32_t i = 0; i < policy.spins; ++i) {
+    if (queue.try_push(batch)) {
+      telemetry::counter_add(telemetry::Counter::BatchesFlushed);
+      telemetry::histogram_record(telemetry::Histogram::BatchFill, count);
+      batch.count = 0;
+      return;
+    }
+  }
+  std::uint32_t yielded = 0;
+  while (!policy.bounded || yielded < policy.yields) {
+    std::this_thread::yield();
+    if (queue.try_push(batch)) {
+      telemetry::counter_add(telemetry::Counter::BatchesFlushed);
+      telemetry::histogram_record(telemetry::Histogram::BatchFill, count);
+      batch.count = 0;
+      return;
+    }
+    ++yielded;
+    if (policy.bounded && (yielded & 63) == 0 &&
+        s.health.get() == MonitorHealth::Failed) {
+      break;
+    }
+  }
+  s.queued_reports.fetch_sub(count, std::memory_order_release);
+  give_up(s, thread, shard, count);
+  batch.count = 0;
+}
+
+/// As ShardedMonitor::give_up, but the watchdog runs against THIS
+/// session's progress counter on the refusing shard: a tenant frozen by
+/// its own stall fault trips only its own Failed.
+void MonitorService::give_up(detail::SessionState& s, std::uint32_t thread,
+                             unsigned shard, std::uint32_t lost) {
+  detail::ProducerSlot& slot = s.producers[thread];
+  slot.dropped.fetch_add(lost, std::memory_order_relaxed);
+  telemetry::counter_add(telemetry::Counter::ReportsDropped, lost);
+  if (s.health.raise(MonitorHealth::Degraded)) {
+    s.sampler.note_health_transition();
+  }
+  if (!options_.watchdog.enabled) return;
+  const std::uint64_t beat =
+      s.shard_slots[shard].progress.load(std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  if (beat != slot.last_progress[shard]) {
+    slot.last_progress[shard] = beat;
+    slot.stall_since[shard] = now;
+    return;
+  }
+  const auto stalled = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           now - slot.stall_since[shard])
+                           .count();
+  if (stalled >= 0 &&
+      static_cast<std::uint64_t>(stalled) >=
+          options_.watchdog.stall_timeout_ns) {
+    if (s.health.raise(MonitorHealth::Failed)) {
+      s.sampler.note_health_transition();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session lifecycle and recovery commands.
+// ---------------------------------------------------------------------------
+
+std::uint64_t MonitorService::command_deadline_ns() const {
+  const std::uint64_t stall = options_.watchdog.enabled
+                                  ? options_.watchdog.stall_timeout_ns
+                                  : 250'000'000ull;
+  return stall * 2 + 50'000'000ull;
+}
+
+bool MonitorService::post_session_command(detail::SessionState& s,
+                                          int command) {
+  if (!started_.load(std::memory_order_acquire)) return false;
+  if (shards_exit_.load(std::memory_order_acquire)) return false;
+  if (s.phase.load(std::memory_order_acquire) != detail::kActive) {
+    return false;
+  }
+  if (s.health.get() == MonitorHealth::Failed) return false;
+  s.cmd_kind.store(command, std::memory_order_relaxed);
+  const std::uint64_t seq =
+      s.cmd_seq.fetch_add(1, std::memory_order_release) + 1;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(command_deadline_ns());
+  for (unsigned k = 0; k < num_shards_; ++k) {
+    while (s.shard_slots[k].command_ack.load(std::memory_order_acquire) <
+           seq) {
+      if (s.health.get() == MonitorHealth::Failed) return false;
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::yield();
+    }
+  }
+  return true;
+}
+
+bool MonitorService::session_quiesce(detail::SessionState& s) {
+  if (!started_.load(std::memory_order_acquire)) return true;
+  if (s.phase.load(std::memory_order_acquire) != detail::kActive) {
+    return false;
+  }
+  // queued_reports is decremented only AFTER a batch is fully filed, so
+  // zero means every pushed report of this session has been processed.
+  // A tenant frozen by its own stall fault never drains -> deadline.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(command_deadline_ns());
+  while (s.queued_reports.load(std::memory_order_acquire) != 0) {
+    if (s.health.get() == MonitorHealth::Failed) return false;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+bool MonitorService::session_reset_epoch(detail::SessionState& s) {
+  if (!post_session_command(s, detail::kCmdReset)) return false;
+  // Shards discarded this session's in-ring reports and tables; now
+  // discard what its producers still hold open and the detection flag.
+  // Safe: this session's producers are quiescent by the recovery
+  // contract (neighbor sessions keep running; their state is disjoint).
+  for (detail::ProducerSlot& slot : s.producers) {
+    for (ReportBatch& batch : slot.open) {
+      s.producer_reports_rolled_back += batch.count;
+      batch.count = 0;
+    }
+  }
+  s.violation_count.store(0, std::memory_order_release);
+  return true;
+}
+
+void MonitorService::teardown(
+    const std::shared_ptr<detail::SessionState>& state) {
+  detail::SessionState& s = *state;
+  int expected = detail::kActive;
+  if (!s.phase.compare_exchange_strong(expected, detail::kDraining,
+                                       std::memory_order_seq_cst)) {
+    // A concurrent close()/stop() won the race; wait for it to finish so
+    // stats()/violations() are valid on return.
+    while (s.phase.load(std::memory_order_acquire) != detail::kDetached) {
+      std::this_thread::yield();
+    }
+    return;
+  }
+  // Dekker wait, paired with the seq_cst in_flight bump in
+  // session_send/session_flush: once this clears, no producer call will
+  // touch the open batches again.
+  for (detail::ProducerSlot& slot : s.producers) {
+    while (slot.in_flight.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+  }
+  for (unsigned t = 0; t < s.options.num_threads; ++t) flush_open(s, t);
+  // Broadcast the detach; every shard drains (or, if its tenant slot is
+  // stalled, discards) this session's rings, finalizes its table, and
+  // publishes its shard result before acking.
+  s.cmd_kind.store(detail::kCmdDetach, std::memory_order_relaxed);
+  const std::uint64_t seq =
+      s.cmd_seq.fetch_add(1, std::memory_order_release) + 1;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(command_deadline_ns());
+  std::vector<bool> acked(num_shards_, false);
+  bool all_acked = true;
+  for (unsigned k = 0; k < num_shards_; ++k) {
+    while (s.shard_slots[k].command_ack.load(std::memory_order_acquire) <
+           seq) {
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      std::this_thread::yield();
+    }
+    acked[k] =
+        s.shard_slots[k].command_ack.load(std::memory_order_acquire) >= seq;
+    all_acked = all_acked && acked[k];
+  }
+  if (!all_acked) {
+    // A shard thread is truly wedged (session stalls never wedge the
+    // shard). Merge only what was published; the session is Failed.
+    s.health.raise(MonitorHealth::Failed);
+    for (unsigned k = 0; k < num_shards_; ++k) {
+      if (!acked[k]) s.shard_results[k] = detail::ShardResult{};
+    }
+  }
+  merge_session_results(s);
+  s.phase.store(detail::kDetached, std::memory_order_release);
+  std::size_t active_now = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), state),
+                    sessions_.end());
+    ++sessions_evicted_;
+    registry_version_.fetch_add(1, std::memory_order_release);
+    active_now = sessions_.size();
+  }
+  telemetry::gauge_set(telemetry::Gauge::ActiveSessions, active_now);
+  telemetry::counter_add(telemetry::Counter::SessionsEvicted);
+  telemetry::record_event(telemetry::EventKind::SessionEvicted,
+                          telemetry::Phase::MonitorCheck, s.id,
+                          s.final_stats.violations,
+                          s.final_stats.dropped_reports);
+}
+
+// ---------------------------------------------------------------------------
+// Service lifecycle.
+// ---------------------------------------------------------------------------
+
+MonitorService::MonitorService(MonitorServiceOptions options)
+    : options_(options) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.batch_size == 0) options_.batch_size = 1;
+  if (options_.batch_size > ReportBatch::kMax) {
+    options_.batch_size = ReportBatch::kMax;
+  }
+  if (options_.batch_queue_capacity == 0) options_.batch_queue_capacity = 1;
+  if (options_.max_sessions == 0) options_.max_sessions = 1;
+  num_shards_ = options_.num_shards;
+  shards_.reserve(num_shards_);
+  for (unsigned k = 0; k < num_shards_; ++k) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = k;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+MonitorService::~MonitorService() { stop(); }
+
+void MonitorService::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([this, s] { shard_run(*s); });
+  }
+}
+
+void MonitorService::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    for (auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+    return;
+  }
+  // Detach every remaining session first (their handles stay valid and
+  // readable), then signal the shard threads out.
+  std::vector<std::shared_ptr<detail::SessionState>> remaining;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    remaining = sessions_;
+  }
+  for (auto& state : remaining) teardown(state);
+  shards_exit_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+MonitorService::Admission MonitorService::admit(
+    const SessionOptions& options) {
+  Admission result;
+  std::shared_ptr<detail::SessionState> state;
+  std::size_t active_now = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_.load(std::memory_order_relaxed) ||
+        stopping_.load(std::memory_order_relaxed)) {
+      result.error = AdmitError::ServiceStopped;
+    } else if (options.num_threads == 0 ||
+               options.max_pending_per_branch == 0) {
+      // A config that can never be valid outranks a transiently-full
+      // table: the caller should fix the request, not retry it.
+      result.error = AdmitError::BadConfig;
+    } else if (sessions_.size() >= options_.max_sessions) {
+      result.error = AdmitError::TableFull;
+    } else {
+      const std::uint64_t quota = options.report_quota != 0
+                                      ? options.report_quota
+                                      : options_.default_report_quota;
+      state = std::make_shared<detail::SessionState>(
+          next_session_id_++, options, quota, num_shards_,
+          options_.batch_queue_capacity);
+      sessions_.push_back(state);
+      ++sessions_admitted_;
+      registry_version_.fetch_add(1, std::memory_order_release);
+      active_now = sessions_.size();
+    }
+    if (!state) ++sessions_rejected_;
+  }
+  if (!state) {
+    telemetry::counter_add(telemetry::Counter::SessionsRejected);
+    return result;
+  }
+  telemetry::gauge_set(telemetry::Gauge::ActiveSessions, active_now);
+  telemetry::counter_add(telemetry::Counter::SessionsAdmitted);
+  telemetry::record_event(telemetry::EventKind::SessionAdmitted,
+                          telemetry::Phase::MonitorCheck, state->id,
+                          options.num_threads, state->quota);
+  result.session.reset(new MonitorSession(this, std::move(state)));
+  return result;
+}
+
+ServiceStats MonitorService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats out;
+  out.sessions_admitted = sessions_admitted_;
+  out.sessions_rejected = sessions_rejected_;
+  out.sessions_evicted = sessions_evicted_;
+  out.active_sessions = sessions_.size();
+  return out;
+}
+
+std::size_t MonitorService::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+// ---------------------------------------------------------------------------
+// MonitorSession: the per-tenant BranchSink handle.
+// ---------------------------------------------------------------------------
+
+MonitorSession::MonitorSession(MonitorService* service,
+                               std::shared_ptr<detail::SessionState> state)
+    : service_(service), state_(std::move(state)) {}
+
+MonitorSession::~MonitorSession() { close(); }
+
+void MonitorSession::send(const BranchReport& report) {
+  service_->session_send(*state_, report);
+}
+
+void MonitorSession::flush(std::uint32_t thread) {
+  service_->session_flush(*state_, thread);
+}
+
+bool MonitorSession::violation_detected() const {
+  return state_->violation_count.load(std::memory_order_acquire) != 0;
+}
+
+MonitorHealth MonitorSession::health() const { return state_->health.get(); }
+
+SamplingController* MonitorSession::sampler() {
+  return state_->sampler.active() ? &state_->sampler : nullptr;
+}
+
+bool MonitorSession::quiesce() {
+  return service_->session_quiesce(*state_);
+}
+
+bool MonitorSession::finalize_section() {
+  return service_->post_session_command(*state_, detail::kCmdFinalize);
+}
+
+bool MonitorSession::reset_epoch() {
+  return service_->session_reset_epoch(*state_);
+}
+
+void MonitorSession::close() { service_->teardown(state_); }
+
+SessionId MonitorSession::id() const { return state_->id; }
+
+unsigned MonitorSession::num_threads() const {
+  return state_->options.num_threads;
+}
+
+const std::vector<Violation>& MonitorSession::violations() const {
+  return state_->final_violations;
+}
+
+MonitorStats MonitorSession::stats() const { return state_->final_stats; }
+
+}  // namespace bw::runtime

@@ -12,6 +12,13 @@ namespace {
 std::uint64_t level1_key(std::uint64_t ctx_hash, std::uint32_t static_id) {
   return support::hash_combine(ctx_hash, static_id);
 }
+
+/// Decrements a ProducerSlot in-flight counter on every exit path of the
+/// producer API (send/flush have several early returns).
+struct InFlightGuard {
+  std::atomic<std::uint32_t>& count;
+  ~InFlightGuard() { count.fetch_sub(1, std::memory_order_release); }
+};
 }  // namespace
 
 ShardedMonitor::ShardedMonitor(unsigned num_threads,
@@ -27,7 +34,12 @@ ShardedMonitor::ShardedMonitor(unsigned num_threads,
   }
   shards_.reserve(options_.num_shards);
   for (unsigned s = 0; s < options_.num_shards; ++s) {
-    auto shard = std::make_unique<Shard>();
+    auto shard = std::make_unique<Shard>(
+        num_threads, options_.max_pending_per_branch,
+        [this](const Violation&) {
+          violation_count_.fetch_add(1, std::memory_order_release);
+          sampler_.note_violation();
+        });
     shard->index = s;
     shard->queues.reserve(num_threads);
     for (unsigned t = 0; t < num_threads; ++t) {
@@ -63,20 +75,30 @@ void ShardedMonitor::stop() {
     }
     return;
   }
-  // Producers have quiesced by contract; push any batches the VM (or a
-  // test driving send() directly) left open so no report is silently
-  // stranded on the producer side. This must happen BEFORE the stop
-  // signal: a shard only exits once stopping_ is set AND its rings are
-  // empty, so batches flushed here are still drained.
-  for (unsigned t = 0; t < num_threads_; ++t) flush(t);
+  // Producers need not have quiesced: stop_requested_ is now latched
+  // (seq_cst, via the CAS above), so wait for every in-flight
+  // send()/flush() to retire. A producer call that raced the latch
+  // either completed its mutation of `open` before this wait returns or
+  // saw the latch and bailed — the Dekker pairing with the seq_cst
+  // fetch_add in send()/flush() guarantees one of the two.
+  for (ProducerSlot& slot : producers_) {
+    while (slot.in_flight.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+  }
+  // Now push any batches left open so no report is silently stranded on
+  // the producer side. This must happen BEFORE the stop signal: a shard
+  // only exits once stopping_ is set AND its rings are empty, so
+  // batches flushed here are still drained.
+  for (unsigned t = 0; t < num_threads_; ++t) flush_open(t);
   stopping_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
   violations_.clear();
   for (auto& shard : shards_) {
-    violations_.insert(violations_.end(), shard->violations.begin(),
-                       shard->violations.end());
+    const std::vector<Violation>& sv = shard->table.violations();
+    violations_.insert(violations_.end(), sv.begin(), sv.end());
   }
 }
 
@@ -88,12 +110,20 @@ unsigned ShardedMonitor::shard_of(const BranchReport& report) const {
 void ShardedMonitor::send(const BranchReport& report) {
   BW_INTERNAL_CHECK(report.thread < num_threads_,
                     "report from out-of-range thread");
-  const MonitorHealth now_health = health_.get();
-  if (now_health == MonitorHealth::Failed) {
-    producers_[report.thread].dropped.fetch_add(1, std::memory_order_relaxed);
+  ProducerSlot& slot = producers_[report.thread];
+  slot.in_flight.fetch_add(1, std::memory_order_seq_cst);
+  InFlightGuard guard{slot.in_flight};
+  if (stop_requested_.load(std::memory_order_seq_cst)) {
+    // A send that raced stop(): the fabric is tearing down, so the
+    // report can no longer be filed. Count it like any bounded drop.
+    slot.dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  ProducerSlot& slot = producers_[report.thread];
+  const MonitorHealth now_health = health_.get();
+  if (now_health == MonitorHealth::Failed) {
+    slot.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (slot.last_health != now_health) {
     // Health transition: push everything accumulated so far, so reports
     // sent while Healthy do not sit in half-full batches once the monitor
@@ -117,6 +147,20 @@ void ShardedMonitor::send(const BranchReport& report) {
 
 void ShardedMonitor::flush(std::uint32_t thread) {
   BW_INTERNAL_CHECK(thread < num_threads_, "flush from out-of-range thread");
+  ProducerSlot& slot = producers_[thread];
+  slot.in_flight.fetch_add(1, std::memory_order_seq_cst);
+  InFlightGuard guard{slot.in_flight};
+  if (stop_requested_.load(std::memory_order_seq_cst)) {
+    // stop() owns the open batches from here on; it flushes them itself.
+    return;
+  }
+  flush_open(thread);
+}
+
+/// The body of flush(), without the stop guard: called by flush() under
+/// its in-flight guard and by stop() itself once every producer call has
+/// retired (at which point stop() is the sole owner of the open batches).
+void ShardedMonitor::flush_open(std::uint32_t thread) {
   for (unsigned s = 0; s < shards_.size(); ++s) {
     const std::uint32_t pending = producers_[thread].open[s].count;
     if (pending == 0) continue;
@@ -269,8 +313,6 @@ void ShardedMonitor::run_shard_command(Shard& shard, int command) {
       while (queue->try_pop(batch)) shard.reports_rolled_back += batch.count;
     }
     shard.table.clear();
-    shard.key_debug.clear();
-    shard.violations.clear();
   } else if (command == kCommandFinalize) {
     // Mid-run residual check: drain fully, then run the end-of-section
     // pass on this shard's key range without stopping the fabric.
@@ -449,117 +491,25 @@ bool ShardedMonitor::apply_pop_hooks(Shard& shard, BranchReport& report) {
   return true;
 }
 
-ShardedMonitor::Instance& ShardedMonitor::instance_for(
-    Shard& shard, const BranchReport& report) {
-  std::uint64_t key1 = level1_key(report.ctx_hash, report.static_id);
-  Branch& branch = shard.table[key1];
-  shard.key_debug.emplace(key1,
-                          std::make_pair(report.static_id, report.ctx_hash));
-  auto [it, inserted] = branch.instances.try_emplace(report.iter_hash);
-  Instance& inst = it->second;
-  if (inserted) {
-    inst.observations.resize(num_threads_);
-    for (unsigned t = 0; t < num_threads_; ++t) {
-      inst.observations[t].thread = t;
-    }
-    inst.check = report.check;
-    inst.iter_hash = report.iter_hash;
-    inst.sequence = shard.next_sequence++;
-    maybe_evict(shard, key1, report.static_id, report.ctx_hash);
-  }
-  return inst;
-}
-
 void ShardedMonitor::process(Shard& shard, const BranchReport& report) {
   if (!options_.perform_checks) return;  // drain-only mode
-  Instance& inst = instance_for(shard, report);
-  ThreadObservation& obs = inst.observations[report.thread];
-  if (report.kind == ReportKind::Condition) {
-    obs.has_value = true;
-    obs.value = report.value;
-  } else {
-    if (!obs.has_outcome) ++inst.outcomes_reported;
-    obs.has_outcome = true;
-    obs.outcome = report.outcome;
-    if (inst.outcomes_reported == num_threads_) {
-      check_instance_now(shard, report.static_id, report.ctx_hash, inst);
-      std::uint64_t key1 = level1_key(report.ctx_hash, report.static_id);
-      shard.table[key1].instances.erase(report.iter_hash);
-    }
-  }
-}
-
-void ShardedMonitor::check_instance_now(Shard& shard, std::uint32_t static_id,
-                                        std::uint64_t ctx_hash,
-                                        const Instance& instance) {
-  ++shard.instances_checked;
-  std::optional<std::uint32_t> suspect =
-      check_instance(instance.check, instance.observations);
-  if (!suspect.has_value()) return;
-  Violation v;
-  v.static_id = static_id;
-  v.ctx_hash = ctx_hash;
-  v.iter_hash = instance.iter_hash;
-  v.check = instance.check;
-  v.suspect_thread = *suspect;
-  shard.violations.push_back(v);
-  telemetry::counter_add(telemetry::Counter::Violations);
-  telemetry::record_event(telemetry::EventKind::Violation,
-                          telemetry::Phase::MonitorCheck, v.static_id,
-                          v.ctx_hash, v.iter_hash);
-  violation_count_.fetch_add(1, std::memory_order_release);
-  sampler_.note_violation();
-}
-
-void ShardedMonitor::maybe_evict(Shard& shard, std::uint64_t key1,
-                                 std::uint32_t static_id,
-                                 std::uint64_t ctx_hash) {
-  Branch& branch = shard.table[key1];
-  if (branch.instances.size() <= options_.max_pending_per_branch) return;
-  auto oldest = branch.instances.begin();
-  for (auto it = branch.instances.begin(); it != branch.instances.end();
-       ++it) {
-    if (it->second.sequence < oldest->second.sequence) oldest = it;
-  }
-  if (oldest->second.outcomes_reported >= 2) {
-    if (degraded()) {
-      ++shard.instances_skipped;
-    } else {
-      check_instance_now(shard, static_id, ctx_hash, oldest->second);
-    }
-  }
-  ++shard.instances_evicted;
-  branch.instances.erase(oldest);
+  shard.table.process(report, degraded());
 }
 
 void ShardedMonitor::finalize_shard(Shard& shard) {
   telemetry::SpanScope span(telemetry::Phase::MonitorCheck,
                             "monitor.shard.finalize");
-  const bool unverifiable = degraded();
-  for (auto& [key1, branch] : shard.table) {
-    auto debug = shard.key_debug[key1];
-    for (auto& [iter_hash, inst] : branch.instances) {
-      (void)iter_hash;
-      if (inst.outcomes_reported < 2) continue;
-      if (unverifiable && inst.outcomes_reported < num_threads_) {
-        ++shard.instances_skipped;
-        continue;
-      }
-      check_instance_now(shard, debug.first, debug.second, inst);
-    }
-    branch.instances.clear();
-  }
-  shard.table.clear();
+  shard.table.finalize(degraded());
 }
 
 MonitorStats ShardedMonitor::stats() const {
   MonitorStats merged;
   for (const auto& shard : shards_) {
     merged.reports_processed += shard->reports_processed;
-    merged.instances_checked += shard->instances_checked;
-    merged.instances_evicted += shard->instances_evicted;
-    merged.instances_skipped += shard->instances_skipped;
-    merged.violations += shard->violations.size();
+    merged.instances_checked += shard->table.instances_checked();
+    merged.instances_evicted += shard->table.instances_evicted();
+    merged.instances_skipped += shard->table.instances_skipped();
+    merged.violations += shard->table.violations().size();
     merged.dropped_reports += shard->dropped_reports;
     merged.reports_rejected += shard->reports_rejected;
     merged.reports_rolled_back += shard->reports_rolled_back;

@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/branch_table.h"
 #include "runtime/checker.h"
 #include "runtime/monitor.h"  // MonitorStats (shared with the legacy path)
 #include "runtime/monitor_interface.h"
@@ -109,8 +110,12 @@ class ShardedMonitor : public BranchSink {
   void start();
 
   /// Flush residual batches, drain everything, finalize each shard, and
-  /// join. Producers must have quiesced (same contract as Monitor::stop).
-  /// Idempotent.
+  /// join. Idempotent. Unlike Monitor::stop, producers need NOT have
+  /// quiesced: a send()/flush() racing with stop() either completes
+  /// before the stop drains (its reports are filed) or observes the stop
+  /// latch and is counted as a drop — never a torn batch. stop() waits
+  /// for every in-flight producer call to retire before it touches the
+  /// producer-side open batches (see ProducerSlot::in_flight).
   void stop();
 
   /// Producer API (thread `report.thread`): append to that producer's
@@ -162,29 +167,17 @@ class ShardedMonitor : public BranchSink {
   }
 
  private:
-  // The per-branch state machine is intentionally identical to
-  // Monitor::Instance/Branch — the differential harness depends on it.
-  struct Instance {
-    std::vector<ThreadObservation> observations;  // indexed by thread id
-    unsigned outcomes_reported = 0;
-    CheckCode check = CheckCode::SharedOutcome;
-    std::uint64_t iter_hash = 0;
-    std::uint64_t sequence = 0;  // per-shard insertion order, for eviction
-  };
-  struct Branch {
-    std::unordered_map<std::uint64_t, Instance> instances;  // by iter hash
-  };
-
   /// One checker shard: N incoming batch rings (one per producer), its
-  /// own two-level table, and consumer-owned counters folded into the
-  /// aggregate MonitorStats after stop().
+  /// own BranchTable (the shared per-branch state machine; the
+  /// differential harness depends on its semantics), and consumer-owned
+  /// counters folded into the aggregate MonitorStats after stop().
   struct Shard {
+    Shard(unsigned num_threads, std::size_t max_pending,
+          BranchTable::ViolationHook hook)
+        : table(num_threads, max_pending, std::move(hook)) {}
     unsigned index = 0;
     std::vector<std::unique_ptr<SpscQueue<ReportBatch>>> queues;
-    std::unordered_map<std::uint64_t, Branch> table;
-    std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>>
-        key_debug;  // level1 key -> (static_id, ctx) for violation reports
-    std::uint64_t next_sequence = 0;
+    BranchTable table;
     std::uint64_t reports_popped = 0;  // this shard's fault-hook index base
     std::thread worker;
     /// Bumped once per drain cycle; read by producers' watchdog.
@@ -198,13 +191,9 @@ class ShardedMonitor : public BranchSink {
     std::uint64_t reports_rolled_back = 0;
     // Consumer-owned stats (read by stats() only after stop()).
     std::uint64_t reports_processed = 0;
-    std::uint64_t instances_checked = 0;
-    std::uint64_t instances_evicted = 0;
-    std::uint64_t instances_skipped = 0;
     std::uint64_t dropped_reports = 0;
     std::uint64_t reports_rejected = 0;
     std::uint64_t hooks_fired = 0;
-    std::vector<Violation> violations;
   };
 
   /// Producer-thread-private batching and watchdog state. The drop
@@ -212,6 +201,13 @@ class ShardedMonitor : public BranchSink {
   /// the producer thread. Cacheline-aligned so producers never share.
   struct alignas(64) ProducerSlot {
     std::atomic<std::uint64_t> dropped{0};
+    /// Dekker-style stop guard: incremented (seq_cst) on entry to
+    /// send()/flush(), decremented on exit. stop() latches
+    /// stop_requested_ then waits for zero before touching `open`, so a
+    /// racing producer call either retires before the stop-side flush or
+    /// observes the latch and bails (counted as drops) — the open
+    /// batches are never mutated from two threads.
+    std::atomic<std::uint32_t> in_flight{0};
     std::vector<ReportBatch> open;  // one open batch per shard
     MonitorHealth last_health = MonitorHealth::Healthy;
     // Per-shard watchdog state for this producer's give-up path.
@@ -222,6 +218,7 @@ class ShardedMonitor : public BranchSink {
   enum Command { kCommandNone = 0, kCommandReset = 1, kCommandFinalize = 2 };
 
   unsigned shard_of(const BranchReport& report) const;
+  void flush_open(std::uint32_t thread);  // no stop guard; see stop()
   void flush_batch(std::uint32_t thread, unsigned shard);
   void give_up(std::uint32_t thread, unsigned shard, std::uint32_t lost);
   void run_shard_command(Shard& shard, int command);
@@ -232,11 +229,6 @@ class ShardedMonitor : public BranchSink {
   void drain_batch(Shard& shard, ReportBatch& batch);
   bool apply_pop_hooks(Shard& shard, BranchReport& report);
   void process(Shard& shard, const BranchReport& report);
-  Instance& instance_for(Shard& shard, const BranchReport& report);
-  void check_instance_now(Shard& shard, std::uint32_t static_id,
-                          std::uint64_t ctx_hash, const Instance& instance);
-  void maybe_evict(Shard& shard, std::uint64_t key1, std::uint32_t static_id,
-                   std::uint64_t ctx_hash);
   void finalize_shard(Shard& shard);
   bool degraded() const { return health_.get() != MonitorHealth::Healthy; }
 

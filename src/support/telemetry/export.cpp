@@ -49,6 +49,10 @@ ArgNames arg_names(EventKind kind) {
       return {"index", "verdict", "worker"};
     case EventKind::SamplingTransition:
       return {"from_rate", "to_rate", "reason"};
+    case EventKind::SessionAdmitted: return {"session", "threads", "quota"};
+    case EventKind::SessionEvicted:
+      return {"session", "violations", "dropped"};
+    case EventKind::TenantThrottled: return {"session", "thread", "reports"};
     case EventKind::kCount: break;
   }
   return {"a0", "a1", "a2"};

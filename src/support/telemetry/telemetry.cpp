@@ -40,6 +40,12 @@ const char* to_string(Counter counter) {
     case Counter::SamplingSnapBacks: return "monitor.sampling_snap_backs";
     case Counter::DecodeCacheHits: return "vm.decode_cache_hits";
     case Counter::DecodeCacheMisses: return "vm.decode_cache_misses";
+    case Counter::SessionsAdmitted: return "service.sessions_admitted";
+    case Counter::SessionsRejected: return "service.sessions_rejected";
+    case Counter::SessionsEvicted: return "service.sessions_evicted";
+    case Counter::ReportsThrottled: return "service.reports_throttled";
+    case Counter::TenantThrottleEvents:
+      return "service.tenant_throttle_events";
     case Counter::kCount: break;
   }
   return "<bad-counter>";
@@ -62,6 +68,7 @@ const char* to_string(Gauge gauge) {
       return "fault.campaign_worker_util_pct";
     case Gauge::SamplingRate: return "monitor.sampling_rate";
     case Gauge::ExecTier: return "vm.exec_tier";
+    case Gauge::ActiveSessions: return "service.active_sessions";
     case Gauge::kCount: break;
   }
   return "<bad-gauge>";
@@ -102,6 +109,9 @@ const char* to_string(EventKind kind) {
     case EventKind::FaultOutcome: return "fault_outcome";
     case EventKind::CampaignInjection: return "campaign_injection";
     case EventKind::SamplingTransition: return "sampling_transition";
+    case EventKind::SessionAdmitted: return "session_admitted";
+    case EventKind::SessionEvicted: return "session_evicted";
+    case EventKind::TenantThrottled: return "tenant_throttled";
     case EventKind::kCount: break;
   }
   return "<bad-event-kind>";

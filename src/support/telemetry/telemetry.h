@@ -79,6 +79,12 @@ enum class Counter : std::uint16_t {
   // Execution-tier decode cache (vm/dispatch.cpp).
   DecodeCacheHits,
   DecodeCacheMisses,
+  // Multi-tenant monitor service (runtime/monitor_service.h).
+  SessionsAdmitted,
+  SessionsRejected,   // admission refused: table full / stopped / bad config
+  SessionsEvicted,    // sessions torn down (drained and detached)
+  ReportsThrottled,   // reports dropped because a tenant was over quota
+  TenantThrottleEvents,  // distinct over-quota episodes (edge-counted)
   kCount,
 };
 
@@ -103,6 +109,8 @@ enum class Gauge : std::uint16_t {
   // Last execution's dispatcher (vm::ExecTier numeric value; resolved,
   // never Auto).
   ExecTier,
+  // Multi-tenant monitor service: live session count (admit/teardown).
+  ActiveSessions,
   kCount,
 };
 
@@ -136,6 +144,9 @@ enum class EventKind : std::uint8_t {
   FaultOutcome,      // a0=outcome(FaultOutcomeCode) a1=thread a2=target
   CampaignInjection,  // a0=plan index a1=verdict     a2=worker id
   SamplingTransition,  // a0=from_rate a1=to_rate a2=reason(SamplingTrigger)
+  SessionAdmitted,   // a0=session    a1=threads     a2=quota
+  SessionEvicted,    // a0=session    a1=violations  a2=dropped
+  TenantThrottled,   // a0=session    a1=thread      a2=reports lost
   kCount,
 };
 

@@ -20,6 +20,7 @@
 
 #include <string>
 
+#include "benchmarks/registry.h"
 #include "fault/campaign.h"
 #include "kernel_generator.h"
 #include "pipeline/pipeline.h"
@@ -71,5 +72,39 @@ TEST_P(FuzzNoFalsePositives, CleanRunNeverFlagged) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzNoFalsePositives,
                          ::testing::Range<std::uint64_t>(1, 41));
+
+// The request-processing service kernels (auth_check, dispatch) join the
+// fuzz lane alongside the generated programs: they are the workloads the
+// multi-tenant service hosts, so the clean-run guarantee must hold for
+// them on both monitor backends too.
+class ServiceKernelNoFalsePositives
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ServiceKernelNoFalsePositives, CleanRunNeverFlagged) {
+  const benchmarks::Benchmark* bench =
+      benchmarks::find_benchmark(GetParam());
+  ASSERT_NE(bench, nullptr);
+
+  pipeline::CompiledProgram program;
+  ASSERT_NO_THROW(program = pipeline::protect_program(bench->source));
+
+  for (unsigned shards : {0u, 2u}) {  // legacy backend, then sharded
+    pipeline::ExecutionConfig config;
+    config.num_threads = 4;
+    config.monitor_shards = shards;
+    fault::CleanRunResult clean =
+        fault::run_clean_campaign(program, config, /*runs=*/2, /*workers=*/2);
+    ASSERT_EQ(clean.runs, 2) << bench->name << " shards=" << shards;
+    ASSERT_EQ(clean.failures, 0) << bench->name << " shards=" << shards;
+    EXPECT_EQ(clean.violations, 0)
+        << "FALSE POSITIVE on service kernel " << bench->name
+        << " (shards=" << shards << ")";
+    EXPECT_EQ(clean.failed_health, 0) << bench->name;
+    EXPECT_EQ(clean.dropped, 0u) << bench->name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServiceKernels, ServiceKernelNoFalsePositives,
+                         ::testing::Values("auth_check", "dispatch"));
 
 }  // namespace

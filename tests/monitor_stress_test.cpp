@@ -8,10 +8,14 @@
 // backoff) and health must degrade exactly like the legacy monitor.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <thread>
+#include <tuple>
 #include <vector>
 
+#include "runtime/monitor_service.h"
 #include "runtime/sharded_monitor.h"
 #include "support/prng.h"
 
@@ -47,8 +51,10 @@ BranchReport consistent_report(std::uint32_t thread, std::uint32_t branch,
 /// Drive `threads` producers through `monitor`, each sending the same
 /// consistent schedule of `branches x iters` reports in its own order,
 /// flushing at randomized points (seeded per thread, so TSan sees many
-/// distinct interleavings across runs of the suite).
-void run_producers(ShardedMonitor& monitor, unsigned threads,
+/// distinct interleavings across runs of the suite). Works against any
+/// BranchSink-shaped backend (ShardedMonitor, MonitorSession).
+template <typename Sink>
+void run_producers(Sink& monitor, unsigned threads,
                    std::uint32_t branches, std::uint64_t iters,
                    std::uint64_t seed, bool with_conditions = true) {
   std::vector<std::thread> producers;
@@ -208,6 +214,229 @@ TEST(ShardedMonitorStress, StopFlushesResidualOpenBatches) {
   EXPECT_EQ(stats.reports_processed, 8u);
   EXPECT_EQ(stats.instances_checked, 4u);
   EXPECT_TRUE(monitor.violations().empty());
+}
+
+// Regression for the stop()-vs-flush race: stop() used to assume
+// producers had quiesced, so a concurrent flush could touch the open
+// batches stop() was draining. Now stop() latches, Dekker-waits for
+// in-flight producer calls, and only then flushes residues; producer
+// calls arriving after the latch become counted drops. Producers here
+// keep sending/flushing THROUGH the stop with no handshake at all; every
+// report must end up processed or counted dropped, never lost or raced.
+TEST(ShardedMonitorStress, StopWhileProducersStillFlushing) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kReports = 20'000;
+  ShardedMonitorOptions options;
+  options.num_shards = 2;
+  options.batch_size = 8;
+  ShardedMonitor monitor(kThreads, options);
+  monitor.start();
+
+  std::atomic<std::uint32_t> started{0};
+  std::vector<std::thread> producers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&monitor, &started, t] {
+      bw::support::SplitMixRng rng(t * 31 + 5);
+      started.fetch_add(1);
+      for (std::uint64_t i = 0; i < kReports; ++i) {
+        monitor.send(
+            consistent_report(t, static_cast<std::uint32_t>(i % 8), i,
+                              /*with_conditions=*/false));
+        if (rng.next_below(32) == 0) monitor.flush(t);
+      }
+      monitor.flush(t);
+    });
+  }
+  while (started.load() != kThreads) std::this_thread::yield();
+  monitor.stop();  // races against the active senders by design
+  for (auto& p : producers) p.join();
+
+  MonitorStats stats = monitor.stats();
+  EXPECT_TRUE(monitor.violations().empty());  // false_alarms == 0
+  EXPECT_EQ(stats.violations, 0u);
+  // Conservation: every sent report was either processed or counted as a
+  // drop somewhere — nothing vanished in the race window.
+  EXPECT_EQ(stats.reports_processed + stats.dropped_reports,
+            kThreads * kReports);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant service stress (same TSan lane).
+// ---------------------------------------------------------------------------
+
+// Continuous session churn: every worker loops admit -> stream -> close
+// against one shared service while its siblings do the same, so registry
+// snapshots, tenant creation, and detach drains constantly interleave
+// with live producers of OTHER sessions. Invariant: zero false alarms and
+// full report conservation on every one of the churned sessions.
+TEST(MonitorServiceStress, SessionChurnUnderLoadNoFalseAlarms) {
+  MonitorServiceOptions options;
+  options.num_shards = 2;
+  options.batch_size = 8;
+  options.max_sessions = 16;
+  MonitorService service(options);
+  service.start();
+
+  constexpr unsigned kWorkers = 3;
+  constexpr unsigned kSessionsPerWorker = 20;
+  std::atomic<std::uint32_t> false_alarms{0};
+  std::atomic<std::uint32_t> lost_reports{0};
+  std::atomic<std::uint32_t> admit_failures{0};
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&service, &false_alarms, &lost_reports,
+                          &admit_failures, w] {
+      for (unsigned round = 0; round < kSessionsPerWorker; ++round) {
+        SessionOptions sopts;
+        sopts.num_threads = 2;
+        MonitorService::Admission a = service.admit(sopts);
+        if (a.error != AdmitError::None) {
+          // 3 workers vs 16 slots: admission must never fail here.
+          admit_failures.fetch_add(1);
+          continue;
+        }
+        constexpr std::uint32_t kBranches = 4;
+        constexpr std::uint64_t kIters = 40;
+        run_producers(*a.session, 2, kBranches, kIters, w * 101 + round,
+                      /*with_conditions=*/false);
+        a.session->close();
+        MonitorStats stats = a.session->stats();
+        false_alarms.fetch_add(
+            static_cast<std::uint32_t>(stats.violations));
+        const std::uint64_t sent = 2ull * kBranches * kIters;
+        if (stats.reports_processed + stats.dropped_reports != sent) {
+          lost_reports.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  service.stop();
+
+  EXPECT_EQ(false_alarms.load(), 0u);
+  EXPECT_EQ(lost_reports.load(), 0u);
+  EXPECT_EQ(admit_failures.load(), 0u);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sessions_admitted, kWorkers * kSessionsPerWorker);
+  EXPECT_EQ(stats.sessions_evicted, kWorkers * kSessionsPerWorker);
+  EXPECT_EQ(stats.active_sessions, 0u);
+}
+
+// The noisy-neighbor proof at the raw-report layer: an observed session
+// with a REAL injected deviation runs once alone and once next to a
+// tenant that permanently saturates its own tiny quota. Its verdict —
+// the violation list itself, not just its absence — plus health and
+// report accounting must be byte-identical in both runs.
+TEST(MonitorServiceStress, NoisyNeighborLeavesVerdictsByteIdentical) {
+  constexpr std::uint32_t kBranches = 6;
+  constexpr std::uint64_t kIters = 150;
+  constexpr unsigned kThreads = 2;
+
+  auto service_options = [] {
+    MonitorServiceOptions options;
+    options.num_shards = 2;
+    options.batch_size = 4;
+    options.backoff.spins = 16;
+    options.backoff.yields = 1024;
+    options.watchdog.stall_timeout_ns = 60'000'000'000ULL;
+    return options;
+  };
+  // One genuine deviation: thread 1 flips (branch 2, iter 90). The
+  // consistent outcome of (2 ^ 90) & 1 = 0 is false... make it a true
+  // iteration so the 2-thread tie-break indicts the flipped thread:
+  // (2 ^ 91) & 1 == 1.
+  auto run_observed = [&](MonitorSession& session) {
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      for (std::uint32_t b = 0; b < kBranches; ++b) {
+        for (unsigned t = 0; t < kThreads; ++t) {
+          BranchReport r =
+              consistent_report(t, b, i, /*with_conditions=*/false);
+          if (t == 1 && b == 2 && i == 91) r.outcome = !r.outcome;
+          session.send(r);
+        }
+      }
+    }
+    for (unsigned t = 0; t < kThreads; ++t) session.flush(t);
+  };
+
+  auto violation_key = [](const Violation& v) {
+    return std::make_tuple(v.static_id, v.ctx_hash, v.iter_hash,
+                           v.suspect_thread);
+  };
+
+  // Solo baseline.
+  std::vector<Violation> baseline_violations;
+  MonitorStats baseline_stats;
+  MonitorHealth baseline_health;
+  {
+    MonitorService service(service_options());
+    service.start();
+    SessionOptions sopts;
+    sopts.num_threads = kThreads;
+    MonitorService::Admission a = service.admit(sopts);
+    ASSERT_EQ(a.error, AdmitError::None);
+    run_observed(*a.session);
+    a.session->close();
+    baseline_violations = a.session->violations();
+    baseline_stats = a.session->stats();
+    baseline_health = a.session->health();
+    service.stop();
+  }
+  ASSERT_EQ(baseline_violations.size(), 1u);
+  ASSERT_EQ(baseline_violations[0].suspect_thread, 1u);
+  ASSERT_EQ(baseline_health, MonitorHealth::Healthy);
+  ASSERT_EQ(baseline_stats.dropped_reports, 0u);
+
+  // Same stream with a quota-saturating neighbor on the same shards.
+  MonitorService service(service_options());
+  service.start();
+  SessionOptions observed_opts;
+  observed_opts.num_threads = kThreads;
+  SessionOptions noisy_opts;
+  noisy_opts.num_threads = 1;
+  noisy_opts.report_quota = 8;
+  noisy_opts.fault_hooks.stall_after_reports = 1;  // quota never frees
+  MonitorService::Admission observed = service.admit(observed_opts);
+  MonitorService::Admission noisy = service.admit(noisy_opts);
+  ASSERT_EQ(observed.error, AdmitError::None);
+  ASSERT_EQ(noisy.error, AdmitError::None);
+
+  std::thread noisy_thread([&noisy] {
+    for (std::uint64_t i = 0; i < 400; ++i) {
+      noisy.session->send(
+          consistent_report(0, static_cast<std::uint32_t>(i % 4), i,
+                            /*with_conditions=*/false));
+      noisy.session->flush(0);
+    }
+  });
+  std::thread observed_thread([&] { run_observed(*observed.session); });
+  observed_thread.join();
+  noisy_thread.join();
+  observed.session->close();
+  noisy.session->close();
+
+  // The noisy tenant throttled ITSELF...
+  MonitorStats noisy_stats = noisy.session->stats();
+  EXPECT_GT(noisy_stats.reports_throttled, 0u);
+  EXPECT_NE(noisy.session->health(), MonitorHealth::Healthy);
+
+  // ...and the observed session is byte-identical to its solo run.
+  std::vector<Violation> got = observed.session->violations();
+  ASSERT_EQ(got.size(), baseline_violations.size());
+  std::sort(got.begin(), got.end(),
+            [&](const Violation& a, const Violation& b) {
+              return violation_key(a) < violation_key(b);
+            });
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(violation_key(got[i]), violation_key(baseline_violations[i]));
+  }
+  MonitorStats got_stats = observed.session->stats();
+  EXPECT_EQ(observed.session->health(), baseline_health);
+  EXPECT_EQ(got_stats.reports_processed, baseline_stats.reports_processed);
+  EXPECT_EQ(got_stats.instances_checked, baseline_stats.instances_checked);
+  EXPECT_EQ(got_stats.dropped_reports, 0u);
+  EXPECT_EQ(got_stats.reports_throttled, 0u);
+  service.stop();
 }
 
 TEST(ShardedMonitorStress, RealViolationIsStillDetectedUnderConcurrency) {
