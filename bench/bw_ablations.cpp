@@ -75,20 +75,32 @@ int main(int argc, char** argv) {
   {
     const benchmarks::Benchmark* bench =
         benchmarks::find_benchmark("water_nsq");
-    pipeline::PipelineOptions on;
-    pipeline::PipelineOptions off;
-    off.similarity.elide_critical_sections = false;
-    pipeline::CompiledProgram with_elide =
-        pipeline::protect_program(bench->source, on);
-    pipeline::CompiledProgram without =
-        pipeline::protect_program(bench->source, off);
-    std::printf("  instrumented branches: elision on: %d   off: %d\n",
-                with_elide.instrument_stats.instrumented_branches,
-                without.instrument_stats.instrumented_branches);
-    std::printf("  clean-run violations:  elision on: %d   off: %d "
-                "(both must be 0)\n",
-                clean_violations(bench->source, on, 5),
-                clean_violations(bench->source, off, 5));
+    pipeline::PipelineOptions none;
+    none.similarity.elision = analysis::ElisionMode::None;
+    pipeline::PipelineOptions syntactic;
+    syntactic.similarity.elision = analysis::ElisionMode::Syntactic;
+    pipeline::PipelineOptions proof;
+    proof.similarity.elision = analysis::ElisionMode::ProofBacked;
+    pipeline::CompiledProgram p_none =
+        pipeline::protect_program(bench->source, none);
+    pipeline::CompiledProgram p_syn =
+        pipeline::protect_program(bench->source, syntactic);
+    pipeline::CompiledProgram p_proof =
+        pipeline::protect_program(bench->source, proof);
+    int promoted = 0;
+    for (const analysis::BranchInfo& b : p_proof.analysis.branches) {
+      if (b.elision_promoted) ++promoted;
+    }
+    std::printf("  instrumented branches: none: %d   syntactic: %d   "
+                "proof-backed: %d (%d promoted)\n",
+                p_none.instrument_stats.instrumented_branches,
+                p_syn.instrument_stats.instrumented_branches,
+                p_proof.instrument_stats.instrumented_branches, promoted);
+    std::printf("  clean-run violations:  none: %d   syntactic: %d   "
+                "proof-backed: %d (all must be 0)\n",
+                clean_violations(bench->source, none, 5),
+                clean_violations(bench->source, syntactic, 5),
+                clean_violations(bench->source, proof, 5));
   }
 
   // --- A3: divergence-aware demotion ----------------------------------------

@@ -16,12 +16,18 @@
 // recorded batch=1 vs batch=64 comparison.
 //
 //   usage: bw_fig6_overhead [reps] [--shards=K] [--batch=B]
-//          [--tier=auto|interpreter|threaded] [--json=<file>]
+//          [--tier=auto|interpreter|threaded]
+//          [--elision=none|syntactic|proof] [--json=<file>]
 //
 // --tier selects the VM dispatcher for BOTH the baseline and instrumented
 // runs (vm/dispatch.h; auto = threaded), so the normalized ratio isolates
 // instrumentation cost at either tier while the absolute wall-clocks show
 // the dispatcher speedup.
+//
+// --elision selects the critical-section elision mode for the
+// instrumented build (analysis/similarity.h ElisionMode); comparing
+// syntactic against proof (the default) on these axes prices the checks
+// that proof-backed elision refuses to drop.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -41,6 +47,7 @@ using namespace bw;
 unsigned g_shards = 0;   // 0 = legacy single-consumer monitor
 std::size_t g_batch = 16;
 vm::ExecTier g_tier = vm::ExecTier::Auto;
+analysis::ElisionMode g_elision = analysis::ElisionMode::ProofBacked;
 
 double median_parallel_seconds(const pipeline::CompiledProgram& program,
                                unsigned threads, pipeline::MonitorMode mode,
@@ -78,6 +85,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown tier '%s'\n", argv[i] + 7);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--elision=", 10) == 0) {
+      if (!analysis::parse_elision_mode(argv[i] + 10, g_elision)) {
+        std::fprintf(stderr, "unknown elision mode '%s'\n", argv[i] + 10);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else {
@@ -92,8 +104,8 @@ int main(int argc, char** argv) {
   } else {
     std::printf("monitor: legacy single consumer\n");
   }
-  std::printf("vm tier: %s\n\n",
-              vm::to_string(vm::resolve_tier(g_tier)));
+  std::printf("vm tier: %s\n", vm::to_string(vm::resolve_tier(g_tier)));
+  std::printf("elision: %s\n\n", analysis::to_string(g_elision));
   std::printf("%-22s %12s %12s\n", "Program", "4 threads", "32 threads");
 
   double log_sum4 = 0.0;
@@ -107,8 +119,10 @@ int main(int argc, char** argv) {
   for (const benchmarks::Benchmark& bench : benchmarks::all_benchmarks()) {
     pipeline::CompiledProgram baseline =
         pipeline::compile_program(bench.source);
+    pipeline::PipelineOptions popts;
+    popts.similarity.elision = g_elision;
     pipeline::CompiledProgram protected_program =
-        pipeline::protect_program(bench.source);
+        pipeline::protect_program(bench.source, popts);
 
     double ratios[2];
     unsigned thread_counts[2] = {4, 32};
@@ -142,6 +156,7 @@ int main(int argc, char** argv) {
     json.num("shards", g_shards);
     json.num("batch", g_batch);
     json.str("tier", vm::to_string(vm::resolve_tier(g_tier)));
+    json.str("elision", analysis::to_string(g_elision));
     json.begin_rows();
     for (const Row& r : rows) {
       json.begin_row();

@@ -26,6 +26,14 @@
 //                                         runners), then print service
 //                                         admission and per-tenant
 //                                         aggregate stats
+//   bwc race <prog> [threads] [--static-only]
+//                                         static race check (certificates
+//                                         per conflicting access pair),
+//                                         then dynamic confirmation of any
+//                                         unproven candidates under the VM
+//                                         race oracle; --static-only skips
+//                                         the dynamic runs and treats every
+//                                         candidate as a finding
 //
 // <prog> is a path to a .bwc source file, or "bench:<name>" for a
 // built-in SPLASH-2 kernel (bench:fft, bench:radix, ...) or service
@@ -65,6 +73,8 @@
 //   7  serve only: the service rejected at least one admission (sessions
 //      beyond --max-sessions; the runs that were admitted still report
 //      via codes 3/4/5 first)
+//   8  race only: data races found — dynamically confirmed, or (with
+//      --static-only) at least one conflicting pair has no certificate
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -120,7 +130,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: bwc <run|protect|analyze|emit-ir|emit-instrumented|inject|"
-      "campaign|serve> <file.bwc|bench:name> [args] [--recover] "
+      "campaign|serve|race> <file.bwc|bench:name> [args] [--recover] "
       "[--trace=<file>] "
       "[--metrics] [--sampling] [--sample-rate=N] "
       "[--tier=auto|interpreter|threaded]\n"
@@ -129,7 +139,8 @@ int usage() {
       "           [--workers=N] [--seed=S] [--checkpoint=<file>] "
       "[--resume=<file>] [--no-protect] [--recover] [--flips=N]\n"
       "       bwc serve <prog> [sessions] [threads] [--shards=K] "
-      "[--max-sessions=N] [--quota=N] [--runners=R]\n");
+      "[--max-sessions=N] [--quota=N] [--runners=R]\n"
+      "       bwc race <prog> [threads] [--static-only]\n");
   return 2;
 }
 
@@ -207,6 +218,7 @@ int cmd_analyze(const std::string& source) {
     std::string flags;
     if (info.promoted) flags += " promoted";
     if (info.elided_critical_section) flags += " lock-elided";
+    if (info.elision_promoted) flags += " elision-promoted";
     if (!info.in_parallel_section) flags += " serial";
     std::printf("%-4u %-16s %-22s %-10s %-18s %5u%s\n", info.static_id,
                 info.function->name().c_str(),
@@ -221,6 +233,80 @@ int cmd_analyze(const std::string& source) {
               c.total(), c.shared, c.thread_id, c.partial, c.none,
               c.total() ? 100.0 * c.similar() / c.total() : 0.0);
   return 0;
+}
+
+int cmd_race(const std::string& source, unsigned threads, bool static_only) {
+  pipeline::CompiledProgram program = pipeline::compile_program(source);
+  pipeline::RaceCheckConfig config;
+  config.num_threads = threads;
+  config.run_dynamic = !static_only;
+  pipeline::RaceCheckReport report =
+      pipeline::check_program_races(program, config);
+  const analysis::RaceCheckResult& s = report.static_result;
+  if (!s.analyzable) {
+    std::fprintf(stderr, "bwc: no parallel entry 'slave' to analyze\n");
+    return 2;
+  }
+
+  std::printf("static: %u phase region(s)%s%s, %zu shared accesses, "
+              "%zu conflicting pairs\n",
+              s.num_regions,
+              s.alignment_verified ? " (barrier alignment verified)"
+                                   : " (alignment unverified, conservative)",
+              s.truncated ? ", access collection truncated" : "",
+              s.num_accesses, s.pairs_examined);
+
+  // One line per certificate kind, so the proof surface is scannable even
+  // when a kernel has hundreds of proven pairs.
+  std::vector<std::pair<std::string, int>> by_cert;
+  for (const analysis::RacePair& p : s.proven) {
+    bool found = false;
+    for (auto& entry : by_cert) {
+      if (entry.first == p.certificate) {
+        ++entry.second;
+        found = true;
+        break;
+      }
+    }
+    if (!found) by_cert.emplace_back(p.certificate, 1);
+  }
+  std::printf("proven race-free: %zu pair(s)\n", s.proven.size());
+  for (const auto& entry : by_cert) {
+    std::printf("  %-12s %d\n", entry.first.c_str(), entry.second);
+  }
+
+  if (s.candidates.empty()) {
+    std::printf("candidates: none — statically race-free\n");
+    return 0;
+  }
+  std::printf("candidates: %zu pair(s) with no certificate\n",
+              s.candidates.size());
+  for (const analysis::RacePair& p : s.candidates) {
+    std::printf("  %s\n    vs %s\n", p.first.to_string().c_str(),
+                p.second.to_string().c_str());
+  }
+
+  if (static_only) {
+    std::printf("\nverdict: POTENTIAL RACES (static-only; rerun without "
+                "--static-only to confirm dynamically)\n");
+    return 8;
+  }
+  std::printf("\ndynamic: %s oracle run(s) at %u threads\n",
+              report.dynamic_ran ? "completed" : "skipped", threads);
+  if (report.dynamic_races.empty()) {
+    std::printf("verdict: no races confirmed (candidates are artifacts of "
+                "the checker's incompleteness)\n");
+    return 0;
+  }
+  for (const pipeline::DynamicRaceReport& r : report.dynamic_races) {
+    std::printf("  RACE %s[%lld]: thread %u (%s) vs thread %u (%s)\n",
+                r.global.c_str(), static_cast<long long>(r.word), r.tid_a,
+                r.write_a ? "write" : "read", r.tid_b,
+                r.write_b ? "write" : "read");
+  }
+  std::printf("verdict: DATA RACES CONFIRMED (%zu conflict(s))\n",
+              report.dynamic_races.size());
+  return 8;
 }
 
 int cmd_inject(const std::string& source, unsigned thread, std::uint64_t k,
@@ -468,7 +554,7 @@ int cmd_campaign(const std::string& source, int injections, unsigned threads,
 int dispatch(const std::string& cmd, const std::string& source,
              const std::vector<std::string>& args,
              const CampaignFlags& campaign_flags,
-             const ServeFlags& serve_flags, bool recover,
+             const ServeFlags& serve_flags, bool recover, bool static_only,
              const runtime::SamplingOptions& sampling, vm::ExecTier tier) {
   if (cmd == "run" || cmd == "protect") {
     unsigned threads =
@@ -478,6 +564,12 @@ int dispatch(const std::string& cmd, const std::string& source,
                    recover && cmd == "protect", sampling, tier);
   }
   if (cmd == "analyze") return cmd_analyze(source);
+  if (cmd == "race") {
+    unsigned threads =
+        args.size() > 2 ? static_cast<unsigned>(std::atoi(args[2].c_str()))
+                        : 4;
+    return cmd_race(source, threads, static_only);
+  }
   if (cmd == "emit-ir") {
     std::fputs(pipeline::compile_program(source).module->to_string().c_str(),
                stdout);
@@ -525,6 +617,7 @@ int main(int argc, char** argv) {
   // Strip flags wherever they appear; everything else is positional.
   std::vector<std::string> args;
   bool recover = false;
+  bool static_only = false;
   bool metrics = false;
   std::string trace_path;
   CampaignFlags campaign_flags;
@@ -534,6 +627,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
+    } else if (std::strcmp(argv[i], "--static-only") == 0) {
+      static_only = true;
     } else if (std::strncmp(argv[i], "--tier=", 7) == 0) {
       if (!vm::parse_exec_tier(argv[i] + 7, tier)) {
         std::fprintf(stderr, "bwc: unknown tier '%s'\n", argv[i] + 7);
@@ -591,7 +686,7 @@ int main(int argc, char** argv) {
   int rc;
   try {
     rc = dispatch(cmd, source, args, campaign_flags, serve_flags, recover,
-                  sampling, tier);
+                  static_only, sampling, tier);
   } catch (const bw::support::CompileError& e) {
     std::fprintf(stderr, "bwc: %s\n", e.what());
     rc = 1;

@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     std::string flags;
     if (info.promoted) flags += " promoted";
     if (info.elided_critical_section) flags += " lock-elided";
+    if (info.elision_promoted) flags += " elision-promoted";
     if (!info.in_parallel_section) flags += " serial";
     std::printf("%-4u %-18s %-22s %-10s %-18s %5u%s\n", info.static_id,
                 info.function->name().c_str(),

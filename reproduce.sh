@@ -50,6 +50,30 @@ echo "docs links OK"
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Static race-checker lane: every registry kernel must come out race-free
+# (exit 0) and the seeded racy diagnostics must be flagged (exit 8). This
+# is the scripted form of the docs/static_analysis.md walkthrough.
+echo "===== bwc race: registry kernels (expect race-free) ====="
+for k in fft radix ocean_contig ocean_noncontig water_nsq fmm raytrace \
+         auth_check dispatch; do
+  if ./build/examples/bwc_cli race "bench:$k" > /dev/null 2>&1; then
+    echo "bench:$k race-free"
+  else
+    echo "bwc race bench:$k failed (exit $?)" >&2
+    exit 1
+  fi
+done
+echo "===== bwc race: seeded racy kernels (expect exit 8) ====="
+for k in racy_sum racy_guard; do
+  ./build/examples/bwc_cli race "bench:$k" > /dev/null 2>&1 && rc=0 || rc=$?
+  if [ "$rc" = 8 ]; then
+    echo "bench:$k correctly flagged"
+  else
+    echo "bwc race bench:$k: expected exit 8, got $rc" >&2
+    exit 1
+  fi
+done
+
 if [ "$run_trace" = 1 ]; then
   echo "===== telemetry trace smoke (protected fft, all six phases) ====="
   ./build/examples/bwc_cli protect bench:fft 4 --recover \

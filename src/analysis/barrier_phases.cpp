@@ -1,0 +1,269 @@
+#include "analysis/barrier_phases.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace bw::analysis {
+
+using namespace bw::ir;
+
+// --- PostDominators ---------------------------------------------------------
+
+PostDominators::PostDominators(const Function& func) {
+  if (func.empty()) return;
+
+  // Reverse post-order of the *reverse* CFG, seeded from every exit block.
+  // nullptr stands in for the virtual exit.
+  std::vector<const BasicBlock*> order;
+  std::unordered_set<const BasicBlock*> visited;
+  std::function<void(const BasicBlock*)> dfs = [&](const BasicBlock* bb) {
+    if (!visited.insert(bb).second) return;
+    for (const BasicBlock* pred : bb->predecessors()) dfs(pred);
+    order.push_back(bb);
+  };
+  for (const auto& bb : func.blocks()) {
+    const Instruction* term = bb->terminator();
+    if (term != nullptr && term->opcode() == Opcode::Ret) dfs(bb.get());
+  }
+  std::reverse(order.begin(), order.end());  // exits first
+
+  std::unordered_map<const BasicBlock*, std::size_t> rpo_index;
+  for (std::size_t i = 0; i < order.size(); ++i) rpo_index[order[i]] = i;
+
+  // Cooper/Harvey/Kennedy iterative idom on the reverse graph. The virtual
+  // exit is the root; exit blocks get ipdom = nullptr (the virtual exit).
+  std::unordered_map<const BasicBlock*, const BasicBlock*> idom;
+  auto is_exit = [](const BasicBlock* bb) {
+    const Instruction* term = bb->terminator();
+    return term != nullptr && term->opcode() == Opcode::Ret;
+  };
+  auto intersect = [&](const BasicBlock* a,
+                       const BasicBlock* b) -> const BasicBlock* {
+    // nullptr = virtual exit = root of the postdom tree.
+    while (a != b) {
+      if (a == nullptr || b == nullptr) return nullptr;
+      while (a != nullptr && rpo_index.at(a) > rpo_index.at(b)) {
+        auto it = idom.find(a);
+        a = it == idom.end() ? nullptr : it->second;
+      }
+      if (a == b) break;
+      while (b != nullptr && a != nullptr &&
+             rpo_index.at(b) > rpo_index.at(a)) {
+        auto it = idom.find(b);
+        b = it == idom.end() ? nullptr : it->second;
+      }
+      if (a == nullptr || b == nullptr) return nullptr;
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BasicBlock* bb : order) {
+      if (is_exit(bb)) {
+        if (idom.find(bb) == idom.end()) {
+          idom[bb] = nullptr;
+          changed = true;
+        }
+        continue;
+      }
+      // Predecessors in the reverse graph = CFG successors.
+      const BasicBlock* cand = nullptr;
+      bool have = false;
+      for (const BasicBlock* succ : bb->terminator()->successors()) {
+        if (succ != bb && idom.find(succ) == idom.end()) continue;  // unprocessed
+        if (rpo_index.find(succ) == rpo_index.end()) continue;  // can't reach exit
+        if (!have) {
+          cand = succ;
+          have = true;
+        } else {
+          cand = intersect(cand, succ);
+        }
+      }
+      if (!have) continue;
+      auto it = idom.find(bb);
+      if (it == idom.end() || it->second != cand) {
+        idom[bb] = cand;
+        changed = true;
+      }
+    }
+  }
+  ipdom_ = std::move(idom);
+}
+
+const BasicBlock* PostDominators::ipdom(const BasicBlock* bb) const {
+  auto it = ipdom_.find(bb);
+  return it == ipdom_.end() ? nullptr : it->second;
+}
+
+bool PostDominators::postdominates(const BasicBlock* a,
+                                   const BasicBlock* b) const {
+  // Walk b up the postdom tree; nullptr (virtual exit) ends the walk.
+  for (const BasicBlock* cur = b; cur != nullptr;
+       cur = ipdom(cur)) {
+    if (cur == a) return true;
+    if (ipdom_.find(cur) == ipdom_.end()) break;  // cannot reach exit
+  }
+  return false;
+}
+
+// --- BarrierPhases ----------------------------------------------------------
+
+BarrierPhases::BarrierPhases(const Function& entry, bool callees_have_barriers)
+    : entry_(entry), postdom_(entry) {
+  if (callees_have_barriers) {
+    conservative_ = true;
+    collapse_to_single_region();
+    return;
+  }
+  compute_regions();
+}
+
+void BarrierPhases::collapse_to_single_region() {
+  num_regions_ = 1;
+  regions_.clear();
+  for (const Instruction* inst : entry_.all_instructions()) {
+    regions_[inst] = {0u};
+  }
+}
+
+void BarrierPhases::compute_regions() {
+  // Roots: (entry block, index 0) is region 0; the position just after the
+  // i-th barrier site (in block order) is region i+1.
+  struct Root {
+    const BasicBlock* bb;
+    std::size_t index;
+  };
+  std::vector<Root> roots;
+  roots.push_back({entry_.entry(), 0});
+  for (const auto& bb : entry_.blocks()) {
+    const auto& insts = bb->instructions();
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      if (insts[i]->opcode() == Opcode::Barrier) {
+        roots.push_back({bb.get(), i + 1});
+      }
+    }
+  }
+  num_regions_ = static_cast<unsigned>(roots.size());
+
+  for (unsigned region = 0; region < roots.size(); ++region) {
+    std::deque<Root> work;
+    std::unordered_set<const BasicBlock*> visited_from_top;
+    work.push_back(roots[region]);
+    while (!work.empty()) {
+      Root pos = work.front();
+      work.pop_front();
+      if (pos.index == 0) {
+        if (!visited_from_top.insert(pos.bb).second) continue;
+      }
+      const auto& insts = pos.bb->instructions();
+      bool fell_through = true;
+      for (std::size_t i = pos.index; i < insts.size(); ++i) {
+        Instruction* inst = insts[i].get();
+        auto& set = regions_[inst];
+        if (std::find(set.begin(), set.end(), region) == set.end()) {
+          set.push_back(region);
+        }
+        if (inst->opcode() == Opcode::Barrier) {
+          // A barrier ends this region's reach (the barrier itself is
+          // included: it marks the phase boundary, and it is not an
+          // access).
+          fell_through = false;
+          break;
+        }
+      }
+      if (fell_through) {
+        const Instruction* term = pos.bb->terminator();
+        if (term != nullptr) {
+          for (BasicBlock* succ : term->successors()) {
+            if (visited_from_top.count(succ) == 0) work.push_back({succ, 0});
+          }
+        }
+      }
+    }
+  }
+  // Region sets were appended in increasing region order per instruction,
+  // so they are already sorted.
+}
+
+const std::vector<unsigned>& BarrierPhases::regions_of(
+    const Instruction* inst) const {
+  static const std::vector<unsigned> kEmpty;
+  auto it = regions_.find(inst);
+  return it == regions_.end() ? kEmpty : it->second;
+}
+
+bool BarrierPhases::may_share_region(const Instruction* a,
+                                     const Instruction* b) const {
+  const auto& ra = regions_of(a);
+  const auto& rb = regions_of(b);
+  std::vector<unsigned> common;
+  std::set_intersection(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                        std::back_inserter(common));
+  return !common.empty();
+}
+
+const BasicBlock* BarrierPhases::join_block(const Instruction* cond_br) const {
+  if (cond_br == nullptr || !cond_br->is_cond_branch()) return nullptr;
+  return postdom_.ipdom(cond_br->parent());
+}
+
+std::vector<const BasicBlock*> BarrierPhases::control_region(
+    const Instruction* cond_br) const {
+  std::vector<const BasicBlock*> result;
+  const BasicBlock* join = join_block(cond_br);
+  std::unordered_set<const BasicBlock*> visited;
+  std::deque<const BasicBlock*> work;
+  for (const BasicBlock* succ : cond_br->successors()) {
+    if (succ != join) work.push_back(succ);
+  }
+  while (!work.empty()) {
+    const BasicBlock* bb = work.front();
+    work.pop_front();
+    if (bb == join || !visited.insert(bb).second) continue;
+    result.push_back(bb);
+    const Instruction* term = bb->terminator();
+    if (term == nullptr) continue;
+    for (const BasicBlock* succ : term->successors()) {
+      if (succ != join && visited.count(succ) == 0) work.push_back(succ);
+    }
+  }
+  return result;
+}
+
+bool BarrierPhases::control_region_has_barrier(
+    const Instruction* cond_br) const {
+  // No known join: conservatively claim a barrier (forces fallback).
+  if (join_block(cond_br) == nullptr) {
+    // ...unless the branch trivially reconverges (both successors equal).
+    const auto& succs = cond_br->successors();
+    if (succs.size() == 2 && succs[0] == succs[1]) return false;
+    return true;
+  }
+  for (const BasicBlock* bb : control_region(cond_br)) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::Barrier) return true;
+    }
+  }
+  return false;
+}
+
+bool BarrierPhases::verify_alignment(
+    const std::function<bool(const ir::Value*)>& invariant) {
+  if (conservative_) return false;
+  for (const auto& bb : entry_.blocks()) {
+    const Instruction* term = bb->terminator();
+    if (term == nullptr || !term->is_cond_branch()) continue;
+    if (invariant(term->operand(0))) continue;
+    if (control_region_has_barrier(term)) {
+      conservative_ = true;
+      collapse_to_single_region();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bw::analysis

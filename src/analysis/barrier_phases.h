@@ -1,0 +1,97 @@
+// Barrier-phase regions: the may-happen-in-parallel (MHP) skeleton of the
+// race checker. BW-C kernels are barrier-phased SPMD programs; under
+// *textual barrier alignment* (every thread crosses the same sequence of
+// static barrier sites) two instructions can only execute concurrently if
+// some static region — the code reachable barrier-free from one barrier
+// site (or from function entry) — contains both. The checker uses this as
+// its MHP relation and separately *verifies* the alignment assumption: a
+// conditional branch whose condition may differ across threads must not
+// steer execution around a barrier. When verification fails, the whole
+// function collapses to one conservative region (everything MHP), which
+// is always sound.
+//
+// The class also owns the post-dominator tree of the entry function and
+// exposes the control-dependence queries (join blocks, control regions)
+// that the thread-invariance analysis in shared_access.h builds on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace bw::analysis {
+
+/// Immediate post-dominators of one function, computed over the reverse
+/// CFG with a virtual exit joining every `ret` block. Blocks that cannot
+/// reach any exit (structurally infinite loops) have no post-dominator.
+class PostDominators {
+ public:
+  explicit PostDominators(const ir::Function& func);
+
+  /// Immediate post-dominator of `bb`; nullptr when `bb` is an exit block
+  /// (virtual-exit child) or cannot reach an exit.
+  const ir::BasicBlock* ipdom(const ir::BasicBlock* bb) const;
+
+  bool postdominates(const ir::BasicBlock* a, const ir::BasicBlock* b) const;
+
+ private:
+  std::unordered_map<const ir::BasicBlock*, const ir::BasicBlock*> ipdom_;
+};
+
+class BarrierPhases {
+ public:
+  /// `callees_have_barriers`: true when any function called (transitively)
+  /// from `entry` contains a Barrier — phase structure is then not
+  /// expressible per entry instruction and the analysis starts (and stays)
+  /// in the conservative single-region mode.
+  BarrierPhases(const ir::Function& entry, bool callees_have_barriers);
+
+  /// Sorted ids of the static regions containing `inst` (instructions of
+  /// the entry function only — accesses inside callees anchor at their
+  /// top-level call site). Region 0 starts at function entry; region i+1
+  /// starts after the i-th barrier site.
+  const std::vector<unsigned>& regions_of(const ir::Instruction* inst) const;
+
+  /// MHP under alignment: do the two instructions share a static region?
+  bool may_share_region(const ir::Instruction* a,
+                        const ir::Instruction* b) const;
+
+  unsigned num_regions() const noexcept { return num_regions_; }
+  bool conservative() const noexcept { return conservative_; }
+
+  /// Check textual alignment: every CondBr whose condition is not
+  /// `invariant` must have a barrier-free control region. On failure the
+  /// analysis collapses to the conservative single region and returns
+  /// false (callers must then also downgrade any invariance facts derived
+  /// from the optimistic regions).
+  bool verify_alignment(
+      const std::function<bool(const ir::Value*)>& invariant);
+
+  // --- Control-dependence queries (for the divergence analysis) ----------
+  /// The join block of a conditional branch: the immediate post-dominator
+  /// of its block, where diverged paths reconverge. nullptr if unknown
+  /// (conservatively treat every merge as divergent then).
+  const ir::BasicBlock* join_block(const ir::Instruction* cond_br) const;
+
+  /// Blocks strictly between a conditional branch and its join block —
+  /// the code whose execution the branch decides.
+  std::vector<const ir::BasicBlock*> control_region(
+      const ir::Instruction* cond_br) const;
+
+  bool control_region_has_barrier(const ir::Instruction* cond_br) const;
+
+ private:
+  void compute_regions();
+  void collapse_to_single_region();
+
+  const ir::Function& entry_;
+  PostDominators postdom_;
+  bool conservative_ = false;
+  unsigned num_regions_ = 1;
+  std::unordered_map<const ir::Instruction*, std::vector<unsigned>> regions_;
+};
+
+}  // namespace bw::analysis

@@ -1,0 +1,150 @@
+#include "analysis/lock_dominators.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace bw::analysis {
+
+using namespace bw::ir;
+
+namespace {
+
+using LockSet = std::vector<std::int64_t>;  // sorted, unique
+
+void set_insert(LockSet& set, std::int64_t id) {
+  auto it = std::lower_bound(set.begin(), set.end(), id);
+  if (it == set.end() || *it != id) set.insert(it, id);
+}
+
+void set_erase(LockSet& set, std::int64_t id) {
+  auto it = std::lower_bound(set.begin(), set.end(), id);
+  if (it != set.end() && *it == id) set.erase(it);
+}
+
+LockSet set_intersect(const LockSet& a, const LockSet& b) {
+  LockSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::optional<std::int64_t> constant_lock_id(const Instruction& inst) {
+  const auto* c = dyn_cast<ConstantInt>(inst.operand(0));
+  if (c == nullptr) return std::nullopt;
+  return c->value();
+}
+
+}  // namespace
+
+LockDominators::LockDominators(const Module& module) {
+  for (const auto& func : module.functions()) {
+    if (!func->empty()) analyze_function(*func);
+  }
+}
+
+LockDominators::LockDominators(const Function& func) {
+  if (!func.empty()) analyze_function(func);
+}
+
+bool LockDominators::touches_locks(const Function* func) {
+  auto it = touches_locks_.find(func);
+  if (it != touches_locks_.end()) return it->second;
+  // Seed false to terminate on (ill-formed) recursive call cycles; a cycle
+  // member with a real lock op still flips to true below.
+  touches_locks_[func] = false;
+  bool found = false;
+  for (const auto& bb : func->blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::LockAcquire ||
+          inst->opcode() == Opcode::LockRelease) {
+        found = true;
+      } else if (inst->opcode() == Opcode::Call &&
+                 inst->callee() != nullptr && touches_locks(inst->callee())) {
+        found = true;
+      }
+    }
+  }
+  touches_locks_[func] = found;
+  return found;
+}
+
+void LockDominators::analyze_function(const Function& func) {
+  auto transfer_inst = [&](const Instruction& inst, LockSet& state) {
+    switch (inst.opcode()) {
+      case Opcode::LockAcquire:
+        if (auto id = constant_lock_id(inst)) set_insert(state, *id);
+        break;
+      case Opcode::LockRelease:
+        if (auto id = constant_lock_id(inst)) {
+          set_erase(state, *id);
+        } else {
+          state.clear();
+        }
+        break;
+      case Opcode::Call:
+        if (inst.callee() != nullptr && touches_locks(inst.callee())) {
+          state.clear();
+        }
+        break;
+      default:
+        break;
+    }
+  };
+
+  // Block-level in-states: must-meet worklist (nullopt = unreached = top).
+  std::unordered_map<const BasicBlock*, std::optional<LockSet>> in_state;
+  for (const auto& bb : func.blocks()) in_state[bb.get()] = std::nullopt;
+  in_state[func.entry()] = LockSet{};
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& bb : func.blocks()) {
+      const auto& in = in_state[bb.get()];
+      if (!in.has_value()) continue;
+      LockSet out = *in;
+      for (const auto& inst : bb->instructions()) transfer_inst(*inst, out);
+      for (BasicBlock* succ : bb->successors()) {
+        auto& succ_in = in_state[succ];
+        LockSet merged = succ_in.has_value() ? set_intersect(*succ_in, out)
+                                             : out;
+        if (!succ_in.has_value() || merged != *succ_in) {
+          succ_in = std::move(merged);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Per-instruction held sets. The acquire itself counts as locked (it is
+  // serialized against every other holder of the same lock).
+  for (const auto& bb : func.blocks()) {
+    LockSet state = in_state[bb.get()].value_or(LockSet{});
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::LockAcquire) {
+        if (auto id = constant_lock_id(*inst)) set_insert(state, *id);
+        held_[inst.get()] = state;
+        continue;
+      }
+      held_[inst.get()] = state;
+      transfer_inst(*inst, state);
+    }
+  }
+}
+
+const std::vector<std::int64_t>& LockDominators::held_at(
+    const Instruction* inst) const {
+  static const LockSet kEmpty;
+  auto it = held_.find(inst);
+  return it == held_.end() ? kEmpty : it->second;
+}
+
+bool LockDominators::common_lock_held(const Instruction* a,
+                                      const Instruction* b) const {
+  const LockSet& sa = held_at(a);
+  const LockSet& sb = held_at(b);
+  if (sa.empty() || sb.empty()) return false;
+  return !set_intersect(sa, sb).empty();
+}
+
+}  // namespace bw::analysis

@@ -2,32 +2,42 @@
 // branches that can only execute while a lock is held are executed by at
 // most one thread at a time, so cross-thread checking is useless — the
 // instrumentation pass elides their checks.
+//
+// DEPRECATED: this depth-only view is kept for the syntactic-elision
+// ablation and older tests; it now forwards to `LockDominators`
+// (lock_dominators.h), which tracks *which* locks are held rather than
+// how many. The old standalone dataflow assumed a race-free program to
+// justify elision; the race checker (race_checker.h) now proves or
+// refutes that assumption instead of assuming it, and proof-backed
+// elision keys on a common dominating lock, not on depth.
 #pragma once
 
-#include <unordered_map>
-
+#include "analysis/lock_dominators.h"
 #include "ir/function.h"
 
 namespace bw::analysis {
 
-/// Forward must-dataflow of lock depth. For each instruction, computes the
-/// minimum number of locks guaranteed to be held when it executes
-/// (0 = may run unlocked). Assumes structured lock/unlock usage and a
-/// race-free program, as the paper does.
+/// Thin forwarding wrapper over LockDominators. `min_depth_at` is the size
+/// of the must-held lock set (locks acquired through a non-constant id are
+/// no longer counted: they cannot be named, so they prove nothing).
 class LockRegions {
  public:
-  explicit LockRegions(const ir::Function& func);
+  explicit LockRegions(const ir::Function& func) : dominators_(func) {}
 
-  /// Minimum locks held at `inst` over all paths; > 0 means the
-  /// instruction is inside a critical section on every path.
-  int min_depth_at(const ir::Instruction* inst) const;
+  /// Number of distinct locks guaranteed held at `inst` over all paths;
+  /// > 0 means the instruction is inside a critical section on every path.
+  int min_depth_at(const ir::Instruction* inst) const {
+    return static_cast<int>(dominators_.held_at(inst).size());
+  }
 
   bool in_critical_section(const ir::Instruction* inst) const {
     return min_depth_at(inst) > 0;
   }
 
+  const LockDominators& dominators() const noexcept { return dominators_; }
+
  private:
-  std::unordered_map<const ir::Instruction*, int> depth_;
+  LockDominators dominators_;
 };
 
 }  // namespace bw::analysis

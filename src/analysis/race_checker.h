@@ -1,0 +1,78 @@
+// The BW-C static race checker: joins the barrier-phase MHP relation
+// (barrier_phases.h), the symbolic share analysis (shared_access.h) and
+// the lock-dominator analysis (lock_dominators.h) into a per-pair verdict
+// over conflicting shared accesses.
+//
+// For every pair of accesses to the same global where at least one side
+// writes (and not both are atomic), the checker tries a chain of
+// *certificates*, each a sufficient condition for race freedom:
+//
+//   phase        the two anchors never share a barrier-phase region
+//   lock         a common lock is provably held at both accesses
+//   tid-guard    both sites execute on one statically-known thread id
+//   refinement   opposite arms of one thread-invariant branch
+//   stride       offsets S*x+K with K1 != K2, both in [0,S): disjoint
+//   mod-class    both offsets == tid + c (mod nthreads): distinct threads
+//                hit distinct residues, same thread is never a race
+//   interval     per-thread offset ranges provably disjoint for any two
+//                distinct thread ids (block partitions)
+//
+// Pairs with no certificate are *candidates*, not verdicts: the checker
+// is deliberately incomplete (symbolic reasoning covers the partitioning
+// idioms of the paper's kernels, not arbitrary arithmetic), so `bwc race`
+// forwards candidates to the dynamic race oracle for confirmation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+namespace bw::analysis {
+
+struct RaceSite {
+  const ir::Instruction* instr = nullptr;
+  const ir::GlobalVariable* global = nullptr;
+  support::SourceLoc loc;  // invalid for parsed/synthesized IR
+  bool is_write = false;
+  bool is_atomic = false;
+
+  std::string to_string() const;
+};
+
+struct RacePair {
+  RaceSite first, second;
+  /// Non-empty iff proven safe: the name of the certificate that fired.
+  std::string certificate;
+};
+
+struct RaceCheckResult {
+  /// False when the module has no parallel entry to analyze.
+  bool analyzable = false;
+  /// Textual barrier alignment verified (phase regions are trustworthy).
+  bool alignment_verified = false;
+  /// Phase analysis ran (or collapsed to) the single conservative region.
+  bool conservative_phases = false;
+  /// Access collection hit a budget and fell back to syntactic summaries.
+  bool truncated = false;
+  unsigned num_regions = 0;
+  std::size_t num_accesses = 0;
+  std::size_t pairs_examined = 0;
+
+  /// Conflicting pairs proven race-free, one entry per static site pair.
+  std::vector<RacePair> proven;
+  /// Conflicting pairs with no certificate: potential races to confirm
+  /// dynamically.
+  std::vector<RacePair> candidates;
+
+  bool statically_race_free() const { return candidates.empty(); }
+};
+
+/// Analyze `module`, treating `entry_name` as the SPMD function every
+/// thread executes after single-threaded init.
+RaceCheckResult check_races(const ir::Module& module,
+                            const std::string& entry_name = "slave");
+
+}  // namespace bw::analysis

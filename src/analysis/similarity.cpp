@@ -1,6 +1,7 @@
 #include "analysis/similarity.h"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_set>
 
 #include "analysis/lock_regions.h"
@@ -23,7 +24,81 @@ const char* to_string(CheckKind kind) {
   return "<bad-check>";
 }
 
+const char* to_string(ElisionMode mode) {
+  switch (mode) {
+    case ElisionMode::None: return "none";
+    case ElisionMode::Syntactic: return "syntactic";
+    case ElisionMode::ProofBacked: return "proof-backed";
+  }
+  return "<bad-elision>";
+}
+
+bool parse_elision_mode(const char* text, ElisionMode& out) {
+  std::string_view s(text);
+  if (s == "none") {
+    out = ElisionMode::None;
+  } else if (s == "syntactic") {
+    out = ElisionMode::Syntactic;
+  } else if (s == "proof" || s == "proof-backed") {
+    out = ElisionMode::ProofBacked;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 namespace {
+
+/// The paper's original textual critical-section rule, kept only as the
+/// `ElisionMode::Syntactic` ablation arm: forward must-dataflow of lock
+/// *depth* (meet = min over predecessors), where every acquire counts —
+/// even one whose id is not a compile-time constant — releases floor at
+/// zero, and calls are transparent. Depth > 0 does not prove mutual
+/// exclusion (paths may hold *different* locks); LockDominators carries
+/// the proof-backed replacement.
+class SyntacticLockDepth {
+ public:
+  explicit SyntacticLockDepth(const Function& func) {
+    std::unordered_map<const BasicBlock*, int> entry_depth;
+    constexpr int kUnknown = -1;
+    for (const auto& bb : func.blocks()) entry_depth[bb.get()] = kUnknown;
+    if (!func.empty()) entry_depth[func.blocks().front().get()] = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& bb : func.blocks()) {
+        int depth = entry_depth[bb.get()];
+        if (depth == kUnknown) continue;
+        for (const auto& inst : bb->instructions()) {
+          depth_[inst.get()] = depth;
+          if (inst->opcode() == Opcode::LockAcquire) {
+            ++depth;
+          } else if (inst->opcode() == Opcode::LockRelease) {
+            depth = std::max(0, depth - 1);
+          }
+        }
+        const Instruction* term = bb->terminator();
+        if (term == nullptr) continue;
+        for (const BasicBlock* succ : term->successors()) {
+          int& cur = entry_depth[succ];
+          int next = cur == kUnknown ? depth : std::min(cur, depth);
+          if (next != cur) {
+            cur = next;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  int depth_at(const Instruction* inst) const {
+    auto it = depth_.find(inst);
+    return it == depth_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::unordered_map<const Instruction*, int> depth_;
+};
 
 class Analysis {
  public:
@@ -71,7 +146,8 @@ class Analysis {
   struct FunctionInfo {
     std::unique_ptr<DominatorTree> domtree;
     std::unique_ptr<LoopInfo> loops;
-    std::unique_ptr<LockRegions> locks;
+    std::unique_ptr<LockRegions> locks;        // proof-backed (must-held set)
+    std::unique_ptr<SyntacticLockDepth> depth;  // syntactic ablation arm
     bool in_parallel_section = false;
   };
 
@@ -82,6 +158,7 @@ class Analysis {
       info.domtree = std::make_unique<DominatorTree>(*func);
       info.loops = std::make_unique<LoopInfo>(*func, *info.domtree);
       info.locks = std::make_unique<LockRegions>(*func);
+      info.depth = std::make_unique<SyntacticLockDepth>(*func);
       func_info_.emplace(func.get(), std::move(info));
     }
 
@@ -757,9 +834,22 @@ class Analysis {
           const FunctionInfo& fi = info_it->second;
           info.in_parallel_section = fi.in_parallel_section;
           info.loop_depth = fi.loops->depth_of(bb.get());
-          info.elided_critical_section =
-              options_.elide_critical_sections &&
-              fi.locks->in_critical_section(term);
+          bool syntactic = fi.depth->depth_at(term) > 0;
+          bool proven = fi.locks->in_critical_section(term);
+          switch (options_.elision) {
+            case ElisionMode::None:
+              break;
+            case ElisionMode::Syntactic:
+              info.elided_critical_section = syntactic;
+              break;
+            case ElisionMode::ProofBacked:
+              info.elided_critical_section = proven;
+              // The syntactic rule would have skipped this branch on lock
+              // depth alone; without a provable dominating lock the check
+              // stays live.
+              info.elision_promoted = syntactic && !proven;
+              break;
+          }
         }
         const Value* cond = term->operand(0);
         Category c = category_of(cond);

@@ -45,6 +45,27 @@ enum class CheckKind {
 
 const char* to_string(CheckKind kind);
 
+/// How paper optimization 2 (critical-section check elision) decides that
+/// a branch needs no cross-thread check:
+///  * None        — never elide (ablation baseline; every branch checked).
+///  * Syntactic   — the paper's textual rule: any positive lock *depth* at
+///                  the branch elides it, even when the lock cannot be
+///                  named (non-constant id) or different paths hold
+///                  different locks. Unsound in general: depth does not
+///                  prove mutual exclusion.
+///  * ProofBacked — elide only when the lock-dominator analysis
+///                  (lock_dominators.h) proves some named lock is held on
+///                  every path to the branch. Branches the syntactic rule
+///                  would have skipped but the proof cannot cover are
+///                  *promoted* back to checked (BranchInfo::
+///                  elision_promoted).
+enum class ElisionMode { None, Syntactic, ProofBacked };
+
+const char* to_string(ElisionMode mode);
+/// Accepts "none", "syntactic", "proof" / "proof-backed". Returns false
+/// (leaving `out` untouched) on anything else.
+bool parse_elision_mode(const char* text, ElisionMode& out);
+
 struct BranchInfo {
   const ir::Instruction* branch = nullptr;  // the CondBr
   const ir::Function* function = nullptr;
@@ -52,6 +73,9 @@ struct BranchInfo {
   CheckKind check = CheckKind::Unchecked;
   bool promoted = false;                 // none -> partial promotion applied
   bool elided_critical_section = false;  // optimization 2 suppressed checks
+  /// ProofBacked mode only: the syntactic rule would have elided this
+  /// branch, but no single lock is provably held — the check is kept.
+  bool elision_promoted = false;
   bool in_parallel_section = false;
   unsigned loop_depth = 0;
   /// Data operands reported by sendBranchCondition for PartialValue checks
@@ -67,7 +91,10 @@ struct SimilarityOptions {
   /// considered parallel (convenient for unit tests).
   std::string parallel_entry = "slave";
   bool promote_none_to_partial = true;   // paper optimization 1
-  bool elide_critical_sections = true;   // paper optimization 2
+  /// Paper optimization 2 (see ElisionMode). ProofBacked is the default:
+  /// it keeps the paper's overhead win for genuinely locked branches while
+  /// never eliding a check on the strength of unproven mutual exclusion.
+  ElisionMode elision = ElisionMode::ProofBacked;
   bool divergence_aware_phis = true;     // see header comment
   /// Record per-iteration categories of named values (Table III harness).
   bool record_trace = false;

@@ -32,11 +32,22 @@ const std::vector<Benchmark>& service_benchmarks() {
   return benchmarks;
 }
 
+const std::vector<Benchmark>& diagnostic_benchmarks() {
+  static const std::vector<Benchmark> benchmarks = {
+      {"racy_sum", "racy-sum", racy_sum_source(), {}, 32},
+      {"racy_guard", "racy-guard", racy_guard_source(), {}, 32},
+  };
+  return benchmarks;
+}
+
 const Benchmark* find_benchmark(std::string_view name) {
   for (const Benchmark& b : all_benchmarks()) {
     if (b.name == name) return &b;
   }
   for (const Benchmark& b : service_benchmarks()) {
+    if (b.name == name) return &b;
+  }
+  for (const Benchmark& b : diagnostic_benchmarks()) {
     if (b.name == name) return &b;
   }
   return nullptr;

@@ -38,7 +38,12 @@ const std::vector<Benchmark>& all_benchmarks();
 /// Table IV/V harnesses keep reporting exactly the paper's seven SPLASH-2
 /// rows; their PaperReference fields are zeroed (no paper counterpart).
 const std::vector<Benchmark>& service_benchmarks();
-/// Looks up `name` in all_benchmarks() first, then service_benchmarks().
+/// Deliberately racy diagnostic kernels (racy_sum, racy_guard) for the
+/// race checker's findings side. Resolvable through find_benchmark() but
+/// never enumerated, so evaluation harnesses cannot pick them up.
+const std::vector<Benchmark>& diagnostic_benchmarks();
+/// Looks up `name` in all_benchmarks(), then service_benchmarks(), then
+/// diagnostic_benchmarks().
 const Benchmark* find_benchmark(std::string_view name);
 
 // Raw sources (defined one per translation unit).
@@ -51,5 +56,7 @@ const char* fmm_source();
 const char* raytrace_source();
 const char* auth_check_source();
 const char* dispatch_source();
+const char* racy_sum_source();
+const char* racy_guard_source();
 
 }  // namespace bw::benchmarks

@@ -139,6 +139,7 @@ class IRGen {
     // Statements after a break/continue/return in the same block are
     // unreachable; drop them (sema accepts, CFG cleanup would remove).
     if (builder_.insert_block()->terminator() != nullptr) return;
+    if (stmt.loc.valid()) builder_.set_loc(stmt.loc);
     switch (stmt.kind) {
       case StmtKind::Block:
         for (const auto& child : stmt.stmts) lower_stmt(*child);
@@ -284,6 +285,7 @@ class IRGen {
   // --- Expressions -----------------------------------------------------------
 
   ir::Value* lower_expr(const Expr& expr) {
+    if (expr.loc.valid()) builder_.set_loc(expr.loc);
     switch (expr.kind) {
       case ExprKind::IntLit: return builder_.i64(expr.int_value);
       case ExprKind::FloatLit: return builder_.f64(expr.float_value);

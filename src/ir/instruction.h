@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ir/value.h"
+#include "support/diagnostics.h"
 
 namespace bw::ir {
 
@@ -124,6 +125,12 @@ class Instruction : public Value {
   bool flag() const noexcept { return flag_; }
   void set_flag(bool v) noexcept { flag_ = v; }
 
+  /// BW-C source position this instruction was lowered from (invalid for
+  /// parsed textual IR and pass-synthesized instructions). Stamped by
+  /// IRBuilder; diagnostics such as `bwc race` reports read it back.
+  support::SourceLoc loc() const noexcept { return loc_; }
+  void set_loc(support::SourceLoc loc) noexcept { loc_ = loc; }
+
   // --- Queries --------------------------------------------------------------
   bool is_terminator() const noexcept {
     return opcode_ == Opcode::Br || opcode_ == Opcode::CondBr ||
@@ -170,6 +177,7 @@ class Instruction : public Value {
   Type alloca_type_ = Type::I64;
   std::uint32_t imm_ = 0;
   bool flag_ = false;
+  support::SourceLoc loc_;
 };
 
 }  // namespace bw::ir

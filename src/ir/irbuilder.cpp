@@ -6,6 +6,7 @@ namespace bw::ir {
 
 Instruction* IRBuilder::emit(std::unique_ptr<Instruction> inst) {
   BW_INTERNAL_CHECK(block_ != nullptr, "IRBuilder has no insertion point");
+  inst->set_loc(loc_);
   return block_->append(std::move(inst));
 }
 

@@ -17,6 +17,12 @@ class IRBuilder {
   void set_insert_point(BasicBlock* bb) noexcept { block_ = bb; }
   BasicBlock* insert_block() const noexcept { return block_; }
 
+  /// Subsequent instructions carry `loc` as their source position (the
+  /// front-end stamps this per lowered statement/expression). An invalid
+  /// default loc marks synthesized instructions.
+  void set_loc(support::SourceLoc loc) noexcept { loc_ = loc; }
+  support::SourceLoc loc() const noexcept { return loc_; }
+
   // --- Constants -------------------------------------------------------------
   ConstantInt* i64(std::int64_t v) { return module_->get_i64(v); }
   ConstantInt* i1(bool v) { return module_->get_i1(v); }
@@ -60,6 +66,7 @@ class IRBuilder {
 
   Module* module_;
   BasicBlock* block_ = nullptr;
+  support::SourceLoc loc_;
 };
 
 }  // namespace bw::ir

@@ -4,6 +4,8 @@
 
 #include "ir/verifier.h"
 #include "support/telemetry/telemetry.h"
+#include "vm/memory.h"
+#include "vm/race_oracle.h"
 
 namespace bw::pipeline {
 
@@ -234,6 +236,68 @@ ExecutionResult execute_in_session(const CompiledProgram& program,
   result.monitor_health = session.health();
   publish_execution(result, config);
   return result;
+}
+
+RaceCheckReport check_program_races(const CompiledProgram& program,
+                                    const RaceCheckConfig& config) {
+  RaceCheckReport report;
+  {
+    telemetry::SpanScope span(telemetry::Phase::Analysis, "analysis.race");
+    report.static_result = analysis::check_races(*program.module);
+  }
+  if (report.static_result.statically_race_free()) return report;
+  if (!config.run_dynamic) {
+    // --static-only: every unproven candidate is a finding.
+    report.races_found = true;
+    return report;
+  }
+
+  // Confirm or clear the candidates dynamically: repeated uninstrumented
+  // runs with the race oracle attached. One oracle accumulates conflicts
+  // across schedules; access history is retired between runs.
+  vm::RaceOracle oracle;
+  vm::RunOptions ropts;
+  ropts.num_threads = config.num_threads;
+  ropts.parallel_entry = "slave";
+  ropts.init_function =
+      program.module->find_function("init") != nullptr ? "init"
+                                                       : std::string();
+  ropts.monitor = nullptr;
+  ropts.stop_on_detection = false;
+  ropts.instruction_budget = config.instruction_budget;
+  ropts.race_oracle = &oracle;
+  report.dynamic_ran = true;
+  for (unsigned i = 0; i < std::max(1u, config.dynamic_runs); ++i) {
+    telemetry::SpanScope span(telemetry::Phase::Execution, "race.validate");
+    vm::run_program(*program.module, ropts);
+    if (oracle.race_detected()) break;  // first confirmation suffices
+    oracle.reset_accesses();
+  }
+
+  // Attribute conflict heap words back to the globals that own them.
+  vm::GlobalLayout layout(*program.module);
+  for (const vm::RaceOracle::Conflict& c : oracle.conflicts()) {
+    DynamicRaceReport r;
+    r.global = "?";
+    r.word = c.addr;
+    r.tid_a = c.tid_a;
+    r.tid_b = c.tid_b;
+    r.write_a = c.write_a;
+    r.write_b = c.write_b;
+    for (const auto& g : program.module->globals()) {
+      std::uint64_t base = layout.base_of(g.get());
+      std::uint64_t size = static_cast<std::uint64_t>(g->size());
+      std::uint64_t addr = static_cast<std::uint64_t>(c.addr);
+      if (addr >= base && addr < base + size) {
+        r.global = g->name();
+        r.word = static_cast<std::int64_t>(addr - base);
+        break;
+      }
+    }
+    report.dynamic_races.push_back(std::move(r));
+  }
+  report.races_found = !report.dynamic_races.empty();
+  return report;
 }
 
 }  // namespace bw::pipeline

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/race_checker.h"
 #include "analysis/similarity.h"
 #include "frontend/compiler.h"
 #include "instrument/instrument.h"
@@ -130,5 +131,46 @@ ExecutionResult execute(const CompiledProgram& program,
 ExecutionResult execute_in_session(const CompiledProgram& program,
                                    const ExecutionConfig& config,
                                    runtime::MonitorService& service);
+
+/// Configuration for the `bwc race` flow (check_program_races).
+struct RaceCheckConfig {
+  unsigned num_threads = 4;
+  /// Uninstrumented validation runs per invocation when the static checker
+  /// leaves candidates. Repeated schedules raise the odds that a racy
+  /// interleaving actually collides in the oracle's epoch/lockset model.
+  unsigned dynamic_runs = 4;
+  /// false = static verdict only (`bwc race --static-only`): any unproven
+  /// candidate counts as a race.
+  bool run_dynamic = true;
+  /// Watchdog for the validation runs; 0 = unlimited.
+  std::uint64_t instruction_budget = 500'000'000;
+};
+
+/// One dynamically observed unsynchronized conflict, attributed back to
+/// the global that owns the heap word.
+struct DynamicRaceReport {
+  std::string global;      // owning global's name, "?" if unattributable
+  std::int64_t word = 0;   // word index within that global
+  unsigned tid_a = 0, tid_b = 0;
+  bool write_a = false, write_b = false;
+};
+
+/// Static + dynamic race verdict for one program (the `bwc race` verb).
+struct RaceCheckReport {
+  analysis::RaceCheckResult static_result;
+  /// Validation runs were executed (candidates existed and run_dynamic).
+  bool dynamic_ran = false;
+  std::vector<DynamicRaceReport> dynamic_races;
+  /// Final verdict: with dynamic validation, a race is only *found* when
+  /// the oracle confirms a candidate; static-only treats every candidate
+  /// as a finding.
+  bool races_found = false;
+};
+
+/// Run the static race checker over an (uninstrumented) program and, when
+/// it leaves unproven candidate pairs, confirm or clear them with repeated
+/// uninstrumented executions under the dynamic race oracle.
+RaceCheckReport check_program_races(const CompiledProgram& program,
+                                    const RaceCheckConfig& config = {});
 
 }  // namespace bw::pipeline

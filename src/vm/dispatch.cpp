@@ -850,37 +850,22 @@ RtValue ThreadRunner::call_threaded(std::uint32_t func_index,
   }
   BW_CASE(Barrier) {
     BW_SYNC();  // checkpoint capture and barrier wait observe the members
-    if (recovery_ != nullptr) {
-      ++barriers_crossed_;
-      if (recovery_->checkpoint_due(barriers_crossed_)) {
-        if (monitor_ != nullptr) monitor_->flush(tid_);
-        recovery_->stage(tid_, capture_snapshot());
-      }
-    }
-    m_.coordinator_.barrier_wait(tid_);
+    barrier_sync();
     BW_NEXT();
   }
   BW_CASE(LockAcquire) {
     BW_SYNC();  // may block or throw
-    m_.coordinator_.lock_acquire(tid_, S[t->a].i);
+    lock_sync_acquire(S[t->a].i);
     BW_NEXT();
   }
   BW_CASE(LockRelease) {
     BW_SYNC();
-    m_.coordinator_.lock_release(tid_, S[t->a].i);
+    lock_sync_release(S[t->a].i);
     BW_NEXT();
   }
   BW_CASE(AtomicAdd) {
-    std::int64_t addr = S[t->a].i;
-    std::int64_t delta = S[t->b].i;
-    if (addr < 0 || static_cast<std::uint64_t>(addr) >= m_.heap_.size()) {
-      BW_SYNC();
-      trap(TrapKind::OutOfBounds, "atomic_add out of bounds");
-    }
-    S[t->dest].i =
-        std::atomic_ref<std::int64_t>(
-            m_.heap_[static_cast<std::size_t>(addr)])
-            .fetch_add(delta, std::memory_order_relaxed);
+    BW_SYNC();  // heap_atomic_add may trap
+    S[t->dest].i = heap_atomic_add(S[t->a].i, S[t->b].i);
     BW_NEXT();
   }
   BW_CASE(PrintI64) {
@@ -971,6 +956,7 @@ RtValue ThreadRunner::call_threaded(std::uint32_t func_index,
   BW_CASE(BarrierFast) {
     BW_SYNC();  // barrier wait may block or throw
     m_.coordinator_.barrier_wait(tid_);
+    ++epoch_;  // the race oracle keys concurrency on barrier phases
     BW_NEXT();
   }
 #else

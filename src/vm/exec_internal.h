@@ -28,6 +28,7 @@
 #include "support/prng.h"
 #include "vm/dispatch.h"
 #include "vm/machine.h"
+#include "vm/race_oracle.h"
 #include "vm/recovery.h"
 
 namespace bw::vm::detail {
@@ -301,7 +302,10 @@ class ThreadRunner {
         tid_(tid),
         parallel_(parallel_section),
         monitor_(machine.options_.monitor),
-        recovery_(parallel_section ? machine.recovery_.get() : nullptr) {}
+        recovery_(parallel_section ? machine.recovery_.get() : nullptr),
+        // The oracle only sees the parallel section: init() is sequenced
+        // before slave() by the thread fork, so its accesses cannot race.
+        oracle_(parallel_section ? machine.options_.race_oracle : nullptr) {}
 
   ThreadOutcome run(std::uint32_t entry_index) {
     for (bool running = true; running;) {
@@ -395,6 +399,10 @@ class ThreadRunner {
       trap(TrapKind::OutOfBounds,
            "load at word " + std::to_string(addr));
     }
+    if (oracle_ != nullptr) {
+      oracle_->record(tid_, epoch_, locks_mask_, addr, /*is_write=*/false,
+                      /*is_atomic=*/false);
+    }
     return std::atomic_ref<std::int64_t>(m_.heap_[static_cast<std::size_t>(addr)])
         .load(std::memory_order_relaxed);
   }
@@ -404,8 +412,62 @@ class ThreadRunner {
       trap(TrapKind::OutOfBounds,
            "store at word " + std::to_string(addr));
     }
+    if (oracle_ != nullptr) {
+      oracle_->record(tid_, epoch_, locks_mask_, addr, /*is_write=*/true,
+                      /*is_atomic=*/false);
+    }
     std::atomic_ref<std::int64_t>(m_.heap_[static_cast<std::size_t>(addr)])
         .store(value, std::memory_order_relaxed);
+  }
+
+  /// Atomic read-modify-write on the shared heap (AtomicAdd). Shared by
+  /// both tiers so bounds, oracle recording and memory order cannot drift.
+  std::int64_t heap_atomic_add(std::int64_t addr, std::int64_t delta) {
+    if (addr < 0 || static_cast<std::uint64_t>(addr) >= m_.heap_.size()) {
+      trap(TrapKind::OutOfBounds, "atomic_add out of bounds");
+    }
+    if (oracle_ != nullptr) {
+      oracle_->record(tid_, epoch_, locks_mask_, addr, /*is_write=*/true,
+                      /*is_atomic=*/true);
+    }
+    return std::atomic_ref<std::int64_t>(
+               m_.heap_[static_cast<std::size_t>(addr)])
+        .fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  // --- Synchronization (shared by both tiers) ------------------------------
+
+  /// Barrier semantics: recovery checkpoint staging, the coordinator wait,
+  /// then the epoch advance that retires this phase for the race oracle.
+  void barrier_sync() {
+    if (recovery_ != nullptr) {
+      ++barriers_crossed_;
+      if (recovery_->checkpoint_due(barriers_crossed_)) {
+        // Push this thread's buffered reports to the monitor (the commit
+        // quiesce must see them), then stage the snapshot BEFORE arriving:
+        // the releasing thread commits while all stagers are blocked
+        // inside the barrier.
+        if (monitor_ != nullptr) monitor_->flush(tid_);
+        recovery_->stage(tid_, capture_snapshot());
+      }
+    }
+    m_.coordinator_.barrier_wait(tid_);
+    ++epoch_;
+  }
+
+  void lock_sync_acquire(std::int64_t id) {
+    m_.coordinator_.lock_acquire(tid_, id);
+    if (id < 0 || id >= 63) ++hi_locks_held_;
+    locks_mask_ |= RaceOracle::lock_bit(id);
+  }
+
+  void lock_sync_release(std::int64_t id) {
+    m_.coordinator_.lock_release(tid_, id);
+    if (id >= 0 && id < 63) {
+      locks_mask_ &= ~RaceOracle::lock_bit(id);
+    } else if (hi_locks_held_ > 0 && --hi_locks_held_ == 0) {
+      locks_mask_ &= ~RaceOracle::lock_bit(id);
+    }
   }
 
   static bool is_local_addr(std::int64_t addr) {
@@ -743,6 +805,7 @@ class ThreadRunner {
   bool parallel_;
   runtime::BranchSink* monitor_;
   RecoveryCoordinator* recovery_;  // null unless recovery is enabled
+  RaceOracle* oracle_;  // null unless a race oracle is attached
   runtime::ContextTracker tracker_;
   ThreadOutcome outcome_;
   std::string output_;
@@ -750,6 +813,11 @@ class ThreadRunner {
   std::uint64_t instructions_ = 0;
   std::uint64_t branches_ = 0;
   std::uint64_t barriers_crossed_ = 0;
+  /// Race-oracle context: barrier phase counter, held-lock bitmask, and a
+  /// count of held locks whose ids share the collapsed high mask bit.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t locks_mask_ = 0;
+  unsigned hi_locks_held_ = 0;
   unsigned call_depth_ = 0;
   bool fault_done_ = false;
   /// Targeted fault model state. Deliberately NOT restored on rollback:

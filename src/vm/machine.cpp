@@ -284,40 +284,19 @@ RtValue ThreadRunner::call(std::uint32_t func_index,
         regs[d.dest].i = static_cast<std::int64_t>(
             m_.options_.num_threads);
         break;
-      case ir::Opcode::Barrier: {
-        if (recovery_ != nullptr) {
-          ++barriers_crossed_;
-          if (recovery_->checkpoint_due(barriers_crossed_)) {
-            // Push this thread's buffered reports to the monitor (the
-            // commit quiesce must see them), then stage the snapshot
-            // BEFORE arriving: the releasing thread commits while all
-            // stagers are blocked inside the barrier.
-            if (monitor_ != nullptr) monitor_->flush(tid_);
-            recovery_->stage(tid_, capture_snapshot());
-          }
-        }
-        m_.coordinator_.barrier_wait(tid_);
+      case ir::Opcode::Barrier:
+        barrier_sync();
         break;
-      }
       case ir::Opcode::LockAcquire:
-        m_.coordinator_.lock_acquire(tid_, geti(d.ops[0], regs.data()));
+        lock_sync_acquire(geti(d.ops[0], regs.data()));
         break;
       case ir::Opcode::LockRelease:
-        m_.coordinator_.lock_release(tid_, geti(d.ops[0], regs.data()));
+        lock_sync_release(geti(d.ops[0], regs.data()));
         break;
-      case ir::Opcode::AtomicAdd: {
-        std::int64_t addr = geti(d.ops[0], regs.data());
-        std::int64_t delta = geti(d.ops[1], regs.data());
-        if (addr < 0 ||
-            static_cast<std::uint64_t>(addr) >= m_.heap_.size()) {
-          trap(TrapKind::OutOfBounds, "atomic_add out of bounds");
-        }
-        regs[d.dest].i =
-            std::atomic_ref<std::int64_t>(
-                m_.heap_[static_cast<std::size_t>(addr)])
-                .fetch_add(delta, std::memory_order_relaxed);
+      case ir::Opcode::AtomicAdd:
+        regs[d.dest].i = heap_atomic_add(geti(d.ops[0], regs.data()),
+                                         geti(d.ops[1], regs.data()));
         break;
-      }
       case ir::Opcode::PrintI64: {
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%lld\n",

@@ -20,6 +20,8 @@
 
 namespace bw::vm {
 
+class RaceOracle;
+
 /// A single transient fault to inject (paper Section IV):
 ///  * BranchFlip — flip the outcome of the k-th dynamic branch of one
 ///    thread (the "flag register" fault; guaranteed activation).
@@ -120,6 +122,9 @@ struct RunOptions {
   /// The tiers are bit-identical for verified modules (the differential
   /// suite enforces it), so this only trades speed for debuggability.
   ExecTier tier = ExecTier::Auto;
+  /// Attach a dynamic race detector (vm/race_oracle.h). Records shared
+  /// heap traffic of the parallel section only; nullptr = no recording.
+  RaceOracle* race_oracle = nullptr;
 };
 
 /// Execute the module. Thread-safe with respect to other Machines; the

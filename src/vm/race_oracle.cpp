@@ -1,0 +1,73 @@
+#include "vm/race_oracle.h"
+
+namespace bw::vm {
+
+void RaceOracle::record(unsigned tid, std::uint64_t epoch,
+                        std::uint64_t locks, std::int64_t addr, bool is_write,
+                        bool is_atomic) {
+  Shard& shard = shards_[static_cast<std::uint64_t>(addr) % kShards];
+  std::lock_guard<std::mutex> g(shard.mutex);
+  AddrState& state = shard.addrs[addr];
+  if (state.epoch != epoch) {
+    // Aligned barriers retire epochs globally; any epoch change means the
+    // old access set can no longer gain concurrent partners.
+    state.epoch = epoch;
+    state.entries.clear();
+  }
+
+  bool new_pw = is_write && !is_atomic;
+  bool new_aw = is_write && is_atomic;
+  bool new_pr = !is_write && !is_atomic;
+
+  Entry* mine = nullptr;
+  for (Entry& e : state.entries) {
+    if (e.tid != tid) {
+      // Conflict: same word, same epoch, different threads, at least one
+      // write, not both atomic, no common lock.
+      if ((e.locks & locks) == 0) {
+        bool a_writes = new_pw || new_aw;
+        bool b_writes = e.plain_write || e.atomic_write;
+        bool conflict =
+            (new_pw && (b_writes || e.plain_read)) ||
+            (new_aw && (e.plain_write || e.plain_read)) ||
+            (new_pr && (e.plain_write || e.atomic_write));
+        if (conflict) {
+          std::lock_guard<std::mutex> cg(conflicts_mutex_);
+          if (conflicts_.size() < kMaxConflicts) {
+            bool dup = false;
+            for (const Conflict& c : conflicts_) {
+              if (c.addr == addr) dup = true;
+            }
+            if (!dup) {
+              conflicts_.push_back(
+                  {addr, e.tid, tid, b_writes, a_writes, epoch});
+            }
+          }
+        }
+      }
+    } else if (e.locks == locks) {
+      mine = &e;
+    }
+  }
+  if (mine == nullptr) {
+    state.entries.push_back({tid, locks, false, false, false});
+    mine = &state.entries.back();
+  }
+  mine->plain_write |= new_pw;
+  mine->atomic_write |= new_aw;
+  mine->plain_read |= new_pr;
+}
+
+std::vector<RaceOracle::Conflict> RaceOracle::conflicts() const {
+  std::lock_guard<std::mutex> g(conflicts_mutex_);
+  return conflicts_;
+}
+
+void RaceOracle::reset_accesses() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> g(shard.mutex);
+    shard.addrs.clear();
+  }
+}
+
+}  // namespace bw::vm

@@ -1,0 +1,87 @@
+// Dynamic race oracle for the VM: an epoch + lockset detector in the
+// spirit of Eraser, specialized to barrier-phased SPMD execution.
+//
+// The VM's shared heap is accessed through relaxed std::atomic_ref, so
+// BW-C data races are invisible to C++ TSan by construction — this oracle
+// is the dynamic ground truth the static race checker's unproven
+// candidate pairs are validated against (`bwc race`).
+//
+// Model: every thread carries an epoch counter incremented each time it
+// returns from a barrier. Under textual barrier alignment two accesses
+// can only be concurrent when their epochs are equal. A conflict is two
+// accesses to the same heap word, in the same epoch, from different
+// threads, at least one a write, not both atomic, holding no lock in
+// common. That is exactly the paper's "unsynchronized conflicting
+// access" — ordered only by the accident of scheduling.
+//
+// The oracle is attached per run via RunOptions::race_oracle and records
+// only during the parallel section (init is sequenced-before slave by the
+// thread fork). State is sharded by address; per address only the newest
+// epoch's access set is retained, which is sufficient because aligned
+// barriers retire an epoch globally before the next one starts.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace bw::vm {
+
+class RaceOracle {
+ public:
+  struct Conflict {
+    std::int64_t addr = 0;  // heap word
+    unsigned tid_a = 0, tid_b = 0;
+    bool write_a = false, write_b = false;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Lock ids [0, 63) map to their own mask bit; anything else collapses
+  /// onto bit 63 (callers keep a count so the bit stays set while any
+  /// high lock is held).
+  static std::uint64_t lock_bit(std::int64_t id) {
+    return id >= 0 && id < 63 ? (std::uint64_t{1} << id)
+                              : (std::uint64_t{1} << 63);
+  }
+
+  void record(unsigned tid, std::uint64_t epoch, std::uint64_t locks,
+              std::int64_t addr, bool is_write, bool is_atomic);
+
+  bool race_detected() const noexcept {
+    std::lock_guard<std::mutex> g(conflicts_mutex_);
+    return !conflicts_.empty();
+  }
+  /// First few distinct conflicts, capped (see kMaxConflicts).
+  std::vector<Conflict> conflicts() const;
+
+  /// Forget all access history but keep reported conflicts. Call between
+  /// repeated runs that reuse one oracle.
+  void reset_accesses();
+
+ private:
+  struct Entry {
+    unsigned tid;
+    std::uint64_t locks;
+    bool plain_write;   // non-atomic store
+    bool atomic_write;  // atomic_add (read-modify-write)
+    bool plain_read;    // non-atomic load
+  };
+  struct AddrState {
+    std::uint64_t epoch = 0;
+    std::vector<Entry> entries;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::int64_t, AddrState> addrs;
+  };
+
+  static constexpr std::size_t kShards = 64;
+  static constexpr std::size_t kMaxConflicts = 64;
+
+  Shard shards_[kShards];
+  mutable std::mutex conflicts_mutex_;
+  std::vector<Conflict> conflicts_;
+};
+
+}  // namespace bw::vm

@@ -1,0 +1,139 @@
+// Unit tests for the dynamic race oracle (vm/race_oracle.h): the
+// epoch + lockset conflict predicate, the lock-id -> mask-bit mapping,
+// per-address conflict dedup, and access-history reset between runs.
+// The VM-integration side (oracle attached to real program runs) lives in
+// static_analysis_test.cpp next to the static checker it validates.
+#include <gtest/gtest.h>
+
+#include "vm/race_oracle.h"
+
+namespace {
+
+using bw::vm::RaceOracle;
+
+TEST(RaceOracleLockBit, LowIdsOwnTheirBit) {
+  EXPECT_EQ(RaceOracle::lock_bit(0), std::uint64_t{1});
+  EXPECT_EQ(RaceOracle::lock_bit(5), std::uint64_t{1} << 5);
+  EXPECT_EQ(RaceOracle::lock_bit(62), std::uint64_t{1} << 62);
+}
+
+TEST(RaceOracleLockBit, HighAndNegativeIdsCollapseOntoBit63) {
+  EXPECT_EQ(RaceOracle::lock_bit(63), std::uint64_t{1} << 63);
+  EXPECT_EQ(RaceOracle::lock_bit(64), std::uint64_t{1} << 63);
+  EXPECT_EQ(RaceOracle::lock_bit(1000), std::uint64_t{1} << 63);
+  EXPECT_EQ(RaceOracle::lock_bit(-1), std::uint64_t{1} << 63);
+}
+
+TEST(RaceOracle, PlainWriteVsPlainReadSameEpochConflicts) {
+  RaceOracle oracle;
+  oracle.record(0, 0, 0, 100, /*is_write=*/true, /*is_atomic=*/false);
+  oracle.record(1, 0, 0, 100, /*is_write=*/false, /*is_atomic=*/false);
+  ASSERT_TRUE(oracle.race_detected());
+  auto conflicts = oracle.conflicts();
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].addr, 100);
+  EXPECT_TRUE(conflicts[0].write_a || conflicts[0].write_b);
+}
+
+TEST(RaceOracle, BothReadsNeverConflict) {
+  RaceOracle oracle;
+  oracle.record(0, 0, 0, 7, false, false);
+  oracle.record(1, 0, 0, 7, false, false);
+  oracle.record(2, 0, 0, 7, false, false);
+  EXPECT_FALSE(oracle.race_detected());
+}
+
+TEST(RaceOracle, SameThreadNeverConflicts) {
+  RaceOracle oracle;
+  oracle.record(3, 0, 0, 7, true, false);
+  oracle.record(3, 0, 0, 7, true, false);
+  oracle.record(3, 0, 0, 7, false, false);
+  EXPECT_FALSE(oracle.race_detected());
+}
+
+TEST(RaceOracle, CommonLockSuppressesConflict) {
+  RaceOracle oracle;
+  const std::uint64_t lock0 = RaceOracle::lock_bit(0);
+  oracle.record(0, 0, lock0, 42, true, false);
+  oracle.record(1, 0, lock0, 42, true, false);
+  EXPECT_FALSE(oracle.race_detected());
+}
+
+TEST(RaceOracle, DisjointLocksetsConflict) {
+  RaceOracle oracle;
+  oracle.record(0, 0, RaceOracle::lock_bit(0), 42, true, false);
+  oracle.record(1, 0, RaceOracle::lock_bit(1), 42, true, false);
+  EXPECT_TRUE(oracle.race_detected());
+}
+
+TEST(RaceOracle, DifferentEpochsAreOrderedByTheBarrier) {
+  RaceOracle oracle;
+  oracle.record(0, 0, 0, 42, true, false);
+  oracle.record(1, 1, 0, 42, true, false);
+  EXPECT_FALSE(oracle.race_detected());
+}
+
+TEST(RaceOracle, BothAtomicIsSynchronized) {
+  RaceOracle oracle;
+  oracle.record(0, 0, 0, 9, true, /*is_atomic=*/true);
+  oracle.record(1, 0, 0, 9, true, /*is_atomic=*/true);
+  EXPECT_FALSE(oracle.race_detected());
+}
+
+TEST(RaceOracle, AtomicWriteVsPlainAccessConflicts) {
+  RaceOracle oracle;
+  oracle.record(0, 0, 0, 9, true, /*is_atomic=*/true);
+  oracle.record(1, 0, 0, 9, false, /*is_atomic=*/false);
+  EXPECT_TRUE(oracle.race_detected());
+}
+
+TEST(RaceOracle, ConflictsDedupPerAddress) {
+  RaceOracle oracle;
+  for (unsigned tid = 0; tid < 8; ++tid) {
+    for (int rep = 0; rep < 10; ++rep) {
+      oracle.record(tid, 0, 0, 500, true, false);
+    }
+  }
+  EXPECT_TRUE(oracle.race_detected());
+  EXPECT_EQ(oracle.conflicts().size(), 1u);
+}
+
+TEST(RaceOracle, DistinctAddressesReportDistinctConflicts) {
+  RaceOracle oracle;
+  oracle.record(0, 0, 0, 1, true, false);
+  oracle.record(1, 0, 0, 1, true, false);
+  oracle.record(0, 0, 0, 2, true, false);
+  oracle.record(1, 0, 0, 2, true, false);
+  EXPECT_EQ(oracle.conflicts().size(), 2u);
+}
+
+TEST(RaceOracle, ResetAccessesKeepsConflictsForgetsHistory) {
+  RaceOracle oracle;
+  oracle.record(0, 0, 0, 42, true, false);
+  oracle.record(1, 0, 0, 42, true, false);
+  ASSERT_EQ(oracle.conflicts().size(), 1u);
+
+  oracle.reset_accesses();
+  // Prior conflicts survive the reset...
+  EXPECT_TRUE(oracle.race_detected());
+  EXPECT_EQ(oracle.conflicts().size(), 1u);
+  // ...but the access history does not: a lone post-reset access pairs
+  // with nothing from before the reset.
+  oracle.record(2, 0, 0, 43, true, false);
+  EXPECT_EQ(oracle.conflicts().size(), 1u);
+}
+
+TEST(RaceOracle, NewerEpochRetiresOlderEntries) {
+  RaceOracle oracle;
+  oracle.record(0, 0, 0, 42, true, false);
+  // Thread 1 reaches the address only in the next epoch; the epoch-0
+  // entry is retired, so no pair forms even though both wrote addr 42.
+  oracle.record(1, 1, 0, 42, true, false);
+  oracle.record(2, 1, 0, 42, false, false);
+  EXPECT_TRUE(oracle.race_detected());  // tid 1 vs tid 2, both epoch 1
+  auto conflicts = oracle.conflicts();
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].epoch, 1u);
+}
+
+}  // namespace
