@@ -67,7 +67,9 @@ struct RaceCheckResult {
   /// dynamically.
   std::vector<RacePair> candidates;
 
-  bool statically_race_free() const { return candidates.empty(); }
+  /// A proof, not a default: an unanalyzable module (no parallel entry)
+  /// was never checked and is NOT reported race-free.
+  bool statically_race_free() const { return analyzable && candidates.empty(); }
 };
 
 /// Analyze `module`, treating `entry_name` as the SPMD function every

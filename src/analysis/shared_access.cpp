@@ -735,6 +735,29 @@ bool has_use_outside_loop(const Function& func, const Instruction* def,
   return false;
 }
 
+/// True when every in-loop use of `def` other than `exempt` (the exit
+/// comparison itself) sits in a block dominated by `cont`, the exit
+/// branch's in-loop successor. Uses by phis count at their incoming
+/// block, matching has_use_outside_loop above.
+bool loop_uses_dominated_by(const Function& func, const Instruction* def,
+                            const ir::Loop* loop, const BasicBlock* cont,
+                            const DominatorTree& domtree,
+                            const Instruction* exempt) {
+  for (const auto& bb : func.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst.get() == exempt) continue;
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        if (inst->operand(i) != def) continue;
+        const BasicBlock* where =
+            inst->is_phi() ? inst->incoming_blocks()[i] : bb.get();
+        if (!loop->contains(where)) continue;
+        if (!domtree.dominates(cont, where)) return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 AbsVal SharedAccessAnalysis::eval_phi(const Instruction* phi, Context& ctx) {
@@ -772,9 +795,10 @@ AbsVal SharedAccessAnalysis::eval_phi(const Instruction* phi, Context& ctx) {
           out.mod_rem = poly_mod_normalize(residue_of(init_v, vars_), vars_);
         }
         if (step_nonneg) out.lo = init_v.exact;
-        // Upper bound from the unique in-loop exit comparison, valid for
-        // uses dominated by a passed check — i.e. inside the loop. A use
-        // outside the loop sees the post-exit value; drop the bound then.
+        // Upper bound from the unique in-loop exit comparison, valid only
+        // for uses dominated by a passed check (verified below per use).
+        // A use outside the loop sees the post-exit value; drop the bound
+        // then.
         if (step_nonneg && !has_use_outside_loop(*ctx.func, phi, loop)) {
           const Instruction* exit_br = nullptr;
           int exits = 0;
@@ -813,7 +837,23 @@ AbsVal SharedAccessAnalysis::eval_phi(const Instruction* phi, Context& ctx) {
                   inclusive = true;
                 }
               }
-              if (bound != nullptr) {
+              // The test only bounds *this* iteration's value on paths
+              // that already passed it. Require (a) the condition to be
+              // computed in the branch block (re-evaluated every time
+              // the branch runs), (b) the continue successor to be
+              // entered through the branch alone, and (c) that successor
+              // to dominate every in-loop use of the phi bar the
+              // condition itself. A rotated loop (access before test)
+              // runs once more with phi == B after the last passed
+              // check, so the bound must not be attached there.
+              const BasicBlock* cont = exit_br->successors()[0];
+              std::vector<BasicBlock*> cont_preds = cont->predecessors();
+              bool sole_entry = cont_preds.size() == 1 &&
+                                cont_preds.front() == exit_br->parent();
+              if (bound != nullptr && cond->parent() == exit_br->parent() &&
+                  sole_entry &&
+                  loop_uses_dominated_by(*ctx.func, phi, loop, cont,
+                                         *ctx.domtree, cond)) {
                 AbsVal bound_v = eval(bound, ctx);
                 out.hi = inclusive
                              ? bound_v.exact

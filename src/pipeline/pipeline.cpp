@@ -245,6 +245,11 @@ RaceCheckReport check_program_races(const CompiledProgram& program,
     telemetry::SpanScope span(telemetry::Phase::Analysis, "analysis.race");
     report.static_result = analysis::check_races(*program.module);
   }
+  if (!report.static_result.analyzable) {
+    // No parallel entry: nothing was checked, so neither a race-free nor
+    // a races-found verdict applies. Callers must consult `analyzable`.
+    return report;
+  }
   if (report.static_result.statically_race_free()) return report;
   if (!config.run_dynamic) {
     // --static-only: every unproven candidate is a finding.

@@ -163,7 +163,8 @@ struct RaceCheckReport {
   std::vector<DynamicRaceReport> dynamic_races;
   /// Final verdict: with dynamic validation, a race is only *found* when
   /// the oracle confirms a candidate; static-only treats every candidate
-  /// as a finding.
+  /// as a finding. When static_result.analyzable is false nothing was
+  /// checked and races_found stays false — consult analyzable first.
   bool races_found = false;
 };
 

@@ -401,7 +401,7 @@ class ThreadRunner {
     }
     if (oracle_ != nullptr) {
       oracle_->record(tid_, epoch_, locks_mask_, addr, /*is_write=*/false,
-                      /*is_atomic=*/false);
+                      /*is_atomic=*/false, &hi_lock_ids_);
     }
     return std::atomic_ref<std::int64_t>(m_.heap_[static_cast<std::size_t>(addr)])
         .load(std::memory_order_relaxed);
@@ -414,7 +414,7 @@ class ThreadRunner {
     }
     if (oracle_ != nullptr) {
       oracle_->record(tid_, epoch_, locks_mask_, addr, /*is_write=*/true,
-                      /*is_atomic=*/false);
+                      /*is_atomic=*/false, &hi_lock_ids_);
     }
     std::atomic_ref<std::int64_t>(m_.heap_[static_cast<std::size_t>(addr)])
         .store(value, std::memory_order_relaxed);
@@ -428,7 +428,7 @@ class ThreadRunner {
     }
     if (oracle_ != nullptr) {
       oracle_->record(tid_, epoch_, locks_mask_, addr, /*is_write=*/true,
-                      /*is_atomic=*/true);
+                      /*is_atomic=*/true, &hi_lock_ids_);
     }
     return std::atomic_ref<std::int64_t>(
                m_.heap_[static_cast<std::size_t>(addr)])
@@ -457,7 +457,12 @@ class ThreadRunner {
 
   void lock_sync_acquire(std::int64_t id) {
     m_.coordinator_.lock_acquire(tid_, id);
-    if (id < 0 || id >= 63) ++hi_locks_held_;
+    if (id < 0 || id >= 63) {
+      // Ids outside the precise mask range are tracked exactly (sorted
+      // multiset) so the race oracle can tell distinct high locks apart.
+      hi_lock_ids_.insert(
+          std::upper_bound(hi_lock_ids_.begin(), hi_lock_ids_.end(), id), id);
+    }
     locks_mask_ |= RaceOracle::lock_bit(id);
   }
 
@@ -465,8 +470,11 @@ class ThreadRunner {
     m_.coordinator_.lock_release(tid_, id);
     if (id >= 0 && id < 63) {
       locks_mask_ &= ~RaceOracle::lock_bit(id);
-    } else if (hi_locks_held_ > 0 && --hi_locks_held_ == 0) {
-      locks_mask_ &= ~RaceOracle::lock_bit(id);
+    } else {
+      auto it =
+          std::lower_bound(hi_lock_ids_.begin(), hi_lock_ids_.end(), id);
+      if (it != hi_lock_ids_.end() && *it == id) hi_lock_ids_.erase(it);
+      if (hi_lock_ids_.empty()) locks_mask_ &= ~RaceOracle::lock_bit(id);
     }
   }
 
@@ -817,7 +825,9 @@ class ThreadRunner {
   /// count of held locks whose ids share the collapsed high mask bit.
   std::uint64_t epoch_ = 0;
   std::uint64_t locks_mask_ = 0;
-  unsigned hi_locks_held_ = 0;
+  /// Sorted multiset of held lock ids outside [0, 63): the exact identity
+  /// the oracle uses where locks_mask_ only has the bit-63 summary.
+  std::vector<std::int64_t> hi_lock_ids_;
   unsigned call_depth_ = 0;
   bool fault_done_ = false;
   /// Targeted fault model state. Deliberately NOT restored on rollback:

@@ -1,10 +1,37 @@
 #include "vm/race_oracle.h"
 
+#include <algorithm>
+
 namespace bw::vm {
+
+namespace {
+
+constexpr std::uint64_t kHighSummaryBit = std::uint64_t{1} << 63;
+
+const std::vector<std::int64_t> kNoHighLocks;
+
+bool sorted_intersect(const std::vector<std::int64_t>& a,
+                      const std::vector<std::int64_t>& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 void RaceOracle::record(unsigned tid, std::uint64_t epoch,
                         std::uint64_t locks, std::int64_t addr, bool is_write,
-                        bool is_atomic) {
+                        bool is_atomic,
+                        const std::vector<std::int64_t>* hi_locks) {
+  const std::vector<std::int64_t>& hi =
+      hi_locks != nullptr ? *hi_locks : kNoHighLocks;
   Shard& shard = shards_[static_cast<std::uint64_t>(addr) % kShards];
   std::lock_guard<std::mutex> g(shard.mutex);
   AddrState& state = shard.addrs[addr];
@@ -23,8 +50,11 @@ void RaceOracle::record(unsigned tid, std::uint64_t epoch,
   for (Entry& e : state.entries) {
     if (e.tid != tid) {
       // Conflict: same word, same epoch, different threads, at least one
-      // write, not both atomic, no common lock.
-      if ((e.locks & locks) == 0) {
+      // write, not both atomic, no common lock. Bit 63 only summarizes
+      // "some high lock held" — identity for those comes from the exact
+      // id sets, so distinct high locks do not suppress the pair.
+      if ((e.locks & locks & ~kHighSummaryBit) == 0 &&
+          !sorted_intersect(e.hi_locks, hi)) {
         bool a_writes = new_pw || new_aw;
         bool b_writes = e.plain_write || e.atomic_write;
         bool conflict =
@@ -45,12 +75,12 @@ void RaceOracle::record(unsigned tid, std::uint64_t epoch,
           }
         }
       }
-    } else if (e.locks == locks) {
+    } else if (e.locks == locks && e.hi_locks == hi) {
       mine = &e;
     }
   }
   if (mine == nullptr) {
-    state.entries.push_back({tid, locks, false, false, false});
+    state.entries.push_back({tid, locks, hi, false, false, false});
     mine = &state.entries.back();
   }
   mine->plain_write |= new_pw;

@@ -37,16 +37,23 @@ class RaceOracle {
     std::uint64_t epoch = 0;
   };
 
-  /// Lock ids [0, 63) map to their own mask bit; anything else collapses
-  /// onto bit 63 (callers keep a count so the bit stays set while any
-  /// high lock is held).
+  /// Lock ids [0, 63) map to their own mask bit; anything else maps onto
+  /// bit 63, a *summary* bit with no identity (callers keep the mask in
+  /// sync with their high-lock set so it stays set while any such lock is
+  /// held). The conflict predicate ignores bit 63 and compares high ids
+  /// exactly via the `hi_locks` sets passed to record(), so two threads
+  /// holding *different* high or negative ids never look synchronized.
   static std::uint64_t lock_bit(std::int64_t id) {
     return id >= 0 && id < 63 ? (std::uint64_t{1} << id)
                               : (std::uint64_t{1} << 63);
   }
 
+  /// `locks` carries the precise bits for ids in [0, 63); `hi_locks`,
+  /// when non-null, is the caller's sorted multiset of held ids outside
+  /// that range.
   void record(unsigned tid, std::uint64_t epoch, std::uint64_t locks,
-              std::int64_t addr, bool is_write, bool is_atomic);
+              std::int64_t addr, bool is_write, bool is_atomic,
+              const std::vector<std::int64_t>* hi_locks = nullptr);
 
   bool race_detected() const noexcept {
     std::lock_guard<std::mutex> g(conflicts_mutex_);
@@ -63,6 +70,7 @@ class RaceOracle {
   struct Entry {
     unsigned tid;
     std::uint64_t locks;
+    std::vector<std::int64_t> hi_locks;  // sorted ids outside [0, 63)
     bool plain_write;   // non-atomic store
     bool atomic_write;  // atomic_add (read-modify-write)
     bool plain_read;    // non-atomic load

@@ -5,6 +5,9 @@
 // static_analysis_test.cpp next to the static checker it validates.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "vm/race_oracle.h"
 
 namespace {
@@ -63,6 +66,33 @@ TEST(RaceOracle, DisjointLocksetsConflict) {
   RaceOracle oracle;
   oracle.record(0, 0, RaceOracle::lock_bit(0), 42, true, false);
   oracle.record(1, 0, RaceOracle::lock_bit(1), 42, true, false);
+  EXPECT_TRUE(oracle.race_detected());
+}
+
+TEST(RaceOracle, DistinctHighLockIdsDoNotSuppress) {
+  // Both masks collapse onto summary bit 63, but the exact id sets are
+  // disjoint: two threads under *different* high locks are unsynchronized
+  // and the conflict must be reported.
+  RaceOracle oracle;
+  std::vector<std::int64_t> a{100}, b{200};
+  oracle.record(0, 0, RaceOracle::lock_bit(100), 42, true, false, &a);
+  oracle.record(1, 0, RaceOracle::lock_bit(200), 42, true, false, &b);
+  EXPECT_TRUE(oracle.race_detected());
+}
+
+TEST(RaceOracle, SameHighLockIdSuppressesConflict) {
+  RaceOracle oracle;
+  std::vector<std::int64_t> held{1000};
+  oracle.record(0, 0, RaceOracle::lock_bit(1000), 42, true, false, &held);
+  oracle.record(1, 0, RaceOracle::lock_bit(1000), 42, true, false, &held);
+  EXPECT_FALSE(oracle.race_detected());
+}
+
+TEST(RaceOracle, NegativeAndHighIdsAreDistinctLocks) {
+  RaceOracle oracle;
+  std::vector<std::int64_t> a{-1}, b{64};
+  oracle.record(0, 0, RaceOracle::lock_bit(-1), 7, true, false, &a);
+  oracle.record(1, 0, RaceOracle::lock_bit(64), 7, true, false, &b);
   EXPECT_TRUE(oracle.race_detected());
 }
 

@@ -16,10 +16,12 @@
 //     are reached without dynamic runs
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "analysis/race_checker.h"
 #include "benchmarks/registry.h"
+#include "ir/irbuilder.h"
 #include "kernel_generator.h"
 #include "pipeline/pipeline.h"
 
@@ -169,6 +171,68 @@ func slave() {
 )BWC");
   EXPECT_TRUE(r.statically_race_free());
   EXPECT_TRUE(has_certificate(r, "interval"));
+}
+
+TEST(StaticRaceChecker, RotatedLoopBoundaryWriteStaysCandidate) {
+  // Regression: a latch-tested loop stores data[i] *before* the exit
+  // check `i < last`, so the body runs once more with i == last and
+  // thread t's final write lands on thread t+1's first element — a real
+  // race. The induction bound must not be derived from an exit test that
+  // does not dominate the access, or the interval certificate would
+  // wrongly prove the partition disjoint and make the verdict final.
+  ir::Module module("rotated");
+  ir::GlobalVariable* data = module.create_global("data", ir::Type::I64, 256);
+  ir::Function* slave = module.create_function("slave", ir::Type::Void, {});
+  ir::BasicBlock* entry = slave->create_block("entry");
+  ir::BasicBlock* header = slave->create_block("header");
+  ir::BasicBlock* latch = slave->create_block("latch");
+  ir::BasicBlock* done = slave->create_block("done");
+
+  ir::IRBuilder b(&module);
+  b.set_insert_point(entry);
+  ir::Instruction* id = b.tid();
+  ir::Instruction* first = b.binary(ir::Opcode::Mul, id, b.i64(16));
+  ir::Instruction* last = b.binary(ir::Opcode::Add, first, b.i64(16));
+  b.br(header);
+
+  b.set_insert_point(header);
+  ir::Instruction* i = b.phi(ir::Type::I64);
+  b.store(b.i64(1), b.gep(data, i));
+  ir::Instruction* cmp = b.icmp(ir::CmpPred::LT, i, last);
+  b.cond_br(cmp, latch, done);
+
+  b.set_insert_point(latch);
+  ir::Instruction* next = b.binary(ir::Opcode::Add, i, b.i64(1));
+  b.br(header);
+
+  b.set_insert_point(done);
+  b.ret();
+
+  i->add_incoming(first, entry);
+  i->add_incoming(next, latch);
+
+  analysis::RaceCheckResult r = analysis::check_races(module);
+  ASSERT_TRUE(r.analyzable);
+  EXPECT_FALSE(r.statically_race_free());
+  EXPECT_FALSE(has_certificate(r, "interval"));
+}
+
+TEST(StaticRaceChecker, UnanalyzableModuleIsNotRaceFree) {
+  // No parallel entry means nothing was checked: the result must not
+  // read as a race-free proof, and check_program_races must stop at the
+  // unanalyzable state rather than hand back races_found == false as a
+  // verdict.
+  pipeline::CompiledProgram program;
+  program.module = std::make_unique<ir::Module>("empty");
+
+  analysis::RaceCheckResult s = analysis::check_races(*program.module);
+  EXPECT_FALSE(s.analyzable);
+  EXPECT_FALSE(s.statically_race_free());
+
+  pipeline::RaceCheckReport report = pipeline::check_program_races(program);
+  EXPECT_FALSE(report.static_result.analyzable);
+  EXPECT_FALSE(report.dynamic_ran);
+  EXPECT_FALSE(report.races_found);
 }
 
 TEST(StaticRaceChecker, AtomicAccumulationIsNotAConflict) {
