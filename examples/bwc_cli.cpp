@@ -87,6 +87,7 @@
 
 #include "benchmarks/registry.h"
 #include "fault/campaign.h"
+#include "fault/compositional.h"
 #include "pipeline/pipeline.h"
 #include "runtime/monitor_service.h"
 #include "support/telemetry/telemetry.h"
@@ -137,7 +138,8 @@ int usage() {
       "       bwc campaign <prog> [injections] [threads] [--type=flip|cond|"
       "targeted|stall|corrupt|drop]\n"
       "           [--workers=N] [--seed=S] [--checkpoint=<file>] "
-      "[--resume=<file>] [--no-protect] [--recover] [--flips=N]\n"
+      "[--resume=<file>] [--no-protect] [--recover] [--flips=N] "
+      "[--compositional]\n"
       "       bwc serve <prog> [sessions] [threads] [--shards=K] "
       "[--max-sessions=N] [--quota=N] [--runners=R]\n"
       "       bwc race <prog> [threads] [--static-only]\n");
@@ -464,8 +466,66 @@ struct CampaignFlags {
   std::string checkpoint_file;
   std::string resume_file;
   bool no_protect = false;
+  bool compositional = false;
   unsigned targeted_flips = 4;
 };
+
+/// `bwc campaign --compositional`: the per-phase engine with the v3
+/// phase-outcome cache. Point --checkpoint at a stable file and re-run
+/// after each source edit: only the phases whose code or entry state
+/// changed re-inject.
+int cmd_campaign_compositional(const std::string& source,
+                               const fault::CampaignOptions& options) {
+  fault::CompositionalResult r =
+      fault::run_compositional_campaign(source, options);
+  if (r.refused) {
+    std::fprintf(stderr, "bwc: compositional campaign refused: %s\n",
+                 r.refusal_reason.c_str());
+    return 2;
+  }
+  std::printf("compositional campaign: %s, %d injections over %u phases, "
+              "%u threads, %u workers, seed 0x%llx%s\n",
+              fault::to_string(options.type), options.injections,
+              r.phase_count, options.num_threads, r.composed.workers,
+              static_cast<unsigned long long>(options.seed),
+              options.protect ? "" : ", unprotected");
+  std::printf("%-6s %10s %8s %10s %8s %8s %8s %18s\n", "phase", "inject",
+              "cached", "activated", "benign", "detect", "sdc", "code fp");
+  for (const fault::PhaseOutcomeSummary& p : r.phases) {
+    std::printf("%-6u %10d %8d %10d %8d %8d %8d   %016llx\n", p.phase,
+                p.injections, p.cached, p.tally.activated, p.tally.benign,
+                p.tally.detected, p.tally.sdc,
+                static_cast<unsigned long long>(p.code_fp));
+  }
+  if (r.null_injections > 0) {
+    std::printf("null bucket: %d injections on branchless threads "
+                "(not activated)\n", r.null_injections);
+  }
+  std::printf("cache: %d of %d phases hit, %d injections served, "
+              "%d executed\n",
+              r.phase_cache_hits, r.phase_cache_hits + r.phase_cache_misses,
+              r.injections_cached, r.injections_executed);
+  const fault::CampaignResult& c = r.composed;
+  std::printf("composed: injected %d  activated %d  benign %d  detected %d  "
+              "crashed %d  hung %d  sdc %d\n",
+              c.injected, c.activated, c.benign, c.detected, c.crashed,
+              c.hung, c.sdc);
+  fault::ConfidenceInterval cov = c.coverage_interval();
+  fault::ConfidenceInterval sdc = c.sdc_interval();
+  std::printf("coverage   %6.2f%%  [%.2f%%, %.2f%%] Wilson 95%%\n",
+              100.0 * c.coverage(), 100.0 * cov.lo, 100.0 * cov.hi);
+  std::printf("sdc rate   %6.2f%%  [%.2f%%, %.2f%%] Wilson 95%%\n",
+              100.0 * (c.activated ? 1.0 - c.coverage() : 0.0),
+              100.0 * sdc.lo, 100.0 * sdc.hi);
+  if (r.interrupted) {
+    std::printf("INTERRUPTED after %d/%d injections%s\n", c.injected,
+                options.injections,
+                options.checkpoint_file.empty()
+                    ? ""
+                    : " (checkpoint holds the completed phases)");
+  }
+  return 0;
+}
 
 int cmd_campaign(const std::string& source, int injections, unsigned threads,
                  const CampaignFlags& flags, bool recover,
@@ -489,6 +549,9 @@ int cmd_campaign(const std::string& source, int injections, unsigned threads,
                  "bwc: monitor-path fault types require the protected "
                  "build (drop --no-protect)\n");
     return 2;
+  }
+  if (flags.compositional) {
+    return cmd_campaign_compositional(source, options);
   }
 
   fault::CampaignResult r = fault::run_campaign(source, options);
@@ -662,6 +725,8 @@ int main(int argc, char** argv) {
       campaign_flags.resume_file = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--no-protect") == 0) {
       campaign_flags.no_protect = true;
+    } else if (std::strcmp(argv[i], "--compositional") == 0) {
+      campaign_flags.compositional = true;
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       serve_flags.shards = static_cast<unsigned>(std::atoi(argv[i] + 9));
     } else if (std::strncmp(argv[i], "--max-sessions=", 15) == 0) {

@@ -74,6 +74,35 @@ for k in racy_sum racy_guard; do
   fi
 done
 
+# Compositional-campaign lane: a cold per-phase campaign checkpoints its
+# phase outcomes to a v3 file; the cached re-run of the SAME campaign must
+# serve phases from cache (hit count > 0) and compose the IDENTICAL
+# estimate — the incremental-recheck workflow of docs/bwc_cli.md.
+echo "===== bwc campaign --compositional: phase cache recheck (fft) ====="
+comp_ckpt="compositional_fft.ckpt"
+rm -f "$comp_ckpt"
+cold_out=$(./build/examples/bwc_cli campaign bench:fft 60 4 \
+  --compositional --checkpoint="$comp_ckpt" --seed=0xfacade)
+warm_out=$(./build/examples/bwc_cli campaign bench:fft 60 4 \
+  --compositional --checkpoint="$comp_ckpt" --seed=0xfacade)
+rm -f "$comp_ckpt"
+warm_hits=$(printf '%s\n' "$warm_out" | sed -n 's/^cache: \([0-9]*\) of.*/\1/p')
+if [ -z "$warm_hits" ] || [ "$warm_hits" = 0 ]; then
+  echo "compositional recheck served no phases from cache:" >&2
+  printf '%s\n' "$warm_out" >&2
+  exit 1
+fi
+cold_est=$(printf '%s\n' "$cold_out" | grep -E '^(composed|coverage|sdc rate)')
+warm_est=$(printf '%s\n' "$warm_out" | grep -E '^(composed|coverage|sdc rate)')
+if [ "$cold_est" != "$warm_est" ]; then
+  echo "compositional recheck changed the composed estimate:" >&2
+  echo "--- cold ---" >&2; printf '%s\n' "$cold_est" >&2
+  echo "--- warm ---" >&2; printf '%s\n' "$warm_est" >&2
+  exit 1
+fi
+echo "compositional recheck OK: $warm_hits phases served from cache," \
+  "composed estimate identical"
+
 if [ "$run_trace" = 1 ]; then
   echo "===== telemetry trace smoke (protected fft, all six phases) ====="
   ./build/examples/bwc_cli protect bench:fft 4 --recover \

@@ -122,6 +122,27 @@ std::uint64_t auto_instruction_budget(const GoldenRun& golden) {
   return budget;
 }
 
+std::uint64_t auto_phase_instruction_budget(
+    std::uint64_t max_entry_instructions, std::uint64_t max_phase_delta) {
+  // Same shape as auto_instruction_budget, but the 10x headroom applies
+  // only to the phase's own work: the entry cost is retired exactly once
+  // (the restored counter starts at the entry checkpoint's value and a
+  // fault cannot inflate work that already happened), so it enters the
+  // budget unscaled. A single-instruction phase therefore gets
+  // entry + 10 + slack, not 10x the whole program.
+  constexpr std::uint64_t kSlack = 1'000'000;
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  std::uint64_t scaled =
+      max_phase_delta <= (kMax - kSlack) / 10 ? max_phase_delta * 10 : kMax;
+  std::uint64_t budget = scaled <= kMax - kSlack ? scaled + kSlack : kMax;
+  budget = max_entry_instructions <= kMax - budget
+               ? max_entry_instructions + budget
+               : kMax;
+  BW_INTERNAL_CHECK(budget > 0,
+                    "auto phase instruction budget must be nonzero");
+  return budget;
+}
+
 std::uint64_t injection_seed(std::uint64_t base_seed, std::uint32_t index) {
   // Two rounds of splitmix over (seed, index) decorrelate neighbouring
   // indices; the stream depends only on the plan position, never on which

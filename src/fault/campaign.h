@@ -310,6 +310,18 @@ GoldenRun golden_run(const pipeline::CompiledProgram& program,
 /// (tests/tier_differential_test.cpp, BudgetWatchdogParity).
 std::uint64_t auto_instruction_budget(const GoldenRun& golden);
 
+/// Per-phase watchdog budget for one compositional injection run
+/// (fault/compositional.h). auto_instruction_budget() is scaled to the
+/// WHOLE program, so a short phase inside a long kernel would inherit a
+/// near-infinite window and a hung phase run would burn the rest of the
+/// program's budget before tripping. A phase run retires the entry
+/// checkpoint's logical count unconditionally (the restored counter starts
+/// there), so the budget is that entry cost plus 10x the phase's own
+/// golden delta plus the same fixed slack, with the same saturating
+/// clamps.
+std::uint64_t auto_phase_instruction_budget(
+    std::uint64_t max_entry_instructions, std::uint64_t max_phase_delta);
+
 /// Fault-free campaign: execute `runs` clean runs of an instrumented
 /// program across the same worker pool the injection engine uses, and
 /// tally violations/health (the paper's false-positive experiment, and

@@ -5,12 +5,15 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace bw::fault {
 
 namespace {
 
-constexpr const char* kMagic = "bw-campaign-checkpoint v2";
+constexpr const char* kMagic = "bw-campaign-checkpoint v3";
+// v2 files carry no phase cache but are otherwise identical: accept them.
+constexpr const char* kMagicV2 = "bw-campaign-checkpoint v2";
 
 // Side flags packed into one hex field so the format stays one line per
 // outcome. Bit assignments are part of the v1 format — append only.
@@ -80,6 +83,20 @@ std::string CampaignCheckpoint::to_text() const {
                   o.wall_ns);
     out += line;
   }
+  for (const PhaseCacheEntry& pc : phase_cache) {
+    std::snprintf(line, sizeof(line),
+                  "pc %" PRIu32 " %" PRIx64 " %" PRIx64 " %zu ", pc.phase,
+                  pc.code_fp, pc.entry_fp, pc.verdicts.size());
+    out += line;
+    if (pc.verdicts.empty()) {
+      out += '-';
+    } else {
+      for (Verdict v : pc.verdicts) {
+        out += static_cast<char>('0' + static_cast<unsigned>(v));
+      }
+    }
+    out += '\n';
+  }
   return out;
 }
 
@@ -88,8 +105,8 @@ bool CampaignCheckpoint::from_text(const std::string& text,
                                    std::string* error) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
-    return fail(error, "not a bw-campaign-checkpoint v2 file");
+  if (!std::getline(in, line) || (line != kMagic && line != kMagicV2)) {
+    return fail(error, "not a bw-campaign-checkpoint v2/v3 file");
   }
 
   CampaignCheckpoint cp;
@@ -117,6 +134,33 @@ bool CampaignCheckpoint::from_text(const std::string& text,
 
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
+    if (line.size() >= 2 && line[0] == 'p' && line[1] == 'c') {
+      PhaseCacheEntry pc;
+      std::size_t done = 0;
+      int digits_at = 0;
+      if (std::sscanf(line.c_str(),
+                      "pc %" SCNu32 " %" SCNx64 " %" SCNx64 " %zu %n",
+                      &pc.phase, &pc.code_fp, &pc.entry_fp, &done,
+                      &digits_at) != 4 ||
+          digits_at <= 0) {
+        return fail(error, "malformed phase-cache line: " + line);
+      }
+      std::string_view digits =
+          std::string_view(line).substr(static_cast<std::size_t>(digits_at));
+      if (digits == "-") digits = {};
+      if (digits.size() != done) {
+        return fail(error, "phase-cache verdict count mismatch: " + line);
+      }
+      pc.verdicts.reserve(done);
+      for (char c : digits) {
+        if (c < '0' || c > '0' + static_cast<int>(Verdict::FalseAlarm)) {
+          return fail(error, "phase-cache verdict out of range: " + line);
+        }
+        pc.verdicts.push_back(static_cast<Verdict>(c - '0'));
+      }
+      cp.phase_cache.push_back(std::move(pc));
+      continue;
+    }
     InjectionOutcome o;
     unsigned verdict = 0;
     unsigned flags = 0;
@@ -141,6 +185,10 @@ bool CampaignCheckpoint::from_text(const std::string& text,
   std::sort(cp.completed.begin(), cp.completed.end(),
             [](const InjectionOutcome& a, const InjectionOutcome& b) {
               return a.index < b.index;
+            });
+  std::sort(cp.phase_cache.begin(), cp.phase_cache.end(),
+            [](const PhaseCacheEntry& a, const PhaseCacheEntry& b) {
+              return a.phase < b.phase;
             });
   out = std::move(cp);
   return true;

@@ -8,18 +8,25 @@
 // list exactly (tests/campaign_parallel_test.cpp, KillAndResume*).
 //
 // Format (line-oriented; '#' starts a comment):
-//   bw-campaign-checkpoint v2
+//   bw-campaign-checkpoint v3
 //   seed <hex> type <fault-type> injections <n> threads <n> protect <0|1>
 //     sampling <enabled> <forced-rate> <max-rate> flips <targeted-flips>
 //   cursor <contiguous-completed-prefix>
 //   o <index> <verdict> <flags-hex> <rollbacks> <checkpoints> <restore_ns>
 //     <checkpoint_ns> <wall_ns>            (one line per completed injection,
 //                                           sorted by index)
+//   pc <phase> <code-fp-hex> <entry-fp-hex> <done> <verdict-digits|->
+//     (one line per phase the compositional engine completed injections
+//      for: the contiguous done-prefix of that phase's verdict list, each
+//      verdict one digit '0'..'7'; '-' when the prefix is empty)
 // The identity line guards against resuming with mismatched options: the
 // outcomes are only valid for the exact (seed, type, plan size, threads,
 // protect, sampling configuration, targeted-flip budget) tuple they were
 // produced under. v2 widened the identity with the sampling/flips fields;
 // v1 files are rejected rather than resumed under guessed-at sampling.
+// v3 added the per-phase outcome cache (`pc` lines) for the compositional
+// engine; v2 files still load (they simply carry no phase cache), and
+// writers always emit v3.
 #pragma once
 
 #include <string>
@@ -28,6 +35,20 @@
 #include "fault/campaign.h"
 
 namespace bw::fault {
+
+/// One phase's cached injection outcomes (compositional engine, v3). A
+/// cached prefix may only be replayed when BOTH fingerprints still match:
+/// code_fp pins the instructions the phase executes, entry_fp pins the
+/// state it executes them from (an upstream phase edit invalidates every
+/// phase downstream of the change through this field).
+struct PhaseCacheEntry {
+  std::uint32_t phase = 0;
+  std::uint64_t code_fp = 0;
+  std::uint64_t entry_fp = 0;
+  /// Verdicts of the contiguous completed prefix [0, done) of this
+  /// phase's injection plan, one Verdict per element.
+  std::vector<Verdict> verdicts;
+};
 
 struct CampaignCheckpoint {
   // Campaign identity: a checkpoint may only resume an identical plan.
@@ -52,6 +73,11 @@ struct CampaignCheckpoint {
   /// Length of the contiguous completed prefix [0, cursor) — the plan
   /// cursor a resumed campaign can skip without consulting the set.
   int cursor = 0;
+
+  /// Compositional engine only: per-phase cached outcome prefixes, sorted
+  /// by phase index (one entry per phase at most). Empty for monolithic
+  /// campaigns and for v2 files.
+  std::vector<PhaseCacheEntry> phase_cache;
 
   /// Does this checkpoint belong to the campaign `options` describes?
   bool matches(const CampaignOptions& options) const;

@@ -1,0 +1,677 @@
+#include "fault/compositional.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "support/diagnostics.h"
+#include "support/prng.h"
+#include "support/telemetry/telemetry.h"
+#include "vm/dispatch.h"
+
+namespace bw::fault {
+
+namespace {
+
+using support::hash_combine;
+
+std::uint64_t hash_bytes(std::uint64_t h, const std::string& s) {
+  h = hash_combine(h, s.size());
+  for (char c : s) h = hash_combine(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+std::uint64_t hash_words(std::uint64_t h,
+                         const std::vector<std::int64_t>& words) {
+  h = hash_combine(h, words.size());
+  for (std::int64_t w : words) {
+    h = hash_combine(h, static_cast<std::uint64_t>(w));
+  }
+  return h;
+}
+
+std::uint64_t now_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// Deterministic program output of the parallel section only: per-thread
+/// logs in tid order. RunResult::output also carries init()'s prints,
+/// which phase runs skip, so every comparison in this engine is on the
+/// section concatenation.
+std::string section_output(const vm::RunResult& run) {
+  std::string out;
+  for (const vm::ThreadOutcome& t : run.threads) out += t.output;
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_state(const vm::Checkpoint& checkpoint,
+                                const vm::DecodedProgram& decoded) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // arbitrary domain tag
+  h = hash_words(h, checkpoint.heap);
+  h = hash_combine(h, checkpoint.threads.size());
+  for (const vm::ThreadSnapshot& ts : checkpoint.threads) {
+    h = hash_combine(h, ts.frames.size());
+    for (const vm::FrameSnapshot& f : ts.frames) {
+      // Function NAME, not index: adding or removing an unrelated
+      // function must not shift every downstream entry fingerprint.
+      h = hash_bytes(h, decoded.functions[f.func_index].name);
+      h = hash_combine(h, f.callsite_id);
+      h = hash_combine(h, f.block);
+      h = hash_combine(h, f.ip);
+      h = hash_words(h, f.regs);
+    }
+    h = hash_words(h, ts.local_slots);
+    h = hash_bytes(h, ts.output);
+    h = hash_combine(h, ts.tracker.ctx_hash());
+    h = hash_combine(h, ts.tracker.iter_hash());
+    // NOT hashed: instructions/branches/barriers_crossed. The retired
+    // counters tick with upstream code-size changes that leave the
+    // computed state identical, and injection targets are drawn against
+    // the CURRENT golden entry counts — hashing them would turn every
+    // upstream edit into a whole-downstream cache flush for nothing.
+  }
+  // lock_owners comes out of an unordered_map: order is not part of the
+  // state, so hash a sorted copy.
+  auto owners = checkpoint.coordinator.lock_owners;
+  std::sort(owners.begin(), owners.end());
+  h = hash_combine(h, owners.size());
+  for (const auto& [id, tid] : owners) {
+    h = hash_combine(h, static_cast<std::uint64_t>(id));
+    h = hash_combine(h, tid);
+  }
+  return h;
+}
+
+std::uint64_t fingerprint_phase_code(
+    const vm::DecodedProgram& decoded,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& blocks) {
+  auto sorted = blocks;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::uint64_t h = 0x13198a2e03707344ULL;  // arbitrary domain tag
+  h = hash_combine(h, sorted.size());
+  for (const auto& [func, block] : sorted) {
+    const vm::DFunction& fn = decoded.functions[func];
+    h = hash_bytes(h, fn.name);
+    h = hash_combine(h, block);
+    const std::uint32_t first = fn.block_first[block];
+    const std::uint32_t last = fn.block_first[block + 1];
+    h = hash_combine(h, last - first);
+    for (std::uint32_t ip = first; ip < last; ++ip) {
+      const vm::DInst& d = fn.code[ip];
+      h = hash_combine(h, static_cast<std::uint64_t>(d.op));
+      h = hash_combine(h, static_cast<std::uint64_t>(d.pred));
+      h = hash_combine(h, d.flag ? 1 : 0);
+      h = hash_combine(h, d.dest);
+      h = hash_combine(h, d.imm);
+      h = hash_combine(h, d.succ0);
+      h = hash_combine(h, d.succ1);
+      if (d.callee != vm::kNoFunc) {
+        h = hash_bytes(h, decoded.functions[d.callee].name);
+      } else {
+        h = hash_combine(h, vm::kNoFunc);
+      }
+      h = hash_combine(h, d.ops.size());
+      for (const vm::DOperand& op : d.ops) {
+        h = hash_combine(h, static_cast<std::uint64_t>(op.kind));
+        h = hash_combine(h, op.reg);
+        h = hash_combine(h, op.kind == vm::DOperand::Kind::ImmF
+                                ? std::bit_cast<std::uint64_t>(op.f)
+                                : static_cast<std::uint64_t>(op.i));
+      }
+      h = hash_combine(h, d.phis.size());
+      for (const vm::DPhiEntry& phi : d.phis) {
+        h = hash_combine(h, phi.pred_block);
+        h = hash_combine(h, static_cast<std::uint64_t>(phi.value.kind));
+        h = hash_combine(h, phi.value.reg);
+        h = hash_combine(h, phi.value.kind == vm::DOperand::Kind::ImmF
+                                ? std::bit_cast<std::uint64_t>(phi.value.f)
+                                : static_cast<std::uint64_t>(phi.value.i));
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<int> apportion_injections(
+    const std::vector<std::uint64_t>& weights, std::uint64_t null_weight,
+    int total) {
+  using u128 = unsigned __int128;
+  const std::size_t n = weights.size() + 1;
+  std::vector<int> out(n, 0);
+  if (total <= 0) return out;
+
+  u128 sum = null_weight;
+  for (std::uint64_t w : weights) sum += w;
+  if (sum == 0) {
+    // No branches anywhere: every injection lands in the null bucket
+    // (nothing can activate), mirroring the monolithic sampler.
+    out.back() = total;
+    return out;
+  }
+
+  // Largest-remainder (Hamilton) apportionment in exact 128-bit
+  // arithmetic: quotas floor-assigned, leftovers to the largest
+  // remainders, ties toward the lower index. A zero-weight bucket can
+  // never receive a leftover (its remainder is zero and the leftover
+  // count is strictly below the number of nonzero remainders).
+  struct Slot {
+    u128 remainder;
+    std::size_t index;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(n);
+  int assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t w = i + 1 < n ? weights[i] : null_weight;
+    const u128 quota = static_cast<u128>(w) * static_cast<u128>(total);
+    out[i] = static_cast<int>(quota / sum);
+    assigned += out[i];
+    slots.push_back({quota % sum, i});
+  }
+  std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+    if (a.remainder != b.remainder) return a.remainder > b.remainder;
+    return a.index < b.index;
+  });
+  for (int k = 0; k < total - assigned; ++k) {
+    ++out[slots[static_cast<std::size_t>(k)].index];
+  }
+  return out;
+}
+
+namespace {
+
+/// Everything precomputed about one phase of the golden trace.
+struct PhaseInfo {
+  const vm::Checkpoint* entry = nullptr;
+  std::uint64_t exit_generation = 0;  // 0 = last phase, run to section end
+  std::uint64_t entry_fp = 0;
+  std::uint64_t code_fp = 0;
+  std::uint64_t exit_fp = 0;  // golden exit state (unused for last phase)
+  std::vector<std::uint64_t> entry_branches;  // per thread, at phase entry
+  std::vector<std::uint64_t> delta;           // per-thread branch delta
+  std::uint64_t delta_sum = 0;
+  std::uint64_t budget = 0;
+};
+
+/// Shared state of the compositional worker pool. Tasks are (phase,
+/// injection) pairs claimed from an atomic cursor; every task draws from
+/// a private RNG stream keyed by (seed, phase, injection), so the verdict
+/// in its slot is identical for any worker count and any interleaving.
+struct CompositionalEngine {
+  const pipeline::CompiledProgram& program;
+  const CampaignOptions& options;
+  const std::vector<PhaseInfo>& phases;
+  const vm::DecodedProgram& decoded;
+  const std::string& golden_output;  // golden section output
+  const std::uint64_t continuation_budget;
+  const bool protect;
+
+  std::vector<std::pair<std::uint32_t, int>> tasks{};  // uncached (p, j)
+  std::atomic<int> next{0};
+  std::atomic<bool> halted{false};
+
+  std::mutex mutex{};
+  // Slot (p, j): verdicts[p][j] owned by the worker that claimed it.
+  std::vector<std::vector<Verdict>> verdicts{};
+  std::vector<std::vector<char>> done{};
+  std::vector<std::vector<std::uint64_t>> wall_ns{};
+  int completed = 0;  // live + cache-served injections
+  int since_checkpoint = 0;
+
+  void write_checkpoint_locked() {
+    if (options.checkpoint_file.empty()) return;
+    CampaignCheckpoint cp;
+    cp.seed = options.seed;
+    cp.type = options.type;
+    cp.injections = options.injections;
+    cp.num_threads = options.num_threads;
+    cp.protect = options.protect;
+    cp.sampling_enabled = options.monitor.sampling.enabled;
+    cp.sampling_forced_rate = options.monitor.sampling.forced_rate;
+    cp.sampling_max_rate = options.monitor.sampling.max_rate;
+    cp.targeted_flips = options.targeted_flips;
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+      PhaseCacheEntry entry;
+      entry.phase = static_cast<std::uint32_t>(p);
+      entry.code_fp = phases[p].code_fp;
+      entry.entry_fp = phases[p].entry_fp;
+      // Contiguous done-prefix only: verdicts are deterministic per
+      // (phase, index), so anything beyond a hole is simply recomputed
+      // on resume.
+      for (char d : done[p]) {
+        if (!d) break;
+        entry.verdicts.push_back(
+            verdicts[p][entry.verdicts.size()]);
+      }
+      if (!entry.verdicts.empty()) cp.phase_cache.push_back(std::move(entry));
+    }
+    save_checkpoint(options.checkpoint_file, cp);
+    since_checkpoint = 0;
+  }
+
+  Verdict inject_one(std::uint32_t p, int j) {
+    const PhaseInfo& info = phases[p];
+    support::SplitMixRng rng(
+        injection_seed(injection_seed(options.seed, p),
+                       static_cast<std::uint32_t>(j)));
+
+    // Weighted thread draw over this phase's branch deltas: the composed
+    // sampler's (phase, thread) marginal matches the monolithic engine's
+    // uniform-thread-uniform-branch draw restricted to the phase.
+    std::uint64_t r = rng.next_below(info.delta_sum);
+    unsigned thread = 0;
+    std::uint64_t acc = 0;
+    for (unsigned t = 0; t < options.num_threads; ++t) {
+      acc += info.delta[t];
+      if (r < acc) {
+        thread = t;
+        break;
+      }
+    }
+    const std::uint64_t k = 1 + rng.next_below(info.delta[thread]);
+    // Phase runs restore the entry snapshot's branch counter, so the
+    // absolute dynamic target is the golden entry count plus the in-phase
+    // offset.
+    const std::uint64_t target = info.entry_branches[thread] + k;
+    // Drawn unconditionally, like the monolithic engine: flip and cond
+    // campaigns consume the same stream shape per index.
+    const unsigned bit = static_cast<unsigned>(rng.next_below(64));
+
+    pipeline::ExecutionConfig config;
+    config.num_threads = options.num_threads;
+    config.exec_tier = options.exec_tier;
+    config.monitor = protect ? pipeline::MonitorMode::Full
+                             : pipeline::MonitorMode::Off;
+    config.instruction_budget = info.budget;
+    config.fault.active = true;
+    config.fault.thread = thread;
+    config.fault.target_branch = target;
+    config.fault.mode = options.type == FaultType::BranchCondition
+                            ? vm::FaultPlan::Mode::CondBit
+                            : vm::FaultPlan::Mode::BranchFlip;
+    config.fault.bit = bit;
+    config.monitor_options.sampling = options.monitor.sampling;
+    config.phase.active = true;
+    config.phase.entry = info.entry;
+    config.phase.exit_generation = info.exit_generation;
+    vm::Checkpoint exit_capture;
+    const bool has_cut = info.exit_generation != 0;
+    if (has_cut) config.phase.exit_capture = &exit_capture;
+
+    pipeline::ExecutionResult run = pipeline::execute(program, config);
+    telemetry::counter_add(telemetry::Counter::FaultInjected);
+    if (!run.run.fault_applied) return Verdict::NotActivated;
+    telemetry::counter_add(telemetry::Counter::FaultActivated);
+
+    // Same precedence as the monolithic classifier: detection first,
+    // then crash/hang, then state comparison.
+    if (protect && run.detected) return Verdict::Detected;
+    if (run.run.crash) return Verdict::Crashed;
+    if (run.run.hang) return Verdict::Hung;
+
+    if (has_cut && run.run.phase_exited) {
+      if (fingerprint_state(exit_capture, decoded) == info.exit_fp) {
+        // The exit cut carries the complete machine state, so fingerprint
+        // equality means the continuation IS the golden continuation:
+        // the fault was fully masked inside the phase.
+        return Verdict::Benign;
+      }
+      // Silent delta at the cut. The corruption may still be masked,
+      // detected, or fatal downstream — run the continuation from the
+      // FAULTY exit checkpoint, fault inactive (the transient upset
+      // already happened), to the section end.
+      pipeline::ExecutionConfig cont;
+      cont.num_threads = options.num_threads;
+      cont.exec_tier = options.exec_tier;
+      cont.monitor = protect ? pipeline::MonitorMode::Full
+                             : pipeline::MonitorMode::Off;
+      cont.instruction_budget = continuation_budget;
+      cont.monitor_options.sampling = options.monitor.sampling;
+      cont.phase.active = true;
+      cont.phase.entry = &exit_capture;
+      cont.phase.exit_generation = 0;  // run to the section end
+      pipeline::ExecutionResult c = pipeline::execute(program, cont);
+      if (protect && c.detected) return Verdict::Detected;
+      if (c.run.crash) return Verdict::Crashed;
+      if (c.run.hang) return Verdict::Hung;
+      return section_output(c.run) == golden_output ? Verdict::Benign
+                                                    : Verdict::Sdc;
+    }
+
+    // The run left the parallel section without reaching the cut: either
+    // this is the last phase (no cut), or the fault steered control flow
+    // past the exit barrier to the section end. Both end states are
+    // final program states — compare section output directly.
+    return section_output(run.run) == golden_output ? Verdict::Benign
+                                                    : Verdict::Sdc;
+  }
+
+  void worker(unsigned worker_id) {
+    const auto epoch = std::chrono::steady_clock::now();
+    for (;;) {
+      if (halted.load(std::memory_order_relaxed)) break;
+      int task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= static_cast<int>(tasks.size())) break;
+      const auto [p, j] = tasks[static_cast<std::size_t>(task)];
+
+      const std::uint64_t start = now_ns(epoch);
+      Verdict verdict = inject_one(p, j);
+      const std::uint64_t wall = now_ns(epoch) - start;
+      telemetry::record_event(telemetry::EventKind::CampaignInjection,
+                              telemetry::Phase::Other,
+                              static_cast<std::uint64_t>(j),
+                              static_cast<std::uint64_t>(verdict), worker_id);
+
+      std::lock_guard<std::mutex> lock(mutex);
+      verdicts[p][static_cast<std::size_t>(j)] = verdict;
+      wall_ns[p][static_cast<std::size_t>(j)] = wall;
+      done[p][static_cast<std::size_t>(j)] = 1;
+      ++completed;
+      if (options.halt_after > 0 && completed >= options.halt_after) {
+        halted.store(true, std::memory_order_relaxed);
+      }
+      if (++since_checkpoint >= std::max(options.checkpoint_every, 1)) {
+        write_checkpoint_locked();
+      }
+    }
+  }
+};
+
+CompositionalResult refuse(std::string reason) {
+  CompositionalResult result;
+  result.refused = true;
+  result.refusal_reason = std::move(reason);
+  return result;
+}
+
+}  // namespace
+
+CompositionalResult run_compositional_campaign(
+    std::string_view source, const CampaignOptions& options) {
+  // Refusals: configurations where per-phase outcomes are NOT independent
+  // and composing them would misestimate, not just widen, the result.
+  if (options.type == FaultType::TargetedFlip) {
+    return refuse(
+        "targeted-flip is a persistent adversary: it re-flips its chosen "
+        "site across barrier cuts, so phase outcomes are not independent");
+  }
+  if (is_monitor_fault(options.type)) {
+    return refuse(
+        "monitor-path faults corrupt the detection fabric for the whole "
+        "run, not a single phase");
+  }
+  if (options.recovery.enabled) {
+    return refuse(
+        "recovery rollbacks cross phase cuts and re-entangle the slices");
+  }
+  BW_INTERNAL_CHECK(options.injections >= 0, "negative injection plan");
+  telemetry::SpanScope span(telemetry::Phase::Other, "fault.compositional");
+
+  pipeline::CompiledProgram program =
+      options.protect ? pipeline::protect_program(source, options.pipeline)
+                      : pipeline::compile_program(source, options.pipeline);
+  std::shared_ptr<const vm::ProgramCode> code =
+      vm::acquire_program_code(*program.module);
+  const vm::DecodedProgram& decoded = code->decoded;
+
+  // Golden capture: ONE interpreter-tier run (the block-profiling hooks
+  // live in the reference tier; a single capture per campaign makes its
+  // speed irrelevant) that records the per-barrier state trace and the
+  // per-phase block profile.
+  std::vector<vm::Checkpoint> trace;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> profile;
+  pipeline::ExecutionConfig golden_config;
+  golden_config.num_threads = options.num_threads;
+  golden_config.exec_tier = vm::ExecTier::Interpreter;
+  golden_config.monitor = program.instrumented
+                              ? pipeline::MonitorMode::DrainOnly
+                              : pipeline::MonitorMode::Off;
+  golden_config.phase.active = true;
+  golden_config.phase.trace = &trace;
+  golden_config.phase.block_profile = &profile;
+  pipeline::ExecutionResult golden = pipeline::execute(program, golden_config);
+  BW_INTERNAL_CHECK(golden.run.ok, "golden capture run failed");
+  BW_INTERNAL_CHECK(!trace.empty(), "golden capture produced no trace");
+
+  const std::uint32_t phase_count = static_cast<std::uint32_t>(trace.size());
+  if (profile.size() < phase_count) profile.resize(phase_count);
+  const std::string golden_output = section_output(golden.run);
+
+  std::uint64_t golden_max_instructions = 0;
+  for (const vm::ThreadOutcome& t : golden.run.threads) {
+    golden_max_instructions =
+        std::max(golden_max_instructions, t.instructions);
+  }
+  GoldenRun whole;
+  whole.max_thread_instructions = golden_max_instructions;
+  const std::uint64_t continuation_budget =
+      options.instruction_budget != 0 ? options.instruction_budget
+                                      : auto_instruction_budget(whole);
+
+  // Per-phase metadata: entry/exit counters, fingerprints, budgets.
+  std::vector<PhaseInfo> phases(phase_count);
+  for (std::uint32_t p = 0; p < phase_count; ++p) {
+    PhaseInfo& info = phases[p];
+    info.entry = &trace[p];
+    info.exit_generation = p + 1 < phase_count ? p + 1 : 0;
+    info.entry_fp = fingerprint_state(trace[p], decoded);
+    info.code_fp = fingerprint_phase_code(decoded, profile[p]);
+    if (p + 1 < phase_count) {
+      info.exit_fp = fingerprint_state(trace[p + 1], decoded);
+    }
+    info.entry_branches.resize(options.num_threads);
+    info.delta.resize(options.num_threads);
+    std::uint64_t entry_instr_max = 0;
+    std::uint64_t delta_instr_max = 0;
+    for (unsigned t = 0; t < options.num_threads; ++t) {
+      const vm::ThreadSnapshot& at_entry = trace[p].threads[t];
+      const std::uint64_t exit_branches =
+          p + 1 < phase_count ? trace[p + 1].threads[t].branches
+                              : golden.run.threads[t].branches;
+      const std::uint64_t exit_instructions =
+          p + 1 < phase_count ? trace[p + 1].threads[t].instructions
+                              : golden.run.threads[t].instructions;
+      info.entry_branches[t] = at_entry.branches;
+      info.delta[t] = exit_branches - at_entry.branches;
+      info.delta_sum += info.delta[t];
+      entry_instr_max = std::max(entry_instr_max, at_entry.instructions);
+      delta_instr_max = std::max(delta_instr_max,
+                                 exit_instructions - at_entry.instructions);
+    }
+    info.budget = options.instruction_budget != 0
+                      ? options.instruction_budget
+                      : auto_phase_instruction_budget(entry_instr_max,
+                                                      delta_instr_max);
+  }
+
+  // Apportion the plan over phases by branch mass. The monolithic
+  // sampler's marginal is P(phase p) = (1/T) * sum_t delta_p[t] /
+  // total[t]; the fixed-point weights drop the common 1/T and carry 32
+  // fractional bits, and threads that never branch route their 1/T mass
+  // to the null bucket (NotActivated by construction).
+  std::vector<std::uint64_t> weights(phase_count, 0);
+  std::uint64_t null_weight = 0;
+  for (unsigned t = 0; t < options.num_threads; ++t) {
+    const std::uint64_t total = golden.run.threads[t].branches;
+    if (total == 0) {
+      null_weight += std::uint64_t{1} << 32;
+      continue;
+    }
+    for (std::uint32_t p = 0; p < phase_count; ++p) {
+      weights[p] += (phases[p].delta[t] << 32) / total;
+    }
+  }
+  std::vector<int> plan =
+      apportion_injections(weights, null_weight, options.injections);
+  const int null_injections = plan.back();
+
+  CompositionalEngine engine{program,
+                             options,
+                             phases,
+                             decoded,
+                             golden_output,
+                             continuation_budget,
+                             options.protect};
+  engine.verdicts.resize(phase_count);
+  engine.done.resize(phase_count);
+  engine.wall_ns.resize(phase_count);
+  for (std::uint32_t p = 0; p < phase_count; ++p) {
+    engine.verdicts[p].assign(static_cast<std::size_t>(plan[p]),
+                              Verdict::NotActivated);
+    engine.done[p].assign(static_cast<std::size_t>(plan[p]), 0);
+    engine.wall_ns[p].assign(static_cast<std::size_t>(plan[p]), 0);
+  }
+
+  // Warm the phase cache: an explicit resume_file must load and match
+  // (same contract as the monolithic engine); otherwise an existing
+  // checkpoint_file warms silently when compatible — the incremental
+  // recheck workflow reuses one file across edits.
+  CompositionalResult result;
+  result.phase_count = phase_count;
+  result.null_injections = null_injections;
+  CampaignCheckpoint warm;
+  bool have_warm = false;
+  if (!options.resume_file.empty()) {
+    std::string error;
+    if (!load_checkpoint(options.resume_file, warm, &error)) {
+      throw support::CompileError("compositional resume: " + error);
+    }
+    if (!warm.matches(options)) {
+      throw support::CompileError(
+          "compositional resume: checkpoint '" + options.resume_file +
+          "' was written by a different campaign (seed/type/plan/threads/"
+          "protect/sampling/flips mismatch)");
+    }
+    have_warm = true;
+  } else if (!options.checkpoint_file.empty()) {
+    CampaignCheckpoint existing;
+    if (load_checkpoint(options.checkpoint_file, existing, nullptr) &&
+        existing.matches(options)) {
+      warm = std::move(existing);
+      have_warm = true;
+    }
+  }
+  std::vector<int> cached(phase_count, 0);
+  if (have_warm) {
+    for (const PhaseCacheEntry& entry : warm.phase_cache) {
+      if (entry.phase >= phase_count) continue;  // kernel lost phases
+      const PhaseInfo& info = phases[entry.phase];
+      if (entry.code_fp != info.code_fp || entry.entry_fp != info.entry_fp) {
+        continue;  // stale: the phase's code or entry state changed
+      }
+      const int serve = std::min(static_cast<int>(entry.verdicts.size()),
+                                 plan[entry.phase]);
+      for (int j = 0; j < serve; ++j) {
+        engine.verdicts[entry.phase][static_cast<std::size_t>(j)] =
+            entry.verdicts[static_cast<std::size_t>(j)];
+        engine.done[entry.phase][static_cast<std::size_t>(j)] = 1;
+      }
+      cached[entry.phase] = serve;
+      engine.completed += serve;
+      telemetry::counter_add(telemetry::Counter::CampaignPhaseCacheHits,
+                             static_cast<std::uint64_t>(serve));
+    }
+  }
+  for (std::uint32_t p = 0; p < phase_count; ++p) {
+    result.injections_cached += cached[p];
+    if (plan[p] == 0) continue;
+    if (cached[p] > 0) {
+      ++result.phase_cache_hits;
+    } else {
+      ++result.phase_cache_misses;
+    }
+  }
+
+  // Flat task list over the uncached slots, phase-major: workers claim
+  // from an atomic cursor, but every slot's verdict depends only on
+  // (seed, phase, index), so the fold below is byte-identical for any
+  // worker count.
+  for (std::uint32_t p = 0; p < phase_count; ++p) {
+    for (int j = 0; j < plan[p]; ++j) {
+      if (!engine.done[p][static_cast<std::size_t>(j)]) {
+        engine.tasks.emplace_back(p, j);
+      }
+    }
+  }
+
+  unsigned workers = options.campaign_workers != 0
+                         ? options.campaign_workers
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::clamp<unsigned>(
+      workers, 1,
+      static_cast<unsigned>(std::max<std::size_t>(engine.tasks.size(), 1)));
+  telemetry::gauge_set(telemetry::Gauge::CampaignWorkers, workers);
+
+  if (workers == 1) {
+    engine.worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&engine, w] { engine.worker(w); });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  if (!options.checkpoint_file.empty()) engine.write_checkpoint_locked();
+
+  // Deterministic fold in (phase, injection) order. merge() is the same
+  // associative/commutative fold the monolithic worker shards use;
+  // tests/campaign_stats_test.cpp proves phase-reorder invariance.
+  result.composed.workers = workers;
+  result.composed.resumed = result.injections_cached;
+  for (std::uint32_t p = 0; p < phase_count; ++p) {
+    PhaseOutcomeSummary summary;
+    summary.phase = p;
+    summary.code_fp = phases[p].code_fp;
+    summary.entry_fp = phases[p].entry_fp;
+    summary.injections = plan[p];
+    summary.cached = cached[p];
+    summary.budget = phases[p].budget;
+    for (int j = 0; j < plan[p]; ++j) {
+      if (!engine.done[p][static_cast<std::size_t>(j)]) continue;
+      InjectionOutcome outcome;
+      outcome.index = static_cast<std::uint32_t>(j);
+      outcome.verdict = engine.verdicts[p][static_cast<std::size_t>(j)];
+      outcome.wall_ns = engine.wall_ns[p][static_cast<std::size_t>(j)];
+      accumulate(summary.tally, outcome);
+      summary.tally.verdicts.push_back(outcome.verdict);
+      // Cache-served slots are exactly the prefix [0, cached[p]).
+      if (j >= cached[p]) ++result.injections_executed;
+    }
+    telemetry::record_event(
+        telemetry::EventKind::PhaseOutcome, telemetry::Phase::Other, p,
+        static_cast<std::uint64_t>(summary.tally.injected),
+        static_cast<std::uint64_t>(summary.tally.sdc));
+    merge(result.composed, summary.tally);
+    result.composed.verdicts.insert(result.composed.verdicts.end(),
+                                    summary.tally.verdicts.begin(),
+                                    summary.tally.verdicts.end());
+    result.phases.push_back(std::move(summary));
+  }
+  for (int j = 0; j < null_injections; ++j) {
+    InjectionOutcome outcome;
+    outcome.index = static_cast<std::uint32_t>(j);
+    accumulate(result.composed, outcome);  // NotActivated, zero wall time
+    result.composed.verdicts.push_back(Verdict::NotActivated);
+  }
+  result.interrupted =
+      result.composed.injected < options.injections;
+  if (result.composed.injected > 0) {
+    result.composed.run_ns_mean =
+        static_cast<double>(result.composed.run_ns_total) /
+        result.composed.injected;
+  }
+  return result;
+}
+
+}  // namespace bw::fault

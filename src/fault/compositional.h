@@ -1,0 +1,151 @@
+// Compositional fault-injection campaigns (FastFlip-style): instead of
+// re-running every injection end-to-end, inject within a SINGLE barrier
+// phase — entering it from the golden run's barrier-aligned checkpoint —
+// classify the phase-exit state delta, and compose the per-phase outcome
+// distributions into whole-program SDC/coverage estimates.
+//
+// Why this is sound here: BLOCKWATCH kernels are SPMD programs whose
+// barriers are total cuts — no branch instance, lock hold, or monitor
+// report spans one (the same property that makes barriers the only sound
+// recovery rollback targets, vm/recovery.h). The golden trace therefore
+// factors the execution into phases whose entry states are complete
+// (heap + every thread's frames/locals/outputs + tracker + lock owners),
+// and a transient fault injected inside phase p can only influence later
+// phases THROUGH the state at p's exit cut:
+//   * exit state fingerprint-equal to golden  -> the continuation is the
+//     golden continuation; the fault is fully masked (Benign).
+//   * exit state differs                      -> the corruption is real;
+//     a continuation run from the faulty exit checkpoint (fault inactive:
+//     the transient upset already happened) classifies whether it is
+//     detected downstream, crashes, hangs, or escapes as an SDC.
+// Faults that never reach the cut (crash/hang/detected inside the phase,
+// or the program leaves the section early) are classified directly.
+//
+// The per-phase outcome tallies then merge — the same associative fold
+// the parallel monolithic engine uses — with each phase weighted by its
+// share of the whole program's dynamic branches, so the composed verdict
+// distribution estimates the same population the monolithic sampler
+// draws from. tests/compositional_test.cpp proves composed and
+// monolithic estimates agree within overlapping Wilson 95% CIs on every
+// registry kernel.
+//
+// Caching: a phase's outcome distribution depends only on (the code its
+// blocks execute, the state it enters from, the fault model). Both are
+// fingerprinted — content-hashed, no pointers — and persisted through
+// fault/checkpoint.h v3, so re-running a campaign over a modified kernel
+// re-injects ONLY the phases whose code or entry state changed: an edit
+// to phase k invalidates k (code fp) and any downstream phase whose
+// entry state shifted (entry fp), and nothing else. The cache can never
+// serve a stale phase: a served entry's fingerprints match by key.
+//
+// Refused configurations (composition would be unsound, not just
+// conservative):
+//   * FaultType::TargetedFlip — the persistent adversary re-flips its
+//     chosen site across barrier cuts, so phase outcomes are not
+//     independent.
+//   * Monitor-path fault types — the fault lives in the detection fabric
+//     for the WHOLE run, not inside one phase.
+//   * RecoveryOptions::enabled — a rollback crosses the phase cut and
+//     re-entangles the slices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "fault/campaign.h"
+#include "fault/checkpoint.h"
+#include "vm/interpreter.h"
+#include "vm/recovery.h"
+
+namespace bw::fault {
+
+/// Content fingerprint of one execution state at a barrier cut: shared
+/// heap, every thread's frames (function NAME — stable across unrelated
+/// edits — callsite, block, ip, raw registers), locals, output, context
+/// tracker hashes, and the sorted held-lock set. Deliberately EXCLUDES
+/// the retired-instruction/branch counters and the generation number:
+/// they tick with upstream code-size changes that do not alter the state
+/// the phase actually computes on, and injection targets are drawn
+/// relative to the CURRENT golden entry counts anyway.
+std::uint64_t fingerprint_state(const vm::Checkpoint& checkpoint,
+                                const vm::DecodedProgram& decoded);
+
+/// Content fingerprint of the code a phase executes: the sorted unique
+/// (function, block) pairs the golden run profiled for that phase, each
+/// hashed by function name plus the block's full decoded instruction
+/// stream (opcode, predicate, operands, immediates, successors, callee
+/// names, phi moves). Any textual edit that survives to the IR of a
+/// block the phase runs changes this fingerprint.
+std::uint64_t fingerprint_phase_code(
+    const vm::DecodedProgram& decoded,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& blocks);
+
+/// Largest-remainder apportionment of `total` injections over per-phase
+/// weights plus a trailing null bucket (faults landing in threads that
+/// never branch — NotActivated by construction, no runs needed). Returns
+/// weights.size() + 1 allotments summing to exactly `total`; ties break
+/// toward the lower index. Exposed for the unit tests.
+std::vector<int> apportion_injections(
+    const std::vector<std::uint64_t>& weights, std::uint64_t null_weight,
+    int total);
+
+/// One phase's slice of the campaign.
+struct PhaseOutcomeSummary {
+  std::uint32_t phase = 0;
+  std::uint64_t code_fp = 0;
+  std::uint64_t entry_fp = 0;
+  /// Injections apportioned to this phase (== tally.injected when the
+  /// campaign ran to completion).
+  int injections = 0;
+  /// How many of them were served from the v3 phase-outcome cache.
+  int cached = 0;
+  /// Per-phase watchdog budget (auto_phase_instruction_budget unless the
+  /// campaign pinned an explicit budget).
+  std::uint64_t budget = 0;
+  /// This phase's outcome partition and verdict list (verdicts in
+  /// injection order; cached injections contribute verdicts but zero
+  /// wall time).
+  CampaignResult tally;
+};
+
+struct CompositionalResult {
+  /// The whole-program estimate: every phase's tally merged, plus the
+  /// null bucket's NotActivated injections. coverage()/sdc_interval()
+  /// etc. on this are the composed campaign's headline numbers.
+  CampaignResult composed;
+  std::vector<PhaseOutcomeSummary> phases;  // one per phase, in order
+  std::uint32_t phase_count = 0;
+  /// Injections that never needed a run because a thread ran no branches
+  /// (the monolithic engine's NotActivated-by-sampling bucket).
+  int null_injections = 0;
+  /// Phase-level cache accounting: a phase "hits" when at least one of
+  /// its injections was served from cache.
+  int phase_cache_hits = 0;
+  int phase_cache_misses = 0;
+  /// Injection-level accounting (executed + cached + null == composed
+  /// plan size when not interrupted).
+  int injections_executed = 0;
+  int injections_cached = 0;
+  /// halt_after stopped the engine before the plan completed.
+  bool interrupted = false;
+  /// The configuration cannot be composed soundly (see header comment);
+  /// nothing ran and `composed` is empty.
+  bool refused = false;
+  std::string refusal_reason;
+};
+
+/// Run a compositional campaign against one BW-C program. Honors the
+/// same CampaignOptions the monolithic engine takes: seed/type/
+/// injections/threads/protect/sampling identity (checkpoint-guarded),
+/// campaign_workers (byte-identical results for any worker count),
+/// checkpoint_file/checkpoint_every/resume_file/halt_after. When
+/// resume_file is empty but checkpoint_file names a loadable v3 file,
+/// the phase cache warms from it automatically (the incremental-recheck
+/// workflow: same file across runs, only changed phases re-inject).
+CompositionalResult run_compositional_campaign(std::string_view source,
+                                               const CampaignOptions& options);
+
+}  // namespace bw::fault

@@ -78,6 +78,7 @@ void run_with_sink(const CompiledProgram& program,
   ropts.instruction_budget = config.instruction_budget;
   ropts.stop_on_detection = config.stop_on_detection;
   ropts.recovery = config.recovery;
+  ropts.phase = config.phase;
   if (sink == nullptr || !sink->supports_recovery() ||
       !config.stop_on_detection) {
     // Recovery needs a monitor that can quiesce/reset and a run that stops

@@ -89,6 +89,9 @@ struct ExecutionConfig {
   /// detection cannot interrupt the run. execute() silently disables it
   /// otherwise.
   vm::RecoveryOptions recovery;
+  /// Single-phase execution for the compositional campaign engine (see
+  /// vm::PhasePlan). Mutually exclusive with recovery; inactive by default.
+  vm::PhasePlan phase;
   /// execute_in_session only: this run's queued-report quota (0 = the
   /// service's default). monitor_options carries the rest of the session
   /// shape (validation, fault hooks, sampling, max_pending); monitor

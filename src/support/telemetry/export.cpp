@@ -53,6 +53,7 @@ ArgNames arg_names(EventKind kind) {
     case EventKind::SessionEvicted:
       return {"session", "violations", "dropped"};
     case EventKind::TenantThrottled: return {"session", "thread", "reports"};
+    case EventKind::PhaseOutcome: return {"phase", "injections", "sdc"};
     case EventKind::kCount: break;
   }
   return {"a0", "a1", "a2"};

@@ -46,6 +46,8 @@ const char* to_string(Counter counter) {
     case Counter::ReportsThrottled: return "service.reports_throttled";
     case Counter::TenantThrottleEvents:
       return "service.tenant_throttle_events";
+    case Counter::CampaignPhaseCacheHits:
+      return "campaign.phase_cache_hits";
     case Counter::kCount: break;
   }
   return "<bad-counter>";
@@ -112,6 +114,7 @@ const char* to_string(EventKind kind) {
     case EventKind::SessionAdmitted: return "session_admitted";
     case EventKind::SessionEvicted: return "session_evicted";
     case EventKind::TenantThrottled: return "tenant_throttled";
+    case EventKind::PhaseOutcome: return "phase_outcome";
     case EventKind::kCount: break;
   }
   return "<bad-event-kind>";

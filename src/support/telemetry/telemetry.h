@@ -85,6 +85,8 @@ enum class Counter : std::uint16_t {
   SessionsEvicted,    // sessions torn down (drained and detached)
   ReportsThrottled,   // reports dropped because a tenant was over quota
   TenantThrottleEvents,  // distinct over-quota episodes (edge-counted)
+  // Compositional campaign engine (fault/compositional.h).
+  CampaignPhaseCacheHits,  // injections served from the phase-outcome cache
   kCount,
 };
 
@@ -147,6 +149,7 @@ enum class EventKind : std::uint8_t {
   SessionAdmitted,   // a0=session    a1=threads     a2=quota
   SessionEvicted,    // a0=session    a1=violations  a2=dropped
   TenantThrottled,   // a0=session    a1=thread      a2=reports lost
+  PhaseOutcome,      // a0=phase      a1=injections  a2=sdc count
   kCount,
 };
 

@@ -611,7 +611,10 @@ RtValue ThreadRunner::call_threaded(std::uint32_t func_index,
   if (!fault_possible()) {
     table[static_cast<std::size_t>(THandler::CondBr)] = &&H_CondBrFast;
   }
-  if (recovery_ == nullptr) {
+  if (recovery_ == nullptr && phase_ == nullptr) {
+    // H_BarrierFast bypasses barrier_sync() entirely, so it is only sound
+    // when neither recovery checkpointing nor a phase plan needs the
+    // staging/exit logic there.
     table[static_cast<std::size_t>(THandler::Barrier)] = &&H_BarrierFast;
   }
 

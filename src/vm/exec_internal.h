@@ -43,6 +43,12 @@ struct Trap {
 /// not an error outcome, and must never be caught by trap classification.
 struct RollbackSignal {};
 
+/// Unwinds a program thread out of the dispatcher when a PhasePlan's exit
+/// barrier has been crossed. Like RollbackSignal, this is a clean control
+/// transfer — the thread finished its phase slice — and must never be
+/// classified as a trap.
+struct PhaseExitSignal {};
+
 union RtValue {
   std::int64_t i;
   double f;
@@ -285,6 +291,14 @@ class Machine {
 
   RunResult run();
 
+  /// Phase-plan staging: each thread parks its snapshot here right before
+  /// entering a capture barrier (mirrors RecoveryCoordinator::stage). The
+  /// mutex orders stagers against the releasing thread's checkpoint hook.
+  void phase_stage(unsigned tid, ThreadSnapshot snapshot) {
+    std::lock_guard<std::mutex> lock(phase_mu_);
+    phase_staged_[tid] = std::move(snapshot);
+  }
+
   /// Shared decode (both tiers' forms); immutable, shared across Machines.
   std::shared_ptr<const ProgramCode> code_;
   const DecodedProgram& program_;  // == code_->decoded
@@ -293,6 +307,14 @@ class Machine {
   std::vector<std::int64_t> heap_;
   Coordinator coordinator_;
   std::unique_ptr<RecoveryCoordinator> recovery_;
+
+  // --- Phase-plan state (PhasePlan in machine.h) -----------------------
+  std::mutex phase_mu_;
+  std::vector<ThreadSnapshot> phase_staged_;  // indexed by tid
+  /// Set (release) by the checkpoint hook when exit_generation commits;
+  /// every thread checks it (acquire) after leaving the barrier and
+  /// unwinds through PhaseExitSignal.
+  std::atomic<bool> phase_exit_done_{false};
 };
 
 class ThreadRunner {
@@ -303,6 +325,10 @@ class ThreadRunner {
         parallel_(parallel_section),
         monitor_(machine.options_.monitor),
         recovery_(parallel_section ? machine.recovery_.get() : nullptr),
+        phase_(parallel_section && machine.options_.phase.active
+                   ? &machine.options_.phase
+                   : nullptr),
+        profiling_(phase_ != nullptr && phase_->block_profile != nullptr),
         // The oracle only sees the parallel section: init() is sequenced
         // before slave() by the thread fork, so its accesses cannot race.
         oracle_(parallel_section ? machine.options_.race_oracle : nullptr) {}
@@ -350,6 +376,13 @@ class ThreadRunner {
         }
       } catch (const RollbackSignal&) {
         running = roll_back();
+      } catch (const PhaseExitSignal&) {
+        // Clean phase-slice completion: the exit barrier committed its
+        // capture with this thread's snapshot staged, so the thread just
+        // leaves — same shutdown shape as normal section completion.
+        if (monitor_ != nullptr) monitor_->flush(tid_);
+        if (parallel_) m_.coordinator_.thread_finished(tid_);
+        running = false;
       } catch (const Trap& trap) {
         outcome_.trap = trap.kind;
         outcome_.detail = trap.detail;
@@ -450,9 +483,33 @@ class ThreadRunner {
         if (monitor_ != nullptr) monitor_->flush(tid_);
         recovery_->stage(tid_, capture_snapshot());
       }
+    } else if (phase_ != nullptr) {
+      // Phase runs track barrier crossings with the same per-thread
+      // counter the recovery path uses: a restored thread resumes one
+      // below its entry generation and re-crosses the entry barrier, so
+      // barriers_crossed_ equals the global generation in lockstep.
+      ++barriers_crossed_;
+      if (phase_->trace != nullptr ||
+          (phase_->exit_generation != 0 &&
+           barriers_crossed_ == phase_->exit_generation)) {
+        if (monitor_ != nullptr) monitor_->flush(tid_);
+        m_.phase_stage(tid_, capture_snapshot());
+      }
     }
     m_.coordinator_.barrier_wait(tid_);
     ++epoch_;
+    if (phase_ != nullptr &&
+        m_.phase_exit_done_.load(std::memory_order_acquire)) {
+      // The barrier we just crossed was the phase-exit cut (the releasing
+      // thread captured the checkpoint under the coordinator mutex before
+      // anyone was released, so the flag is ordered before this check).
+      throw PhaseExitSignal{};
+    }
+    if (profiling_) {
+      // The block containing this Barrier keeps executing into the next
+      // phase without a fresh block entry: re-attribute it.
+      profile_current_block();
+    }
   }
 
   void lock_sync_acquire(std::int64_t id) {
@@ -609,6 +666,64 @@ class ThreadRunner {
         outcome_.detail = "rollback cancelled by peer trap";
         if (parallel_) m_.coordinator_.thread_trapped(tid_);
         return false;
+    }
+  }
+
+  // --- Phase-plan entry / profiling ---------------------------------------
+
+  /// Arm this runner to resume from a phase-entry snapshot, mirroring the
+  /// restore branch of roll_back(): counters are pre-deducted because the
+  /// entry Barrier (and each parent frame's pending Call) is re-executed,
+  /// re-crossing the cut together with every peer. An empty-frames
+  /// snapshot (the generation-0 baseline) restarts the entry from scratch.
+  /// The snapshot must outlive the run. Call before run().
+  void prepare_phase_entry(const ThreadSnapshot& ts) {
+    local_slots_ = ts.local_slots;
+    output_ = ts.output;
+    tracker_ = ts.tracker;
+    branches_ = ts.branches;
+    instructions_ = ts.instructions - ts.frames.size();
+    barriers_crossed_ =
+        ts.barriers_crossed == 0 ? 0 : ts.barriers_crossed - 1;
+    pending_restore_ = &ts;
+  }
+
+  /// Golden-capture profiling: attribute (func, block) to the phase the
+  /// thread is currently in. Unique-insert into a sorted vector — the
+  /// universe is static program blocks, so these stay tiny.
+  void profile_block(std::uint32_t func_index, std::uint32_t block) {
+    const std::size_t phase = static_cast<std::size_t>(barriers_crossed_);
+    if (profile_blocks_.size() <= phase) profile_blocks_.resize(phase + 1);
+    auto& blocks = profile_blocks_[phase];
+    const std::pair<std::uint32_t, std::uint32_t> key{func_index, block};
+    auto it = std::lower_bound(blocks.begin(), blocks.end(), key);
+    if (it == blocks.end() || *it != key) blocks.insert(it, key);
+  }
+
+  /// Re-attribute the innermost live block after a point where the phase
+  /// index may have advanced without a block entry (post-barrier, and
+  /// after a Call that may have barriered inside the callee).
+  void profile_current_block() {
+    if (frame_stack_.empty()) return;
+    const ActiveFrame& frame = frame_stack_.back();
+    profile_block(frame.func_index, *frame.block);
+  }
+
+  /// Merge this thread's per-phase block profile into the plan's shared
+  /// output (called after run(), once the thread is done executing).
+  void publish_block_profile() {
+    if (!profiling_) return;
+    auto& merged = *phase_->block_profile;
+    std::lock_guard<std::mutex> lock(m_.phase_mu_);
+    if (merged.size() < profile_blocks_.size()) {
+      merged.resize(profile_blocks_.size());
+    }
+    for (std::size_t p = 0; p < profile_blocks_.size(); ++p) {
+      auto& into = merged[p];
+      into.insert(into.end(), profile_blocks_[p].begin(),
+                  profile_blocks_[p].end());
+      std::sort(into.begin(), into.end());
+      into.erase(std::unique(into.begin(), into.end()), into.end());
     }
   }
 
@@ -813,6 +928,12 @@ class ThreadRunner {
   bool parallel_;
   runtime::BranchSink* monitor_;
   RecoveryCoordinator* recovery_;  // null unless recovery is enabled
+  const PhasePlan* phase_;  // null unless a phase plan is active
+  /// Golden-capture block profiling is on (phase_->block_profile set).
+  bool profiling_;
+  /// Per-phase sorted unique (func, block) pairs this thread executed.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      profile_blocks_;
   RaceOracle* oracle_;  // null unless a race oracle is attached
   runtime::ContextTracker tracker_;
   ThreadOutcome outcome_;

@@ -65,8 +65,10 @@ RtValue ThreadRunner::call(std::uint32_t func_index,
     }
   }
   frame_stack_.push_back({func_index, callsite_id, &regs, &block, &ip});
+  if (profiling_) profile_block(func_index, block);
 
   auto enter_block = [&](std::uint32_t target, std::uint32_t from) {
+    if (profiling_) profile_block(func_index, target);
     std::uint32_t first = f.block_first[target];
     phi_staging.clear();
     std::uint32_t i = first;
@@ -274,6 +276,9 @@ RtValue ThreadRunner::call(std::uint32_t func_index,
         }
         RtValue r = call(d.callee, std::move(call_args), d.imm);
         if (d.dest != kNoReg) regs[d.dest] = r;
+        // The callee may have crossed barriers: re-attribute the rest of
+        // this block to the phase the thread is now in.
+        if (profiling_) profile_block(func_index, block);
         break;
       }
       // --- SPMD intrinsics ------------------------------------------------------------
@@ -364,9 +369,28 @@ RunResult Machine::run() {
   result.tier = tier_;
   result.threads.resize(options_.num_threads);
 
-  // Sequential init (mirrors SPLASH-2 main() setup).
+  const PhasePlan& phase = options_.phase;
+  const bool phase_restore = phase.active && phase.entry != nullptr;
+  if (phase.active) {
+    BW_INTERNAL_CHECK(!options_.recovery.enabled,
+                      "phase plans are mutually exclusive with recovery");
+    BW_INTERNAL_CHECK(
+        phase.block_profile == nullptr || tier_ == ExecTier::Interpreter,
+        "phase block profiling requires the interpreter tier");
+    if (phase_restore) {
+      BW_INTERNAL_CHECK(
+          phase.entry->threads.size() == options_.num_threads,
+          "phase entry checkpoint thread count mismatch");
+    }
+    phase_staged_.resize(options_.num_threads);
+  }
+
+  // Sequential init (mirrors SPLASH-2 main() setup). Skipped on a
+  // phase-entry restore: the entry checkpoint already embodies the
+  // post-init state (including anything init printed — phase runs are
+  // compared on section output only).
   std::uint32_t init_index =
-      options_.init_function.empty()
+      options_.init_function.empty() || phase_restore
           ? kNoFunc
           : program_.function_index(options_.init_function);
   if (init_index != kNoFunc) {
@@ -403,14 +427,67 @@ RunResult Machine::run() {
         });
   }
 
+  if (phase.active) {
+    if (phase_restore) {
+      // Enter the phase from its barrier-aligned checkpoint, exactly like
+      // a recovery restore: shared heap, then barrier generation one below
+      // the cut (every thread re-executes the entry Barrier, re-crossing
+      // it together) plus the lock owners held across it.
+      heap_ = phase.entry->heap;
+      coordinator_.reset_for_retry(
+          phase.entry->generation == 0 ? 0 : phase.entry->generation - 1,
+          phase.entry->coordinator.lock_owners);
+    } else if (phase.trace != nullptr) {
+      // Golden capture: synthesize the generation-0 baseline so trace[g]
+      // is always the entry state of phase g. Empty frames mean "restart
+      // the parallel entry from scratch" — the existing baseline
+      // semantics of the restore path.
+      Checkpoint baseline;
+      baseline.generation = 0;
+      baseline.heap = heap_;
+      baseline.threads.resize(options_.num_threads);
+      phase.trace->push_back(std::move(baseline));
+    }
+    coordinator_.set_checkpoint_hook(
+        [this](std::uint64_t generation,
+               const std::unordered_map<std::int64_t, unsigned>& lock_owner) {
+          const PhasePlan& pp = options_.phase;
+          const bool at_exit =
+              pp.exit_generation != 0 && generation == pp.exit_generation;
+          if (pp.trace == nullptr && !at_exit) return false;
+          // Releasing thread, under the coordinator mutex, every peer
+          // parked inside the barrier with its snapshot staged: assemble
+          // the checkpoint exactly as a recovery commit would.
+          Checkpoint cp;
+          cp.generation = generation;
+          cp.heap = heap_;
+          {
+            std::lock_guard<std::mutex> lock(phase_mu_);
+            cp.threads = phase_staged_;
+          }
+          cp.coordinator.lock_owners.assign(lock_owner.begin(),
+                                            lock_owner.end());
+          if (at_exit && pp.exit_capture != nullptr) *pp.exit_capture = cp;
+          if (pp.trace != nullptr) pp.trace->push_back(std::move(cp));
+          if (at_exit) {
+            phase_exit_done_.store(true, std::memory_order_release);
+          }
+          return false;  // never a forced rollback
+        });
+  }
+
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(options_.num_threads);
   for (unsigned t = 0; t < options_.num_threads; ++t) {
-    threads.emplace_back([this, t, entry_index, &result] {
+    threads.emplace_back([this, t, entry_index, phase_restore, &result] {
       telemetry::SpanScope span(telemetry::Phase::Execution, "vm.thread");
       ThreadRunner runner(*this, t, /*parallel_section=*/true);
+      if (phase_restore) {
+        runner.prepare_phase_entry(options_.phase.entry->threads[t]);
+      }
       result.threads[t] = runner.run(entry_index);
+      runner.publish_block_profile();
     });
   }
   for (std::thread& th : threads) th.join();
@@ -438,6 +515,7 @@ RunResult Machine::run() {
     if (t.trap != TrapKind::None) any_trap = true;
   }
   result.ok = !any_trap;
+  result.phase_exited = phase_exit_done_.load(std::memory_order_acquire);
   if (recovery_ != nullptr) {
     result.recovery = recovery_->finalize_stats(result.ok);
     result.recovered = result.recovery.recovered;

@@ -76,6 +76,44 @@ struct ThreadOutcome {
   std::string output;          // this thread's print log
 };
 
+/// Single-phase execution plan for the compositional campaign engine
+/// (fault/compositional.h): run exactly one barrier-delimited slice of the
+/// parallel section, entering from a barrier-aligned checkpoint and
+/// exiting at the next cut. Reuses the recovery machinery's Checkpoint
+/// format and restore path (vm/recovery.h) — barriers are the only sound
+/// cut points, for the same reason they are the only sound rollback
+/// targets: no branch instance spans one.
+///
+/// Mutually exclusive with RecoveryOptions::enabled (a rollback would
+/// cross the phase cut and re-entangle the slices).
+struct PhasePlan {
+  bool active = false;
+  /// Entry state. Null = run from the section entry (init() included).
+  /// Non-null = skip init(), restore the shared heap, the coordinator's
+  /// barrier generation / lock owners, and every thread's snapshot, then
+  /// resume: all threads re-cross the entry barrier together, exactly
+  /// like a recovery restore. The checkpoint must outlive the run.
+  const Checkpoint* entry = nullptr;
+  /// Stop the run when the global barrier generation reaches this value:
+  /// every thread exits cleanly right after crossing that barrier (the
+  /// phase-exit cut). 0 = run to the section end (the last phase).
+  std::uint64_t exit_generation = 0;
+  /// When non-null and exit_generation fires, receives the state at the
+  /// cut (same shape a recovery checkpoint would have committed there).
+  Checkpoint* exit_capture = nullptr;
+  /// Golden capture mode: append one checkpoint per crossed barrier
+  /// generation (the run also pushes a synthetic generation-0 baseline
+  /// first, so trace[g] is always the entry state of phase g).
+  std::vector<Checkpoint>* trace = nullptr;
+  /// Golden capture mode: per-phase sorted unique (function index, block
+  /// index) pairs executed, merged across threads — the input to the
+  /// per-phase code fingerprint. Requires ExecTier::Interpreter (the
+  /// profiling hooks live in the reference tier only; one golden capture
+  /// per campaign makes its speed irrelevant).
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>*
+      block_profile = nullptr;
+};
+
 struct RunResult {
   /// True iff every thread ran to completion without traps or hangs.
   bool ok = false;
@@ -95,6 +133,10 @@ struct RunResult {
   RecoveryStats recovery;
   /// The run rolled back at least once and still finished cleanly.
   bool recovered = false;
+  /// A PhasePlan with exit_generation fired: the run stopped at the phase
+  /// cut (and exit_capture, if set, holds the state there). False means
+  /// the program left the section before reaching the cut.
+  bool phase_exited = false;
   /// The tier that actually executed (resolved; never Auto).
   ExecTier tier = ExecTier::Interpreter;
 };
@@ -125,6 +167,9 @@ struct RunOptions {
   /// Attach a dynamic race detector (vm/race_oracle.h). Records shared
   /// heap traffic of the parallel section only; nullptr = no recording.
   RaceOracle* race_oracle = nullptr;
+  /// Single-phase execution for the compositional campaign engine (see
+  /// PhasePlan). Inactive by default.
+  PhasePlan phase;
 };
 
 /// Execute the module. Thread-safe with respect to other Machines; the

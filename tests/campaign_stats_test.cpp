@@ -196,6 +196,118 @@ TEST(CampaignAccumulator, MergingAnEmptyShardIsIdentity) {
   expect_equal_tallies(r, other);
 }
 
+// ---------------------------------------------------------------------------
+// Phase-outcome composition (the compositional engine's fold).
+// ---------------------------------------------------------------------------
+
+/// Synthetic per-phase tallies with deliberately different outcome mixes,
+/// standing in for fault/compositional.h's PhaseOutcomeSummary tallies.
+std::vector<fault::CampaignResult> sample_phase_tallies() {
+  std::vector<fault::InjectionOutcome> all = sample_outcomes();
+  std::vector<fault::CampaignResult> phases(5);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    // Uneven split: phase p gets a different-sized, different-mix slice.
+    fault::accumulate(phases[(i * i) % phases.size()], all[i]);
+  }
+  return phases;
+}
+
+TEST(PhaseComposition, ComposedEstimateIsPhaseOrderInvariant) {
+  std::vector<fault::CampaignResult> phases = sample_phase_tallies();
+
+  fault::CampaignResult forward;
+  for (const fault::CampaignResult& p : phases) fault::merge(forward, p);
+
+  std::vector<std::size_t> order = {0, 1, 2, 3, 4};
+  do {
+    fault::CampaignResult composed;
+    for (std::size_t p : order) fault::merge(composed, phases[p]);
+    expect_equal_tallies(forward, composed);
+    // The published headline numbers — coverage, SDC rate, and their
+    // Wilson bounds — must be bit-identical too, since they are pure
+    // functions of the tallies.
+    EXPECT_EQ(forward.coverage(), composed.coverage());
+    EXPECT_EQ(forward.sdc_interval().lo, composed.sdc_interval().lo);
+    EXPECT_EQ(forward.sdc_interval().hi, composed.sdc_interval().hi);
+    EXPECT_EQ(forward.coverage_interval().lo,
+              composed.coverage_interval().lo);
+    EXPECT_EQ(forward.coverage_interval().hi,
+              composed.coverage_interval().hi);
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(PhaseComposition, MergeOfPhaseTalliesIsAssociative) {
+  std::vector<fault::CampaignResult> phases = sample_phase_tallies();
+  // ((p0+p1)+p2...) vs (p0+(p1+(p2+...))) — the left fold the engine uses
+  // against a fully right-nested fold.
+  fault::CampaignResult left;
+  for (const fault::CampaignResult& p : phases) fault::merge(left, p);
+  fault::CampaignResult right;
+  for (std::size_t p = phases.size(); p-- > 0;) {
+    fault::CampaignResult nested = phases[p];
+    fault::merge(nested, right);
+    right = nested;
+  }
+  expect_equal_tallies(left, right);
+}
+
+TEST(PhaseComposition, CiEdgesSurviveComposition) {
+  // All-masked phases compose to 100% coverage with a proper interval...
+  fault::CampaignResult clean;
+  for (int p = 0; p < 3; ++p) {
+    fault::CampaignResult phase;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      fault::InjectionOutcome o;
+      o.index = i;
+      o.verdict = fault::Verdict::Benign;
+      fault::accumulate(phase, o);
+    }
+    fault::merge(clean, phase);
+  }
+  EXPECT_EQ(clean.coverage(), 1.0);
+  // The upper bound is 1 mathematically; rounding in the Wilson formula
+  // may land an ulp below for some n, so compare with tolerance.
+  EXPECT_NEAR(clean.coverage_interval().hi, 1.0, 1e-12);
+  EXPECT_LT(clean.coverage_interval().lo, 1.0);
+  EXPECT_EQ(clean.sdc_interval().lo, 0.0);
+
+  // ...all-SDC phases to 0% coverage...
+  fault::CampaignResult dirty;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    fault::InjectionOutcome o;
+    o.index = i;
+    o.verdict = fault::Verdict::Sdc;
+    fault::accumulate(dirty, o);
+  }
+  EXPECT_EQ(dirty.coverage(), 0.0);
+  EXPECT_EQ(dirty.coverage_interval().lo, 0.0);
+  EXPECT_NEAR(dirty.sdc_interval().hi, 1.0, 1e-12);
+
+  // ...and a single-activation composition is wide but proper.
+  fault::CampaignResult tiny;
+  fault::InjectionOutcome one;
+  one.verdict = fault::Verdict::Sdc;
+  fault::accumulate(tiny, one);
+  fault::InjectionOutcome dud;  // NotActivated: widens nothing
+  dud.index = 1;
+  fault::accumulate(tiny, dud);
+  EXPECT_EQ(tiny.activated, 1);
+  EXPECT_GT(tiny.sdc_interval().width(), 0.5);
+  EXPECT_TRUE(tiny.sdc_interval().contains(1.0));
+
+  // Phases with zero activated faults are identity elements for the
+  // estimate: merging one changes no headline number.
+  fault::CampaignResult inert;
+  fault::InjectionOutcome na;
+  fault::accumulate(inert, na);
+  fault::CampaignResult merged = clean;
+  fault::merge(merged, inert);
+  EXPECT_EQ(merged.coverage(), clean.coverage());
+  EXPECT_EQ(merged.sdc_interval().lo, clean.sdc_interval().lo);
+  EXPECT_EQ(merged.sdc_interval().hi, clean.sdc_interval().hi);
+  EXPECT_EQ(merged.injected, clean.injected + 1);
+}
+
 TEST(InjectionSeed, StreamsAreIndexAndSeedSensitive) {
   // Neighbouring indices and neighbouring base seeds must not collide —
   // the whole determinism story rests on stream independence.
