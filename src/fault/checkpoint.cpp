@@ -85,14 +85,18 @@ std::string CampaignCheckpoint::to_text() const {
   }
   for (const PhaseCacheEntry& pc : phase_cache) {
     std::snprintf(line, sizeof(line),
-                  "pc %" PRIu32 " %" PRIx64 " %" PRIx64 " %zu ", pc.phase,
-                  pc.code_fp, pc.entry_fp, pc.verdicts.size());
+                  "pc %" PRIu32 " %" PRIx64 " %" PRIx64 " %" PRIx64 " %zu ",
+                  pc.phase, pc.code_fp, pc.entry_fp, pc.cont_fp,
+                  pc.verdicts.size());
     out += line;
     if (pc.verdicts.empty()) {
       out += '-';
     } else {
-      for (Verdict v : pc.verdicts) {
-        out += static_cast<char>('0' + static_cast<unsigned>(v));
+      for (std::size_t j = 0; j < pc.verdicts.size(); ++j) {
+        // One lowercase hex digit per slot: verdict | (via << 3).
+        const unsigned via =
+            j < pc.via_continuation.size() && pc.via_continuation[j] ? 8u : 0u;
+        out += "0123456789abcdef"[static_cast<unsigned>(pc.verdicts[j]) | via];
       }
     }
     out += '\n';
@@ -139,9 +143,10 @@ bool CampaignCheckpoint::from_text(const std::string& text,
       std::size_t done = 0;
       int digits_at = 0;
       if (std::sscanf(line.c_str(),
-                      "pc %" SCNu32 " %" SCNx64 " %" SCNx64 " %zu %n",
-                      &pc.phase, &pc.code_fp, &pc.entry_fp, &done,
-                      &digits_at) != 4 ||
+                      "pc %" SCNu32 " %" SCNx64 " %" SCNx64 " %" SCNx64
+                      " %zu %n",
+                      &pc.phase, &pc.code_fp, &pc.entry_fp, &pc.cont_fp,
+                      &done, &digits_at) != 5 ||
           digits_at <= 0) {
         return fail(error, "malformed phase-cache line: " + line);
       }
@@ -152,11 +157,18 @@ bool CampaignCheckpoint::from_text(const std::string& text,
         return fail(error, "phase-cache verdict count mismatch: " + line);
       }
       pc.verdicts.reserve(done);
+      pc.via_continuation.reserve(done);
       for (char c : digits) {
-        if (c < '0' || c > '0' + static_cast<int>(Verdict::FalseAlarm)) {
+        unsigned value = 0;
+        if (c >= '0' && c <= '9') {
+          value = static_cast<unsigned>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+          value = static_cast<unsigned>(c - 'a') + 10;
+        } else {
           return fail(error, "phase-cache verdict out of range: " + line);
         }
-        pc.verdicts.push_back(static_cast<Verdict>(c - '0'));
+        pc.verdicts.push_back(static_cast<Verdict>(value & 7u));
+        pc.via_continuation.push_back((value & 8u) != 0 ? 1 : 0);
       }
       cp.phase_cache.push_back(std::move(pc));
       continue;

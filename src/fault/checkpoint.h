@@ -15,10 +15,12 @@
 //   o <index> <verdict> <flags-hex> <rollbacks> <checkpoints> <restore_ns>
 //     <checkpoint_ns> <wall_ns>            (one line per completed injection,
 //                                           sorted by index)
-//   pc <phase> <code-fp-hex> <entry-fp-hex> <done> <verdict-digits|->
+//   pc <phase> <code-fp-hex> <entry-fp-hex> <cont-fp-hex> <done>
+//     <verdict-hex-digits|->
 //     (one line per phase the compositional engine completed injections
 //      for: the contiguous done-prefix of that phase's verdict list, each
-//      verdict one digit '0'..'7'; '-' when the prefix is empty)
+//      slot one lowercase hex digit packing verdict | (via_continuation
+//      << 3); '-' when the prefix is empty)
 // The identity line guards against resuming with mismatched options: the
 // outcomes are only valid for the exact (seed, type, plan size, threads,
 // protect, sampling configuration, targeted-flip budget) tuple they were
@@ -37,17 +39,31 @@
 namespace bw::fault {
 
 /// One phase's cached injection outcomes (compositional engine, v3). A
-/// cached prefix may only be replayed when BOTH fingerprints still match:
-/// code_fp pins the instructions the phase executes, entry_fp pins the
-/// state it executes them from (an upstream phase edit invalidates every
-/// phase downstream of the change through this field).
+/// cached slot may only be replayed when the fingerprints that pinned its
+/// classification still match: code_fp pins the instructions the phase
+/// executes, entry_fp pins the state it executes them from (an upstream
+/// phase edit invalidates every phase downstream of the change through
+/// this field), and cont_fp pins the DOWNSTREAM phases' code — a verdict
+/// that flowed through a continuation run (silent delta at the cut, an
+/// early section exit, or the incomplete-capture fallback) also depends
+/// on the code after the phase and on the golden section output it was
+/// compared against, so a downstream semantic edit must invalidate it.
+/// Verdicts classified entirely inside the phase (NotActivated, in-phase
+/// Detected/Crashed/Hung, Benign via exit-fingerprint match) carry
+/// via_continuation=false and survive downstream edits.
 struct PhaseCacheEntry {
   std::uint32_t phase = 0;
   std::uint64_t code_fp = 0;
   std::uint64_t entry_fp = 0;
+  /// Continuation fingerprint: fold of the code_fps of every phase AFTER
+  /// this one (a domain tag alone for the last phase).
+  std::uint64_t cont_fp = 0;
   /// Verdicts of the contiguous completed prefix [0, done) of this
   /// phase's injection plan, one Verdict per element.
   std::vector<Verdict> verdicts;
+  /// Parallel to `verdicts`: 1 when that slot's classification flowed
+  /// through downstream code (servable only while cont_fp matches).
+  std::vector<char> via_continuation;
 };
 
 struct CampaignCheckpoint {

@@ -196,11 +196,29 @@ struct PhaseInfo {
   std::uint64_t exit_generation = 0;  // 0 = last phase, run to section end
   std::uint64_t entry_fp = 0;
   std::uint64_t code_fp = 0;
+  /// Continuation fingerprint: fold of the code_fps of every LATER phase
+  /// (a domain tag alone for the last phase). Continuation-dependent
+  /// verdicts are cache-servable only while this matches: their
+  /// classification ran through the downstream code and compared against
+  /// the golden section output, both of which this fold pins (the golden
+  /// suffix from the cut is a function of the entry state — pinned by
+  /// entry_fp — plus the phase and downstream code).
+  std::uint64_t cont_fp = 0;
   std::uint64_t exit_fp = 0;  // golden exit state (unused for last phase)
   std::vector<std::uint64_t> entry_branches;  // per thread, at phase entry
   std::vector<std::uint64_t> delta;           // per-thread branch delta
   std::uint64_t delta_sum = 0;
   std::uint64_t budget = 0;
+};
+
+/// One classified injection: the verdict plus whether its classification
+/// flowed through code downstream of the phase (a continuation run, an
+/// early section exit compared against the whole-program golden output,
+/// or the incomplete-capture fallback). Continuation-dependent verdicts
+/// are only cache-servable while the phase's cont_fp still matches.
+struct Classified {
+  Verdict verdict = Verdict::NotActivated;
+  bool via_continuation = false;
 };
 
 /// Shared state of the compositional worker pool. Tasks are (phase,
@@ -223,7 +241,9 @@ struct CompositionalEngine {
   std::mutex mutex{};
   // Slot (p, j): verdicts[p][j] owned by the worker that claimed it.
   std::vector<std::vector<Verdict>> verdicts{};
+  std::vector<std::vector<char>> via_cont{};  // Classified::via_continuation
   std::vector<std::vector<char>> done{};
+  std::vector<std::vector<char>> served{};  // filled from cache, not run
   std::vector<std::vector<std::uint64_t>> wall_ns{};
   int completed = 0;  // live + cache-served injections
   int since_checkpoint = 0;
@@ -245,13 +265,14 @@ struct CompositionalEngine {
       entry.phase = static_cast<std::uint32_t>(p);
       entry.code_fp = phases[p].code_fp;
       entry.entry_fp = phases[p].entry_fp;
+      entry.cont_fp = phases[p].cont_fp;
       // Contiguous done-prefix only: verdicts are deterministic per
       // (phase, index), so anything beyond a hole is simply recomputed
       // on resume.
-      for (char d : done[p]) {
-        if (!d) break;
-        entry.verdicts.push_back(
-            verdicts[p][entry.verdicts.size()]);
+      for (std::size_t j = 0; j < done[p].size(); ++j) {
+        if (!done[p][j]) break;
+        entry.verdicts.push_back(verdicts[p][j]);
+        entry.via_continuation.push_back(via_cont[p][j]);
       }
       if (!entry.verdicts.empty()) cp.phase_cache.push_back(std::move(entry));
     }
@@ -259,7 +280,7 @@ struct CompositionalEngine {
     since_checkpoint = 0;
   }
 
-  Verdict inject_one(std::uint32_t p, int j) {
+  Classified inject_one(std::uint32_t p, int j) {
     const PhaseInfo& info = phases[p];
     support::SplitMixRng rng(
         injection_seed(injection_seed(options.seed, p),
@@ -310,21 +331,43 @@ struct CompositionalEngine {
 
     pipeline::ExecutionResult run = pipeline::execute(program, config);
     telemetry::counter_add(telemetry::Counter::FaultInjected);
-    if (!run.run.fault_applied) return Verdict::NotActivated;
+    if (!run.run.fault_applied) return {Verdict::NotActivated, false};
     telemetry::counter_add(telemetry::Counter::FaultActivated);
 
     // Same precedence as the monolithic classifier: detection first,
-    // then crash/hang, then state comparison.
-    if (protect && run.detected) return Verdict::Detected;
-    if (run.run.crash) return Verdict::Crashed;
-    if (run.run.hang) return Verdict::Hung;
+    // then crash/hang, then state comparison. These resolve inside the
+    // phase: no downstream code was consulted.
+    if (protect && run.detected) return {Verdict::Detected, false};
+    if (run.run.crash) return {Verdict::Crashed, false};
+    if (run.run.hang) return {Verdict::Hung, false};
 
     if (has_cut && run.run.phase_exited) {
+      if (!exit_capture.complete) {
+        // The fault desynchronized barrier staging (e.g. the victim
+        // skipped a conditional barrier), so some slot of the exit
+        // capture is a leftover rather than a true snapshot of the cut —
+        // a continuation from it would classify a fabricated hybrid
+        // execution. Re-run the SAME injection end-to-end from the phase
+        // entry instead: the direct classification the monolithic engine
+        // would produce.
+        pipeline::ExecutionConfig direct = config;
+        direct.instruction_budget = continuation_budget;
+        direct.phase.exit_generation = 0;  // run to the section end
+        direct.phase.exit_capture = nullptr;
+        pipeline::ExecutionResult d = pipeline::execute(program, direct);
+        if (protect && d.detected) return {Verdict::Detected, true};
+        if (d.run.crash) return {Verdict::Crashed, true};
+        if (d.run.hang) return {Verdict::Hung, true};
+        return {section_output(d.run) == golden_output ? Verdict::Benign
+                                                       : Verdict::Sdc,
+                true};
+      }
       if (fingerprint_state(exit_capture, decoded) == info.exit_fp) {
         // The exit cut carries the complete machine state, so fingerprint
         // equality means the continuation IS the golden continuation:
-        // the fault was fully masked inside the phase.
-        return Verdict::Benign;
+        // the fault was fully masked inside the phase. (No downstream
+        // code ran — the verdict survives downstream edits.)
+        return {Verdict::Benign, false};
       }
       // Silent delta at the cut. The corruption may still be masked,
       // detected, or fatal downstream — run the continuation from the
@@ -341,19 +384,22 @@ struct CompositionalEngine {
       cont.phase.entry = &exit_capture;
       cont.phase.exit_generation = 0;  // run to the section end
       pipeline::ExecutionResult c = pipeline::execute(program, cont);
-      if (protect && c.detected) return Verdict::Detected;
-      if (c.run.crash) return Verdict::Crashed;
-      if (c.run.hang) return Verdict::Hung;
-      return section_output(c.run) == golden_output ? Verdict::Benign
-                                                    : Verdict::Sdc;
+      if (protect && c.detected) return {Verdict::Detected, true};
+      if (c.run.crash) return {Verdict::Crashed, true};
+      if (c.run.hang) return {Verdict::Hung, true};
+      return {section_output(c.run) == golden_output ? Verdict::Benign
+                                                     : Verdict::Sdc,
+              true};
     }
 
     // The run left the parallel section without reaching the cut: either
     // this is the last phase (no cut), or the fault steered control flow
     // past the exit barrier to the section end. Both end states are
-    // final program states — compare section output directly.
-    return section_output(run.run) == golden_output ? Verdict::Benign
-                                                    : Verdict::Sdc;
+    // final program states — compare section output directly (against
+    // the whole-program golden output, so continuation-dependent).
+    return {section_output(run.run) == golden_output ? Verdict::Benign
+                                                     : Verdict::Sdc,
+            true};
   }
 
   void worker(unsigned worker_id) {
@@ -365,15 +411,17 @@ struct CompositionalEngine {
       const auto [p, j] = tasks[static_cast<std::size_t>(task)];
 
       const std::uint64_t start = now_ns(epoch);
-      Verdict verdict = inject_one(p, j);
+      const Classified outcome = inject_one(p, j);
       const std::uint64_t wall = now_ns(epoch) - start;
-      telemetry::record_event(telemetry::EventKind::CampaignInjection,
-                              telemetry::Phase::Other,
-                              static_cast<std::uint64_t>(j),
-                              static_cast<std::uint64_t>(verdict), worker_id);
+      telemetry::record_event(
+          telemetry::EventKind::CampaignInjection, telemetry::Phase::Other,
+          static_cast<std::uint64_t>(j),
+          static_cast<std::uint64_t>(outcome.verdict), worker_id);
 
       std::lock_guard<std::mutex> lock(mutex);
-      verdicts[p][static_cast<std::size_t>(j)] = verdict;
+      verdicts[p][static_cast<std::size_t>(j)] = outcome.verdict;
+      via_cont[p][static_cast<std::size_t>(j)] =
+          outcome.via_continuation ? 1 : 0;
       wall_ns[p][static_cast<std::size_t>(j)] = wall;
       done[p][static_cast<std::size_t>(j)] = 1;
       ++completed;
@@ -493,6 +541,18 @@ CompositionalResult run_compositional_campaign(
                       : auto_phase_instruction_budget(entry_instr_max,
                                                       delta_instr_max);
   }
+  // Continuation fingerprints, back to front: phase p's is the fold of
+  // every LATER phase's code_fp (the last phase gets the bare domain
+  // tag). Adding, removing, or semantically editing any phase after p
+  // changes cont_fp(p), which is exactly when p's continuation-dependent
+  // cached verdicts — classified through that downstream code — go stale.
+  {
+    std::uint64_t cont = 0x452821e638d01377ULL;  // arbitrary domain tag
+    for (std::uint32_t p = phase_count; p-- > 0;) {
+      phases[p].cont_fp = cont;
+      cont = hash_combine(cont, phases[p].code_fp);
+    }
+  }
 
   // Apportion the plan over phases by branch mass. The monolithic
   // sampler's marginal is P(phase p) = (1/T) * sum_t delta_p[t] /
@@ -508,7 +568,12 @@ CompositionalResult run_compositional_campaign(
       continue;
     }
     for (std::uint32_t p = 0; p < phase_count; ++p) {
-      weights[p] += (phases[p].delta[t] << 32) / total;
+      // 128-bit intermediate: a phase delta at or above 2^32 branches
+      // would silently overflow the 64-bit shift. The quotient fits back
+      // in 64 bits (delta <= total, so it is at most 1.0 in 32.32
+      // fixed point times the thread count already accumulated).
+      weights[p] += static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(phases[p].delta[t]) << 32) / total);
     }
   }
   std::vector<int> plan =
@@ -523,12 +588,16 @@ CompositionalResult run_compositional_campaign(
                              continuation_budget,
                              options.protect};
   engine.verdicts.resize(phase_count);
+  engine.via_cont.resize(phase_count);
   engine.done.resize(phase_count);
+  engine.served.resize(phase_count);
   engine.wall_ns.resize(phase_count);
   for (std::uint32_t p = 0; p < phase_count; ++p) {
     engine.verdicts[p].assign(static_cast<std::size_t>(plan[p]),
                               Verdict::NotActivated);
+    engine.via_cont[p].assign(static_cast<std::size_t>(plan[p]), 0);
     engine.done[p].assign(static_cast<std::size_t>(plan[p]), 0);
+    engine.served[p].assign(static_cast<std::size_t>(plan[p]), 0);
     engine.wall_ns[p].assign(static_cast<std::size_t>(plan[p]), 0);
   }
 
@@ -569,18 +638,38 @@ CompositionalResult run_compositional_campaign(
       if (entry.code_fp != info.code_fp || entry.entry_fp != info.entry_fp) {
         continue;  // stale: the phase's code or entry state changed
       }
-      const int serve = std::min(static_cast<int>(entry.verdicts.size()),
+      if (entry.via_continuation.size() != entry.verdicts.size()) continue;
+      // Per-slot staleness: verdicts classified entirely inside the phase
+      // are pinned by (code_fp, entry_fp) alone, but verdicts that flowed
+      // through a continuation also depend on the downstream code and the
+      // golden section output — they are only servable while the
+      // continuation fingerprint still matches. A downstream semantic
+      // edit therefore re-injects exactly the continuation-dependent
+      // slots of upstream phases, never serves them stale.
+      const bool cont_ok = entry.cont_fp == info.cont_fp;
+      const int limit = std::min(static_cast<int>(entry.verdicts.size()),
                                  plan[entry.phase]);
-      for (int j = 0; j < serve; ++j) {
-        engine.verdicts[entry.phase][static_cast<std::size_t>(j)] =
-            entry.verdicts[static_cast<std::size_t>(j)];
-        engine.done[entry.phase][static_cast<std::size_t>(j)] = 1;
+      int serve = 0;
+      for (int j = 0; j < limit; ++j) {
+        const std::size_t slot = static_cast<std::size_t>(j);
+        if (!cont_ok && entry.via_continuation[slot]) continue;
+        engine.verdicts[entry.phase][slot] = entry.verdicts[slot];
+        engine.via_cont[entry.phase][slot] = entry.via_continuation[slot];
+        engine.done[entry.phase][slot] = 1;
+        engine.served[entry.phase][slot] = 1;
+        ++serve;
       }
       cached[entry.phase] = serve;
       engine.completed += serve;
       telemetry::counter_add(telemetry::Counter::CampaignPhaseCacheHits,
                              static_cast<std::uint64_t>(serve));
     }
+  }
+  // The warm serve alone may already satisfy halt_after: halt before any
+  // worker claims a task (otherwise each worker would still execute one
+  // extra injection before noticing).
+  if (options.halt_after > 0 && engine.completed >= options.halt_after) {
+    engine.halted.store(true, std::memory_order_relaxed);
   }
   for (std::uint32_t p = 0; p < phase_count; ++p) {
     result.injections_cached += cached[p];
@@ -634,6 +723,7 @@ CompositionalResult run_compositional_campaign(
     summary.phase = p;
     summary.code_fp = phases[p].code_fp;
     summary.entry_fp = phases[p].entry_fp;
+    summary.cont_fp = phases[p].cont_fp;
     summary.injections = plan[p];
     summary.cached = cached[p];
     summary.budget = phases[p].budget;
@@ -645,8 +735,9 @@ CompositionalResult run_compositional_campaign(
       outcome.wall_ns = engine.wall_ns[p][static_cast<std::size_t>(j)];
       accumulate(summary.tally, outcome);
       summary.tally.verdicts.push_back(outcome.verdict);
-      // Cache-served slots are exactly the prefix [0, cached[p]).
-      if (j >= cached[p]) ++result.injections_executed;
+      if (!engine.served[p][static_cast<std::size_t>(j)]) {
+        ++result.injections_executed;
+      }
     }
     telemetry::record_event(
         telemetry::EventKind::PhaseOutcome, telemetry::Phase::Other, p,

@@ -19,7 +19,13 @@
 //     the transient upset already happened) classifies whether it is
 //     detected downstream, crashes, hangs, or escapes as an SDC.
 // Faults that never reach the cut (crash/hang/detected inside the phase,
-// or the program leaves the section early) are classified directly.
+// or the program leaves the section early) are classified directly. A
+// fault can also desynchronize the cut itself (the victim thread skips a
+// conditional barrier and never stages at the exit): the exit capture is
+// then marked incomplete (vm::Checkpoint::complete) and the engine falls
+// back to re-running that injection end-to-end from the phase entry —
+// the direct classification the monolithic engine would produce —
+// instead of continuing from a partially-fabricated checkpoint.
 //
 // The per-phase outcome tallies then merge — the same associative fold
 // the parallel monolithic engine uses — with each phase weighted by its
@@ -29,14 +35,28 @@
 // monolithic estimates agree within overlapping Wilson 95% CIs on every
 // registry kernel.
 //
-// Caching: a phase's outcome distribution depends only on (the code its
-// blocks execute, the state it enters from, the fault model). Both are
-// fingerprinted — content-hashed, no pointers — and persisted through
-// fault/checkpoint.h v3, so re-running a campaign over a modified kernel
-// re-injects ONLY the phases whose code or entry state changed: an edit
-// to phase k invalidates k (code fp) and any downstream phase whose
-// entry state shifted (entry fp), and nothing else. The cache can never
-// serve a stale phase: a served entry's fingerprints match by key.
+// Caching: an injection's verdict depends on (the code its phase's
+// blocks execute, the state the phase enters from, the fault model) —
+// and, when the classification flowed through a continuation run, an
+// early section exit, or the incomplete-capture fallback, ALSO on the
+// code of every downstream phase and the golden section output it was
+// compared against. All three dependencies are fingerprinted —
+// content-hashed, no pointers — and persisted per slot through
+// fault/checkpoint.h v3: code_fp pins the phase's own code, entry_fp
+// pins its entry state (which transitively pins the golden suffix from
+// the cut, given the code), and cont_fp folds the code_fps of every
+// later phase. A cached verdict is served iff code_fp and entry_fp
+// match AND (the verdict resolved inside the phase OR cont_fp matches).
+// So re-running a campaign over a modified kernel re-injects the edited
+// phase (code fp), any downstream phase whose entry state shifted
+// (entry fp), and the continuation-dependent slots of phases UPSTREAM
+// of the edit (cont fp) — in-phase verdicts (NotActivated, in-phase
+// Detected/Crashed/Hung, Benign via exit-fingerprint match) survive a
+// downstream edit untouched. Granularity caveat, inherited from the
+// block profile: code fingerprints cover the blocks the GOLDEN run
+// executes; an edit confined to blocks no golden phase ever runs is
+// invisible to the keys (and to the composed estimate's golden
+// baseline).
 //
 // Refused configurations (composition would be unsound, not just
 // conservative):
@@ -97,6 +117,9 @@ struct PhaseOutcomeSummary {
   std::uint32_t phase = 0;
   std::uint64_t code_fp = 0;
   std::uint64_t entry_fp = 0;
+  /// Fold of the code_fps of every later phase (see header comment):
+  /// the staleness key for this phase's continuation-dependent verdicts.
+  std::uint64_t cont_fp = 0;
   /// Injections apportioned to this phase (== tally.injected when the
   /// campaign ran to completion).
   int injections = 0;

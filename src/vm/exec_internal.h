@@ -294,9 +294,15 @@ class Machine {
   /// Phase-plan staging: each thread parks its snapshot here right before
   /// entering a capture barrier (mirrors RecoveryCoordinator::stage). The
   /// mutex orders stagers against the releasing thread's checkpoint hook.
-  void phase_stage(unsigned tid, ThreadSnapshot snapshot) {
+  /// `generation` is the stager's LOCAL crossing count: the commit hook
+  /// compares it against the global generation to prove the capture is
+  /// complete (Checkpoint::complete) — a faulted thread that skipped a
+  /// conditional barrier stages at the wrong cut, or never.
+  void phase_stage(unsigned tid, std::uint64_t generation,
+                   ThreadSnapshot snapshot) {
     std::lock_guard<std::mutex> lock(phase_mu_);
     phase_staged_[tid] = std::move(snapshot);
+    phase_staged_gen_[tid] = generation;
   }
 
   /// Shared decode (both tiers' forms); immutable, shared across Machines.
@@ -311,6 +317,9 @@ class Machine {
   // --- Phase-plan state (PhasePlan in machine.h) -----------------------
   std::mutex phase_mu_;
   std::vector<ThreadSnapshot> phase_staged_;  // indexed by tid
+  /// Local crossing count each slot of phase_staged_ was staged at (0 =
+  /// never staged); the commit hook's completeness census.
+  std::vector<std::uint64_t> phase_staged_gen_;
   /// Set (release) by the checkpoint hook when exit_generation commits;
   /// every thread checks it (acquire) after leaving the barrier and
   /// unwinds through PhaseExitSignal.
@@ -493,7 +502,7 @@ class ThreadRunner {
           (phase_->exit_generation != 0 &&
            barriers_crossed_ == phase_->exit_generation)) {
         if (monitor_ != nullptr) monitor_->flush(tid_);
-        m_.phase_stage(tid_, capture_snapshot());
+        m_.phase_stage(tid_, barriers_crossed_, capture_snapshot());
       }
     }
     m_.coordinator_.barrier_wait(tid_);

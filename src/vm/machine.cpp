@@ -381,8 +381,16 @@ RunResult Machine::run() {
       BW_INTERNAL_CHECK(
           phase.entry->threads.size() == options_.num_threads,
           "phase entry checkpoint thread count mismatch");
+      // An incomplete capture holds leftover/default snapshots for the
+      // threads that never staged at its cut; restoring from one would
+      // execute a fabricated hybrid state (an empty-frames leftover reads
+      // as "restart the entry from scratch"). Callers must classify such
+      // runs end-to-end instead (fault/compositional.cpp does).
+      BW_INTERNAL_CHECK(phase.entry->complete,
+                        "phase entry checkpoint is incomplete");
     }
     phase_staged_.resize(options_.num_threads);
+    phase_staged_gen_.assign(options_.num_threads, 0);
   }
 
   // Sequential init (mirrors SPLASH-2 main() setup). Skipped on a
@@ -464,6 +472,18 @@ RunResult Machine::run() {
           {
             std::lock_guard<std::mutex> lock(phase_mu_);
             cp.threads = phase_staged_;
+            // Completeness census: fault-free, every thread's local
+            // crossing count equals the global generation at every
+            // release, so every slot was staged at exactly this cut. A
+            // fault that skipped a conditional barrier leaves its
+            // thread's slot staged at another generation (or never —
+            // gen 0), and the capture is not a true snapshot of the cut.
+            for (std::uint64_t staged_at : phase_staged_gen_) {
+              if (staged_at != generation) {
+                cp.complete = false;
+                break;
+              }
+            }
           }
           cp.coordinator.lock_owners.assign(lock_owner.begin(),
                                             lock_owner.end());

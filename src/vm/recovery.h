@@ -141,6 +141,17 @@ struct Checkpoint {
   std::vector<std::int64_t> heap;
   std::vector<ThreadSnapshot> threads;  // indexed by thread id
   CoordinatorSnapshot coordinator;
+  /// Every slot of `threads` was staged at exactly this generation's
+  /// crossing. Fault-free runs always commit complete checkpoints (a
+  /// barrier releases only on a full census, so every thread's local
+  /// crossing count equals the global generation at every release), but a
+  /// fault that steers a thread past a conditional barrier desynchronizes
+  /// its local count: the thread stages at the wrong cut — or never —
+  /// and its slot here is a leftover or default-constructed snapshot. A
+  /// phase-plan exit capture records that as complete=false; such a
+  /// capture must not seed a continuation run (an empty-frames leftover
+  /// would be misread as "restart the entry from scratch").
+  bool complete = true;
 };
 
 enum class RestoreAction {

@@ -13,9 +13,13 @@
 //     monolithic engine within overlapping Wilson 95% CIs.
 //   * Engine determinism: byte-identical results for worker counts
 //     {1, 2, 8}; kill-and-resume through the v3 checkpoint reproduces the
-//     uninterrupted run; a one-phase source edit re-injects ONLY that
-//     phase while every untouched phase is served from cache with
-//     verdicts identical to a cold run of the edited kernel.
+//     uninterrupted run; a semantics-preserving one-phase source edit
+//     re-injects that phase plus only the continuation-dependent slots of
+//     phases upstream of it, while every other slot is served from cache
+//     with verdicts identical to a cold run of the edited kernel; a
+//     SEMANTIC downstream edit invalidates upstream continuation verdicts
+//     (the stale-cache regression); a warm serve that already satisfies
+//     halt_after executes nothing.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -175,6 +179,7 @@ void expect_equal_composition(const fault::CompositionalResult& a,
         << "phase " << p;
     EXPECT_EQ(a.phases[p].code_fp, b.phases[p].code_fp) << "phase " << p;
     EXPECT_EQ(a.phases[p].entry_fp, b.phases[p].entry_fp) << "phase " << p;
+    EXPECT_EQ(a.phases[p].cont_fp, b.phases[p].cont_fp) << "phase " << p;
   }
   // Derived headline numbers follow from the tallies, but compare the CI
   // bounds bit-for-bit anyway: they are what EXPERIMENTS.md publishes.
@@ -632,7 +637,7 @@ TEST(PhaseCache, WarmRerunServesEverythingWithIdenticalVerdicts) {
   std::remove(ckpt.c_str());
 }
 
-TEST(PhaseCache, EditingOnePhaseReinjectsOnlyThatPhase) {
+TEST(PhaseCache, EditingOnePhaseReinjectsItAndUpstreamContinuationSlots) {
   const std::string ckpt = temp_path("compositional_invalidate.ckpt");
   std::remove(ckpt.c_str());
   fault::CampaignOptions options = base_options();
@@ -662,19 +667,35 @@ TEST(PhaseCache, EditingOnePhaseReinjectsOnlyThatPhase) {
       EXPECT_EQ(p.cached, 0);
       EXPECT_NE(p.code_fp, original.phases[1].code_fp);
       EXPECT_EQ(p.entry_fp, original.phases[1].entry_fp);
-    } else {
-      // Untouched phases (including DOWNSTREAM ones — the edit preserved
-      // their entry states) are served entirely from cache.
+    } else if (p.phase > 1) {
+      // Untouched DOWNSTREAM phases: the edit preserved their entry
+      // states AND their continuation (only code before them changed),
+      // so every slot is served from cache.
       EXPECT_EQ(p.cached, p.injections) << "phase " << p.phase;
       EXPECT_EQ(p.code_fp, original.phases[p.phase].code_fp);
       EXPECT_EQ(p.entry_fp, original.phases[p.phase].entry_fp);
+      EXPECT_EQ(p.cont_fp, original.phases[p.phase].cont_fp)
+          << "phase " << p.phase;
+    } else {
+      // Phase 0 is UPSTREAM of the edit: its own code and entry state are
+      // untouched, but its continuation fingerprint shifted (phase 1's
+      // code is part of it), so exactly the slots whose verdicts flowed
+      // through a continuation run re-inject; in-phase verdicts
+      // (NotActivated, in-phase detections, Benign via exit-fingerprint
+      // match) are still served.
+      EXPECT_EQ(p.code_fp, original.phases[0].code_fp);
+      EXPECT_EQ(p.entry_fp, original.phases[0].entry_fp);
+      EXPECT_NE(p.cont_fp, original.phases[0].cont_fp);
+      EXPECT_LE(p.cached, p.injections);
     }
   }
   EXPECT_EQ(incremental.injections_executed,
-            incremental.phases[1].injections);
-  EXPECT_EQ(incremental.phase_cache_misses, 1);
+            incremental.phases[1].injections +
+                (incremental.phases[0].injections -
+                 incremental.phases[0].cached));
+  EXPECT_GE(incremental.phase_cache_misses, 1);
 
-  // The cache never serves a stale phase: the incremental result must be
+  // The cache never serves a stale slot: the incremental result must be
   // byte-identical to a cold (cache-free) campaign over the edited
   // kernel.
   fault::CampaignOptions cold_options = base_options();
@@ -683,6 +704,197 @@ TEST(PhaseCache, EditingOnePhaseReinjectsOnlyThatPhase) {
   ASSERT_FALSE(cold.refused);
   expect_equal_composition(cold, incremental);
   std::remove(ckpt.c_str());
+}
+
+TEST(PhaseCache, DownstreamSemanticEditInvalidatesContinuationVerdicts) {
+  // The stale-cache regression: phase 0's verdicts are classified by a
+  // continuation run through the LAST phase and compared against the
+  // whole-program golden output. A semantics-CHANGING edit to that last
+  // phase leaves phase 0's (code_fp, entry_fp) untouched — if the cache
+  // keyed on those alone, phase 0's all-SDC verdicts would be served
+  // stale even though the edited program masks every one of them.
+  const char* kChained = R"BWC(
+global int out[8];
+func slave() {
+  int id = tid();
+  int p = nthreads();
+  int v = 0;
+  if (id % 2 == 0) { v = 10; } else { v = 20; }
+  barrier();
+  out[id] = v;
+  barrier();
+  if (id == 0) {
+    int total = 0;
+    for (int t = 0; t < p; t = t + 1) { total = total + out[t] * (t + 1); }
+    print_i(total);
+  }
+}
+)BWC";
+  const std::string ckpt = temp_path("compositional_downstream.ckpt");
+  std::remove(ckpt.c_str());
+  fault::CampaignOptions options = base_options();
+  options.protect = false;  // every phase-0 flip crosses the cut silently
+  options.injections = 32;
+  options.checkpoint_file = ckpt;
+
+  fault::CompositionalResult original =
+      fault::run_compositional_campaign(kChained, options);
+  ASSERT_FALSE(original.refused);
+  ASSERT_EQ(original.phase_count, 3u);
+  // Every activated phase-0 flip is convicted through the continuation.
+  EXPECT_GT(original.phases[0].tally.activated, 0);
+  EXPECT_EQ(original.phases[0].tally.sdc, original.phases[0].tally.activated);
+
+  // Make the print phase ignore the corrupted data: the OLD phase-0 SDC
+  // verdicts are now wrong (every flip is masked), while phase 0's own
+  // code and entry state are byte-identical.
+  std::string edited(kChained);
+  const std::string from = "print_i(total);";
+  const std::size_t at = edited.find(from);
+  ASSERT_NE(at, std::string::npos);
+  edited.replace(at, from.size(), "print_i(0);");
+
+  fault::CompositionalResult incremental =
+      fault::run_compositional_campaign(edited, options);
+  ASSERT_FALSE(incremental.refused);
+  ASSERT_EQ(incremental.phase_count, 3u);
+  // Phase 0: same code, same entry state, different continuation — its
+  // continuation-dependent verdicts (all of them here) must re-inject.
+  EXPECT_EQ(incremental.phases[0].code_fp, original.phases[0].code_fp);
+  EXPECT_EQ(incremental.phases[0].entry_fp, original.phases[0].entry_fp);
+  EXPECT_NE(incremental.phases[0].cont_fp, original.phases[0].cont_fp);
+  EXPECT_EQ(incremental.phases[0].cached, 0);
+  // And the fresh phase-0 classification agrees with a cold run of the
+  // edited kernel: no phase-0 SDC survives (the stale cache would have
+  // reported all of them). Flips inside the edited print phase itself can
+  // still corrupt output, so only phase 0 must go clean.
+  EXPECT_EQ(incremental.phases[0].tally.sdc, 0);
+  EXPECT_GT(incremental.phases[0].tally.activated, 0);
+  EXPECT_EQ(incremental.phases[0].tally.benign,
+            incremental.phases[0].tally.activated);
+  fault::CampaignOptions cold_options = base_options();
+  cold_options.protect = false;
+  cold_options.injections = 32;
+  fault::CompositionalResult cold =
+      fault::run_compositional_campaign(edited, cold_options);
+  ASSERT_FALSE(cold.refused);
+  expect_equal_composition(cold, incremental);
+  std::remove(ckpt.c_str());
+}
+
+TEST(PhaseCache, WarmServeAloneSatisfiesHaltAfter) {
+  // halt_after must account for cache-served injections BEFORE any worker
+  // claims a task: a warm serve that already meets the quota executes
+  // nothing (the regression: every worker ran one extra injection).
+  const std::string ckpt = temp_path("compositional_halt_warm.ckpt");
+  std::remove(ckpt.c_str());
+  fault::CampaignOptions options = base_options();
+  options.checkpoint_file = ckpt;
+  options.checkpoint_every = 4;
+  options.halt_after = 9;
+
+  fault::CompositionalResult first =
+      fault::run_compositional_campaign(kPhasedKernel, options);
+  ASSERT_FALSE(first.refused);
+  EXPECT_TRUE(first.interrupted);
+  EXPECT_GE(first.injections_executed, 9);
+
+  fault::CompositionalResult second =
+      fault::run_compositional_campaign(kPhasedKernel, options);
+  ASSERT_FALSE(second.refused);
+  EXPECT_GE(second.injections_cached, 9);
+  EXPECT_EQ(second.injections_executed, 0);
+  std::remove(ckpt.c_str());
+}
+
+TEST(PhaseCache, PcLinesRoundTripContinuationFingerprintAndBits) {
+  // v3 `pc` line round-trip: the continuation fingerprint and the
+  // per-slot via_continuation bits (verdict | via << 3, one lowercase
+  // hex digit per slot) must survive to_text/from_text unchanged.
+  fault::CampaignCheckpoint cp;
+  cp.seed = 0xabcdef;
+  cp.type = fault::FaultType::BranchFlip;
+  cp.injections = 8;
+  cp.num_threads = 4;
+  fault::PhaseCacheEntry entry;
+  entry.phase = 2;
+  entry.code_fp = 0x1122334455667788ULL;
+  entry.entry_fp = 0x99aabbccddeeff00ULL;
+  entry.cont_fp = 0x0123456789abcdefULL;
+  entry.verdicts = {fault::Verdict::NotActivated, fault::Verdict::Sdc,
+                    fault::Verdict::Benign, fault::Verdict::Detected,
+                    fault::Verdict::Hung};
+  entry.via_continuation = {0, 1, 0, 1, 1};
+  cp.phase_cache.push_back(entry);
+
+  fault::CampaignCheckpoint parsed;
+  std::string error;
+  ASSERT_TRUE(
+      fault::CampaignCheckpoint::from_text(cp.to_text(), parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.phase_cache.size(), 1u);
+  const fault::PhaseCacheEntry& back = parsed.phase_cache[0];
+  EXPECT_EQ(back.phase, entry.phase);
+  EXPECT_EQ(back.code_fp, entry.code_fp);
+  EXPECT_EQ(back.entry_fp, entry.entry_fp);
+  EXPECT_EQ(back.cont_fp, entry.cont_fp);
+  EXPECT_EQ(back.verdicts, entry.verdicts);
+  EXPECT_EQ(back.via_continuation, entry.via_continuation);
+}
+
+// ---------------------------------------------------------------------------
+// Conditional barriers: faults that steer a thread past a barrier.
+// ---------------------------------------------------------------------------
+
+TEST(ConditionalBarrier, BarrierSkippingFaultsComposeLikeMonolithic) {
+  // A barrier guarded by a data-dependent condition: a phase-0 flip can
+  // steer the victim past the cut entirely, desynchronizing its barrier
+  // census from the cut the engine wants to capture. The coordinator's
+  // full-census release turns most of these into in-phase hangs; whatever
+  // the classification, it must agree with the monolithic engine's
+  // end-to-end verdict distribution and never violate the partition.
+  const char* kCondBarrier = R"BWC(
+global int out[8];
+func slave() {
+  int id = tid();
+  int p = nthreads();
+  int v = id + 1;
+  if (v > 0) { barrier(); }
+  out[id] = v * 3;
+  barrier();
+  if (id == 0) {
+    int total = 0;
+    for (int t = 0; t < p; t = t + 1) { total = total + out[t]; }
+    print_i(total);
+  }
+}
+)BWC";
+  fault::CampaignOptions options = base_options();
+  options.protect = false;
+  options.injections = 32;
+  fault::CompositionalResult comp =
+      fault::run_compositional_campaign(kCondBarrier, options);
+  ASSERT_FALSE(comp.refused);
+  ASSERT_EQ(comp.phase_count, 3u);
+  expect_exact_partition(comp.composed);
+  // The conditional-barrier phase got injections and some flip skipped
+  // the barrier (the peers then starve at the full-census release).
+  EXPECT_GT(comp.phases[0].tally.activated, 0);
+  EXPECT_GT(comp.composed.hung, 0);
+
+  fault::CampaignResult mono = fault::run_campaign(kCondBarrier, options);
+  expect_exact_partition(mono);
+  EXPECT_TRUE(overlaps(comp.composed.sdc_interval(), mono.sdc_interval()));
+  EXPECT_TRUE(overlaps(comp.composed.coverage_interval(),
+                       mono.coverage_interval()));
+
+  // Worker-count invariance holds through the hang path too.
+  fault::CampaignOptions solo = options;
+  solo.campaign_workers = 1;
+  fault::CompositionalResult comp1 =
+      fault::run_compositional_campaign(kCondBarrier, solo);
+  ASSERT_FALSE(comp1.refused);
+  expect_equal_composition(comp, comp1);
 }
 
 // ---------------------------------------------------------------------------
